@@ -1,0 +1,171 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! These isolate single components so a regression in, say, the tagged
+//! lookup path shows up here before it muddies the table benches:
+//!
+//! * index-hash schemes (GAg vs GAs vs gshare; Address vs Concat vs Xor),
+//! * tagless vs tagged storage on the same access stream,
+//! * history-source maintenance (pattern vs global path vs per-address).
+
+use branch_predictors::{PathFilter, PathHistoryConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_isa::{Addr, BranchClass};
+use std::hint::black_box;
+use target_cache::{
+    HistorySource, HistoryTracker, IndexScheme, Organization, TaggedIndexScheme, TargetCache,
+    TargetCacheConfig,
+};
+
+/// A deterministic pseudo-random access stream of (pc, history, target).
+fn access_stream(n: usize) -> Vec<(Addr, u64, Addr)> {
+    let mut x = 0x0123_4567_89AB_CDEFu64;
+    (0..n)
+        .map(|_| {
+            // xorshift64
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pc = Addr::from_word_index(0x1000 + (x & 0xFF) * 31);
+            let hist = (x >> 8) & 0xFFFF;
+            let target = Addr::from_word_index(0x8000 + ((x >> 24) & 0x3F) * 17);
+            (pc, hist, target)
+        })
+        .collect()
+}
+
+fn bench_hash_schemes(c: &mut Criterion) {
+    let stream = access_stream(10_000);
+    let mut group = c.benchmark_group("ablation_hash_schemes");
+
+    let tagless = |scheme: IndexScheme| {
+        TargetCacheConfig::new(
+            Organization::Tagless {
+                entries: 512,
+                scheme,
+            },
+            HistorySource::Pattern { bits: 9 },
+        )
+    };
+    for (name, scheme) in [
+        ("tagless_gag", IndexScheme::GAg),
+        ("tagless_gas", IndexScheme::GAs { addr_bits: 2 }),
+        ("tagless_gshare", IndexScheme::Gshare),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut tc = TargetCache::new(tagless(scheme));
+                for &(pc, hist, target) in &stream {
+                    let (access, pred) = tc.lookup(pc, hist);
+                    black_box(pred);
+                    tc.update(access, target);
+                }
+                tc.occupancy()
+            })
+        });
+    }
+
+    let tagged = |scheme: TaggedIndexScheme| {
+        TargetCacheConfig::new(
+            Organization::Tagged {
+                entries: 256,
+                assoc: 4,
+                scheme,
+            },
+            HistorySource::Pattern { bits: 9 },
+        )
+    };
+    for (name, scheme) in [
+        ("tagged_address", TaggedIndexScheme::Address),
+        ("tagged_concat", TaggedIndexScheme::HistoryConcat),
+        ("tagged_xor", TaggedIndexScheme::HistoryXor),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut tc = TargetCache::new(tagged(scheme));
+                for &(pc, hist, target) in &stream {
+                    let (access, pred) = tc.lookup(pc, hist);
+                    black_box(pred);
+                    tc.update(access, target);
+                }
+                tc.occupancy()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tagless_vs_tagged_associativity(c: &mut Criterion) {
+    let stream = access_stream(10_000);
+    let mut group = c.benchmark_group("ablation_storage_organization");
+    for assoc in [1usize, 4, 16, 256] {
+        group.bench_function(format!("tagged_{assoc}way"), |b| {
+            b.iter(|| {
+                let mut tc = TargetCache::new(TargetCacheConfig::isca97_tagged(assoc));
+                for &(pc, hist, target) in &stream {
+                    let (access, pred) = tc.lookup(pc, hist);
+                    black_box(pred);
+                    tc.update(access, target);
+                }
+                tc.occupancy()
+            })
+        });
+    }
+    group.bench_function("tagless_512", |b| {
+        b.iter(|| {
+            let mut tc = TargetCache::new(TargetCacheConfig::isca97_tagless_gshare());
+            for &(pc, hist, target) in &stream {
+                let (access, pred) = tc.lookup(pc, hist);
+                black_box(pred);
+                tc.update(access, target);
+            }
+            tc.occupancy()
+        })
+    });
+    group.finish();
+}
+
+fn bench_history_sources(c: &mut Criterion) {
+    let stream = access_stream(10_000);
+    let mut group = c.benchmark_group("ablation_history_sources");
+    let sources = [
+        ("pattern", HistorySource::Pattern { bits: 9 }),
+        (
+            "global_path",
+            HistorySource::GlobalPath(PathHistoryConfig::isca97_default(PathFilter::Control)),
+        ),
+        (
+            "per_address_path",
+            HistorySource::PerAddressPath(PathHistoryConfig::isca97_default(
+                PathFilter::IndirectJump,
+            )),
+        ),
+    ];
+    for (name, source) in sources {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut tracker = HistoryTracker::new(source);
+                let mut acc = 0u64;
+                for &(pc, hist, target) in &stream {
+                    acc ^= tracker.value_for(pc);
+                    let class = if hist & 1 == 0 {
+                        BranchClass::CondDirect
+                    } else {
+                        BranchClass::IndirectJump
+                    };
+                    let taken = hist & 2 == 0 || class != BranchClass::CondDirect;
+                    tracker.on_branch_resolved(pc, class, taken, target);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash_schemes,
+    bench_tagless_vs_tagged_associativity,
+    bench_history_sources
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benches for the paper's figures and headline numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::Scale;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig1_8_targets_per_jump", |b| {
+        b.iter(|| black_box(experiments::fig_targets::run(Scale::Quick)))
+    });
+    group.bench_function("fig12_13_tagless_vs_tagged", |b| {
+        b.iter(|| black_box(experiments::fig_tagless_vs_tagged::run(Scale::Quick)))
+    });
+    group.bench_function("headline_abstract_numbers", |b| {
+        b.iter(|| black_box(experiments::headline::run(Scale::Quick)))
+    });
+    group.bench_function("extension_oo_cpp_future_work", |b| {
+        b.iter(|| black_box(experiments::extension_oo::run(Scale::Quick)))
+    });
+    group.bench_function("extension_oracle_limits", |b| {
+        b.iter(|| black_box(experiments::extension_limits::run(Scale::Quick)))
+    });
+    group.bench_function("extension_cascade", |b| {
+        b.iter(|| black_box(experiments::extension_cascade::run(Scale::Quick)))
+    });
+    group.bench_function("extension_hysteresis", |b| {
+        b.iter(|| black_box(experiments::extension_hysteresis::run(Scale::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! One Criterion bench per paper table: measures the end-to-end
+//! regeneration of each table at quick scale.
+//!
+//! Run a single table with e.g. `cargo bench --bench tables -- table4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::Scale;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+
+    group.bench_function("table1_benchmark_characterization", |b| {
+        b.iter(|| black_box(experiments::table1::run(Scale::Quick)))
+    });
+    group.bench_function("table2_two_bit_btb", |b| {
+        b.iter(|| black_box(experiments::table2::run(Scale::Quick)))
+    });
+    group.bench_function("table4_tagless_pattern_schemes", |b| {
+        b.iter(|| black_box(experiments::table4::run(Scale::Quick)))
+    });
+    group.bench_function("table5_path_address_bits", |b| {
+        b.iter(|| black_box(experiments::table5::run(Scale::Quick)))
+    });
+    group.bench_function("table6_path_bits_per_target", |b| {
+        b.iter(|| black_box(experiments::table6::run(Scale::Quick)))
+    });
+    group.bench_function("table7_tagged_index_schemes", |b| {
+        b.iter(|| black_box(experiments::table7::run(Scale::Quick)))
+    });
+    group.bench_function("table8_tagged_path_history", |b| {
+        b.iter(|| black_box(experiments::table8::run(Scale::Quick)))
+    });
+    group.bench_function("table9_history_length", |b| {
+        b.iter(|| black_box(experiments::table9::run(Scale::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Raw component throughput: how many instructions per second each layer
+//! of the stack processes. Criterion's throughput mode reports elem/s.
+
+use bench::{bench_trace, BENCH_BUDGET};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hps_uarch::{simulate, MachineConfig};
+use sim_workloads::Benchmark;
+use std::hint::black_box;
+use target_cache::harness::{FrontEndConfig, PredictionHarness};
+use target_cache::TargetCacheConfig;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BENCH_BUDGET as u64));
+
+    // Trace generation speed for a representative pair.
+    for bench in [Benchmark::Perl, Benchmark::Gcc] {
+        let workload = bench.workload();
+        group.bench_function(format!("generate_{bench}"), |b| {
+            b.iter(|| black_box(workload.generate(BENCH_BUDGET)).len())
+        });
+    }
+
+    // Functional prediction.
+    let perl = bench_trace(Benchmark::Perl);
+    group.bench_function("functional_baseline_perl", |b| {
+        b.iter(|| {
+            let mut h = PredictionHarness::new(FrontEndConfig::isca97_baseline());
+            h.run(&perl);
+            h.stats().total_mispredicted()
+        })
+    });
+    group.bench_function("functional_target_cache_perl", |b| {
+        b.iter(|| {
+            let mut h = PredictionHarness::new(FrontEndConfig::isca97_with(
+                TargetCacheConfig::isca97_tagless_gshare(),
+            ));
+            h.run(&perl);
+            h.stats().total_mispredicted()
+        })
+    });
+
+    // Full timing model.
+    group.bench_function("timing_model_perl", |b| {
+        b.iter(|| {
+            simulate(
+                &perl,
+                &MachineConfig::isca97(FrontEndConfig::isca97_baseline()),
+            )
+            .cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Bench support: shared setup for the Criterion benches.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `tables` — one bench per paper table (1, 2, 4, 5, 6, 7, 8, 9): each
+//!   measures the end-to-end regeneration of that table at quick scale and,
+//!   as a side effect, validates that the experiment still runs.
+//! * `figures` — Figures 1–8 and 12–13, plus the headline.
+//! * `ablations` — the design-choice ablations DESIGN.md calls out:
+//!   index-hash cost, tagless vs tagged lookup cost, and history-source
+//!   maintenance cost.
+//! * `throughput` — raw component speeds: trace generation, functional
+//!   prediction, and the timing model, in instructions per second.
+
+use sim_isa::VecTrace;
+use sim_workloads::Benchmark;
+
+/// The trace budget benches use: big enough to exercise steady state,
+/// small enough that `cargo bench` completes in minutes.
+pub const BENCH_BUDGET: usize = 100_000;
+
+/// Generates the standard bench trace for a benchmark.
+pub fn bench_trace(bench: Benchmark) -> VecTrace {
+    bench.workload().generate(BENCH_BUDGET)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_trace_has_expected_size() {
+        assert_eq!(bench_trace(Benchmark::Compress).len(), BENCH_BUDGET);
+    }
+}

@@ -1,0 +1,545 @@
+//! The target cache storage structure: tagless (Figure 10 of the paper) and
+//! tagged (Figure 11) organizations behind one interface.
+
+use crate::config::{Organization, TargetCacheConfig};
+use crate::index::{tagged_set_and_tag, tagless_index};
+use crate::stats::TargetCacheStats;
+use sim_isa::Addr;
+use std::fmt;
+
+/// A handle identifying where a lookup landed — the paper's "index A".
+///
+/// "When fetching an indirect jump, the fetch address and the branch history
+/// are used to form an index (A) into the target cache. ... Later, when the
+/// indirect branch retires, the target cache is accessed again using index
+/// A, and the computed target ... is written into the target cache."
+///
+/// [`TargetCache::lookup`] returns the `Access`; the caller carries it with
+/// the in-flight branch and hands it back to [`TargetCache::update`] at
+/// retirement, so the update always writes the entry the prediction was
+/// read from, even if history has moved on since fetch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Access {
+    /// Tagless: entry index. Tagged: set index.
+    index: usize,
+    /// Tagged only: the tag that was (or must be) matched.
+    tag: Option<u64>,
+}
+
+#[derive(Clone, Debug)]
+struct TaggedEntry {
+    tag: u64,
+    target: Addr,
+    /// Consecutive update-time target mismatches (2-bit policy state).
+    miss_streak: bool,
+    lru: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TaglessEntry {
+    target: Addr,
+    /// Consecutive update-time target mismatches (2-bit policy state).
+    miss_streak: bool,
+}
+
+#[derive(Clone, Debug)]
+enum Storage {
+    Tagless {
+        entries: Vec<Option<TaglessEntry>>,
+    },
+    Tagged {
+        sets: Vec<Vec<TaggedEntry>>,
+        ways: usize,
+        clock: u64,
+    },
+}
+
+/// The target cache: a history-indexed store of indirect-jump targets.
+///
+/// See the [crate-level documentation](crate) for the quick-start example
+/// and design-space overview.
+#[derive(Clone)]
+pub struct TargetCache {
+    config: TargetCacheConfig,
+    storage: Storage,
+    stats: TargetCacheStats,
+}
+
+impl TargetCache {
+    /// Creates an empty target cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (already checked by
+    /// [`TargetCacheConfig::new`], so only hand-rolled configs can trip
+    /// this).
+    pub fn new(config: TargetCacheConfig) -> Self {
+        let storage = match config.organization {
+            Organization::Tagless { entries, .. } => Storage::Tagless {
+                entries: vec![None; entries],
+            },
+            Organization::Tagged { entries, assoc, .. } => {
+                let sets = entries / assoc;
+                Storage::Tagged {
+                    sets: vec![Vec::new(); sets],
+                    ways: assoc,
+                    clock: 0,
+                }
+            }
+        };
+        TargetCache {
+            config,
+            storage,
+            stats: TargetCacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> TargetCacheConfig {
+        self.config
+    }
+
+    /// Lookup statistics accumulated so far.
+    pub fn stats(&self) -> &TargetCacheStats {
+        &self.stats
+    }
+
+    fn access_for(&self, pc: Addr, history: u64) -> Access {
+        match self.config.organization {
+            Organization::Tagless { entries, scheme } => {
+                let index_bits = entries.trailing_zeros();
+                Access {
+                    index: tagless_index(scheme, pc, history, index_bits),
+                    tag: None,
+                }
+            }
+            Organization::Tagged {
+                entries,
+                assoc,
+                scheme,
+            } => {
+                let set_bits = (entries / assoc).trailing_zeros();
+                let st =
+                    tagged_set_and_tag(scheme, pc, history, set_bits, self.config.history.bits());
+                Access {
+                    index: st.set,
+                    tag: Some(st.tag),
+                }
+            }
+        }
+    }
+
+    /// Predicts the target of the indirect jump at `pc` under the given
+    /// history value.
+    ///
+    /// Returns the [`Access`] handle (to be passed to
+    /// [`update`](TargetCache::update) at retirement) and the predicted
+    /// target: `None` means the cache has no prediction — a cold tagless
+    /// entry, or a tag miss in a tagged cache — and the fetch engine falls
+    /// back to the BTB's last-target prediction.
+    pub fn lookup(&mut self, pc: Addr, history: u64) -> (Access, Option<Addr>) {
+        let access = self.access_for(pc, history);
+        let prediction = match &mut self.storage {
+            Storage::Tagless { entries } => entries[access.index].map(|e| e.target),
+            Storage::Tagged { sets, clock, .. } => {
+                *clock += 1;
+                let clock = *clock;
+                let tag = access.tag.expect("tagged access carries a tag");
+                sets[access.index]
+                    .iter_mut()
+                    .find(|e| e.tag == tag)
+                    .map(|e| {
+                        e.lru = clock;
+                        e.target
+                    })
+            }
+        };
+        self.stats.record_lookup(prediction.is_some());
+        (access, prediction)
+    }
+
+    /// Reads the prediction without touching LRU state or statistics.
+    pub fn peek(&self, pc: Addr, history: u64) -> Option<Addr> {
+        let access = self.access_for(pc, history);
+        match &self.storage {
+            Storage::Tagless { entries } => entries[access.index].map(|e| e.target),
+            Storage::Tagged { sets, .. } => {
+                let tag = access.tag.expect("tagged access carries a tag");
+                sets[access.index]
+                    .iter()
+                    .find(|e| e.tag == tag)
+                    .map(|e| e.target)
+            }
+        }
+    }
+
+    /// Writes the computed target of a retired indirect jump at the entry
+    /// the prediction was read from ("index A").
+    pub fn update(&mut self, access: Access, target: Addr) {
+        self.stats.record_update();
+        let policy = self.config.update_policy;
+        // The 2-bit policy replaces a stored target only after two
+        // consecutive update-time mismatches; a match resets the streak.
+        let apply = |stored: &mut Addr, streak: &mut bool| {
+            if *stored == target {
+                *streak = false;
+            } else {
+                match policy {
+                    branch_predictors::UpdatePolicy::Always => *stored = target,
+                    branch_predictors::UpdatePolicy::TwoBit => {
+                        if *streak {
+                            *stored = target;
+                            *streak = false;
+                        } else {
+                            *streak = true;
+                        }
+                    }
+                }
+            }
+        };
+        match &mut self.storage {
+            Storage::Tagless { entries } => match &mut entries[access.index] {
+                Some(e) => apply(&mut e.target, &mut e.miss_streak),
+                slot @ None => {
+                    *slot = Some(TaglessEntry {
+                        target,
+                        miss_streak: false,
+                    });
+                }
+            },
+            Storage::Tagged { sets, ways, clock } => {
+                *clock += 1;
+                let clock = *clock;
+                let tag = access.tag.expect("tagged access carries a tag");
+                let set = &mut sets[access.index];
+                if let Some(e) = set.iter_mut().find(|e| e.tag == tag) {
+                    apply(&mut e.target, &mut e.miss_streak);
+                    e.lru = clock;
+                } else if set.len() < *ways {
+                    set.push(TaggedEntry {
+                        tag,
+                        target,
+                        miss_streak: false,
+                        lru: clock,
+                    });
+                } else {
+                    let victim = set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.lru)
+                        .map(|(i, _)| i)
+                        .expect("set is non-empty");
+                    set[victim] = TaggedEntry {
+                        tag,
+                        target,
+                        miss_streak: false,
+                        lru: clock,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Convenience: lookup immediately followed by update, for in-order
+    /// functional simulation where fetch and retire coincide. Returns the
+    /// prediction that was made *before* the update.
+    pub fn predict_and_train(&mut self, pc: Addr, history: u64, actual: Addr) -> Option<Addr> {
+        let (access, prediction) = self.lookup(pc, history);
+        self.update(access, actual);
+        prediction
+    }
+
+    /// Number of valid entries currently stored.
+    pub fn occupancy(&self) -> usize {
+        match &self.storage {
+            Storage::Tagless { entries } => entries.iter().filter(|e| e.is_some()).count(),
+            Storage::Tagged { sets, .. } => sets.iter().map(Vec::len).sum(),
+        }
+    }
+
+    /// Clears all entries and statistics.
+    pub fn clear(&mut self) {
+        match &mut self.storage {
+            Storage::Tagless { entries } => entries.iter_mut().for_each(|e| *e = None),
+            Storage::Tagged { sets, clock, .. } => {
+                sets.iter_mut().for_each(Vec::clear);
+                *clock = 0;
+            }
+        }
+        self.stats = TargetCacheStats::default();
+    }
+}
+
+impl fmt::Debug for TargetCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TargetCache({:?}, {} valid entries)",
+            self.config.organization,
+            self.occupancy()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HistorySource, IndexScheme, Organization, TaggedIndexScheme};
+
+    fn tagless(entries: usize, scheme: IndexScheme) -> TargetCache {
+        TargetCache::new(TargetCacheConfig::new(
+            Organization::Tagless { entries, scheme },
+            HistorySource::Pattern { bits: 9 },
+        ))
+    }
+
+    fn tagged(entries: usize, assoc: usize, scheme: TaggedIndexScheme) -> TargetCache {
+        TargetCache::new(TargetCacheConfig::new(
+            Organization::Tagged {
+                entries,
+                assoc,
+                scheme,
+            },
+            HistorySource::Pattern { bits: 9 },
+        ))
+    }
+
+    #[test]
+    fn cold_lookup_has_no_prediction() {
+        let mut tc = tagless(512, IndexScheme::Gshare);
+        let (_, p) = tc.lookup(Addr::new(0x100), 0);
+        assert_eq!(p, None);
+        let mut tc = tagged(256, 4, TaggedIndexScheme::HistoryXor);
+        let (_, p) = tc.lookup(Addr::new(0x100), 0);
+        assert_eq!(p, None);
+    }
+
+    #[test]
+    fn update_then_lookup_same_history_hits() {
+        for mut tc in [
+            tagless(512, IndexScheme::Gshare),
+            tagless(512, IndexScheme::GAg),
+            tagged(256, 4, TaggedIndexScheme::HistoryXor),
+            tagged(256, 1, TaggedIndexScheme::Address),
+            tagged(256, 256, TaggedIndexScheme::HistoryConcat),
+        ] {
+            let pc = Addr::new(0x1000);
+            let h = 0b1_0101_1010;
+            let (a, _) = tc.lookup(pc, h);
+            tc.update(a, Addr::new(0x2000));
+            let (_, p) = tc.lookup(pc, h);
+            assert_eq!(p, Some(Addr::new(0x2000)), "{:?}", tc.config().organization);
+        }
+    }
+
+    #[test]
+    fn different_histories_learn_different_targets() {
+        // The essence of the target cache: one static jump, two histories,
+        // two remembered targets.
+        let mut tc = tagless(512, IndexScheme::Gshare);
+        let pc = Addr::new(0x1000);
+        let (a1, _) = tc.lookup(pc, 0b0001);
+        tc.update(a1, Addr::new(0x2000));
+        let (a2, _) = tc.lookup(pc, 0b0010);
+        tc.update(a2, Addr::new(0x3000));
+        assert_eq!(tc.peek(pc, 0b0001), Some(Addr::new(0x2000)));
+        assert_eq!(tc.peek(pc, 0b0010), Some(Addr::new(0x3000)));
+    }
+
+    #[test]
+    fn tagless_interference_is_silent_misprediction() {
+        // Two different jumps hashing to the same entry: the second
+        // overwrites the first, and the first then *predicts the wrong
+        // target* rather than missing — the interference problem that
+        // motivates tags (Section 3.2).
+        let mut tc = tagless(512, IndexScheme::GAg); // GAg: index = history only
+        let h = 0b1111;
+        let (a1, _) = tc.lookup(Addr::new(0x1000), h);
+        tc.update(a1, Addr::new(0x2000));
+        let (a2, _) = tc.lookup(Addr::new(0x9000), h); // different jump, same index
+        tc.update(a2, Addr::new(0x5000));
+        assert_eq!(
+            tc.peek(Addr::new(0x1000), h),
+            Some(Addr::new(0x5000)),
+            "tagless cache serves the interfering jump's target"
+        );
+    }
+
+    #[test]
+    fn tagged_interference_is_a_miss_not_a_wrong_hit() {
+        // Same scenario with tags (fully associative so no capacity issue):
+        // the other jump's entry does not match, so we miss instead of
+        // mispredicting.
+        let mut tc = tagged(256, 256, TaggedIndexScheme::HistoryXor);
+        let h = 0b1111;
+        let (a1, _) = tc.lookup(Addr::new(0x1000), h);
+        tc.update(a1, Addr::new(0x2000));
+        let (a2, _) = tc.lookup(Addr::new(0x9000), h);
+        tc.update(a2, Addr::new(0x5000));
+        assert_eq!(tc.peek(Addr::new(0x1000), h), Some(Addr::new(0x2000)));
+        assert_eq!(tc.peek(Addr::new(0x9000), h), Some(Addr::new(0x5000)));
+    }
+
+    #[test]
+    fn address_scheme_direct_mapped_thrashes_across_histories() {
+        // Table 7's conflict-miss effect: Address indexing maps every
+        // occurrence of one jump to the same set; with 1 way, alternating
+        // histories evict each other forever.
+        let mut tc = tagged(256, 1, TaggedIndexScheme::Address);
+        let pc = Addr::new(0x1000);
+        let (a1, _) = tc.lookup(pc, 0b0001);
+        tc.update(a1, Addr::new(0x2000));
+        let (a2, _) = tc.lookup(pc, 0b0010);
+        tc.update(a2, Addr::new(0x3000));
+        // The first history's entry has been evicted.
+        assert_eq!(tc.peek(pc, 0b0001), None);
+        // History-Xor spreads them across sets instead.
+        let mut tc = tagged(256, 1, TaggedIndexScheme::HistoryXor);
+        let (a1, _) = tc.lookup(pc, 0b0001);
+        tc.update(a1, Addr::new(0x2000));
+        let (a2, _) = tc.lookup(pc, 0b0010);
+        tc.update(a2, Addr::new(0x3000));
+        assert_eq!(tc.peek(pc, 0b0001), Some(Addr::new(0x2000)));
+        assert_eq!(tc.peek(pc, 0b0010), Some(Addr::new(0x3000)));
+    }
+
+    #[test]
+    fn higher_associativity_fixes_address_scheme_thrashing() {
+        let mut tc = tagged(256, 4, TaggedIndexScheme::Address);
+        let pc = Addr::new(0x1000);
+        for (h, t) in [(1u64, 0x2000u64), (2, 0x3000), (3, 0x4000), (4, 0x5000)] {
+            let (a, _) = tc.lookup(pc, h);
+            tc.update(a, Addr::new(t));
+        }
+        for (h, t) in [(1u64, 0x2000u64), (2, 0x3000), (3, 0x4000), (4, 0x5000)] {
+            assert_eq!(tc.peek(pc, h), Some(Addr::new(t)));
+        }
+    }
+
+    #[test]
+    fn tagged_lru_evicts_least_recently_used_way() {
+        let mut tc = tagged(4, 2, TaggedIndexScheme::HistoryXor); // 2 sets x 2 ways
+        let pc = Addr::from_word_index(0);
+        // Histories 0, 2, 4 all map (xor with pc=0, set_bits=1) to set 0.
+        let (a0, _) = tc.lookup(pc, 0);
+        tc.update(a0, Addr::new(0x10));
+        let (a2, _) = tc.lookup(pc, 2);
+        tc.update(a2, Addr::new(0x20));
+        // Touch history 0 so history 2 is LRU.
+        assert_eq!(tc.peek(pc, 0), Some(Addr::new(0x10)));
+        let (_, _) = tc.lookup(pc, 0);
+        let (a4, _) = tc.lookup(pc, 4);
+        tc.update(a4, Addr::new(0x30));
+        assert_eq!(
+            tc.peek(pc, 0),
+            Some(Addr::new(0x10)),
+            "recently used survives"
+        );
+        assert_eq!(tc.peek(pc, 2), None, "LRU way evicted");
+        assert_eq!(tc.peek(pc, 4), Some(Addr::new(0x30)));
+    }
+
+    #[test]
+    fn update_uses_the_fetch_time_index_not_current_history() {
+        // The "index A" property: even if the caller's history value has
+        // changed between lookup and update, the update lands where the
+        // lookup read.
+        let mut tc = tagless(512, IndexScheme::GAg);
+        let pc = Addr::new(0x1000);
+        let (a, _) = tc.lookup(pc, 0b0101);
+        // ... history moves on; the retire-time write still uses `a` ...
+        tc.update(a, Addr::new(0x7000));
+        assert_eq!(tc.peek(pc, 0b0101), Some(Addr::new(0x7000)));
+        assert_eq!(tc.peek(pc, 0b1111), None);
+    }
+
+    #[test]
+    fn predict_and_train_returns_pre_update_prediction() {
+        let mut tc = tagless(512, IndexScheme::Gshare);
+        let pc = Addr::new(0x100);
+        assert_eq!(tc.predict_and_train(pc, 7, Addr::new(0x200)), None);
+        assert_eq!(
+            tc.predict_and_train(pc, 7, Addr::new(0x300)),
+            Some(Addr::new(0x200))
+        );
+        assert_eq!(
+            tc.predict_and_train(pc, 7, Addr::new(0x300)),
+            Some(Addr::new(0x300))
+        );
+    }
+
+    #[test]
+    fn occupancy_and_clear() {
+        let mut tc = tagged(256, 4, TaggedIndexScheme::HistoryXor);
+        assert_eq!(tc.occupancy(), 0);
+        let (a, _) = tc.lookup(Addr::new(0x100), 3);
+        tc.update(a, Addr::new(0x200));
+        assert_eq!(tc.occupancy(), 1);
+        tc.clear();
+        assert_eq!(tc.occupancy(), 0);
+        assert_eq!(tc.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn two_bit_update_policy_survives_one_deviation() {
+        use branch_predictors::UpdatePolicy;
+        for organization in [
+            Organization::Tagless {
+                entries: 512,
+                scheme: IndexScheme::Gshare,
+            },
+            Organization::Tagged {
+                entries: 256,
+                assoc: 4,
+                scheme: TaggedIndexScheme::HistoryXor,
+            },
+        ] {
+            let mut tc = TargetCache::new(
+                TargetCacheConfig::new(organization, HistorySource::Pattern { bits: 9 })
+                    .with_update_policy(UpdatePolicy::TwoBit),
+            );
+            let pc = Addr::new(0x100);
+            let h = 0b0101;
+            let a = Addr::new(0x900);
+            let b = Addr::new(0xA00);
+            let (acc, _) = tc.lookup(pc, h);
+            tc.update(acc, a);
+            // One deviation: stored target sticks.
+            let (acc, _) = tc.lookup(pc, h);
+            tc.update(acc, b);
+            assert_eq!(tc.peek(pc, h), Some(a), "{organization:?}");
+            // Second consecutive deviation: replaced.
+            let (acc, _) = tc.lookup(pc, h);
+            tc.update(acc, b);
+            assert_eq!(tc.peek(pc, h), Some(b), "{organization:?}");
+            // A confirming update resets the streak.
+            let (acc, _) = tc.lookup(pc, h);
+            tc.update(acc, b);
+            let (acc, _) = tc.lookup(pc, h);
+            tc.update(acc, a);
+            assert_eq!(tc.peek(pc, h), Some(b), "streak reset: {organization:?}");
+        }
+    }
+
+    #[test]
+    fn default_policy_is_always_update() {
+        let tc = TargetCache::new(TargetCacheConfig::isca97_tagless_gshare());
+        assert_eq!(
+            tc.config().update_policy,
+            branch_predictors::UpdatePolicy::Always
+        );
+    }
+
+    #[test]
+    fn stats_count_lookups_hits_updates() {
+        let mut tc = tagless(512, IndexScheme::Gshare);
+        let pc = Addr::new(0x100);
+        let (a, p) = tc.lookup(pc, 0);
+        assert!(p.is_none());
+        tc.update(a, Addr::new(0x200));
+        let _ = tc.lookup(pc, 0);
+        assert_eq!(tc.stats().lookups(), 2);
+        assert_eq!(tc.stats().hits(), 1);
+        assert_eq!(tc.stats().updates(), 1);
+    }
+}

@@ -1,0 +1,417 @@
+//! Target-cache configuration: history source, organization, and the
+//! paper's preset design points.
+
+use branch_predictors::{PathFilter, PathHistoryConfig, UpdatePolicy};
+
+/// Where the history used to index the target cache comes from
+/// (Section 3.1 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HistorySource {
+    /// Global branch *pattern* history: the directions of the last `bits`
+    /// conditional branches. "The target cache can use the branch
+    /// predictor's branch history register", so this costs no extra
+    /// hardware.
+    Pattern {
+        /// Number of history bits consumed (the paper studies 9 and 16).
+        bits: u32,
+    },
+    /// A single global *path* history register shared by all indirect
+    /// jumps, recording target-address fragments of the branches selected
+    /// by the configured [`PathFilter`].
+    GlobalPath(PathHistoryConfig),
+    /// One path history register per static indirect jump, recording that
+    /// jump's own last targets.
+    PerAddressPath(PathHistoryConfig),
+}
+
+impl HistorySource {
+    /// The number of history bits this source yields per lookup.
+    pub fn bits(&self) -> u32 {
+        match self {
+            HistorySource::Pattern { bits } => *bits,
+            HistorySource::GlobalPath(c) | HistorySource::PerAddressPath(c) => c.total_bits,
+        }
+    }
+
+    /// A short label for reports ("pattern", "per-addr", "branch", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HistorySource::Pattern { .. } => "pattern",
+            HistorySource::PerAddressPath(_) => "per-addr",
+            HistorySource::GlobalPath(c) => c.filter.label(),
+        }
+    }
+}
+
+/// Index hash of a **tagless** target cache (Table 4 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IndexScheme {
+    /// Index = history alone (GAg(9) in the paper: 9 history bits select
+    /// one of 512 entries).
+    GAg,
+    /// The cache is conceptually partitioned into `2^addr_bits` tables:
+    /// address bits select the table, history bits select the entry within
+    /// (GAs(8,1), GAs(7,2), ...).
+    GAs {
+        /// Number of branch-address bits in the index.
+        addr_bits: u32,
+    },
+    /// Index = branch address XOR history (McFarling's gshare — the
+    /// best-performing tagless scheme in the paper, used by default).
+    Gshare,
+}
+
+impl IndexScheme {
+    /// The label the paper's Table 4 uses, given the total index width.
+    pub fn label(&self, index_bits: u32) -> String {
+        match self {
+            IndexScheme::GAg => format!("GAg({index_bits})"),
+            IndexScheme::GAs { addr_bits } => {
+                format!("GAs({},{})", index_bits - addr_bits, addr_bits)
+            }
+            IndexScheme::Gshare => "gshare".to_string(),
+        }
+    }
+}
+
+/// Set-index / tag split of a **tagged** target cache (Table 7).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TaggedIndexScheme {
+    /// "The Address scheme uses the lower address bits for set selection.
+    /// The higher address bits and the global branch pattern history are
+    /// XORed to form the tag." All targets of one jump land in one set, so
+    /// low associativity thrashes — the paper's point.
+    Address,
+    /// "The History Concatenate scheme uses the lower bits of the history
+    /// register for set selection. The higher bits of the history register
+    /// are concatenated with the address bits to form the tag."
+    HistoryConcat,
+    /// "The History Xor scheme XORs the branch address with the branch
+    /// history; it uses the lower bits from the result for set selection
+    /// and the higher bits for tag comparison." Best of the three; the
+    /// paper's default for tagged caches.
+    HistoryXor,
+}
+
+impl TaggedIndexScheme {
+    /// All schemes, in Table 7 order.
+    pub const ALL: [TaggedIndexScheme; 3] = [
+        TaggedIndexScheme::Address,
+        TaggedIndexScheme::HistoryConcat,
+        TaggedIndexScheme::HistoryXor,
+    ];
+
+    /// The label the paper's Table 7 uses.
+    pub const fn label(&self) -> &'static str {
+        match self {
+            TaggedIndexScheme::Address => "addr",
+            TaggedIndexScheme::HistoryConcat => "history conc",
+            TaggedIndexScheme::HistoryXor => "history xor",
+        }
+    }
+}
+
+/// Storage organization of the target cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Organization {
+    /// A direct-indexed table of targets with no tags: cheap (more entries
+    /// per bit) but suffers interference, like the pattern history table of
+    /// a two-level predictor.
+    Tagless {
+        /// Total entries (power of two). The paper's tagless caches have 512.
+        entries: usize,
+        /// How address and history are hashed into the index.
+        scheme: IndexScheme,
+    },
+    /// A set-associative tagged cache: interference becomes a miss instead
+    /// of a wrong prediction, at the cost of tag storage (the paper's
+    /// tagged caches have 256 entries — half the tagless budget).
+    Tagged {
+        /// Total entries (power of two).
+        entries: usize,
+        /// Ways per set (1 = direct-mapped; `entries` = fully associative).
+        assoc: usize,
+        /// How the set index and tag are derived.
+        scheme: TaggedIndexScheme,
+    },
+}
+
+impl Organization {
+    /// Total entry count.
+    pub fn entries(&self) -> usize {
+        match self {
+            Organization::Tagless { entries, .. } | Organization::Tagged { entries, .. } => {
+                *entries
+            }
+        }
+    }
+
+    fn validate(&self) {
+        match *self {
+            Organization::Tagless { entries, scheme } => {
+                assert!(
+                    entries.is_power_of_two() && entries >= 2,
+                    "tagless entry count must be a power of two >= 2"
+                );
+                if let IndexScheme::GAs { addr_bits } = scheme {
+                    let index_bits = entries.trailing_zeros();
+                    assert!(
+                        addr_bits >= 1 && addr_bits < index_bits,
+                        "GAs address bits must be 1..index_bits"
+                    );
+                }
+            }
+            Organization::Tagged { entries, assoc, .. } => {
+                assert!(
+                    entries.is_power_of_two() && entries >= 2,
+                    "tagged entry count must be a power of two >= 2"
+                );
+                assert!(assoc >= 1, "associativity must be at least 1");
+                assert!(
+                    entries % assoc == 0 && (entries / assoc).is_power_of_two(),
+                    "entries/assoc must be a power-of-two set count"
+                );
+            }
+        }
+    }
+}
+
+/// Complete configuration of a target cache.
+///
+/// # Example
+///
+/// ```
+/// use target_cache::{HistorySource, IndexScheme, Organization, TargetCacheConfig};
+///
+/// let config = TargetCacheConfig::new(
+///     Organization::Tagless { entries: 512, scheme: IndexScheme::Gshare },
+///     HistorySource::Pattern { bits: 9 },
+/// );
+/// assert_eq!(config.organization.entries(), 512);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TargetCacheConfig {
+    /// Storage organization (tagless or tagged).
+    pub organization: Organization,
+    /// History used, together with the branch address, to index the cache.
+    pub history: HistorySource,
+    /// When a retire-time update replaces an entry's stored target: always
+    /// (the paper's behaviour) or only after two consecutive mismatches
+    /// (Calder & Grunwald's 2-bit strategy applied to the target cache —
+    /// an ablation beyond the paper).
+    pub update_policy: UpdatePolicy,
+}
+
+impl TargetCacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the organization is internally inconsistent (non-power-of-
+    /// two sizes, GAs address bits out of range, associativity not dividing
+    /// the entry count into power-of-two sets).
+    pub fn new(organization: Organization, history: HistorySource) -> Self {
+        organization.validate();
+        TargetCacheConfig {
+            organization,
+            history,
+            update_policy: UpdatePolicy::Always,
+        }
+    }
+
+    /// Replaces the target-update policy (builder style).
+    #[must_use]
+    pub fn with_update_policy(mut self, update_policy: UpdatePolicy) -> Self {
+        self.update_policy = update_policy;
+        self
+    }
+
+    /// The paper's default tagless design: 512 entries, gshare hashing,
+    /// 9 bits of global pattern history. (Adds ~10% to the 1K-entry BTB's
+    /// hardware budget by the paper's cost model.)
+    pub fn isca97_tagless_gshare() -> Self {
+        TargetCacheConfig::new(
+            Organization::Tagless {
+                entries: 512,
+                scheme: IndexScheme::Gshare,
+            },
+            HistorySource::Pattern { bits: 9 },
+        )
+    }
+
+    /// The paper's tagless GAg design: 512 entries indexed purely by 9 bits
+    /// of pattern history.
+    pub fn isca97_tagless_gag() -> Self {
+        TargetCacheConfig::new(
+            Organization::Tagless {
+                entries: 512,
+                scheme: IndexScheme::GAg,
+            },
+            HistorySource::Pattern { bits: 9 },
+        )
+    }
+
+    /// The paper's tagged design at a given associativity: 256 entries
+    /// (half the tagless budget, paying for tags), History-Xor indexing,
+    /// 9 bits of global pattern history.
+    pub fn isca97_tagged(assoc: usize) -> Self {
+        TargetCacheConfig::new(
+            Organization::Tagged {
+                entries: 256,
+                assoc,
+                scheme: TaggedIndexScheme::HistoryXor,
+            },
+            HistorySource::Pattern { bits: 9 },
+        )
+    }
+
+    /// A tagless cache indexed with global path history under the given
+    /// filter (9-bit register, 1 bit per target — Section 4.3.2's best
+    /// configuration).
+    pub fn isca97_tagless_path(filter: PathFilter) -> Self {
+        TargetCacheConfig::new(
+            Organization::Tagless {
+                entries: 512,
+                scheme: IndexScheme::Gshare,
+            },
+            HistorySource::GlobalPath(PathHistoryConfig::isca97_default(filter)),
+        )
+    }
+
+    /// A tagless cache indexed with per-address path history (9-bit
+    /// registers, 1 bit per target).
+    pub fn isca97_tagless_per_address_path() -> Self {
+        TargetCacheConfig::new(
+            Organization::Tagless {
+                entries: 512,
+                scheme: IndexScheme::Gshare,
+            },
+            HistorySource::PerAddressPath(PathHistoryConfig::isca97_default(
+                PathFilter::IndirectJump,
+            )),
+        )
+    }
+
+    /// Estimated storage cost in bits, following the paper's Section 4.2
+    /// cost model: a tagless entry stores a 32-bit target; a tagged entry
+    /// additionally stores its tag (modelled at 32 bits including valid/LRU
+    /// state, matching the paper's "tagged caches have half the entries of
+    /// tagless ones for the same budget" equivalence).
+    pub fn hardware_bits(&self) -> usize {
+        match self.organization {
+            Organization::Tagless { entries, .. } => 32 * entries,
+            Organization::Tagged { entries, .. } => 64 * entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_design_points() {
+        let tagless = TargetCacheConfig::isca97_tagless_gshare();
+        assert_eq!(tagless.organization.entries(), 512);
+        assert_eq!(tagless.history.bits(), 9);
+
+        let tagged = TargetCacheConfig::isca97_tagged(4);
+        assert_eq!(tagged.organization.entries(), 256);
+        match tagged.organization {
+            Organization::Tagged { assoc, scheme, .. } => {
+                assert_eq!(assoc, 4);
+                assert_eq!(scheme, TaggedIndexScheme::HistoryXor);
+            }
+            _ => panic!("expected tagged"),
+        }
+    }
+
+    #[test]
+    fn budget_equivalence_tagless_512_vs_tagged_256() {
+        // The paper compares a 512-entry tagless cache against 256-entry
+        // tagged caches at the same hardware budget.
+        let tagless = TargetCacheConfig::isca97_tagless_gshare();
+        let tagged = TargetCacheConfig::isca97_tagged(4);
+        assert_eq!(tagless.hardware_bits(), tagged.hardware_bits());
+    }
+
+    #[test]
+    fn history_source_bits() {
+        assert_eq!(HistorySource::Pattern { bits: 16 }.bits(), 16);
+        let path =
+            HistorySource::GlobalPath(PathHistoryConfig::isca97_default(PathFilter::IndirectJump));
+        assert_eq!(path.bits(), 9);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(IndexScheme::GAg.label(9), "GAg(9)");
+        assert_eq!(IndexScheme::GAs { addr_bits: 1 }.label(9), "GAs(8,1)");
+        assert_eq!(IndexScheme::GAs { addr_bits: 2 }.label(9), "GAs(7,2)");
+        assert_eq!(IndexScheme::Gshare.label(9), "gshare");
+        assert_eq!(TaggedIndexScheme::HistoryXor.label(), "history xor");
+        assert_eq!(HistorySource::Pattern { bits: 9 }.label(), "pattern");
+        assert_eq!(
+            HistorySource::PerAddressPath(PathHistoryConfig::isca97_default(
+                PathFilter::IndirectJump
+            ))
+            .label(),
+            "per-addr"
+        );
+        assert_eq!(
+            HistorySource::GlobalPath(PathHistoryConfig::isca97_default(PathFilter::CallReturn))
+                .label(),
+            "call/ret"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_tagless() {
+        TargetCacheConfig::new(
+            Organization::Tagless {
+                entries: 100,
+                scheme: IndexScheme::Gshare,
+            },
+            HistorySource::Pattern { bits: 9 },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "GAs address bits")]
+    fn rejects_gas_with_too_many_addr_bits() {
+        TargetCacheConfig::new(
+            Organization::Tagless {
+                entries: 16,
+                scheme: IndexScheme::GAs { addr_bits: 4 },
+            },
+            HistorySource::Pattern { bits: 9 },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "entries/assoc")]
+    fn rejects_assoc_not_dividing_entries() {
+        TargetCacheConfig::new(
+            Organization::Tagged {
+                entries: 256,
+                assoc: 3,
+                scheme: TaggedIndexScheme::HistoryXor,
+            },
+            HistorySource::Pattern { bits: 9 },
+        );
+    }
+
+    #[test]
+    fn fully_associative_is_allowed() {
+        let c = TargetCacheConfig::new(
+            Organization::Tagged {
+                entries: 256,
+                assoc: 256,
+                scheme: TaggedIndexScheme::HistoryXor,
+            },
+            HistorySource::Pattern { bits: 9 },
+        );
+        assert_eq!(c.organization.entries(), 256);
+    }
+}

@@ -1,0 +1,203 @@
+//! The history tracker: maintains whichever history registers the
+//! configured [`HistorySource`] needs and yields index-time history values.
+
+use crate::config::HistorySource;
+use branch_predictors::{PathHistory, PatternHistory, PerAddressPathHistory};
+use sim_isa::{Addr, BranchClass};
+
+/// Owns and updates the history state behind a [`HistorySource`].
+///
+/// The tracker is fed every resolved control instruction via
+/// [`on_branch_resolved`](HistoryTracker::on_branch_resolved); at prediction
+/// time, [`value_for`](HistoryTracker::value_for) yields the history value
+/// used (together with the branch address) to index the target cache.
+///
+/// In this trace-driven reproduction the tracker is updated along the
+/// correct path in program order, which equals the speculative fetch-time
+/// history of a machine that repairs its history registers on every
+/// misprediction (the paper's HPS model checkpoints predictor state at each
+/// branch).
+///
+/// # Example
+///
+/// ```
+/// use target_cache::{HistorySource, HistoryTracker};
+/// use sim_isa::{Addr, BranchClass};
+///
+/// let mut h = HistoryTracker::new(HistorySource::Pattern { bits: 4 });
+/// h.on_branch_resolved(Addr::new(0x10), BranchClass::CondDirect, true, Addr::new(0x40));
+/// h.on_branch_resolved(Addr::new(0x20), BranchClass::CondDirect, false, Addr::new(0x24));
+/// assert_eq!(h.value_for(Addr::new(0x100)), 0b10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HistoryTracker {
+    source: HistorySource,
+    pattern: Option<PatternHistory>,
+    global_path: Option<PathHistory>,
+    per_address_path: Option<PerAddressPathHistory>,
+}
+
+impl HistoryTracker {
+    /// Creates a tracker with all-zero history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source's widths are invalid (zero or oversized).
+    pub fn new(source: HistorySource) -> Self {
+        let mut t = HistoryTracker {
+            source,
+            pattern: None,
+            global_path: None,
+            per_address_path: None,
+        };
+        match source {
+            HistorySource::Pattern { bits } => t.pattern = Some(PatternHistory::new(bits)),
+            HistorySource::GlobalPath(c) => t.global_path = Some(PathHistory::new(c)),
+            HistorySource::PerAddressPath(c) => {
+                t.per_address_path = Some(PerAddressPathHistory::new(c))
+            }
+        }
+        t
+    }
+
+    /// The configured source.
+    pub fn source(&self) -> HistorySource {
+        self.source
+    }
+
+    /// The history value to index the target cache with for the indirect
+    /// jump at `pc`.
+    pub fn value_for(&self, pc: Addr) -> u64 {
+        match self.source {
+            HistorySource::Pattern { .. } => self.pattern.as_ref().expect("pattern set").value(),
+            HistorySource::GlobalPath(_) => {
+                self.global_path.as_ref().expect("global path set").value()
+            }
+            HistorySource::PerAddressPath(_) => self
+                .per_address_path
+                .as_ref()
+                .expect("per-address path set")
+                .value(pc),
+        }
+    }
+
+    /// Feeds one resolved control instruction.
+    ///
+    /// * Pattern history records the direction of conditional branches.
+    /// * Global path history records `next_pc` — the address the branch
+    ///   actually led to — for branches its filter accepts.
+    /// * Per-address path history records the computed targets of each
+    ///   target-cache-eligible jump in that jump's own register.
+    pub fn on_branch_resolved(&mut self, pc: Addr, class: BranchClass, taken: bool, next_pc: Addr) {
+        match self.source {
+            HistorySource::Pattern { .. } => {
+                if class.is_conditional() {
+                    self.pattern.as_mut().expect("pattern set").push(taken);
+                }
+            }
+            HistorySource::GlobalPath(_) => {
+                self.global_path
+                    .as_mut()
+                    .expect("global path set")
+                    .record(class, next_pc);
+            }
+            HistorySource::PerAddressPath(_) => {
+                if class.uses_target_cache() {
+                    self.per_address_path
+                        .as_mut()
+                        .expect("per-address path set")
+                        .record(pc, next_pc);
+                }
+            }
+        }
+    }
+
+    /// Resets all history to zero.
+    pub fn clear(&mut self) {
+        if let Some(p) = &mut self.pattern {
+            p.clear();
+        }
+        if let Some(p) = &mut self.global_path {
+            p.clear();
+        }
+        if let Some(p) = &mut self.per_address_path {
+            p.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branch_predictors::{PathFilter, PathHistoryConfig};
+
+    #[test]
+    fn pattern_source_tracks_conditionals_only() {
+        let mut t = HistoryTracker::new(HistorySource::Pattern { bits: 8 });
+        t.on_branch_resolved(Addr::new(0), BranchClass::CondDirect, true, Addr::new(0x40));
+        t.on_branch_resolved(
+            Addr::new(4),
+            BranchClass::IndirectJump,
+            true,
+            Addr::new(0x80),
+        );
+        t.on_branch_resolved(Addr::new(8), BranchClass::CondDirect, false, Addr::new(0xc));
+        assert_eq!(t.value_for(Addr::new(0x100)), 0b10);
+    }
+
+    #[test]
+    fn global_path_source_applies_filter() {
+        let mut t = HistoryTracker::new(HistorySource::GlobalPath(PathHistoryConfig {
+            total_bits: 6,
+            bits_per_target: 2,
+            target_bit_lo: 0,
+            filter: PathFilter::IndirectJump,
+        }));
+        t.on_branch_resolved(
+            Addr::new(0),
+            BranchClass::CondDirect,
+            true,
+            Addr::from_word_index(0b11),
+        );
+        assert_eq!(t.value_for(Addr::new(0)), 0, "conditional filtered out");
+        t.on_branch_resolved(
+            Addr::new(4),
+            BranchClass::IndirectJump,
+            true,
+            Addr::from_word_index(0b10),
+        );
+        assert_eq!(t.value_for(Addr::new(0)), 0b10);
+    }
+
+    #[test]
+    fn per_address_source_keys_by_jump_site() {
+        let cfg = PathHistoryConfig::isca97_default(PathFilter::IndirectJump);
+        let mut t = HistoryTracker::new(HistorySource::PerAddressPath(cfg));
+        let a = Addr::new(0x100);
+        let b = Addr::new(0x200);
+        t.on_branch_resolved(a, BranchClass::IndirectJump, true, Addr::from_word_index(1));
+        t.on_branch_resolved(b, BranchClass::IndirectJump, true, Addr::from_word_index(0));
+        t.on_branch_resolved(a, BranchClass::IndirectJump, true, Addr::from_word_index(1));
+        assert_eq!(t.value_for(a), 0b11);
+        assert_eq!(t.value_for(b), 0b0);
+        // Non-eligible branches are ignored entirely.
+        t.on_branch_resolved(a, BranchClass::Return, true, Addr::from_word_index(1));
+        assert_eq!(t.value_for(a), 0b11);
+    }
+
+    #[test]
+    fn per_address_history_is_global_value_free() {
+        // value_for on an unseen site is 0.
+        let cfg = PathHistoryConfig::isca97_default(PathFilter::IndirectJump);
+        let t = HistoryTracker::new(HistorySource::PerAddressPath(cfg));
+        assert_eq!(t.value_for(Addr::new(0x900)), 0);
+    }
+
+    #[test]
+    fn clear_resets_all_sources() {
+        let mut t = HistoryTracker::new(HistorySource::Pattern { bits: 8 });
+        t.on_branch_resolved(Addr::new(0), BranchClass::CondDirect, true, Addr::new(0x40));
+        t.clear();
+        assert_eq!(t.value_for(Addr::new(0)), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Index and tag computation for the target cache.
+//!
+//! "An effective hashing scheme must distribute the cache indexes as widely
+//! as possible to avoid interference between different branches"
+//! (Section 4.2.1); "the indexing scheme into a target cache must be
+//! carefully selected to avoid unnecessary trashing of useful information"
+//! (Section 4.3.1). These pure functions implement each scheme the paper
+//! studies; the cache proper just stores what they address.
+
+use crate::config::{IndexScheme, TaggedIndexScheme};
+use sim_isa::Addr;
+
+/// Computes the entry index of a tagless target cache.
+///
+/// `index_bits` is `log2(entries)`. `history` may be wider than the index;
+/// it is truncated as the scheme demands.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if a GAs scheme's address bits exceed the index
+/// width — configurations are validated at construction, so this indicates
+/// internal misuse.
+#[inline]
+pub fn tagless_index(scheme: IndexScheme, pc: Addr, history: u64, index_bits: u32) -> usize {
+    let mask = (1u64 << index_bits) - 1;
+    let idx = match scheme {
+        IndexScheme::GAg => history & mask,
+        IndexScheme::GAs { addr_bits } => {
+            debug_assert!(addr_bits < index_bits);
+            let hist_bits = index_bits - addr_bits;
+            let addr = pc.word_index() & ((1u64 << addr_bits) - 1);
+            let hist = history & ((1u64 << hist_bits) - 1);
+            (addr << hist_bits) | hist
+        }
+        IndexScheme::Gshare => (pc.word_index() ^ history) & mask,
+    };
+    idx as usize
+}
+
+/// The set index and tag of a tagged target-cache access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SetAndTag {
+    /// Which set the access maps to.
+    pub set: usize,
+    /// The tag that must match within the set.
+    pub tag: u64,
+}
+
+/// Computes the set index and tag of a tagged target cache.
+///
+/// `set_bits` is `log2(sets)`; `history_bits` is the configured history
+/// width (needed by the concatenation scheme to know where history ends and
+/// address begins).
+#[inline]
+pub fn tagged_set_and_tag(
+    scheme: TaggedIndexScheme,
+    pc: Addr,
+    history: u64,
+    set_bits: u32,
+    history_bits: u32,
+) -> SetAndTag {
+    let set_mask = (1u64 << set_bits) - 1;
+    match scheme {
+        TaggedIndexScheme::Address => {
+            // Low address bits select the set; high address bits XOR
+            // history form the tag.
+            let set = pc.word_index() & set_mask;
+            let tag = (pc.word_index() >> set_bits) ^ history;
+            SetAndTag {
+                set: set as usize,
+                tag,
+            }
+        }
+        TaggedIndexScheme::HistoryConcat => {
+            // Low history bits select the set; the remaining history bits
+            // are concatenated with the full branch address to form the tag.
+            let set = history & set_mask;
+            let hist_high = if set_bits >= history_bits {
+                0
+            } else {
+                history >> set_bits
+            };
+            let hist_high_bits = history_bits.saturating_sub(set_bits);
+            let tag = (pc.word_index() << hist_high_bits) | hist_high;
+            SetAndTag {
+                set: set as usize,
+                tag,
+            }
+        }
+        TaggedIndexScheme::HistoryXor => {
+            // XOR address with history; low bits select the set, high bits
+            // are the tag.
+            let x = pc.word_index() ^ history;
+            SetAndTag {
+                set: (x & set_mask) as usize,
+                tag: x >> set_bits,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IB: u32 = 9; // 512 entries
+
+    #[test]
+    fn gag_ignores_address() {
+        let h = 0b1_0101_0101;
+        let a = tagless_index(IndexScheme::GAg, Addr::new(0x1000), h, IB);
+        let b = tagless_index(IndexScheme::GAg, Addr::new(0x2000), h, IB);
+        assert_eq!(a, b);
+        assert_eq!(a, (h & 0x1FF) as usize);
+    }
+
+    #[test]
+    fn gag_truncates_wide_history() {
+        let a = tagless_index(IndexScheme::GAg, Addr::new(0), 0xFFFF, IB);
+        assert_eq!(a, 0x1FF);
+    }
+
+    #[test]
+    fn gas_partitions_by_address_bits() {
+        // GAs(8,1): bit 0 of the word index selects the half, 8 history
+        // bits select within.
+        let scheme = IndexScheme::GAs { addr_bits: 1 };
+        let h = 0b1111_1111;
+        let even = tagless_index(scheme, Addr::from_word_index(0), h, IB);
+        let odd = tagless_index(scheme, Addr::from_word_index(1), h, IB);
+        assert_eq!(even, 0b0_1111_1111);
+        assert_eq!(odd, 0b1_1111_1111);
+        // Only 8 history bits are used: bit 8 of history is ignored.
+        let h9 = 0b1_1111_1111;
+        assert_eq!(
+            tagless_index(scheme, Addr::from_word_index(0), h9, IB),
+            even
+        );
+    }
+
+    #[test]
+    fn gas_7_2_uses_two_address_bits() {
+        let scheme = IndexScheme::GAs { addr_bits: 2 };
+        for word in 0..4u64 {
+            let idx = tagless_index(scheme, Addr::from_word_index(word), 0, IB);
+            assert_eq!(idx, (word << 7) as usize);
+        }
+    }
+
+    #[test]
+    fn gshare_xors_address_and_history() {
+        let pc = Addr::from_word_index(0b1_0000_1111);
+        let h = 0b0_1111_0000;
+        let idx = tagless_index(IndexScheme::Gshare, pc, h, IB);
+        assert_eq!(idx, 0b1_1111_1111);
+    }
+
+    #[test]
+    fn gshare_distinguishes_when_gag_collides() {
+        let h = 0b0_0000_1111;
+        let a = tagless_index(IndexScheme::Gshare, Addr::from_word_index(0b01), h, IB);
+        let b = tagless_index(IndexScheme::Gshare, Addr::from_word_index(0b10), h, IB);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tagless_index_is_always_in_range() {
+        for scheme in [
+            IndexScheme::GAg,
+            IndexScheme::GAs { addr_bits: 3 },
+            IndexScheme::Gshare,
+        ] {
+            for pc in [0u64, 1, 0xFFFF, 0xFFFF_FFFF] {
+                for h in [0u64, 0x1FF, u64::MAX] {
+                    let idx = tagless_index(scheme, Addr::from_word_index(pc), h, IB);
+                    assert!(idx < 512, "{scheme:?} produced out-of-range index {idx}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn address_scheme_maps_one_jump_to_one_set() {
+        // The paper's conflict-miss observation: under Address indexing,
+        // all dynamic occurrences of one jump (any history) share a set.
+        let pc = Addr::new(0x4321 & !3);
+        let s1 = tagged_set_and_tag(TaggedIndexScheme::Address, pc, 0b0001, 6, 9);
+        let s2 = tagged_set_and_tag(TaggedIndexScheme::Address, pc, 0b1110, 6, 9);
+        assert_eq!(s1.set, s2.set);
+        assert_ne!(s1.tag, s2.tag, "history differentiates the tag");
+    }
+
+    #[test]
+    fn history_schemes_spread_one_jump_across_sets() {
+        let pc = Addr::new(0x4321 & !3);
+        for scheme in [
+            TaggedIndexScheme::HistoryConcat,
+            TaggedIndexScheme::HistoryXor,
+        ] {
+            let s1 = tagged_set_and_tag(scheme, pc, 0b000001, 6, 9);
+            let s2 = tagged_set_and_tag(scheme, pc, 0b111110, 6, 9);
+            assert_ne!(s1.set, s2.set, "{scheme:?} should spread across sets");
+        }
+    }
+
+    #[test]
+    fn concat_scheme_tag_separates_address_and_high_history() {
+        // 9 history bits, 6 set bits -> 3 high history bits in the tag.
+        let pc = Addr::from_word_index(0b101);
+        let h = 0b101_010101;
+        let st = tagged_set_and_tag(TaggedIndexScheme::HistoryConcat, pc, h, 6, 9);
+        assert_eq!(st.set, 0b010101);
+        assert_eq!(st.tag, (0b101 << 3) | 0b101);
+    }
+
+    #[test]
+    fn concat_scheme_with_history_narrower_than_sets() {
+        // 4 history bits, 6 set bits: all history goes to the set index
+        // (zero-extended), tag is the plain address.
+        let pc = Addr::from_word_index(0b1100);
+        let st = tagged_set_and_tag(TaggedIndexScheme::HistoryConcat, pc, 0b1010, 6, 4);
+        assert_eq!(st.set, 0b1010);
+        assert_eq!(st.tag, 0b1100);
+    }
+
+    #[test]
+    fn xor_scheme_set_and_tag_partition_the_xor() {
+        let pc = Addr::from_word_index(0b11_0011_0011);
+        let h = 0b01_0101_0101;
+        let st = tagged_set_and_tag(TaggedIndexScheme::HistoryXor, pc, h, 4, 10);
+        let x = 0b11_0011_0011u64 ^ 0b01_0101_0101u64;
+        assert_eq!(st.set, (x & 0xF) as usize);
+        assert_eq!(st.tag, x >> 4);
+    }
+
+    #[test]
+    fn distinct_pcs_same_history_get_distinct_accesses() {
+        // No two different jumps should ever produce identical (set, tag)
+        // pairs under any scheme when their addresses differ — otherwise
+        // the tag fails its purpose. (XOR can alias (pc,hist) *pairs*, but
+        // with equal history the xor differs whenever pc differs.)
+        let h = 0b1_0110_0110;
+        for scheme in TaggedIndexScheme::ALL {
+            let a = tagged_set_and_tag(scheme, Addr::from_word_index(100), h, 6, 9);
+            let b = tagged_set_and_tag(scheme, Addr::from_word_index(2000), h, 6, 9);
+            assert!(a != b, "{scheme:?} aliased two distinct jumps");
+        }
+    }
+
+    #[test]
+    fn fully_associative_uses_zero_set_bits() {
+        let st = tagged_set_and_tag(
+            TaggedIndexScheme::HistoryXor,
+            Addr::from_word_index(0b1010),
+            0b0110,
+            0,
+            9,
+        );
+        assert_eq!(st.set, 0);
+        assert_eq!(st.tag, 0b1010 ^ 0b0110);
+    }
+}

@@ -1,0 +1,103 @@
+//! Target-cache occupancy and hit statistics.
+
+use std::fmt;
+
+/// Mechanical lookup/update counters for a target cache.
+///
+/// These count structural events (did the cache *have* a prediction), not
+/// correctness — whether a served prediction matched the computed target is
+/// judged by the prediction harness, which knows the architectural outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TargetCacheStats {
+    lookups: u64,
+    hits: u64,
+    updates: u64,
+}
+
+impl TargetCacheStats {
+    /// Records one lookup and whether it produced a prediction.
+    pub fn record_lookup(&mut self, hit: bool) {
+        self.lookups += 1;
+        self.hits += hit as u64;
+    }
+
+    /// Records one retire-time update.
+    pub fn record_update(&mut self) {
+        self.updates += 1;
+    }
+
+    /// Total lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that produced a prediction (tag match / warm entry).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups with no prediction.
+    pub fn misses(&self) -> u64 {
+        self.lookups - self.hits
+    }
+
+    /// Retire-time updates performed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Fraction of lookups that produced a prediction.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+impl fmt::Display for TargetCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lookups, {} hits ({:.2}%), {} updates",
+            self.lookups,
+            self.hits,
+            self.hit_rate() * 100.0,
+            self.updates
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = TargetCacheStats::default();
+        s.record_lookup(false);
+        s.record_lookup(true);
+        s.record_lookup(true);
+        s.record_update();
+        assert_eq!(s.lookups(), 3);
+        assert_eq!(s.hits(), 2);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.updates(), 1);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(TargetCacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut s = TargetCacheStats::default();
+        s.record_lookup(true);
+        let text = s.to_string();
+        assert!(text.contains("1 lookups"));
+        assert!(text.contains("100.00%"));
+    }
+}

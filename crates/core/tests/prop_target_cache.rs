@@ -1,0 +1,186 @@
+//! Property-based tests for the target cache and prediction harness.
+
+use proptest::prelude::*;
+use sim_isa::{Addr, BranchClass, BranchExec, DynInstr};
+use target_cache::harness::{FrontEndConfig, PredictionHarness};
+use target_cache::{
+    HistorySource, IndexScheme, Organization, TaggedIndexScheme, TargetCache, TargetCacheConfig,
+};
+
+fn arb_organization() -> impl Strategy<Value = Organization> {
+    prop_oneof![
+        (
+            4u32..=10,
+            prop_oneof![
+                Just(IndexScheme::GAg),
+                Just(IndexScheme::Gshare),
+                (1u32..=3).prop_map(|addr_bits| IndexScheme::GAs { addr_bits }),
+            ]
+        )
+            .prop_map(|(bits, scheme)| Organization::Tagless {
+                entries: 1 << bits,
+                scheme
+            }),
+        (
+            4u32..=9,
+            0u32..=3,
+            prop_oneof![
+                Just(TaggedIndexScheme::Address),
+                Just(TaggedIndexScheme::HistoryConcat),
+                Just(TaggedIndexScheme::HistoryXor),
+            ]
+        )
+            .prop_map(|(bits, assoc_log2, scheme)| {
+                let entries = 1usize << bits;
+                let assoc = (1usize << assoc_log2).min(entries);
+                Organization::Tagged {
+                    entries,
+                    assoc,
+                    scheme,
+                }
+            }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = TargetCacheConfig> {
+    (arb_organization(), 1u32..=16)
+        .prop_map(|(org, bits)| TargetCacheConfig::new(org, HistorySource::Pattern { bits }))
+}
+
+proptest! {
+    #[test]
+    fn lookup_never_invents_targets(
+        config in arb_config(),
+        accesses in proptest::collection::vec((0u64..4096, 0u64..512, 0u64..4096), 1..300),
+    ) {
+        // Whatever is predicted must be a target that was previously
+        // written — the cache stores targets, it cannot fabricate them.
+        let mut tc = TargetCache::new(config);
+        let mut written = std::collections::HashSet::new();
+        for (pc, hist, target) in accesses {
+            let pc = Addr::from_word_index(pc);
+            let target = Addr::from_word_index(target + 10_000);
+            let (access, pred) = tc.lookup(pc, hist);
+            if let Some(p) = pred {
+                prop_assert!(written.contains(&p), "predicted never-written target {p}");
+            }
+            tc.update(access, target);
+            written.insert(target);
+        }
+    }
+
+    #[test]
+    fn immediate_readback_after_update(
+        config in arb_config(),
+        pc in 0u64..10_000,
+        hist in 0u64..1_000_000,
+        target in 0u64..10_000,
+    ) {
+        // An update followed by a lookup with the same (pc, history) must
+        // return the just-written target: tagless writes the indexed slot,
+        // tagged installs/updates the tagged entry.
+        let mut tc = TargetCache::new(config);
+        let pc = Addr::from_word_index(pc);
+        let target = Addr::from_word_index(target + 50_000);
+        let (access, _) = tc.lookup(pc, hist);
+        tc.update(access, target);
+        prop_assert_eq!(tc.peek(pc, hist), Some(target));
+    }
+
+    #[test]
+    fn occupancy_bounded_by_entries(
+        config in arb_config(),
+        accesses in proptest::collection::vec((0u64..4096, 0u64..100_000), 0..400),
+    ) {
+        let mut tc = TargetCache::new(config);
+        for (pc, hist) in accesses {
+            let pc = Addr::from_word_index(pc);
+            let (access, _) = tc.lookup(pc, hist);
+            tc.update(access, Addr::new(0x8000));
+        }
+        prop_assert!(tc.occupancy() <= config.organization.entries());
+    }
+
+    #[test]
+    fn peek_is_pure(
+        config in arb_config(),
+        pc in 0u64..4096,
+        hist in 0u64..100_000,
+    ) {
+        let mut tc = TargetCache::new(config);
+        let (access, _) = tc.lookup(Addr::from_word_index(pc), hist);
+        tc.update(access, Addr::new(0x4000));
+        let first = tc.peek(Addr::from_word_index(pc), hist);
+        for _ in 0..3 {
+            prop_assert_eq!(tc.peek(Addr::from_word_index(pc), hist), first);
+        }
+    }
+
+    #[test]
+    fn fully_warmed_single_jump_with_stable_history_predicts_perfectly(
+        config in arb_config(),
+        hist in 0u64..512,
+        target in 1u64..10_000,
+    ) {
+        // After one train, a jump that always produces the same target
+        // under the same history is always predicted.
+        let mut tc = TargetCache::new(config);
+        let pc = Addr::new(0x1000);
+        let target = Addr::from_word_index(target + 100_000);
+        let (a, _) = tc.lookup(pc, hist);
+        tc.update(a, target);
+        for _ in 0..5 {
+            let (a, pred) = tc.lookup(pc, hist);
+            prop_assert_eq!(pred, Some(target));
+            tc.update(a, target);
+        }
+    }
+
+    #[test]
+    fn harness_statistics_account_for_every_branch(
+        branches in proptest::collection::vec((0u64..64, 0u64..64, any::<bool>()), 0..200),
+    ) {
+        let mut h = PredictionHarness::new(FrontEndConfig::isca97_with(
+            TargetCacheConfig::isca97_tagless_gshare(),
+        ));
+        let mut expected = 0u64;
+        for (pc, target, is_jump) in branches {
+            let pc = Addr::from_word_index(pc);
+            let target = Addr::from_word_index(target + 1000);
+            let instr = if is_jump {
+                DynInstr::branch(pc, BranchExec::taken(BranchClass::IndirectJump, target))
+            } else {
+                DynInstr::branch(pc, BranchExec::new(BranchClass::CondDirect, true, target))
+            };
+            h.process(&instr);
+            expected += 1;
+        }
+        prop_assert_eq!(h.stats().total_executed(), expected);
+        // Mispredictions can never exceed executions.
+        prop_assert!(h.stats().total_mispredicted() <= expected);
+    }
+
+    #[test]
+    fn harness_is_deterministic(
+        branches in proptest::collection::vec((0u64..64, 0u64..64), 0..200),
+    ) {
+        let trace: Vec<DynInstr> = branches
+            .iter()
+            .map(|&(pc, t)| {
+                DynInstr::branch(
+                    Addr::from_word_index(pc),
+                    BranchExec::taken(BranchClass::IndirectJump, Addr::from_word_index(t + 1000)),
+                )
+            })
+            .collect();
+        let mut h1 = PredictionHarness::new(FrontEndConfig::isca97_with(
+            TargetCacheConfig::isca97_tagged(4),
+        ));
+        let mut h2 = PredictionHarness::new(FrontEndConfig::isca97_with(
+            TargetCacheConfig::isca97_tagged(4),
+        ));
+        h1.run(&trace);
+        h2.run(&trace);
+        prop_assert_eq!(h1.stats().clone(), h2.stats().clone());
+    }
+}

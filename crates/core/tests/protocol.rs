@@ -1,0 +1,155 @@
+//! Front-end protocol edge cases: what the harness does when the
+//! structures themselves run out of capacity or disagree.
+
+use branch_predictors::{BtbConfig, UpdatePolicy};
+use sim_isa::{Addr, BranchClass, BranchExec, DynInstr};
+use target_cache::harness::{FrontEndConfig, PredictionHarness};
+use target_cache::TargetCacheConfig;
+
+fn ijmp(pc: u64, target: u64) -> DynInstr {
+    DynInstr::branch(
+        Addr::new(pc),
+        BranchExec::taken(BranchClass::IndirectJump, Addr::new(target)),
+    )
+}
+
+fn call(pc: u64, target: u64) -> DynInstr {
+    DynInstr::branch(
+        Addr::new(pc),
+        BranchExec::taken(BranchClass::Call, Addr::new(target)),
+    )
+}
+
+fn ret(pc: u64, target: u64) -> DynInstr {
+    DynInstr::branch(
+        Addr::new(pc),
+        BranchExec::taken(BranchClass::Return, Addr::new(target)),
+    )
+}
+
+#[test]
+fn btb_capacity_eviction_reintroduces_detection_misses() {
+    // A tiny BTB: touching more branches than it holds evicts the victim,
+    // and the evicted jump mispredicts again on return (fall-through
+    // prediction, since the front end no longer knows it is a branch).
+    let config =
+        FrontEndConfig::isca97_baseline().with_btb(BtbConfig::new(1, 2, UpdatePolicy::Always));
+    let mut h = PredictionHarness::new(config);
+    // Warm jump A.
+    h.process(&ijmp(0x100, 0x900));
+    assert!(
+        h.process(&ijmp(0x100, 0x900)).unwrap().correct(),
+        "A learned"
+    );
+    // Blow the set with two other branches.
+    h.process(&ijmp(0x200, 0xA00));
+    h.process(&ijmp(0x300, 0xB00));
+    // A was evicted: detection miss again.
+    assert!(
+        !h.process(&ijmp(0x100, 0x900)).unwrap().correct(),
+        "A evicted"
+    );
+}
+
+#[test]
+fn ras_overflow_loses_only_the_deepest_frames() {
+    // Call depth beyond the RAS capacity: the outermost returns are
+    // mispredicted, the innermost still predict correctly.
+    let mut config = FrontEndConfig::isca97_baseline();
+    config.ras_depth = 4;
+    let mut h = PredictionHarness::new(config);
+
+    // A recursive function: eight distinct call sites all target the same
+    // entry, and a *single* return instruction unwinds to all eight —
+    // exactly the situation where a BTB's last-target fallback cannot
+    // substitute for a return stack.
+    let depth = 8u64;
+    let entry = 0x20000u64;
+    let ret_pc = 0x20040u64;
+    for rep in 0..2 {
+        for i in 0..depth {
+            h.process(&call(0x10000 + i * 0x100, entry));
+        }
+        let mut outcomes = Vec::new();
+        for i in (0..depth).rev() {
+            let o = h.process(&ret(ret_pc, 0x10000 + i * 0x100 + 4)).unwrap();
+            outcomes.push(o.correct());
+        }
+        if rep == 1 {
+            // Innermost 4 returns: predicted by the RAS.
+            assert!(
+                outcomes[..4].iter().all(|&c| c),
+                "inner returns {outcomes:?}"
+            );
+            // Beyond the stack depth the RAS has wrapped: the outermost
+            // returns lose their entries and the BTB's last-target
+            // fallback cannot recover the distinct call sites.
+            assert!(
+                outcomes[4..].iter().any(|&c| !c),
+                "outer returns should suffer from RAS overflow: {outcomes:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn indirect_calls_are_served_by_the_target_cache() {
+    let mut h = PredictionHarness::new(FrontEndConfig::isca97_with(
+        TargetCacheConfig::isca97_tagless_gshare(),
+    ));
+    let icall = |target: u64| {
+        DynInstr::branch(
+            Addr::new(0x100),
+            BranchExec::taken(BranchClass::IndirectCall, Addr::new(target)),
+        )
+    };
+    let matching_ret = |target: u64| ret(target + 0x40, 0x104);
+    for _ in 0..30 {
+        h.process(&icall(0x1000));
+        h.process(&matching_ret(0x1000));
+    }
+    assert!(
+        h.target_cache_stats().unwrap().lookups() >= 30,
+        "icalls hit the target cache"
+    );
+    let c = h.stats().class(BranchClass::IndirectCall);
+    assert!(
+        c.misprediction_rate() < 0.1,
+        "monomorphic icall rate {}",
+        c.misprediction_rate()
+    );
+}
+
+#[test]
+fn btb_only_baseline_has_no_target_cache_state() {
+    let h = PredictionHarness::new(FrontEndConfig::isca97_baseline());
+    assert!(h.target_cache_stats().is_none());
+    assert!(h.cascade_filter_rate().is_none());
+    assert!(h.target_cache_served_accuracy().is_none());
+}
+
+#[test]
+fn with_btb_builder_replaces_geometry() {
+    let config =
+        FrontEndConfig::isca97_baseline().with_btb(BtbConfig::new(8, 1, UpdatePolicy::TwoBit));
+    assert_eq!(config.btb.sets, 8);
+    assert_eq!(config.btb.ways, 1);
+    assert_eq!(config.btb.update_policy, UpdatePolicy::TwoBit);
+}
+
+#[test]
+fn not_taken_conditionals_predict_correctly_on_btb_miss() {
+    // A never-taken conditional: the BTB misses forever (we install on
+    // every execution, but the *first* was a fall-through prediction that
+    // was already correct).
+    let mut h = PredictionHarness::new(FrontEndConfig::isca97_baseline());
+    for _ in 0..20 {
+        let o = h
+            .process(&DynInstr::branch(
+                Addr::new(0x500),
+                BranchExec::not_taken(BranchClass::CondDirect, Addr::new(0x900)),
+            ))
+            .unwrap();
+        assert!(o.correct());
+    }
+}

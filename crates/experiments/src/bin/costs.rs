@@ -1,0 +1,4 @@
+fn main() {
+    let rows = experiments::costs::run();
+    println!("{}", experiments::costs::render(&rows));
+}

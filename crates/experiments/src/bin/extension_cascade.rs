@@ -1,0 +1,5 @@
+fn main() {
+    let scale = experiments::Scale::from_env();
+    let rows = experiments::extension_cascade::run(scale);
+    println!("{}", experiments::extension_cascade::render(&rows));
+}

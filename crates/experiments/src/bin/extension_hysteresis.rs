@@ -1,0 +1,5 @@
+fn main() {
+    let scale = experiments::Scale::from_env();
+    let rows = experiments::extension_hysteresis::run(scale);
+    println!("{}", experiments::extension_hysteresis::render(&rows));
+}

@@ -1,0 +1,5 @@
+fn main() {
+    let scale = experiments::Scale::from_env();
+    let series = experiments::fig_tagless_vs_tagged::run(scale);
+    println!("{}", experiments::fig_tagless_vs_tagged::render(&series));
+}

@@ -1,0 +1,5 @@
+fn main() {
+    let scale = experiments::Scale::from_env();
+    let rows = experiments::fig_targets::run(scale);
+    println!("{}", experiments::fig_targets::render(&rows));
+}

@@ -1,0 +1,5 @@
+fn main() {
+    let scale = experiments::Scale::from_env();
+    let rows = experiments::headline::run(scale);
+    println!("{}", experiments::headline::render(&rows));
+}

@@ -1,0 +1,44 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! Scale is controlled by the `REPRO_SCALE` environment variable
+//! (`quick` / `standard` / `full`).
+
+use experiments::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Reproduction of 'Target Prediction for Indirect Jumps' (ISCA 1997)");
+    println!("scale: {scale:?}\n");
+    println!("{}", table1::render(&table1::run(scale)));
+    println!("{}", table2::render(&table2::run(scale)));
+    println!("{}", fig_targets::render(&fig_targets::run(scale)));
+    println!("{}", table4::render(&table4::run(scale)));
+    println!("{}", table5::render(&table5::run(scale)));
+    println!("{}", table6::render(&table6::run(scale)));
+    println!("{}", table7::render(&table7::run(scale)));
+    println!("{}", table8::render(&table8::run(scale)));
+    println!("{}", table9::render(&table9::run(scale)));
+    println!(
+        "{}",
+        fig_tagless_vs_tagged::render(&fig_tagless_vs_tagged::run(scale))
+    );
+    println!("{}", headline::render(&headline::run(scale)));
+    println!("{}", extension_oo::render(&extension_oo::run(scale)));
+    println!(
+        "{}",
+        extension_limits::render(&extension_limits::run(scale))
+    );
+    println!(
+        "{}",
+        extension_cascade::render(&extension_cascade::run(scale))
+    );
+    println!("{}", costs::render(&costs::run()));
+    println!(
+        "{}",
+        extension_hysteresis::render(&extension_hysteresis::run(scale))
+    );
+    println!(
+        "{}",
+        extension_scaling::render(&extension_scaling::run(scale))
+    );
+}

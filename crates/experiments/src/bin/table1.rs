@@ -1,0 +1,5 @@
+fn main() {
+    let scale = experiments::Scale::from_env();
+    let rows = experiments::table1::run(scale);
+    println!("{}", experiments::table1::render(&rows));
+}

@@ -1,0 +1,5 @@
+fn main() {
+    let scale = experiments::Scale::from_env();
+    let rows = experiments::table5::run(scale);
+    println!("{}", experiments::table5::render(&rows));
+}

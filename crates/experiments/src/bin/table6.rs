@@ -1,0 +1,5 @@
+fn main() {
+    let scale = experiments::Scale::from_env();
+    let rows = experiments::table6::run(scale);
+    println!("{}", experiments::table6::render(&rows));
+}

@@ -1,0 +1,5 @@
+fn main() {
+    let scale = experiments::Scale::from_env();
+    let rows = experiments::table8::run(scale);
+    println!("{}", experiments::table8::render(&rows));
+}

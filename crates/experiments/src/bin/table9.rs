@@ -1,0 +1,5 @@
+fn main() {
+    let scale = experiments::Scale::from_env();
+    let rows = experiments::table9::run(scale);
+    println!("{}", experiments::table9::render(&rows));
+}

@@ -1,0 +1,146 @@
+//! The paper's Section 4.2 hardware-cost model.
+//!
+//! "The cost of the predictor is estimated using the following equations:
+//! BTB = [entries] × [bits/entry]; target cache(n) = [bits/entry] × n;
+//! predictor budget = BTB + target cache(n). ... Since the BTB has 256 sets
+//! and is 4-way set-associative, the target cache increases the predictor
+//! hardware budget by ~10 percent." (The scan garbles the exact per-entry
+//! constants; our model — documented at
+//! [`TargetCacheConfig::hardware_bits`] — charges 32 bits per tagless entry
+//! and 64 per tagged entry, and 80 bits per BTB entry per the paper's
+//! footnote: valid, LRU, tag, target, type, fall-through, history.)
+
+use crate::report::{count, pct, TextTable};
+use branch_predictors::PathFilter;
+use target_cache::TargetCacheConfig;
+
+/// Bits per BTB entry (from the paper's footnote: valid bit, LRU bits, tag,
+/// 32-bit target, branch-type bits, fall-through address, history bits).
+pub const BTB_ENTRY_BITS: usize = 80;
+
+/// The baseline BTB's storage, in bits (1K entries).
+pub const BTB_BITS: usize = 1024 * BTB_ENTRY_BITS;
+
+/// One design point's cost summary.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Human-readable configuration name.
+    pub name: &'static str,
+    /// The configuration.
+    pub config: TargetCacheConfig,
+    /// Target-cache storage in bits.
+    pub cache_bits: usize,
+    /// Fractional increase over the BTB-only budget.
+    pub budget_increase: f64,
+}
+
+/// The design points the paper discusses.
+pub fn run() -> Vec<Row> {
+    let points: Vec<(&'static str, TargetCacheConfig)> = vec![
+        (
+            "tagless 512, gshare, pattern(9)",
+            TargetCacheConfig::isca97_tagless_gshare(),
+        ),
+        (
+            "tagless 512, GAg(9)",
+            TargetCacheConfig::isca97_tagless_gag(),
+        ),
+        (
+            "tagless 512, path ind-jmp",
+            TargetCacheConfig::isca97_tagless_path(PathFilter::IndirectJump),
+        ),
+        (
+            "tagged 256, 4-way, xor",
+            TargetCacheConfig::isca97_tagged(4),
+        ),
+        (
+            "tagged 256, fully assoc",
+            TargetCacheConfig::isca97_tagged(256),
+        ),
+    ];
+    points
+        .into_iter()
+        .map(|(name, config)| {
+            let cache_bits = config.hardware_bits();
+            Row {
+                name,
+                config,
+                cache_bits,
+                budget_increase: cache_bits as f64 / BTB_BITS as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the cost table.
+pub fn render(rows: &[Row]) -> String {
+    let mut table = TextTable::new(vec![
+        "configuration".into(),
+        "cache bits".into(),
+        "BTB bits".into(),
+        "budget increase".into(),
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.name.into(),
+            count(r.cache_bits as u64),
+            count(BTB_BITS as u64),
+            pct(r.budget_increase),
+        ]);
+    }
+    format!(
+        "Hardware budget (paper Section 4.2 cost model; paper estimates the\n\
+         512-entry target cache at ~10% over the 1K-entry BTB — ~20% under\n\
+         our 32-bit-target accounting)\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagless_and_tagged_presets_cost_the_same() {
+        // The paper's equal-budget comparison: 512 tagless ≡ 256 tagged.
+        let rows = run();
+        let tagless = rows
+            .iter()
+            .find(|r| r.name.contains("tagless 512, gshare"))
+            .unwrap();
+        let tagged = rows
+            .iter()
+            .find(|r| r.name.contains("tagged 256, 4-way"))
+            .unwrap();
+        assert_eq!(tagless.cache_bits, tagged.cache_bits);
+    }
+
+    #[test]
+    fn target_cache_is_a_modest_fraction_of_the_btb() {
+        for r in run() {
+            assert!(
+                r.budget_increase < 0.35,
+                "{}: budget increase {} is not modest",
+                r.name,
+                r.budget_increase
+            );
+            assert!(r.budget_increase > 0.0);
+        }
+    }
+
+    #[test]
+    fn history_source_does_not_change_storage_cost() {
+        // Pattern vs path history reuse existing registers; the cache
+        // storage itself is identical.
+        let rows = run();
+        let pattern = rows
+            .iter()
+            .find(|r| r.name.contains("gshare, pattern"))
+            .unwrap();
+        let path = rows
+            .iter()
+            .find(|r| r.name.contains("path ind-jmp"))
+            .unwrap();
+        assert_eq!(pattern.cache_bits, path.cache_bits);
+    }
+}

@@ -1,0 +1,164 @@
+//! Extension: cascaded (staged) prediction — can a confidence filter let a
+//! *smaller* target cache do the same job?
+//!
+//! Most static indirect jumps are monomorphic (Figures 1–8) and the BTB
+//! already handles them; letting them allocate target-cache entries wastes
+//! the capacity the polymorphic jumps need. The cascade keeps BTB-confident
+//! sites out of the second stage (see `target_cache::cascade`). This study
+//! compares, per benchmark:
+//!
+//! * the paper's plain 512-entry tagless target cache,
+//! * a cascade whose second stage is the same 512-entry cache,
+//! * a cascade with a **half-size (256-entry)** second stage.
+
+use crate::report::{pct, TextTable};
+use crate::runner::{functional, trace, Scale};
+use sim_workloads::Benchmark;
+use target_cache::harness::{FrontEndConfig, PredictionHarness};
+use target_cache::{HistorySource, IndexScheme, Organization, TargetCacheConfig};
+
+fn tagless(entries: usize) -> TargetCacheConfig {
+    TargetCacheConfig::new(
+        Organization::Tagless {
+            entries,
+            scheme: IndexScheme::Gshare,
+        },
+        HistorySource::Pattern { bits: 9 },
+    )
+}
+
+/// One benchmark's comparison.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// BTB-only baseline misprediction.
+    pub baseline: f64,
+    /// Plain 512-entry target cache.
+    pub plain_512: f64,
+    /// Cascade with a 512-entry second stage.
+    pub cascade_512: f64,
+    /// Cascade with a 256-entry second stage.
+    pub cascade_256: f64,
+    /// Fraction of dynamic jumps the 512-cascade filtered into stage 1.
+    pub filter_rate: f64,
+}
+
+/// Runs the cascade study over the full suite.
+pub fn run(scale: Scale) -> Vec<Row> {
+    Benchmark::ALL
+        .iter()
+        .map(|&benchmark| {
+            let t = trace(benchmark, scale);
+            let rate = |fe: FrontEndConfig| functional(&t, fe).indirect_jump_misprediction_rate();
+            let mut cascade = PredictionHarness::new(FrontEndConfig::isca97_cascade(tagless(512)));
+            cascade.run(&t);
+            Row {
+                benchmark,
+                baseline: rate(FrontEndConfig::isca97_baseline()),
+                plain_512: rate(FrontEndConfig::isca97_with(tagless(512))),
+                cascade_512: cascade.stats().indirect_jump_misprediction_rate(),
+                cascade_256: rate(FrontEndConfig::isca97_cascade(tagless(256))),
+                filter_rate: cascade.cascade_filter_rate().expect("cascade configured"),
+            }
+        })
+        .collect()
+}
+
+/// Renders the cascade table.
+pub fn render(rows: &[Row]) -> String {
+    let mut table = TextTable::new(vec![
+        "benchmark".into(),
+        "BTB".into(),
+        "plain 512".into(),
+        "cascade 512".into(),
+        "cascade 256".into(),
+        "filtered".into(),
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.benchmark.name().into(),
+            pct(r.baseline),
+            pct(r.plain_512),
+            pct(r.cascade_512),
+            pct(r.cascade_256),
+            pct(r.filter_rate),
+        ]);
+    }
+    format!(
+        "Extension: cascaded prediction (indirect-jump misprediction rate)\n\
+         stage 1 = per-site BTB-confidence filter; stage 2 = tagless gshare cache\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monomorphic_benchmarks_are_mostly_filtered() {
+        let rows = run(Scale::Quick);
+        let get = |b: Benchmark| rows.iter().find(|r| r.benchmark == b).unwrap();
+        for easy in [Benchmark::Compress, Benchmark::Ijpeg, Benchmark::Vortex] {
+            let r = get(easy);
+            assert!(
+                r.filter_rate > 0.5,
+                "{easy}: filter rate {} should be high for monomorphic dispatch",
+                r.filter_rate
+            );
+        }
+        // perl's dispatch is polymorphic: almost nothing should be filtered
+        // once confidence collapses.
+        assert!(get(Benchmark::Perl).filter_rate < 0.5);
+    }
+
+    #[test]
+    fn cascade_trades_protection_for_training_density() {
+        // The study's two-sided finding: the filter *protects* benchmarks
+        // the plain cache pollutes (ijpeg, xlisp — where the plain cache is
+        // worse than the BTB), but on bursty dispatch (go, m88ksim) the
+        // confidence bit oscillates and starves the second stage. Either
+        // way the cascade must never be meaningfully worse than *both* the
+        // plain cache and the raw BTB.
+        for r in run(Scale::Quick) {
+            let envelope = r.plain_512.max(r.baseline) + 0.03;
+            assert!(
+                r.cascade_512 <= envelope,
+                "{}: cascade 512 ({}) outside the BTB/plain envelope ({})",
+                r.benchmark,
+                r.cascade_512,
+                envelope
+            );
+        }
+        // And the protection effect is real where the plain cache hurts.
+        let rows = run(Scale::Quick);
+        let ijpeg = rows
+            .iter()
+            .find(|r| r.benchmark == Benchmark::Ijpeg)
+            .unwrap();
+        if ijpeg.plain_512 > ijpeg.baseline {
+            assert!(
+                ijpeg.cascade_512 < ijpeg.plain_512,
+                "ijpeg: cascade ({}) should undo the plain cache's pollution ({})",
+                ijpeg.cascade_512,
+                ijpeg.plain_512
+            );
+        }
+    }
+
+    #[test]
+    fn half_size_cascade_stays_close_to_full_size_plain_cache() {
+        // The capacity argument: with monomorphic traffic filtered, half
+        // the entries go (nearly) as far on the interference-bound
+        // benchmark.
+        let rows = run(Scale::Quick);
+        let gcc = rows.iter().find(|r| r.benchmark == Benchmark::Gcc).unwrap();
+        assert!(
+            gcc.cascade_256 <= gcc.plain_512 + 0.10,
+            "gcc: half-size cascade ({}) should stay close to plain 512 ({})",
+            gcc.cascade_256,
+            gcc.plain_512
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Extension: limit study — how much performance is left on the table?
+//!
+//! An *oracle* indirect-target predictor (perfect prediction for every
+//! BTB-detected indirect branch) bounds what any target predictor could
+//! deliver on this machine. Comparing the target cache's realized
+//! execution-time reduction against the oracle's shows how much of the
+//! available headroom the paper's mechanism captures — and for which
+//! benchmarks residual mispredictions still matter.
+
+use crate::headline::best_tagless_for;
+use crate::report::{pct, TextTable};
+use crate::runner::{timing, trace, Scale};
+use sim_workloads::Benchmark;
+use target_cache::harness::FrontEndConfig;
+
+/// One benchmark's limit-study numbers.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Exec-time reduction of the best 512-entry tagless target cache.
+    pub target_cache: f64,
+    /// Exec-time reduction of the oracle target predictor.
+    pub oracle: f64,
+}
+
+impl Row {
+    /// Fraction of the oracle's headroom the target cache captures.
+    pub fn capture_ratio(&self) -> f64 {
+        if self.oracle <= 0.0 {
+            1.0
+        } else {
+            (self.target_cache / self.oracle).clamp(-1.0, 1.0)
+        }
+    }
+}
+
+/// Runs the limit study over the full suite.
+pub fn run(scale: Scale) -> Vec<Row> {
+    Benchmark::ALL
+        .iter()
+        .map(|&benchmark| {
+            let t = trace(benchmark, scale);
+            let base = timing(&t, FrontEndConfig::isca97_baseline());
+            let tc = timing(&t, FrontEndConfig::isca97_with(best_tagless_for(benchmark)));
+            let oracle = timing(&t, FrontEndConfig::isca97_oracle());
+            Row {
+                benchmark,
+                target_cache: tc.exec_time_reduction_vs(&base),
+                oracle: oracle.exec_time_reduction_vs(&base),
+            }
+        })
+        .collect()
+}
+
+/// Renders the limit-study table.
+pub fn render(rows: &[Row]) -> String {
+    let mut table = TextTable::new(vec![
+        "benchmark".into(),
+        "target cache".into(),
+        "oracle".into(),
+        "captured".into(),
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.benchmark.name().into(),
+            pct(r.target_cache),
+            pct(r.oracle),
+            pct(r.capture_ratio()),
+        ]);
+    }
+    format!(
+        "Extension: limit study — execution-time reduction vs BTB baseline\n\
+         (oracle = perfect target prediction for BTB-detected indirect branches)\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_bounds_the_target_cache() {
+        for r in run(Scale::Quick) {
+            assert!(
+                r.target_cache <= r.oracle + 0.005,
+                "{}: target cache ({}) cannot beat the oracle ({})",
+                r.benchmark,
+                r.target_cache,
+                r.oracle
+            );
+            assert!(
+                r.oracle >= -0.005,
+                "{}: oracle cannot slow the machine",
+                r.benchmark
+            );
+        }
+    }
+
+    #[test]
+    fn perl_captures_most_of_its_headroom() {
+        let rows = run(Scale::Quick);
+        let perl = rows
+            .iter()
+            .find(|r| r.benchmark == Benchmark::Perl)
+            .unwrap();
+        assert!(
+            perl.capture_ratio() > 0.8,
+            "perl: path-history target cache captures {} of the oracle headroom",
+            perl.capture_ratio()
+        );
+    }
+
+    #[test]
+    fn headroom_concentrates_in_the_hard_benchmarks() {
+        let rows = run(Scale::Quick);
+        let get = |b: Benchmark| rows.iter().find(|r| r.benchmark == b).unwrap().oracle;
+        assert!(get(Benchmark::Perl) > get(Benchmark::Compress));
+        assert!(get(Benchmark::Gcc) > get(Benchmark::Ijpeg));
+    }
+}

@@ -1,0 +1,182 @@
+//! Extension: the paper's future work — target caches on C++-style
+//! object-oriented programs.
+//!
+//! "For object oriented programs where more indirect branches may be
+//! executed, tagged caches should provide even greater performance
+//! benefits. In the future, we will evaluate the performance benefit of
+//! target caches for C++ benchmarks." (Section 5)
+//!
+//! This experiment performs that evaluation on the `ixx` (megamorphic
+//! AST/visitor double dispatch) and `deltablue` (constraint propagation)
+//! models, comparing the BTB baseline against tagless and tagged target
+//! caches, and reports both misprediction and execution-time reduction.
+
+use crate::report::{count, pct, TextTable};
+use crate::runner::{functional, timing, Scale};
+use sim_isa::VecTrace;
+use sim_workloads::OoBenchmark;
+use target_cache::harness::FrontEndConfig;
+use target_cache::TargetCacheConfig;
+
+/// The predictor configurations compared.
+pub fn configs() -> Vec<(&'static str, Option<TargetCacheConfig>)> {
+    vec![
+        ("BTB only", None),
+        (
+            "tagless 512 gshare",
+            Some(TargetCacheConfig::isca97_tagless_gshare()),
+        ),
+        (
+            "tagged 256 4-way",
+            Some(TargetCacheConfig::isca97_tagged(4)),
+        ),
+        (
+            "tagged 256 16-way",
+            Some(TargetCacheConfig::isca97_tagged(16)),
+        ),
+    ]
+}
+
+/// One benchmark's results across the configurations.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The OO benchmark.
+    pub benchmark: OoBenchmark,
+    /// Dynamic indirect branches in the trace.
+    pub indirect_jumps: u64,
+    /// Fraction of instructions that are indirect branches.
+    pub indirect_fraction: f64,
+    /// Misprediction rate per configuration, in [`configs`] order.
+    pub mispred: Vec<f64>,
+    /// Execution-time reduction vs the BTB baseline per configuration
+    /// (the first entry is 0 by construction).
+    pub exec_reduction: Vec<f64>,
+}
+
+fn oo_trace(bench: OoBenchmark, scale: Scale) -> VecTrace {
+    let w = bench.workload();
+    let budget = match scale {
+        Scale::Quick => 100_000,
+        Scale::Standard => 400_000,
+        Scale::Full => w.default_budget(),
+    };
+    w.generate(budget)
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Row> {
+    OoBenchmark::ALL
+        .iter()
+        .map(|&benchmark| {
+            let t = oo_trace(benchmark, scale);
+            let stats = t.stats();
+            let base_report = timing(&t, FrontEndConfig::isca97_baseline());
+            let mut mispred = Vec::new();
+            let mut exec_reduction = Vec::new();
+            for (_, tc) in configs() {
+                let fe = match tc {
+                    None => FrontEndConfig::isca97_baseline(),
+                    Some(tc) => FrontEndConfig::isca97_with(tc),
+                };
+                mispred.push(functional(&t, fe).indirect_jump_misprediction_rate());
+                exec_reduction.push(timing(&t, fe).exec_time_reduction_vs(&base_report));
+            }
+            Row {
+                benchmark,
+                indirect_jumps: stats.indirect_jumps(),
+                indirect_fraction: stats.indirect_jump_fraction(),
+                mispred,
+                exec_reduction,
+            }
+        })
+        .collect()
+}
+
+/// Renders the extension table.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Extension (paper section 5 future work): target caches on C++-style OO programs\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "\n[{}]  {} indirect branches ({} of instructions)\n",
+            r.benchmark,
+            count(r.indirect_jumps),
+            pct(r.indirect_fraction)
+        ));
+        let mut table = TextTable::new(vec![
+            "configuration".into(),
+            "ind mispred".into(),
+            "exec reduction".into(),
+        ]);
+        for ((name, _), (m, e)) in configs()
+            .iter()
+            .zip(r.mispred.iter().zip(&r.exec_reduction))
+        {
+            table.row(vec![(*name).into(), pct(*m), pct(*e)]);
+        }
+        out.push_str(&table.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_workloads::Benchmark;
+
+    #[test]
+    fn oo_programs_execute_more_indirect_branches() {
+        let rows = run(Scale::Quick);
+        let gcc_frac = crate::runner::trace(Benchmark::Gcc, Scale::Quick)
+            .stats()
+            .indirect_jump_fraction();
+        for r in &rows {
+            assert!(
+                r.indirect_fraction > gcc_frac,
+                "{}: OO indirect fraction {} should exceed gcc's {gcc_frac}",
+                r.benchmark,
+                r.indirect_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn target_caches_help_oo_programs_substantially() {
+        let rows = run(Scale::Quick);
+        for r in &rows {
+            let btb = r.mispred[0];
+            let best_tc = r.mispred[1..].iter().cloned().fold(f64::MAX, f64::min);
+            assert!(
+                best_tc < btb * 0.6,
+                "{}: best TC {best_tc} vs BTB {btb}",
+                r.benchmark
+            );
+            // And it shows up in execution time.
+            let best_exec = r.exec_reduction.iter().cloned().fold(f64::MIN, f64::max);
+            assert!(
+                best_exec > 0.02,
+                "{}: best exec reduction {best_exec}",
+                r.benchmark
+            );
+        }
+    }
+
+    #[test]
+    fn tags_pay_off_more_for_oo_than_the_paper_benchmarks() {
+        // The paper's speculation: with more indirect branches and more
+        // polymorphism, interference grows and tags matter more. Compare
+        // the tagged-16-way advantage over tagless on ixx vs on perl.
+        let rows = run(Scale::Quick);
+        let ixx = rows
+            .iter()
+            .find(|r| r.benchmark == OoBenchmark::Ixx)
+            .unwrap();
+        let tagless = ixx.mispred[1];
+        let tagged16 = ixx.mispred[3];
+        assert!(
+            tagged16 < tagless,
+            "ixx: 16-way tagged ({tagged16}) should beat tagless ({tagless})"
+        );
+    }
+}

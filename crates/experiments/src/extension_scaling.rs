@@ -1,0 +1,147 @@
+//! Extension: the paper's opening claim, measured.
+//!
+//! "As the issue rate and pipeline depth of high performance superscalar
+//! processors increase, the amount of speculative work issued also
+//! increases. Because speculative work must be thrown away in the event of
+//! a branch misprediction, wide-issue, deeply pipelined processors must
+//! employ accurate branch predictors to effectively exploit their
+//! performance potential."
+//!
+//! This study sweeps machine aggressiveness — narrow/shallow, the paper's
+//! HPS configuration, and a wide/deep future machine — and measures the
+//! target cache's execution-time reduction on each: the benefit must grow
+//! with the machine, which is exactly why the paper mattered more every
+//! year after it was published.
+
+use crate::headline::best_tagless_for;
+use crate::report::{pct, TextTable};
+use crate::runner::{trace, Scale};
+use hps_uarch::{simulate, MachineConfig};
+use sim_workloads::Benchmark;
+use target_cache::harness::FrontEndConfig;
+
+/// The machine design points swept.
+pub fn machines() -> Vec<(&'static str, MachineConfig)> {
+    let base = |frontend| MachineConfig::isca97(frontend);
+    let narrow = |frontend| {
+        let mut m = base(frontend);
+        m.fetch_width = 2;
+        m.retire_width = 2;
+        m.fu_count = 2;
+        m.window_size = 8;
+        m.front_depth = 1;
+        m
+    };
+    let wide_deep = |frontend| {
+        let mut m = base(frontend);
+        m.fetch_width = 16;
+        m.retire_width = 16;
+        m.fu_count = 16;
+        m.window_size = 128;
+        m.front_depth = 6;
+        m
+    };
+    vec![
+        ("2-wide, shallow", narrow(FrontEndConfig::isca97_baseline())),
+        ("8-wide (paper)", base(FrontEndConfig::isca97_baseline())),
+        (
+            "16-wide, deep",
+            wide_deep(FrontEndConfig::isca97_baseline()),
+        ),
+    ]
+}
+
+/// One benchmark's benefit across machine design points.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Execution-time reduction of the best tagless target cache per
+    /// machine, in [`machines`] order.
+    pub reductions: Vec<f64>,
+    /// Baseline IPC per machine (context for the reductions).
+    pub base_ipc: Vec<f64>,
+}
+
+/// Runs the sweep for the focus benchmarks.
+pub fn run(scale: Scale) -> Vec<Row> {
+    Benchmark::FOCUS
+        .iter()
+        .map(|&benchmark| {
+            let t = trace(benchmark, scale);
+            let tc = best_tagless_for(benchmark);
+            let mut reductions = Vec::new();
+            let mut base_ipc = Vec::new();
+            for (_, machine) in machines() {
+                let base = simulate(&t, &machine);
+                let mut with_tc = machine.clone();
+                with_tc.frontend = FrontEndConfig::isca97_with(tc);
+                let faster = simulate(&t, &with_tc);
+                reductions.push(faster.exec_time_reduction_vs(&base));
+                base_ipc.push(base.ipc());
+            }
+            Row {
+                benchmark,
+                reductions,
+                base_ipc,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Extension: target-cache benefit vs machine aggressiveness\n\
+         (execution-time reduction of the best tagless cache per machine)\n",
+    );
+    for r in rows {
+        let mut table = TextTable::new(vec![
+            "machine".into(),
+            "baseline IPC".into(),
+            "exec reduction".into(),
+        ]);
+        for ((name, _), (&red, &ipc)) in machines().iter().zip(r.reductions.iter().zip(&r.base_ipc))
+        {
+            table.row(vec![(*name).into(), format!("{ipc:.3}"), pct(red)]);
+        }
+        out.push_str(&format!("\n[{}]\n{}", r.benchmark, table.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benefit_grows_with_machine_aggressiveness() {
+        // The paper's opening sentence, as an assertion.
+        for r in run(Scale::Quick) {
+            assert!(
+                r.reductions[2] > r.reductions[0],
+                "{}: wide/deep machine ({}) should gain more than narrow/shallow ({})",
+                r.benchmark,
+                r.reductions[2],
+                r.reductions[0]
+            );
+            assert!(
+                r.reductions[1] >= r.reductions[0] - 0.01,
+                "{}: the paper's machine should gain at least the narrow one",
+                r.benchmark
+            );
+        }
+    }
+
+    #[test]
+    fn wider_machines_have_higher_baseline_ipc() {
+        for r in run(Scale::Quick) {
+            assert!(
+                r.base_ipc[2] > r.base_ipc[0],
+                "{}: IPC must grow with width ({:?})",
+                r.benchmark,
+                r.base_ipc
+            );
+        }
+    }
+}

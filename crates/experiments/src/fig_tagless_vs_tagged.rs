@@ -1,0 +1,131 @@
+//! Figures 12 & 13: tagless vs tagged target caches at equal hardware
+//! budget.
+//!
+//! "For a given implementation cost, a tagless target cache can have more
+//! entries than a tagged target cache. ... The tagless target cache
+//! outperforms tagged target caches with a small degree of
+//! set-associativity. On the other hand, a tagged target cache with \[4\] or
+//! more entries per set outperforms the tagless target cache."
+//!
+//! Series: a 512-entry tagless gshare cache (flat line) vs 256-entry
+//! History-Xor tagged caches across associativities; cells are
+//! execution-time reduction vs the BTB baseline.
+
+use crate::report::{pct, TextTable};
+use crate::runner::{exec_reduction_with_base, timing, trace, Scale};
+use sim_workloads::Benchmark;
+use target_cache::harness::FrontEndConfig;
+use target_cache::TargetCacheConfig;
+
+/// Associativities swept for the tagged series (the figures use 1..=256).
+pub const ASSOCS: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// One benchmark's two series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// The 512-entry tagless cache's execution-time reduction.
+    pub tagless: f64,
+    /// The 256-entry tagged cache's reduction at each associativity, in
+    /// [`ASSOCS`] order.
+    pub tagged: Vec<f64>,
+}
+
+impl Series {
+    /// The smallest associativity at which the tagged cache matches or
+    /// beats the tagless one (the figures' crossover), if any.
+    pub fn crossover_assoc(&self) -> Option<usize> {
+        ASSOCS
+            .iter()
+            .zip(&self.tagged)
+            .find(|(_, &red)| red >= self.tagless)
+            .map(|(&a, _)| a)
+    }
+}
+
+/// Runs the comparison for the focus benchmarks.
+pub fn run(scale: Scale) -> Vec<Series> {
+    Benchmark::FOCUS
+        .iter()
+        .map(|&benchmark| {
+            let t = trace(benchmark, scale);
+            let base = timing(&t, FrontEndConfig::isca97_baseline());
+            let tagless =
+                exec_reduction_with_base(&t, &base, TargetCacheConfig::isca97_tagless_gshare());
+            let tagged = ASSOCS
+                .iter()
+                .map(|&assoc| {
+                    exec_reduction_with_base(&t, &base, TargetCacheConfig::isca97_tagged(assoc))
+                })
+                .collect();
+            Series {
+                benchmark,
+                tagless,
+                tagged,
+            }
+        })
+        .collect()
+}
+
+/// Renders both figures' series.
+pub fn render(series: &[Series]) -> String {
+    let mut out = String::from(
+        "Figures 12-13: tagless (512 entries) vs tagged (256 entries) target caches\n\
+         equal hardware budget; execution-time reduction vs BTB baseline\n",
+    );
+    for s in series {
+        let mut table = TextTable::new(vec![
+            "set-assoc".into(),
+            "tagged 256".into(),
+            "tagless 512".into(),
+        ]);
+        for (&assoc, &red) in ASSOCS.iter().zip(&s.tagged) {
+            table.row(vec![assoc.to_string(), pct(red), pct(s.tagless)]);
+        }
+        out.push_str(&format!(
+            "\n[{}]  (crossover at {} ways)\n{}",
+            s.benchmark,
+            s.crossover_assoc()
+                .map_or("no".to_string(), |a| a.to_string()),
+            table.render()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagged_catches_tagless_as_associativity_grows() {
+        let series = run(Scale::Quick);
+        for s in &series {
+            // Both organizations beat the baseline.
+            assert!(
+                s.tagless > 0.0,
+                "{}: tagless reduction {}",
+                s.benchmark,
+                s.tagless
+            );
+            // The tagged series is (weakly) increasing from direct-mapped
+            // to fully associative.
+            let first = s.tagged[0];
+            let last = *s.tagged.last().unwrap();
+            assert!(
+                last >= first - 0.005,
+                "{}: tagged should not degrade with associativity ({first} -> {last})",
+                s.benchmark
+            );
+            // At full associativity the tagged cache is at least close to
+            // the tagless one (the paper's crossover claim).
+            assert!(
+                last >= s.tagless * 0.8,
+                "{}: fully-associative tagged ({last}) should approach tagless ({})",
+                s.benchmark,
+                s.tagless
+            );
+        }
+    }
+}

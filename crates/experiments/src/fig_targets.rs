@@ -1,0 +1,166 @@
+//! Figures 1–8: the number of distinct dynamic targets per static indirect
+//! jump, per benchmark.
+//!
+//! The paper plots, for each benchmark, the percentage of indirect jumps
+//! exhibiting k distinct dynamic targets (k = 1..29, ≥30). Benchmarks with
+//! near-monomorphic jumps (compress, ijpeg, vortex, xlisp) are the easy
+//! cases for a BTB; gcc and perl spread across many targets.
+
+use crate::report::{pct, TextTable};
+use crate::runner::{trace, Scale};
+use sim_workloads::Benchmark;
+
+/// The paper's histogram cap: the last bucket is "≥ 30".
+pub const CAP: usize = 30;
+
+/// One benchmark's histograms.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Static sites with exactly k distinct targets (slot k-1; last slot is
+    /// the ≥CAP bucket).
+    pub static_hist: Vec<u64>,
+    /// Same, weighted by dynamic executions.
+    pub dynamic_hist: Vec<u64>,
+}
+
+impl Row {
+    /// Fraction of *dynamic* indirect jumps executed at sites with at
+    /// least `k` distinct targets.
+    pub fn dynamic_fraction_at_least(&self, k: usize) -> f64 {
+        let total: u64 = self.dynamic_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let ge: u64 = self.dynamic_hist[k.saturating_sub(1)..].iter().sum();
+        ge as f64 / total as f64
+    }
+}
+
+/// Runs the characterization for every benchmark.
+pub fn run(scale: Scale) -> Vec<Row> {
+    Benchmark::ALL
+        .iter()
+        .map(|&benchmark| {
+            let stats = trace(benchmark, scale).stats();
+            Row {
+                benchmark,
+                static_hist: stats.targets_per_jump_histogram(CAP),
+                dynamic_hist: stats.dynamic_targets_per_jump_histogram(CAP),
+            }
+        })
+        .collect()
+}
+
+/// Renders one benchmark's per-k histogram as ASCII bars, the shape the
+/// paper's figures plot (percentage of dynamic indirect jumps whose site
+/// has exactly k distinct targets).
+pub fn render_figure(row: &Row) -> String {
+    let total: u64 = row.dynamic_hist.iter().sum();
+    let mut out = format!("Figure: {} — targets per indirect jump\n", row.benchmark);
+    if total == 0 {
+        out.push_str("  (no indirect jumps)\n");
+        return out;
+    }
+    for (k, &n) in row.dynamic_hist.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let frac = n as f64 / total as f64;
+        let bar = "#".repeat((frac * 50.0).round() as usize);
+        let label = if k + 1 == CAP {
+            ">=30".to_string()
+        } else {
+            format!("{:>4}", k + 1)
+        };
+        out.push_str(&format!("  {label} |{bar:<50} {:5.1}%\n", frac * 100.0));
+    }
+    out
+}
+
+/// Renders the histograms (dynamic-weighted, the prediction-relevant view,
+/// plus the static site counts).
+pub fn render(rows: &[Row]) -> String {
+    let mut table = TextTable::new(vec![
+        "benchmark".into(),
+        "sites".into(),
+        "dyn % 1 target".into(),
+        "dyn % 2-4".into(),
+        "dyn % 5-15".into(),
+        "dyn % >=16".into(),
+    ]);
+    for r in rows {
+        let total: u64 = r.dynamic_hist.iter().sum();
+        let frac = |lo: usize, hi: usize| {
+            if total == 0 {
+                0.0
+            } else {
+                r.dynamic_hist[lo..hi].iter().sum::<u64>() as f64 / total as f64
+            }
+        };
+        table.row(vec![
+            r.benchmark.name().into(),
+            r.static_hist.iter().sum::<u64>().to_string(),
+            pct(frac(0, 1)),
+            pct(frac(1, 4)),
+            pct(frac(4, 15)),
+            pct(frac(15, CAP)),
+        ]);
+    }
+    let mut out = format!(
+        "Figures 1-8: distinct dynamic targets per static indirect jump\n\
+         (dynamic-execution-weighted buckets; per-k bars below)\n\n{}",
+        table.render()
+    );
+    for r in rows {
+        out.push('\n');
+        out.push_str(&render_figure(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn easy_benchmarks_are_dominated_by_monomorphic_jumps() {
+        let rows = run(Scale::Quick);
+        let get = |b: Benchmark| rows.iter().find(|r| r.benchmark == b).unwrap();
+        // perl and gcc: most dynamic indirect jumps run at polymorphic
+        // sites (Figures 2 and 6 show wide distributions).
+        for hard in [Benchmark::Perl, Benchmark::Gcc] {
+            let f = get(hard).dynamic_fraction_at_least(5);
+            assert!(
+                f > 0.5,
+                "{hard}: only {f} of dynamic jumps at >=5-target sites"
+            );
+        }
+        // compress and ijpeg: narrow distributions.
+        for easy in [Benchmark::Compress, Benchmark::Ijpeg] {
+            let f = get(easy).dynamic_fraction_at_least(5);
+            assert!(f < 0.5, "{easy}: {f} of dynamic jumps at >=5-target sites");
+        }
+    }
+
+    #[test]
+    fn figure_bars_sum_to_one() {
+        for r in run(Scale::Quick) {
+            let fig = render_figure(&r);
+            assert!(fig.contains(r.benchmark.name()));
+            // Every printed percentage is a share of the total; the bars
+            // for a benchmark with jumps must mention at least one row.
+            assert!(fig.contains('%'), "{fig}");
+        }
+    }
+
+    #[test]
+    fn histogram_mass_is_consistent() {
+        for r in run(Scale::Quick) {
+            assert_eq!(r.static_hist.len(), CAP);
+            assert_eq!(r.dynamic_hist.len(), CAP);
+            assert!(r.static_hist.iter().sum::<u64>() > 0, "{}", r.benchmark);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section.
+//!
+//! Each experiment module exposes a `run(scale)` function returning
+//! structured rows plus a `render` function producing the text table, and a
+//! binary of the same name (`cargo run --release --bin table1`) that prints
+//! it. `repro_all` runs the lot.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`table1`] | Table 1 — benchmark characterization + BTB indirect misprediction |
+//! | [`table2`] | Table 2 — default vs 2-bit BTB update strategy |
+//! | [`fig_targets`] | Figures 1–8 — targets per indirect jump histograms |
+//! | [`table4`] | Table 4 — tagless pattern-history schemes (GAg/GAs/gshare) |
+//! | [`table5`] | Table 5 — path history: which target-address bits to record |
+//! | [`table6`] | Table 6 — path history: bits recorded per target |
+//! | [`table7`] | Table 7 — tagged indexing schemes × associativity |
+//! | [`table8`] | Table 8 — tagged path-history schemes × associativity |
+//! | [`table9`] | Table 9 — 9 vs 16 pattern-history bits |
+//! | [`fig_tagless_vs_tagged`] | Figures 12–13 — tagless 512 vs tagged 256 |
+//! | [`headline`] | The abstract's headline numbers |
+//! | [`extension_oo`] | Section 5 future work: C++-style OO programs |
+//! | [`extension_limits`] | Extension: oracle limit study |
+//! | [`extension_cascade`] | Extension: cascaded (staged) prediction |
+//! | [`costs`] | Section 4.2 hardware-budget model |
+//! | [`extension_hysteresis`] | Extension: 2-bit update policy on the target cache |
+//! | [`extension_scaling`] | Extension: benefit vs machine aggressiveness |
+//!
+//! Traces are synthetic (see `sim-workloads`), so EXPERIMENTS.md compares
+//! *shapes* — orderings, rough magnitudes, crossovers — against the paper,
+//! not absolute numbers.
+
+pub mod costs;
+pub mod extension_cascade;
+pub mod extension_hysteresis;
+pub mod extension_limits;
+pub mod extension_oo;
+pub mod extension_scaling;
+pub mod fig_tagless_vs_tagged;
+pub mod fig_targets;
+pub mod headline;
+pub mod report;
+pub mod runner;
+pub mod table1;
+pub mod table2;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+pub mod table9;
+
+pub use report::TextTable;
+pub use runner::Scale;

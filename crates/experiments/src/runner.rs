@@ -1,0 +1,166 @@
+//! Shared machinery: trace budgets, functional and timing runs.
+
+use branch_predictors::BranchClassStats;
+use hps_uarch::{simulate, MachineConfig, SimReport};
+use sim_isa::VecTrace;
+use sim_workloads::Benchmark;
+use target_cache::harness::{FrontEndConfig, PredictionHarness};
+use target_cache::TargetCacheConfig;
+
+/// How much of each workload's canonical run to simulate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Scale {
+    /// ~100k instructions per benchmark: CI-sized, shapes still hold.
+    Quick,
+    /// ~400k instructions: the default for the table binaries.
+    #[default]
+    Standard,
+    /// The workloads' full canonical budgets (1–2M instructions).
+    Full,
+}
+
+impl Scale {
+    /// The instruction budget this scale implies for a benchmark.
+    pub fn budget(self, bench: Benchmark) -> usize {
+        let full = bench.workload().default_budget();
+        match self {
+            Scale::Quick => full.min(100_000),
+            Scale::Standard => full.min(400_000),
+            Scale::Full => full,
+        }
+    }
+
+    /// Reads the scale from the `REPRO_SCALE` environment variable
+    /// (`quick` / `standard` / `full`), defaulting to `Standard`.
+    pub fn from_env() -> Scale {
+        match std::env::var("REPRO_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            Ok("full") => Scale::Full,
+            _ => Scale::Standard,
+        }
+    }
+}
+
+/// Generates the canonical trace of a benchmark at the given scale.
+pub fn trace(bench: Benchmark, scale: Scale) -> VecTrace {
+    bench.workload().generate(scale.budget(bench))
+}
+
+/// Runs the functional (accuracy-only) front end over a trace.
+pub fn functional(trace: &VecTrace, frontend: FrontEndConfig) -> BranchClassStats {
+    let mut h = PredictionHarness::new(frontend);
+    h.run(trace);
+    h.stats().clone()
+}
+
+/// Runs the timing model over a trace.
+pub fn timing(trace: &VecTrace, frontend: FrontEndConfig) -> SimReport {
+    simulate(trace, &MachineConfig::isca97(frontend))
+}
+
+/// The paper's headline derived metric: execution-time reduction of a
+/// target-cache configuration over the BTB-only baseline, on one trace.
+pub fn exec_time_reduction(trace: &VecTrace, tc: TargetCacheConfig) -> f64 {
+    let base = timing(trace, FrontEndConfig::isca97_baseline());
+    let with_tc = timing(trace, FrontEndConfig::isca97_with(tc));
+    with_tc.exec_time_reduction_vs(&base)
+}
+
+/// Both runs at once, when the caller wants the reports too.
+pub fn baseline_and_tc(trace: &VecTrace, tc: TargetCacheConfig) -> (SimReport, SimReport) {
+    (
+        timing(trace, FrontEndConfig::isca97_baseline()),
+        timing(trace, FrontEndConfig::isca97_with(tc)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_budgets_are_ordered() {
+        for bench in [Benchmark::Perl, Benchmark::Compress] {
+            assert!(Scale::Quick.budget(bench) <= Scale::Standard.budget(bench));
+            assert!(Scale::Standard.budget(bench) <= Scale::Full.budget(bench));
+        }
+    }
+
+    #[test]
+    fn functional_and_timing_agree_on_mispredictions() {
+        // The timing model embeds the same harness, so per-class stats must
+        // be identical.
+        let t = trace(Benchmark::M88ksim, Scale::Quick);
+        let f = functional(&t, FrontEndConfig::isca97_baseline());
+        let r = timing(&t, FrontEndConfig::isca97_baseline());
+        assert_eq!(&f, &r.branch_stats);
+    }
+
+    #[test]
+    fn target_cache_reduces_execution_time_on_perl() {
+        let t = trace(Benchmark::Perl, Scale::Quick);
+        let red = exec_time_reduction(&t, TargetCacheConfig::isca97_tagless_gshare());
+        assert!(red > 0.0, "target cache must speed up perl, got {red}");
+    }
+}
+
+/// A path-history scheme axis shared by Tables 5, 6 and 8: per-address, or
+/// global under one of the four recording filters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathScheme {
+    /// One register per static indirect jump.
+    PerAddress,
+    /// A single global register with the given filter.
+    Global(branch_predictors::PathFilter),
+}
+
+impl PathScheme {
+    /// All schemes, in the paper's column order (per-addr, then the global
+    /// filters).
+    pub fn all() -> Vec<PathScheme> {
+        use branch_predictors::PathFilter;
+        vec![
+            PathScheme::PerAddress,
+            PathScheme::Global(PathFilter::ConditionalOnly),
+            PathScheme::Global(PathFilter::Control),
+            PathScheme::Global(PathFilter::IndirectJump),
+            PathScheme::Global(PathFilter::CallReturn),
+        ]
+    }
+
+    /// The paper's column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PathScheme::PerAddress => "per-addr",
+            PathScheme::Global(f) => f.label(),
+        }
+    }
+
+    /// Builds the history source for this scheme with the given register
+    /// shape.
+    pub fn source(
+        &self,
+        total_bits: u32,
+        bits_per_target: u32,
+        target_bit_lo: u32,
+    ) -> target_cache::HistorySource {
+        use branch_predictors::{PathFilter, PathHistoryConfig};
+        let config = |filter: PathFilter| PathHistoryConfig {
+            total_bits,
+            bits_per_target,
+            target_bit_lo,
+            filter,
+        };
+        match self {
+            PathScheme::PerAddress => {
+                target_cache::HistorySource::PerAddressPath(config(PathFilter::IndirectJump))
+            }
+            PathScheme::Global(f) => target_cache::HistorySource::GlobalPath(config(*f)),
+        }
+    }
+}
+
+/// Execution-time reduction against a precomputed baseline report.
+pub fn exec_reduction_with_base(trace: &VecTrace, base: &SimReport, tc: TargetCacheConfig) -> f64 {
+    timing(trace, FrontEndConfig::isca97_with(tc)).exec_time_reduction_vs(base)
+}

@@ -1,0 +1,126 @@
+//! Table 5: path history — which bits of each target address to record.
+//!
+//! "Since only a few bits from each target are recorded in the path history
+//! register, different targets may have the same representation ... the
+//! performance of a path based target cache depends on the address bits
+//! from each target used to form the path history. Table 5 shows that the
+//! lower address bits provide more information than the higher address
+//! bits."
+//!
+//! Cells are execution-time reduction against the BTB-only baseline, as in
+//! the paper.
+
+use crate::report::{pct, TextTable};
+use crate::runner::{exec_reduction_with_base, timing, trace, PathScheme, Scale};
+use sim_workloads::Benchmark;
+use target_cache::harness::FrontEndConfig;
+use target_cache::{Organization, TargetCacheConfig};
+
+/// Target-address bit offsets studied (0 = the lowest bits above the
+/// alignment bits, as the paper recommends).
+pub const BIT_OFFSETS: [u32; 5] = [0, 1, 2, 4, 8];
+
+/// One row: a benchmark × bit-offset slice across all path schemes.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Which slice of the target address was recorded.
+    pub bit_offset: u32,
+    /// Execution-time reduction per scheme, in [`PathScheme::all`] order.
+    pub reductions: Vec<f64>,
+}
+
+/// Runs the experiment: 512-entry tagless gshare caches indexed with 9-bit
+/// path history recording 1 bit per target, varying which bit.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &benchmark in &Benchmark::FOCUS {
+        let t = trace(benchmark, scale);
+        let base = timing(&t, FrontEndConfig::isca97_baseline());
+        for &bit_offset in &BIT_OFFSETS {
+            let reductions = PathScheme::all()
+                .into_iter()
+                .map(|scheme| {
+                    let config = TargetCacheConfig::new(
+                        Organization::Tagless {
+                            entries: 512,
+                            scheme: target_cache::IndexScheme::Gshare,
+                        },
+                        scheme.source(9, 1, bit_offset),
+                    );
+                    exec_reduction_with_base(&t, &base, config)
+                })
+                .collect();
+            rows.push(Row {
+                benchmark,
+                bit_offset,
+                reductions,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the rows as the paper's Table 5.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Table 5: path history address-bit selection (execution-time reduction vs BTB baseline)\n\
+         512-entry tagless gshare, 9-bit path register, 1 bit per target\n",
+    );
+    for &benchmark in &Benchmark::FOCUS {
+        let mut headers = vec!["addr bit".to_string()];
+        headers.extend(PathScheme::all().iter().map(|s| s.label().to_string()));
+        let mut table = TextTable::new(headers);
+        for r in rows.iter().filter(|r| r.benchmark == benchmark) {
+            let mut cells = vec![r.bit_offset.to_string()];
+            cells.extend(r.reductions.iter().map(|&x| pct(x)));
+            table.row(cells);
+        }
+        out.push_str(&format!("\n[{}]\n{}", benchmark, table.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_bits_beat_high_bits_for_the_winning_perl_scheme() {
+        let rows = run(Scale::Quick);
+        // For perl's ind-jmp scheme (the paper's winner), recording the low
+        // bit must beat recording bit 8.
+        let ind_jmp = 3; // index in PathScheme::all(): per-addr, branch, control, ind jmp, call/ret
+        let perl_low = rows
+            .iter()
+            .find(|r| r.benchmark == Benchmark::Perl && r.bit_offset == 0)
+            .unwrap()
+            .reductions[ind_jmp];
+        let perl_high = rows
+            .iter()
+            .find(|r| r.benchmark == Benchmark::Perl && r.bit_offset == 8)
+            .unwrap()
+            .reductions[ind_jmp];
+        assert!(
+            perl_low >= perl_high,
+            "perl ind-jmp: bit 0 ({perl_low}) must beat bit 8 ({perl_high})"
+        );
+        assert!(perl_low > 0.03, "perl ind-jmp low-bit reduction {perl_low}");
+    }
+
+    #[test]
+    fn perl_favors_path_ind_jmp_over_call_ret() {
+        let rows = run(Scale::Quick);
+        let r = rows
+            .iter()
+            .find(|r| r.benchmark == Benchmark::Perl && r.bit_offset == 0)
+            .unwrap();
+        let ind_jmp = r.reductions[3];
+        let call_ret = r.reductions[4];
+        assert!(
+            ind_jmp > call_ret,
+            "perl: ind jmp ({ind_jmp}) should beat call/ret ({call_ret})"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Table 7: tagged target caches — indexing scheme × set associativity.
+//!
+//! "The Address selection scheme results in a significant number of
+//! conflict misses in target caches with a low degree of set-associativity
+//! because all targets of an indirect jump are mapped to the same set. ...
+//! The History Concatenate and History Xor schemes suffer a much smaller
+//! number of conflict misses because they can map the targets of an
+//! indirect jump into any set in the target cache."
+//!
+//! 256-entry tagged caches, 9 bits of global pattern history; cells are
+//! execution-time reduction vs the BTB baseline.
+
+use crate::report::{pct, TextTable};
+use crate::runner::{exec_reduction_with_base, timing, trace, Scale};
+use sim_workloads::Benchmark;
+use target_cache::harness::FrontEndConfig;
+use target_cache::{HistorySource, Organization, TaggedIndexScheme, TargetCacheConfig};
+
+/// Associativities studied (the paper sweeps 1..=256; we sample it).
+pub const ASSOCS: [usize; 7] = [1, 2, 4, 8, 16, 64, 256];
+
+/// One row: a benchmark × associativity slice across the three indexing
+/// schemes.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Ways per set.
+    pub assoc: usize,
+    /// Execution-time reduction per scheme, in [`TaggedIndexScheme::ALL`]
+    /// order (Address, History-Concat, History-Xor).
+    pub reductions: Vec<f64>,
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &benchmark in &Benchmark::FOCUS {
+        let t = trace(benchmark, scale);
+        let base = timing(&t, FrontEndConfig::isca97_baseline());
+        for &assoc in &ASSOCS {
+            let reductions = TaggedIndexScheme::ALL
+                .iter()
+                .map(|&scheme| {
+                    let config = TargetCacheConfig::new(
+                        Organization::Tagged {
+                            entries: 256,
+                            assoc,
+                            scheme,
+                        },
+                        HistorySource::Pattern { bits: 9 },
+                    );
+                    exec_reduction_with_base(&t, &base, config)
+                })
+                .collect();
+            rows.push(Row {
+                benchmark,
+                assoc,
+                reductions,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the rows as the paper's Table 7.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Table 7: 256-entry tagged target caches, 9 pattern-history bits\n\
+         (execution-time reduction vs BTB baseline)\n",
+    );
+    for &benchmark in &Benchmark::FOCUS {
+        let mut headers = vec!["set-assoc".to_string()];
+        headers.extend(TaggedIndexScheme::ALL.iter().map(|s| s.label().to_string()));
+        let mut table = TextTable::new(headers);
+        for r in rows.iter().filter(|r| r.benchmark == benchmark) {
+            let mut cells = vec![r.assoc.to_string()];
+            cells.extend(r.reductions.iter().map(|&x| pct(x)));
+            table.row(cells);
+        }
+        out.push_str(&format!("\n[{}]\n{}", benchmark, table.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_scheme_needs_associativity_history_xor_does_not() {
+        let rows = run(Scale::Quick);
+        for &bench in &Benchmark::FOCUS {
+            let get = |assoc: usize| {
+                rows.iter()
+                    .find(|r| r.benchmark == bench && r.assoc == assoc)
+                    .unwrap()
+            };
+            let direct = get(1);
+            let (addr_1, xor_1) = (direct.reductions[0], direct.reductions[2]);
+            // Direct-mapped: Address indexing thrashes, History-Xor works.
+            assert!(
+                xor_1 > addr_1,
+                "{bench}: direct-mapped xor ({xor_1}) must beat address ({addr_1})"
+            );
+            // High associativity rescues the Address scheme (paper: "a high
+            // degree of set-associativity is required to avoid trashing").
+            let wide = get(256);
+            let addr_wide = wide.reductions[0];
+            assert!(
+                addr_wide > addr_1,
+                "{bench}: 256-way address ({addr_wide}) must beat direct-mapped ({addr_1})"
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Table 8: tagged target caches indexed with path history.
+//!
+//! "The path history schemes reported in this section record one bit from
+//! each target address into the 9-bit path history register. ... As in the
+//! tagless schemes, using pattern history results in better performance for
+//! gcc and using global path history results in better performance for
+//! perl."
+//!
+//! 256-entry History-Xor tagged caches; cells are execution-time reduction
+//! vs the BTB baseline.
+
+use crate::report::{pct, TextTable};
+use crate::runner::{exec_reduction_with_base, timing, trace, PathScheme, Scale};
+use sim_workloads::Benchmark;
+use target_cache::harness::FrontEndConfig;
+use target_cache::{Organization, TaggedIndexScheme, TargetCacheConfig};
+
+/// Associativities studied.
+pub const ASSOCS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One row: a benchmark × associativity slice across the path schemes.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Ways per set.
+    pub assoc: usize,
+    /// Execution-time reduction per scheme, in [`PathScheme::all`] order.
+    pub reductions: Vec<f64>,
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &benchmark in &Benchmark::FOCUS {
+        let t = trace(benchmark, scale);
+        let base = timing(&t, FrontEndConfig::isca97_baseline());
+        for &assoc in &ASSOCS {
+            let reductions = PathScheme::all()
+                .into_iter()
+                .map(|scheme| {
+                    let config = TargetCacheConfig::new(
+                        Organization::Tagged {
+                            entries: 256,
+                            assoc,
+                            scheme: TaggedIndexScheme::HistoryXor,
+                        },
+                        scheme.source(9, 1, 0),
+                    );
+                    exec_reduction_with_base(&t, &base, config)
+                })
+                .collect();
+            rows.push(Row {
+                benchmark,
+                assoc,
+                reductions,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the rows as the paper's Table 8.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Table 8: 256-entry tagged target caches, 9 path-history bits (1 bit/target)\n\
+         (execution-time reduction vs BTB baseline)\n",
+    );
+    for &benchmark in &Benchmark::FOCUS {
+        let mut headers = vec!["set-assoc".to_string()];
+        headers.extend(PathScheme::all().iter().map(|s| s.label().to_string()));
+        let mut table = TextTable::new(headers);
+        for r in rows.iter().filter(|r| r.benchmark == benchmark) {
+            let mut cells = vec![r.assoc.to_string()];
+            cells.extend(r.reductions.iter().map(|&x| pct(x)));
+            table.row(cells);
+        }
+        out.push_str(&format!("\n[{}]\n{}", benchmark, table.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perl_prefers_path_history_in_tagged_caches_too() {
+        let rows = run(Scale::Quick);
+        let r = rows
+            .iter()
+            .find(|r| r.benchmark == Benchmark::Perl && r.assoc == 4)
+            .unwrap();
+        let ind_jmp = r.reductions[3];
+        assert!(
+            ind_jmp > 0.02,
+            "perl tagged path ind-jmp reduction {ind_jmp}"
+        );
+        // Path ind-jmp beats call/ret for perl in tagged form as well.
+        assert!(ind_jmp > r.reductions[4]);
+    }
+
+    #[test]
+    fn associativity_helps_or_holds_for_perl_ind_jmp() {
+        let rows = run(Scale::Quick);
+        let get = |assoc: usize| {
+            rows.iter()
+                .find(|r| r.benchmark == Benchmark::Perl && r.assoc == assoc)
+                .unwrap()
+                .reductions[3]
+        };
+        assert!(
+            get(8) >= get(1) - 0.01,
+            "8-way {} vs direct {}",
+            get(8),
+            get(1)
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Word-aligned instruction addresses.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// The size, in bytes, of every instruction in the simulated ISA.
+///
+/// The paper's machine fetches fixed-width instructions aligned on word
+/// boundaries; Section 4.2.2 notes that "the least significant bits from each
+/// address are ignored because instructions are aligned on word boundaries".
+pub const INSTR_BYTES: u64 = 4;
+
+/// A word-aligned instruction address.
+///
+/// `Addr` is a newtype over `u64`. Constructing an `Addr` rounds the raw
+/// value down to the nearest instruction boundary, so every `Addr` is
+/// guaranteed word-aligned — predictors may therefore discard the two low
+/// bits without checking.
+///
+/// # Example
+///
+/// ```
+/// use sim_isa::Addr;
+///
+/// let a = Addr::new(0x1003); // rounds down to the containing word
+/// assert_eq!(a.raw(), 0x1000);
+/// assert_eq!(a.next().raw(), 0x1004);
+/// assert_eq!(a.word_index(), 0x400);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The zero address. Used as a sentinel "before the program" value.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address, rounding `raw` down to the instruction boundary.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw & !(INSTR_BYTES - 1))
+    }
+
+    /// Creates the address of the `index`-th instruction word.
+    #[inline]
+    pub const fn from_word_index(index: u64) -> Self {
+        Addr(index * INSTR_BYTES)
+    }
+
+    /// The raw byte address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The address divided by the instruction size: a dense index with the
+    /// alignment bits already stripped, which is what predictors hash.
+    #[inline]
+    pub const fn word_index(self) -> u64 {
+        self.0 / INSTR_BYTES
+    }
+
+    /// The address of the next sequential instruction (the fall-through
+    /// address of an instruction located at `self`).
+    #[inline]
+    pub const fn next(self) -> Self {
+        Addr(self.0 + INSTR_BYTES)
+    }
+
+    /// The address `n` instructions after `self`.
+    #[inline]
+    pub const fn offset(self, n: u64) -> Self {
+        Addr(self.0 + n * INSTR_BYTES)
+    }
+
+    /// Extracts `count` bits of the word index starting at bit `lo`.
+    ///
+    /// This is the primitive used by path-history registers when recording
+    /// "the least significant bits from each target" (paper Section 4.2.2),
+    /// or higher slices of the target for the address-bit-selection study of
+    /// Table 5. Bit 0 is the lowest bit *above* the alignment bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is 0 or greater than 64.
+    #[inline]
+    pub fn bits(self, lo: u32, count: u32) -> u64 {
+        assert!((1..=64).contains(&count), "bit count must be in 1..=64");
+        let shifted = self.word_index() >> lo;
+        if count == 64 {
+            shifted
+        } else {
+            shifted & ((1u64 << count) - 1)
+        }
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> u64 {
+        a.raw()
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    /// Adds `n` *instructions* (not bytes).
+    fn add(self, n: u64) -> Addr {
+        self.offset(n)
+    }
+}
+
+impl Sub for Addr {
+    type Output = i64;
+
+    /// Distance in *instructions* from `rhs` to `self`.
+    fn sub(self, rhs: Addr) -> i64 {
+        (self.0 as i64 - rhs.0 as i64) / INSTR_BYTES as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rounds_down_to_word() {
+        assert_eq!(Addr::new(0x1000).raw(), 0x1000);
+        assert_eq!(Addr::new(0x1001).raw(), 0x1000);
+        assert_eq!(Addr::new(0x1002).raw(), 0x1000);
+        assert_eq!(Addr::new(0x1003).raw(), 0x1000);
+        assert_eq!(Addr::new(0x1004).raw(), 0x1004);
+    }
+
+    #[test]
+    fn word_index_strips_alignment() {
+        assert_eq!(Addr::new(0).word_index(), 0);
+        assert_eq!(Addr::new(4).word_index(), 1);
+        assert_eq!(Addr::new(0x100).word_index(), 0x40);
+        assert_eq!(Addr::from_word_index(77).word_index(), 77);
+    }
+
+    #[test]
+    fn next_and_offset_step_by_instruction() {
+        let a = Addr::new(0x2000);
+        assert_eq!(a.next(), Addr::new(0x2004));
+        assert_eq!(a.offset(3), Addr::new(0x200c));
+        assert_eq!(a + 3, Addr::new(0x200c));
+    }
+
+    #[test]
+    fn sub_measures_instruction_distance() {
+        assert_eq!(Addr::new(0x2010) - Addr::new(0x2000), 4);
+        assert_eq!(Addr::new(0x2000) - Addr::new(0x2010), -4);
+    }
+
+    #[test]
+    fn bits_extract_word_index_slices() {
+        let a = Addr::from_word_index(0b1011_0110);
+        assert_eq!(a.bits(0, 1), 0);
+        assert_eq!(a.bits(1, 1), 1);
+        assert_eq!(a.bits(0, 4), 0b0110);
+        assert_eq!(a.bits(2, 3), 0b101);
+        assert_eq!(a.bits(4, 4), 0b1011);
+    }
+
+    #[test]
+    fn bits_full_width() {
+        let a = Addr::from_word_index(u64::MAX / INSTR_BYTES);
+        assert_eq!(a.bits(0, 64), a.word_index());
+    }
+
+    #[test]
+    #[should_panic(expected = "bit count")]
+    fn bits_zero_count_panics() {
+        Addr::new(0).bits(0, 0);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let a = Addr::new(0x1234 & !3);
+        assert_eq!(format!("{a}"), "0x00001234");
+        assert_eq!(format!("{a:?}"), "Addr(0x1234)");
+        assert_eq!(format!("{a:x}"), "1234");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(Addr::new(0x1000) < Addr::new(0x1004));
+        let mut v = vec![Addr::new(8), Addr::new(0), Addr::new(4)];
+        v.sort();
+        assert_eq!(v, vec![Addr::new(0), Addr::new(4), Addr::new(8)]);
+    }
+}

@@ -1,0 +1,265 @@
+//! The branch taxonomy of the paper and the dynamic outcome of a branch.
+
+use crate::Addr;
+use std::fmt;
+
+/// Branch classes, following the paper's taxonomy.
+///
+/// "A program's branches can be categorized as conditional or unconditional
+/// and direct or indirect" — giving four combinations, of which three occur
+/// in practice (conditional-indirect branches are essentially absent from
+/// compiled code). Calls and returns are distinguished because the paper
+/// treats them specially: returns are predicted by the return address stack
+/// and are *not* handled by the target cache, and the Call/ret path-history
+/// filter records only them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BranchClass {
+    /// Conditional direct branch: statically-known target, taken or not.
+    CondDirect,
+    /// Unconditional direct jump (always taken, statically-known target).
+    UncondDirect,
+    /// Direct call (jump-to-subroutine with statically-known target).
+    Call,
+    /// Indirect call through a register/function pointer.
+    IndirectCall,
+    /// Subroutine return (an indirect jump handled by the return stack).
+    Return,
+    /// Indirect jump: dynamically-computed target (switch tables etc.).
+    /// This is the branch class the target cache predicts.
+    IndirectJump,
+}
+
+impl BranchClass {
+    /// All branch classes.
+    pub const ALL: [BranchClass; 6] = [
+        BranchClass::CondDirect,
+        BranchClass::UncondDirect,
+        BranchClass::Call,
+        BranchClass::IndirectCall,
+        BranchClass::Return,
+        BranchClass::IndirectJump,
+    ];
+
+    /// Whether the branch's target is computed at run time.
+    #[inline]
+    pub const fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            BranchClass::IndirectJump | BranchClass::IndirectCall | BranchClass::Return
+        )
+    }
+
+    /// Whether the branch may fall through (only conditional branches may).
+    #[inline]
+    pub const fn is_conditional(self) -> bool {
+        matches!(self, BranchClass::CondDirect)
+    }
+
+    /// Whether the branch pushes a return address (calls of either kind).
+    #[inline]
+    pub const fn is_call(self) -> bool {
+        matches!(self, BranchClass::Call | BranchClass::IndirectCall)
+    }
+
+    /// Whether the branch pops the return address stack.
+    #[inline]
+    pub const fn is_return(self) -> bool {
+        matches!(self, BranchClass::Return)
+    }
+
+    /// Whether the target cache is responsible for predicting this branch's
+    /// target.
+    ///
+    /// Per the paper: indirect jumps (and indirect calls) are predicted by
+    /// the target cache; returns, "although technically indirect jumps, are
+    /// not handled with the target cache because they are effectively handled
+    /// with the return address stack".
+    #[inline]
+    pub const fn uses_target_cache(self) -> bool {
+        matches!(self, BranchClass::IndirectJump | BranchClass::IndirectCall)
+    }
+
+    /// A dense index in `0..6` for per-class statistics arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            BranchClass::CondDirect => 0,
+            BranchClass::UncondDirect => 1,
+            BranchClass::Call => 2,
+            BranchClass::IndirectCall => 3,
+            BranchClass::Return => 4,
+            BranchClass::IndirectJump => 5,
+        }
+    }
+
+    /// Short mnemonic used in reports.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            BranchClass::CondDirect => "cond",
+            BranchClass::UncondDirect => "jmp",
+            BranchClass::Call => "call",
+            BranchClass::IndirectCall => "icall",
+            BranchClass::Return => "ret",
+            BranchClass::IndirectJump => "ijmp",
+        }
+    }
+}
+
+impl fmt::Display for BranchClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The dynamic outcome of one executed branch: direction plus the computed
+/// target.
+///
+/// `target` is the address control transfers to *when taken*. For a
+/// not-taken conditional branch it still records the would-be taken target
+/// (which is what a BTB stores); [`BranchExec::next_pc`] resolves the actual
+/// successor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BranchExec {
+    /// Which kind of branch this is.
+    pub class: BranchClass,
+    /// Whether the branch redirected control flow this execution.
+    pub taken: bool,
+    /// The taken-path target address.
+    pub target: Addr,
+}
+
+impl BranchExec {
+    /// A taken branch of class `class` landing on `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a non-conditional class is created as
+    /// not-taken via [`BranchExec::new`]; this constructor always sets
+    /// `taken`.
+    #[inline]
+    pub fn taken(class: BranchClass, target: Addr) -> Self {
+        BranchExec {
+            class,
+            taken: true,
+            target,
+        }
+    }
+
+    /// A not-taken conditional branch whose taken-path target would have
+    /// been `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is not conditional: unconditional branches are
+    /// always taken.
+    #[inline]
+    pub fn not_taken(class: BranchClass, target: Addr) -> Self {
+        assert!(
+            class.is_conditional(),
+            "only conditional branches can be not-taken, got {class:?}"
+        );
+        BranchExec {
+            class,
+            taken: false,
+            target,
+        }
+    }
+
+    /// General constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taken` is false for a non-conditional class.
+    #[inline]
+    pub fn new(class: BranchClass, taken: bool, target: Addr) -> Self {
+        assert!(
+            taken || class.is_conditional(),
+            "only conditional branches can be not-taken, got {class:?}"
+        );
+        BranchExec {
+            class,
+            taken,
+            target,
+        }
+    }
+
+    /// The address control actually flowed to, given the branch lives at
+    /// `pc`: the target if taken, the fall-through otherwise.
+    #[inline]
+    pub fn next_pc(&self, pc: Addr) -> Addr {
+        if self.taken {
+            self.target
+        } else {
+            pc.next()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_indirectness() {
+        assert!(BranchClass::IndirectJump.is_indirect());
+        assert!(BranchClass::IndirectCall.is_indirect());
+        assert!(BranchClass::Return.is_indirect());
+        assert!(!BranchClass::CondDirect.is_indirect());
+        assert!(!BranchClass::UncondDirect.is_indirect());
+        assert!(!BranchClass::Call.is_indirect());
+    }
+
+    #[test]
+    fn only_cond_direct_is_conditional() {
+        for c in BranchClass::ALL {
+            assert_eq!(c.is_conditional(), c == BranchClass::CondDirect);
+        }
+    }
+
+    #[test]
+    fn target_cache_covers_indirect_jumps_and_calls_but_not_returns() {
+        assert!(BranchClass::IndirectJump.uses_target_cache());
+        assert!(BranchClass::IndirectCall.uses_target_cache());
+        assert!(!BranchClass::Return.uses_target_cache());
+        assert!(!BranchClass::CondDirect.uses_target_cache());
+    }
+
+    #[test]
+    fn call_and_return_helpers() {
+        assert!(BranchClass::Call.is_call());
+        assert!(BranchClass::IndirectCall.is_call());
+        assert!(!BranchClass::Return.is_call());
+        assert!(BranchClass::Return.is_return());
+    }
+
+    #[test]
+    fn indices_are_dense_and_in_order() {
+        for (i, c) in BranchClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn next_pc_taken_goes_to_target() {
+        let b = BranchExec::taken(BranchClass::UncondDirect, Addr::new(0x500));
+        assert_eq!(b.next_pc(Addr::new(0x100)), Addr::new(0x500));
+    }
+
+    #[test]
+    fn next_pc_not_taken_falls_through() {
+        let b = BranchExec::not_taken(BranchClass::CondDirect, Addr::new(0x500));
+        assert_eq!(b.next_pc(Addr::new(0x100)), Addr::new(0x104));
+    }
+
+    #[test]
+    #[should_panic(expected = "not-taken")]
+    fn unconditional_cannot_be_not_taken() {
+        BranchExec::new(BranchClass::IndirectJump, false, Addr::new(0x500));
+    }
+
+    #[test]
+    #[should_panic(expected = "not-taken")]
+    fn not_taken_constructor_rejects_unconditional() {
+        BranchExec::not_taken(BranchClass::Return, Addr::new(0x500));
+    }
+}

@@ -1,0 +1,136 @@
+//! Instruction classes (Table 3 of the paper).
+
+use std::fmt;
+
+/// The instruction classes of Table 3 of the paper, which also defines their
+/// execution latencies in the HPS machine model.
+///
+/// | Class      | Paper description                  |
+/// |------------|------------------------------------|
+/// | `Integer`  | INT add, sub and logic ops         |
+/// | `FpAdd`    | FP add, sub, and convert           |
+/// | `Mul`      | FP mul and INT mul                 |
+/// | `Div`      | FP div and INT div                 |
+/// | `Load`     | memory loads                       |
+/// | `Store`    | memory stores                      |
+/// | `BitField` | shift and bit testing              |
+/// | `Branch`   | control instructions               |
+///
+/// Latencies live in the timing model's configuration
+/// (`hps_uarch::MachineConfig`), not here, so alternative machines can be
+/// modelled without touching the ISA.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum InstrClass {
+    /// Integer add, subtract, and logic operations.
+    Integer,
+    /// Floating-point add, subtract, and convert.
+    FpAdd,
+    /// Integer and floating-point multiply.
+    Mul,
+    /// Integer and floating-point divide.
+    Div,
+    /// Memory loads.
+    Load,
+    /// Memory stores.
+    Store,
+    /// Shift and bit-field operations.
+    BitField,
+    /// Control instructions (all branches and jumps).
+    Branch,
+}
+
+impl InstrClass {
+    /// All instruction classes, in Table 3 order.
+    pub const ALL: [InstrClass; 8] = [
+        InstrClass::Integer,
+        InstrClass::FpAdd,
+        InstrClass::Mul,
+        InstrClass::Div,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::BitField,
+        InstrClass::Branch,
+    ];
+
+    /// Whether the class accesses memory.
+    #[inline]
+    pub const fn is_memory(self) -> bool {
+        matches!(self, InstrClass::Load | InstrClass::Store)
+    }
+
+    /// Whether the class redirects control flow.
+    #[inline]
+    pub const fn is_control(self) -> bool {
+        matches!(self, InstrClass::Branch)
+    }
+
+    /// A dense index in `0..8`, useful for per-class statistics arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            InstrClass::Integer => 0,
+            InstrClass::FpAdd => 1,
+            InstrClass::Mul => 2,
+            InstrClass::Div => 3,
+            InstrClass::Load => 4,
+            InstrClass::Store => 5,
+            InstrClass::BitField => 6,
+            InstrClass::Branch => 7,
+        }
+    }
+
+    /// Short mnemonic used in reports.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            InstrClass::Integer => "int",
+            InstrClass::FpAdd => "fadd",
+            InstrClass::Mul => "mul",
+            InstrClass::Div => "div",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::BitField => "bit",
+            InstrClass::Branch => "br",
+        }
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_each_class_once_in_index_order() {
+        assert_eq!(InstrClass::ALL.len(), 8);
+        for (i, c) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn memory_classes() {
+        assert!(InstrClass::Load.is_memory());
+        assert!(InstrClass::Store.is_memory());
+        assert!(!InstrClass::Integer.is_memory());
+        assert!(!InstrClass::Branch.is_memory());
+    }
+
+    #[test]
+    fn control_class() {
+        assert!(InstrClass::Branch.is_control());
+        assert!(!InstrClass::Load.is_control());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in InstrClass::ALL {
+            assert!(seen.insert(c.mnemonic()), "duplicate mnemonic {}", c);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Binary trace serialization.
+//!
+//! A compact, versioned, deterministic on-disk format for [`VecTrace`]s,
+//! so generated workloads can be exchanged and replayed as artifacts
+//! (`tracegen` / `traceinfo` in the `sim-workloads` crate drive this).
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic    8 bytes  "IJPTRC01"
+//! count    u64      number of instructions
+//! records  count ×:
+//!   kind   u8       0..=6 non-branch class index; 0x40|branch-class branch
+//!   pc     u64
+//!   ops    u8       bit0/1: src present, bit2: dst present, bit3: taken
+//!   srcs   present × u16
+//!   dst    present × u16
+//!   mem    u64      loads/stores only
+//!   target u64      branches only
+//! ```
+
+use crate::{Addr, BranchClass, BranchExec, DynInstr, InstrClass, Reg, VecTrace};
+use std::io::{self, Read, Write};
+
+/// File magic identifying format version 1.
+pub const MAGIC: &[u8; 8] = b"IJPTRC01";
+
+const BRANCH_KIND_BASE: u8 = 0x40;
+
+/// Errors produced while decoding a trace.
+#[derive(Debug)]
+pub enum DecodeTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic bytes did not match [`MAGIC`].
+    BadMagic([u8; 8]),
+    /// A record carried an unknown kind byte.
+    BadKind(u8),
+    /// A register index was out of range.
+    BadRegister(u16),
+}
+
+impl std::fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeTraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            DecodeTraceError::BadMagic(m) => write!(f, "not a trace file (magic {m:02x?})"),
+            DecodeTraceError::BadKind(k) => write!(f, "unknown record kind {k:#04x}"),
+            DecodeTraceError::BadRegister(r) => write!(f, "register index {r} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DecodeTraceError {
+    fn from(e: io::Error) -> Self {
+        DecodeTraceError::Io(e)
+    }
+}
+
+const NON_BRANCH_CLASSES: [InstrClass; 7] = [
+    InstrClass::Integer,
+    InstrClass::FpAdd,
+    InstrClass::Mul,
+    InstrClass::Div,
+    InstrClass::Load,
+    InstrClass::Store,
+    InstrClass::BitField,
+];
+
+fn kind_byte(i: &DynInstr) -> u8 {
+    match i.branch_exec() {
+        Some(b) => BRANCH_KIND_BASE | b.class.index() as u8,
+        None => NON_BRANCH_CLASSES
+            .iter()
+            .position(|&c| c == i.class())
+            .expect("non-branch instruction has a non-branch class") as u8,
+    }
+}
+
+/// Writes a trace to `writer`. A `&mut` reference works as the writer.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_trace<W: Write>(mut writer: W, trace: &VecTrace) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for i in trace.iter() {
+        writer.write_all(&[kind_byte(i)])?;
+        writer.write_all(&i.pc().raw().to_le_bytes())?;
+        let srcs = i.srcs();
+        let flags = srcs[0].is_some() as u8
+            | (srcs[1].is_some() as u8) << 1
+            | (i.dst().is_some() as u8) << 2
+            | (i.branch_exec().is_some_and(|b| b.taken) as u8) << 3;
+        writer.write_all(&[flags])?;
+        for src in srcs.into_iter().flatten() {
+            writer.write_all(&src.index().to_le_bytes())?;
+        }
+        if let Some(dst) = i.dst() {
+            writer.write_all(&dst.index().to_le_bytes())?;
+        }
+        if let Some(mem) = i.mem() {
+            writer.write_all(&mem.addr.to_le_bytes())?;
+        }
+        if let Some(b) = i.branch_exec() {
+            writer.write_all(&b.target.raw().to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_array<R: Read, const N: usize>(reader: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    reader.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
+    Ok(u64::from_le_bytes(read_array(reader)?))
+}
+
+fn read_reg<R: Read>(reader: &mut R) -> Result<Reg, DecodeTraceError> {
+    let raw = u16::from_le_bytes(read_array(reader)?);
+    if raw >= crate::reg::REG_COUNT {
+        return Err(DecodeTraceError::BadRegister(raw));
+    }
+    Ok(Reg::new(raw))
+}
+
+/// Reads a trace from `reader`. A `&mut` reference works as the reader.
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError`] on I/O failure, bad magic, unknown record
+/// kinds, or out-of-range register indices.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<VecTrace, DecodeTraceError> {
+    let magic: [u8; 8] = read_array(&mut reader)?;
+    if &magic != MAGIC {
+        return Err(DecodeTraceError::BadMagic(magic));
+    }
+    let count = read_u64(&mut reader)?;
+    let mut trace = VecTrace::new();
+    for _ in 0..count {
+        let [kind] = read_array(&mut reader)?;
+        let pc = Addr::new(read_u64(&mut reader)?);
+        let [flags] = read_array(&mut reader)?;
+        let src_a = if flags & 1 != 0 {
+            Some(read_reg(&mut reader)?)
+        } else {
+            None
+        };
+        let src_b = if flags & 2 != 0 {
+            Some(read_reg(&mut reader)?)
+        } else {
+            None
+        };
+        let dst = if flags & 4 != 0 {
+            Some(read_reg(&mut reader)?)
+        } else {
+            None
+        };
+        let taken = flags & 8 != 0;
+
+        let mut instr = if kind & BRANCH_KIND_BASE != 0 {
+            let class = *BranchClass::ALL
+                .get((kind & !BRANCH_KIND_BASE) as usize)
+                .ok_or(DecodeTraceError::BadKind(kind))?;
+            let target = Addr::new(read_u64(&mut reader)?);
+            DynInstr::branch(pc, BranchExec::new(class, taken, target))
+        } else {
+            let class = *NON_BRANCH_CLASSES
+                .get(kind as usize)
+                .ok_or(DecodeTraceError::BadKind(kind))?;
+            match class {
+                InstrClass::Load => {
+                    let addr = read_u64(&mut reader)?;
+                    DynInstr::load(pc, addr)
+                }
+                InstrClass::Store => {
+                    let addr = read_u64(&mut reader)?;
+                    DynInstr::store(pc, addr)
+                }
+                c => DynInstr::op(pc, c),
+            }
+        };
+        instr = instr.with_srcs(src_a, src_b);
+        if let Some(dst) = dst {
+            instr = instr.with_dst(dst);
+        }
+        trace.push(instr);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> VecTrace {
+        VecTrace::from_iter([
+            DynInstr::op(Addr::new(0x100), InstrClass::Integer)
+                .with_srcs(Some(Reg::new(1)), Some(Reg::new(2)))
+                .with_dst(Reg::new(3)),
+            DynInstr::load(Addr::new(0x104), 0xDEAD_BEEF).with_dst(Reg::new(4)),
+            DynInstr::store(Addr::new(0x108), 0x1234_5678).with_srcs(Some(Reg::new(4)), None),
+            DynInstr::branch(
+                Addr::new(0x10c),
+                BranchExec::not_taken(BranchClass::CondDirect, Addr::new(0x200)),
+            ),
+            DynInstr::branch(
+                Addr::new(0x110),
+                BranchExec::taken(BranchClass::IndirectJump, Addr::new(0x300)),
+            ),
+            DynInstr::branch(
+                Addr::new(0x300),
+                BranchExec::taken(BranchClass::Return, Addr::new(0x114)),
+            ),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let decoded = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &VecTrace::new()).unwrap();
+        assert_eq!(buf.len(), 16); // magic + count
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), VecTrace::new());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOTATRCE\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, DecodeTraceError::BadMagic(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_is_an_io_error() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, DecodeTraceError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(0x3F); // not a valid non-branch class index
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.push(0);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, DecodeTraceError::BadKind(0x3F)), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_register_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(0); // integer op
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.push(1); // src_a present
+        buf.extend_from_slice(&999u16.to_le_bytes());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, DecodeTraceError::BadRegister(999)), "{err}");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DecodeTraceError::BadKind(0x3F);
+        assert!(e.to_string().contains("0x3f"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Dynamic instruction records.
+
+use crate::{Addr, BranchExec, InstrClass, Reg};
+use std::fmt;
+
+/// A dynamic memory access made by a load or store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MemAccess {
+    /// The byte address accessed. Need not be instruction-aligned.
+    pub addr: u64,
+}
+
+impl MemAccess {
+    /// Creates a memory access record.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        MemAccess { addr }
+    }
+}
+
+/// One dynamic instruction of an execution trace.
+///
+/// A `DynInstr` carries everything the predictors and the timing model need:
+/// the fetch address, the instruction class (for functional-unit latency),
+/// register operands (for the data-flow schedule), the data address of a
+/// load/store (for the data cache), and — for control instructions — the
+/// resolved [`BranchExec`] outcome.
+///
+/// Invariants, enforced by the constructors:
+/// * `class == Branch` ⟺ `branch.is_some()`
+/// * `class ∈ {Load, Store}` ⟺ `mem.is_some()`
+///
+/// # Example
+///
+/// ```
+/// use sim_isa::{Addr, DynInstr, InstrClass, Reg};
+///
+/// let add = DynInstr::op(Addr::new(0x100), InstrClass::Integer)
+///     .with_srcs(Some(Reg::new(1)), Some(Reg::new(2)))
+///     .with_dst(Reg::new(3));
+/// assert_eq!(add.class(), InstrClass::Integer);
+/// assert!(add.branch_exec().is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DynInstr {
+    pc: Addr,
+    class: InstrClass,
+    srcs: [Option<Reg>; 2],
+    dst: Option<Reg>,
+    mem: Option<MemAccess>,
+    branch: Option<BranchExec>,
+}
+
+impl DynInstr {
+    /// Creates a non-memory, non-branch operation of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is `Branch`, `Load`, or `Store`; use
+    /// [`DynInstr::branch`](DynInstr::branch()) /
+    /// [`DynInstr::load`] / [`DynInstr::store`] for those.
+    pub fn op(pc: Addr, class: InstrClass) -> Self {
+        assert!(
+            !class.is_control() && !class.is_memory(),
+            "use the dedicated constructor for {class:?}"
+        );
+        DynInstr {
+            pc,
+            class,
+            srcs: [None, None],
+            dst: None,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// Creates a load from `mem_addr`.
+    pub fn load(pc: Addr, mem_addr: u64) -> Self {
+        DynInstr {
+            pc,
+            class: InstrClass::Load,
+            srcs: [None, None],
+            dst: None,
+            mem: Some(MemAccess::new(mem_addr)),
+            branch: None,
+        }
+    }
+
+    /// Creates a store to `mem_addr`.
+    pub fn store(pc: Addr, mem_addr: u64) -> Self {
+        DynInstr {
+            pc,
+            class: InstrClass::Store,
+            srcs: [None, None],
+            dst: None,
+            mem: Some(MemAccess::new(mem_addr)),
+            branch: None,
+        }
+    }
+
+    /// Creates a control instruction with the given resolved outcome.
+    pub fn branch(pc: Addr, exec: BranchExec) -> Self {
+        DynInstr {
+            pc,
+            class: InstrClass::Branch,
+            srcs: [None, None],
+            dst: None,
+            mem: None,
+            branch: Some(exec),
+        }
+    }
+
+    /// Sets the source registers (builder style).
+    #[must_use]
+    pub fn with_srcs(mut self, a: Option<Reg>, b: Option<Reg>) -> Self {
+        self.srcs = [a, b];
+        self
+    }
+
+    /// Sets the destination register (builder style).
+    #[must_use]
+    pub fn with_dst(mut self, dst: Reg) -> Self {
+        self.dst = Some(dst);
+        self
+    }
+
+    /// The instruction's fetch address.
+    #[inline]
+    pub fn pc(&self) -> Addr {
+        self.pc
+    }
+
+    /// The instruction's class.
+    #[inline]
+    pub fn class(&self) -> InstrClass {
+        self.class
+    }
+
+    /// Source register operands (up to two).
+    #[inline]
+    pub fn srcs(&self) -> [Option<Reg>; 2] {
+        self.srcs
+    }
+
+    /// Destination register, if any.
+    #[inline]
+    pub fn dst(&self) -> Option<Reg> {
+        self.dst
+    }
+
+    /// Memory access, if this is a load or store.
+    #[inline]
+    pub fn mem(&self) -> Option<MemAccess> {
+        self.mem
+    }
+
+    /// Resolved branch outcome, if this is a control instruction.
+    #[inline]
+    pub fn branch_exec(&self) -> Option<BranchExec> {
+        self.branch
+    }
+
+    /// The address of the next instruction on the executed path.
+    #[inline]
+    pub fn next_pc(&self) -> Addr {
+        match self.branch {
+            Some(b) => b.next_pc(self.pc),
+            None => self.pc.next(),
+        }
+    }
+}
+
+impl fmt::Debug for DynInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.pc, self.class)?;
+        if let Some(b) = &self.branch {
+            write!(
+                f,
+                " {} {} -> {}",
+                b.class,
+                if b.taken { "T" } else { "N" },
+                b.target
+            )?;
+        }
+        if let Some(m) = &self.mem {
+            write!(f, " [{:#x}]", m.addr)?;
+        }
+        if let Some(d) = self.dst {
+            write!(f, " => {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BranchClass;
+
+    #[test]
+    fn op_constructor_sets_class() {
+        let i = DynInstr::op(Addr::new(0x10), InstrClass::Mul);
+        assert_eq!(i.class(), InstrClass::Mul);
+        assert!(i.mem().is_none());
+        assert!(i.branch_exec().is_none());
+        assert_eq!(i.next_pc(), Addr::new(0x14));
+    }
+
+    #[test]
+    #[should_panic(expected = "dedicated constructor")]
+    fn op_rejects_branch_class() {
+        DynInstr::op(Addr::new(0), InstrClass::Branch);
+    }
+
+    #[test]
+    #[should_panic(expected = "dedicated constructor")]
+    fn op_rejects_load_class() {
+        DynInstr::op(Addr::new(0), InstrClass::Load);
+    }
+
+    #[test]
+    fn load_and_store_carry_memory() {
+        let l = DynInstr::load(Addr::new(0x20), 0xdead);
+        assert_eq!(l.class(), InstrClass::Load);
+        assert_eq!(l.mem().unwrap().addr, 0xdead);
+        let s = DynInstr::store(Addr::new(0x24), 0xbeef);
+        assert_eq!(s.class(), InstrClass::Store);
+        assert_eq!(s.mem().unwrap().addr, 0xbeef);
+    }
+
+    #[test]
+    fn branch_next_pc_follows_outcome() {
+        let t = DynInstr::branch(
+            Addr::new(0x100),
+            BranchExec::taken(BranchClass::IndirectJump, Addr::new(0x900)),
+        );
+        assert_eq!(t.next_pc(), Addr::new(0x900));
+        let n = DynInstr::branch(
+            Addr::new(0x100),
+            BranchExec::not_taken(BranchClass::CondDirect, Addr::new(0x900)),
+        );
+        assert_eq!(n.next_pc(), Addr::new(0x104));
+    }
+
+    #[test]
+    fn builder_attaches_operands() {
+        let i = DynInstr::op(Addr::new(0), InstrClass::Integer)
+            .with_srcs(Some(Reg::new(1)), None)
+            .with_dst(Reg::new(2));
+        assert_eq!(i.srcs()[0], Some(Reg::new(1)));
+        assert_eq!(i.srcs()[1], None);
+        assert_eq!(i.dst(), Some(Reg::new(2)));
+    }
+
+    #[test]
+    fn debug_output_mentions_branch_details() {
+        let t = DynInstr::branch(
+            Addr::new(0x100),
+            BranchExec::taken(BranchClass::Call, Addr::new(0x200)),
+        );
+        let s = format!("{t:?}");
+        assert!(s.contains("call"), "{s}");
+        assert!(s.contains('T'), "{s}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of architectural registers in the simulated ISA.
+///
+/// The HPS machine of the paper is modelled with a conventional 32-register
+/// integer file; the timing model renames these, so the count only bounds
+/// how much parallelism a workload can express.
+pub const REG_COUNT: u16 = 32;
+
+/// An architectural register name (`r0`..`r31`).
+///
+/// Register `r0` is an ordinary register in this ISA (it is *not* hardwired
+/// to zero); the workload generators simply treat all registers uniformly.
+///
+/// # Example
+///
+/// ```
+/// use sim_isa::Reg;
+///
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(format!("{r}"), "r5");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Reg(u16);
+
+impl Reg {
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= REG_COUNT`.
+    #[inline]
+    pub fn new(index: u16) -> Self {
+        assert!(index < REG_COUNT, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Creates a register name from an arbitrary value by wrapping it into
+    /// range. Convenient for pseudo-random register assignment in workload
+    /// generators.
+    #[inline]
+    pub fn wrapping(index: u64) -> Self {
+        Reg((index % REG_COUNT as u64) as u16)
+    }
+
+    /// The register's index in `0..REG_COUNT`.
+    #[inline]
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// Iterator over every architectural register.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..REG_COUNT).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_valid_indices() {
+        assert_eq!(Reg::new(0).index(), 0);
+        assert_eq!(Reg::new(REG_COUNT - 1).index(), REG_COUNT - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        Reg::new(REG_COUNT);
+    }
+
+    #[test]
+    fn wrapping_maps_into_range() {
+        assert_eq!(Reg::wrapping(0).index(), 0);
+        assert_eq!(Reg::wrapping(REG_COUNT as u64).index(), 0);
+        assert_eq!(Reg::wrapping(REG_COUNT as u64 + 7).index(), 7);
+        assert_eq!(
+            Reg::wrapping(u64::MAX).index(),
+            (u64::MAX % REG_COUNT as u64) as u16
+        );
+    }
+
+    #[test]
+    fn all_enumerates_every_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), REG_COUNT as usize);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index() as usize, i);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", Reg::new(17)), "r17");
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests for the ISA substrate.
+
+use proptest::prelude::*;
+use sim_isa::{Addr, BranchClass, BranchExec, DynInstr, InstrClass, Reg, VecTrace};
+
+proptest! {
+    #[test]
+    fn addr_is_always_word_aligned(raw in any::<u64>()) {
+        let a = Addr::new(raw);
+        prop_assert_eq!(a.raw() % 4, 0);
+        prop_assert!(a.raw() <= raw);
+        prop_assert!(raw - a.raw() < 4);
+    }
+
+    #[test]
+    fn addr_word_index_roundtrip(idx in 0u64..(u64::MAX / 4)) {
+        let a = Addr::from_word_index(idx);
+        prop_assert_eq!(a.word_index(), idx);
+    }
+
+    #[test]
+    fn addr_bits_match_manual_shift(idx in any::<u64>(), lo in 0u32..32, count in 1u32..32) {
+        let a = Addr::from_word_index(idx & (u64::MAX / 4));
+        let expect = (a.word_index() >> lo) & ((1u64 << count) - 1);
+        prop_assert_eq!(a.bits(lo, count), expect);
+    }
+
+    #[test]
+    fn reg_wrapping_is_always_valid(x in any::<u64>()) {
+        let r = Reg::wrapping(x);
+        prop_assert!(r.index() < sim_isa::reg::REG_COUNT);
+    }
+
+    #[test]
+    fn branch_next_pc_is_target_or_fallthrough(
+        pc in 0u64..1_000_000,
+        target in 0u64..1_000_000,
+        taken in any::<bool>(),
+    ) {
+        let pc = Addr::new(pc * 4);
+        let target = Addr::new(target * 4);
+        let class = if taken { BranchClass::UncondDirect } else { BranchClass::CondDirect };
+        let b = BranchExec::new(class, taken, target);
+        let next = b.next_pc(pc);
+        if taken {
+            prop_assert_eq!(next, target);
+        } else {
+            prop_assert_eq!(next, pc.next());
+        }
+    }
+
+    #[test]
+    fn stats_instruction_count_matches_len(n in 0usize..200) {
+        let trace: VecTrace = (0..n)
+            .map(|i| DynInstr::op(Addr::from_word_index(i as u64), InstrClass::Integer))
+            .collect();
+        prop_assert_eq!(trace.stats().instructions(), n as u64);
+    }
+
+    #[test]
+    fn histogram_total_equals_static_sites(
+        sites in proptest::collection::vec(1usize..40, 0..20),
+    ) {
+        // Build a trace where site i jumps to `sites[i]` distinct targets.
+        let mut trace = VecTrace::new();
+        for (i, &ntargets) in sites.iter().enumerate() {
+            let pc = Addr::from_word_index(1000 + i as u64);
+            for t in 0..ntargets {
+                trace.push(DynInstr::branch(
+                    pc,
+                    BranchExec::taken(
+                        BranchClass::IndirectJump,
+                        Addr::from_word_index(5000 + (i * 100 + t) as u64),
+                    ),
+                ));
+            }
+        }
+        let stats = trace.stats();
+        let hist = stats.targets_per_jump_histogram(30);
+        let total: u64 = hist.iter().sum();
+        prop_assert_eq!(total, sites.len() as u64);
+        // Dynamic histogram mass must equal dynamic indirect-jump count.
+        let dyn_hist = stats.dynamic_targets_per_jump_histogram(30);
+        prop_assert_eq!(dyn_hist.iter().sum::<u64>(), stats.indirect_jumps());
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_concatenation(split in 0usize..50, n in 0usize..50) {
+        let n = n.max(split);
+        let instrs: Vec<DynInstr> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    DynInstr::branch(
+                        Addr::from_word_index((i % 7) as u64),
+                        BranchExec::taken(
+                            BranchClass::IndirectJump,
+                            Addr::from_word_index((i % 5) as u64 + 100),
+                        ),
+                    )
+                } else {
+                    DynInstr::op(Addr::from_word_index(i as u64), InstrClass::Integer)
+                }
+            })
+            .collect();
+        let whole: VecTrace = instrs.iter().copied().collect();
+        let left: VecTrace = instrs[..split].iter().copied().collect();
+        let right: VecTrace = instrs[split..].iter().copied().collect();
+        let mut merged = left.stats();
+        merged.merge(&right.stats());
+        let whole = whole.stats();
+        prop_assert_eq!(merged.instructions(), whole.instructions());
+        prop_assert_eq!(merged.indirect_jumps(), whole.indirect_jumps());
+        prop_assert_eq!(merged.targets_per_jump_histogram(30), whole.targets_per_jump_histogram(30));
+    }
+}
+
+// --- codec round-trip properties ------------------------------------
+
+fn arb_instr() -> impl Strategy<Value = DynInstr> {
+    let reg = proptest::option::of(0u16..32).prop_map(|r| r.map(Reg::new));
+    let pc = (0u64..1 << 40).prop_map(Addr::from_word_index);
+    prop_oneof![
+        // Plain ops
+        (
+            pc.clone(),
+            prop::sample::select(vec![
+                InstrClass::Integer,
+                InstrClass::FpAdd,
+                InstrClass::Mul,
+                InstrClass::Div,
+                InstrClass::BitField,
+            ]),
+            reg.clone(),
+            reg.clone(),
+            reg.clone(),
+        )
+            .prop_map(|(pc, class, a, b, d)| {
+                let mut i = DynInstr::op(pc, class).with_srcs(a, b);
+                if let Some(d) = d {
+                    i = i.with_dst(d);
+                }
+                i
+            }),
+        // Memory ops
+        (pc.clone(), any::<u64>(), any::<bool>(), reg.clone()).prop_map(|(pc, addr, load, r)| {
+            let mut i = if load {
+                DynInstr::load(pc, addr)
+            } else {
+                DynInstr::store(pc, addr)
+            };
+            if let Some(r) = r {
+                i = if load {
+                    i.with_dst(r)
+                } else {
+                    i.with_srcs(Some(r), None)
+                };
+            }
+            i
+        }),
+        // Branches
+        (
+            pc.clone(),
+            (0u64..1 << 40).prop_map(Addr::from_word_index),
+            prop::sample::select(BranchClass::ALL.to_vec()),
+            any::<bool>(),
+        )
+            .prop_map(|(pc, target, class, taken)| {
+                let taken = taken || !class.is_conditional();
+                DynInstr::branch(pc, BranchExec::new(class, taken, target))
+            }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrip_preserves_arbitrary_traces(
+        instrs in proptest::collection::vec(arb_instr(), 0..200),
+    ) {
+        use sim_isa::codec::{read_trace, write_trace};
+        let trace: VecTrace = instrs.into_iter().collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let decoded = read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn codec_output_is_deterministic(
+        instrs in proptest::collection::vec(arb_instr(), 0..100),
+    ) {
+        use sim_isa::codec::write_trace;
+        let trace: VecTrace = instrs.into_iter().collect();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_trace(&mut a, &trace).unwrap();
+        write_trace(&mut b, &trace).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

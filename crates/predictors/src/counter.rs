@@ -1,0 +1,234 @@
+//! Saturating counters, the workhorse state element of dynamic predictors.
+
+use std::fmt;
+
+/// An `n`-bit saturating up/down counter.
+///
+/// Two-bit saturating counters are the classic pattern-history-table entry
+/// of two-level predictors (Yeh & Patt); the BTB's 2-bit target-update
+/// strategy (Calder & Grunwald) uses a 1-bit instance.
+///
+/// The counter saturates at `0` and `2^bits - 1`. Values in the upper half
+/// are "high" (predict taken / replace target); values in the lower half are
+/// "low".
+///
+/// # Example
+///
+/// ```
+/// use branch_predictors::SaturatingCounter;
+///
+/// let mut c = SaturatingCounter::new(2); // starts weakly-low at 1
+/// assert!(!c.is_high());
+/// c.increment();
+/// c.increment();
+/// assert!(c.is_high());
+/// assert_eq!(c.value(), 3); // saturated
+/// c.increment();
+/// assert_eq!(c.value(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaturatingCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter of the given width, initialized *weakly low*
+    /// (`2^(bits-1) - 1`), the conventional cold state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 7.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=7).contains(&bits), "counter width must be 1..=7 bits");
+        let max = (1u8 << bits) - 1;
+        SaturatingCounter {
+            value: (1u8 << (bits - 1)) - 1,
+            max,
+        }
+    }
+
+    /// Creates a counter with an explicit initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is out of range or `value > 2^bits - 1`.
+    pub fn with_value(bits: u8, value: u8) -> Self {
+        let mut c = SaturatingCounter::new(bits);
+        assert!(
+            value <= c.max,
+            "initial value {value} exceeds counter max {}",
+            c.max
+        );
+        c.value = value;
+        c
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn value(self) -> u8 {
+        self.value
+    }
+
+    /// The saturation maximum (`2^bits - 1`).
+    #[inline]
+    pub fn max(self) -> u8 {
+        self.max
+    }
+
+    /// Whether the counter is in its upper half (e.g. "predict taken").
+    #[inline]
+    pub fn is_high(self) -> bool {
+        self.value > self.max / 2
+    }
+
+    /// Whether the counter is saturated at its maximum.
+    #[inline]
+    pub fn is_saturated_high(self) -> bool {
+        self.value == self.max
+    }
+
+    /// Whether the counter is saturated at zero.
+    #[inline]
+    pub fn is_saturated_low(self) -> bool {
+        self.value == 0
+    }
+
+    /// Counts up, saturating at the maximum.
+    #[inline]
+    pub fn increment(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Counts down, saturating at zero.
+    #[inline]
+    pub fn decrement(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Trains toward `outcome`: increment if true, decrement if false.
+    #[inline]
+    pub fn train(&mut self, outcome: bool) {
+        if outcome {
+            self.increment();
+        } else {
+            self.decrement();
+        }
+    }
+
+    /// Resets to the weakly-low cold state.
+    pub fn reset(&mut self) {
+        let bits = self.max.trailing_ones() as u8;
+        self.value = (1u8 << (bits - 1)) - 1;
+    }
+}
+
+impl fmt::Debug for SaturatingCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SaturatingCounter({}/{})", self.value, self.max)
+    }
+}
+
+impl Default for SaturatingCounter {
+    /// A two-bit counter in the weakly-low state.
+    fn default() -> Self {
+        SaturatingCounter::new(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_starts_weakly_low() {
+        let c = SaturatingCounter::new(2);
+        assert_eq!(c.value(), 1);
+        assert!(!c.is_high());
+        let c1 = SaturatingCounter::new(1);
+        assert_eq!(c1.value(), 0);
+        let c3 = SaturatingCounter::new(3);
+        assert_eq!(c3.value(), 3);
+        assert!(!c3.is_high());
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        SaturatingCounter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn oversized_width_rejected() {
+        SaturatingCounter::new(8);
+    }
+
+    #[test]
+    fn saturates_both_ends() {
+        let mut c = SaturatingCounter::new(2);
+        for _ in 0..10 {
+            c.increment();
+        }
+        assert_eq!(c.value(), 3);
+        assert!(c.is_saturated_high());
+        for _ in 0..10 {
+            c.decrement();
+        }
+        assert_eq!(c.value(), 0);
+        assert!(c.is_saturated_low());
+    }
+
+    #[test]
+    fn hysteresis_requires_two_flips() {
+        // Classic 2-bit behaviour: one contrary outcome does not flip a
+        // saturated prediction.
+        let mut c = SaturatingCounter::with_value(2, 3);
+        c.train(false);
+        assert!(c.is_high(), "still predicts high after one miss");
+        c.train(false);
+        assert!(!c.is_high(), "flips after two misses");
+    }
+
+    #[test]
+    fn one_bit_counter_flips_immediately() {
+        let mut c = SaturatingCounter::new(1);
+        assert!(!c.is_high());
+        c.train(true);
+        assert!(c.is_high());
+        c.train(false);
+        assert!(!c.is_high());
+    }
+
+    #[test]
+    fn with_value_validates() {
+        let c = SaturatingCounter::with_value(2, 2);
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn with_value_rejects_overflow() {
+        SaturatingCounter::with_value(2, 4);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut c = SaturatingCounter::new(2);
+        c.increment();
+        c.increment();
+        c.reset();
+        assert_eq!(c.value(), 1);
+    }
+
+    #[test]
+    fn default_is_two_bit() {
+        let c = SaturatingCounter::default();
+        assert_eq!(c.max(), 3);
+        assert_eq!(c.value(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! A unified front over the conditional-direction predictor families, so
+//! machine configurations can select any of them.
+
+use crate::tournament::{TournamentConfig, TournamentPredictor};
+use crate::twolevel::{TwoLevelConfig, TwoLevelPredictor};
+use sim_isa::Addr;
+
+/// Which direction predictor the front end uses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DirectionConfig {
+    /// A two-level adaptive predictor (GAg / GAs / gshare / PAg / PAs).
+    TwoLevel(TwoLevelConfig),
+    /// McFarling's combining predictor.
+    Tournament(TournamentConfig),
+}
+
+impl DirectionConfig {
+    /// The reproduction's default: gshare with the given history length.
+    pub fn gshare(history_bits: u32) -> Self {
+        DirectionConfig::TwoLevel(TwoLevelConfig::gshare(history_bits))
+    }
+}
+
+/// A constructed direction predictor.
+#[derive(Clone, Debug)]
+pub enum DirectionPredictor {
+    /// A two-level adaptive predictor.
+    TwoLevel(TwoLevelPredictor),
+    /// A tournament predictor.
+    Tournament(TournamentPredictor),
+}
+
+impl DirectionPredictor {
+    /// Builds the configured predictor, cold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying configuration is invalid.
+    pub fn new(config: DirectionConfig) -> Self {
+        match config {
+            DirectionConfig::TwoLevel(c) => DirectionPredictor::TwoLevel(TwoLevelPredictor::new(c)),
+            DirectionConfig::Tournament(c) => {
+                DirectionPredictor::Tournament(TournamentPredictor::new(c))
+            }
+        }
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    pub fn predict(&self, pc: Addr) -> bool {
+        match self {
+            DirectionPredictor::TwoLevel(p) => p.predict(pc),
+            DirectionPredictor::Tournament(p) => p.predict(pc),
+        }
+    }
+
+    /// Trains the predictor and shifts its history register(s).
+    pub fn update(&mut self, pc: Addr, taken: bool) {
+        match self {
+            DirectionPredictor::TwoLevel(p) => p.update(pc, taken),
+            DirectionPredictor::Tournament(p) => p.update(pc, taken),
+        }
+    }
+
+    /// The global pattern history value (what the target cache borrows).
+    pub fn global_history(&self) -> u64 {
+        match self {
+            DirectionPredictor::TwoLevel(p) => p.global_history(),
+            DirectionPredictor::Tournament(p) => p.global_history(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_learn_a_stable_branch() {
+        for config in [
+            DirectionConfig::gshare(8),
+            DirectionConfig::Tournament(TournamentConfig::mcfarling()),
+        ] {
+            let mut p = DirectionPredictor::new(config);
+            let pc = Addr::new(0x40);
+            for _ in 0..16 {
+                p.update(pc, true);
+            }
+            assert!(p.predict(pc), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn history_is_exposed_by_both_variants() {
+        for config in [
+            DirectionConfig::gshare(8),
+            DirectionConfig::Tournament(TournamentConfig::mcfarling()),
+        ] {
+            let mut p = DirectionPredictor::new(config);
+            p.update(Addr::new(0), true);
+            assert_eq!(p.global_history() & 1, 1, "{config:?}");
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! Branch history registers: pattern history and path history.
+//!
+//! Section 3.1 of the paper considers two kinds of history for indexing the
+//! target cache:
+//!
+//! * **Pattern history** — "a recording of the last *n* conditional
+//!   branches" (their taken/not-taken directions), exactly the global
+//!   history register of a two-level predictor. Implemented by
+//!   [`PatternHistory`].
+//! * **Path history** — "the target addresses of branches that lead to the
+//!   current branch": a shift register into which a few bits of each
+//!   relevant target address are shifted. The paper studies a *global*
+//!   register shared by all indirect jumps (with four recording filters:
+//!   Control, Branch, Call/ret, Ind jmp) and a *per-address* register that
+//!   records the past targets of each static indirect jump individually.
+//!   Implemented by [`PathHistory`] and [`PerAddressPathHistory`].
+
+use sim_isa::{Addr, BranchClass};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum supported history length, in bits.
+pub const MAX_HISTORY_BITS: u32 = 64;
+
+/// A global branch (pattern) history register: the directions of the last
+/// `bits` conditional branches, newest in the least-significant bit.
+///
+/// # Example
+///
+/// ```
+/// use branch_predictors::PatternHistory;
+///
+/// let mut h = PatternHistory::new(4);
+/// h.push(true);
+/// h.push(false);
+/// h.push(true);
+/// assert_eq!(h.value(), 0b101);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternHistory {
+    bits: u32,
+    value: u64,
+}
+
+impl PatternHistory {
+    /// Creates an all-zero history register of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds [`MAX_HISTORY_BITS`].
+    pub fn new(bits: u32) -> Self {
+        assert!(
+            (1..=MAX_HISTORY_BITS).contains(&bits),
+            "history width must be 1..={MAX_HISTORY_BITS} bits"
+        );
+        PatternHistory { bits, value: 0 }
+    }
+
+    /// The register width in bits.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// The current history value (only the low `bits` bits are ever set).
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// The low `n` bits of the history — lets a consumer configured for a
+    /// shorter history share a wider physical register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or wider than the register.
+    #[inline]
+    pub fn low_bits(self, n: u32) -> u64 {
+        assert!(
+            n >= 1 && n <= self.bits,
+            "requested {n} bits from a {}-bit register",
+            self.bits
+        );
+        if n == 64 {
+            self.value
+        } else {
+            self.value & ((1u64 << n) - 1)
+        }
+    }
+
+    /// Shifts in the direction of a newly-resolved conditional branch.
+    #[inline]
+    pub fn push(&mut self, taken: bool) {
+        self.value = (self.value << 1) | taken as u64;
+        if self.bits < 64 {
+            self.value &= (1u64 << self.bits) - 1;
+        }
+    }
+
+    /// Clears the register.
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+}
+
+impl fmt::Debug for PatternHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PatternHistory({:0width$b})",
+            self.value,
+            width = self.bits as usize
+        )
+    }
+}
+
+/// Which control instructions a global path-history register records — the
+/// four variations of Section 3.1 of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PathFilter {
+    /// "The Control scheme records the target address of all instructions
+    /// that can redirect the instruction stream."
+    Control,
+    /// "The Branch scheme only records the targets of conditional branches."
+    ConditionalOnly,
+    /// "The Call/ret scheme records only the targets of procedure calls and
+    /// returns."
+    CallReturn,
+    /// "The Ind jmp scheme records only the targets of indirect jumps."
+    IndirectJump,
+}
+
+impl PathFilter {
+    /// All filters, in the order the paper's tables list them.
+    pub const ALL: [PathFilter; 4] = [
+        PathFilter::ConditionalOnly,
+        PathFilter::Control,
+        PathFilter::IndirectJump,
+        PathFilter::CallReturn,
+    ];
+
+    /// Whether a branch of the given class is recorded under this filter.
+    #[inline]
+    pub fn accepts(self, class: BranchClass) -> bool {
+        match self {
+            PathFilter::Control => true,
+            PathFilter::ConditionalOnly => class.is_conditional(),
+            PathFilter::CallReturn => class.is_call() || class.is_return(),
+            PathFilter::IndirectJump => class.uses_target_cache(),
+        }
+    }
+
+    /// The label the paper's tables use for this filter.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PathFilter::Control => "control",
+            PathFilter::ConditionalOnly => "branch",
+            PathFilter::CallReturn => "call/ret",
+            PathFilter::IndirectJump => "ind jmp",
+        }
+    }
+}
+
+impl fmt::Display for PathFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of a path-history register.
+///
+/// `total_bits` is the register length; `bits_per_target` is how many bits
+/// of each recorded target are shifted in ("increasing the number of bits
+/// recorded per address results in fewer branch targets being recorded" —
+/// the trade-off of Table 6); `target_bit_lo` selects *which* bits of the
+/// word-aligned target are recorded (the address-bit-selection study of
+/// Table 5 — 0 means the lowest useful bits, "the least significant bits
+/// from each address are ignored because instructions are aligned on word
+/// boundaries" is already handled by [`Addr::bits`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PathHistoryConfig {
+    /// Register length in bits (the paper mostly uses 9).
+    pub total_bits: u32,
+    /// Bits of each target shifted in per recorded branch (1..=total_bits).
+    pub bits_per_target: u32,
+    /// Which slice of the target's word index to record (0 = lowest bits).
+    pub target_bit_lo: u32,
+    /// Which branches are recorded.
+    pub filter: PathFilter,
+}
+
+impl PathHistoryConfig {
+    /// A 9-bit register recording 1 low bit per target — the configuration
+    /// Section 4.3.2 of the paper found best for most path schemes.
+    pub fn isca97_default(filter: PathFilter) -> Self {
+        PathHistoryConfig {
+            total_bits: 9,
+            bits_per_target: 1,
+            target_bit_lo: 0,
+            filter,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            (1..=MAX_HISTORY_BITS).contains(&self.total_bits),
+            "path history width must be 1..={MAX_HISTORY_BITS} bits"
+        );
+        assert!(
+            self.bits_per_target >= 1 && self.bits_per_target <= self.total_bits,
+            "bits per target must be 1..=total_bits"
+        );
+        assert!(
+            self.target_bit_lo < 32,
+            "target bit offset must be below 32"
+        );
+    }
+}
+
+/// A global path-history register: a shift register of target-address
+/// fragments of the branches that led here.
+///
+/// # Example
+///
+/// ```
+/// use branch_predictors::{PathFilter, PathHistory, PathHistoryConfig};
+/// use sim_isa::{Addr, BranchClass};
+///
+/// let mut h = PathHistory::new(PathHistoryConfig {
+///     total_bits: 6,
+///     bits_per_target: 2,
+///     target_bit_lo: 0,
+///     filter: PathFilter::IndirectJump,
+/// });
+/// // Conditional branches are ignored under the Ind jmp filter.
+/// h.record(BranchClass::CondDirect, Addr::from_word_index(0b11));
+/// assert_eq!(h.value(), 0);
+/// h.record(BranchClass::IndirectJump, Addr::from_word_index(0b01));
+/// h.record(BranchClass::IndirectJump, Addr::from_word_index(0b10));
+/// assert_eq!(h.value(), 0b0110);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PathHistory {
+    config: PathHistoryConfig,
+    value: u64,
+}
+
+impl PathHistory {
+    /// Creates an all-zero path history register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (zero widths, bits-per-target
+    /// wider than the register, bit offset ≥ 32).
+    pub fn new(config: PathHistoryConfig) -> Self {
+        config.validate();
+        PathHistory { config, value: 0 }
+    }
+
+    /// The register's configuration.
+    #[inline]
+    pub fn config(&self) -> PathHistoryConfig {
+        self.config
+    }
+
+    /// The current history value.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Records a resolved control instruction: if the filter accepts its
+    /// class, shifts `bits_per_target` bits of `next_pc` (the address the
+    /// branch actually led to) into the register.
+    #[inline]
+    pub fn record(&mut self, class: BranchClass, next_pc: Addr) {
+        if self.config.filter.accepts(class) {
+            self.force_record(next_pc);
+        }
+    }
+
+    /// Shifts in a target unconditionally (used by the per-address scheme,
+    /// which records the owning jump's own targets).
+    #[inline]
+    pub fn force_record(&mut self, next_pc: Addr) {
+        let frag = next_pc.bits(self.config.target_bit_lo, self.config.bits_per_target);
+        self.value = (self.value << self.config.bits_per_target) | frag;
+        if self.config.total_bits < 64 {
+            self.value &= (1u64 << self.config.total_bits) - 1;
+        }
+    }
+
+    /// Clears the register.
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// Per-address path history: "one path history register is associated with
+/// each distinct static indirect branch. Each n-bit path history register
+/// records the last k target addresses for the associated indirect jump."
+///
+/// The table is unbounded (one register per static jump site); real hardware
+/// would bound it, but static indirect-jump counts are small (hundreds even
+/// in gcc) so this models an adequately-sized table.
+#[derive(Clone, Debug)]
+pub struct PerAddressPathHistory {
+    config: PathHistoryConfig,
+    registers: HashMap<Addr, PathHistory>,
+}
+
+impl PerAddressPathHistory {
+    /// Creates an empty per-address history table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: PathHistoryConfig) -> Self {
+        config.validate();
+        PerAddressPathHistory {
+            config,
+            registers: HashMap::new(),
+        }
+    }
+
+    /// The configuration shared by all registers.
+    #[inline]
+    pub fn config(&self) -> PathHistoryConfig {
+        self.config
+    }
+
+    /// The history value for the static jump at `pc` (zero if never seen).
+    #[inline]
+    pub fn value(&self, pc: Addr) -> u64 {
+        self.registers.get(&pc).map_or(0, |h| h.value())
+    }
+
+    /// Records a resolved target of the static jump at `pc`.
+    pub fn record(&mut self, pc: Addr, target: Addr) {
+        self.registers
+            .entry(pc)
+            .or_insert_with(|| PathHistory::new(self.config))
+            .force_record(target);
+    }
+
+    /// Number of distinct jump sites tracked so far.
+    pub fn tracked_sites(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Clears all registers.
+    pub fn clear(&mut self) {
+        self.registers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_history_shifts_newest_into_lsb() {
+        let mut h = PatternHistory::new(4);
+        h.push(true);
+        assert_eq!(h.value(), 0b1);
+        h.push(true);
+        h.push(false);
+        assert_eq!(h.value(), 0b110);
+    }
+
+    #[test]
+    fn pattern_history_wraps_at_width() {
+        let mut h = PatternHistory::new(3);
+        for _ in 0..10 {
+            h.push(true);
+        }
+        assert_eq!(h.value(), 0b111);
+        h.push(false);
+        assert_eq!(h.value(), 0b110);
+    }
+
+    #[test]
+    fn pattern_history_low_bits() {
+        let mut h = PatternHistory::new(8);
+        for taken in [true, false, true, true] {
+            h.push(taken);
+        }
+        assert_eq!(h.value(), 0b1011);
+        assert_eq!(h.low_bits(2), 0b11);
+        assert_eq!(h.low_bits(3), 0b011);
+        assert_eq!(h.low_bits(8), 0b1011);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn pattern_history_low_bits_rejects_wider_request() {
+        PatternHistory::new(4).low_bits(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn pattern_history_rejects_zero_width() {
+        PatternHistory::new(0);
+    }
+
+    #[test]
+    fn pattern_history_64_bit_register() {
+        let mut h = PatternHistory::new(64);
+        for _ in 0..100 {
+            h.push(true);
+        }
+        assert_eq!(h.value(), u64::MAX);
+        assert_eq!(h.low_bits(64), u64::MAX);
+    }
+
+    #[test]
+    fn filters_accept_documented_classes() {
+        use BranchClass::*;
+        assert!(PathFilter::Control.accepts(CondDirect));
+        assert!(PathFilter::Control.accepts(UncondDirect));
+        assert!(PathFilter::Control.accepts(Return));
+        assert!(PathFilter::ConditionalOnly.accepts(CondDirect));
+        assert!(!PathFilter::ConditionalOnly.accepts(UncondDirect));
+        assert!(PathFilter::CallReturn.accepts(Call));
+        assert!(PathFilter::CallReturn.accepts(IndirectCall));
+        assert!(PathFilter::CallReturn.accepts(Return));
+        assert!(!PathFilter::CallReturn.accepts(CondDirect));
+        assert!(PathFilter::IndirectJump.accepts(IndirectJump));
+        assert!(PathFilter::IndirectJump.accepts(IndirectCall));
+        assert!(!PathFilter::IndirectJump.accepts(Return));
+        assert!(!PathFilter::IndirectJump.accepts(CondDirect));
+    }
+
+    #[test]
+    fn path_history_records_target_fragments() {
+        let mut h = PathHistory::new(PathHistoryConfig {
+            total_bits: 9,
+            bits_per_target: 3,
+            target_bit_lo: 0,
+            filter: PathFilter::Control,
+        });
+        h.record(BranchClass::UncondDirect, Addr::from_word_index(0b101));
+        h.record(BranchClass::CondDirect, Addr::from_word_index(0b010));
+        h.record(BranchClass::Return, Addr::from_word_index(0b111));
+        assert_eq!(h.value(), 0b101_010_111);
+    }
+
+    #[test]
+    fn path_history_bit_offset_selects_higher_bits() {
+        let mut lo = PathHistory::new(PathHistoryConfig {
+            total_bits: 4,
+            bits_per_target: 2,
+            target_bit_lo: 0,
+            filter: PathFilter::Control,
+        });
+        let mut hi = PathHistory::new(PathHistoryConfig {
+            total_bits: 4,
+            bits_per_target: 2,
+            target_bit_lo: 4,
+            filter: PathFilter::Control,
+        });
+        let t = Addr::from_word_index(0b11_0010);
+        lo.record(BranchClass::UncondDirect, t);
+        hi.record(BranchClass::UncondDirect, t);
+        assert_eq!(lo.value(), 0b10);
+        assert_eq!(hi.value(), 0b11);
+    }
+
+    #[test]
+    fn path_history_filter_skips_unrecorded_classes() {
+        let mut h = PathHistory::new(PathHistoryConfig::isca97_default(PathFilter::CallReturn));
+        h.record(BranchClass::CondDirect, Addr::from_word_index(1));
+        h.record(BranchClass::IndirectJump, Addr::from_word_index(1));
+        assert_eq!(h.value(), 0);
+        h.record(BranchClass::Call, Addr::from_word_index(1));
+        assert_eq!(h.value(), 1);
+    }
+
+    #[test]
+    fn path_history_wraps_at_total_bits() {
+        let mut h = PathHistory::new(PathHistoryConfig {
+            total_bits: 4,
+            bits_per_target: 2,
+            target_bit_lo: 0,
+            filter: PathFilter::Control,
+        });
+        for frag in [0b01u64, 0b10, 0b11] {
+            h.record(BranchClass::UncondDirect, Addr::from_word_index(frag));
+        }
+        // Oldest fragment (01) has been shifted out.
+        assert_eq!(h.value(), 0b1011);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits per target")]
+    fn path_history_rejects_fragment_wider_than_register() {
+        PathHistory::new(PathHistoryConfig {
+            total_bits: 4,
+            bits_per_target: 5,
+            target_bit_lo: 0,
+            filter: PathFilter::Control,
+        });
+    }
+
+    #[test]
+    fn per_address_registers_are_independent() {
+        let mut h =
+            PerAddressPathHistory::new(PathHistoryConfig::isca97_default(PathFilter::IndirectJump));
+        let a = Addr::new(0x100);
+        let b = Addr::new(0x200);
+        h.record(a, Addr::from_word_index(1));
+        h.record(a, Addr::from_word_index(0));
+        h.record(b, Addr::from_word_index(1));
+        assert_eq!(h.value(a), 0b10);
+        assert_eq!(h.value(b), 0b1);
+        assert_eq!(h.value(Addr::new(0x300)), 0);
+        assert_eq!(h.tracked_sites(), 2);
+    }
+
+    #[test]
+    fn per_address_clear_resets_everything() {
+        let mut h =
+            PerAddressPathHistory::new(PathHistoryConfig::isca97_default(PathFilter::IndirectJump));
+        h.record(Addr::new(0x100), Addr::from_word_index(1));
+        h.clear();
+        assert_eq!(h.tracked_sites(), 0);
+        assert_eq!(h.value(Addr::new(0x100)), 0);
+    }
+
+    #[test]
+    fn filter_labels_match_paper() {
+        assert_eq!(PathFilter::Control.label(), "control");
+        assert_eq!(PathFilter::ConditionalOnly.label(), "branch");
+        assert_eq!(PathFilter::CallReturn.label(), "call/ret");
+        assert_eq!(PathFilter::IndirectJump.label(), "ind jmp");
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-branch-class prediction statistics.
+
+use sim_isa::BranchClass;
+use std::fmt;
+
+/// Prediction counters for one branch class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounters {
+    /// Dynamic executions of this class.
+    pub executed: u64,
+    /// Executions whose *complete* prediction (direction and target) was
+    /// correct.
+    pub correct: u64,
+}
+
+impl ClassCounters {
+    /// Mispredicted executions.
+    pub fn mispredicted(&self) -> u64 {
+        self.executed - self.correct
+    }
+
+    /// Misprediction rate in `[0, 1]`; zero if never executed.
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.mispredicted() as f64 / self.executed as f64
+        }
+    }
+}
+
+/// Prediction statistics broken down by branch class, as the paper reports
+/// them (Table 1's "Ind. Jump Mispred. Rate" is
+/// `stats.indirect_jump_misprediction_rate()`).
+///
+/// # Example
+///
+/// ```
+/// use branch_predictors::BranchClassStats;
+/// use sim_isa::BranchClass;
+///
+/// let mut stats = BranchClassStats::default();
+/// stats.record(BranchClass::IndirectJump, true);
+/// stats.record(BranchClass::IndirectJump, false);
+/// assert_eq!(stats.indirect_jump_misprediction_rate(), 0.5);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BranchClassStats {
+    counters: [ClassCounters; 6],
+}
+
+impl BranchClassStats {
+    /// Records the outcome of one predicted branch.
+    pub fn record(&mut self, class: BranchClass, correct: bool) {
+        let c = &mut self.counters[class.index()];
+        c.executed += 1;
+        c.correct += correct as u64;
+    }
+
+    /// The counters for one class.
+    pub fn class(&self, class: BranchClass) -> ClassCounters {
+        self.counters[class.index()]
+    }
+
+    /// Total dynamic branches recorded.
+    pub fn total_executed(&self) -> u64 {
+        self.counters.iter().map(|c| c.executed).sum()
+    }
+
+    /// Total mispredictions across all classes.
+    pub fn total_mispredicted(&self) -> u64 {
+        self.counters.iter().map(|c| c.mispredicted()).sum()
+    }
+
+    /// Overall misprediction rate across all branch classes.
+    pub fn overall_misprediction_rate(&self) -> f64 {
+        let n = self.total_executed();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_mispredicted() as f64 / n as f64
+        }
+    }
+
+    /// Combined counters for the target-cache-eligible classes (indirect
+    /// jumps + indirect calls).
+    pub fn indirect_jump_counters(&self) -> ClassCounters {
+        let j = self.class(BranchClass::IndirectJump);
+        let c = self.class(BranchClass::IndirectCall);
+        ClassCounters {
+            executed: j.executed + c.executed,
+            correct: j.correct + c.correct,
+        }
+    }
+
+    /// Misprediction rate over indirect jumps and indirect calls — the
+    /// paper's headline metric.
+    pub fn indirect_jump_misprediction_rate(&self) -> f64 {
+        self.indirect_jump_counters().misprediction_rate()
+    }
+
+    /// Merges another statistics object into this one.
+    pub fn merge(&mut self, other: &BranchClassStats) {
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            a.executed += b.executed;
+            a.correct += b.correct;
+        }
+    }
+}
+
+impl fmt::Display for BranchClassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for class in BranchClass::ALL {
+            let c = self.class(class);
+            if c.executed > 0 {
+                writeln!(
+                    f,
+                    "{:>6}: {:>10} executed, {:>8} mispredicted ({:.2}%)",
+                    class.mnemonic(),
+                    c.executed,
+                    c.mispredicted(),
+                    c.misprediction_rate() * 100.0
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_class() {
+        let mut s = BranchClassStats::default();
+        s.record(BranchClass::CondDirect, true);
+        s.record(BranchClass::CondDirect, false);
+        s.record(BranchClass::Return, true);
+        assert_eq!(s.class(BranchClass::CondDirect).executed, 2);
+        assert_eq!(s.class(BranchClass::CondDirect).mispredicted(), 1);
+        assert_eq!(s.class(BranchClass::Return).misprediction_rate(), 0.0);
+        assert_eq!(s.total_executed(), 3);
+        assert_eq!(s.total_mispredicted(), 1);
+    }
+
+    #[test]
+    fn indirect_rate_combines_jumps_and_calls() {
+        let mut s = BranchClassStats::default();
+        s.record(BranchClass::IndirectJump, false);
+        s.record(BranchClass::IndirectCall, true);
+        s.record(BranchClass::IndirectCall, false);
+        s.record(BranchClass::Return, false); // excluded
+        let c = s.indirect_jump_counters();
+        assert_eq!(c.executed, 3);
+        assert_eq!(c.mispredicted(), 2);
+        assert!((s.indirect_jump_misprediction_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let s = BranchClassStats::default();
+        assert_eq!(s.overall_misprediction_rate(), 0.0);
+        assert_eq!(s.indirect_jump_misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = BranchClassStats::default();
+        a.record(BranchClass::IndirectJump, true);
+        let mut b = BranchClassStats::default();
+        b.record(BranchClass::IndirectJump, false);
+        a.merge(&b);
+        assert_eq!(a.indirect_jump_counters().executed, 2);
+        assert_eq!(a.indirect_jump_misprediction_rate(), 0.5);
+    }
+
+    #[test]
+    fn display_lists_only_executed_classes() {
+        let mut s = BranchClassStats::default();
+        s.record(BranchClass::IndirectJump, false);
+        let text = s.to_string();
+        assert!(text.contains("ijmp"));
+        assert!(!text.contains("ret"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Property-based tests for the baseline predictors.
+
+use branch_predictors::{
+    Btb, BtbConfig, PathFilter, PathHistory, PathHistoryConfig, PatternHistory, ReturnAddressStack,
+    SaturatingCounter, TwoLevelConfig, TwoLevelPredictor, UpdatePolicy,
+};
+use proptest::prelude::*;
+use sim_isa::{Addr, BranchClass};
+
+fn arb_branch_class() -> impl Strategy<Value = BranchClass> {
+    prop::sample::select(BranchClass::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn counter_stays_in_range(bits in 1u8..=7, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mut c = SaturatingCounter::new(bits);
+        for op in ops {
+            c.train(op);
+            prop_assert!(c.value() <= c.max());
+        }
+    }
+
+    #[test]
+    fn counter_monotone_under_increments(bits in 1u8..=7, n in 0u32..50) {
+        let mut c = SaturatingCounter::new(bits);
+        let mut last = c.value();
+        for _ in 0..n {
+            c.increment();
+            prop_assert!(c.value() >= last);
+            last = c.value();
+        }
+    }
+
+    #[test]
+    fn pattern_history_value_fits_width(bits in 1u32..=64, pushes in proptest::collection::vec(any::<bool>(), 0..150)) {
+        let mut h = PatternHistory::new(bits);
+        for p in pushes {
+            h.push(p);
+            if bits < 64 {
+                prop_assert!(h.value() < (1u64 << bits));
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_history_reconstructs_recent_outcomes(
+        pushes in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let bits = 16u32;
+        let mut h = PatternHistory::new(bits);
+        for &p in &pushes {
+            h.push(p);
+        }
+        // The low min(len, bits) bits replay the most recent outcomes.
+        let n = pushes.len().min(bits as usize);
+        for k in 0..n {
+            let expected = pushes[pushes.len() - 1 - k];
+            let bit = (h.value() >> k) & 1 == 1;
+            prop_assert_eq!(bit, expected, "bit {} disagrees", k);
+        }
+    }
+
+    #[test]
+    fn path_history_fits_width(
+        total_bits in 1u32..=32,
+        per in 1u32..=8,
+        targets in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let per = per.min(total_bits);
+        let mut h = PathHistory::new(PathHistoryConfig {
+            total_bits,
+            bits_per_target: per,
+            target_bit_lo: 0,
+            filter: PathFilter::Control,
+        });
+        for t in targets {
+            h.record(BranchClass::UncondDirect, Addr::from_word_index(t));
+            prop_assert!(total_bits == 64 || h.value() < (1u64 << total_bits));
+        }
+    }
+
+    #[test]
+    fn path_filter_is_consistent_with_class_predicates(class in arb_branch_class()) {
+        prop_assert!(PathFilter::Control.accepts(class));
+        prop_assert_eq!(PathFilter::ConditionalOnly.accepts(class), class.is_conditional());
+        prop_assert_eq!(PathFilter::CallReturn.accepts(class), class.is_call() || class.is_return());
+        prop_assert_eq!(PathFilter::IndirectJump.accepts(class), class.uses_target_cache());
+    }
+
+    #[test]
+    fn btb_lookup_after_update_returns_latest_target_under_always(
+        pcs in proptest::collection::vec(0u64..4096, 1..200),
+    ) {
+        use std::collections::HashMap;
+        let mut btb = Btb::new(BtbConfig::new(64, 64, UpdatePolicy::Always)); // effectively unbounded
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (i, pc) in pcs.iter().enumerate() {
+            let target = (i as u64) * 8 + 0x10000;
+            btb.update(
+                Addr::from_word_index(*pc),
+                BranchClass::IndirectJump,
+                Addr::new(target & !3),
+                Addr::from_word_index(*pc).next(),
+            );
+            model.insert(*pc, target & !3);
+        }
+        for (pc, target) in model {
+            let hit = btb.lookup(Addr::from_word_index(pc));
+            prop_assert_eq!(hit.map(|h| h.target), Some(Addr::new(target)));
+        }
+    }
+
+    #[test]
+    fn btb_occupancy_never_exceeds_capacity(
+        pcs in proptest::collection::vec(0u64..100_000, 0..500),
+        sets_log2 in 0u32..6,
+        ways in 1usize..5,
+    ) {
+        let sets = 1usize << sets_log2;
+        let mut btb = Btb::new(BtbConfig::new(sets, ways, UpdatePolicy::Always));
+        for pc in pcs {
+            btb.update(
+                Addr::from_word_index(pc),
+                BranchClass::UncondDirect,
+                Addr::new(0x40),
+                Addr::from_word_index(pc).next(),
+            );
+        }
+        prop_assert!(btb.occupancy() <= sets * ways);
+    }
+
+    #[test]
+    fn two_bit_policy_requires_two_consecutive_misses(
+        deviations in proptest::collection::vec(any::<bool>(), 1..60),
+    ) {
+        // Model: stored target only changes after two consecutive deviating
+        // updates. `true` = deviate (use target B), `false` = confirm (A).
+        let mut btb = Btb::new(BtbConfig::new(16, 4, UpdatePolicy::TwoBit));
+        let pc = Addr::new(0x100);
+        let a = Addr::new(0x1000);
+        let b = Addr::new(0x2000);
+        btb.update(pc, BranchClass::IndirectJump, a, pc.next());
+
+        let mut stored = a;
+        let mut streak = 0u32;
+        for &dev in &deviations {
+            let actual = if dev { b } else { a };
+            btb.update(pc, BranchClass::IndirectJump, actual, pc.next());
+            if actual == stored {
+                streak = 0;
+            } else {
+                streak += 1;
+                if streak >= 2 {
+                    stored = actual;
+                    streak = 0;
+                }
+            }
+            prop_assert_eq!(btb.peek(pc).unwrap().target, stored);
+        }
+    }
+
+    #[test]
+    fn ras_matches_reference_stack_when_within_capacity(
+        ops in proptest::collection::vec(prop_oneof![
+            (0u64..10_000).prop_map(Some),
+            Just(None),
+        ], 0..200),
+    ) {
+        // As long as live depth never exceeds capacity, the RAS behaves as a
+        // perfect stack.
+        let mut ras = ReturnAddressStack::new(256);
+        let mut model: Vec<Addr> = Vec::new();
+        for op in ops {
+            match op {
+                Some(raw) => {
+                    let a = Addr::from_word_index(raw);
+                    ras.push(a);
+                    model.push(a);
+                    if model.len() > 256 {
+                        model.remove(0);
+                    }
+                }
+                None => {
+                    prop_assert_eq!(ras.pop(), model.pop());
+                }
+            }
+            prop_assert_eq!(ras.depth(), model.len());
+        }
+    }
+
+    #[test]
+    fn twolevel_predict_is_pure(pc in 0u64..1000, updates in proptest::collection::vec((0u64..1000, any::<bool>()), 0..100)) {
+        let mut p = TwoLevelPredictor::new(TwoLevelConfig::gshare(8));
+        for (upc, taken) in updates {
+            p.update(Addr::from_word_index(upc), taken);
+        }
+        let pc = Addr::from_word_index(pc);
+        let first = p.predict(pc);
+        for _ in 0..5 {
+            prop_assert_eq!(p.predict(pc), first, "predict must not mutate state");
+        }
+    }
+
+    #[test]
+    fn twolevel_history_only_records_updates(updates in proptest::collection::vec(any::<bool>(), 0..64)) {
+        let mut p = TwoLevelPredictor::new(TwoLevelConfig::gag(16));
+        let mut model = PatternHistory::new(16);
+        for taken in updates {
+            p.update(Addr::new(0x40), taken);
+            model.push(taken);
+            prop_assert_eq!(p.global_history(), model.value());
+        }
+    }
+}

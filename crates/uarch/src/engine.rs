@@ -1,0 +1,405 @@
+//! The timing engine: a deterministic trace-driven schedule of fetch,
+//! execute, and retire.
+
+use crate::config::MachineConfig;
+use crate::dcache::DataCache;
+use crate::report::SimReport;
+use sim_isa::{DynInstr, InstrClass};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use target_cache::harness::PredictionHarness;
+
+/// Simulates a trace on the configured machine and reports cycles and
+/// statistics.
+///
+/// The schedule honours, per instruction:
+///
+/// * fetch bandwidth (`fetch_width`/cycle, no fetch past a taken branch),
+/// * the in-flight window (`window_size`),
+/// * register data-flow (renamed: per-architectural-register ready times),
+/// * function-unit issue bandwidth (`fu_count` issues/cycle),
+/// * class latencies plus data-cache misses for loads,
+/// * in-order retirement (`retire_width`/cycle),
+/// * and branch misprediction: fetch of younger instructions resumes the
+///   cycle after a mispredicted branch executes (checkpoint repair).
+///
+/// # Panics
+///
+/// Panics if the machine configuration is invalid
+/// ([`MachineConfig::check`]).
+pub fn simulate<'a, I>(trace: I, config: &MachineConfig) -> SimReport
+where
+    I: IntoIterator<Item = &'a DynInstr>,
+{
+    config.check().expect("machine configuration must be valid");
+    let mut harness = PredictionHarness::new(config.frontend);
+    let mut dcache = DataCache::new(config.dcache);
+
+    // Fetch stream state.
+    let mut stream_cycle: u64 = 0;
+    let mut fetched_this_cycle: usize = 0;
+
+    // Rename state: cycle each architectural register's latest value is
+    // available.
+    let mut reg_ready = [0u64; sim_isa::reg::REG_COUNT as usize];
+
+    // Function units: min-heap of next-free cycles, one entry per FU.
+    let mut fu_free: BinaryHeap<Reverse<u64>> = (0..config.fu_count).map(|_| Reverse(0)).collect();
+
+    // Retirement state.
+    let mut last_retire_cycle: u64 = 0;
+    let mut retired_in_cycle: usize = 0;
+    // Retire cycles of the youngest `window_size` instructions.
+    let mut window: VecDeque<u64> = VecDeque::with_capacity(config.window_size);
+
+    let mut instructions: u64 = 0;
+    let mut final_cycle: u64 = 0;
+    let mut mispredict_stall_cycles: u64 = 0;
+
+    for instr in trace {
+        instructions += 1;
+
+        // --- Fetch ----------------------------------------------------
+        // Window constraint: the (i - window_size)-th instruction must
+        // have retired before this one can occupy a slot.
+        let window_barrier = if window.len() == config.window_size {
+            window.pop_front().expect("window full") + 1
+        } else {
+            0
+        };
+        if window_barrier > stream_cycle {
+            stream_cycle = window_barrier;
+            fetched_this_cycle = 0;
+        }
+        if fetched_this_cycle == config.fetch_width {
+            stream_cycle += 1;
+            fetched_this_cycle = 0;
+        }
+        let fetch_cycle = stream_cycle;
+        fetched_this_cycle += 1;
+
+        // --- Execute ---------------------------------------------------
+        let decode_done = fetch_cycle + config.front_depth as u64;
+        let operands_ready = instr
+            .srcs()
+            .iter()
+            .flatten()
+            .map(|r| reg_ready[r.index() as usize])
+            .max()
+            .unwrap_or(0);
+        let Reverse(fu_available) = fu_free.pop().expect("at least one FU");
+        let start = decode_done.max(operands_ready).max(fu_available);
+        // FUs are fully pipelined: each occupies its issue slot for one
+        // cycle.
+        fu_free.push(Reverse(start + 1));
+
+        let mut latency = config.latency(instr.class()) as u64;
+        if let Some(mem) = instr.mem() {
+            let hit = dcache.access(mem.addr);
+            if instr.class() == InstrClass::Load && !hit {
+                latency += config.dcache.miss_penalty as u64;
+            }
+        }
+        let complete = start + latency;
+        if let Some(dst) = instr.dst() {
+            reg_ready[dst.index() as usize] = complete;
+        }
+
+        // --- Branch prediction and fetch redirection --------------------
+        if let Some(outcome) = harness.process(instr) {
+            if !outcome.correct() {
+                // Checkpoint repair: correct-path fetch resumes the cycle
+                // after the branch executes.
+                let resume = complete + 1;
+                if resume > stream_cycle {
+                    // The gap (minus the one cycle fetch would have taken
+                    // anyway) is pure misprediction stall.
+                    mispredict_stall_cycles += resume - stream_cycle - 1;
+                    stream_cycle = resume;
+                    fetched_this_cycle = 0;
+                }
+            } else if instr.branch_exec().is_some_and(|b| b.taken) {
+                // Correctly-predicted taken branch: the fetch group ends;
+                // the target is fetched next cycle.
+                stream_cycle = fetch_cycle + 1;
+                fetched_this_cycle = 0;
+            }
+        }
+
+        // --- Retire ------------------------------------------------------
+        let earliest = complete + 1;
+        let mut retire_cycle = earliest.max(last_retire_cycle);
+        if retire_cycle == last_retire_cycle && retired_in_cycle == config.retire_width {
+            retire_cycle += 1;
+        }
+        if retire_cycle > last_retire_cycle {
+            last_retire_cycle = retire_cycle;
+            retired_in_cycle = 0;
+        }
+        retired_in_cycle += 1;
+        window.push_back(retire_cycle);
+        final_cycle = retire_cycle;
+    }
+
+    SimReport {
+        cycles: final_cycle,
+        instructions,
+        mispredict_stall_cycles,
+        branch_stats: harness.stats().clone(),
+        dcache_stats: dcache.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::{Addr, BranchClass, BranchExec, Reg, VecTrace};
+    use target_cache::harness::FrontEndConfig;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::isca97(FrontEndConfig::isca97_baseline())
+    }
+
+    fn op(i: u64) -> DynInstr {
+        DynInstr::op(Addr::from_word_index(i), InstrClass::Integer)
+    }
+
+    #[test]
+    fn straightline_independent_code_approaches_fetch_width_ipc() {
+        let trace: VecTrace = (0..8000).map(op).collect();
+        let r = simulate(&trace, &machine());
+        assert!(
+            r.ipc() > 6.0,
+            "independent integer ops should run near 8 IPC, got {}",
+            r.ipc()
+        );
+    }
+
+    #[test]
+    fn dependent_chain_runs_at_one_ipc() {
+        let trace: VecTrace = (0..4000)
+            .map(|i| {
+                DynInstr::op(Addr::from_word_index(i), InstrClass::Integer)
+                    .with_srcs(Some(Reg::new(1)), None)
+                    .with_dst(Reg::new(1))
+            })
+            .collect();
+        let r = simulate(&trace, &machine());
+        assert!(
+            (0.8..=1.1).contains(&r.ipc()),
+            "a serial dependence chain must run at ~1 IPC, got {}",
+            r.ipc()
+        );
+    }
+
+    #[test]
+    fn dependent_divides_run_at_divide_latency() {
+        let trace: VecTrace = (0..1000)
+            .map(|i| {
+                DynInstr::op(Addr::from_word_index(i), InstrClass::Div)
+                    .with_srcs(Some(Reg::new(1)), None)
+                    .with_dst(Reg::new(1))
+            })
+            .collect();
+        let r = simulate(&trace, &machine());
+        let cpi = r.cycles as f64 / r.instructions as f64;
+        assert!((7.5..=8.5).contains(&cpi), "divide chain CPI {cpi}");
+    }
+
+    #[test]
+    fn fu_bandwidth_bounds_ipc() {
+        let mut config = machine();
+        config.fu_count = 2;
+        let trace: VecTrace = (0..8000).map(op).collect();
+        let r = simulate(&trace, &config);
+        assert!(r.ipc() <= 2.05, "2 FUs cap IPC at 2, got {}", r.ipc());
+        assert!(r.ipc() > 1.8);
+    }
+
+    #[test]
+    fn cache_misses_slow_dependent_loads() {
+        // Dependent loads with a huge stride (every access misses) vs the
+        // same loads hitting one line.
+        let missy: VecTrace = (0..2000)
+            .map(|i| {
+                DynInstr::load(Addr::from_word_index(i), i * 1_000_003)
+                    .with_srcs(Some(Reg::new(1)), None)
+                    .with_dst(Reg::new(1))
+            })
+            .collect();
+        let hitty: VecTrace = (0..2000)
+            .map(|i| {
+                DynInstr::load(Addr::from_word_index(i), 0x40)
+                    .with_srcs(Some(Reg::new(1)), None)
+                    .with_dst(Reg::new(1))
+            })
+            .collect();
+        let r_miss = simulate(&missy, &machine());
+        let r_hit = simulate(&hitty, &machine());
+        assert!(
+            r_miss.cycles > r_hit.cycles * 3,
+            "miss chain {} vs hit chain {}",
+            r_miss.cycles,
+            r_hit.cycles
+        );
+        assert!(r_miss.dcache_stats.hit_rate() < 0.1);
+        assert!(r_hit.dcache_stats.hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_cycles() {
+        // An indirect jump cycling through 16 targets (unpredictable for
+        // the BTB-only front end) vs the same number of monomorphic jumps.
+        fn jump_trace(ntargets: u64) -> VecTrace {
+            let mut t = VecTrace::new();
+            for i in 0..3000u64 {
+                // Straight-line padding then a jump back.
+                for k in 0..4 {
+                    t.push(op(1_000_000 + k));
+                }
+                t.push(DynInstr::branch(
+                    Addr::from_word_index(1_000_004),
+                    BranchExec::taken(
+                        BranchClass::IndirectJump,
+                        Addr::from_word_index(2_000_000 + (i % ntargets) * 1024),
+                    ),
+                ));
+                for k in 0..4 {
+                    t.push(op(2_000_000 + (i % ntargets) * 1024 + k));
+                }
+                t.push(DynInstr::branch(
+                    Addr::from_word_index(2_000_000 + (i % ntargets) * 1024 + 4),
+                    BranchExec::taken(BranchClass::UncondDirect, Addr::from_word_index(1_000_000)),
+                ));
+            }
+            t
+        }
+        let poly = simulate(&jump_trace(16), &machine());
+        let mono = simulate(&jump_trace(1), &machine());
+        assert!(
+            poly.mispredict_stall_cycles > mono.mispredict_stall_cycles * 5,
+            "stall accounting must attribute the gap: poly {} vs mono {}",
+            poly.mispredict_stall_cycles,
+            mono.mispredict_stall_cycles
+        );
+        assert!(poly.mispredict_stall_fraction() > 0.3);
+        assert!(
+            poly.cycles as f64 > mono.cycles as f64 * 1.3,
+            "polymorphic {} vs monomorphic {}",
+            poly.cycles,
+            mono.cycles
+        );
+        assert!(poly.indirect_mispred_rate() > 0.9);
+        assert!(mono.indirect_mispred_rate() < 0.05);
+    }
+
+    #[test]
+    fn window_size_limits_overlap_of_long_latency_tails() {
+        // Independent divides: a big window overlaps them, a tiny window
+        // serializes fetch behind retirement.
+        let trace: VecTrace = (0..2000)
+            .map(|i| DynInstr::op(Addr::from_word_index(i), InstrClass::Div))
+            .collect();
+        let mut small = machine();
+        small.window_size = 4;
+        let mut big = machine();
+        big.window_size = 64;
+        let r_small = simulate(&trace, &small);
+        let r_big = simulate(&trace, &big);
+        assert!(
+            r_small.cycles > r_big.cycles,
+            "window 4: {} cycles, window 64: {} cycles",
+            r_small.cycles,
+            r_big.cycles
+        );
+    }
+
+    #[test]
+    fn fetch_cannot_pass_a_taken_branch() {
+        // Back-to-back taken jumps: at most one branch fetches per cycle,
+        // so IPC is pinned near 1 regardless of the 8-wide front end.
+        let mut t = VecTrace::new();
+        for i in 0..3000u64 {
+            let pc = Addr::from_word_index(1000 + (i % 2) * 500);
+            let target = Addr::from_word_index(1000 + ((i + 1) % 2) * 500);
+            t.push(DynInstr::branch(
+                pc,
+                BranchExec::taken(BranchClass::UncondDirect, target),
+            ));
+        }
+        let r = simulate(&t, &machine());
+        assert!(
+            r.ipc() <= 1.05,
+            "taken-branch-dense code must not exceed 1 IPC, got {}",
+            r.ipc()
+        );
+    }
+
+    #[test]
+    fn retire_width_bounds_ipc() {
+        let mut config = machine();
+        config.retire_width = 2;
+        let trace: VecTrace = (0..8000).map(op).collect();
+        let r = simulate(&trace, &config);
+        assert!(r.ipc() <= 2.05, "retire width 2 caps IPC, got {}", r.ipc());
+    }
+
+    #[test]
+    fn deeper_front_end_increases_misprediction_cost() {
+        // Same trace, deeper decode pipe: each misprediction costs more.
+        let mut t = VecTrace::new();
+        for i in 0..2000u64 {
+            t.push(DynInstr::branch(
+                Addr::from_word_index(1000),
+                BranchExec::taken(
+                    BranchClass::IndirectJump,
+                    Addr::from_word_index(2000 + (i % 13) * 512),
+                ),
+            ));
+            for k in 0..3 {
+                t.push(op(2000 + (i % 13) * 512 + k + 1));
+            }
+            t.push(DynInstr::branch(
+                Addr::from_word_index(2000 + (i % 13) * 512 + 4),
+                BranchExec::taken(BranchClass::UncondDirect, Addr::from_word_index(1000)),
+            ));
+        }
+        let shallow = simulate(&t, &machine());
+        let mut deep_cfg = machine();
+        deep_cfg.front_depth = 10;
+        let deep = simulate(&t, &deep_cfg);
+        assert!(
+            deep.cycles > shallow.cycles,
+            "deep pipe {} should be slower than shallow {}",
+            deep.cycles,
+            shallow.cycles
+        );
+    }
+
+    #[test]
+    fn wider_fetch_helps_straightline_code() {
+        let trace: VecTrace = (0..8000).map(op).collect();
+        let mut narrow = machine();
+        narrow.fetch_width = 2;
+        let r_narrow = simulate(&trace, &narrow);
+        let r_wide = simulate(&trace, &machine());
+        assert!(r_wide.cycles < r_narrow.cycles);
+    }
+
+    #[test]
+    fn empty_trace_reports_zero() {
+        let r = simulate(&VecTrace::new(), &machine());
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.instructions, 0);
+        assert_eq!(r.ipc(), 0.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let trace = sim_workloads::Benchmark::Gcc.workload().generate(30_000);
+        let a = simulate(&trace, &machine());
+        let b = simulate(&trace, &machine());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.branch_stats, b.branch_stats);
+    }
+}

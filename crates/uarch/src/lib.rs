@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! HPS-like wide-issue out-of-order timing model.
+//!
+//! The paper measures the target cache's end-to-end benefit as *reduction
+//! in execution time* on the HPS microarchitecture: a wide-issue,
+//! out-of-order machine using Tomasulo-style dynamic scheduling with
+//! checkpoint repair — "checkpoints are established for each branch; thus,
+//! once a branch misprediction is determined, instructions from the correct
+//! path are fetched in the next cycle."
+//!
+//! This crate reimplements that machine as a deterministic trace-driven
+//! timing model:
+//!
+//! * **Front end** — the `target-cache` crate's
+//!   [`PredictionHarness`](target_cache::harness::PredictionHarness)
+//!   (BTB + two-level predictor + return stack + optional target cache)
+//!   decides, for every branch, whether the fetch stream was redirected
+//!   correctly. Fetch supplies up to `fetch_width` instructions per cycle
+//!   and cannot fetch past a taken branch within a cycle.
+//! * **Execution core** — register renaming (modelled as per-register
+//!   ready times), a bounded in-flight window with in-order retirement,
+//!   `fu_count` universal function units with the class latencies of the
+//!   paper's Table 3, and a simulated data cache with a fixed miss penalty.
+//! * **Misprediction recovery** — a mispredicted branch blocks fetch of
+//!   younger instructions until the cycle after the branch executes
+//!   (checkpoint repair: no drain, no retrain).
+//!
+//! Because the model is trace-driven along the correct path, wrong-path
+//! instructions are not simulated; their cost appears as the fetch gap
+//! between a mispredicted branch and its resolution, which is the dominant
+//! first-order effect the paper's execution-time numbers capture.
+//!
+//! # Example
+//!
+//! ```
+//! use hps_uarch::{simulate, MachineConfig};
+//! use target_cache::harness::FrontEndConfig;
+//! use target_cache::TargetCacheConfig;
+//! use sim_workloads::Benchmark;
+//!
+//! let trace = Benchmark::Perl.workload().generate(20_000);
+//! let base = simulate(&trace, &MachineConfig::isca97(FrontEndConfig::isca97_baseline()));
+//! let tc = simulate(&trace, &MachineConfig::isca97(FrontEndConfig::isca97_with(
+//!     TargetCacheConfig::isca97_tagless_gshare(),
+//! )));
+//! assert!(tc.cycles <= base.cycles, "the target cache must not slow perl down");
+//! ```
+
+pub mod config;
+pub mod dcache;
+pub mod engine;
+pub mod report;
+
+pub use config::{DCacheConfig, MachineConfig};
+pub use dcache::DataCache;
+pub use engine::simulate;
+pub use report::SimReport;

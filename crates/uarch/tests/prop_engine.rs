@@ -1,0 +1,144 @@
+//! Property-based tests for the timing engine: scheduling invariants that
+//! must hold for *any* trace, not just the workloads'.
+
+use hps_uarch::{simulate, MachineConfig};
+use proptest::prelude::*;
+use sim_isa::{Addr, BranchClass, BranchExec, DynInstr, InstrClass, Reg, VecTrace};
+use target_cache::harness::FrontEndConfig;
+
+fn machine() -> MachineConfig {
+    MachineConfig::isca97(FrontEndConfig::isca97_baseline())
+}
+
+/// An arbitrary instruction with a consistent next-pc chain left to the
+/// caller (prediction correctness is irrelevant to these invariants, and
+/// the engine never requires path consistency).
+fn arb_instr() -> impl Strategy<Value = DynInstr> {
+    let reg = proptest::option::of(0u16..32).prop_map(|r| r.map(Reg::new));
+    (
+        0u64..4096,
+        0u8..10,
+        any::<u64>(),
+        reg.clone(),
+        reg.clone(),
+        reg,
+        any::<bool>(),
+    )
+        .prop_map(|(pc, kind, payload, a, b, d, taken)| {
+            let pc = Addr::from_word_index(pc);
+            match kind {
+                0..=3 => {
+                    let class = [
+                        InstrClass::Integer,
+                        InstrClass::Mul,
+                        InstrClass::Div,
+                        InstrClass::BitField,
+                    ][kind as usize];
+                    let mut i = DynInstr::op(pc, class).with_srcs(a, b);
+                    if let Some(d) = d {
+                        i = i.with_dst(d);
+                    }
+                    i
+                }
+                4 | 5 => {
+                    let mut i = if kind == 4 {
+                        DynInstr::load(pc, payload)
+                    } else {
+                        DynInstr::store(pc, payload)
+                    };
+                    if let (4, Some(d)) = (kind, d) {
+                        i = i.with_dst(d);
+                    }
+                    i
+                }
+                _ => {
+                    let classes = [
+                        BranchClass::CondDirect,
+                        BranchClass::UncondDirect,
+                        BranchClass::Call,
+                        BranchClass::Return,
+                        BranchClass::IndirectJump,
+                    ];
+                    let class = classes[(kind - 6) as usize % classes.len()];
+                    let taken = taken || !class.is_conditional();
+                    let target = Addr::from_word_index(payload % 4096 + 5000);
+                    DynInstr::branch(pc, BranchExec::new(class, taken, target))
+                }
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ipc_respects_machine_bounds(instrs in proptest::collection::vec(arb_instr(), 1..600)) {
+        let trace: VecTrace = instrs.into_iter().collect();
+        let r = simulate(&trace, &machine());
+        prop_assert_eq!(r.instructions, trace.len() as u64);
+        prop_assert!(r.cycles >= 1);
+        prop_assert!(r.ipc() <= 8.0 + 1e-9, "IPC {} exceeds machine width", r.ipc());
+        // Every instruction takes at least front_depth + latency + 1 to
+        // retire, so cycles >= that of the last instruction alone.
+        prop_assert!(r.cycles >= 4, "cycles {} impossibly small", r.cycles);
+    }
+
+    #[test]
+    fn stall_cycles_never_exceed_total(instrs in proptest::collection::vec(arb_instr(), 1..600)) {
+        let trace: VecTrace = instrs.into_iter().collect();
+        let r = simulate(&trace, &machine());
+        prop_assert!(r.mispredict_stall_cycles <= r.cycles);
+        prop_assert!((0.0..=1.0).contains(&r.mispredict_stall_fraction()));
+    }
+
+    #[test]
+    fn bigger_windows_never_slow_the_machine(instrs in proptest::collection::vec(arb_instr(), 1..400)) {
+        let trace: VecTrace = instrs.into_iter().collect();
+        let mut small = machine();
+        small.window_size = 8;
+        let mut big = machine();
+        big.window_size = 128;
+        let r_small = simulate(&trace, &small);
+        let r_big = simulate(&trace, &big);
+        prop_assert!(
+            r_big.cycles <= r_small.cycles,
+            "window 128 took {} cycles vs window 8's {}",
+            r_big.cycles,
+            r_small.cycles
+        );
+    }
+
+    #[test]
+    fn more_fus_never_slow_the_machine(instrs in proptest::collection::vec(arb_instr(), 1..400)) {
+        let trace: VecTrace = instrs.into_iter().collect();
+        let mut few = machine();
+        few.fu_count = 2;
+        let r_few = simulate(&trace, &few);
+        let r_many = simulate(&trace, &machine());
+        prop_assert!(r_many.cycles <= r_few.cycles);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_any_trace(instrs in proptest::collection::vec(arb_instr(), 1..300)) {
+        let trace: VecTrace = instrs.into_iter().collect();
+        let a = simulate(&trace, &machine());
+        let b = simulate(&trace, &machine());
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.mispredict_stall_cycles, b.mispredict_stall_cycles);
+        prop_assert_eq!(a.branch_stats, b.branch_stats);
+        prop_assert_eq!(a.dcache_stats, b.dcache_stats);
+    }
+
+    #[test]
+    fn oracle_never_loses_to_the_baseline(instrs in proptest::collection::vec(arb_instr(), 1..300)) {
+        let trace: VecTrace = instrs.into_iter().collect();
+        let base = simulate(&trace, &machine());
+        let oracle = simulate(&trace, &MachineConfig::isca97(FrontEndConfig::isca97_oracle()));
+        prop_assert!(
+            oracle.cycles <= base.cycles,
+            "oracle {} cycles vs baseline {}",
+            oracle.cycles,
+            base.cycles
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Generate a benchmark trace and write it to a file in the IJPTRC01
+//! binary format.
+//!
+//! Usage: `tracegen <benchmark> <instructions> <output-path>`
+
+use sim_isa::codec::write_trace;
+use sim_workloads::{Benchmark, OoBenchmark};
+use std::io::BufWriter;
+
+fn usage() -> ! {
+    let spec: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+    let oo: Vec<&str> = OoBenchmark::ALL.iter().map(|b| b.name()).collect();
+    eprintln!(
+        "usage: tracegen <benchmark> <instructions> <output-path>\n\
+         benchmarks: {} / {}",
+        spec.join(", "),
+        oo.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [name, count, path] = args.as_slice() else {
+        usage()
+    };
+    let budget: usize = count.parse().unwrap_or_else(|_| usage());
+
+    let trace = if let Some(b) = Benchmark::from_name(name) {
+        b.workload().generate(budget)
+    } else if let Some(b) = OoBenchmark::ALL.iter().find(|b| b.name() == name) {
+        b.workload().generate(budget)
+    } else {
+        usage()
+    };
+
+    let file = std::fs::File::create(path).expect("cannot create output file");
+    write_trace(BufWriter::new(file), &trace).expect("cannot write trace");
+    eprintln!("wrote {} instructions to {path}", trace.len());
+}

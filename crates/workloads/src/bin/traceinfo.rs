@@ -1,0 +1,40 @@
+//! Print the characterization statistics of a trace file.
+//!
+//! Usage: `traceinfo <trace-path>`
+
+use sim_isa::codec::read_trace;
+use sim_isa::BranchClass;
+use std::io::BufReader;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: traceinfo <trace-path>");
+        std::process::exit(2);
+    });
+    let file = std::fs::File::open(&path).expect("cannot open trace file");
+    let trace = read_trace(BufReader::new(file)).expect("cannot decode trace");
+    let stats = trace.stats();
+
+    println!("{path}: {} instructions", stats.instructions());
+    println!("  branches:        {}", stats.branches());
+    for class in BranchClass::ALL {
+        let n = stats.branch_count(class);
+        if n > 0 {
+            println!("    {:>6}: {n}", class.mnemonic());
+        }
+    }
+    println!(
+        "  indirect jumps:  {} ({:.3}% of instructions)",
+        stats.indirect_jumps(),
+        stats.indirect_jump_fraction() * 100.0
+    );
+    println!("  static ijmp sites: {}", stats.static_indirect_jumps());
+    let hist = stats.targets_per_jump_histogram(30);
+    print!("  targets/site histogram:");
+    for (k, &n) in hist.iter().enumerate() {
+        if n > 0 {
+            print!(" {}{}:{n}", if k == 29 { ">=" } else { "" }, k + 1);
+        }
+    }
+    println!();
+}

@@ -1,0 +1,729 @@
+//! The program executor: walks a [`Program`]'s control-flow graph, drives
+//! its value streams, and emits the dynamic instruction trace.
+
+use crate::mix::mix64;
+use crate::program::{
+    BlockId, Cond, Effect, Layout, Program, RoutineId, Selector, Step, Terminator,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_isa::{Addr, BranchClass, BranchExec, DynInstr, VecTrace};
+use std::collections::HashMap;
+
+/// Hard cap on simulated call depth: a workload definition that recurses
+/// past this is a bug, not a deep program.
+const MAX_CALL_DEPTH: usize = 10_000;
+
+/// Sentinel error used internally to unwind when the instruction budget is
+/// reached mid-block.
+struct BudgetReached;
+
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    routine: RoutineId,
+    block: BlockId,
+    /// Step index execution resumes at after the callee returns.
+    resume_step: usize,
+}
+
+/// Executes a [`Program`], producing deterministic instruction traces.
+///
+/// All stochastic elements (Markov chains, uniform draws, Bernoulli
+/// conditions) are driven by a single seeded PRNG consumed in execution
+/// order, so a given `(program, seed, budget)` triple always yields the
+/// identical trace.
+///
+/// # Example
+///
+/// ```
+/// use sim_workloads::{Executor, ProgramBuilder, InstrMix};
+///
+/// let mut b = ProgramBuilder::new();
+/// let main = b.routine();
+/// b.block(main).body(3, InstrMix::integer_heavy()).goto(0);
+/// let program = b.build().unwrap();
+///
+/// let trace = Executor::new(&program, 42).generate(10);
+/// assert_eq!(trace.len(), 10);
+/// ```
+pub struct Executor<'p> {
+    program: &'p Program,
+    layout: Layout,
+    rng: SmallRng,
+    vars: Vec<u32>,
+    cycle_pos: Vec<usize>,
+    markov_state: Vec<usize>,
+    loop_counters: HashMap<(RoutineId, BlockId), u32>,
+    call_stack: Vec<Frame>,
+    trace: VecTrace,
+    budget: usize,
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor over a validated program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails [`Program::check`] — build programs with
+    /// [`crate::ProgramBuilder`] to get validation at construction.
+    pub fn new(program: &'p Program, seed: u64) -> Self {
+        let layout = program.check().expect("program must be structurally valid");
+        Executor {
+            program,
+            layout,
+            rng: SmallRng::seed_from_u64(seed),
+            vars: vec![0; program.vars],
+            cycle_pos: vec![0; program.cycles.len()],
+            markov_state: vec![0; program.chains.len()],
+            loop_counters: HashMap::new(),
+            call_stack: Vec::new(),
+            trace: VecTrace::new(),
+            budget: 0,
+        }
+    }
+
+    /// Runs the program until `budget` dynamic instructions have been
+    /// emitted and returns the trace (exactly `budget` long).
+    pub fn generate(mut self, budget: usize) -> VecTrace {
+        self.budget = budget;
+        let mut routine: RoutineId = 0;
+        let mut block: BlockId = 0;
+        let mut start_step = 0usize;
+
+        'blocks: loop {
+            if self.trace.len() >= self.budget {
+                break;
+            }
+            if start_step == 0 {
+                let n_effects = self.program.routines[routine].blocks[block].effects.len();
+                for i in 0..n_effects {
+                    let e = self.program.routines[routine].blocks[block].effects[i];
+                    self.apply_effect(&e);
+                }
+            }
+
+            let nsteps = self.program.routines[routine].blocks[block].steps.len();
+            // `start_step` is reassigned inside the loop before `continue
+            // 'blocks`, which re-enters with the new value — the lint sees
+            // only the (unused) current iteration range.
+            #[allow(clippy::mut_range_bound)]
+            for s in start_step..nsteps {
+                // Resolve the step to a small copyable action first, so the
+                // hot loop never clones jump or call tables.
+                enum StepAction {
+                    Body {
+                        count: u32,
+                        mix: crate::mix::InstrMix,
+                    },
+                    Call {
+                        callee: RoutineId,
+                        indirect: bool,
+                    },
+                }
+                let action = {
+                    let step = &self.program.routines[routine].blocks[block].steps[s];
+                    match step {
+                        Step::Body { count, mix } => StepAction::Body {
+                            count: *count,
+                            mix: *mix,
+                        },
+                        Step::Call { routine } => StepAction::Call {
+                            callee: *routine,
+                            indirect: false,
+                        },
+                        Step::CallIndirect { selector, routines } => StepAction::Call {
+                            callee: routines[self.select(*selector, routines.len())],
+                            indirect: true,
+                        },
+                    }
+                };
+                let step_addr = self.step_addr(routine, block, s);
+                match action {
+                    StepAction::Body { count, mix } => {
+                        let seed = body_seed(routine, block, s);
+                        for k in 0..count {
+                            let pc = step_addr.offset(k as u64);
+                            if self.emit(mix.instr_at(pc, seed, k)).is_err() {
+                                break 'blocks;
+                            }
+                        }
+                    }
+                    StepAction::Call { callee, indirect } => {
+                        let target = self.layout.routine_entry(callee);
+                        let class = if indirect {
+                            BranchClass::IndirectCall
+                        } else {
+                            BranchClass::Call
+                        };
+                        let call = DynInstr::branch(step_addr, BranchExec::taken(class, target));
+                        if self.emit(call).is_err() {
+                            break 'blocks;
+                        }
+                        self.push_frame(Frame {
+                            routine,
+                            block,
+                            resume_step: s + 1,
+                        });
+                        routine = callee;
+                        block = 0;
+                        start_step = 0;
+                        continue 'blocks;
+                    }
+                }
+            }
+
+            // Terminator: resolve to a small action without cloning tables.
+            enum TermAction {
+                Goto(BlockId),
+                Branch {
+                    cond: Cond,
+                    taken: BlockId,
+                    not_taken: BlockId,
+                },
+                Switch {
+                    target: BlockId,
+                },
+                Return,
+            }
+            let term = {
+                let t = &self.program.routines[routine].blocks[block].terminator;
+                match t {
+                    Terminator::Goto(t) => TermAction::Goto(*t),
+                    Terminator::Branch {
+                        cond,
+                        taken,
+                        not_taken,
+                    } => TermAction::Branch {
+                        cond: *cond,
+                        taken: *taken,
+                        not_taken: *not_taken,
+                    },
+                    Terminator::Switch { selector, targets } => TermAction::Switch {
+                        target: targets[self.select(*selector, targets.len())],
+                    },
+                    Terminator::Return => TermAction::Return,
+                }
+            };
+            let term_addr = self.step_addr(routine, block, nsteps);
+            match term {
+                TermAction::Goto(t) => {
+                    let target = self.layout.block_base[routine][t];
+                    let jump = DynInstr::branch(
+                        term_addr,
+                        BranchExec::taken(BranchClass::UncondDirect, target),
+                    );
+                    if self.emit(jump).is_err() {
+                        break 'blocks;
+                    }
+                    block = t;
+                    start_step = 0;
+                }
+                TermAction::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
+                    let taken_target = self.layout.block_base[routine][taken];
+                    let is_taken = self.eval_cond(cond, routine, block);
+                    let br = DynInstr::branch(
+                        term_addr,
+                        BranchExec::new(BranchClass::CondDirect, is_taken, taken_target),
+                    );
+                    if self.emit(br).is_err() {
+                        break 'blocks;
+                    }
+                    if is_taken {
+                        block = taken;
+                    } else {
+                        // The `goto not_taken` that physically follows the
+                        // conditional branch (Figure 9 shape).
+                        let nt_target = self.layout.block_base[routine][not_taken];
+                        let goto = DynInstr::branch(
+                            term_addr.next(),
+                            BranchExec::taken(BranchClass::UncondDirect, nt_target),
+                        );
+                        if self.emit(goto).is_err() {
+                            break 'blocks;
+                        }
+                        block = not_taken;
+                    }
+                    start_step = 0;
+                }
+                TermAction::Switch { target: t } => {
+                    let target = self.layout.block_base[routine][t];
+                    let jump = DynInstr::branch(
+                        term_addr,
+                        BranchExec::taken(BranchClass::IndirectJump, target),
+                    );
+                    if self.emit(jump).is_err() {
+                        break 'blocks;
+                    }
+                    block = t;
+                    start_step = 0;
+                }
+                TermAction::Return => {
+                    let frame = self
+                        .call_stack
+                        .pop()
+                        .expect("validated programs cannot return from main");
+                    let target = self.step_addr(frame.routine, frame.block, frame.resume_step);
+                    let ret =
+                        DynInstr::branch(term_addr, BranchExec::taken(BranchClass::Return, target));
+                    if self.emit(ret).is_err() {
+                        break 'blocks;
+                    }
+                    routine = frame.routine;
+                    block = frame.block;
+                    start_step = frame.resume_step;
+                }
+            }
+        }
+        self.trace
+    }
+
+    /// The address of step `s` of a block (`s == steps.len()` addresses the
+    /// terminator).
+    fn step_addr(&self, routine: RoutineId, block: BlockId, s: usize) -> Addr {
+        let base = self.layout.block_base[routine][block];
+        base.offset(self.layout.step_offset[routine][block][s] as u64)
+    }
+
+    fn push_frame(&mut self, frame: Frame) {
+        assert!(
+            self.call_stack.len() < MAX_CALL_DEPTH,
+            "call depth exceeded {MAX_CALL_DEPTH}: runaway recursion in workload definition"
+        );
+        self.call_stack.push(frame);
+    }
+
+    fn emit(&mut self, instr: DynInstr) -> Result<(), BudgetReached> {
+        self.trace.push(instr);
+        if self.trace.len() >= self.budget {
+            Err(BudgetReached)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn select(&self, selector: Selector, n: usize) -> usize {
+        (self.vars[selector.var] as usize) % n
+    }
+
+    fn apply_effect(&mut self, e: &Effect) {
+        match *e {
+            Effect::CycleNext { cycle, var } => {
+                let tokens = &self.program.cycles[cycle];
+                let pos = self.cycle_pos[cycle];
+                self.vars[var] = tokens[pos];
+                self.cycle_pos[cycle] = (pos + 1) % tokens.len();
+            }
+            Effect::NoisyCycleNext {
+                cycle,
+                var,
+                noise_p,
+                noise_n,
+            } => {
+                let tokens = &self.program.cycles[cycle];
+                let pos = self.cycle_pos[cycle];
+                let token = tokens[pos];
+                self.cycle_pos[cycle] = (pos + 1) % tokens.len();
+                self.vars[var] = if self.rng.gen::<f64>() < noise_p {
+                    self.rng.gen_range(0..noise_n)
+                } else {
+                    token
+                };
+            }
+            Effect::MarkovStep { chain, var } => {
+                let c = &self.program.chains[chain];
+                let state = self.markov_state[chain];
+                let row = &c.rows[state];
+                let total: f64 = row.iter().sum();
+                let mut roll = self.rng.gen::<f64>() * total;
+                let mut next = row.len() - 1;
+                for (i, &w) in row.iter().enumerate() {
+                    if roll < w {
+                        next = i;
+                        break;
+                    }
+                    roll -= w;
+                }
+                self.markov_state[chain] = next;
+                self.vars[var] = next as u32;
+            }
+            Effect::Uniform { var, n } => {
+                self.vars[var] = self.rng.gen_range(0..n);
+            }
+            Effect::Set { var, value } => self.vars[var] = value,
+            Effect::AddMod { var, delta, modulo } => {
+                self.vars[var] = (self.vars[var].wrapping_add(delta)) % modulo;
+            }
+        }
+    }
+
+    fn eval_cond(&mut self, cond: Cond, routine: RoutineId, block: BlockId) -> bool {
+        match cond {
+            Cond::Bit { var, bit } => (self.vars[var] >> bit) & 1 == 1,
+            Cond::Lt { var, threshold } => self.vars[var] < threshold,
+            Cond::Eq { var, value } => self.vars[var] == value,
+            Cond::Loop { count } => {
+                let c = self.loop_counters.entry((routine, block)).or_insert(0);
+                *c += 1;
+                if *c >= count {
+                    *c = 0;
+                    false
+                } else {
+                    true
+                }
+            }
+            Cond::Bernoulli { p } => self.rng.gen::<f64>() < p,
+            Cond::Always => true,
+            Cond::Never => false,
+        }
+    }
+}
+
+fn body_seed(routine: RoutineId, block: BlockId, step: usize) -> u64 {
+    mix64(((routine as u64) << 40) ^ ((block as u64) << 20) ^ step as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::InstrMix;
+    use crate::program::ProgramBuilder;
+    use sim_isa::InstrClass;
+
+    fn mix() -> InstrMix {
+        InstrMix::integer_heavy()
+    }
+
+    #[test]
+    fn budget_is_exact() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).body(7, mix()).goto(0);
+        let p = b.build().unwrap();
+        for budget in [1usize, 2, 7, 8, 100, 1001] {
+            let trace = Executor::new(&p, 1).generate(budget);
+            assert_eq!(trace.len(), budget);
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let mut b = ProgramBuilder::new();
+        let v = b.var();
+        let main = b.routine();
+        b.block(main)
+            .effect(Effect::Uniform { var: v, n: 16 })
+            .body(3, mix())
+            .switch(Selector::var(v), vec![1, 2, 1, 2]);
+        b.block(main).body(2, mix()).goto(0);
+        b.block(main).body(4, mix()).goto(0);
+        let p = b.build().unwrap();
+        let t1 = Executor::new(&p, 99).generate(5000);
+        let t2 = Executor::new(&p, 99).generate(5000);
+        assert_eq!(t1, t2);
+        let t3 = Executor::new(&p, 100).generate(5000);
+        assert_ne!(t1, t3, "different seeds should diverge");
+    }
+
+    #[test]
+    fn goto_emits_taken_unconditional_with_correct_addresses() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).body(2, mix()).goto(1);
+        b.block(main).goto(0);
+        let p = b.build().unwrap();
+        let trace = Executor::new(&p, 0).generate(4);
+        let layout = p.check().unwrap();
+        // instr 0,1: body; instr 2: goto block1; instr 3: goto block0.
+        let g = trace.as_slice()[2];
+        let be = g.branch_exec().unwrap();
+        assert_eq!(be.class, BranchClass::UncondDirect);
+        assert!(be.taken);
+        assert_eq!(be.target, layout.block_base[0][1]);
+        assert_eq!(g.pc(), layout.block_base[0][0].offset(2));
+        // The next instruction in the trace is at the jump's target.
+        assert_eq!(trace.as_slice()[3].pc(), be.target);
+    }
+
+    #[test]
+    fn trace_path_is_sequentially_consistent() {
+        // Every instruction's pc must equal the previous instruction's
+        // next_pc — the fundamental invariant of a real execution trace.
+        let mut b = ProgramBuilder::new();
+        let v = b.var();
+        let helper = {
+            let main = b.routine();
+            let helper = b.routine();
+            b.block(main)
+                .effect(Effect::AddMod {
+                    var: v,
+                    delta: 1,
+                    modulo: 5,
+                })
+                .body(3, mix())
+                .call(helper)
+                .body(1, mix())
+                .switch(Selector::var(v), vec![1, 2, 1, 2, 1]);
+            b.block(main).body(2, mix()).goto(0);
+            b.block(main).branch(Cond::Bit { var: v, bit: 0 }, 0, 1);
+            helper
+        };
+        b.block(helper)
+            .body(2, mix())
+            .branch(Cond::Loop { count: 3 }, 0, 1);
+        b.block(helper).ret();
+        let p = b.build().unwrap();
+        let trace = Executor::new(&p, 7).generate(20_000);
+        let mut prev_next: Option<Addr> = None;
+        for i in trace.iter() {
+            if let Some(expected) = prev_next {
+                assert_eq!(i.pc(), expected, "discontinuity at {:?}", i);
+            }
+            prev_next = Some(i.next_pc());
+        }
+    }
+
+    #[test]
+    fn conditional_not_taken_emits_figure9_goto() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).branch(Cond::Never, 1, 2);
+        b.block(main).goto(0);
+        b.block(main).goto(0);
+        let p = b.build().unwrap();
+        let trace = Executor::new(&p, 0).generate(3);
+        let layout = p.check().unwrap();
+        let cond = trace.as_slice()[0].branch_exec().unwrap();
+        assert_eq!(cond.class, BranchClass::CondDirect);
+        assert!(!cond.taken);
+        assert_eq!(
+            cond.target, layout.block_base[0][1],
+            "stores the taken target"
+        );
+        let goto = trace.as_slice()[1].branch_exec().unwrap();
+        assert_eq!(goto.class, BranchClass::UncondDirect);
+        assert_eq!(goto.target, layout.block_base[0][2]);
+        assert_eq!(trace.as_slice()[1].pc(), trace.as_slice()[0].pc().next());
+    }
+
+    #[test]
+    fn conditional_taken_skips_the_goto() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).branch(Cond::Always, 1, 2);
+        b.block(main).goto(0);
+        b.block(main).goto(0);
+        let p = b.build().unwrap();
+        let trace = Executor::new(&p, 0).generate(2);
+        let layout = p.check().unwrap();
+        let cond = trace.as_slice()[0].branch_exec().unwrap();
+        assert!(cond.taken);
+        assert_eq!(trace.as_slice()[1].pc(), layout.block_base[0][1]);
+    }
+
+    #[test]
+    fn call_and_return_addresses_pair_up() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        let helper = b.routine();
+        b.block(main).call(helper).body(1, mix()).goto(0);
+        b.block(helper).body(2, mix()).ret();
+        let p = b.build().unwrap();
+        let trace = Executor::new(&p, 0).generate(10);
+        let call = trace.as_slice()[0];
+        let cb = call.branch_exec().unwrap();
+        assert_eq!(cb.class, BranchClass::Call);
+        // Return is instruction 3 (after the 2-instr body).
+        let ret = trace.as_slice()[3].branch_exec().unwrap();
+        assert_eq!(ret.class, BranchClass::Return);
+        assert_eq!(ret.target, call.pc().next(), "return lands after the call");
+    }
+
+    #[test]
+    fn switch_follows_cycle_tokens() {
+        let mut b = ProgramBuilder::new();
+        let tok = b.var();
+        let stream = b.cycle(vec![0, 2, 1]);
+        let main = b.routine();
+        b.block(main)
+            .effect(Effect::CycleNext {
+                cycle: stream,
+                var: tok,
+            })
+            .switch(Selector::var(tok), vec![1, 2, 3]);
+        b.block(main).goto(0); // handler 0
+        b.block(main).goto(0); // handler 1
+        b.block(main).goto(0); // handler 2
+        let p = b.build().unwrap();
+        let layout = p.check().unwrap();
+        let trace = Executor::new(&p, 0).generate(12);
+        // Instructions: switch, handler-goto, switch, handler-goto, ...
+        let targets: Vec<Addr> = trace
+            .iter()
+            .filter(|i| {
+                i.branch_exec()
+                    .is_some_and(|b| b.class == BranchClass::IndirectJump)
+            })
+            .map(|i| i.branch_exec().unwrap().target)
+            .collect();
+        assert_eq!(targets[0], layout.block_base[0][1]); // token 0
+        assert_eq!(targets[1], layout.block_base[0][3]); // token 2
+        assert_eq!(targets[2], layout.block_base[0][2]); // token 1
+        assert_eq!(targets[3], layout.block_base[0][1]); // wraps
+    }
+
+    #[test]
+    fn loop_condition_iterates_count_times() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        // Block 0 loops back to itself twice (count 3 => taken 2, not-taken 1).
+        b.block(main)
+            .body(1, mix())
+            .branch(Cond::Loop { count: 3 }, 0, 1);
+        b.block(main).goto(0);
+        let p = b.build().unwrap();
+        let trace = Executor::new(&p, 0).generate(30);
+        let dirs: Vec<bool> = trace
+            .iter()
+            .filter_map(|i| i.branch_exec())
+            .filter(|b| b.class == BranchClass::CondDirect)
+            .map(|b| b.taken)
+            .collect();
+        assert!(dirs.len() >= 6);
+        assert_eq!(&dirs[0..6], &[true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn indirect_call_targets_routine_entries() {
+        let mut b = ProgramBuilder::new();
+        let v = b.var();
+        let main = b.routine();
+        let r1 = b.routine();
+        let r2 = b.routine();
+        b.block(main)
+            .effect(Effect::AddMod {
+                var: v,
+                delta: 1,
+                modulo: 2,
+            })
+            .call_indirect(Selector::var(v), vec![r1, r2])
+            .goto(0);
+        b.block(r1).ret();
+        b.block(r2).body(1, mix()).ret();
+        let p = b.build().unwrap();
+        let layout = p.check().unwrap();
+        let trace = Executor::new(&p, 0).generate(40);
+        let call_targets: Vec<Addr> = trace
+            .iter()
+            .filter_map(|i| i.branch_exec())
+            .filter(|b| b.class == BranchClass::IndirectCall)
+            .map(|b| b.target)
+            .collect();
+        assert!(call_targets.contains(&layout.routine_entry(r1)));
+        assert!(call_targets.contains(&layout.routine_entry(r2)));
+    }
+
+    #[test]
+    fn noisy_cycle_mostly_follows_tokens() {
+        let mut b = ProgramBuilder::new();
+        let v = b.var();
+        let stream = b.cycle(vec![1, 2, 3]);
+        let main = b.routine();
+        b.block(main)
+            .effect(Effect::NoisyCycleNext {
+                cycle: stream,
+                var: v,
+                noise_p: 0.2,
+                noise_n: 8,
+            })
+            .switch(Selector::var(v), vec![1, 2, 3, 4, 5, 6, 7, 0]);
+        for _ in 0..7 {
+            b.block(main).goto(0);
+        }
+        let p = b.build().unwrap();
+        let trace = Executor::new(&p, 5).generate(20_000);
+        let layout = p.check().unwrap();
+        // The cycle advances regardless of noise, so the 1,2,3 pattern
+        // dominates the dispatch sequence: count period-3 self-agreement.
+        let targets: Vec<_> = trace
+            .iter()
+            .filter(|i| i.pc() == layout.terminator_addr(0, 0).offset(0))
+            .filter_map(|i| i.branch_exec())
+            .map(|b| b.target)
+            .collect();
+        let mut agree = 0;
+        let mut total = 0;
+        for i in 3..targets.len() {
+            agree += (targets[i] == targets[i - 3]) as u32;
+            total += 1;
+        }
+        let rate = agree as f64 / total as f64;
+        // P(both clean) = 0.8^2 = 0.64, plus chance agreement.
+        assert!((0.55..0.85).contains(&rate), "period-3 agreement {rate}");
+    }
+
+    #[test]
+    fn noisy_cycle_with_zero_noise_equals_plain_cycle() {
+        let build = |noisy: bool| {
+            let mut b = ProgramBuilder::new();
+            let v = b.var();
+            let stream = b.cycle(vec![0, 1, 2, 1]);
+            let main = b.routine();
+            let blk = b.block(main);
+            let blk = if noisy {
+                blk.effect(Effect::NoisyCycleNext {
+                    cycle: stream,
+                    var: v,
+                    noise_p: 0.0,
+                    noise_n: 4,
+                })
+            } else {
+                blk.effect(Effect::CycleNext {
+                    cycle: stream,
+                    var: v,
+                })
+            };
+            blk.switch(Selector::var(v), vec![1, 2, 3]);
+            for _ in 0..3 {
+                b.block(main).goto(0);
+            }
+            b.build().unwrap()
+        };
+        let plain = Executor::new(&build(false), 9).generate(5_000);
+        let noisy = Executor::new(&build(true), 9).generate(5_000);
+        // Same control flow (the RNG is consumed identically because the
+        // noise branch is never taken at p = 0... it still draws once per
+        // step, so compare only the dispatch targets' sequence lengths).
+        let seq = |t: &sim_isa::VecTrace| {
+            t.iter()
+                .filter_map(|i| i.branch_exec())
+                .filter(|b| b.class == BranchClass::IndirectJump)
+                .count()
+        };
+        assert_eq!(seq(&plain), seq(&noisy));
+    }
+
+    #[test]
+    fn filler_instructions_have_expected_classes() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main)
+            .body(
+                50,
+                InstrMix {
+                    weights: [0, 0, 0, 0, 1, 0, 0],
+                },
+            )
+            .goto(0);
+        let p = b.build().unwrap();
+        let trace = Executor::new(&p, 0).generate(51);
+        let loads = trace
+            .iter()
+            .filter(|i| i.class() == InstrClass::Load)
+            .count();
+        assert_eq!(loads, 50);
+    }
+}

@@ -1,0 +1,227 @@
+//! Instruction mixes: deterministic synthesis of the non-branch "filler"
+//! instructions inside basic blocks.
+//!
+//! The timing model cares about the classes (latencies), register
+//! dependencies, and memory addresses of non-branch instructions; the
+//! predictors ignore them entirely. The filler for a given block position
+//! is a pure function of `(block seed, position)`, so traces are
+//! reproducible without any generator state.
+
+use sim_isa::{Addr, DynInstr, InstrClass, Reg};
+
+/// Relative weights of the non-branch instruction classes within a block.
+///
+/// # Example
+///
+/// ```
+/// use sim_workloads::InstrMix;
+///
+/// let mix = InstrMix::integer_heavy();
+/// let class = mix.class_at(0xDEAD_BEEF, 3);
+/// assert!(!class.is_control());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct InstrMix {
+    /// Weights for, in order: Integer, FpAdd, Mul, Div, Load, Store,
+    /// BitField. (Branches are emitted by terminators, never as filler.)
+    pub weights: [u16; 7],
+}
+
+const MIX_CLASSES: [InstrClass; 7] = [
+    InstrClass::Integer,
+    InstrClass::FpAdd,
+    InstrClass::Mul,
+    InstrClass::Div,
+    InstrClass::Load,
+    InstrClass::Store,
+    InstrClass::BitField,
+];
+
+/// A cheap deterministic 64-bit mixer (splitmix64 finalizer).
+#[inline]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl InstrMix {
+    /// SPECint-flavoured default: mostly integer ALU, ~25% loads, ~10%
+    /// stores, a sprinkle of shifts, (almost) no floating point.
+    pub fn integer_heavy() -> Self {
+        InstrMix {
+            weights: [40, 1, 3, 1, 25, 12, 18],
+        }
+    }
+
+    /// A pointer-chasing mix with more loads (database/interpreter code).
+    pub fn load_heavy() -> Self {
+        InstrMix {
+            weights: [30, 0, 2, 0, 40, 12, 16],
+        }
+    }
+
+    /// An arithmetic mix with multiplies (image processing: ijpeg).
+    pub fn multiply_heavy() -> Self {
+        InstrMix {
+            weights: [35, 4, 20, 2, 22, 10, 7],
+        }
+    }
+
+    /// Total weight.
+    fn total(&self) -> u32 {
+        self.weights.iter().map(|&w| w as u32).sum()
+    }
+
+    /// The class of the `k`-th filler instruction of a block with the given
+    /// seed. Deterministic; never a branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero.
+    pub fn class_at(&self, block_seed: u64, k: u32) -> InstrClass {
+        let total = self.total();
+        assert!(total > 0, "instruction mix must have a nonzero weight");
+        let mut roll = (mix64(block_seed ^ ((k as u64) << 32) ^ 0xA5A5) % total as u64) as u32;
+        for (i, &w) in self.weights.iter().enumerate() {
+            if roll < w as u32 {
+                return MIX_CLASSES[i];
+            }
+            roll -= w as u32;
+        }
+        unreachable!("roll is within total weight")
+    }
+
+    /// Synthesizes the `k`-th filler instruction of a block.
+    ///
+    /// Registers are drawn deterministically from the seed; loads and
+    /// stores access a per-block data region with a strided-plus-hash
+    /// pattern (some spatial locality, some conflict misses).
+    pub fn instr_at(&self, pc: Addr, block_seed: u64, k: u32) -> DynInstr {
+        let class = self.class_at(block_seed, k);
+        let h = mix64(block_seed ^ (k as u64));
+        let dst = Reg::wrapping(h);
+        let src_a = Reg::wrapping(h >> 8);
+        let src_b = Reg::wrapping(h >> 16);
+        match class {
+            InstrClass::Load => {
+                let addr = Self::data_address(block_seed, k, h);
+                DynInstr::load(pc, addr)
+                    .with_srcs(Some(src_a), None)
+                    .with_dst(dst)
+            }
+            InstrClass::Store => {
+                let addr = Self::data_address(block_seed, k, h);
+                DynInstr::store(pc, addr).with_srcs(Some(src_a), Some(src_b))
+            }
+            c => DynInstr::op(pc, c)
+                .with_srcs(Some(src_a), Some(src_b))
+                .with_dst(dst),
+        }
+    }
+
+    /// Data address generation: a 64 KiB region per block seed, walked with
+    /// an 8-byte stride plus occasional far jumps.
+    fn data_address(block_seed: u64, k: u32, h: u64) -> u64 {
+        let region = 0x1000_0000 + (mix64(block_seed) & 0xFF) * 0x1_0000;
+        let near = (k as u64 * 8) & 0xFFF;
+        let far = if h & 0xF == 0 { (h >> 4) & 0xFFF8 } else { 0 };
+        region + near + far
+    }
+}
+
+impl Default for InstrMix {
+    fn default() -> Self {
+        InstrMix::integer_heavy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_at_is_deterministic() {
+        let mix = InstrMix::integer_heavy();
+        for k in 0..50 {
+            assert_eq!(mix.class_at(42, k), mix.class_at(42, k));
+        }
+    }
+
+    #[test]
+    fn class_at_never_emits_branches() {
+        let mix = InstrMix::default();
+        for seed in 0..20u64 {
+            for k in 0..100 {
+                assert!(!mix.class_at(seed, k).is_control());
+            }
+        }
+    }
+
+    #[test]
+    fn weights_shape_the_distribution() {
+        let mix = InstrMix {
+            weights: [100, 0, 0, 0, 0, 0, 0],
+        };
+        for k in 0..100 {
+            assert_eq!(mix.class_at(7, k), InstrClass::Integer);
+        }
+    }
+
+    #[test]
+    fn integer_heavy_mix_has_expected_proportions() {
+        let mix = InstrMix::integer_heavy();
+        let mut counts = [0u32; 8];
+        for seed in 0..50u64 {
+            for k in 0..200 {
+                counts[mix.class_at(seed, k).index()] += 1;
+            }
+        }
+        let total: u32 = counts.iter().sum();
+        let load_frac = counts[InstrClass::Load.index()] as f64 / total as f64;
+        assert!(
+            (0.18..0.32).contains(&load_frac),
+            "load fraction {load_frac}"
+        );
+        let fp_frac = counts[InstrClass::FpAdd.index()] as f64 / total as f64;
+        assert!(fp_frac < 0.05, "fp fraction {fp_frac}");
+    }
+
+    #[test]
+    fn instr_at_loads_and_stores_carry_addresses() {
+        let mix = InstrMix {
+            weights: [0, 0, 0, 0, 1, 0, 0],
+        }; // loads only
+        let i = mix.instr_at(Addr::new(0x100), 9, 0);
+        assert_eq!(i.class(), InstrClass::Load);
+        assert!(i.mem().is_some());
+        assert!(i.dst().is_some());
+    }
+
+    #[test]
+    fn data_addresses_have_spatial_locality() {
+        let mix = InstrMix {
+            weights: [0, 0, 0, 0, 1, 0, 0],
+        };
+        let a0 = mix.instr_at(Addr::new(0x100), 9, 0).mem().unwrap().addr;
+        let a1 = mix.instr_at(Addr::new(0x104), 9, 1).mem().unwrap().addr;
+        // Mostly strided within a region; allow the occasional far jump.
+        assert!(a0.abs_diff(a1) < 0x2_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn all_zero_mix_rejected() {
+        InstrMix { weights: [0; 7] }.class_at(0, 0);
+    }
+
+    #[test]
+    fn mix64_spreads_bits() {
+        // Consecutive inputs should not produce consecutive outputs.
+        let a = mix64(1);
+        let b = mix64(2);
+        assert_ne!(a + 1, b);
+        assert_ne!(a, b);
+    }
+}

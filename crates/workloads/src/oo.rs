@@ -1,0 +1,372 @@
+//! Object-oriented (C++-style) workloads — the paper's future work.
+//!
+//! Section 5 of the paper: "We examined the SPEC95 integer benchmarks where
+//! only a small fraction of instructions are indirect branches ... For
+//! object oriented programs where more indirect branches may be executed,
+//! tagged caches should provide even greater performance benefits. In the
+//! future, we will evaluate the performance benefit of target caches for
+//! C++ benchmarks."
+//!
+//! These two models carry out that evaluation:
+//!
+//! * [`ixx`] — modelled on the IDL-compiler style C++ benchmark of the
+//!   Calder & Grunwald studies: an AST walk making *megamorphic* virtual
+//!   calls (`accept`/visitor double dispatch) whose receiver sequence is
+//!   mostly periodic (the same tree is walked pass after pass).
+//! * [`deltablue`] — a constraint-solver style benchmark: a propagation
+//!   loop executing `execute()` on a plan of constraint objects (periodic
+//!   within a plan, replanned occasionally), plus moderately polymorphic
+//!   variable accessors.
+//!
+//! Compared with the SPECint95 models, these execute several times more
+//! indirect branches per instruction, at more sites, with higher
+//! polymorphism — exactly the regime in which the paper predicts tags to
+//! pay off.
+
+use crate::mix::InstrMix;
+use crate::program::{Cond, Effect, MarkovChain, ProgramBuilder, RoutineId, Selector};
+use crate::spec95::Workload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_isa::VecTrace;
+
+/// Number of node classes in the `ixx` AST model.
+pub const IXX_CLASSES: usize = 10;
+
+/// Builds the `ixx`-like IDL-compiler workload.
+pub fn ixx() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mix = InstrMix::load_heavy();
+
+    let node = b.var();
+    let visit = b.var();
+    let depth = b.var();
+
+    // The AST as a traversal cycle over node classes: the compiler walks
+    // the same tree in every pass, with small per-pass differences.
+    let mut rng = SmallRng::seed_from_u64(0x1DD_C0DE);
+    let tree: Vec<u32> = {
+        let mut t = Vec::with_capacity(61);
+        let mut prev = 0u32;
+        for i in 0..61 {
+            if i > 0 && rng.gen::<f64>() < 0.2 {
+                t.push(prev);
+            } else {
+                // Interface-heavy: classes 0..3 common, the rest rarer.
+                let c = if rng.gen::<f64>() < 0.55 {
+                    rng.gen_range(0..4)
+                } else {
+                    rng.gen_range(4..IXX_CLASSES as u32)
+                };
+                t.push(c);
+                prev = c;
+            }
+        }
+        t
+    };
+    let walk = b.cycle(tree);
+    let visit_chain = b.chain(MarkovChain::sticky(3, 6.0)); // emit / check / collect visitors
+
+    let main = b.routine();
+    // One `accept` implementation per node class (the megamorphic site's
+    // targets), each of which double-dispatches to a visitor method.
+    let accepts: Vec<RoutineId> = (0..IXX_CLASSES).map(|_| b.routine()).collect();
+    let visitors: Vec<RoutineId> = (0..3).map(|_| b.routine()).collect();
+    let emit_helper = b.routine();
+
+    // main block 0: fetch the next AST node; type-guard predicates; then
+    // the megamorphic `node->accept(visitor)` call.
+    b.block(main)
+        .effect(Effect::NoisyCycleNext {
+            cycle: walk,
+            var: node,
+            noise_p: 0.06,
+            noise_n: IXX_CLASSES as u32,
+        })
+        .effect(Effect::MarkovStep {
+            chain: visit_chain,
+            var: visit,
+        })
+        .body(4, mix)
+        .branch(Cond::Bit { var: node, bit: 0 }, 1, 1);
+    b.block(main)
+        .body(1, mix)
+        .branch(Cond::Bit { var: node, bit: 1 }, 2, 2);
+    b.block(main)
+        .body(1, mix)
+        .branch(Cond::Bit { var: node, bit: 2 }, 3, 3);
+    // Block 3: the virtual call itself, then loop bookkeeping.
+    b.block(main)
+        .body(1, mix)
+        .call_indirect(Selector::var(node), accepts.clone())
+        .branch(Cond::Loop { count: 61 }, 0, 4);
+    // Block 4: between passes — reset walk state, rare output flush.
+    b.block(main)
+        .effect(Effect::AddMod {
+            var: depth,
+            delta: 1,
+            modulo: 8,
+        })
+        .body(6, mix)
+        .branch(
+            Cond::Eq {
+                var: depth,
+                value: 0,
+            },
+            5,
+            0,
+        );
+    b.block(main).body(18, mix).call(emit_helper).goto(0);
+
+    // accept_k: class-specific body, then double dispatch into the active
+    // visitor (a second, correlated indirect-call site per class).
+    for (k, &r) in accepts.iter().enumerate() {
+        b.block(r)
+            .body(2 + (k as u32 * 3) % 7, mix)
+            .call_indirect(Selector::var(visit), visitors.clone())
+            .ret();
+    }
+
+    // Visitor methods: emit / check / collect.
+    b.block(visitors[0]).body(7, mix).call(emit_helper).ret();
+    b.block(visitors[1])
+        .body(4, mix)
+        .branch(Cond::Bit { var: node, bit: 3 }, 1, 1);
+    b.block(visitors[1]).body(2, mix).ret();
+    b.block(visitors[2]).body(5, mix).ret();
+
+    // Emission helper: buffer write loop.
+    b.block(emit_helper)
+        .body(4, mix)
+        .branch(Cond::Loop { count: 3 }, 0, 1);
+    b.block(emit_helper).ret();
+
+    let program = b.build().expect("ixx model must validate");
+    Workload::new("ixx", program, 0x1DD_2024, 1_500_000)
+}
+
+/// Number of constraint classes in the `deltablue` model.
+pub const DELTABLUE_CLASSES: usize = 5;
+
+/// Builds the `deltablue`-like constraint-solver workload.
+pub fn deltablue() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mix = InstrMix::load_heavy();
+
+    let constraint = b.var();
+    let stay = b.var();
+
+    // A propagation plan: an ordered list of constraint kinds executed
+    // repeatedly until replanning. Plans repeat their constraint sequence
+    // exactly (the solver walks the same plan vector).
+    let mut rng = SmallRng::seed_from_u64(0xDE17A);
+    let plan: Vec<u32> = (0..37)
+        .map(|_| rng.gen_range(0..DELTABLUE_CLASSES as u32))
+        .collect();
+    let plan_cycle = b.cycle(plan);
+    let stay_chain = b.chain(MarkovChain::sticky_categorical(vec![8.0, 1.0], 3.0));
+
+    let main = b.routine();
+    let executes: Vec<RoutineId> = (0..DELTABLUE_CLASSES).map(|_| b.routine()).collect();
+    let planner = b.routine();
+
+    // main block 0: take the next constraint from the plan, execute it
+    // through its vtable.
+    b.block(main)
+        .effect(Effect::CycleNext {
+            cycle: plan_cycle,
+            var: constraint,
+        })
+        .effect(Effect::MarkovStep {
+            chain: stay_chain,
+            var: stay,
+        })
+        .body(3, mix)
+        .branch(
+            Cond::Bit {
+                var: constraint,
+                bit: 0,
+            },
+            1,
+            1,
+        );
+    b.block(main)
+        .body(1, mix)
+        .call_indirect(Selector::var(constraint), executes.clone())
+        .branch(Cond::Loop { count: 37 }, 0, 2);
+    // Block 2: end of a propagation sweep — occasionally replan.
+    b.block(main).body(4, mix).branch(
+        Cond::Eq {
+            var: stay,
+            value: 1,
+        },
+        3,
+        0,
+    );
+    b.block(main).body(8, mix).call(planner).goto(0);
+
+    // execute() implementations: equality/scale/edit/stay/formula.
+    for (k, &r) in executes.iter().enumerate() {
+        let blk = b.block(r).body(3 + (k as u32 * 5) % 8, mix);
+        if k == 2 {
+            // The edit constraint walks its dependents.
+            blk.branch(Cond::Loop { count: 2 }, 0, 1);
+            b.block(r).ret();
+        } else {
+            blk.ret();
+        }
+    }
+
+    // Planner: strength propagation with data-dependent pruning.
+    b.block(planner).body(6, mix).branch(
+        Cond::Bit {
+            var: constraint,
+            bit: 1,
+        },
+        1,
+        1,
+    );
+    b.block(planner)
+        .body(5, mix)
+        .branch(Cond::Loop { count: 5 }, 0, 2);
+    b.block(planner).ret();
+
+    let program = b.build().expect("deltablue model must validate");
+    Workload::new("deltablue", program, 0xDB_0017, 1_200_000)
+}
+
+/// The OO suite.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OoBenchmark {
+    /// IDL-compiler style AST walker with megamorphic double dispatch.
+    Ixx,
+    /// Constraint-solver style propagation loop.
+    Deltablue,
+}
+
+impl OoBenchmark {
+    /// Both OO benchmarks.
+    pub const ALL: [OoBenchmark; 2] = [OoBenchmark::Ixx, OoBenchmark::Deltablue];
+
+    /// The benchmark's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OoBenchmark::Ixx => "ixx",
+            OoBenchmark::Deltablue => "deltablue",
+        }
+    }
+
+    /// Builds the workload.
+    pub fn workload(self) -> Workload {
+        match self {
+            OoBenchmark::Ixx => ixx(),
+            OoBenchmark::Deltablue => deltablue(),
+        }
+    }
+}
+
+impl std::fmt::Display for OoBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Convenience: generate a trace of an OO benchmark's canonical run.
+pub fn generate(bench: OoBenchmark, budget: usize) -> VecTrace {
+    bench.workload().generate(budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::BranchClass;
+
+    #[test]
+    fn oo_benchmarks_build_and_generate() {
+        for bench in OoBenchmark::ALL {
+            let trace = bench.workload().generate(50_000);
+            assert_eq!(trace.len(), 50_000, "{bench}");
+        }
+    }
+
+    #[test]
+    fn oo_programs_execute_more_indirect_branches_than_specint() {
+        // The premise of the paper's future-work section.
+        let ixx_frac = ixx().generate(100_000).stats().indirect_jump_fraction();
+        let gcc_frac = crate::spec95::Benchmark::Gcc
+            .workload()
+            .generate(100_000)
+            .stats()
+            .indirect_jump_fraction();
+        assert!(
+            ixx_frac > 1.5 * gcc_frac,
+            "ixx indirect fraction {ixx_frac} should dwarf gcc's {gcc_frac}"
+        );
+    }
+
+    #[test]
+    fn ixx_has_a_megamorphic_site() {
+        let stats = ixx().generate(150_000).stats();
+        let max_targets = stats
+            .indirect_jump_census()
+            .values()
+            .map(|c| c.distinct_targets())
+            .max()
+            .unwrap();
+        assert!(
+            max_targets >= 8,
+            "megamorphic accept site: {max_targets} targets"
+        );
+        // The visitor double dispatch contributes many static sites (one
+        // per accept body).
+        assert!(stats.static_indirect_jumps() >= IXX_CLASSES);
+    }
+
+    #[test]
+    fn deltablue_plan_is_periodic() {
+        use std::collections::HashMap;
+        // Consecutive execute() targets at the main dispatch follow the
+        // 37-entry plan, so the same target sequence recurs every sweep.
+        let trace = deltablue().generate(100_000);
+        let stats = trace.stats();
+        let (&site, _) = stats
+            .indirect_jump_census()
+            .iter()
+            .max_by_key(|(_, c)| c.executions)
+            .unwrap();
+        let targets: Vec<_> = trace
+            .iter()
+            .filter(|i| i.pc() == site)
+            .filter_map(|i| i.branch_exec())
+            .filter(|b| b.class == BranchClass::IndirectCall)
+            .map(|b| b.target)
+            .collect();
+        assert!(targets.len() > 100);
+        // Period-37 self-similarity.
+        let mut agree = 0;
+        let mut total = 0;
+        for i in 37..targets.len().min(1000) {
+            agree += (targets[i] == targets[i - 37]) as u32;
+            total += 1;
+        }
+        assert!(
+            agree as f64 / total as f64 > 0.9,
+            "plan should repeat with period 37 ({agree}/{total})"
+        );
+        let _ = HashMap::<u8, u8>::new();
+    }
+
+    #[test]
+    fn oo_traces_are_sequentially_consistent() {
+        for bench in OoBenchmark::ALL {
+            let trace = bench.workload().generate(30_000);
+            let mut prev: Option<sim_isa::Addr> = None;
+            for i in trace.iter() {
+                if let Some(expected) = prev {
+                    assert_eq!(i.pc(), expected, "{bench}: discontinuity at {i:?}");
+                }
+                prev = Some(i.next_pc());
+            }
+        }
+    }
+}

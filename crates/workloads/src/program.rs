@@ -1,0 +1,1003 @@
+//! The synthetic program model: routines, basic blocks, terminators, and
+//! the deterministic value streams that drive control flow.
+//!
+//! A [`Program`] is a set of routines, each a list of [`Block`]s. A block
+//! runs its entry [`Effect`]s (state-variable updates), then its [`Step`]s
+//! (filler instructions and calls), then its [`Terminator`] (the block's
+//! final control transfer). Conditionals read [`Cond`]s and switches read
+//! [`Selector`]s over shared state variables, which are fed by token
+//! *cycles* (repeating streams — an interpreter's input), *Markov chains*
+//! (correlated categorical data — a compiler's IR node kinds), or uniform
+//! random draws. This is what lets workloads express the history↔target
+//! correlation the target cache exploits.
+
+use crate::mix::InstrMix;
+use sim_isa::Addr;
+
+/// Index of a routine within its program. Routine 0 is `main`.
+pub type RoutineId = usize;
+/// Index of a block within its routine. Block 0 is the routine's entry.
+pub type BlockId = usize;
+/// Index of a shared state variable.
+pub type VarId = usize;
+/// Index of a token cycle.
+pub type CycleId = usize;
+/// Index of a Markov chain.
+pub type ChainId = usize;
+
+/// A state-variable update executed when control enters a block.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Effect {
+    /// Advance a token cycle and store the current token in `var`
+    /// (an interpreter reading its input stream).
+    CycleNext {
+        /// Which cycle to advance.
+        cycle: CycleId,
+        /// Destination variable.
+        var: VarId,
+    },
+    /// Step a Markov chain and store the new state in `var`.
+    MarkovStep {
+        /// Which chain to step.
+        chain: ChainId,
+        /// Destination variable.
+        var: VarId,
+    },
+    /// Advance a token cycle, but with probability `noise_p` substitute a
+    /// uniform draw from `0..noise_n` for the token (the cycle still
+    /// advances). Models data that is *mostly* periodic — a compiler
+    /// re-walking the same IR with small local differences — which is
+    /// exactly the regime separating pattern history (robust to
+    /// substitution) from path history (derailed by it).
+    NoisyCycleNext {
+        /// Which cycle to advance.
+        cycle: CycleId,
+        /// Destination variable.
+        var: VarId,
+        /// Substitution probability in `[0, 1]`.
+        noise_p: f64,
+        /// Exclusive upper bound of the substituted draw.
+        noise_n: u32,
+    },
+    /// Draw uniformly from `0..n` into `var` (uncorrelated data).
+    Uniform {
+        /// Destination variable.
+        var: VarId,
+        /// Exclusive upper bound of the draw.
+        n: u32,
+    },
+    /// Set `var` to a constant.
+    Set {
+        /// Destination variable.
+        var: VarId,
+        /// The constant.
+        value: u32,
+    },
+    /// `var = (var + delta) % modulo` — counters, round-robin cursors.
+    AddMod {
+        /// Variable updated in place.
+        var: VarId,
+        /// Increment.
+        delta: u32,
+        /// Modulus (must be nonzero).
+        modulo: u32,
+    },
+}
+
+/// A boolean condition evaluated by a conditional branch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Cond {
+    /// True iff bit `bit` of `var` is set — ties conditional-branch
+    /// directions to the same value a later switch dispatches on, creating
+    /// pattern-history correlation.
+    Bit {
+        /// Variable inspected.
+        var: VarId,
+        /// Bit position.
+        bit: u32,
+    },
+    /// True iff `var < threshold`.
+    Lt {
+        /// Variable inspected.
+        var: VarId,
+        /// Threshold.
+        threshold: u32,
+    },
+    /// True iff `var == value`.
+    Eq {
+        /// Variable inspected.
+        var: VarId,
+        /// Comparison value.
+        value: u32,
+    },
+    /// A loop back-edge: true (branch back) `count - 1` consecutive times,
+    /// then false once, then the counter resets.
+    Loop {
+        /// Loop trip count (must be nonzero).
+        count: u32,
+    },
+    /// True with probability `p` (an independent seeded stream per block) —
+    /// data-dependent branches no history can learn.
+    Bernoulli {
+        /// Probability of "taken", in `[0, 1]`.
+        p: f64,
+    },
+    /// Always true.
+    Always,
+    /// Always false.
+    Never,
+}
+
+/// How a switch (indirect jump) or indirect call picks its target: the
+/// value of a state variable, reduced modulo the number of targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Selector {
+    /// The variable whose value selects the target.
+    pub var: VarId,
+}
+
+impl Selector {
+    /// Selects on the given variable.
+    pub fn var(var: VarId) -> Self {
+        Selector { var }
+    }
+}
+
+/// A non-terminator element of a block's body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Step {
+    /// `count` synthesized non-branch instructions drawn from `mix`.
+    Body {
+        /// Number of filler instructions.
+        count: u32,
+        /// Their class mix.
+        mix: InstrMix,
+    },
+    /// A direct call; execution resumes after it when the callee returns.
+    Call {
+        /// The callee.
+        routine: RoutineId,
+    },
+    /// An indirect call through a function-pointer table.
+    CallIndirect {
+        /// Selects which routine is called.
+        selector: Selector,
+        /// The candidate callees (the function-pointer table).
+        routines: Vec<RoutineId>,
+    },
+}
+
+impl Step {
+    /// How many instructions this step occupies in the laid-out binary.
+    pub fn len(&self) -> u32 {
+        match self {
+            Step::Body { count, .. } => *count,
+            Step::Call { .. } | Step::CallIndirect { .. } => 1,
+        }
+    }
+
+    /// Whether the step emits no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A block's final control transfer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminator {
+    /// Unconditional direct jump (1 instruction).
+    Goto(BlockId),
+    /// Conditional branch: `beq taken; goto not_taken` (2 instructions),
+    /// exactly the shape of the paper's Figure 9 assembly.
+    Branch {
+        /// The condition deciding the direction.
+        cond: Cond,
+        /// Successor when the condition is true.
+        taken: BlockId,
+        /// Successor when the condition is false.
+        not_taken: BlockId,
+    },
+    /// Indirect jump through a jump table (1 instruction) — the branch the
+    /// target cache predicts.
+    Switch {
+        /// Selects the target.
+        selector: Selector,
+        /// The jump table (block entries).
+        targets: Vec<BlockId>,
+    },
+    /// Subroutine return (1 instruction).
+    Return,
+}
+
+impl Terminator {
+    /// How many instructions this terminator occupies.
+    pub fn len(&self) -> u32 {
+        match self {
+            Terminator::Branch { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the terminator emits no instructions (never: every
+    /// terminator is at least one control instruction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A basic block (relaxed: may contain calls mid-block).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// State updates applied when control enters the block.
+    pub effects: Vec<Effect>,
+    /// Body: filler instructions and calls, in order.
+    pub steps: Vec<Step>,
+    /// The block's final control transfer.
+    pub terminator: Terminator,
+}
+
+impl Block {
+    /// Total instructions this block occupies.
+    pub fn len(&self) -> u32 {
+        self.steps.iter().map(Step::len).sum::<u32>() + self.terminator.len()
+    }
+
+    /// Whether the block emits no instructions (never true: terminators
+    /// always emit at least one).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A routine: a list of blocks, entered at block 0.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Routine {
+    /// The routine's blocks. Block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+/// A Markov chain over `0..states` with a row-stochastic transition matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MarkovChain {
+    /// `rows[s]` are the (unnormalized) transition weights out of state `s`.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl MarkovChain {
+    /// A chain where every state moves to a uniformly random state.
+    pub fn uniform(states: usize) -> Self {
+        MarkovChain {
+            rows: vec![vec![1.0; states]; states],
+        }
+    }
+
+    /// A "sticky" chain: stays in the current state with weight
+    /// `stickiness`, moves to each other state with weight 1.
+    pub fn sticky(states: usize, stickiness: f64) -> Self {
+        let mut rows = vec![vec![1.0; states]; states];
+        for (s, row) in rows.iter_mut().enumerate() {
+            row[s] = stickiness;
+        }
+        MarkovChain { rows }
+    }
+
+    /// A skewed chain: every state moves to state `s` with weight
+    /// `weights[s]` regardless of the current state (an i.i.d. categorical
+    /// stream).
+    pub fn categorical(weights: Vec<f64>) -> Self {
+        let states = weights.len();
+        MarkovChain {
+            rows: vec![weights; states],
+        }
+    }
+
+    /// A skewed *and* sticky chain: transitions follow `weights`, but every
+    /// state keeps an extra self-weight of `stickiness × Σweights`, so
+    /// `P(stay) ≈ stickiness / (stickiness + 1)` while the long-run visit
+    /// distribution stays skewed toward the heavy states. This is the shape
+    /// of real dispatch streams: bursty runs over a skewed alphabet.
+    pub fn sticky_categorical(weights: Vec<f64>, stickiness: f64) -> Self {
+        let total: f64 = weights.iter().sum();
+        let states = weights.len();
+        let mut rows = vec![weights; states];
+        for (s, row) in rows.iter_mut().enumerate() {
+            row[s] += stickiness * total;
+        }
+        MarkovChain { rows }
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// A complete synthetic program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// The routines; routine 0 is `main` and must loop forever.
+    pub routines: Vec<Routine>,
+    /// Repeating token streams.
+    pub cycles: Vec<Vec<u32>>,
+    /// Markov chains.
+    pub chains: Vec<MarkovChain>,
+    /// Number of shared state variables.
+    pub vars: usize,
+}
+
+/// Base alignment of routine starts, in instruction words.
+pub const ROUTINE_ALIGN_WORDS: u64 = 16;
+/// Base address of routine 0.
+pub const TEXT_BASE_WORDS: u64 = 0x1000;
+
+/// Irregular per-routine padding, in instruction words, inserted before
+/// routine `r`. Without this, structurally-identical routines would land at
+/// addresses sharing their low bits — a layout pathology real programs do
+/// not exhibit, which would make address-hashed predictors (gshare, GAs)
+/// artificially degenerate to their address-free counterparts.
+pub(crate) fn routine_stagger_words(r: usize) -> u64 {
+    32 + (r as u64 * 61) % 397
+}
+
+/// The address layout of a program: where every routine, block, and step
+/// lives.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// `block_base[r][b]` is the first instruction address of block `b` of
+    /// routine `r`.
+    pub block_base: Vec<Vec<Addr>>,
+    /// `step_offset[r][b][s]` is the instruction offset of step `s` within
+    /// its block; the entry one past the last step is the terminator
+    /// offset.
+    pub step_offset: Vec<Vec<Vec<u32>>>,
+}
+
+impl Layout {
+    fn compute(program: &Program) -> Layout {
+        let mut block_base = Vec::with_capacity(program.routines.len());
+        let mut step_offset = Vec::with_capacity(program.routines.len());
+        let mut cursor = TEXT_BASE_WORDS;
+        for (r, routine) in program.routines.iter().enumerate() {
+            // Irregular stagger, then align each routine's start.
+            cursor += routine_stagger_words(r);
+            cursor = cursor.div_ceil(ROUTINE_ALIGN_WORDS) * ROUTINE_ALIGN_WORDS;
+            let mut bases = Vec::with_capacity(routine.blocks.len());
+            let mut offsets = Vec::with_capacity(routine.blocks.len());
+            for block in &routine.blocks {
+                bases.push(Addr::from_word_index(cursor));
+                let mut offs = Vec::with_capacity(block.steps.len() + 1);
+                let mut off = 0u32;
+                for step in &block.steps {
+                    offs.push(off);
+                    off += step.len();
+                }
+                offs.push(off); // terminator offset
+                offsets.push(offs);
+                cursor += block.len() as u64;
+            }
+            block_base.push(bases);
+            step_offset.push(offsets);
+        }
+        Layout {
+            block_base,
+            step_offset,
+        }
+    }
+
+    /// The address of a routine's entry instruction.
+    pub fn routine_entry(&self, routine: RoutineId) -> Addr {
+        self.block_base[routine][0]
+    }
+
+    /// The address of a block's terminator instruction.
+    pub fn terminator_addr(&self, routine: RoutineId, block: BlockId) -> Addr {
+        let base = self.block_base[routine][block];
+        let off = *self.step_offset[routine][block]
+            .last()
+            .expect("offsets nonempty");
+        base.offset(off as u64)
+    }
+}
+
+impl Program {
+    /// Validates the program and computes its address layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first structural problem
+    /// found: out-of-range block/routine/variable/cycle/chain references,
+    /// empty jump tables, empty cycles, zero loop counts, malformed Markov
+    /// chains, or a `main` that can return.
+    pub fn check(&self) -> Result<Layout, String> {
+        if self.routines.is_empty() {
+            return Err("program has no routines".into());
+        }
+        for (c, cycle) in self.cycles.iter().enumerate() {
+            if cycle.is_empty() {
+                return Err(format!("cycle {c} is empty"));
+            }
+        }
+        for (c, chain) in self.chains.iter().enumerate() {
+            if chain.states() == 0 {
+                return Err(format!("markov chain {c} has no states"));
+            }
+            for (s, row) in chain.rows.iter().enumerate() {
+                if row.len() != chain.states() {
+                    return Err(format!("markov chain {c} row {s} has wrong width"));
+                }
+                if row.iter().any(|&w| w < 0.0) || row.iter().sum::<f64>() <= 0.0 {
+                    return Err(format!("markov chain {c} row {s} is not a weight vector"));
+                }
+            }
+        }
+        for (r, routine) in self.routines.iter().enumerate() {
+            if routine.blocks.is_empty() {
+                return Err(format!("routine {r} has no blocks"));
+            }
+            for (b, block) in routine.blocks.iter().enumerate() {
+                let loc = format!("routine {r} block {b}");
+                for e in &block.effects {
+                    self.check_effect(e, &loc)?;
+                }
+                for s in &block.steps {
+                    match s {
+                        Step::Body { .. } => {}
+                        Step::Call { routine } => {
+                            if *routine >= self.routines.len() {
+                                return Err(format!("{loc}: call to missing routine {routine}"));
+                            }
+                            if *routine == 0 {
+                                return Err(format!("{loc}: routines may not call main"));
+                            }
+                        }
+                        Step::CallIndirect { selector, routines } => {
+                            self.check_var(selector.var, &loc)?;
+                            if routines.is_empty() {
+                                return Err(format!("{loc}: empty indirect-call table"));
+                            }
+                            for &t in routines {
+                                if t >= self.routines.len() {
+                                    return Err(format!(
+                                        "{loc}: indirect call to missing routine {t}"
+                                    ));
+                                }
+                                if t == 0 {
+                                    return Err(format!("{loc}: routines may not call main"));
+                                }
+                            }
+                        }
+                    }
+                }
+                let nblocks = routine.blocks.len();
+                let check_block = |target: BlockId, what: &str| {
+                    if target >= nblocks {
+                        Err(format!("{loc}: {what} to missing block {target}"))
+                    } else {
+                        Ok(())
+                    }
+                };
+                match &block.terminator {
+                    Terminator::Goto(t) => check_block(*t, "goto")?,
+                    Terminator::Branch {
+                        cond,
+                        taken,
+                        not_taken,
+                    } => {
+                        self.check_cond(cond, &loc)?;
+                        check_block(*taken, "branch")?;
+                        check_block(*not_taken, "branch fall-through")?;
+                    }
+                    Terminator::Switch { selector, targets } => {
+                        self.check_var(selector.var, &loc)?;
+                        if targets.is_empty() {
+                            return Err(format!("{loc}: empty jump table"));
+                        }
+                        for &t in targets {
+                            check_block(t, "switch")?;
+                        }
+                    }
+                    Terminator::Return => {
+                        if r == 0 {
+                            return Err(
+                                "main (routine 0) may not return; loop with goto instead".into()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Layout::compute(self))
+    }
+
+    fn check_var(&self, var: VarId, loc: &str) -> Result<(), String> {
+        if var >= self.vars {
+            Err(format!("{loc}: reference to missing variable {var}"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_effect(&self, e: &Effect, loc: &str) -> Result<(), String> {
+        match e {
+            Effect::CycleNext { cycle, var } => {
+                if *cycle >= self.cycles.len() {
+                    return Err(format!("{loc}: reference to missing cycle {cycle}"));
+                }
+                self.check_var(*var, loc)
+            }
+            Effect::NoisyCycleNext {
+                cycle,
+                var,
+                noise_p,
+                noise_n,
+            } => {
+                if *cycle >= self.cycles.len() {
+                    return Err(format!("{loc}: reference to missing cycle {cycle}"));
+                }
+                if !(0.0..=1.0).contains(noise_p) {
+                    return Err(format!("{loc}: noise probability {noise_p} out of range"));
+                }
+                if *noise_n == 0 {
+                    return Err(format!("{loc}: noisy cycle with empty substitution range"));
+                }
+                self.check_var(*var, loc)
+            }
+            Effect::MarkovStep { chain, var } => {
+                if *chain >= self.chains.len() {
+                    return Err(format!("{loc}: reference to missing chain {chain}"));
+                }
+                self.check_var(*var, loc)
+            }
+            Effect::Uniform { var, n } => {
+                if *n == 0 {
+                    return Err(format!("{loc}: uniform draw over empty range"));
+                }
+                self.check_var(*var, loc)
+            }
+            Effect::Set { var, .. } => self.check_var(*var, loc),
+            Effect::AddMod { var, modulo, .. } => {
+                if *modulo == 0 {
+                    return Err(format!("{loc}: AddMod with zero modulus"));
+                }
+                self.check_var(*var, loc)
+            }
+        }
+    }
+
+    fn check_cond(&self, cond: &Cond, loc: &str) -> Result<(), String> {
+        match cond {
+            Cond::Bit { var, .. } | Cond::Lt { var, .. } | Cond::Eq { var, .. } => {
+                self.check_var(*var, loc)
+            }
+            Cond::Loop { count } => {
+                if *count == 0 {
+                    Err(format!("{loc}: loop with zero trip count"))
+                } else {
+                    Ok(())
+                }
+            }
+            Cond::Bernoulli { p } => {
+                if (0.0..=1.0).contains(p) {
+                    Ok(())
+                } else {
+                    Err(format!("{loc}: Bernoulli probability {p} out of range"))
+                }
+            }
+            Cond::Always | Cond::Never => Ok(()),
+        }
+    }
+}
+
+/// Incremental builder for [`Program`]s.
+///
+/// # Example
+///
+/// ```
+/// use sim_workloads::{Cond, ProgramBuilder, Selector, Step, Terminator};
+/// use sim_workloads::InstrMix;
+///
+/// let mut b = ProgramBuilder::new();
+/// let token = b.var();
+/// let stream = b.cycle(vec![0, 1, 2, 1]);
+/// let main = b.routine(); // routine 0 = main
+/// // Block 0: read a token, dispatch on it.
+/// // (Targets refer to blocks 1..=2 added below.)
+/// b.block(main)
+///     .effect(sim_workloads::Effect::CycleNext { cycle: stream, var: token })
+///     .body(4, InstrMix::integer_heavy())
+///     .switch(Selector::var(token), vec![1, 2, 1]);
+/// b.block(main).body(2, InstrMix::integer_heavy()).goto(0);
+/// b.block(main).body(3, InstrMix::integer_heavy()).goto(0);
+/// let program = b.build().unwrap();
+/// assert_eq!(program.routines.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    routines: Vec<Routine>,
+    cycles: Vec<Vec<u32>>,
+    chains: Vec<MarkovChain>,
+    vars: usize,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Allocates a state variable.
+    pub fn var(&mut self) -> VarId {
+        self.vars += 1;
+        self.vars - 1
+    }
+
+    /// Registers a repeating token cycle.
+    pub fn cycle(&mut self, tokens: Vec<u32>) -> CycleId {
+        self.cycles.push(tokens);
+        self.cycles.len() - 1
+    }
+
+    /// Registers a Markov chain.
+    pub fn chain(&mut self, chain: MarkovChain) -> ChainId {
+        self.chains.push(chain);
+        self.chains.len() - 1
+    }
+
+    /// Allocates a routine (the first call allocates `main`).
+    pub fn routine(&mut self) -> RoutineId {
+        self.routines.push(Routine::default());
+        self.routines.len() - 1
+    }
+
+    /// Starts a block in `routine`; finish it with one of
+    /// [`BlockBuilder`]'s terminator methods. Blocks are numbered in the
+    /// order they are added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routine` was not allocated by this builder.
+    pub fn block(&mut self, routine: RoutineId) -> BlockBuilder<'_> {
+        assert!(routine < self.routines.len(), "unknown routine {routine}");
+        BlockBuilder {
+            builder: self,
+            routine,
+            effects: Vec::new(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Finalizes and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Program::check`]'s structural errors.
+    pub fn build(self) -> Result<Program, String> {
+        let program = Program {
+            routines: self.routines,
+            cycles: self.cycles,
+            chains: self.chains,
+            vars: self.vars,
+        };
+        program.check()?;
+        Ok(program)
+    }
+}
+
+/// Fluent builder for a single block; terminator methods commit the block
+/// to its routine and return its [`BlockId`].
+#[derive(Debug)]
+pub struct BlockBuilder<'a> {
+    builder: &'a mut ProgramBuilder,
+    routine: RoutineId,
+    effects: Vec<Effect>,
+    steps: Vec<Step>,
+}
+
+impl BlockBuilder<'_> {
+    /// Adds an entry effect.
+    #[must_use]
+    pub fn effect(mut self, effect: Effect) -> Self {
+        self.effects.push(effect);
+        self
+    }
+
+    /// Adds `count` filler instructions of the given mix.
+    #[must_use]
+    pub fn body(mut self, count: u32, mix: InstrMix) -> Self {
+        self.steps.push(Step::Body { count, mix });
+        self
+    }
+
+    /// Adds a direct call.
+    #[must_use]
+    pub fn call(mut self, routine: RoutineId) -> Self {
+        self.steps.push(Step::Call { routine });
+        self
+    }
+
+    /// Adds an indirect call through a function-pointer table.
+    #[must_use]
+    pub fn call_indirect(mut self, selector: Selector, routines: Vec<RoutineId>) -> Self {
+        self.steps.push(Step::CallIndirect { selector, routines });
+        self
+    }
+
+    fn commit(self, terminator: Terminator) -> BlockId {
+        let block = Block {
+            effects: self.effects,
+            steps: self.steps,
+            terminator,
+        };
+        let routine = &mut self.builder.routines[self.routine];
+        routine.blocks.push(block);
+        routine.blocks.len() - 1
+    }
+
+    /// Ends the block with an unconditional jump.
+    pub fn goto(self, target: BlockId) -> BlockId {
+        self.commit(Terminator::Goto(target))
+    }
+
+    /// Ends the block with a conditional branch.
+    pub fn branch(self, cond: Cond, taken: BlockId, not_taken: BlockId) -> BlockId {
+        self.commit(Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        })
+    }
+
+    /// Ends the block with an indirect jump through a jump table.
+    pub fn switch(self, selector: Selector, targets: Vec<BlockId>) -> BlockId {
+        self.commit(Terminator::Switch { selector, targets })
+    }
+
+    /// Ends the block with a return.
+    pub fn ret(self) -> BlockId {
+        self.commit(Terminator::Return)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> InstrMix {
+        InstrMix::integer_heavy()
+    }
+
+    fn looping_main() -> ProgramBuilder {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).body(2, mix()).goto(0);
+        b
+    }
+
+    #[test]
+    fn minimal_program_builds() {
+        let p = looping_main().build().unwrap();
+        assert_eq!(p.routines.len(), 1);
+        assert_eq!(p.routines[0].blocks[0].len(), 3); // 2 body + goto
+    }
+
+    #[test]
+    fn main_may_not_return() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).ret();
+        assert!(b.build().unwrap_err().contains("main"));
+    }
+
+    #[test]
+    fn dangling_block_reference_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).goto(7);
+        assert!(b.build().unwrap_err().contains("missing block"));
+    }
+
+    #[test]
+    fn dangling_routine_reference_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).call(3).goto(0);
+        assert!(b.build().unwrap_err().contains("missing routine"));
+    }
+
+    #[test]
+    fn calls_to_main_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).call(0).goto(0);
+        assert!(b.build().unwrap_err().contains("may not call main"));
+    }
+
+    #[test]
+    fn empty_jump_table_rejected() {
+        let mut b = ProgramBuilder::new();
+        let token = b.var();
+        let main = b.routine();
+        b.block(main).switch(Selector::var(token), vec![]);
+        assert!(b.build().unwrap_err().contains("empty jump table"));
+    }
+
+    #[test]
+    fn missing_variable_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).switch(Selector::var(9), vec![0]);
+        assert!(b.build().unwrap_err().contains("missing variable"));
+    }
+
+    #[test]
+    fn zero_loop_count_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).branch(Cond::Loop { count: 0 }, 0, 0);
+        assert!(b.build().unwrap_err().contains("zero trip count"));
+    }
+
+    #[test]
+    fn bad_bernoulli_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).branch(Cond::Bernoulli { p: 1.5 }, 0, 0);
+        assert!(b.build().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn empty_cycle_rejected() {
+        let mut b = looping_main();
+        b.cycle(vec![]);
+        assert!(b.build().unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn noisy_cycle_effect_is_validated() {
+        let mut b = ProgramBuilder::new();
+        let v = b.var();
+        let c = b.cycle(vec![1]);
+        let main = b.routine();
+        b.block(main)
+            .effect(Effect::NoisyCycleNext {
+                cycle: c,
+                var: v,
+                noise_p: 1.5,
+                noise_n: 4,
+            })
+            .goto(0);
+        assert!(b.build().unwrap_err().contains("noise probability"));
+
+        let mut b = ProgramBuilder::new();
+        let v = b.var();
+        let c = b.cycle(vec![1]);
+        let main = b.routine();
+        b.block(main)
+            .effect(Effect::NoisyCycleNext {
+                cycle: c,
+                var: v,
+                noise_p: 0.5,
+                noise_n: 0,
+            })
+            .goto(0);
+        assert!(b.build().unwrap_err().contains("empty substitution"));
+
+        let mut b = ProgramBuilder::new();
+        let v = b.var();
+        let main = b.routine();
+        b.block(main)
+            .effect(Effect::NoisyCycleNext {
+                cycle: 9,
+                var: v,
+                noise_p: 0.5,
+                noise_n: 4,
+            })
+            .goto(0);
+        assert!(b.build().unwrap_err().contains("missing cycle"));
+    }
+
+    #[test]
+    fn layout_is_contiguous_within_blocks_and_staggered_across_routines() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        let helper = b.routine();
+        b.block(main)
+            .body(3, mix())
+            .call(helper)
+            .body(2, mix())
+            .goto(0);
+        b.block(helper).body(5, mix()).ret();
+        let p = b.build().unwrap();
+        let layout = p.check().unwrap();
+
+        // main block 0: offsets [0, 3, 4] then terminator at 6.
+        assert_eq!(layout.step_offset[0][0], vec![0, 3, 4, 6]);
+        let main_entry = layout.block_base[0][0];
+        assert!(main_entry.word_index() >= TEXT_BASE_WORDS);
+        assert_eq!(main_entry.word_index() % ROUTINE_ALIGN_WORDS, 0);
+        // helper starts aligned, after main's code plus a stagger gap.
+        let helper_entry = layout.routine_entry(1);
+        assert_eq!(helper_entry.word_index() % ROUTINE_ALIGN_WORDS, 0);
+        assert!(helper_entry.word_index() > main_entry.word_index() + 7);
+        // terminator address helper: base + 5.
+        assert_eq!(
+            layout.terminator_addr(1, 0),
+            Addr::from_word_index(helper_entry.word_index() + 5)
+        );
+    }
+
+    #[test]
+    fn identically_shaped_routines_get_distinct_low_address_bits() {
+        // The stagger must prevent structurally-identical routines from
+        // sharing their low address bits (which would neuter gshare/GAs).
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        let rs: Vec<RoutineId> = (0..8).map(|_| b.routine()).collect();
+        let mut blk = b.block(main).body(1, mix());
+        for &r in &rs {
+            blk = blk.call(r);
+        }
+        blk.goto(0);
+        for &r in &rs {
+            b.block(r).body(10, mix()).ret();
+        }
+        let p = b.build().unwrap();
+        let layout = p.check().unwrap();
+        let low_bits: std::collections::HashSet<u64> = rs
+            .iter()
+            .map(|&r| layout.routine_entry(r).word_index() % 512)
+            .collect();
+        assert!(low_bits.len() >= 6, "routines share low bits: {low_bits:?}");
+    }
+
+    #[test]
+    fn blocks_within_a_routine_are_laid_out_sequentially() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).body(4, mix()).goto(1);
+        b.block(main).body(2, mix()).goto(0);
+        let p = b.build().unwrap();
+        let layout = p.check().unwrap();
+        let b0 = layout.block_base[0][0];
+        let b1 = layout.block_base[0][1];
+        assert_eq!(b1, b0.offset(5)); // 4 body + 1 goto
+    }
+
+    #[test]
+    fn markov_constructors() {
+        let u = MarkovChain::uniform(4);
+        assert_eq!(u.states(), 4);
+        let s = MarkovChain::sticky(3, 10.0);
+        assert_eq!(s.rows[1][1], 10.0);
+        assert_eq!(s.rows[1][0], 1.0);
+        let c = MarkovChain::categorical(vec![3.0, 1.0]);
+        assert_eq!(c.states(), 2);
+        assert_eq!(c.rows[0], c.rows[1]);
+    }
+
+    #[test]
+    fn invalid_markov_rejected() {
+        let mut b = looping_main();
+        b.chain(MarkovChain {
+            rows: vec![vec![1.0], vec![1.0]],
+        });
+        assert!(b.build().unwrap_err().contains("wrong width"));
+        let mut b = looping_main();
+        b.chain(MarkovChain {
+            rows: vec![vec![0.0]],
+        });
+        assert!(b.build().unwrap_err().contains("weight vector"));
+    }
+
+    #[test]
+    fn branch_terminator_occupies_two_slots() {
+        let t = Terminator::Branch {
+            cond: Cond::Always,
+            taken: 0,
+            not_taken: 0,
+        };
+        assert_eq!(t.len(), 2);
+        assert_eq!(Terminator::Goto(0).len(), 1);
+        assert_eq!(Terminator::Return.len(), 1);
+    }
+}

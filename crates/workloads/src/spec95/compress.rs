@@ -1,0 +1,143 @@
+//! 129.compress: LZW compression.
+//!
+//! compress executes almost no indirect jumps (Figure 1 shows nearly all of
+//! its indirect-jump sites have a single dynamic target). The hot code is a
+//! hash-table probe loop with data-dependent hit/miss conditionals. The one
+//! meaningful dispatch — output-mode selection — is overwhelmingly
+//! monomorphic, so the BTB's last-target prediction already works well and
+//! the target cache has little to add (matching the paper, where compress
+//! sees essentially no execution-time benefit).
+
+use super::Workload;
+use crate::mix::InstrMix;
+use crate::program::{Cond, Effect, MarkovChain, ProgramBuilder, Selector};
+
+pub(super) fn workload() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mix = InstrMix::integer_heavy();
+
+    let hash_hit = b.var();
+    let out_mode = b.var();
+
+    // Hash-probe outcomes: stickily alternating between runs of hits and
+    // the occasional miss burst.
+    let hit_chain = b.chain(MarkovChain::sticky(4, 6.0));
+    // Output mode: almost always state 0 (emit code), very rarely state 1
+    // (table reset) or 2 (flush).
+    let mode_chain = b.chain(MarkovChain::categorical(vec![60.0, 1.0, 1.0]));
+
+    let main = b.routine();
+    let putcode = b.routine();
+
+    // Block 0: read a byte, hash it, probe.
+    b.block(main)
+        .effect(Effect::MarkovStep {
+            chain: hit_chain,
+            var: hash_hit,
+        })
+        .body(8, mix)
+        .branch(
+            Cond::Lt {
+                var: hash_hit,
+                threshold: 3,
+            },
+            1,
+            2,
+        );
+    // Block 1: hash hit — extend the current string (fast path).
+    b.block(main).body(5, mix).goto(3);
+    // Block 2: hash miss — emit code, insert new entry (slow path).
+    b.block(main).body(13, mix).call(putcode).goto(3);
+    // Block 3: inner-loop bookkeeping, loop most of the time.
+    b.block(main)
+        .body(4, mix)
+        .branch(Cond::Loop { count: 48 }, 0, 4);
+    // Block 4: per-block output dispatch (near-monomorphic switch).
+    b.block(main)
+        .effect(Effect::MarkovStep {
+            chain: mode_chain,
+            var: out_mode,
+        })
+        .body(6, mix)
+        .switch(Selector::var(out_mode), vec![5, 6, 7]);
+    // Block 5: normal emit. 6: table reset. 7: flush.
+    b.block(main).body(7, mix).goto(0);
+    b.block(main).body(22, mix).goto(0);
+    b.block(main).body(11, mix).goto(0);
+
+    // putcode: bit-packing helper with a short loop.
+    b.block(putcode)
+        .body(
+            3,
+            InstrMix {
+                weights: [30, 0, 0, 0, 10, 12, 40],
+            },
+        )
+        .branch(Cond::Loop { count: 2 }, 0, 1);
+    b.block(putcode).ret();
+
+    let program = b.build().expect("compress model must validate");
+    Workload::new("compress", program, 0x1F2E_3D4C, 800_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indirect_jumps_are_rare_and_mostly_monomorphic() {
+        let stats = workload().generate(200_000).stats();
+        assert!(
+            stats.indirect_jump_fraction() < 0.01,
+            "{}",
+            stats.indirect_jump_fraction()
+        );
+        // The single dispatch site sees its dominant target most of the time.
+        let census = stats.indirect_jump_census();
+        assert_eq!(census.len(), 1);
+        let c = census.values().next().unwrap();
+        let dominant = *c.targets.values().max().unwrap();
+        assert!(
+            dominant as f64 / c.executions as f64 > 0.85,
+            "dispatch should be near-monomorphic: {dominant}/{}",
+            c.executions
+        );
+    }
+
+    #[test]
+    fn integer_heavy_mix() {
+        use sim_isa::InstrClass;
+        let stats = workload().generate(100_000).stats();
+        let int_frac = (stats.class_count(InstrClass::Integer)
+            + stats.class_count(InstrClass::BitField)) as f64
+            / stats.instructions() as f64;
+        assert!(int_frac > 0.3, "compress is ALU-bound, got {int_frac}");
+        let fp_frac = stats.class_count(InstrClass::FpAdd) as f64 / stats.instructions() as f64;
+        assert!(fp_frac < 0.03, "compress has no FP, got {fp_frac}");
+    }
+
+    #[test]
+    fn seed_changes_data_not_structure() {
+        let w = workload();
+        let a = w.generate_seeded(1, 50_000).stats();
+        let b = w.generate_seeded(2, 50_000).stats();
+        assert_eq!(a.static_indirect_jumps(), b.static_indirect_jumps());
+        // Dynamic counts stay in the same ballpark.
+        let ratio = a.indirect_jumps() as f64 / b.indirect_jumps().max(1) as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "indirect volume unstable: {ratio}"
+        );
+    }
+
+    #[test]
+    fn hot_loop_dominates() {
+        let stats = workload().generate(100_000).stats();
+        // The 48-iteration inner loop means conditional branches dominate
+        // control flow.
+        assert!(
+            stats.branch_count(sim_isa::BranchClass::CondDirect) as f64 / stats.branches() as f64
+                > 0.5
+        );
+    }
+}

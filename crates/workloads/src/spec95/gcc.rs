@@ -1,0 +1,322 @@
+//! 126.gcc: a C compiler.
+//!
+//! gcc's indirect jumps are the switch statements that dispatch on IR node
+//! kinds (tree codes, RTL codes, machine modes) inside dozens of separate
+//! pass functions. The node-kind streams are bursty but change frequently,
+//! so a BTB's last-target prediction fails 66.0% of the time (Table 1).
+//! Crucially, each switch is preceded by conditional branches that test
+//! *the same value* the switch dispatches on (`if (GET_CODE (x) == REG)`
+//! chains, predicate macros) — so global **pattern** history encodes the
+//! upcoming selector, which is why pattern-indexed target caches work so
+//! well on gcc (Table 4) and why GAs is competitive with GAg here: "gcc ...
+//! executes a large number of static indirect jumps", so address bits help
+//! separate them.
+//!
+//! The model: eight pass routines, each with its own switch over node kinds
+//! drawn from per-pass Markov chains, preceded by two or three bit-test
+//! conditionals on the selector. `main` runs the passes in a loop and makes
+//! indirect calls through a language-hooks table.
+
+use super::Workload;
+use crate::mix::InstrMix;
+use crate::program::{Cond, Effect, MarkovChain, ProgramBuilder, RoutineId, Selector};
+use rand::{Rng, SeedableRng};
+
+/// Number of pass routines, each contributing one static switch.
+const PASSES: usize = 8;
+
+pub(super) fn workload() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mix = InstrMix::integer_heavy();
+
+    let node_kind = b.var();
+    let mode = b.var();
+    let hook = b.var();
+
+    // Each pass re-walks the same functions' IR, so its node-kind stream is
+    // *mostly periodic*: a fixed traversal cycle with a small substitution
+    // noise (local differences between passes). The cycles are skewed
+    // toward hot codes (SET/REG/MEM for RTL, common expression codes for
+    // trees) and contain ~30% adjacent repeats, which yields the paper's
+    // ~66% BTB misprediction; the noise is what keeps path history behind
+    // pattern history on gcc, as the paper found.
+    let mut cycle_rng = rand::rngs::SmallRng::seed_from_u64(0x6CC_C7C1E);
+    let mut ir_cycle = |kinds: u32, len: usize| {
+        let weights: Vec<f64> = (0..kinds)
+            .map(|k| if k < 3 { 8.0 - k as f64 * 2.0 } else { 1.0 })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut tokens = Vec::with_capacity(len);
+        let mut prev = 0u32;
+        for i in 0..len {
+            if i > 0 && cycle_rng.gen::<f64>() < 0.30 {
+                tokens.push(prev);
+                continue;
+            }
+            let mut roll = cycle_rng.gen::<f64>() * total;
+            let mut pick = kinds - 1;
+            for (k, &w) in weights.iter().enumerate() {
+                if roll < w {
+                    pick = k as u32;
+                    break;
+                }
+                roll -= w;
+            }
+            tokens.push(pick);
+            prev = pick;
+        }
+        b.cycle(tokens)
+    };
+    let pass_cycles: Vec<_> = (0..PASSES)
+        .map(|i| ir_cycle(if i % 2 == 0 { 12 } else { 16 }, 24 + 3 * i))
+        .collect();
+    let mode_chain = b.chain(MarkovChain::sticky(6, 8.0));
+    let hook_chain = b.chain(MarkovChain::categorical(vec![6.0, 2.0, 1.0, 1.0]));
+
+    let main = b.routine();
+    let passes: Vec<RoutineId> = (0..PASSES).map(|_| b.routine()).collect();
+    let hooks: Vec<RoutineId> = (0..4).map(|_| b.routine()).collect();
+
+    // main: run the passes over each "function" of the input, consult a
+    // language hook between passes.
+    {
+        let mut blk = b.block(main).body(6, mix);
+        for (i, &p) in passes.iter().enumerate() {
+            blk = blk.body(3 + (i as u32 % 4), mix).call(p);
+        }
+        blk.effect(Effect::MarkovStep {
+            chain: hook_chain,
+            var: hook,
+        })
+        .call_indirect(Selector::var(hook), hooks.clone())
+        .goto(0);
+    }
+
+    // Pass routines: walk the IR, test predicates on the node kind, then
+    // dispatch on it. Odd passes walk the wider RTL alphabet.
+    for (i, &p) in passes.iter().enumerate() {
+        let kinds = if i % 2 == 0 { 12u32 } else { 16u32 };
+        // Passes differ structurally, as real pass functions do: the
+        // operand scan's trip count and the number of leading coarse
+        // predicates vary per pass, so different switch sites see
+        // differently-shaped history windows.
+        let scan_trips = 2 + (i as u32 % 3);
+        let extra_preds = i % 3; // 0..=2 coarse always-true range checks
+                                 // Block layout per pass:
+                                 //   0 = fetch the next node (effects) + leading body
+                                 //   1 = operand scan loop
+                                 //   2.. = `extra_preds` coarse checks, then the bit/range predicate
+                                 //         chain, then the dispatch switch
+                                 //   cases..cases+kinds = cases
+                                 //   then: slow path, join/loop, return
+        let cases = 9 + extra_preds;
+        let slow = cases + kinds as usize;
+        let join = slow + 1;
+        let exit = join + 1;
+        b.block(p)
+            .effect(Effect::NoisyCycleNext {
+                cycle: pass_cycles[i],
+                var: node_kind,
+                noise_p: 0.05,
+                noise_n: kinds,
+            })
+            .effect(Effect::MarkovStep {
+                chain: mode_chain,
+                var: mode,
+            })
+            .body(5, mix)
+            .goto(1);
+        // Block 1: operand scan — a short conditional loop, as real pass
+        // code walks a node's operands before classifying it.
+        b.block(p)
+            .body(3, mix)
+            .branch(Cond::Loop { count: scan_trips }, 1, 2);
+        // Coarse sanity checks (always true, like `code < MAX_RTX_CODE`):
+        // their directions are fixed, but they shift each site's history
+        // window differently.
+        let mut next = 2usize;
+        for _ in 0..extra_preds {
+            b.block(p).body(1, mix).branch(
+                Cond::Lt {
+                    var: node_kind,
+                    threshold: 1000,
+                },
+                next + 1,
+                next + 1,
+            );
+            next += 1;
+        }
+        // The predicate chain (`GET_CODE (x) == ...` macros). Each tests one
+        // bit of the very value the switch dispatches on; both arms rejoin
+        // immediately, so each *direction* is one pure bit of the upcoming
+        // target for the pattern history register.
+        b.block(p).body(2, mix).branch(
+            Cond::Bit {
+                var: node_kind,
+                bit: 0,
+            },
+            next + 1,
+            next + 1,
+        );
+        b.block(p).body(1, mix).branch(
+            Cond::Bit {
+                var: node_kind,
+                bit: 1,
+            },
+            next + 2,
+            next + 2,
+        );
+        b.block(p).body(1, mix).branch(
+            Cond::Bit {
+                var: node_kind,
+                bit: 2,
+            },
+            next + 3,
+            next + 3,
+        );
+        b.block(p).body(1, mix).branch(
+            Cond::Bit {
+                var: node_kind,
+                bit: 3,
+            },
+            next + 4,
+            next + 4,
+        );
+        // Range checks (`code < FIRST_UNARY`-style tests) — more
+        // selector-determined directions, so the newest history bits at the
+        // switch are a pure function of the node kind.
+        b.block(p).body(1, mix).branch(
+            Cond::Lt {
+                var: node_kind,
+                threshold: 3,
+            },
+            next + 5,
+            next + 5,
+        );
+        b.block(p).body(1, mix).branch(
+            Cond::Lt {
+                var: node_kind,
+                threshold: 8,
+            },
+            next + 6,
+            next + 6,
+        );
+        // The dispatch itself.
+        b.block(p).body(1, mix).switch(
+            Selector::var(node_kind),
+            (cases..cases + kinds as usize).collect(),
+        );
+        debug_assert_eq!(next + 7, cases);
+        // Case blocks: handle each node kind.
+        for k in 0..kinds {
+            let blk = b.block(p).body(3 + (k * 7) % 9, mix);
+            if k % 5 == 4 {
+                // A few cases take the slow path sometimes (mode-dependent).
+                blk.branch(
+                    Cond::Eq {
+                        var: mode,
+                        value: 0,
+                    },
+                    slow,
+                    join,
+                );
+            } else {
+                blk.goto(join);
+            }
+        }
+        // Slow path reached from some cases.
+        b.block(p).body(14, mix).goto(join);
+        // Join block: loop over a few nodes per call, then return.
+        b.block(p)
+            .body(4, mix)
+            .branch(Cond::Loop { count: 6 }, 0, exit);
+        b.block(p).body(2, mix).ret();
+    }
+
+    // Language hooks: small leaf routines of differing shapes.
+    for (i, &h) in hooks.iter().enumerate() {
+        b.block(h).body(4 + 3 * i as u32, mix).ret();
+    }
+
+    let program = b.build().expect("gcc model must validate");
+    Workload::new("gcc", program, 0xC0_FFEE, 2_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn many_static_indirect_jump_sites() {
+        let stats = workload().generate(300_000).stats();
+        // 8 pass switches + 1 indirect call site.
+        assert!(
+            stats.static_indirect_jumps() >= PASSES,
+            "expected at least {PASSES} sites, got {}",
+            stats.static_indirect_jumps()
+        );
+    }
+
+    #[test]
+    fn switches_have_many_targets() {
+        let stats = workload().generate(300_000).stats();
+        let wide_sites = stats
+            .indirect_jump_census()
+            .values()
+            .filter(|c| c.distinct_targets() >= 8)
+            .count();
+        assert!(
+            wide_sites >= 4,
+            "only {wide_sites} wide switch sites observed"
+        );
+    }
+
+    #[test]
+    fn conditional_branches_outnumber_indirect_jumps() {
+        // The predicate chains before each switch must dominate, as in real
+        // compiler code.
+        let stats = workload().generate(200_000).stats();
+        assert!(stats.branch_count(sim_isa::BranchClass::CondDirect) > 5 * stats.indirect_jumps());
+    }
+
+    #[test]
+    fn selector_bits_appear_in_conditional_directions() {
+        // The correlation hook: the direction of the bit-0 predicate branch
+        // must equal bit 0 of the subsequent switch's selected case index.
+        // We verify statistically: group switch executions by the direction
+        // of the immediately preceding conditional; the target sets should
+        // differ strongly.
+        use sim_isa::BranchClass;
+        use std::collections::HashMap;
+        let trace = workload().generate(300_000);
+        let mut last_cond_dir = false;
+        let mut by_dir: [HashMap<sim_isa::Addr, u64>; 2] = [HashMap::new(), HashMap::new()];
+        for i in trace.iter() {
+            if let Some(be) = i.branch_exec() {
+                match be.class {
+                    BranchClass::CondDirect => last_cond_dir = be.taken,
+                    BranchClass::IndirectJump => {
+                        *by_dir[last_cond_dir as usize].entry(be.target).or_insert(0) += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Jaccard-style overlap of the two conditional-direction target
+        // multisets should be well below 1.
+        let keys: std::collections::HashSet<_> = by_dir[0].keys().chain(by_dir[1].keys()).collect();
+        let mut overlap = 0.0;
+        let mut total = 0.0;
+        for k in keys {
+            let a = *by_dir[0].get(k).unwrap_or(&0) as f64;
+            let b = *by_dir[1].get(k).unwrap_or(&0) as f64;
+            overlap += a.min(b);
+            total += a.max(b);
+        }
+        assert!(
+            overlap / total < 0.6,
+            "conditional direction carries too little selector information: {}",
+            overlap / total
+        );
+    }
+}

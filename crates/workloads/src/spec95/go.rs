@@ -1,0 +1,193 @@
+//! 099.go: a go-playing program.
+//!
+//! go is branch-heavy, data-driven code: board evaluation walks pattern
+//! tables and tactical analyzers whose decisions depend on board state that
+//! history predicts only weakly. Its indirect jumps (tactical dispatch,
+//! pattern-class switches) see a moderate number of targets with weak
+//! history correlation, giving a mid-range BTB misprediction rate (~38%)
+//! and a smaller target-cache win than gcc/perl — the "hard" middle of the
+//! suite.
+
+use super::Workload;
+use crate::mix::InstrMix;
+use crate::program::{Cond, Effect, MarkovChain, ProgramBuilder, Selector};
+
+pub(super) fn workload() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mix = InstrMix::integer_heavy();
+
+    let tactic = b.var();
+    let pattern = b.var();
+    let board = b.var();
+
+    // Tactical situation: fairly sticky (reading the same fight for a
+    // while), so the BTB is right roughly 60% of the time.
+    let tactic_chain = b.chain(MarkovChain::sticky(7, 9.0));
+    // Pattern class: weakly sticky.
+    let pattern_chain = b.chain(MarkovChain::sticky(5, 7.0));
+    // Board state: evolves slowly — consecutive liberty/pattern tests see
+    // a mostly-unchanged position, so their outcomes come in runs (go is
+    // still the hardest benchmark for direction prediction, just not a
+    // pure coin flip).
+    let board_chain = b.chain(MarkovChain::sticky(32, 160.0));
+
+    let main = b.routine();
+    let scan = b.routine(); // board scanner
+    let read = b.routine(); // tactical reader
+
+    // Block 0: per-move top loop.
+    b.block(main)
+        .body(6, mix)
+        .call(scan)
+        .call(read)
+        .branch(Cond::Loop { count: 9 }, 0, 1);
+    // Block 1: move selection — classify the tactical situation with a
+    // couple of predicate tests (blocks 10..=12), then dispatch on it.
+    b.block(main)
+        .effect(Effect::MarkovStep {
+            chain: tactic_chain,
+            var: tactic,
+        })
+        .body(8, mix)
+        .branch(
+            Cond::Bit {
+                var: tactic,
+                bit: 0,
+            },
+            10,
+            10,
+        );
+    // Blocks 2..=8: tactical handlers with data-dependent conditionals.
+    for k in 0..7u32 {
+        b.block(main)
+            .effect(Effect::MarkovStep {
+                chain: board_chain,
+                var: board,
+            })
+            .body(5 + (k * 5) % 11, mix)
+            .branch(
+                Cond::Bit {
+                    var: board,
+                    bit: k % 5,
+                },
+                9,
+                0,
+            );
+    }
+    // Block 9: extra evaluation work on the "interesting" arm.
+    b.block(main).body(9, mix).goto(0);
+    // Blocks 10..=12: the rest of the tactical classification and the
+    // dispatch itself.
+    b.block(main).body(2, mix).branch(
+        Cond::Bit {
+            var: tactic,
+            bit: 1,
+        },
+        11,
+        11,
+    );
+    b.block(main).body(1, mix).branch(
+        Cond::Bit {
+            var: tactic,
+            bit: 2,
+        },
+        12,
+        12,
+    );
+    b.block(main)
+        .body(1, mix)
+        .switch(Selector::var(tactic), vec![2, 3, 4, 5, 6, 7, 8]);
+
+    // Board scanner: nested loop with a pattern-class switch, guarded by
+    // pattern-class predicate tests (blocks 8..=9).
+    b.block(scan)
+        .effect(Effect::MarkovStep {
+            chain: pattern_chain,
+            var: pattern,
+        })
+        .body(7, mix)
+        .branch(
+            Cond::Bit {
+                var: pattern,
+                bit: 0,
+            },
+            8,
+            8,
+        );
+    for k in 0..5u32 {
+        b.block(scan).body(3 + (k * 3) % 7, mix).goto(6);
+    }
+    b.block(scan)
+        .body(2, mix)
+        .branch(Cond::Loop { count: 12 }, 0, 7);
+    b.block(scan).ret();
+    // Blocks 8..=9: second pattern predicate and the dispatch.
+    b.block(scan).body(1, mix).branch(
+        Cond::Bit {
+            var: pattern,
+            bit: 1,
+        },
+        9,
+        9,
+    );
+    b.block(scan)
+        .body(1, mix)
+        .switch(Selector::var(pattern), vec![1, 2, 3, 4, 5]);
+
+    // Tactical reader: a ladder of noisy conditionals (liberty counting).
+    b.block(read)
+        .effect(Effect::MarkovStep {
+            chain: board_chain,
+            var: board,
+        })
+        .body(4, mix)
+        .branch(Cond::Bit { var: board, bit: 0 }, 1, 2);
+    b.block(read)
+        .body(6, mix)
+        .branch(Cond::Bit { var: board, bit: 1 }, 3, 3);
+    b.block(read)
+        .body(3, mix)
+        .branch(Cond::Bit { var: board, bit: 2 }, 3, 3);
+    b.block(read)
+        .body(2, mix)
+        .branch(Cond::Loop { count: 4 }, 0, 4);
+    b.block(read).ret();
+
+    let program = b.build().expect("go model must validate");
+    Workload::new("go", program, 0x60_60_60, 1_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moderate_indirect_jump_behaviour() {
+        let stats = workload().generate(200_000).stats();
+        assert!(stats.static_indirect_jumps() >= 2);
+        let max_targets = stats
+            .indirect_jump_census()
+            .values()
+            .map(|c| c.distinct_targets())
+            .max()
+            .unwrap();
+        assert!((4..=10).contains(&max_targets), "max targets {max_targets}");
+    }
+
+    #[test]
+    fn scanner_and_reader_call_balance() {
+        use sim_isa::BranchClass;
+        let stats = workload().generate(100_000).stats();
+        let calls = stats.branch_count(BranchClass::Call);
+        let rets = stats.branch_count(BranchClass::Return);
+        assert!(calls > 400, "go calls its analyzers constantly: {calls}");
+        assert!(calls.abs_diff(rets) <= 1);
+    }
+
+    #[test]
+    fn branch_heavy_profile() {
+        let stats = workload().generate(100_000).stats();
+        let frac = stats.branches() as f64 / stats.instructions() as f64;
+        assert!(frac > 0.12, "go should be branch-heavy, got {frac}");
+    }
+}

@@ -1,0 +1,135 @@
+//! 132.ijpeg: JPEG compression.
+//!
+//! ijpeg is kernel code: fixed-trip-count DCT/quantization loops dominated
+//! by multiplies, with very few indirect jumps — a component-dispatch
+//! switch that is heavily skewed toward the luma path. Conditionals are
+//! loop back-edges (perfectly predictable), indirect jumps are rare and
+//! mostly monomorphic (~12% BTB misprediction), so the target cache buys
+//! almost nothing here, as the paper found.
+
+use super::Workload;
+use crate::mix::InstrMix;
+use crate::program::{Cond, Effect, MarkovChain, ProgramBuilder, Selector};
+
+pub(super) fn workload() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let dct_mix = InstrMix::multiply_heavy();
+    let mix = InstrMix::integer_heavy();
+
+    let component = b.var();
+    let quality = b.var();
+
+    // Component stream: luma-dominated (4:2:0-ish — Y, Y, Y, Y, Cb, Cr).
+    let comp_chain = b.chain(MarkovChain::sticky_categorical(vec![8.0, 1.0, 1.0], 1.5));
+    // Quantizer decisions: mildly varying.
+    let q_chain = b.chain(MarkovChain::sticky(4, 5.0));
+
+    let main = b.routine();
+    let dct = b.routine();
+    let huff = b.routine();
+
+    // Block 0: per-MCU loop: pick the component, dispatch.
+    b.block(main)
+        .effect(Effect::MarkovStep {
+            chain: comp_chain,
+            var: component,
+        })
+        .body(5, mix)
+        .switch(Selector::var(component), vec![1, 2, 3]);
+    // Blocks 1..=3: per-component processing (luma does more work).
+    b.block(main).body(8, dct_mix).call(dct).call(huff).goto(4);
+    b.block(main).body(4, dct_mix).call(dct).goto(4);
+    b.block(main).body(4, dct_mix).call(dct).goto(4);
+    // Block 4: row bookkeeping.
+    b.block(main)
+        .effect(Effect::MarkovStep {
+            chain: q_chain,
+            var: quality,
+        })
+        .body(3, mix)
+        .branch(
+            Cond::Lt {
+                var: quality,
+                threshold: 3,
+            },
+            0,
+            5,
+        );
+    // Block 5: rare re-quantization path.
+    b.block(main).body(10, dct_mix).goto(0);
+
+    // DCT: two nested fixed-trip loops (8x8), multiply-heavy.
+    b.block(dct)
+        .body(9, dct_mix)
+        .branch(Cond::Loop { count: 8 }, 0, 1);
+    b.block(dct)
+        .body(2, dct_mix)
+        .branch(Cond::Loop { count: 8 }, 0, 2);
+    b.block(dct).ret();
+
+    // Huffman: bit-twiddling with a short data loop.
+    b.block(huff)
+        .body(
+            6,
+            InstrMix {
+                weights: [25, 0, 0, 0, 15, 10, 50],
+            },
+        )
+        .branch(Cond::Loop { count: 5 }, 0, 1);
+    b.block(huff).ret();
+
+    let program = b.build().expect("ijpeg model must validate");
+    Workload::new("ijpeg", program, 0x1111_2222, 1_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::InstrClass;
+
+    #[test]
+    fn multiply_heavy_kernels() {
+        let stats = workload().generate(100_000).stats();
+        let mul_frac = stats.class_count(InstrClass::Mul) as f64 / stats.instructions() as f64;
+        assert!(
+            mul_frac > 0.05,
+            "ijpeg should multiply a lot, got {mul_frac}"
+        );
+    }
+
+    #[test]
+    fn dispatch_is_luma_skewed() {
+        let stats = workload().generate(200_000).stats();
+        let census = stats.indirect_jump_census();
+        assert_eq!(census.len(), 1);
+        let c = census.values().next().unwrap();
+        let dominant = *c.targets.values().max().unwrap();
+        let skew = dominant as f64 / c.executions as f64;
+        assert!((0.6..0.95).contains(&skew), "luma skew {skew}");
+    }
+
+    #[test]
+    fn loop_backedges_dominate_conditionals() {
+        // The DCT's fixed-trip loops: conditional branches are mostly
+        // taken (back edges), the hallmark of kernel code.
+        let trace = workload().generate(100_000);
+        let mut taken = 0u64;
+        let mut total = 0u64;
+        for i in trace.iter() {
+            if let Some(b) = i.branch_exec() {
+                if b.class == sim_isa::BranchClass::CondDirect {
+                    taken += b.taken as u64;
+                    total += 1;
+                }
+            }
+        }
+        let rate = taken as f64 / total as f64;
+        assert!(rate > 0.6, "ijpeg back-edge taken rate {rate}");
+    }
+
+    #[test]
+    fn indirect_jumps_are_rare() {
+        let stats = workload().generate(100_000).stats();
+        assert!(stats.indirect_jump_fraction() < 0.01);
+    }
+}

@@ -1,0 +1,259 @@
+//! 134.perl: a script interpreter.
+//!
+//! "The main loop of the interpreter parses the perl script to be executed.
+//! This parser consists of a set of indirect jumps whose targets are decided
+//! by the tokens which make up the current line of the perl script. The perl
+//! script used for our simulations contains a loop that executes for many
+//! iterations. As a result, when the interpreter executes this loop, the
+//! interpreter will process the same sequence of tokens for many iterations.
+//! By capturing the path history in this situation, the target cache is able
+//! to accurately predict the targets of the indirect jumps which process
+//! these tokens." (Section 4.2.3)
+//!
+//! The model: the script's hot loop is a fixed 24-token cycle over 12
+//! distinct operator kinds. The interpreter's main dispatch switch follows
+//! the cycle, so its target changes on almost every iteration — a BTB's
+//! last-target prediction is nearly always wrong (the paper measures
+//! 76.2%), while the token sequence is perfectly periodic, so path history
+//! over past dispatch targets pins down the position in the cycle exactly.
+//! A secondary, stickier dispatch (string-ops) contributes the
+//! easier-to-predict minority of indirect jumps. Handlers perform a few
+//! data-dependent (Bernoulli) conditionals that no history can learn,
+//! diluting *pattern* history's view — which is why path history beats
+//! pattern history on perl, as the paper found.
+
+use super::Workload;
+use crate::mix::InstrMix;
+use crate::program::{Cond, Effect, MarkovChain, ProgramBuilder, Selector};
+
+pub(super) fn workload() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let token = b.var();
+    let strop = b.var();
+    let datum = b.var();
+
+    // The scrabbl.pl hot loop as a token stream: 24 tokens over 12 operator
+    // kinds. Several kinds appear at multiple positions with different
+    // successors, which is exactly what defeats last-target prediction.
+    let stream = b.cycle(vec![
+        0, 1, 1, 2, 3, 1, 4, 4, 5, 3, 6, 1, 2, 2, 7, 8, 3, 3, 9, 1, 4, 10, 5, 5, 3, 11, 6, 2, 3, 3,
+    ]);
+    // String-op selector: sticky (mostly repeated concat/match on the same
+    // string kind).
+    let strop_chain = b.chain(MarkovChain::sticky(5, 12.0));
+    // Interpreter-internal data (hash occupancy, ref counts): uncorrelated.
+    let data_chain = b.chain(MarkovChain::uniform(16));
+
+    let main = b.routine();
+    let sv_helper = b.routine(); // scalar-value bookkeeping
+    let str_helper = b.routine(); // string buffer management
+                                  // Per-operator helper routines ("pp_push", "pp_add", ...): real perl
+                                  // calls a pp_* function per op, which makes the call/return stream a
+                                  // fingerprint of the recent op sequence (the Call/ret path filter
+                                  // depends on this).
+    let pp: Vec<_> = (0..8).map(|_| b.routine()).collect();
+
+    let mix = InstrMix::load_heavy();
+
+    // main block 0: fetch the next token, dispatch on it.
+    // Handlers for the 12 operator kinds are blocks 1..=12.
+    b.block(main)
+        .effect(Effect::CycleNext {
+            cycle: stream,
+            var: token,
+        })
+        .effect(Effect::MarkovStep {
+            chain: data_chain,
+            var: datum,
+        })
+        .body(9, mix)
+        .switch(Selector::var(token), (1..=12).collect());
+
+    // Handlers. Each does some work and returns to the dispatch loop
+    // (block 0). Most end with a *token-fingerprint* conditional — a test
+    // of a bit of the token they handle, whose direction is therefore
+    // constant per handler. Real interpreter handlers branch in
+    // characteristic ways; these fingerprints are what let *pattern*
+    // history identify the position in the token stream (though less
+    // reliably than path history, because a few handlers also execute
+    // data-dependent branches).
+    // 1: PUSH
+    b.block(main)
+        .body(4, mix)
+        .call(pp[0])
+        .branch(Cond::Bit { var: token, bit: 0 }, 0, 0);
+    // 2: FETCH — hash lookup with a data-dependent hit/miss branch.
+    b.block(main)
+        .body(4, mix)
+        .call(pp[6])
+        .branch(Cond::Bit { var: datum, bit: 0 }, 13, 0);
+    // 3: ADD
+    b.block(main)
+        .body(3, InstrMix::integer_heavy())
+        .call(pp[1])
+        .branch(Cond::Bit { var: token, bit: 1 }, 0, 0);
+    // 4: ASSIGN — calls the scalar-value helper.
+    b.block(main)
+        .body(4, mix)
+        .call(sv_helper)
+        .branch(Cond::Bit { var: token, bit: 0 }, 0, 0);
+    // 5: CONST
+    b.block(main)
+        .body(2, mix)
+        .call(pp[2])
+        .branch(Cond::Bit { var: token, bit: 2 }, 0, 0);
+    // 6: MUL
+    b.block(main)
+        .body(4, InstrMix::integer_heavy())
+        .call(pp[3])
+        .branch(Cond::Bit { var: token, bit: 0 }, 0, 0);
+    // 7: COND — interpreter-level conditional op (noisy direction).
+    b.block(main)
+        .body(2, mix)
+        .call(pp[7])
+        .branch(Cond::Bernoulli { p: 0.3 }, 13, 0);
+    // 8: STRCAT — secondary dispatch over string-op kinds (blocks 15..=19).
+    b.block(main)
+        .effect(Effect::MarkovStep {
+            chain: strop_chain,
+            var: strop,
+        })
+        .body(5, mix)
+        .switch(Selector::var(strop), (15..=19).collect());
+    // 9: INCR
+    b.block(main)
+        .body(1, InstrMix::integer_heavy())
+        .call(pp[4])
+        .branch(Cond::Bit { var: token, bit: 3 }, 0, 0);
+    // 10: MATCH — calls the string helper, direction noise.
+    b.block(main)
+        .body(8, mix)
+        .call(str_helper)
+        .branch(Cond::Bernoulli { p: 0.15 }, 14, 0);
+    // 11: PRINT
+    b.block(main)
+        .body(7, mix)
+        .call(pp[5])
+        .branch(Cond::Bit { var: token, bit: 1 }, 0, 0);
+    // 12: LOOPCTL — loop bookkeeping with a long-period exit branch.
+    b.block(main)
+        .body(3, mix)
+        .branch(Cond::Loop { count: 200 }, 0, 14);
+
+    // 13: hash-miss / false-branch slow path.
+    b.block(main).body(12, mix).goto(0);
+    // 14: rare outer-loop maintenance (symbol table growth, GC nudge).
+    b.block(main).body(20, mix).call(sv_helper).goto(0);
+
+    // 15..=19: string-op bodies of varying length, with their own
+    // fingerprints on the string-op kind.
+    b.block(main)
+        .body(5, mix)
+        .branch(Cond::Bit { var: strop, bit: 0 }, 0, 0);
+    b.block(main)
+        .body(8, mix)
+        .branch(Cond::Bit { var: strop, bit: 1 }, 0, 0);
+    b.block(main)
+        .body(3, mix)
+        .branch(Cond::Bit { var: strop, bit: 0 }, 0, 0);
+    b.block(main)
+        .body(11, mix)
+        .branch(Cond::Bit { var: strop, bit: 1 }, 0, 0);
+    b.block(main)
+        .body(6, mix)
+        .branch(Cond::Bit { var: strop, bit: 0 }, 0, 0);
+
+    // Scalar-value helper: small loop over reference counts.
+    b.block(sv_helper)
+        .body(4, mix)
+        .branch(Cond::Loop { count: 3 }, 0, 1);
+    b.block(sv_helper).body(2, mix).ret();
+
+    // String helper: length-dependent copy loop.
+    b.block(str_helper)
+        .body(6, mix)
+        .branch(Cond::Loop { count: 5 }, 0, 1);
+    b.block(str_helper).ret();
+
+    // pp_* operator bodies: small straight-line leaves of distinct sizes.
+    for (i, &r) in pp.iter().enumerate() {
+        b.block(r).body(3 + 2 * i as u32, mix).ret();
+    }
+
+    let program = b.build().expect("perl model must validate");
+    Workload::new("perl", program, 0x9E5C_0FAE, 2_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::BranchClass;
+
+    #[test]
+    fn dispatch_follows_the_token_cycle() {
+        let w = workload();
+        let trace = w.generate(100_000);
+        let stats = trace.stats();
+        // The main dispatch plus the string-op dispatch: exactly 2 static
+        // indirect jump sites.
+        assert_eq!(stats.static_indirect_jumps(), 2);
+        // The main dispatch must exhibit many distinct targets.
+        let max_targets = stats
+            .indirect_jump_census()
+            .values()
+            .map(|c| c.distinct_targets())
+            .max()
+            .unwrap();
+        assert!(max_targets >= 10, "main dispatch saw {max_targets} targets");
+    }
+
+    #[test]
+    fn indirect_jump_fraction_is_interpreter_like() {
+        let stats = workload().generate(200_000).stats();
+        let f = stats.indirect_jump_fraction();
+        assert!((0.005..0.06).contains(&f), "indirect fraction {f}");
+    }
+
+    #[test]
+    fn consecutive_dispatch_targets_rarely_repeat() {
+        // The property that breaks the BTB: the dominant dispatch site's
+        // target changes nearly every execution.
+        let trace = workload().generate(200_000);
+        let mut last = None;
+        let mut same = 0u64;
+        let mut total = 0u64;
+        // Find the busiest site.
+        let stats = trace.stats();
+        let (&site, _) = stats
+            .indirect_jump_census()
+            .iter()
+            .max_by_key(|(_, c)| c.executions)
+            .unwrap();
+        for i in trace.iter() {
+            if let Some(be) = i.branch_exec() {
+                if i.pc() == site && be.class == BranchClass::IndirectJump {
+                    if last == Some(be.target) {
+                        same += 1;
+                    }
+                    total += 1;
+                    last = Some(be.target);
+                }
+            }
+        }
+        let repeat_rate = same as f64 / total as f64;
+        assert!(
+            repeat_rate < 0.25,
+            "dispatch repeats too often: {repeat_rate}"
+        );
+    }
+
+    #[test]
+    fn calls_and_returns_are_present() {
+        let stats = workload().generate(100_000).stats();
+        assert!(stats.branch_count(BranchClass::Call) > 100);
+        assert_eq!(
+            stats.branch_count(BranchClass::Call),
+            stats.branch_count(BranchClass::Return)
+        );
+    }
+}

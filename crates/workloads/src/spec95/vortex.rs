@@ -1,0 +1,221 @@
+//! 147.vortex: an object-oriented database.
+//!
+//! vortex executes many indirect *calls* — method dispatch through object
+//! tables — but each call site is heavily skewed toward one receiver class
+//! (the classic "mostly monomorphic" OO profile), so the BTB's last-target
+//! prediction is already decent (~12% misprediction). Deep call chains
+//! exercise the return address stack, and the transaction loop provides
+//! long runs of similar behaviour.
+
+use super::Workload;
+use crate::mix::InstrMix;
+use crate::program::{Cond, Effect, MarkovChain, ProgramBuilder, RoutineId, Selector};
+
+pub(super) fn workload() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mix = InstrMix::load_heavy();
+
+    let op = b.var();
+    let class_a = b.var();
+    let class_b = b.var();
+    let found = b.var();
+
+    // Transaction kinds: lookups dominate.
+    let op_chain = b.chain(MarkovChain::sticky_categorical(
+        vec![10.0, 3.0, 2.0, 1.0],
+        2.0,
+    ));
+    // Receiver classes at two dispatch sites: heavily skewed.
+    let recv_a = b.chain(MarkovChain::sticky_categorical(vec![18.0, 2.0, 1.0], 1.5));
+    let recv_b = b.chain(MarkovChain::sticky_categorical(vec![12.0, 1.0], 1.5));
+    let found_chain = b.chain(MarkovChain::sticky(2, 4.0));
+
+    let main = b.routine();
+    // Method implementations for the two virtual sites.
+    let methods_a: Vec<RoutineId> = (0..3).map(|_| b.routine()).collect();
+    let methods_b: Vec<RoutineId> = (0..2).map(|_| b.routine()).collect();
+    let tree_walk = b.routine();
+    let validate = b.routine();
+
+    // Transaction dispatch is guarded by op-kind tests (`if (op ==
+    // UPDATE)` chains) and every virtual call by receiver type guards
+    // (null/type checks) — this is what lets pattern history see the
+    // receiver class, as it does in real database code.
+    // Block 0: fetch the transaction, first op test.
+    b.block(main)
+        .effect(Effect::MarkovStep {
+            chain: op_chain,
+            var: op,
+        })
+        .body(6, mix)
+        .branch(Cond::Bit { var: op, bit: 0 }, 6, 6);
+    // Block 1: LOOKUP — type guards then the virtual call + tree walk.
+    b.block(main)
+        .effect(Effect::MarkovStep {
+            chain: recv_a,
+            var: class_a,
+        })
+        .body(5, mix)
+        .branch(
+            Cond::Bit {
+                var: class_a,
+                bit: 0,
+            },
+            8,
+            8,
+        );
+    // Block 2: INSERT — two guarded virtual calls (allocate + index update).
+    b.block(main)
+        .effect(Effect::MarkovStep {
+            chain: recv_a,
+            var: class_a,
+        })
+        .effect(Effect::MarkovStep {
+            chain: recv_b,
+            var: class_b,
+        })
+        .body(7, mix)
+        .branch(
+            Cond::Bit {
+                var: class_a,
+                bit: 0,
+            },
+            10,
+            10,
+        );
+    // Block 3: DELETE — validation then guarded virtual destructor.
+    b.block(main)
+        .effect(Effect::MarkovStep {
+            chain: recv_b,
+            var: class_b,
+        })
+        .body(4, mix)
+        .call(validate)
+        .branch(
+            Cond::Bit {
+                var: class_b,
+                bit: 0,
+            },
+            12,
+            12,
+        );
+    // Block 4: COMMIT — straight-line bookkeeping.
+    b.block(main).body(15, mix).goto(5);
+    // Block 5: transaction epilogue.
+    b.block(main).body(3, mix).goto(0);
+    // Block 6..=7: second op test, then the transaction switch.
+    b.block(main)
+        .body(1, mix)
+        .branch(Cond::Bit { var: op, bit: 1 }, 7, 7);
+    b.block(main)
+        .body(1, mix)
+        .switch(Selector::var(op), vec![1, 2, 3, 4]);
+    // Blocks 8..=9: LOOKUP's second guard and dispatch.
+    b.block(main).body(1, mix).branch(
+        Cond::Bit {
+            var: class_a,
+            bit: 1,
+        },
+        9,
+        9,
+    );
+    b.block(main)
+        .body(1, mix)
+        .call_indirect(Selector::var(class_a), methods_a.clone())
+        .call(tree_walk)
+        .goto(5);
+    // Blocks 10..=11: INSERT's dispatches (second guarded by class_b).
+    b.block(main)
+        .body(1, mix)
+        .call_indirect(Selector::var(class_a), methods_a.clone())
+        .branch(
+            Cond::Bit {
+                var: class_b,
+                bit: 0,
+            },
+            11,
+            11,
+        );
+    b.block(main)
+        .body(1, mix)
+        .call_indirect(Selector::var(class_b), methods_b.clone())
+        .goto(5);
+    // Block 12: DELETE's dispatch.
+    b.block(main)
+        .body(1, mix)
+        .call_indirect(Selector::var(class_b), methods_b.clone())
+        .goto(5);
+
+    // Method bodies: leaf-ish routines of differing shapes.
+    for (i, &m) in methods_a.iter().enumerate() {
+        b.block(m).body(4 + 4 * i as u32, mix).call(validate).ret();
+    }
+    for (i, &m) in methods_b.iter().enumerate() {
+        b.block(m).body(6 + 3 * i as u32, mix).ret();
+    }
+
+    // B-tree walk: a found/not-found probe loop (deepens call chains).
+    b.block(tree_walk)
+        .effect(Effect::MarkovStep {
+            chain: found_chain,
+            var: found,
+        })
+        .body(5, mix)
+        .branch(
+            Cond::Eq {
+                var: found,
+                value: 0,
+            },
+            1,
+            2,
+        );
+    b.block(tree_walk)
+        .body(3, mix)
+        .branch(Cond::Loop { count: 4 }, 0, 2);
+    b.block(tree_walk).ret();
+
+    // Field validation: short leaf.
+    b.block(validate).body(5, mix).ret();
+
+    let program = b.build().expect("vortex model must validate");
+    Workload::new("vortex", program, 0xBEEF_1234, 1_200_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::BranchClass;
+
+    #[test]
+    fn indirect_calls_dominate_indirect_jumps() {
+        let stats = workload().generate(200_000).stats();
+        assert!(
+            stats.branch_count(BranchClass::IndirectCall)
+                > stats.branch_count(BranchClass::IndirectJump)
+        );
+    }
+
+    #[test]
+    fn dispatch_sites_are_mostly_monomorphic() {
+        let stats = workload().generate(300_000).stats();
+        // Weighted dominant-target share across indirect-call sites should
+        // be high (the OO mostly-monomorphic profile).
+        let mut dominant = 0u64;
+        let mut total = 0u64;
+        for c in stats.indirect_jump_census().values() {
+            dominant += c.targets.values().max().copied().unwrap_or(0);
+            total += c.executions;
+        }
+        let share = dominant as f64 / total as f64;
+        assert!(share > 0.6, "dominant-target share {share}");
+    }
+
+    #[test]
+    fn deep_call_chains_balance() {
+        let stats = workload().generate(200_000).stats();
+        let calls =
+            stats.branch_count(BranchClass::Call) + stats.branch_count(BranchClass::IndirectCall);
+        let rets = stats.branch_count(BranchClass::Return);
+        assert!(calls.abs_diff(rets) <= 2, "calls {calls} vs returns {rets}");
+    }
+}

@@ -1,0 +1,179 @@
+//! 130.li (xlisp): a lisp interpreter.
+//!
+//! xlisp's `eval` dispatches on the expression type — but lisp programs are
+//! overwhelmingly cons cells and symbols, so the dispatch is heavily skewed
+//! and the BTB does respectably (10.7% misprediction in Table 1; the paper
+//! also notes the 2-bit update strategy *hurts* xlisp). Evaluation recurses
+//! (`eval` → `evlist` → `eval`), exercising the return stack, and a
+//! garbage-collection pass runs periodically.
+
+use super::Workload;
+use crate::mix::InstrMix;
+use crate::program::{Cond, Effect, MarkovChain, ProgramBuilder, Selector};
+
+pub(super) fn workload() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mix = InstrMix::load_heavy();
+
+    let expr_type = b.var();
+    let builtin = b.var();
+
+    // Expression types: cons-dominated (cons, symbol, fixnum, string,
+    // subr, fsubr).
+    let type_chain = b.chain(MarkovChain::sticky_categorical(
+        vec![24.0, 8.0, 3.0, 1.0, 2.0, 1.0],
+        8.0,
+    ));
+    // Builtin selector when a subr is applied.
+    let builtin_chain = b.chain(MarkovChain::sticky(6, 30.0));
+
+    let main = b.routine();
+    let evlist = b.routine(); // evaluate an argument list (recursion proxy)
+    let apply = b.routine(); // apply a builtin
+    let gc = b.routine(); // mark-and-sweep pass
+
+    // Block 0: eval — type-check predicates, then the type dispatch.
+    b.block(main)
+        .effect(Effect::MarkovStep {
+            chain: type_chain,
+            var: expr_type,
+        })
+        .body(5, mix)
+        .branch(
+            Cond::Eq {
+                var: expr_type,
+                value: 0,
+            },
+            1,
+            1,
+        );
+    // Block 1: the eval switch (handlers 2..=7).
+    b.block(main)
+        .body(2, mix)
+        .switch(Selector::var(expr_type), vec![2, 3, 4, 5, 6, 7]);
+    // Block 2: cons — evaluate the list then apply.
+    b.block(main).body(4, mix).call(evlist).call(apply).goto(8);
+    // Block 3: symbol — environment lookup.
+    b.block(main).body(7, mix).goto(8);
+    // Block 4: fixnum — self-evaluating.
+    b.block(main).body(2, mix).goto(8);
+    // Block 5: string — self-evaluating.
+    b.block(main).body(3, mix).goto(8);
+    // Block 6: subr — apply directly.
+    b.block(main).body(3, mix).call(apply).goto(8);
+    // Block 7: fsubr — special form, more work.
+    b.block(main).body(9, mix).goto(8);
+    // Block 8: allocation check; run GC every ~400 evals.
+    b.block(main)
+        .body(3, mix)
+        .branch(Cond::Loop { count: 400 }, 0, 9);
+    b.block(main).body(5, mix).call(gc).goto(0);
+
+    // evlist: walk the argument list (bounded loop).
+    b.block(evlist)
+        .body(6, mix)
+        .branch(Cond::Loop { count: 3 }, 0, 1);
+    b.block(evlist).ret();
+
+    // apply: dispatch over builtins (second, stickier switch).
+    b.block(apply)
+        .effect(Effect::MarkovStep {
+            chain: builtin_chain,
+            var: builtin,
+        })
+        .body(3, mix)
+        .switch(Selector::var(builtin), vec![1, 2, 3, 4, 5, 6]);
+    for k in 0..6u32 {
+        b.block(apply).body(2 + (k * 3) % 6, mix).goto(7);
+    }
+    b.block(apply).ret();
+
+    // gc: long mark loop then sweep loop.
+    b.block(gc)
+        .body(8, mix)
+        .branch(Cond::Loop { count: 20 }, 0, 1);
+    b.block(gc)
+        .body(6, mix)
+        .branch(Cond::Loop { count: 10 }, 0, 2);
+    b.block(gc).ret();
+
+    let program = b.build().expect("xlisp model must validate");
+    Workload::new("xlisp", program, 0x0715_9A3B, 1_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_dispatch_is_cons_skewed() {
+        let stats = workload().generate(300_000).stats();
+        // Find the main eval switch: the site with 6 targets and the most
+        // executions.
+        let c = stats
+            .indirect_jump_census()
+            .values()
+            .max_by_key(|c| c.executions)
+            .unwrap();
+        let dominant = *c.targets.values().max().unwrap();
+        let share = dominant as f64 / c.executions as f64;
+        assert!((0.45..0.85).contains(&share), "cons share {share}");
+    }
+
+    #[test]
+    fn two_dispatch_sites() {
+        let stats = workload().generate(200_000).stats();
+        assert_eq!(
+            stats.static_indirect_jumps(),
+            2,
+            "eval switch + apply switch"
+        );
+    }
+
+    #[test]
+    fn apply_dispatch_is_stickier_than_eval_dispatch() {
+        use sim_isa::BranchClass;
+        use std::collections::HashMap;
+        let trace = workload().generate(300_000);
+        let stats = trace.stats();
+        // Identify the two sites and their consecutive-repeat rates.
+        let mut last: HashMap<sim_isa::Addr, sim_isa::Addr> = HashMap::new();
+        let mut same: HashMap<sim_isa::Addr, u64> = HashMap::new();
+        let mut total: HashMap<sim_isa::Addr, u64> = HashMap::new();
+        for i in trace.iter() {
+            if let Some(b) = i.branch_exec() {
+                if b.class == BranchClass::IndirectJump {
+                    if last.get(&i.pc()) == Some(&b.target) {
+                        *same.entry(i.pc()).or_insert(0) += 1;
+                    }
+                    *total.entry(i.pc()).or_insert(0) += 1;
+                    last.insert(i.pc(), b.target);
+                }
+            }
+        }
+        let mut rates: Vec<f64> = stats
+            .indirect_jump_census()
+            .keys()
+            .map(|pc| *same.get(pc).unwrap_or(&0) as f64 / *total.get(pc).unwrap() as f64)
+            .collect();
+        rates.sort_by(f64::total_cmp);
+        assert_eq!(rates.len(), 2);
+        assert!(rates[1] > rates[0], "one site must be stickier: {rates:?}");
+        assert!(rates[1] > 0.8, "apply dispatch is very sticky: {rates:?}");
+    }
+
+    #[test]
+    fn gc_runs_periodically() {
+        use sim_isa::BranchClass;
+        let trace = workload().generate(500_000);
+        let stats = trace.stats();
+        // Calls exist and balance with returns.
+        assert!(stats.branch_count(BranchClass::Call) > 1000);
+        assert!(
+            stats
+                .branch_count(BranchClass::Call)
+                .abs_diff(stats.branch_count(BranchClass::Return))
+                <= 2
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Build a custom interpreter workload from scratch and watch the target
+//! cache learn its dispatch.
+//!
+//! This example does not use the prebuilt SPEC-like models: it constructs a
+//! small bytecode interpreter with `ProgramBuilder` — a dispatch loop
+//! reading a repeating token stream and jumping through a handler table —
+//! then sweeps the target cache's history length to show how much history
+//! it takes to capture the dispatch pattern.
+//!
+//! Run with: `cargo run --release --example interpreter_dispatch`
+
+use indirect_jump_prediction::prelude::*;
+use sim_workloads::{Cond, Effect, Executor, InstrMix, ProgramBuilder, Selector};
+
+fn main() {
+    // --- Build the interpreter --------------------------------------
+    let mut b = ProgramBuilder::new();
+    let token = b.var();
+    // A 17-token program over 6 opcodes. Prime-ish length so history
+    // windows don't trivially align.
+    let stream = b.cycle(vec![0, 1, 2, 0, 3, 1, 4, 0, 2, 5, 1, 3, 0, 4, 2, 1, 5]);
+    let main = b.routine();
+    let mix = InstrMix::load_heavy();
+
+    // Block 0: fetch a token, dispatch through the handler table.
+    b.block(main)
+        .effect(Effect::CycleNext {
+            cycle: stream,
+            var: token,
+        })
+        .body(6, mix)
+        .switch(Selector::var(token), vec![1, 2, 3, 4, 5, 6]);
+    // Handlers 1..=6: distinct sizes, each fingerprints its token so
+    // pattern history can see the dispatch sequence too.
+    for k in 0..6u32 {
+        b.block(main).body(3 + k * 2, mix).branch(
+            Cond::Bit {
+                var: token,
+                bit: k % 3,
+            },
+            0,
+            0,
+        );
+    }
+    let program = b.build().expect("interpreter must validate");
+    let trace: VecTrace = Executor::new(&program, 7).generate(150_000);
+
+    let stats = trace.stats();
+    println!(
+        "interpreter trace: {} instructions, {} dispatches\n",
+        stats.instructions(),
+        stats.indirect_jumps()
+    );
+
+    // --- Sweep the path-history length -------------------------------
+    println!("{:<30} {:>18}", "history", "dispatch mispred");
+    println!("{}", "-".repeat(50));
+    let mut base = PredictionHarness::new(FrontEndConfig::isca97_baseline());
+    base.run(&trace);
+    println!(
+        "{:<30} {:>17.2}%",
+        "BTB only",
+        base.stats().indirect_jump_misprediction_rate() * 100.0
+    );
+    for bits in [1u32, 2, 3, 5, 9, 13] {
+        let source = HistorySource::GlobalPath(PathHistoryConfig {
+            total_bits: bits,
+            bits_per_target: 1,
+            target_bit_lo: 0,
+            filter: PathFilter::IndirectJump,
+        });
+        let config = TargetCacheConfig::new(
+            Organization::Tagless {
+                entries: 512,
+                scheme: IndexScheme::Gshare,
+            },
+            source,
+        );
+        let mut h = PredictionHarness::new(FrontEndConfig::isca97_with(config));
+        h.run(&trace);
+        println!(
+            "{:<30} {:>17.2}%",
+            format!("path history, {bits} bits"),
+            h.stats().indirect_jump_misprediction_rate() * 100.0
+        );
+    }
+
+    println!(
+        "\nA handful of history bits suffice once the register can distinguish\n\
+         every position of the token cycle; shorter histories alias positions\n\
+         and mispredict at the aliased slots."
+    );
+}

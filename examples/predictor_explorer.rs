@@ -1,0 +1,127 @@
+//! Design-space explorer: sweep target-cache organizations on any
+//! benchmark from the command line.
+//!
+//! Usage: `cargo run --release --example predictor_explorer -- [benchmark] [instructions]`
+//! e.g. `cargo run --release --example predictor_explorer -- perl 500000`
+//!
+//! Sweeps organization (tagless/tagged), size, associativity, index scheme,
+//! and history source, and prints the full grid sorted by misprediction
+//! rate — the kind of sweep an architect would run before picking a design
+//! point.
+
+use indirect_jump_prediction::prelude::*;
+
+fn parse_args() -> (Benchmark, usize) {
+    let mut args = std::env::args().skip(1);
+    let bench = match args.next().as_deref() {
+        None => Benchmark::Perl,
+        Some(name) => match Benchmark::from_name(name) {
+            Some(b) => b,
+            None => {
+                eprintln!(
+                    "unknown benchmark {name:?}; expected one of: {}",
+                    Benchmark::ALL.map(|b| b.name()).join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+    let budget = args
+        .next()
+        .map(|s| s.parse().expect("instruction count must be a number"))
+        .unwrap_or(200_000);
+    (bench, budget)
+}
+
+fn history_sources() -> Vec<(String, HistorySource)> {
+    let mut sources = vec![
+        ("pattern(9)".to_string(), HistorySource::Pattern { bits: 9 }),
+        (
+            "pattern(16)".to_string(),
+            HistorySource::Pattern { bits: 16 },
+        ),
+    ];
+    for filter in PathFilter::ALL {
+        sources.push((
+            format!("path {}", filter.label()),
+            HistorySource::GlobalPath(PathHistoryConfig::isca97_default(filter)),
+        ));
+    }
+    sources.push((
+        "path per-addr".to_string(),
+        HistorySource::PerAddressPath(PathHistoryConfig::isca97_default(PathFilter::IndirectJump)),
+    ));
+    sources
+}
+
+fn organizations() -> Vec<(String, Organization)> {
+    let mut orgs = Vec::new();
+    for entries in [256usize, 512, 1024] {
+        for scheme in [IndexScheme::GAg, IndexScheme::Gshare] {
+            orgs.push((
+                format!(
+                    "tagless {entries} {}",
+                    scheme.label(entries.trailing_zeros())
+                ),
+                Organization::Tagless { entries, scheme },
+            ));
+        }
+    }
+    for assoc in [1usize, 4, 16] {
+        orgs.push((
+            format!("tagged 256/{assoc}-way xor"),
+            Organization::Tagged {
+                entries: 256,
+                assoc,
+                scheme: TaggedIndexScheme::HistoryXor,
+            },
+        ));
+    }
+    orgs
+}
+
+fn main() {
+    let (bench, budget) = parse_args();
+    let trace = bench.workload().generate(budget);
+
+    let mut base = PredictionHarness::new(FrontEndConfig::isca97_baseline());
+    base.run(&trace);
+    let baseline = base.stats().indirect_jump_misprediction_rate();
+    println!(
+        "benchmark {}, {} instructions; BTB baseline indirect mispred {:.2}%\n",
+        bench,
+        budget,
+        baseline * 100.0
+    );
+
+    let mut results = Vec::new();
+    for (org_name, org) in organizations() {
+        for (src_name, src) in history_sources() {
+            let config = TargetCacheConfig::new(org, src);
+            let mut h = PredictionHarness::new(FrontEndConfig::isca97_with(config));
+            h.run(&trace);
+            results.push((
+                h.stats().indirect_jump_misprediction_rate(),
+                format!("{org_name:<28} {src_name}"),
+            ));
+        }
+    }
+    results.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    println!("{:<48} {:>10}", "configuration", "mispred");
+    println!("{}", "-".repeat(60));
+    for (rate, name) in &results {
+        println!("{:<48} {:>9.2}%", name, rate * 100.0);
+    }
+    let best = &results[0];
+    println!(
+        "\nbest design point: {} at {:.2}% ({}x better than the BTB)",
+        best.1.trim(),
+        best.0 * 100.0,
+        if best.0 > 0.0 {
+            (baseline / best.0).round() as u64
+        } else {
+            u64::MAX
+        }
+    );
+}

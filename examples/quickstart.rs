@@ -1,0 +1,57 @@
+//! Quickstart: predict one interpreter's indirect jumps three ways.
+//!
+//! Builds a perl-like workload, then compares the indirect-jump
+//! misprediction rate of (1) the BTB baseline, (2) a pattern-history target
+//! cache, and (3) a path-history target cache — the paper's abstract in
+//! thirty lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use indirect_jump_prediction::prelude::*;
+
+fn main() {
+    // 200k instructions of the perl-like interpreter model.
+    let trace = Benchmark::Perl.workload().generate(200_000);
+    let stats = trace.stats();
+    println!(
+        "trace: {} instructions, {} branches, {} indirect jumps ({} static sites)\n",
+        stats.instructions(),
+        stats.branches(),
+        stats.indirect_jumps(),
+        stats.static_indirect_jumps(),
+    );
+
+    let configs: Vec<(&str, FrontEndConfig)> = vec![
+        ("BTB only (baseline)", FrontEndConfig::isca97_baseline()),
+        (
+            "target cache, pattern history (gshare)",
+            FrontEndConfig::isca97_with(TargetCacheConfig::isca97_tagless_gshare()),
+        ),
+        (
+            "target cache, path history (ind jmp)",
+            FrontEndConfig::isca97_with(TargetCacheConfig::isca97_tagless_path(
+                PathFilter::IndirectJump,
+            )),
+        ),
+    ];
+
+    println!("{:<42} {:>22}", "front end", "indirect mispredictions");
+    println!("{}", "-".repeat(66));
+    for (name, config) in configs {
+        let mut harness = PredictionHarness::new(config);
+        harness.run(&trace);
+        let c = harness.stats().indirect_jump_counters();
+        println!(
+            "{:<42} {:>12} ({:>6.2}%)",
+            name,
+            c.mispredicted(),
+            c.misprediction_rate() * 100.0
+        );
+    }
+
+    println!(
+        "\nThe target cache distinguishes dynamic occurrences of each jump by\n\
+         branch history; for an interpreter whose dispatch follows the token\n\
+         stream, path history over past targets pins the position exactly."
+    );
+}

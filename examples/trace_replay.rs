@@ -1,0 +1,65 @@
+//! Trace-artifact round trip: generate a workload, serialize it with the
+//! binary codec, read it back, and replay it through the predictors —
+//! the workflow for sharing traces between machines or archiving the
+//! exact inputs behind a result.
+//!
+//! Run with: `cargo run --release --example trace_replay`
+
+use indirect_jump_prediction::isa::codec::{read_trace, write_trace};
+use indirect_jump_prediction::prelude::*;
+use std::io::{BufReader, BufWriter, Seek, SeekFrom};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a canonical trace.
+    let original = Benchmark::Xlisp.workload().generate(120_000);
+    println!("generated {} instructions of xlisp", original.len());
+
+    // 2. Serialize to a temporary file.
+    let mut file = tempfile()?;
+    write_trace(BufWriter::new(&mut file), &original)?;
+    let bytes = file.seek(SeekFrom::End(0))?;
+    println!(
+        "serialized to {} bytes ({:.2} bytes/instruction)",
+        bytes,
+        bytes as f64 / original.len() as f64
+    );
+
+    // 3. Read it back and verify byte-exact equality.
+    file.seek(SeekFrom::Start(0))?;
+    let replayed = read_trace(BufReader::new(&mut file))?;
+    assert_eq!(replayed, original, "codec must round-trip exactly");
+    println!(
+        "round trip verified: {} instructions identical",
+        replayed.len()
+    );
+
+    // 4. Replay through the predictors: results must match the original.
+    let run = |trace: &VecTrace| {
+        let mut h = PredictionHarness::new(FrontEndConfig::isca97_with(
+            TargetCacheConfig::isca97_tagless_gshare(),
+        ));
+        h.run(trace);
+        h.stats().clone()
+    };
+    let a = run(&original);
+    let b = run(&replayed);
+    assert_eq!(a, b);
+    println!(
+        "replayed prediction run matches: {:.2}% indirect misprediction",
+        b.indirect_jump_misprediction_rate() * 100.0
+    );
+    Ok(())
+}
+
+/// A deleted-on-close temporary file (no tempfile crate: keep deps minimal).
+fn tempfile() -> std::io::Result<std::fs::File> {
+    let path = std::env::temp_dir().join(format!("ijp-trace-{}.trc", std::process::id()));
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .read(true)
+        .write(true)
+        .open(&path)?;
+    std::fs::remove_file(&path)?;
+    Ok(file)
+}

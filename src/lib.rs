@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! # indirect-jump-prediction
+//!
+//! A comprehensive Rust reproduction of **Chang, Hao & Patt, "Target
+//! Prediction for Indirect Jumps" (ISCA 1997)** — the paper that introduced
+//! the **target cache**, the ancestor of modern indirect-branch target
+//! predictors (ITTAGE and friends).
+//!
+//! BTB-based schemes predict an indirect jump's target as the *last*
+//! computed target of that jump, which fails whenever the target changes
+//! between dynamic instances (66% / 76% misprediction on SPECint95's gcc /
+//! perl). The target cache instead indexes a table of targets with a hash
+//! of the branch address and *branch history* — pattern history (recent
+//! conditional directions) or path history (recent target-address
+//! fragments) — choosing among all the targets seen so far.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`isa`] — the instruction/branch model substrate.
+//! * [`workloads`] — synthetic SPECint95-like benchmark generators.
+//! * [`predictors`] — BTB (default + 2-bit update), two-level direction
+//!   predictors, return address stack, history registers.
+//! * [`target_cache`] — the paper's contribution: tagless and tagged target
+//!   caches with every indexing scheme and history source the paper
+//!   studies, plus the trace-driven prediction harness.
+//! * [`uarch`] — the HPS-like out-of-order timing model measuring
+//!   execution-time impact.
+//! * [`experiments`] — runners regenerating every table and figure of the
+//!   paper's evaluation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use indirect_jump_prediction::prelude::*;
+//!
+//! // Generate a perl-like interpreter trace and measure how a BTB and a
+//! // target cache predict its indirect jumps.
+//! let trace = Benchmark::Perl.workload().generate(50_000);
+//!
+//! let mut btb_only = PredictionHarness::new(FrontEndConfig::isca97_baseline());
+//! btb_only.run(&trace);
+//!
+//! let mut with_tc = PredictionHarness::new(FrontEndConfig::isca97_with(
+//!     TargetCacheConfig::isca97_tagless_gshare(),
+//! ));
+//! with_tc.run(&trace);
+//!
+//! let btb = btb_only.stats().indirect_jump_misprediction_rate();
+//! let tc = with_tc.stats().indirect_jump_misprediction_rate();
+//! assert!(tc < btb, "target cache ({tc:.3}) must beat the BTB ({btb:.3})");
+//! ```
+
+pub use branch_predictors as predictors;
+pub use experiments;
+pub use hps_uarch as uarch;
+pub use sim_isa as isa;
+pub use sim_workloads as workloads;
+pub use target_cache;
+
+/// Commonly-used items in one import.
+pub mod prelude {
+    pub use branch_predictors::{
+        BranchClassStats, Btb, BtbConfig, DirectionConfig, PathFilter, PathHistory,
+        PathHistoryConfig, PatternHistory, ReturnAddressStack, TournamentConfig, TwoLevelConfig,
+        TwoLevelPredictor, UpdatePolicy,
+    };
+    pub use hps_uarch::{simulate, MachineConfig, SimReport};
+    pub use sim_isa::{Addr, BranchClass, BranchExec, DynInstr, InstrClass, Reg, VecTrace};
+    pub use sim_workloads::{Benchmark, Workload};
+    pub use target_cache::harness::{FrontEndConfig, PredictionHarness};
+    pub use target_cache::{
+        HistorySource, IndexScheme, Organization, TaggedIndexScheme, TargetCache, TargetCacheConfig,
+    };
+}

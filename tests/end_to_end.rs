@@ -1,0 +1,118 @@
+//! End-to-end integration: workload generation → prediction → timing, the
+//! full stack spanning every crate in the workspace.
+
+use indirect_jump_prediction::prelude::*;
+
+/// Budget kept small so the suite stays fast in debug builds.
+const BUDGET: usize = 60_000;
+
+#[test]
+fn every_benchmark_flows_through_the_whole_stack() {
+    for bench in Benchmark::ALL {
+        let trace = bench.workload().generate(BUDGET);
+        assert_eq!(trace.len(), BUDGET, "{bench}");
+
+        let report = simulate(
+            &trace,
+            &MachineConfig::isca97(FrontEndConfig::isca97_baseline()),
+        );
+        assert_eq!(report.instructions, BUDGET as u64, "{bench}");
+        assert!(report.cycles > 0, "{bench}");
+        // An 8-wide machine: IPC must land in (0, 8].
+        assert!(
+            report.ipc() > 0.3 && report.ipc() <= 8.0,
+            "{bench}: IPC {}",
+            report.ipc()
+        );
+        // The data cache was exercised.
+        assert!(report.dcache_stats.accesses > 0, "{bench}");
+    }
+}
+
+#[test]
+fn headline_claim_perl_and_gcc_speed_up_substantially() {
+    for (bench, min_reduction) in [(Benchmark::Perl, 0.05), (Benchmark::Gcc, 0.01)] {
+        let trace = bench.workload().generate(BUDGET);
+        let base = simulate(
+            &trace,
+            &MachineConfig::isca97(FrontEndConfig::isca97_baseline()),
+        );
+        let tc_config = match bench {
+            Benchmark::Perl => TargetCacheConfig::isca97_tagless_path(PathFilter::IndirectJump),
+            _ => TargetCacheConfig::isca97_tagless_gshare(),
+        };
+        let tc = simulate(
+            &trace,
+            &MachineConfig::isca97(FrontEndConfig::isca97_with(tc_config)),
+        );
+        let reduction = tc.exec_time_reduction_vs(&base);
+        assert!(
+            reduction > min_reduction,
+            "{bench}: execution-time reduction {reduction} below {min_reduction}"
+        );
+    }
+}
+
+#[test]
+fn target_cache_never_catastrophically_slows_any_benchmark() {
+    // The paper deploys the target cache suite-wide; it must not blow up
+    // the easy benchmarks.
+    for bench in Benchmark::ALL {
+        let trace = bench.workload().generate(BUDGET);
+        let base = simulate(
+            &trace,
+            &MachineConfig::isca97(FrontEndConfig::isca97_baseline()),
+        );
+        let tc = simulate(
+            &trace,
+            &MachineConfig::isca97(FrontEndConfig::isca97_with(
+                TargetCacheConfig::isca97_tagless_gshare(),
+            )),
+        );
+        let reduction = tc.exec_time_reduction_vs(&base);
+        assert!(
+            reduction > -0.02,
+            "{bench}: target cache slowed execution by {:.2}%",
+            -reduction * 100.0
+        );
+    }
+}
+
+#[test]
+fn timing_and_functional_mispredictions_agree() {
+    // The timing engine embeds the same PredictionHarness; per-class stats
+    // must match exactly.
+    for bench in [Benchmark::Perl, Benchmark::Vortex] {
+        let trace = bench.workload().generate(BUDGET);
+        let config = FrontEndConfig::isca97_with(TargetCacheConfig::isca97_tagged(4));
+        let mut functional = PredictionHarness::new(config);
+        functional.run(&trace);
+        let timing = simulate(&trace, &MachineConfig::isca97(config));
+        assert_eq!(functional.stats(), &timing.branch_stats, "{bench}");
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let trace = Benchmark::Gcc.workload().generate(BUDGET);
+        let report = simulate(
+            &trace,
+            &MachineConfig::isca97(FrontEndConfig::isca97_with(
+                TargetCacheConfig::isca97_tagless_gshare(),
+            )),
+        );
+        (report.cycles, report.branch_stats.clone())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn trace_prefix_property_holds_through_generation() {
+    // Generating N instructions then N/2 must produce a prefix — the
+    // experiments rely on scale-invariant workload identity.
+    let w = Benchmark::M88ksim.workload();
+    let long = w.generate(20_000);
+    let short = w.generate(10_000);
+    assert_eq!(&long.as_slice()[..10_000], short.as_slice());
+}

@@ -1,0 +1,188 @@
+//! Property-based fuzzing of the program model: arbitrary *valid* programs
+//! must execute cleanly through the executor and the whole prediction
+//! stack, holding the invariants every real trace holds.
+
+use indirect_jump_prediction::isa::{Addr, BranchClass};
+use indirect_jump_prediction::workloads::{
+    Cond, Effect, Executor, InstrMix, Program, ProgramBuilder, Selector,
+};
+use proptest::prelude::*;
+
+/// Plan for one synthesizable block (kept simple: indices are resolved
+/// modulo the block/routine counts, so any plan is valid).
+#[derive(Clone, Debug)]
+struct BlockPlan {
+    body: u32,
+    call: Option<usize>,
+    effect: Option<u8>,
+    term: u8,
+    a: usize,
+    b: usize,
+}
+
+fn arb_block_plan() -> impl Strategy<Value = BlockPlan> {
+    (
+        0u32..6,
+        proptest::option::of(0usize..4),
+        proptest::option::of(0u8..4),
+        0u8..4,
+        0usize..16,
+        0usize..16,
+    )
+        .prop_map(|(body, call, effect, term, a, b)| BlockPlan {
+            body,
+            call,
+            effect,
+            term,
+            a,
+            b,
+        })
+}
+
+/// Builds a guaranteed-valid program from arbitrary plans: `main` with
+/// `plans.len()` blocks plus two leaf helper routines.
+fn build_program(plans: &[BlockPlan]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let v = b.var();
+    let w = b.var();
+    let cycle = b.cycle(vec![0, 3, 1, 2, 1]);
+    let main = b.routine();
+    let helper_a = b.routine();
+    let helper_b = b.routine();
+
+    let nblocks = plans.len().max(1);
+    for plan in plans.iter() {
+        let mut blk = b.block(main);
+        if let Some(e) = plan.effect {
+            blk = match e {
+                0 => blk.effect(Effect::CycleNext { cycle, var: v }),
+                1 => blk.effect(Effect::Uniform { var: w, n: 7 }),
+                2 => blk.effect(Effect::AddMod {
+                    var: v,
+                    delta: 1,
+                    modulo: 5,
+                }),
+                _ => blk.effect(Effect::Set { var: w, value: 3 }),
+            };
+        }
+        blk = blk.body(plan.body, InstrMix::integer_heavy());
+        if let Some(c) = plan.call {
+            blk = match c {
+                0 | 2 => blk.call(helper_a),
+                1 => blk.call(helper_b),
+                _ => blk.call_indirect(Selector::var(w), vec![helper_a, helper_b]),
+            };
+        }
+        let ta = plan.a % nblocks;
+        let tb = plan.b % nblocks;
+        match plan.term {
+            0 => blk.goto(ta),
+            1 => blk.branch(Cond::Bit { var: v, bit: 1 }, ta, tb),
+            2 => blk.branch(Cond::Loop { count: 3 }, ta, tb),
+            _ => blk.switch(Selector::var(v), vec![ta, tb, ta]),
+        };
+    }
+    if plans.is_empty() {
+        b.block(main).goto(0);
+    }
+    b.block(helper_a).body(2, InstrMix::load_heavy()).ret();
+    b.block(helper_b).body(4, InstrMix::integer_heavy()).ret();
+    b.build().expect("constructed programs are always valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_programs_generate_exact_budgets(
+        plans in proptest::collection::vec(arb_block_plan(), 0..12),
+        seed in any::<u64>(),
+        budget in 1usize..3000,
+    ) {
+        let program = build_program(&plans);
+        let trace = Executor::new(&program, seed).generate(budget);
+        prop_assert_eq!(trace.len(), budget);
+    }
+
+    #[test]
+    fn arbitrary_traces_are_sequentially_consistent(
+        plans in proptest::collection::vec(arb_block_plan(), 1..12),
+        seed in any::<u64>(),
+    ) {
+        let program = build_program(&plans);
+        let trace = Executor::new(&program, seed).generate(4000);
+        let mut prev: Option<Addr> = None;
+        for i in trace.iter() {
+            if let Some(expected) = prev {
+                prop_assert_eq!(i.pc(), expected, "discontinuity at {:?}", i);
+            }
+            prev = Some(i.next_pc());
+        }
+    }
+
+    #[test]
+    fn arbitrary_traces_balance_calls_and_returns(
+        plans in proptest::collection::vec(arb_block_plan(), 1..12),
+        seed in any::<u64>(),
+    ) {
+        let program = build_program(&plans);
+        let trace = Executor::new(&program, seed).generate(4000);
+        let stats = trace.stats();
+        let calls = stats.branch_count(BranchClass::Call)
+            + stats.branch_count(BranchClass::IndirectCall);
+        let rets = stats.branch_count(BranchClass::Return);
+        // Returns can lag calls by at most the live call depth, which for
+        // these programs (leaf helpers only) is 1.
+        prop_assert!(calls >= rets);
+        prop_assert!(calls - rets <= 1, "calls {} rets {}", calls, rets);
+    }
+
+    #[test]
+    fn arbitrary_traces_flow_through_the_prediction_stack(
+        plans in proptest::collection::vec(arb_block_plan(), 1..10),
+        seed in any::<u64>(),
+    ) {
+        use indirect_jump_prediction::prelude::{FrontEndConfig, PredictionHarness, TargetCacheConfig};
+        let program = build_program(&plans);
+        let trace = Executor::new(&program, seed).generate(3000);
+        for config in [
+            FrontEndConfig::isca97_baseline(),
+            FrontEndConfig::isca97_with(TargetCacheConfig::isca97_tagless_gshare()),
+            FrontEndConfig::isca97_with(TargetCacheConfig::isca97_tagged(4)),
+            FrontEndConfig::isca97_oracle(),
+            FrontEndConfig::isca97_cascade(TargetCacheConfig::isca97_tagless_gshare()),
+        ] {
+            let mut h = PredictionHarness::new(config);
+            h.run(&trace);
+            let stats = h.stats();
+            prop_assert_eq!(stats.total_executed(), trace.stats().branches());
+            prop_assert!(stats.total_mispredicted() <= stats.total_executed());
+        }
+    }
+
+    #[test]
+    fn arbitrary_traces_simulate_without_panicking(
+        plans in proptest::collection::vec(arb_block_plan(), 1..8),
+        seed in any::<u64>(),
+    ) {
+        use indirect_jump_prediction::prelude::{simulate, FrontEndConfig, MachineConfig};
+        let program = build_program(&plans);
+        let trace = Executor::new(&program, seed).generate(2000);
+        let r = simulate(&trace, &MachineConfig::isca97(FrontEndConfig::isca97_baseline()));
+        prop_assert_eq!(r.instructions, 2000);
+        prop_assert!(r.cycles >= 2000 / 8, "cannot beat the fetch width");
+        prop_assert!(r.ipc() <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn prefix_property_holds_for_arbitrary_programs(
+        plans in proptest::collection::vec(arb_block_plan(), 1..10),
+        seed in any::<u64>(),
+        short in 1usize..1000,
+    ) {
+        let program = build_program(&plans);
+        let long = Executor::new(&program, seed).generate(2000);
+        let prefix = Executor::new(&program, seed).generate(short);
+        prop_assert_eq!(&long.as_slice()[..short], prefix.as_slice());
+    }
+}

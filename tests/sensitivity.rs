@@ -1,0 +1,113 @@
+//! Sensitivity tests: the reproduction's conclusions must be robust to the
+//! incidental choices a synthetic methodology makes — PRNG seeds and trace
+//! lengths — or the "results" would be artifacts of a lucky constant.
+
+use indirect_jump_prediction::prelude::*;
+
+fn mispred(trace: &VecTrace, config: FrontEndConfig) -> f64 {
+    let mut h = PredictionHarness::new(config);
+    h.run(trace);
+    h.stats().indirect_jump_misprediction_rate()
+}
+
+#[test]
+fn btb_misprediction_is_seed_stable() {
+    // Re-seeding the stochastic streams must not move the Table 1 numbers
+    // by more than a few points.
+    for bench in [Benchmark::Gcc, Benchmark::Perl, Benchmark::M88ksim] {
+        let w = bench.workload();
+        let mut rates = Vec::new();
+        for seed in [1u64, 42, 0xDEAD_BEEF] {
+            let t = w.generate_seeded(seed, 80_000);
+            rates.push(mispred(&t, FrontEndConfig::isca97_baseline()));
+        }
+        let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+        let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            max - min < 0.08,
+            "{bench}: BTB misprediction varies {min}..{max} across seeds"
+        );
+    }
+}
+
+#[test]
+fn headline_ordering_is_seed_stable() {
+    // The central conclusion — the target cache beats the BTB massively on
+    // perl under any history — must hold for every seed.
+    let w = Benchmark::Perl.workload();
+    for seed in [3u64, 17, 99] {
+        let t = w.generate_seeded(seed, 80_000);
+        let base = mispred(&t, FrontEndConfig::isca97_baseline());
+        let tc = mispred(
+            &t,
+            FrontEndConfig::isca97_with(TargetCacheConfig::isca97_tagless_path(
+                PathFilter::IndirectJump,
+            )),
+        );
+        assert!(tc < base * 0.3, "seed {seed}: tc {tc} vs base {base}");
+    }
+}
+
+#[test]
+fn rates_converge_with_trace_length() {
+    // Doubling the trace must not change steady-state rates much (no
+    // cold-start artifacts in the reported numbers).
+    let w = Benchmark::Gcc.workload();
+    let short = mispred(&w.generate(150_000), FrontEndConfig::isca97_baseline());
+    let long = mispred(&w.generate(300_000), FrontEndConfig::isca97_baseline());
+    assert!(
+        (short - long).abs() < 0.05,
+        "gcc BTB misprediction not converged: {short} vs {long}"
+    );
+}
+
+#[test]
+fn pattern_vs_path_split_is_seed_stable() {
+    // Table 4/5's qualitative split must not be a seed artifact.
+    for seed in [5u64, 1234] {
+        let perl = Benchmark::Perl.workload().generate_seeded(seed, 80_000);
+        let gcc = Benchmark::Gcc.workload().generate_seeded(seed, 80_000);
+        let pattern = TargetCacheConfig::isca97_tagless_gshare();
+        let path = TargetCacheConfig::isca97_tagless_path(PathFilter::IndirectJump);
+        assert!(
+            mispred(&perl, FrontEndConfig::isca97_with(path))
+                < mispred(&perl, FrontEndConfig::isca97_with(pattern)),
+            "seed {seed}: perl path/pattern split flipped"
+        );
+        assert!(
+            mispred(&gcc, FrontEndConfig::isca97_with(pattern))
+                < mispred(&gcc, FrontEndConfig::isca97_with(path)),
+            "seed {seed}: gcc pattern/path split flipped"
+        );
+    }
+}
+
+#[test]
+fn tournament_direction_predictor_matches_or_beats_gshare_suite_wide() {
+    // The optional McFarling combining predictor must not be worse than
+    // the default gshare front end across the suite (it subsumes it).
+    let mut gshare_missed = 0.0;
+    let mut tourney_missed = 0.0;
+    let mut total = 0.0;
+    for bench in Benchmark::ALL {
+        let t = bench.workload().generate(60_000);
+        let run = |cond: DirectionConfig| {
+            let mut h =
+                PredictionHarness::new(FrontEndConfig::isca97_baseline().with_direction(cond));
+            h.run(&t);
+            h.stats().class(BranchClass::CondDirect)
+        };
+        let g = run(DirectionConfig::gshare(12));
+        let m = run(DirectionConfig::Tournament(TournamentConfig::mcfarling()));
+        assert_eq!(g.executed, m.executed);
+        gshare_missed += g.mispredicted() as f64;
+        tourney_missed += m.mispredicted() as f64;
+        total += g.executed as f64;
+    }
+    let g = gshare_missed / total;
+    let m = tourney_missed / total;
+    assert!(
+        m <= g * 1.02,
+        "tournament ({m}) should match or beat gshare ({g}) suite-wide"
+    );
+}
