@@ -120,6 +120,17 @@ impl CascadedPredictor {
         }
     }
 
+    /// Dynamic jumps served by the BTB stage (the raw count behind
+    /// [`filter_rate`](CascadedPredictor::filter_rate)).
+    pub fn filtered(&self) -> u64 {
+        self.filtered
+    }
+
+    /// Total dynamic jumps predicted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
     fn confident(&self, pc: Addr) -> bool {
         self.confidence.get(&pc).is_none_or(|c| c.is_high())
     }

@@ -30,10 +30,11 @@
 //!    target cache at the fetch-time index A.
 
 use crate::cache::TargetCache;
-use crate::cascade::{CascadeConfig, CascadedPredictor};
+use crate::cascade::{CascadeConfig, CascadedPredictor, Stage};
 use crate::config::TargetCacheConfig;
 use crate::history::HistoryTracker;
 use crate::stats::TargetCacheStats;
+use crate::telemetry::HarnessTelemetry;
 use branch_predictors::{
     BranchClassStats, Btb, BtbConfig, DirectionConfig, DirectionPredictor, ReturnAddressStack,
 };
@@ -182,6 +183,8 @@ pub struct PredictionHarness {
     /// a prediction (vs. falling back to the BTB).
     tc_served: u64,
     tc_served_correct: u64,
+    /// Optional observability hooks; `None` costs nothing on the hot path.
+    telemetry: Option<HarnessTelemetry>,
 }
 
 impl PredictionHarness {
@@ -209,12 +212,25 @@ impl PredictionHarness {
             stats: BranchClassStats::default(),
             tc_served: 0,
             tc_served_correct: 0,
+            telemetry: None,
         }
     }
 
     /// The harness's configuration.
     pub fn config(&self) -> &FrontEndConfig {
         &self.config
+    }
+
+    /// Attaches observability hooks: from now on every processed branch
+    /// feeds the telemetry counters, and (if the hooks carry an event
+    /// sink) every misprediction records a structured event.
+    pub fn attach_telemetry(&mut self, telemetry: HarnessTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry hooks, if any.
+    pub fn telemetry(&self) -> Option<&HarnessTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Per-branch-class prediction statistics so far.
@@ -234,6 +250,12 @@ impl PredictionHarness {
     /// The cascade's stage-one filter rate, if a cascade is configured.
     pub fn cascade_filter_rate(&self) -> Option<f64> {
         self.cascade.as_ref().map(|c| c.filter_rate())
+    }
+
+    /// The cascade's raw `(filtered, total)` jump counts, if a cascade is
+    /// configured (what telemetry manifests record).
+    pub fn cascade_counts(&self) -> Option<(u64, u64)> {
+        self.cascade.as_ref().map(|c| (c.filtered(), c.total()))
     }
 
     /// Of the indirect jumps where the target cache supplied the used
@@ -283,35 +305,43 @@ impl PredictionHarness {
             None
         };
 
-        let predicted = match btb_hit {
+        // Alongside the prediction, name the structure that supplied it
+        // (the telemetry layer's `source` attribution; see
+        // `telemetry::PREDICTOR_SOURCES`).
+        let (predicted, source) = match btb_hit {
             // BTB miss: the front end does not know this is a branch.
-            None => pc.next(),
+            None => (pc.next(), "fallthrough"),
             Some(hit) => match hit.class {
                 BranchClass::CondDirect => {
-                    if self.cond.predict(pc) {
+                    let p = if self.cond.predict(pc) {
                         hit.target
                     } else {
                         pc.next()
-                    }
+                    };
+                    (p, "cond-direction")
                 }
-                BranchClass::UncondDirect | BranchClass::Call => hit.target,
-                BranchClass::Return => self.ras.peek().unwrap_or(hit.target),
+                BranchClass::UncondDirect | BranchClass::Call => (hit.target, "btb"),
+                BranchClass::Return => (self.ras.peek().unwrap_or(hit.target), "ras"),
                 BranchClass::IndirectJump | BranchClass::IndirectCall => {
                     if matches!(self.config.indirect, IndirectPredictor::Oracle) {
                         // Perfect target prediction (limit study).
-                        actual
-                    } else if let Some((_, pred, _)) = &cascade_result {
-                        pred.unwrap_or(hit.target)
+                        (actual, "oracle")
+                    } else if let Some((stage, pred, _)) = &cascade_result {
+                        let s = match stage {
+                            Stage::Btb => "cascade-btb",
+                            Stage::Cache => "cascade-cache",
+                        };
+                        (pred.unwrap_or(hit.target), s)
                     } else {
                         match tc_access.as_ref().and_then(|(_, pred)| *pred) {
                             Some(tc_target) => {
                                 self.tc_served += 1;
                                 self.tc_served_correct += (tc_target == actual) as u64;
-                                tc_target
+                                (tc_target, "target-cache")
                             }
                             // Target-cache miss (or no target cache): fall
                             // back to the BTB's last-computed target.
-                            None => hit.target,
+                            None => (hit.target, "btb-fallback"),
                         }
                     }
                 }
@@ -355,6 +385,16 @@ impl PredictionHarness {
             actual,
         };
         self.stats.record(b.class, outcome.correct());
+        if let Some(t) = &self.telemetry {
+            t.observe(
+                pc,
+                b.class,
+                predicted,
+                actual,
+                history_value.unwrap_or(0),
+                source,
+            );
+        }
         Some(outcome)
     }
 
@@ -592,6 +632,50 @@ mod tests {
             h.cascade_filter_rate().unwrap() < 0.5,
             "polymorphic site must be promoted"
         );
+    }
+
+    #[test]
+    fn telemetry_counters_reconcile_with_stats() {
+        use sim_telemetry::{Event, EventSink, MetricsRegistry};
+
+        let registry = MetricsRegistry::new();
+        let sink = EventSink::new();
+        let mut h = PredictionHarness::new(FrontEndConfig::isca97_with(
+            TargetCacheConfig::isca97_tagless_gshare(),
+        ));
+        h.attach_telemetry(HarnessTelemetry::new(&registry, Some(sink.clone())));
+
+        for i in 0..40usize {
+            let to_a = i % 2 == 0;
+            h.process(&cond(0x100, to_a, 0x200));
+            let target = if to_a { 0x900 } else { 0xA00 };
+            h.process(&ijmp(0x300, target));
+        }
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("harness.branches"), h.stats().total_executed());
+        assert_eq!(
+            snap.counter("harness.mispredicts"),
+            h.stats().total_mispredicted()
+        );
+        // Every mispredict is attributed to exactly one source.
+        let by_source: u64 = crate::telemetry::PREDICTOR_SOURCES
+            .iter()
+            .map(|s| snap.counter(&format!("harness.mispredicts.{s}")))
+            .sum();
+        assert_eq!(by_source, snap.counter("harness.mispredicts"));
+        // And every mispredict produced one event, labelled consistently.
+        let events = sink.drain();
+        assert_eq!(events.len() as u64, h.stats().total_mispredicted());
+        for e in &events {
+            let Event::Mispredict {
+                predicted, actual, ..
+            } = e
+            else {
+                panic!("only mispredict events expected, got {e:?}");
+            };
+            assert_ne!(predicted, actual);
+        }
     }
 
     #[test]

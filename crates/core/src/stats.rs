@@ -56,15 +56,21 @@ impl TargetCacheStats {
     }
 }
 
+/// `"1 lookup"` / `"2 lookups"` (pass both forms: "miss"/"misses").
+fn plural(n: u64, one: &str, many: &str) -> String {
+    format!("{n} {}", if n == 1 { one } else { many })
+}
+
 impl fmt::Display for TargetCacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} lookups, {} hits ({:.2}%), {} updates",
-            self.lookups,
-            self.hits,
+            "{}, {} ({:.2}%), {}, {}",
+            plural(self.lookups, "lookup", "lookups"),
+            plural(self.hits, "hit", "hits"),
             self.hit_rate() * 100.0,
-            self.updates
+            plural(self.misses(), "miss", "misses"),
+            plural(self.updates, "update", "updates"),
         )
     }
 }
@@ -97,7 +103,13 @@ mod tests {
         let mut s = TargetCacheStats::default();
         s.record_lookup(true);
         let text = s.to_string();
-        assert!(text.contains("1 lookups"));
-        assert!(text.contains("100.00%"));
+        assert!(text.contains("1 lookup"), "{text}");
+        assert!(!text.contains("1 lookups"), "bad pluralization: {text}");
+        assert!(text.contains("100.00%"), "{text}");
+        assert!(text.contains("0 misses"), "misses must be shown: {text}");
+        s.record_lookup(false);
+        let text = s.to_string();
+        assert!(text.contains("2 lookups"), "{text}");
+        assert!(text.contains("1 miss,"), "{text}");
     }
 }

@@ -1,0 +1,170 @@
+//! Telemetry hooks for the prediction harness.
+//!
+//! [`HarnessTelemetry`] bundles the instruments the harness feeds while
+//! replaying a trace: counters for branches seen and mispredicted (total
+//! and by serving predictor), and an optional [`EventSink`] receiving one
+//! structured [`Event`] per misprediction. The harness carries it as an
+//! `Option`, so an uninstrumented harness pays nothing; an instrumented
+//! one pays a few relaxed atomic adds per branch.
+
+use sim_isa::{Addr, BranchClass};
+use sim_telemetry::{Counter, Event, EventSink, MetricsRegistry};
+
+/// The vocabulary of `source` labels: which structure supplied the
+/// prediction the front end used.
+///
+/// * `fallthrough` — BTB miss; the front end did not know this was a
+///   branch and predicted the next sequential address.
+/// * `cond-direction` — conditional direct branch steered by the
+///   two-level direction predictor.
+/// * `btb` — direct jump/call target served by the BTB.
+/// * `ras` — return predicted by the return address stack.
+/// * `target-cache` — the target cache served a history-indexed target.
+/// * `btb-fallback` — the target cache missed (or none is configured)
+///   and the BTB's last-computed target was used.
+/// * `cascade-btb` / `cascade-cache` — a cascade's first (BTB-confident)
+///   or second (target-cache) stage served.
+/// * `oracle` — the perfect-prediction limit study.
+pub const PREDICTOR_SOURCES: [&str; 9] = [
+    "fallthrough",
+    "cond-direction",
+    "btb",
+    "ras",
+    "target-cache",
+    "btb-fallback",
+    "cascade-btb",
+    "cascade-cache",
+    "oracle",
+];
+
+/// Instruments fed by [`PredictionHarness::process`] when attached via
+/// [`PredictionHarness::attach_telemetry`].
+///
+/// [`PredictionHarness::process`]: crate::harness::PredictionHarness::process
+/// [`PredictionHarness::attach_telemetry`]: crate::harness::PredictionHarness::attach_telemetry
+#[derive(Clone, Debug)]
+pub struct HarnessTelemetry {
+    branches: Counter,
+    mispredicts: Counter,
+    /// Mispredict counters keyed by serving predictor, pre-resolved so the
+    /// hot path never takes the registry lock.
+    by_source: Vec<(&'static str, Counter)>,
+    events: Option<EventSink>,
+}
+
+impl HarnessTelemetry {
+    /// Creates hooks registering under `harness.*` in `registry`. When
+    /// `events` is `Some`, every misprediction also records a structured
+    /// [`Event::Mispredict`].
+    pub fn new(registry: &MetricsRegistry, events: Option<EventSink>) -> Self {
+        HarnessTelemetry {
+            branches: registry.counter("harness.branches"),
+            mispredicts: registry.counter("harness.mispredicts"),
+            by_source: PREDICTOR_SOURCES
+                .iter()
+                .map(|&s| (s, registry.counter(&format!("harness.mispredicts.{s}"))))
+                .collect(),
+            events,
+        }
+    }
+
+    /// The event sink, if per-event recording is enabled.
+    pub fn events(&self) -> Option<&EventSink> {
+        self.events.as_ref()
+    }
+
+    /// Records one processed branch.
+    #[inline]
+    pub fn observe(
+        &self,
+        pc: Addr,
+        class: BranchClass,
+        predicted: Addr,
+        actual: Addr,
+        history: u64,
+        source: &'static str,
+    ) {
+        self.branches.inc();
+        if predicted == actual {
+            return;
+        }
+        self.mispredicts.inc();
+        if let Some((_, c)) = self.by_source.iter().find(|(s, _)| *s == source) {
+            c.inc();
+        }
+        if let Some(sink) = &self.events {
+            sink.record(Event::Mispredict {
+                pc: pc.raw(),
+                class: class.mnemonic(),
+                predicted: predicted.raw(),
+                actual: actual.raw(),
+                history,
+                source,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_counts_and_emits_events() {
+        let registry = MetricsRegistry::new();
+        let sink = EventSink::new();
+        let t = HarnessTelemetry::new(&registry, Some(sink.clone()));
+
+        // A correct prediction: counted as a branch, nothing else.
+        t.observe(
+            Addr::new(0x100),
+            BranchClass::IndirectJump,
+            Addr::new(0x900),
+            Addr::new(0x900),
+            7,
+            "target-cache",
+        );
+        // A misprediction: counted, attributed, and recorded as an event.
+        t.observe(
+            Addr::new(0x100),
+            BranchClass::IndirectJump,
+            Addr::new(0x900),
+            Addr::new(0xA00),
+            7,
+            "target-cache",
+        );
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("harness.branches"), 2);
+        assert_eq!(snap.counter("harness.mispredicts"), 1);
+        assert_eq!(snap.counter("harness.mispredicts.target-cache"), 1);
+        assert_eq!(snap.counter("harness.mispredicts.btb"), 0);
+
+        let events = sink.drain();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            Event::Mispredict {
+                pc: 0x100,
+                actual: 0xA00,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn summary_mode_records_no_events() {
+        let registry = MetricsRegistry::new();
+        let t = HarnessTelemetry::new(&registry, None);
+        t.observe(
+            Addr::new(0x40),
+            BranchClass::CondDirect,
+            Addr::new(0x44),
+            Addr::new(0x80),
+            0,
+            "cond-direction",
+        );
+        assert!(t.events().is_none());
+        assert_eq!(registry.snapshot().counter("harness.mispredicts"), 1);
+    }
+}

@@ -1,4 +1,5 @@
 fn main() {
+    let _telemetry = experiments::telemetry::session("costs", experiments::Scale::from_env());
     let rows = experiments::costs::run();
     println!("{}", experiments::costs::render(&rows));
 }

@@ -1,5 +1,6 @@
 fn main() {
     let scale = experiments::Scale::from_env();
+    let _telemetry = experiments::telemetry::session("extension_cascade", scale);
     let rows = experiments::extension_cascade::run(scale);
     println!("{}", experiments::extension_cascade::render(&rows));
 }

@@ -1,5 +1,6 @@
 fn main() {
     let scale = experiments::Scale::from_env();
+    let _telemetry = experiments::telemetry::session("extension_oo", scale);
     let rows = experiments::extension_oo::run(scale);
     println!("{}", experiments::extension_oo::render(&rows));
 }

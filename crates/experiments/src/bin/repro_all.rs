@@ -1,12 +1,14 @@
 //! Regenerates every table and figure of the paper in one run.
 //!
 //! Scale is controlled by the `REPRO_SCALE` environment variable
-//! (`quick` / `standard` / `full`).
+//! (`quick` / `standard` / `full`); telemetry capture by
+//! `REPRO_TELEMETRY` (`off` / `summary` / `events`).
 
 use experiments::*;
 
 fn main() {
     let scale = Scale::from_env();
+    let _telemetry = telemetry::session("repro_all", scale);
     println!("Reproduction of 'Target Prediction for Indirect Jumps' (ISCA 1997)");
     println!("scale: {scale:?}\n");
     println!("{}", table1::render(&table1::run(scale)));

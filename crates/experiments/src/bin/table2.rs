@@ -1,5 +1,6 @@
 fn main() {
     let scale = experiments::Scale::from_env();
+    let _telemetry = experiments::telemetry::session("table2", scale);
     let rows = experiments::table2::run(scale);
     println!("{}", experiments::table2::render(&rows));
 }

@@ -1,5 +1,6 @@
 fn main() {
     let scale = experiments::Scale::from_env();
+    let _telemetry = experiments::telemetry::session("table8", scale);
     let rows = experiments::table8::run(scale);
     println!("{}", experiments::table8::render(&rows));
 }

@@ -1,5 +1,6 @@
 fn main() {
     let scale = experiments::Scale::from_env();
+    let _telemetry = experiments::telemetry::session("table9", scale);
     let rows = experiments::table9::run(scale);
     println!("{}", experiments::table9::render(&rows));
 }

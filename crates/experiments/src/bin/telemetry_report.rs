@@ -1,0 +1,56 @@
+//! `traceinfo`-style viewer: the top-N mispredicting indirect branches
+//! per benchmark.
+//!
+//! Two modes:
+//!
+//! * `telemetry-report <run.events.jsonl>...` — aggregate previously
+//!   captured event streams (written by any table binary run with
+//!   `REPRO_TELEMETRY=events`);
+//! * `telemetry-report` with no file arguments — run every benchmark
+//!   through the paper's canonical target-cache front end live, with
+//!   event capture forced on, at the `REPRO_SCALE` scale.
+//!
+//! `--top N` changes how many sites are shown per benchmark (default 10).
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut top_n = 10usize;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--top" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--top requires a value");
+                    std::process::exit(2);
+                });
+                top_n = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--top requires a number, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: telemetry-report [--top N] [events.jsonl ...]");
+                return;
+            }
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+
+    if files.is_empty() {
+        let scale = experiments::Scale::from_env();
+        print!("{}", experiments::telemetry::live_report(scale, top_n));
+        return;
+    }
+    for f in &files {
+        println!("# {}", f.display());
+        match experiments::telemetry::report_from_file(f, top_n) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("error reading {}: {e}", f.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -31,6 +31,12 @@
 //! Traces are synthetic (see `sim-workloads`), so EXPERIMENTS.md compares
 //! *shapes* — orderings, rough magnitudes, crossovers — against the paper,
 //! not absolute numbers.
+//!
+//! Every binary also honours `REPRO_TELEMETRY` (`off` / `summary` /
+//! `events`): the [`telemetry`] module captures counters, span timings,
+//! per-mispredict events, and a run manifest whose counters reconcile with
+//! the simulators' own statistics, and the `telemetry-report` binary shows
+//! the top mispredicting indirect branches per benchmark.
 
 pub mod costs;
 pub mod extension_cascade;
@@ -51,6 +57,7 @@ pub mod table6;
 pub mod table7;
 pub mod table8;
 pub mod table9;
+pub mod telemetry;
 
 pub use report::TextTable;
 pub use runner::Scale;

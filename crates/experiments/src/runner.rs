@@ -1,10 +1,16 @@
 //! Shared machinery: trace budgets, functional and timing runs.
+//!
+//! Every entry point here checks for an active [telemetry
+//! hub](crate::telemetry) and, when one is installed, records spans,
+//! per-run counters, and mispredict events without changing its results.
 
+use crate::telemetry as hub;
 use branch_predictors::BranchClassStats;
-use hps_uarch::{simulate, MachineConfig, SimReport};
+use hps_uarch::{simulate, simulate_instrumented, MachineConfig, SimReport};
 use sim_isa::VecTrace;
 use sim_workloads::Benchmark;
-use target_cache::harness::{FrontEndConfig, PredictionHarness};
+use std::time::Instant;
+use target_cache::harness::{FrontEndConfig, IndirectPredictor, PredictionHarness};
 use target_cache::TargetCacheConfig;
 
 /// How much of each workload's canonical run to simulate.
@@ -30,32 +36,120 @@ impl Scale {
         }
     }
 
-    /// Reads the scale from the `REPRO_SCALE` environment variable
-    /// (`quick` / `standard` / `full`), defaulting to `Standard`.
+    /// The values [`Scale::parse`] accepts, for error messages.
+    pub const ACCEPTED: &'static str = "quick, standard, full";
+
+    /// Parses a scale name (`quick` / `standard` / `full`,
+    /// case-insensitive).
+    pub fn parse(value: &str) -> Result<Scale, String> {
+        match value.to_ascii_lowercase().as_str() {
+            "quick" => Ok(Scale::Quick),
+            "standard" => Ok(Scale::Standard),
+            "full" => Ok(Scale::Full),
+            _ => Err(format!(
+                "unrecognized REPRO_SCALE value {value:?}; accepted values: {}",
+                Scale::ACCEPTED
+            )),
+        }
+    }
+
+    /// The scale's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Standard => "standard",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Reads the scale from the `REPRO_SCALE` environment variable,
+    /// defaulting to `Standard` when unset or set to the empty string
+    /// (the `REPRO_SCALE= cmd` shell idiom for "unset").
+    ///
+    /// # Panics
+    ///
+    /// Panics (listing the accepted values) if `REPRO_SCALE` is set to an
+    /// unrecognized value — a typo like `REPRO_SCALE=ful` must not
+    /// silently run a different experiment than the one asked for.
     pub fn from_env() -> Scale {
-        match std::env::var("REPRO_SCALE").as_deref() {
-            Ok("quick") => Scale::Quick,
-            Ok("full") => Scale::Full,
-            _ => Scale::Standard,
+        match std::env::var("REPRO_SCALE") {
+            Ok(v) if v.is_empty() => Scale::Standard,
+            Ok(v) => Scale::parse(&v).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => Scale::Standard,
         }
     }
 }
 
+/// A short description of the front end's indirect predictor for run
+/// manifests.
+fn config_desc(config: &FrontEndConfig) -> String {
+    match config.indirect {
+        IndirectPredictor::BtbOnly => "btb-only".to_string(),
+        IndirectPredictor::TargetCache(tc) => format!("target-cache {tc:?}"),
+        IndirectPredictor::Oracle => "oracle".to_string(),
+        IndirectPredictor::Cascade(c) => format!("cascade {c:?}"),
+    }
+}
+
 /// Generates the canonical trace of a benchmark at the given scale.
+///
+/// With telemetry active this also declares `bench` as the benchmark
+/// subsequent runs are attributed to (the table binaries are sequential:
+/// they generate one trace and run every configuration on it before
+/// moving to the next benchmark).
 pub fn trace(bench: Benchmark, scale: Scale) -> VecTrace {
+    if let Some(hub) = hub::active() {
+        hub.set_benchmark(bench.name());
+        let _g = hub.spans().span("workload-gen");
+        return bench.workload().generate(scale.budget(bench));
+    }
     bench.workload().generate(scale.budget(bench))
 }
 
 /// Runs the functional (accuracy-only) front end over a trace.
 pub fn functional(trace: &VecTrace, frontend: FrontEndConfig) -> BranchClassStats {
     let mut h = PredictionHarness::new(frontend);
-    h.run(trace);
+    if let Some(hub) = hub::active() {
+        h.attach_telemetry(hub.harness_telemetry());
+        let started = Instant::now();
+        {
+            let _g = hub.spans().span("harness-replay");
+            h.run(trace);
+        }
+        hub.finish_run(
+            &config_desc(h.config()),
+            trace.len() as u64,
+            h.stats(),
+            h.target_cache_stats(),
+            h.cascade_counts(),
+            started.elapsed().as_nanos() as u64,
+        );
+    } else {
+        h.run(trace);
+    }
     h.stats().clone()
 }
 
 /// Runs the timing model over a trace.
 pub fn timing(trace: &VecTrace, frontend: FrontEndConfig) -> SimReport {
-    simulate(trace, &MachineConfig::isca97(frontend))
+    let machine = MachineConfig::isca97(frontend);
+    if let Some(hub) = hub::active() {
+        let started = Instant::now();
+        let report = {
+            let _g = hub.spans().span("uarch-sim");
+            simulate_instrumented(trace, &machine, Some(hub.harness_telemetry()))
+        };
+        hub.finish_run(
+            &config_desc(&frontend),
+            report.instructions,
+            &report.branch_stats,
+            None,
+            None,
+            started.elapsed().as_nanos() as u64,
+        );
+        return report;
+    }
+    simulate(trace, &machine)
 }
 
 /// The paper's headline derived metric: execution-time reduction of a

@@ -1,0 +1,465 @@
+//! The experiments-side telemetry hub: opt-in observability for every
+//! table binary.
+//!
+//! A table binary opts in by holding a [`Session`] for the duration of
+//! `main`:
+//!
+//! ```no_run
+//! let scale = experiments::Scale::from_env();
+//! let _telemetry = experiments::telemetry::session("table1", scale);
+//! // ... run and print the table ...
+//! ```
+//!
+//! The session reads `REPRO_TELEMETRY` (`off` / `summary` / `events`,
+//! strictly parsed by [`TelemetryMode::from_env`]) and, unless `off`,
+//! installs a process-global hub that the shared [`runner`](crate::runner)
+//! entry points feed: every trace generation, harness replay, and timing
+//! simulation records spans, counters, and (in `events` mode) per-mispredict
+//! structured events attributed to the benchmark being run. When the
+//! session drops it writes
+//!
+//! * `<dir>/<tool>.manifest.json` — the [`RunManifest`]: configuration and
+//!   per-run counters copied from the simulator's own statistics, span
+//!   timings, and the metrics snapshot;
+//! * `<dir>/<tool>.events.jsonl` (events mode) — one JSON object per
+//!   mispredicted branch.
+//!
+//! `<dir>` defaults to `results/telemetry` under the working directory and
+//! can be overridden with `REPRO_TELEMETRY_DIR`.
+
+use crate::runner::Scale;
+use branch_predictors::BranchClassStats;
+use sim_isa::BranchClass;
+use sim_telemetry::{
+    write_jsonl, Event, EventSink, Json, MetricsRegistry, RunManifest, RunRecord, SpanRegistry,
+};
+
+pub use sim_telemetry::TelemetryMode;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use target_cache::telemetry::HarnessTelemetry;
+use target_cache::TargetCacheStats;
+
+/// Mutable hub state: what the current run is, and everything collected
+/// so far.
+#[derive(Default)]
+struct State {
+    /// Label runs and events are attributed to (set by `runner::trace`).
+    benchmark: String,
+    /// Completed run records, in execution order.
+    runs: Vec<RunRecord>,
+    /// Drained events, labelled with the benchmark they belong to.
+    events: Vec<(String, Event)>,
+}
+
+/// The process-global telemetry hub a [`Session`] installs.
+pub struct Hub {
+    mode: TelemetryMode,
+    registry: MetricsRegistry,
+    spans: SpanRegistry,
+    sink: Option<EventSink>,
+    state: Mutex<State>,
+}
+
+impl Hub {
+    fn new(mode: TelemetryMode) -> Self {
+        Hub {
+            mode,
+            registry: MetricsRegistry::new(),
+            spans: SpanRegistry::new(),
+            sink: mode.events().then(EventSink::new),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// The capture mode this hub runs at.
+    pub fn mode(&self) -> TelemetryMode {
+        self.mode
+    }
+
+    /// The hub's span registry (for timing scopes).
+    pub fn spans(&self) -> &SpanRegistry {
+        &self.spans
+    }
+
+    /// The hub's metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Fresh harness hooks wired to this hub's registry and event sink.
+    pub fn harness_telemetry(&self) -> HarnessTelemetry {
+        HarnessTelemetry::new(&self.registry, self.sink.clone())
+    }
+
+    /// Declares which benchmark subsequent runs and events belong to.
+    pub fn set_benchmark(&self, name: &str) {
+        self.state.lock().expect("hub state poisoned").benchmark = name.to_string();
+    }
+
+    /// Records one completed harness (or timing) run: copies the
+    /// simulator's statistics into a manifest [`RunRecord`] and drains the
+    /// event sink, attributing events to the current benchmark.
+    pub fn finish_run(
+        &self,
+        config: &str,
+        instructions: u64,
+        stats: &BranchClassStats,
+        tc: Option<&TargetCacheStats>,
+        cascade: Option<(u64, u64)>,
+        wall_ns: u64,
+    ) {
+        let mut state = self.state.lock().expect("hub state poisoned");
+        let label = state.benchmark.clone();
+        let mut run = RunRecord::new(label.clone(), config);
+        run.instructions = instructions;
+        run.wall_ns = wall_ns;
+        run.count("branches", stats.total_executed());
+        run.count("mispredicts", stats.total_mispredicted());
+        for class in BranchClass::ALL {
+            let c = stats.class(class);
+            if c.executed > 0 {
+                run.count(&format!("class.{}.executed", class.mnemonic()), c.executed);
+                run.count(
+                    &format!("class.{}.mispredicted", class.mnemonic()),
+                    c.mispredicted(),
+                );
+            }
+        }
+        if let Some(tc) = tc {
+            run.count("tc.lookups", tc.lookups());
+            run.count("tc.hits", tc.hits());
+            run.count("tc.misses", tc.misses());
+            run.count("tc.updates", tc.updates());
+        }
+        if let Some((filtered, total)) = cascade {
+            run.count("cascade.filtered", filtered);
+            run.count("cascade.total", total);
+        }
+        state.runs.push(run);
+        if let Some(sink) = &self.sink {
+            state
+                .events
+                .extend(sink.drain().into_iter().map(|e| (label.clone(), e)));
+        }
+    }
+}
+
+static HUB: Mutex<Option<Arc<Hub>>> = Mutex::new(None);
+
+/// The installed hub, if a session is active. The shared runner entry
+/// points call this; without a session it returns `None` and they run
+/// uninstrumented.
+pub fn active() -> Option<Arc<Hub>> {
+    HUB.lock().expect("hub registry poisoned").clone()
+}
+
+/// An active telemetry capture, held for the duration of a table binary's
+/// `main`. Writes the manifest (and event stream) when dropped.
+pub struct Session {
+    hub: Option<Arc<Hub>>,
+    tool: String,
+    scale: Scale,
+    out_dir: PathBuf,
+    started: Instant,
+}
+
+/// Starts a capture for `tool` with the mode read from `REPRO_TELEMETRY`
+/// and the output directory from `REPRO_TELEMETRY_DIR` (default
+/// `results/telemetry`). With `REPRO_TELEMETRY` unset or `off` the session
+/// is inert and costs nothing.
+///
+/// # Panics
+///
+/// Panics (listing the accepted values) if `REPRO_TELEMETRY` is set to an
+/// unrecognized value.
+pub fn session(tool: &str, scale: Scale) -> Session {
+    let dir = std::env::var("REPRO_TELEMETRY_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results/telemetry"));
+    session_with(tool, scale, TelemetryMode::from_env(), dir)
+}
+
+/// [`session`] with everything explicit — primarily for tests, which must
+/// not depend on (or mutate) process environment variables.
+pub fn session_with(
+    tool: &str,
+    scale: Scale,
+    mode: TelemetryMode,
+    out_dir: impl Into<PathBuf>,
+) -> Session {
+    let hub = mode.enabled().then(|| Arc::new(Hub::new(mode)));
+    *HUB.lock().expect("hub registry poisoned") = hub.clone();
+    Session {
+        hub,
+        tool: tool.to_string(),
+        scale,
+        out_dir: out_dir.into(),
+        started: Instant::now(),
+    }
+}
+
+impl Session {
+    /// Path of the manifest this session will write (unless inert).
+    pub fn manifest_path(&self) -> PathBuf {
+        self.out_dir.join(format!("{}.manifest.json", self.tool))
+    }
+
+    /// Path of the event stream this session will write in events mode.
+    pub fn events_path(&self) -> PathBuf {
+        self.out_dir.join(format!("{}.events.jsonl", self.tool))
+    }
+
+    fn write_outputs(&self) -> std::io::Result<()> {
+        let Some(hub) = &self.hub else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(&self.out_dir)?;
+
+        let state = hub.state.lock().expect("hub state poisoned");
+        let mut manifest = RunManifest::new(self.tool.clone());
+        manifest.scale = self.scale.name().to_string();
+        manifest.mode = hub.mode.name().to_string();
+        manifest.instruction_budget = state.runs.iter().map(|r| r.instructions).max().unwrap_or(0);
+        manifest.runs = state.runs.clone();
+        manifest.events_recorded = state.events.len() as u64;
+        manifest.events_dropped = hub.sink.as_ref().map_or(0, EventSink::dropped);
+        manifest.wall_ns = self.started.elapsed().as_nanos() as u64;
+
+        let mut file = std::fs::File::create(self.manifest_path())?;
+        manifest.write_to(&mut file, &hub.spans, &hub.registry.snapshot())?;
+
+        if hub.mode.events() {
+            let mut file = std::io::BufWriter::new(std::fs::File::create(self.events_path())?);
+            for (label, event) in state.events.iter() {
+                write_jsonl(&mut file, label, std::slice::from_ref(event))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if self.hub.is_none() {
+            return;
+        }
+        match self.write_outputs() {
+            Ok(()) => eprintln!("telemetry: wrote {}", self.manifest_path().display()),
+            Err(e) => eprintln!("telemetry: failed to write outputs: {e}"),
+        }
+        // Uninstall the hub so a later session starts clean.
+        *HUB.lock().expect("hub registry poisoned") = None;
+    }
+}
+
+/// Aggregated mispredictions of one static branch site within one
+/// benchmark, as reported by `telemetry-report`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteReport {
+    /// Branch address.
+    pub pc: u64,
+    /// Branch class mnemonic.
+    pub class: String,
+    /// Mispredictions recorded at this site.
+    pub mispredicts: u64,
+    /// Distinct actual targets seen in mispredict events.
+    pub distinct_targets: usize,
+    /// Mispredictions by predictor source, sorted descending.
+    pub by_source: Vec<(String, u64)>,
+}
+
+/// Parses mispredict events out of JSONL lines and aggregates them per
+/// benchmark and site, returning `(benchmark, top sites)` pairs with sites
+/// sorted by descending mispredict count (at most `top_n` per benchmark).
+/// Non-mispredict and malformed lines are skipped.
+pub fn aggregate_events<'a, I>(lines: I, top_n: usize) -> Vec<(String, Vec<SiteReport>)>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    use std::collections::BTreeMap;
+
+    struct Agg {
+        class: String,
+        count: u64,
+        targets: std::collections::BTreeSet<u64>,
+        by_source: BTreeMap<String, u64>,
+    }
+    // benchmark -> pc -> aggregate; BTreeMaps for deterministic output.
+    let mut per_bench: BTreeMap<String, BTreeMap<u64, Agg>> = BTreeMap::new();
+
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = sim_telemetry::json::parse(line) else {
+            continue;
+        };
+        if v.get("event").and_then(Json::as_str) != Some("mispredict") {
+            continue;
+        }
+        let (Some(run), Some(pc)) = (
+            v.get("run").and_then(Json::as_str),
+            v.get("pc").and_then(Json::as_u64),
+        ) else {
+            continue;
+        };
+        let entry = per_bench
+            .entry(run.to_string())
+            .or_default()
+            .entry(pc)
+            .or_insert_with(|| Agg {
+                class: v
+                    .get("class")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                count: 0,
+                targets: Default::default(),
+                by_source: Default::default(),
+            });
+        entry.count += 1;
+        if let Some(actual) = v.get("actual").and_then(Json::as_u64) {
+            entry.targets.insert(actual);
+        }
+        if let Some(source) = v.get("source").and_then(Json::as_str) {
+            *entry.by_source.entry(source.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    per_bench
+        .into_iter()
+        .map(|(bench, sites)| {
+            let mut reports: Vec<SiteReport> = sites
+                .into_iter()
+                .map(|(pc, a)| SiteReport {
+                    pc,
+                    class: a.class,
+                    mispredicts: a.count,
+                    distinct_targets: a.targets.len(),
+                    by_source: {
+                        let mut v: Vec<(String, u64)> = a.by_source.into_iter().collect();
+                        v.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+                        v
+                    },
+                })
+                .collect();
+            reports.sort_by(|x, y| y.mispredicts.cmp(&x.mispredicts).then(x.pc.cmp(&y.pc)));
+            reports.truncate(top_n);
+            (bench, reports)
+        })
+        .collect()
+}
+
+/// Renders aggregated sites in the `traceinfo` house style.
+pub fn render_report(aggregated: &[(String, Vec<SiteReport>)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (bench, sites) in aggregated {
+        let _ = writeln!(out, "{bench}:");
+        if sites.is_empty() {
+            let _ = writeln!(out, "  (no mispredict events)");
+            continue;
+        }
+        for s in sites {
+            let sources = s
+                .by_source
+                .iter()
+                .map(|(k, v)| format!("{k}: {v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                out,
+                "  {:#010x}  {:>5}  {:>8} mispredicts, {:>3} targets  [{}]",
+                s.pc, s.class, s.mispredicts, s.distinct_targets, sources
+            );
+        }
+    }
+    out
+}
+
+/// Reads an events JSONL file and renders the top-`top_n` report.
+pub fn report_from_file(path: &Path, top_n: usize) -> std::io::Result<String> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(render_report(&aggregate_events(text.lines(), top_n)))
+}
+
+/// Runs every benchmark through the paper's canonical target-cache front
+/// end with event capture forced on, and renders the top-`top_n`
+/// mispredicting sites per benchmark. Also leaves the usual
+/// `telemetry-report.manifest.json` / `.events.jsonl` pair behind.
+pub fn live_report(scale: Scale, top_n: usize) -> String {
+    use sim_workloads::Benchmark;
+    use target_cache::harness::FrontEndConfig;
+    use target_cache::TargetCacheConfig;
+
+    let dir = std::env::var("REPRO_TELEMETRY_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results/telemetry"));
+    let session = session_with("telemetry-report", scale, TelemetryMode::Events, dir);
+    let hub = active().expect("events session installs a hub");
+    for bench in Benchmark::ALL {
+        let trace = crate::runner::trace(bench, scale);
+        crate::runner::functional(
+            &trace,
+            FrontEndConfig::isca97_with(TargetCacheConfig::isca97_tagless_gshare()),
+        );
+    }
+    // Render the captured events to JSONL and aggregate them through the
+    // same parser the file mode uses — one code path for both.
+    let mut buf = Vec::new();
+    {
+        let state = hub.state.lock().expect("hub state poisoned");
+        for (label, event) in state.events.iter() {
+            write_jsonl(&mut buf, label, std::slice::from_ref(event))
+                .expect("writing to a Vec cannot fail");
+        }
+    }
+    drop(session);
+    let text = String::from_utf8(buf).expect("JSONL is UTF-8");
+    render_report(&aggregate_events(text.lines(), top_n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_ranks_and_truncates() {
+        let lines = [
+            r#"{"event":"mispredict","run":"perl","pc":64,"class":"ijmp","predicted":1,"actual":2,"history":0,"source":"target-cache"}"#,
+            r#"{"event":"mispredict","run":"perl","pc":64,"class":"ijmp","predicted":1,"actual":3,"history":0,"source":"btb-fallback"}"#,
+            r#"{"event":"mispredict","run":"perl","pc":64,"class":"ijmp","predicted":1,"actual":2,"history":0,"source":"target-cache"}"#,
+            r#"{"event":"mispredict","run":"perl","pc":128,"class":"cond","predicted":1,"actual":2,"history":0,"source":"cond-direction"}"#,
+            r#"{"event":"mispredict","run":"gcc","pc":256,"class":"ijmp","predicted":1,"actual":2,"history":0,"source":"btb"}"#,
+            r#"{"event":"phase-start","run":"gcc","phase":"x"}"#,
+            "not json at all",
+        ];
+        let agg = aggregate_events(lines.iter().copied(), 1);
+        assert_eq!(agg.len(), 2, "two benchmarks");
+        let (bench, sites) = &agg[1];
+        assert_eq!(bench, "perl");
+        assert_eq!(sites.len(), 1, "truncated to top 1");
+        assert_eq!(sites[0].pc, 64);
+        assert_eq!(sites[0].mispredicts, 3);
+        assert_eq!(sites[0].distinct_targets, 2);
+        assert_eq!(sites[0].by_source[0], ("target-cache".to_string(), 2));
+        let rendered = render_report(&agg);
+        assert!(rendered.contains("perl:"), "{rendered}");
+        assert!(rendered.contains("0x00000040"), "{rendered}");
+    }
+
+    #[test]
+    fn session_with_off_mode_is_inert() {
+        let s = session_with(
+            "inert-test",
+            Scale::Quick,
+            TelemetryMode::Off,
+            "/nonexistent",
+        );
+        assert!(active().is_none());
+        drop(s); // must not attempt to write anything
+    }
+}

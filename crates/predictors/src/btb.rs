@@ -116,6 +116,36 @@ pub struct Btb {
     config: BtbConfig,
     sets: Vec<Vec<BtbEntry>>,
     clock: u64,
+    stats: BtbStats,
+}
+
+/// Mechanical lookup/update counters for a [`Btb`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BtbStats {
+    /// Fetch-time lookups performed.
+    pub lookups: u64,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Resolution-time updates (train or install).
+    pub updates: u64,
+    /// Updates that evicted a live entry.
+    pub evictions: u64,
+}
+
+impl BtbStats {
+    /// Lookups that found no entry.
+    pub fn misses(&self) -> u64 {
+        self.lookups - self.hits
+    }
+
+    /// Fraction of lookups that hit.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
 }
 
 impl Btb {
@@ -125,7 +155,13 @@ impl Btb {
             config,
             sets: vec![Vec::new(); config.sets],
             clock: 0,
+            stats: BtbStats::default(),
         }
+    }
+
+    /// Mechanical lookup/update counters.
+    pub fn stats(&self) -> BtbStats {
+        self.stats
     }
 
     /// The BTB's configuration.
@@ -151,15 +187,18 @@ impl Btb {
         let set = self.set_index(pc);
         let tag = self.tag(pc);
         self.clock += 1;
+        self.stats.lookups += 1;
         let clock = self.clock;
-        self.sets[set].iter_mut().find(|e| e.tag == tag).map(|e| {
+        let hit = self.sets[set].iter_mut().find(|e| e.tag == tag).map(|e| {
             e.lru = clock;
             BtbHit {
                 target: e.target,
                 fallthrough: e.fallthrough,
                 class: e.class,
             }
-        })
+        });
+        self.stats.hits += hit.is_some() as u64;
+        hit
     }
 
     /// Looks up `pc` without disturbing LRU state (for instrumentation).
@@ -185,6 +224,7 @@ impl Btb {
         let set_index = self.set_index(pc);
         let tag = self.tag(pc);
         self.clock += 1;
+        self.stats.updates += 1;
         let clock = self.clock;
         let policy = self.config.update_policy;
         let ways = self.config.ways;
@@ -234,6 +274,7 @@ impl Btb {
                 .map(|(i, _)| i)
                 .expect("set is non-empty");
             set[victim] = entry;
+            self.stats.evictions += 1;
         }
     }
 
@@ -421,5 +462,32 @@ mod tests {
         let c = BtbConfig::isca97_baseline();
         assert_eq!(c.entries(), 1024);
         assert_eq!(c.ways, 4);
+    }
+
+    #[test]
+    fn stats_count_lookups_updates_and_evictions() {
+        let mut b = btb(1, 1, UpdatePolicy::Always); // one entry total
+        assert_eq!(b.stats(), BtbStats::default());
+        b.lookup(Addr::new(0x100)); // miss
+        b.update(
+            Addr::new(0x100),
+            BranchClass::UncondDirect,
+            Addr::new(0x10),
+            Addr::new(0x104),
+        );
+        b.lookup(Addr::new(0x100)); // hit
+        b.update(
+            Addr::new(0x200), // conflicts: evicts 0x100's entry
+            BranchClass::UncondDirect,
+            Addr::new(0x20),
+            Addr::new(0x204),
+        );
+        let s = b.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.updates, 2);
+        assert_eq!(s.evictions, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 }

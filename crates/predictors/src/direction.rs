@@ -4,6 +4,7 @@
 use crate::tournament::{TournamentConfig, TournamentPredictor};
 use crate::twolevel::{TwoLevelConfig, TwoLevelPredictor};
 use sim_isa::Addr;
+use std::cell::Cell;
 
 /// Which direction predictor the front end uses.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -21,13 +22,28 @@ impl DirectionConfig {
     }
 }
 
+/// Lookup/update counters for a direction predictor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirectionStats {
+    /// Directions predicted.
+    pub predictions: u64,
+    /// Training updates applied.
+    pub updates: u64,
+}
+
+#[derive(Clone, Debug)]
+enum Engine {
+    TwoLevel(TwoLevelPredictor),
+    Tournament(TournamentPredictor),
+}
+
 /// A constructed direction predictor.
 #[derive(Clone, Debug)]
-pub enum DirectionPredictor {
-    /// A two-level adaptive predictor.
-    TwoLevel(TwoLevelPredictor),
-    /// A tournament predictor.
-    Tournament(TournamentPredictor),
+pub struct DirectionPredictor {
+    engine: Engine,
+    /// `Cell` because `predict` is a logically-read-only probe.
+    predictions: Cell<u64>,
+    updates: u64,
 }
 
 impl DirectionPredictor {
@@ -37,35 +53,48 @@ impl DirectionPredictor {
     ///
     /// Panics if the underlying configuration is invalid.
     pub fn new(config: DirectionConfig) -> Self {
-        match config {
-            DirectionConfig::TwoLevel(c) => DirectionPredictor::TwoLevel(TwoLevelPredictor::new(c)),
-            DirectionConfig::Tournament(c) => {
-                DirectionPredictor::Tournament(TournamentPredictor::new(c))
-            }
+        let engine = match config {
+            DirectionConfig::TwoLevel(c) => Engine::TwoLevel(TwoLevelPredictor::new(c)),
+            DirectionConfig::Tournament(c) => Engine::Tournament(TournamentPredictor::new(c)),
+        };
+        DirectionPredictor {
+            engine,
+            predictions: Cell::new(0),
+            updates: 0,
         }
     }
 
     /// Predicts the direction of the conditional branch at `pc`.
     pub fn predict(&self, pc: Addr) -> bool {
-        match self {
-            DirectionPredictor::TwoLevel(p) => p.predict(pc),
-            DirectionPredictor::Tournament(p) => p.predict(pc),
+        self.predictions.set(self.predictions.get() + 1);
+        match &self.engine {
+            Engine::TwoLevel(p) => p.predict(pc),
+            Engine::Tournament(p) => p.predict(pc),
         }
     }
 
     /// Trains the predictor and shifts its history register(s).
     pub fn update(&mut self, pc: Addr, taken: bool) {
-        match self {
-            DirectionPredictor::TwoLevel(p) => p.update(pc, taken),
-            DirectionPredictor::Tournament(p) => p.update(pc, taken),
+        self.updates += 1;
+        match &mut self.engine {
+            Engine::TwoLevel(p) => p.update(pc, taken),
+            Engine::Tournament(p) => p.update(pc, taken),
         }
     }
 
     /// The global pattern history value (what the target cache borrows).
     pub fn global_history(&self) -> u64 {
-        match self {
-            DirectionPredictor::TwoLevel(p) => p.global_history(),
-            DirectionPredictor::Tournament(p) => p.global_history(),
+        match &self.engine {
+            Engine::TwoLevel(p) => p.global_history(),
+            Engine::Tournament(p) => p.global_history(),
+        }
+    }
+
+    /// Mechanical prediction/update counters.
+    pub fn stats(&self) -> DirectionStats {
+        DirectionStats {
+            predictions: self.predictions.get(),
+            updates: self.updates,
         }
     }
 }
@@ -99,5 +128,17 @@ mod tests {
             p.update(Addr::new(0), true);
             assert_eq!(p.global_history() & 1, 1, "{config:?}");
         }
+    }
+
+    #[test]
+    fn stats_count_predictions_and_updates() {
+        let mut p = DirectionPredictor::new(DirectionConfig::gshare(8));
+        assert_eq!(p.stats(), DirectionStats::default());
+        p.predict(Addr::new(0x40));
+        p.predict(Addr::new(0x40));
+        p.update(Addr::new(0x40), true);
+        let s = p.stats();
+        assert_eq!(s.predictions, 2);
+        assert_eq!(s.updates, 1);
     }
 }

@@ -45,13 +45,13 @@ pub mod stats;
 pub mod tournament;
 pub mod twolevel;
 
-pub use btb::{Btb, BtbConfig, BtbHit, UpdatePolicy};
+pub use btb::{Btb, BtbConfig, BtbHit, BtbStats, UpdatePolicy};
 pub use counter::SaturatingCounter;
-pub use direction::{DirectionConfig, DirectionPredictor};
+pub use direction::{DirectionConfig, DirectionPredictor, DirectionStats};
 pub use history::{
     PathFilter, PathHistory, PathHistoryConfig, PatternHistory, PerAddressPathHistory,
 };
-pub use ras::ReturnAddressStack;
-pub use stats::BranchClassStats;
+pub use ras::{RasStats, ReturnAddressStack};
+pub use stats::{BranchClassStats, ClassCounters};
 pub use tournament::{TournamentConfig, TournamentPredictor};
 pub use twolevel::{TwoLevelConfig, TwoLevelPredictor, TwoLevelScheme};

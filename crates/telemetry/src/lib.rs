@@ -1,0 +1,161 @@
+//! # sim-telemetry
+//!
+//! Zero-dependency observability for the indirect-jump-prediction
+//! workspace: metrics, event tracing, span timing, and run manifests.
+//!
+//! The crate is deliberately `std`-only so every simulator crate can
+//! depend on it without dragging anything external into the build. It
+//! provides four instruments:
+//!
+//! - [`MetricsRegistry`] — named [`Counter`]s and log2-bucketed
+//!   [`Histogram`]s behind `Arc`-backed handles; one relaxed atomic add
+//!   per event, safe on simulator hot paths.
+//! - [`EventSink`] / [`Event`] — a bounded ring of structured events
+//!   (per-branch mispredict records and phase markers), serialized as
+//!   JSONL by [`write_jsonl`].
+//! - [`SpanRegistry`] — wall-clock timing scopes with `Drop` guards, for
+//!   the coarse phases of a run (workload generation, harness replay,
+//!   microarchitectural simulation).
+//! - [`RunManifest`] — the per-invocation JSON document tying it all
+//!   together: configuration snapshot, per-benchmark counters copied from
+//!   the simulator's own statistics, span totals, and the metrics
+//!   snapshot.
+//!
+//! All JSON is hand-rolled ([`json`]) — escaping, a value tree, and a
+//! strict parser — because the environment has no serde.
+//!
+//! Experiments opt in via the `REPRO_TELEMETRY` environment variable,
+//! parsed strictly by [`TelemetryMode::from_env`].
+
+pub mod event;
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod span;
+
+pub use event::{write_jsonl, Event, EventRing, EventSink, DEFAULT_RING_CAPACITY};
+pub use json::Json;
+pub use manifest::{RunManifest, RunRecord};
+pub use metrics::{
+    bucket_bounds, bucket_index, Counter, Histogram, MetricsRegistry, MetricsSnapshot,
+    HISTOGRAM_BUCKETS,
+};
+pub use span::{SpanGuard, SpanRegistry, SpanStat};
+
+/// How much telemetry an experiment run captures.
+///
+/// Controlled by the `REPRO_TELEMETRY` environment variable:
+///
+/// | value       | behaviour                                              |
+/// |-------------|--------------------------------------------------------|
+/// | `off` (default) | no instrumentation beyond the simulator's own stats |
+/// | `summary`   | counters + spans + a run manifest, no event stream     |
+/// | `events`    | everything in `summary` plus per-mispredict JSONL      |
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// No telemetry (the default): zero overhead beyond existing stats.
+    #[default]
+    Off,
+    /// Counters, spans, and a run manifest.
+    Summary,
+    /// `Summary` plus a JSONL stream of per-branch mispredict events.
+    Events,
+}
+
+impl TelemetryMode {
+    /// The accepted `REPRO_TELEMETRY` values, for error messages.
+    pub const ACCEPTED: &'static str = "off, summary, events";
+
+    /// Parses a `REPRO_TELEMETRY` value (case-insensitive).
+    ///
+    /// Unlike a lenient "anything unknown means off" parser, this rejects
+    /// unrecognized values so a typo (`REPRO_TELEMETRY=event`) fails loudly
+    /// instead of silently discarding the data the user asked for.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value.to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Ok(TelemetryMode::Off),
+            "summary" => Ok(TelemetryMode::Summary),
+            "events" => Ok(TelemetryMode::Events),
+            other => Err(format!(
+                "unrecognized REPRO_TELEMETRY value {other:?}; accepted values: {}",
+                TelemetryMode::ACCEPTED
+            )),
+        }
+    }
+
+    /// Reads the mode from `REPRO_TELEMETRY`, defaulting to [`Off`] when
+    /// unset or set to the empty string (the `REPRO_TELEMETRY= cmd` shell
+    /// idiom for "unset").
+    ///
+    /// # Panics
+    ///
+    /// Panics with the list of accepted values if the variable is set to
+    /// something unrecognized.
+    ///
+    /// [`Off`]: TelemetryMode::Off
+    pub fn from_env() -> Self {
+        match std::env::var("REPRO_TELEMETRY") {
+            Ok(v) if v.is_empty() => TelemetryMode::Off,
+            Ok(v) => match TelemetryMode::parse(&v) {
+                Ok(mode) => mode,
+                Err(msg) => panic!("{msg}"),
+            },
+            Err(_) => TelemetryMode::Off,
+        }
+    }
+
+    /// Whether any telemetry is captured at all.
+    pub fn enabled(self) -> bool {
+        self != TelemetryMode::Off
+    }
+
+    /// Whether the per-event JSONL stream is captured.
+    pub fn events(self) -> bool {
+        self == TelemetryMode::Events
+    }
+
+    /// The mode's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TelemetryMode::Off => "off",
+            TelemetryMode::Summary => "summary",
+            TelemetryMode::Events => "events",
+        }
+    }
+}
+
+impl std::fmt::Display for TelemetryMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parses_accepted_values() {
+        assert_eq!(TelemetryMode::parse("off"), Ok(TelemetryMode::Off));
+        assert_eq!(TelemetryMode::parse("OFF"), Ok(TelemetryMode::Off));
+        assert_eq!(TelemetryMode::parse("none"), Ok(TelemetryMode::Off));
+        assert_eq!(TelemetryMode::parse("summary"), Ok(TelemetryMode::Summary));
+        assert_eq!(TelemetryMode::parse("Events"), Ok(TelemetryMode::Events));
+    }
+
+    #[test]
+    fn mode_rejects_typos_with_accepted_list() {
+        let err = TelemetryMode::parse("event").unwrap_err();
+        assert!(err.contains("event"), "{err}");
+        assert!(err.contains("off, summary, events"), "{err}");
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(!TelemetryMode::Off.enabled());
+        assert!(TelemetryMode::Summary.enabled());
+        assert!(!TelemetryMode::Summary.events());
+        assert!(TelemetryMode::Events.events());
+        assert_eq!(TelemetryMode::Events.to_string(), "events");
+    }
+}

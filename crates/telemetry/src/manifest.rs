@@ -1,0 +1,223 @@
+//! Run manifests: one JSON document per experiment invocation recording
+//! what ran, under which configuration, and what the counters said.
+//!
+//! The manifest is the reconciliation point of the telemetry layer: its
+//! per-run counters are copied straight from the simulator's own
+//! statistics structures, so a consumer can cross-check the event stream
+//! (and the printed tables) against it without re-running anything.
+
+use crate::json::{obj, Json};
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRegistry;
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+/// Counters and identity for one benchmark run inside an experiment.
+#[derive(Clone, Debug, Default)]
+pub struct RunRecord {
+    /// Benchmark label (`perl`, `gcc`, …).
+    pub label: String,
+    /// Human-readable description of the predictor configuration.
+    pub config: String,
+    /// Dynamic instructions replayed.
+    pub instructions: u64,
+    /// Named counters copied from the simulator's statistics
+    /// (`tc.lookups`, `class.ijmp.executed`, …). A `BTreeMap` so the
+    /// manifest is byte-stable across runs.
+    pub counters: BTreeMap<String, u64>,
+    /// Wall-clock nanoseconds for this run.
+    pub wall_ns: u64,
+}
+
+impl RunRecord {
+    /// Creates a record for `label` under `config`.
+    pub fn new(label: impl Into<String>, config: impl Into<String>) -> Self {
+        RunRecord {
+            label: label.into(),
+            config: config.into(),
+            ..RunRecord::default()
+        }
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn count(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// The value of a named counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    fn to_json(&self) -> Json {
+        obj([
+            ("label", Json::from(self.label.as_str())),
+            ("config", Json::from(self.config.as_str())),
+            ("instructions", Json::from(self.instructions)),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::from(v)))
+                        .collect(),
+                ),
+            ),
+            ("wall_ns", Json::from(self.wall_ns)),
+        ])
+    }
+}
+
+/// The manifest for one experiment invocation (one table binary run).
+#[derive(Clone, Debug, Default)]
+pub struct RunManifest {
+    /// Which experiment produced this (`table1`, `repro_all`, …).
+    pub tool: String,
+    /// The `REPRO_SCALE` the run used (`quick`, `standard`, `full`).
+    pub scale: String,
+    /// The `REPRO_TELEMETRY` mode (`summary` or `events`).
+    pub mode: String,
+    /// Per-benchmark instruction budget at this scale.
+    pub instruction_budget: u64,
+    /// One record per benchmark × configuration executed.
+    pub runs: Vec<RunRecord>,
+    /// Events captured to the JSONL stream (0 in `summary` mode).
+    pub events_recorded: u64,
+    /// Events lost to ring overflow.
+    pub events_dropped: u64,
+    /// Wall-clock nanoseconds for the whole invocation.
+    pub wall_ns: u64,
+}
+
+impl RunManifest {
+    /// Creates a manifest shell for `tool`.
+    pub fn new(tool: impl Into<String>) -> Self {
+        RunManifest {
+            tool: tool.into(),
+            ..RunManifest::default()
+        }
+    }
+
+    /// Appends a completed run record.
+    pub fn push_run(&mut self, run: RunRecord) {
+        self.runs.push(run);
+    }
+
+    /// Sums a named counter across all runs.
+    pub fn total(&self, counter: &str) -> u64 {
+        self.runs.iter().map(|r| r.counter(counter)).sum()
+    }
+
+    /// The manifest as a JSON document, embedding span timings and a
+    /// metrics snapshot.
+    pub fn to_json(&self, spans: &SpanRegistry, metrics: &MetricsSnapshot) -> Json {
+        obj([
+            ("tool", Json::from(self.tool.as_str())),
+            ("scale", Json::from(self.scale.as_str())),
+            ("telemetry_mode", Json::from(self.mode.as_str())),
+            ("instruction_budget", Json::from(self.instruction_budget)),
+            (
+                "runs",
+                Json::Arr(self.runs.iter().map(RunRecord::to_json).collect()),
+            ),
+            ("events_recorded", Json::from(self.events_recorded)),
+            ("events_dropped", Json::from(self.events_dropped)),
+            ("spans", spans.to_json()),
+            ("metrics", metrics.to_json()),
+            ("wall_ns", Json::from(self.wall_ns)),
+        ])
+    }
+
+    /// Writes the manifest as pretty-stable single-line JSON plus a
+    /// trailing newline.
+    pub fn write_to<W: Write>(
+        &self,
+        out: &mut W,
+        spans: &SpanRegistry,
+        metrics: &MetricsSnapshot,
+    ) -> io::Result<()> {
+        writeln!(out, "{}", self.to_json(spans, metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let mut manifest = RunManifest::new("table1");
+        manifest.scale = "quick".to_string();
+        manifest.mode = "events".to_string();
+        manifest.instruction_budget = 100_000;
+
+        let mut run = RunRecord::new("perl", "target-cache 512-entry tagless");
+        run.instructions = 100_000;
+        run.count("tc.lookups", 750);
+        run.count("tc.hits", 500);
+        run.count("tc.misses", 250);
+        manifest.push_run(run);
+        manifest.events_recorded = 250;
+
+        let registry = MetricsRegistry::new();
+        registry.counter("harness.branches").add(9);
+        let spans = SpanRegistry::new();
+        {
+            let _g = spans.span("harness-replay");
+        }
+
+        let mut buf = Vec::new();
+        manifest
+            .write_to(&mut buf, &spans, &registry.snapshot())
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let v = parse(text.trim()).expect("manifest parses");
+
+        assert_eq!(v.get("tool").unwrap().as_str(), Some("table1"));
+        assert_eq!(v.get("scale").unwrap().as_str(), Some("quick"));
+        let runs = v.get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].get("label").unwrap().as_str(), Some("perl"));
+        let counters = runs[0].get("counters").unwrap();
+        assert_eq!(counters.get("tc.lookups").unwrap().as_u64(), Some(750));
+        // The reconciliation invariant consumers rely on.
+        assert_eq!(
+            counters.get("tc.hits").unwrap().as_u64().unwrap()
+                + counters.get("tc.misses").unwrap().as_u64().unwrap(),
+            counters.get("tc.lookups").unwrap().as_u64().unwrap()
+        );
+        assert_eq!(
+            v.get("metrics")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("harness.branches")
+                .unwrap()
+                .as_u64(),
+            Some(9)
+        );
+        assert!(v
+            .get("spans")
+            .unwrap()
+            .get("harness-replay")
+            .unwrap()
+            .get("count")
+            .unwrap()
+            .as_u64()
+            .is_some());
+    }
+
+    #[test]
+    fn totals_sum_across_runs() {
+        let mut m = RunManifest::new("table2");
+        for (label, hits) in [("perl", 10u64), ("gcc", 32)] {
+            let mut r = RunRecord::new(label, "btb");
+            r.count("tc.hits", hits);
+            m.push_run(r);
+        }
+        assert_eq!(m.total("tc.hits"), 42);
+        assert_eq!(m.total("absent"), 0);
+    }
+}

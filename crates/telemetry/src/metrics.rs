@@ -1,0 +1,373 @@
+//! Named counters and log2-bucketed histograms behind cheap handles.
+//!
+//! The registry owns the name → instrument mapping; the handles it hands
+//! out ([`Counter`], [`Histogram`]) are `Arc`-backed and cost one relaxed
+//! atomic add per event, so they can sit on simulator hot paths. Cloning a
+//! handle is cheap and all clones observe the same instrument.
+
+use crate::json::{obj, Json};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing named count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a detached counter (not owned by any registry).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per power of two of `u64`, plus the
+/// zero bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// `buckets[0]` counts zero samples; `buckets[k]` (k ≥ 1) counts
+    /// samples whose value `v` has `v.ilog2() == k - 1`, i.e. the range
+    /// `[2^(k-1), 2^k)`.
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucketing by the sample's bit length keeps recording to a handful of
+/// instructions while still answering the questions telemetry asks of
+/// latencies and magnitudes ("how many mispredict bursts exceeded 2^10?").
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// The index of the bucket a value falls in: 0 for 0, else
+/// `value.ilog2() + 1`.
+pub fn bucket_index(value: u64) -> usize {
+    match value {
+        0 => 0,
+        v => v.ilog2() as usize + 1,
+    }
+}
+
+/// The `[lo, hi]` value range of a bucket index.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < HISTOGRAM_BUCKETS, "bucket index out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        k => (1 << (k - 1), (1 << k) - 1),
+    }
+}
+
+impl Histogram {
+    /// Creates a detached histogram (not owned by any registry).
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let inner = &*self.0;
+        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample value (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// A copy of the raw bucket counts.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+
+    fn to_json(&self) -> Json {
+        let buckets = self.buckets();
+        // Only emit occupied buckets, keyed by their lower bound.
+        let nonzero: Vec<Json> = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let (lo, hi) = bucket_bounds(i);
+                obj([
+                    ("lo", Json::from(lo)),
+                    ("hi", Json::from(hi)),
+                    ("count", Json::from(n)),
+                ])
+            })
+            .collect();
+        obj([
+            ("count", Json::from(self.count())),
+            ("sum", Json::from(self.sum())),
+            ("max", Json::from(self.max())),
+            ("buckets", Json::Arr(nonzero)),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A registry of named [`Counter`]s and [`Histogram`]s.
+///
+/// Instrument lookup takes a lock; the returned handles do not. Register
+/// once at setup time, then increment lock-free on the hot path.
+///
+/// # Example
+///
+/// ```
+/// use sim_telemetry::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// let lookups = registry.counter("cache.lookups");
+/// lookups.inc();
+/// lookups.add(2);
+/// assert_eq!(registry.snapshot().counter("cache.lookups"), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry(Arc<Mutex<RegistryInner>>);
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. All callers asking for the same name share one counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.0.lock().expect("metrics registry poisoned");
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.0.lock().expect("metrics registry poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// A point-in-time copy of every instrument's value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.0.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time view of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter (0 if never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The snapshot as a JSON object: counter name → value, histogram
+    /// name → `{count, sum, max, buckets}`.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::from(v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.to_json()))
+                .collect(),
+        );
+        obj([("counters", counters), ("histograms", histograms)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_across_handles() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(r.snapshot().counter("x"), 5);
+        assert_eq!(r.snapshot().counter("never"), 0);
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        // The exact edges: 0, 1, powers of two and their predecessors.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        // Every bucket's hi + 1 is the next bucket's lo; together they
+        // cover u64 without gaps or overlaps.
+        for k in 0..HISTOGRAM_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(k);
+            let (next_lo, _) = bucket_bounds(k + 1);
+            assert_eq!(
+                hi.wrapping_add(1),
+                next_lo,
+                "gap between buckets {k} and {}",
+                k + 1
+            );
+        }
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(64).1, u64::MAX);
+        // Values land inside their claimed bounds.
+        for v in [0u64, 1, 2, 3, 4, 100, 1 << 20, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1007);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 201.4).abs() < 1e-9);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], 1); // the zero
+        assert_eq!(buckets[1], 2); // the two ones
+        assert_eq!(buckets[3], 1); // 5 in [4, 8)
+        assert_eq!(buckets[10], 1); // 1000 in [512, 1024)
+    }
+
+    #[test]
+    fn snapshot_serializes_to_parseable_json() {
+        let r = MetricsRegistry::new();
+        r.counter("a.b").add(7);
+        r.histogram("h").record(42);
+        let text = r.snapshot().to_json().to_string();
+        let v = crate::json::parse(&text).expect("snapshot json parses");
+        assert_eq!(
+            v.get("counters").unwrap().get("a.b").unwrap().as_u64(),
+            Some(7)
+        );
+        assert_eq!(
+            v.get("histograms")
+                .unwrap()
+                .get("h")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        assert_eq!(Histogram::new().mean(), 0.0);
+    }
+}

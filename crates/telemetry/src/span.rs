@@ -1,0 +1,163 @@
+//! Span-style timing scopes.
+//!
+//! A [`SpanRegistry`] accumulates wall-clock time under named spans. Call
+//! [`SpanRegistry::span`] to start one; the returned [`SpanGuard`] stops
+//! the clock when dropped, so a span covers exactly one lexical scope:
+//!
+//! ```
+//! use sim_telemetry::SpanRegistry;
+//!
+//! let spans = SpanRegistry::new();
+//! {
+//!     let _guard = spans.span("uarch-sim");
+//!     // ... simulate ...
+//! }
+//! assert_eq!(spans.snapshot()[0].count, 1);
+//! ```
+
+use crate::json::{obj, Json};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanTotals {
+    count: u64,
+    total_ns: u64,
+}
+
+/// A registry of named timing spans.
+#[derive(Clone, Debug, Default)]
+pub struct SpanRegistry(Arc<Mutex<BTreeMap<String, SpanTotals>>>);
+
+impl SpanRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SpanRegistry::default()
+    }
+
+    /// Starts a timing scope under `name`; the elapsed time is recorded
+    /// when the returned guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        SpanGuard {
+            registry: self.clone(),
+            name: name.to_string(),
+            started: Instant::now(),
+        }
+    }
+
+    fn record(&self, name: &str, elapsed_ns: u64) {
+        let mut map = self.0.lock().expect("span registry poisoned");
+        let entry = map.entry(name.to_string()).or_default();
+        entry.count += 1;
+        entry.total_ns += elapsed_ns;
+    }
+
+    /// Point-in-time totals for every span, sorted by name.
+    pub fn snapshot(&self) -> Vec<SpanStat> {
+        self.0
+            .lock()
+            .expect("span registry poisoned")
+            .iter()
+            .map(|(name, t)| SpanStat {
+                name: name.clone(),
+                count: t.count,
+                total_ns: t.total_ns,
+            })
+            .collect()
+    }
+
+    /// The snapshot as a JSON object: span name → `{count, total_ns}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.snapshot()
+                .into_iter()
+                .map(|s| {
+                    (
+                        s.name,
+                        obj([
+                            ("count", Json::from(s.count)),
+                            ("total_ns", Json::from(s.total_ns)),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Accumulated totals for one named span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: String,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all entries.
+    pub total_ns: u64,
+}
+
+/// Live timing scope; records its elapsed time into the registry on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    registry: SpanRegistry,
+    name: String,
+    started: Instant,
+}
+
+impl SpanGuard {
+    /// Nanoseconds elapsed so far (the span keeps running).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed().as_nanos() as u64;
+        self.registry.record(&self.name, elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_count_and_time() {
+        let spans = SpanRegistry::new();
+        for _ in 0..3 {
+            let _g = spans.span("work");
+            std::hint::black_box(0u64);
+        }
+        {
+            let _g = spans.span("other");
+        }
+        let snap = spans.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "other"); // BTreeMap order
+        assert_eq!(snap[1].name, "work");
+        assert_eq!(snap[1].count, 3);
+    }
+
+    #[test]
+    fn to_json_parses_and_carries_counts() {
+        let spans = SpanRegistry::new();
+        {
+            let _g = spans.span("phase");
+        }
+        let text = spans.to_json().to_string();
+        let v = crate::json::parse(&text).expect("span json parses");
+        assert_eq!(
+            v.get("phase").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
+        assert!(v
+            .get("phase")
+            .unwrap()
+            .get("total_ns")
+            .unwrap()
+            .as_u64()
+            .is_some());
+    }
+}

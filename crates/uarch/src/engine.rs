@@ -8,6 +8,7 @@ use sim_isa::{DynInstr, InstrClass};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use target_cache::harness::PredictionHarness;
+use target_cache::telemetry::HarnessTelemetry;
 
 /// Simulates a trace on the configured machine and reports cycles and
 /// statistics.
@@ -31,8 +32,27 @@ pub fn simulate<'a, I>(trace: I, config: &MachineConfig) -> SimReport
 where
     I: IntoIterator<Item = &'a DynInstr>,
 {
+    simulate_instrumented(trace, config, None)
+}
+
+/// [`simulate`] with observability hooks attached to the embedded
+/// prediction harness: branch and mispredict counters feed the hooks'
+/// metrics registry, and (when the hooks carry an event sink) each
+/// misprediction records a structured event. Pass `None` for a plain,
+/// uninstrumented run — the timing schedule is identical either way.
+pub fn simulate_instrumented<'a, I>(
+    trace: I,
+    config: &MachineConfig,
+    telemetry: Option<HarnessTelemetry>,
+) -> SimReport
+where
+    I: IntoIterator<Item = &'a DynInstr>,
+{
     config.check().expect("machine configuration must be valid");
     let mut harness = PredictionHarness::new(config.frontend);
+    if let Some(t) = telemetry {
+        harness.attach_telemetry(t);
+    }
     let mut dcache = DataCache::new(config.dcache);
 
     // Fetch stream state.
@@ -392,6 +412,33 @@ mod tests {
         assert_eq!(r.cycles, 0);
         assert_eq!(r.instructions, 0);
         assert_eq!(r.ipc(), 0.0);
+    }
+
+    #[test]
+    fn instrumented_simulation_reconciles_with_the_report() {
+        use sim_telemetry::{EventSink, MetricsRegistry};
+
+        let trace = sim_workloads::Benchmark::Gcc.workload().generate(30_000);
+        let registry = MetricsRegistry::new();
+        let sink = EventSink::new();
+        let telemetry = HarnessTelemetry::new(&registry, Some(sink.clone()));
+        let r = simulate_instrumented(&trace, &machine(), Some(telemetry));
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("harness.branches"),
+            r.branch_stats.total_executed()
+        );
+        assert_eq!(
+            snap.counter("harness.mispredicts"),
+            r.branch_stats.total_mispredicted()
+        );
+        assert_eq!(sink.len() as u64, r.branch_stats.total_mispredicted());
+
+        // Identical timing with and without instrumentation.
+        let plain = simulate(&trace, &machine());
+        assert_eq!(plain.cycles, r.cycles);
+        assert_eq!(plain.branch_stats, r.branch_stats);
     }
 
     #[test]

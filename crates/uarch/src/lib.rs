@@ -54,5 +54,5 @@ pub mod report;
 
 pub use config::{DCacheConfig, MachineConfig};
 pub use dcache::DataCache;
-pub use engine::simulate;
+pub use engine::{simulate, simulate_instrumented};
 pub use report::SimReport;

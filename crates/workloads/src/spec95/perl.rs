@@ -250,10 +250,16 @@ mod tests {
     #[test]
     fn calls_and_returns_are_present() {
         let stats = workload().generate(100_000).stats();
-        assert!(stats.branch_count(BranchClass::Call) > 100);
-        assert_eq!(
-            stats.branch_count(BranchClass::Call),
-            stats.branch_count(BranchClass::Return)
+        let calls = stats.branch_count(BranchClass::Call);
+        let returns = stats.branch_count(BranchClass::Return);
+        assert!(calls > 100);
+        // The trace truncates at the budget, so calls still on the stack
+        // at cutoff have no matching return; the perl model's call chains
+        // are shallow (main → helper → leaf), so the imbalance is tiny.
+        assert!(returns <= calls, "{returns} returns vs {calls} calls");
+        assert!(
+            calls - returns <= 4,
+            "unbalanced beyond stack depth: {calls} calls, {returns} returns"
         );
     }
 }
