@@ -1,5 +1,3 @@
 fn main() {
-    let _telemetry = experiments::telemetry::session("costs", experiments::Scale::from_env());
-    let rows = experiments::costs::run();
-    println!("{}", experiments::costs::render(&rows));
+    experiments::jobs::cli::run_single("costs");
 }

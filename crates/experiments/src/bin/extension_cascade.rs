@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("extension_cascade", scale);
-    let rows = experiments::extension_cascade::run(scale);
-    println!("{}", experiments::extension_cascade::render(&rows));
+    experiments::jobs::cli::run_single("extension_cascade");
 }

@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("extension_hysteresis", scale);
-    let rows = experiments::extension_hysteresis::run(scale);
-    println!("{}", experiments::extension_hysteresis::render(&rows));
+    experiments::jobs::cli::run_single("extension_hysteresis");
 }

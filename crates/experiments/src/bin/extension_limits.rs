@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("extension_limits", scale);
-    let rows = experiments::extension_limits::run(scale);
-    println!("{}", experiments::extension_limits::render(&rows));
+    experiments::jobs::cli::run_single("extension_limits");
 }

@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("extension_oo", scale);
-    let rows = experiments::extension_oo::run(scale);
-    println!("{}", experiments::extension_oo::render(&rows));
+    experiments::jobs::cli::run_single("extension_oo");
 }

@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("extension_scaling", scale);
-    let rows = experiments::extension_scaling::run(scale);
-    println!("{}", experiments::extension_scaling::render(&rows));
+    experiments::jobs::cli::run_single("extension_scaling");
 }

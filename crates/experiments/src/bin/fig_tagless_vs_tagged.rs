@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("fig_tagless_vs_tagged", scale);
-    let series = experiments::fig_tagless_vs_tagged::run(scale);
-    println!("{}", experiments::fig_tagless_vs_tagged::render(&series));
+    experiments::jobs::cli::run_single("fig_tagless_vs_tagged");
 }

@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("fig_targets", scale);
-    let rows = experiments::fig_targets::run(scale);
-    println!("{}", experiments::fig_targets::render(&rows));
+    experiments::jobs::cli::run_single("fig_targets");
 }

@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("headline", scale);
-    let rows = experiments::headline::run(scale);
-    println!("{}", experiments::headline::render(&rows));
+    experiments::jobs::cli::run_single("headline");
 }

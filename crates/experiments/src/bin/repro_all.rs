@@ -1,46 +1,15 @@
-//! Regenerates every table and figure of the paper in one run.
+//! Regenerates every table and figure of the paper in one fault-tolerant
+//! campaign.
 //!
-//! Scale is controlled by the `REPRO_SCALE` environment variable
-//! (`quick` / `standard` / `full`); telemetry capture by
-//! `REPRO_TELEMETRY` (`off` / `summary` / `events`).
-
-use experiments::*;
+//! Scale is controlled by `REPRO_SCALE` (`quick` / `standard` / `full`),
+//! telemetry capture by `REPRO_TELEMETRY` (`off` / `summary` / `events`),
+//! and the campaign runner by `REPRO_JOBS` / `REPRO_RETRIES` /
+//! `REPRO_DEADLINE_MS` / `REPRO_BACKOFF_MS` / `REPRO_RUN_ID` /
+//! `REPRO_RESUME` / `REPRO_JOURNAL_DIR` / `REPRO_FAULTS` — see
+//! EXPERIMENTS.md. Cells that fail after retries render as `ERR(reason)`
+//! markers and turn the exit status to 1; everything else still prints.
 
 fn main() {
-    let scale = Scale::from_env();
-    let _telemetry = telemetry::session("repro_all", scale);
     println!("Reproduction of 'Target Prediction for Indirect Jumps' (ISCA 1997)");
-    println!("scale: {scale:?}\n");
-    println!("{}", table1::render(&table1::run(scale)));
-    println!("{}", table2::render(&table2::run(scale)));
-    println!("{}", fig_targets::render(&fig_targets::run(scale)));
-    println!("{}", table4::render(&table4::run(scale)));
-    println!("{}", table5::render(&table5::run(scale)));
-    println!("{}", table6::render(&table6::run(scale)));
-    println!("{}", table7::render(&table7::run(scale)));
-    println!("{}", table8::render(&table8::run(scale)));
-    println!("{}", table9::render(&table9::run(scale)));
-    println!(
-        "{}",
-        fig_tagless_vs_tagged::render(&fig_tagless_vs_tagged::run(scale))
-    );
-    println!("{}", headline::render(&headline::run(scale)));
-    println!("{}", extension_oo::render(&extension_oo::run(scale)));
-    println!(
-        "{}",
-        extension_limits::render(&extension_limits::run(scale))
-    );
-    println!(
-        "{}",
-        extension_cascade::render(&extension_cascade::run(scale))
-    );
-    println!("{}", costs::render(&costs::run()));
-    println!(
-        "{}",
-        extension_hysteresis::render(&extension_hysteresis::run(scale))
-    );
-    println!(
-        "{}",
-        extension_scaling::render(&extension_scaling::run(scale))
-    );
+    experiments::jobs::cli::run_tool("repro_all", &experiments::jobs::registry::all());
 }

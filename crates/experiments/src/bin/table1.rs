@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("table1", scale);
-    let rows = experiments::table1::run(scale);
-    println!("{}", experiments::table1::render(&rows));
+    experiments::jobs::cli::run_single("table1");
 }

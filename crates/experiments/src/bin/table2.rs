@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("table2", scale);
-    let rows = experiments::table2::run(scale);
-    println!("{}", experiments::table2::render(&rows));
+    experiments::jobs::cli::run_single("table2");
 }

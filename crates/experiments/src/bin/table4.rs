@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("table4", scale);
-    let rows = experiments::table4::run(scale);
-    println!("{}", experiments::table4::render(&rows));
+    experiments::jobs::cli::run_single("table4");
 }

@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("table5", scale);
-    let rows = experiments::table5::run(scale);
-    println!("{}", experiments::table5::render(&rows));
+    experiments::jobs::cli::run_single("table5");
 }

@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("table6", scale);
-    let rows = experiments::table6::run(scale);
-    println!("{}", experiments::table6::render(&rows));
+    experiments::jobs::cli::run_single("table6");
 }

@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("table7", scale);
-    let rows = experiments::table7::run(scale);
-    println!("{}", experiments::table7::render(&rows));
+    experiments::jobs::cli::run_single("table7");
 }

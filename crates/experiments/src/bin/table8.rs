@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("table8", scale);
-    let rows = experiments::table8::run(scale);
-    println!("{}", experiments::table8::render(&rows));
+    experiments::jobs::cli::run_single("table8");
 }

@@ -1,6 +1,3 @@
 fn main() {
-    let scale = experiments::Scale::from_env();
-    let _telemetry = experiments::telemetry::session("table9", scale);
-    let rows = experiments::table9::run(scale);
-    println!("{}", experiments::table9::render(&rows));
+    experiments::jobs::cli::run_single("table9");
 }

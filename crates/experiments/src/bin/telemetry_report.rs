@@ -39,7 +39,7 @@ fn main() {
     }
 
     if files.is_empty() {
-        let scale = experiments::Scale::from_env();
+        let scale = experiments::Scale::from_env_or_exit();
         print!("{}", experiments::telemetry::live_report(scale, top_n));
         return;
     }

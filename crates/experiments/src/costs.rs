@@ -10,6 +10,7 @@
 //! and 64 per tagged entry, and 80 bits per BTB entry per the paper's
 //! footnote: valid, LRU, tag, target, type, fall-through, history.)
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{count, pct, TextTable};
 use branch_predictors::PathFilter;
 use target_cache::TargetCacheConfig;
@@ -35,8 +36,8 @@ pub struct Row {
 }
 
 /// The design points the paper discusses.
-pub fn run() -> Vec<Row> {
-    let points: Vec<(&'static str, TargetCacheConfig)> = vec![
+pub fn points() -> Vec<(&'static str, TargetCacheConfig)> {
+    vec![
         (
             "tagless 512, gshare, pattern(9)",
             TargetCacheConfig::isca97_tagless_gshare(),
@@ -57,8 +58,33 @@ pub fn run() -> Vec<Row> {
             "tagged 256, fully assoc",
             TargetCacheConfig::isca97_tagged(256),
         ),
-    ];
-    points
+    ]
+}
+
+/// The single pseudo-benchmark label this cost model runs under — it has
+/// no trace, so the whole table is one cell.
+pub fn cell_labels() -> Vec<&'static str> {
+    vec!["model"]
+}
+
+/// Computes the cost model's one cell: `bits.<name>` and `increase.<name>`
+/// per design point.
+pub fn cell(_label: &str) -> CellData {
+    let mut d = CellData::new();
+    for (name, config) in points() {
+        let cache_bits = config.hardware_bits();
+        d.set(format!("bits.{name}"), cache_bits as f64);
+        d.set(
+            format!("increase.{name}"),
+            cache_bits as f64 / BTB_BITS as f64,
+        );
+    }
+    d
+}
+
+/// Runs the cost model.
+pub fn run() -> Vec<Row> {
+    points()
         .into_iter()
         .map(|(name, config)| {
             let cache_bits = config.hardware_bits();
@@ -72,20 +98,37 @@ pub fn run() -> Vec<Row> {
         .collect()
 }
 
+/// Converts rows back to the one-cell set.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut d = CellData::new();
+    for r in rows {
+        d.set(format!("bits.{}", r.name), r.cache_bits as f64);
+        d.set(format!("increase.{}", r.name), r.budget_increase);
+    }
+    let mut set = CellSet::new();
+    set.insert("model", Ok(d));
+    set
+}
+
 /// Renders the cost table.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly failed) cell set as the cost table.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut table = TextTable::new(vec![
         "configuration".into(),
         "cache bits".into(),
         "BTB bits".into(),
         "budget increase".into(),
     ]);
-    for r in rows {
+    for (name, _) in points() {
         table.row(vec![
-            r.name.into(),
-            count(r.cache_bits as u64),
+            name.into(),
+            cells.fmt("model", &format!("bits.{name}"), |v| count(v as u64)),
             count(BTB_BITS as u64),
-            pct(r.budget_increase),
+            cells.fmt("model", &format!("increase.{name}"), pct),
         ]);
     }
     format!(

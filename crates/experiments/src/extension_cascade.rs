@@ -11,6 +11,7 @@
 //! * a cascade whose second stage is the same 512-entry cache,
 //! * a cascade with a **half-size (256-entry)** second stage.
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{functional, trace, Scale};
 use sim_workloads::Benchmark;
@@ -44,29 +45,83 @@ pub struct Row {
     pub filter_rate: f64,
 }
 
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::ALL.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell.
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let t = trace(benchmark, scale);
+    let rate = |fe: FrontEndConfig| functional(&t, fe).indirect_jump_misprediction_rate();
+    let mut cascade = PredictionHarness::new(FrontEndConfig::isca97_cascade(tagless(512)));
+    cascade.run(&t);
+    let mut d = CellData::new();
+    d.set("baseline", rate(FrontEndConfig::isca97_baseline()));
+    d.set("plain_512", rate(FrontEndConfig::isca97_with(tagless(512))));
+    d.set(
+        "cascade_512",
+        cascade.stats().indirect_jump_misprediction_rate(),
+    );
+    d.set(
+        "cascade_256",
+        rate(FrontEndConfig::isca97_cascade(tagless(256))),
+    );
+    d.set(
+        "filter_rate",
+        cascade.cascade_filter_rate().expect("cascade configured"),
+    );
+    d
+}
+
 /// Runs the cascade study over the full suite.
 pub fn run(scale: Scale) -> Vec<Row> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     Benchmark::ALL
         .iter()
         .map(|&benchmark| {
-            let t = trace(benchmark, scale);
-            let rate = |fe: FrontEndConfig| functional(&t, fe).indirect_jump_misprediction_rate();
-            let mut cascade = PredictionHarness::new(FrontEndConfig::isca97_cascade(tagless(512)));
-            cascade.run(&t);
+            let d = cells.data(benchmark.name()).unwrap_or_else(|| {
+                panic!("extension_cascade cell for {benchmark} missing or failed")
+            });
             Row {
                 benchmark,
-                baseline: rate(FrontEndConfig::isca97_baseline()),
-                plain_512: rate(FrontEndConfig::isca97_with(tagless(512))),
-                cascade_512: cascade.stats().indirect_jump_misprediction_rate(),
-                cascade_256: rate(FrontEndConfig::isca97_cascade(tagless(256))),
-                filter_rate: cascade.cascade_filter_rate().expect("cascade configured"),
+                baseline: d.req("baseline"),
+                plain_512: d.req("plain_512"),
+                cascade_512: d.req("cascade_512"),
+                cascade_256: d.req("cascade_256"),
+                filter_rate: d.req("filter_rate"),
             }
         })
         .collect()
 }
 
+/// Converts rows back to cells.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for r in rows {
+        let mut d = CellData::new();
+        d.set("baseline", r.baseline);
+        d.set("plain_512", r.plain_512);
+        d.set("cascade_512", r.cascade_512);
+        d.set("cascade_256", r.cascade_256);
+        d.set("filter_rate", r.filter_rate);
+        set.insert(r.benchmark.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders the cascade table.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set as the cascade table.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut table = TextTable::new(vec![
         "benchmark".into(),
         "BTB".into(),
@@ -75,14 +130,15 @@ pub fn render(rows: &[Row]) -> String {
         "cascade 256".into(),
         "filtered".into(),
     ]);
-    for r in rows {
+    for &b in &Benchmark::ALL {
+        let n = b.name();
         table.row(vec![
-            r.benchmark.name().into(),
-            pct(r.baseline),
-            pct(r.plain_512),
-            pct(r.cascade_512),
-            pct(r.cascade_256),
-            pct(r.filter_rate),
+            n.into(),
+            cells.fmt(n, "baseline", pct),
+            cells.fmt(n, "plain_512", pct),
+            cells.fmt(n, "cascade_512", pct),
+            cells.fmt(n, "cascade_256", pct),
+            cells.fmt(n, "filter_rate", pct),
         ]);
     }
     format!(

@@ -15,6 +15,7 @@
 //! xlisp), exactly the helps/hurts split Table 2 found for BTBs, one level
 //! up. Either way the effect is second-order next to the indexing scheme.
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{functional, trace, Scale};
 use branch_predictors::UpdatePolicy;
@@ -33,33 +34,77 @@ pub struct Row {
     pub tagged: [f64; 2],
 }
 
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::ALL.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell.
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let t = trace(benchmark, scale);
+    let rate = |config: TargetCacheConfig| {
+        functional(&t, FrontEndConfig::isca97_with(config)).indirect_jump_misprediction_rate()
+    };
+    let tagless = TargetCacheConfig::isca97_tagless_gshare();
+    let tagged = TargetCacheConfig::isca97_tagged(4);
+    let mut d = CellData::new();
+    d.set("tagless.always", rate(tagless));
+    d.set(
+        "tagless.two_bit",
+        rate(tagless.with_update_policy(UpdatePolicy::TwoBit)),
+    );
+    d.set("tagged.always", rate(tagged));
+    d.set(
+        "tagged.two_bit",
+        rate(tagged.with_update_policy(UpdatePolicy::TwoBit)),
+    );
+    d
+}
+
 /// Runs the study over the full suite.
 pub fn run(scale: Scale) -> Vec<Row> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     Benchmark::ALL
         .iter()
         .map(|&benchmark| {
-            let t = trace(benchmark, scale);
-            let rate = |config: TargetCacheConfig| {
-                functional(&t, FrontEndConfig::isca97_with(config))
-                    .indirect_jump_misprediction_rate()
-            };
-            let row = |base: TargetCacheConfig| {
-                [
-                    rate(base),
-                    rate(base.with_update_policy(UpdatePolicy::TwoBit)),
-                ]
-            };
+            let d = cells.data(benchmark.name()).unwrap_or_else(|| {
+                panic!("extension_hysteresis cell for {benchmark} missing or failed")
+            });
             Row {
                 benchmark,
-                tagless: row(TargetCacheConfig::isca97_tagless_gshare()),
-                tagged: row(TargetCacheConfig::isca97_tagged(4)),
+                tagless: [d.req("tagless.always"), d.req("tagless.two_bit")],
+                tagged: [d.req("tagged.always"), d.req("tagged.two_bit")],
             }
         })
         .collect()
 }
 
+/// Converts rows back to cells.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for r in rows {
+        let mut d = CellData::new();
+        d.set("tagless.always", r.tagless[0]);
+        d.set("tagless.two_bit", r.tagless[1]);
+        d.set("tagged.always", r.tagged[0]);
+        d.set("tagged.two_bit", r.tagged[1]);
+        set.insert(r.benchmark.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders the study.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set as the study's table.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut table = TextTable::new(vec![
         "benchmark".into(),
         "tagless".into(),
@@ -67,13 +112,14 @@ pub fn render(rows: &[Row]) -> String {
         "tagged 4w".into(),
         "tagged 4w 2-bit".into(),
     ]);
-    for r in rows {
+    for &b in &Benchmark::ALL {
+        let n = b.name();
         table.row(vec![
-            r.benchmark.name().into(),
-            pct(r.tagless[0]),
-            pct(r.tagless[1]),
-            pct(r.tagged[0]),
-            pct(r.tagged[1]),
+            n.into(),
+            cells.fmt(n, "tagless.always", pct),
+            cells.fmt(n, "tagless.two_bit", pct),
+            cells.fmt(n, "tagged.always", pct),
+            cells.fmt(n, "tagged.two_bit", pct),
         ]);
     }
     format!(

@@ -8,6 +8,7 @@
 //! benchmarks residual mispredictions still matter.
 
 use crate::headline::best_tagless_for;
+use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{timing, trace, Scale};
 use sim_workloads::Benchmark;
@@ -35,38 +36,87 @@ impl Row {
     }
 }
 
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::ALL.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell.
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let t = trace(benchmark, scale);
+    let base = timing(&t, FrontEndConfig::isca97_baseline());
+    let tc = timing(&t, FrontEndConfig::isca97_with(best_tagless_for(benchmark)));
+    let oracle = timing(&t, FrontEndConfig::isca97_oracle());
+    let mut d = CellData::new();
+    d.set("target_cache", tc.exec_time_reduction_vs(&base));
+    d.set("oracle", oracle.exec_time_reduction_vs(&base));
+    d
+}
+
 /// Runs the limit study over the full suite.
 pub fn run(scale: Scale) -> Vec<Row> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     Benchmark::ALL
         .iter()
         .map(|&benchmark| {
-            let t = trace(benchmark, scale);
-            let base = timing(&t, FrontEndConfig::isca97_baseline());
-            let tc = timing(&t, FrontEndConfig::isca97_with(best_tagless_for(benchmark)));
-            let oracle = timing(&t, FrontEndConfig::isca97_oracle());
+            let d = cells.data(benchmark.name()).unwrap_or_else(|| {
+                panic!("extension_limits cell for {benchmark} missing or failed")
+            });
             Row {
                 benchmark,
-                target_cache: tc.exec_time_reduction_vs(&base),
-                oracle: oracle.exec_time_reduction_vs(&base),
+                target_cache: d.req("target_cache"),
+                oracle: d.req("oracle"),
             }
         })
         .collect()
 }
 
+/// Converts rows back to cells.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for r in rows {
+        let mut d = CellData::new();
+        d.set("target_cache", r.target_cache);
+        d.set("oracle", r.oracle);
+        set.insert(r.benchmark.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders the limit-study table.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set as the limit-study table.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut table = TextTable::new(vec![
         "benchmark".into(),
         "target cache".into(),
         "oracle".into(),
         "captured".into(),
     ]);
-    for r in rows {
+    for &b in &Benchmark::ALL {
+        let n = b.name();
+        let captured = match cells.data(n) {
+            Some(d) => pct(Row {
+                benchmark: b,
+                target_cache: d.req("target_cache"),
+                oracle: d.req("oracle"),
+            }
+            .capture_ratio()),
+            None => crate::jobs::err_marker(cells.failure(n).unwrap_or("cell missing")),
+        };
         table.row(vec![
-            r.benchmark.name().into(),
-            pct(r.target_cache),
-            pct(r.oracle),
-            pct(r.capture_ratio()),
+            n.into(),
+            cells.fmt(n, "target_cache", pct),
+            cells.fmt(n, "oracle", pct),
+            captured,
         ]);
     }
     format!(

@@ -11,6 +11,7 @@
 //! models, comparing the BTB baseline against tagless and tagged target
 //! caches, and reports both misprediction and execution-time reduction.
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{count, pct, TextTable};
 use crate::runner::{functional, timing, Scale};
 use sim_isa::VecTrace;
@@ -63,57 +64,123 @@ fn oo_trace(bench: OoBenchmark, scale: Scale) -> VecTrace {
     w.generate(budget)
 }
 
+/// Resolves an OO benchmark from its cell label.
+fn oo_benchmark(label: &str) -> OoBenchmark {
+    OoBenchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == label)
+        .unwrap_or_else(|| panic!("unknown OO benchmark label {label:?}"))
+}
+
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    OoBenchmark::ALL.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell: trace characterization plus
+/// `mispred.<config>` / `exec.<config>` per configuration.
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = oo_benchmark(label);
+    let t = oo_trace(benchmark, scale);
+    let stats = t.stats();
+    let base_report = timing(&t, FrontEndConfig::isca97_baseline());
+    let mut d = CellData::new();
+    d.set("indirect_jumps", stats.indirect_jumps() as f64);
+    d.set("indirect_fraction", stats.indirect_jump_fraction());
+    for (name, tc) in configs() {
+        let fe = match tc {
+            None => FrontEndConfig::isca97_baseline(),
+            Some(tc) => FrontEndConfig::isca97_with(tc),
+        };
+        d.set(
+            format!("mispred.{name}"),
+            functional(&t, fe).indirect_jump_misprediction_rate(),
+        );
+        d.set(
+            format!("exec.{name}"),
+            timing(&t, fe).exec_time_reduction_vs(&base_report),
+        );
+    }
+    d
+}
+
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Row> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     OoBenchmark::ALL
         .iter()
         .map(|&benchmark| {
-            let t = oo_trace(benchmark, scale);
-            let stats = t.stats();
-            let base_report = timing(&t, FrontEndConfig::isca97_baseline());
-            let mut mispred = Vec::new();
-            let mut exec_reduction = Vec::new();
-            for (_, tc) in configs() {
-                let fe = match tc {
-                    None => FrontEndConfig::isca97_baseline(),
-                    Some(tc) => FrontEndConfig::isca97_with(tc),
-                };
-                mispred.push(functional(&t, fe).indirect_jump_misprediction_rate());
-                exec_reduction.push(timing(&t, fe).exec_time_reduction_vs(&base_report));
-            }
+            let d = cells
+                .data(benchmark.name())
+                .unwrap_or_else(|| panic!("extension_oo cell for {benchmark} missing or failed"));
             Row {
                 benchmark,
-                indirect_jumps: stats.indirect_jumps(),
-                indirect_fraction: stats.indirect_jump_fraction(),
-                mispred,
-                exec_reduction,
+                indirect_jumps: d.req("indirect_jumps") as u64,
+                indirect_fraction: d.req("indirect_fraction"),
+                mispred: configs()
+                    .iter()
+                    .map(|(name, _)| d.req(&format!("mispred.{name}")))
+                    .collect(),
+                exec_reduction: configs()
+                    .iter()
+                    .map(|(name, _)| d.req(&format!("exec.{name}")))
+                    .collect(),
             }
         })
         .collect()
 }
 
+/// Converts rows back to cells.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for r in rows {
+        let mut d = CellData::new();
+        d.set("indirect_jumps", r.indirect_jumps as f64);
+        d.set("indirect_fraction", r.indirect_fraction);
+        for ((name, _), (&m, &e)) in configs()
+            .iter()
+            .zip(r.mispred.iter().zip(&r.exec_reduction))
+        {
+            d.set(format!("mispred.{name}"), m);
+            d.set(format!("exec.{name}"), e);
+        }
+        set.insert(r.benchmark.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders the extension table.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set as the extension table.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut out = String::from(
         "Extension (paper section 5 future work): target caches on C++-style OO programs\n",
     );
-    for r in rows {
+    for &benchmark in &OoBenchmark::ALL {
+        let n = benchmark.name();
         out.push_str(&format!(
-            "\n[{}]  {} indirect branches ({} of instructions)\n",
-            r.benchmark,
-            count(r.indirect_jumps),
-            pct(r.indirect_fraction)
+            "\n[{benchmark}]  {} indirect branches ({} of instructions)\n",
+            cells.fmt(n, "indirect_jumps", |v| count(v as u64)),
+            cells.fmt(n, "indirect_fraction", pct)
         ));
         let mut table = TextTable::new(vec![
             "configuration".into(),
             "ind mispred".into(),
             "exec reduction".into(),
         ]);
-        for ((name, _), (m, e)) in configs()
-            .iter()
-            .zip(r.mispred.iter().zip(&r.exec_reduction))
-        {
-            table.row(vec![(*name).into(), pct(*m), pct(*e)]);
+        for (name, _) in configs() {
+            table.row(vec![
+                name.into(),
+                cells.fmt(n, &format!("mispred.{name}"), pct),
+                cells.fmt(n, &format!("exec.{name}"), pct),
+            ]);
         }
         out.push_str(&table.render());
     }

@@ -14,6 +14,7 @@
 //! year after it was published.
 
 use crate::headline::best_tagless_for;
+use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{trace, Scale};
 use hps_uarch::{simulate, MachineConfig};
@@ -63,49 +64,98 @@ pub struct Row {
     pub base_ipc: Vec<f64>,
 }
 
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::FOCUS.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell: `red.<machine>` and `ipc.<machine>` per
+/// design point.
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let t = trace(benchmark, scale);
+    let tc = best_tagless_for(benchmark);
+    let mut d = CellData::new();
+    for (name, machine) in machines() {
+        let base = simulate(&t, &machine);
+        let mut with_tc = machine.clone();
+        with_tc.frontend = FrontEndConfig::isca97_with(tc);
+        let faster = simulate(&t, &with_tc);
+        d.set(format!("red.{name}"), faster.exec_time_reduction_vs(&base));
+        d.set(format!("ipc.{name}"), base.ipc());
+    }
+    d
+}
+
 /// Runs the sweep for the focus benchmarks.
 pub fn run(scale: Scale) -> Vec<Row> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     Benchmark::FOCUS
         .iter()
         .map(|&benchmark| {
-            let t = trace(benchmark, scale);
-            let tc = best_tagless_for(benchmark);
-            let mut reductions = Vec::new();
-            let mut base_ipc = Vec::new();
-            for (_, machine) in machines() {
-                let base = simulate(&t, &machine);
-                let mut with_tc = machine.clone();
-                with_tc.frontend = FrontEndConfig::isca97_with(tc);
-                let faster = simulate(&t, &with_tc);
-                reductions.push(faster.exec_time_reduction_vs(&base));
-                base_ipc.push(base.ipc());
-            }
+            let d = cells.data(benchmark.name()).unwrap_or_else(|| {
+                panic!("extension_scaling cell for {benchmark} missing or failed")
+            });
             Row {
                 benchmark,
-                reductions,
-                base_ipc,
+                reductions: machines()
+                    .iter()
+                    .map(|(name, _)| d.req(&format!("red.{name}")))
+                    .collect(),
+                base_ipc: machines()
+                    .iter()
+                    .map(|(name, _)| d.req(&format!("ipc.{name}")))
+                    .collect(),
             }
         })
         .collect()
 }
 
+/// Converts rows back to cells.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for r in rows {
+        let mut d = CellData::new();
+        for ((name, _), (&red, &ipc)) in machines().iter().zip(r.reductions.iter().zip(&r.base_ipc))
+        {
+            d.set(format!("red.{name}"), red);
+            d.set(format!("ipc.{name}"), ipc);
+        }
+        set.insert(r.benchmark.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders the sweep.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set as the sweep's tables.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut out = String::from(
         "Extension: target-cache benefit vs machine aggressiveness\n\
          (execution-time reduction of the best tagless cache per machine)\n",
     );
-    for r in rows {
+    for &benchmark in &Benchmark::FOCUS {
+        let n = benchmark.name();
         let mut table = TextTable::new(vec![
             "machine".into(),
             "baseline IPC".into(),
             "exec reduction".into(),
         ]);
-        for ((name, _), (&red, &ipc)) in machines().iter().zip(r.reductions.iter().zip(&r.base_ipc))
-        {
-            table.row(vec![(*name).into(), format!("{ipc:.3}"), pct(red)]);
+        for (name, _) in machines() {
+            table.row(vec![
+                name.into(),
+                cells.fmt(n, &format!("ipc.{name}"), |v| format!("{v:.3}")),
+                cells.fmt(n, &format!("red.{name}"), pct),
+            ]);
         }
-        out.push_str(&format!("\n[{}]\n{}", r.benchmark, table.render()));
+        out.push_str(&format!("\n[{benchmark}]\n{}", table.render()));
     }
     out
 }

@@ -11,6 +11,7 @@
 //! History-Xor tagged caches across associativities; cells are
 //! execution-time reduction vs the BTB baseline.
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{exec_reduction_with_base, timing, trace, Scale};
 use sim_workloads::Benchmark;
@@ -44,50 +45,107 @@ impl Series {
     }
 }
 
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::FOCUS.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell: the tagless reduction (`tagless`) plus
+/// the tagged reduction per associativity (`tagged.<assoc>`).
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let t = trace(benchmark, scale);
+    let base = timing(&t, FrontEndConfig::isca97_baseline());
+    let mut d = CellData::new();
+    d.set(
+        "tagless",
+        exec_reduction_with_base(&t, &base, TargetCacheConfig::isca97_tagless_gshare()),
+    );
+    for &assoc in &ASSOCS {
+        d.set(
+            format!("tagged.{assoc}"),
+            exec_reduction_with_base(&t, &base, TargetCacheConfig::isca97_tagged(assoc)),
+        );
+    }
+    d
+}
+
 /// Runs the comparison for the focus benchmarks.
 pub fn run(scale: Scale) -> Vec<Series> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs the series from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Series> {
     Benchmark::FOCUS
         .iter()
         .map(|&benchmark| {
-            let t = trace(benchmark, scale);
-            let base = timing(&t, FrontEndConfig::isca97_baseline());
-            let tagless =
-                exec_reduction_with_base(&t, &base, TargetCacheConfig::isca97_tagless_gshare());
-            let tagged = ASSOCS
-                .iter()
-                .map(|&assoc| {
-                    exec_reduction_with_base(&t, &base, TargetCacheConfig::isca97_tagged(assoc))
-                })
-                .collect();
+            let d = cells.data(benchmark.name()).unwrap_or_else(|| {
+                panic!("fig_tagless_vs_tagged cell for {benchmark} missing or failed")
+            });
             Series {
                 benchmark,
-                tagless,
-                tagged,
+                tagless: d.req("tagless"),
+                tagged: ASSOCS
+                    .iter()
+                    .map(|a| d.req(&format!("tagged.{a}")))
+                    .collect(),
             }
         })
         .collect()
 }
 
+/// Converts the series back to cells.
+pub fn cells_from_rows(series: &[Series]) -> CellSet {
+    let mut set = CellSet::new();
+    for s in series {
+        let mut d = CellData::new();
+        d.set("tagless", s.tagless);
+        for (&assoc, &red) in ASSOCS.iter().zip(&s.tagged) {
+            d.set(format!("tagged.{assoc}"), red);
+        }
+        set.insert(s.benchmark.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders both figures' series.
 pub fn render(series: &[Series]) -> String {
+    render_cells(&cells_from_rows(series))
+}
+
+/// Renders a (possibly partial) cell set as the figures' series.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut out = String::from(
         "Figures 12-13: tagless (512 entries) vs tagged (256 entries) target caches\n\
          equal hardware budget; execution-time reduction vs BTB baseline\n",
     );
-    for s in series {
+    for &benchmark in &Benchmark::FOCUS {
+        let n = benchmark.name();
         let mut table = TextTable::new(vec![
             "set-assoc".into(),
             "tagged 256".into(),
             "tagless 512".into(),
         ]);
-        for (&assoc, &red) in ASSOCS.iter().zip(&s.tagged) {
-            table.row(vec![assoc.to_string(), pct(red), pct(s.tagless)]);
+        for &assoc in &ASSOCS {
+            table.row(vec![
+                assoc.to_string(),
+                cells.fmt(n, &format!("tagged.{assoc}"), pct),
+                cells.fmt(n, "tagless", pct),
+            ]);
         }
+        let crossover = match cells.data(n) {
+            Some(d) => {
+                let tagless = d.req("tagless");
+                ASSOCS
+                    .iter()
+                    .find(|a| d.req(&format!("tagged.{a}")) >= tagless)
+                    .map_or("no".to_string(), |a| a.to_string())
+            }
+            None => crate::jobs::err_marker(cells.failure(n).unwrap_or("cell missing")),
+        };
         out.push_str(&format!(
-            "\n[{}]  (crossover at {} ways)\n{}",
-            s.benchmark,
-            s.crossover_assoc()
-                .map_or("no".to_string(), |a| a.to_string()),
+            "\n[{benchmark}]  (crossover at {crossover} ways)\n{}",
             table.render()
         ));
     }

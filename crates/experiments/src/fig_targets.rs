@@ -6,6 +6,7 @@
 //! near-monomorphic jumps (compress, ijpeg, vortex, xlisp) are the easy
 //! cases for a BTB; gcc and perl spread across many targets.
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{trace, Scale};
 use sim_workloads::Benchmark;
@@ -38,19 +39,73 @@ impl Row {
     }
 }
 
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::ALL.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell. Histogram slots are stored sparsely
+/// (`s<k>` static, `d<k>` dynamic, k 1-based; absent slot = zero).
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let stats = trace(benchmark, scale).stats();
+    let mut d = CellData::new();
+    for (prefix, hist) in [
+        ("s", stats.targets_per_jump_histogram(CAP)),
+        ("d", stats.dynamic_targets_per_jump_histogram(CAP)),
+    ] {
+        for (k, &n) in hist.iter().enumerate() {
+            if n > 0 {
+                d.set(format!("{prefix}{}", k + 1), n as f64);
+            }
+        }
+    }
+    d
+}
+
 /// Runs the characterization for every benchmark.
 pub fn run(scale: Scale) -> Vec<Row> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+fn hist_from_cell(d: &CellData, prefix: &str) -> Vec<u64> {
+    (1..=CAP)
+        .map(|k| d.get(&format!("{prefix}{k}")).unwrap_or(0.0) as u64)
+        .collect()
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     Benchmark::ALL
         .iter()
         .map(|&benchmark| {
-            let stats = trace(benchmark, scale).stats();
+            let d = cells
+                .data(benchmark.name())
+                .unwrap_or_else(|| panic!("fig_targets cell for {benchmark} missing or failed"));
             Row {
                 benchmark,
-                static_hist: stats.targets_per_jump_histogram(CAP),
-                dynamic_hist: stats.dynamic_targets_per_jump_histogram(CAP),
+                static_hist: hist_from_cell(d, "s"),
+                dynamic_hist: hist_from_cell(d, "d"),
             }
         })
         .collect()
+}
+
+/// Converts rows back to cells.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for r in rows {
+        let mut d = CellData::new();
+        for (prefix, hist) in [("s", &r.static_hist), ("d", &r.dynamic_hist)] {
+            for (k, &n) in hist.iter().enumerate() {
+                if n > 0 {
+                    d.set(format!("{prefix}{}", k + 1), n as f64);
+                }
+            }
+        }
+        set.insert(r.benchmark.name(), Ok(d));
+    }
+    set
 }
 
 /// Renders one benchmark's per-k histogram as ASCII bars, the shape the
@@ -82,6 +137,12 @@ pub fn render_figure(row: &Row) -> String {
 /// Renders the histograms (dynamic-weighted, the prediction-relevant view,
 /// plus the static site counts).
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set: failed benchmarks get `ERR`
+/// table slots and an explicit marker in place of their figure.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut table = TextTable::new(vec![
         "benchmark".into(),
         "sites".into(),
@@ -90,32 +151,61 @@ pub fn render(rows: &[Row]) -> String {
         "dyn % 5-15".into(),
         "dyn % >=16".into(),
     ]);
-    for r in rows {
-        let total: u64 = r.dynamic_hist.iter().sum();
-        let frac = |lo: usize, hi: usize| {
-            if total == 0 {
-                0.0
-            } else {
-                r.dynamic_hist[lo..hi].iter().sum::<u64>() as f64 / total as f64
+    let row_for = |b: Benchmark| {
+        cells.data(b.name()).map(|d| Row {
+            benchmark: b,
+            static_hist: hist_from_cell(d, "s"),
+            dynamic_hist: hist_from_cell(d, "d"),
+        })
+    };
+    for &b in &Benchmark::ALL {
+        match row_for(b) {
+            Some(r) => {
+                let total: u64 = r.dynamic_hist.iter().sum();
+                let frac = |lo: usize, hi: usize| {
+                    if total == 0 {
+                        0.0
+                    } else {
+                        r.dynamic_hist[lo..hi].iter().sum::<u64>() as f64 / total as f64
+                    }
+                };
+                table.row(vec![
+                    b.name().into(),
+                    r.static_hist.iter().sum::<u64>().to_string(),
+                    pct(frac(0, 1)),
+                    pct(frac(1, 4)),
+                    pct(frac(4, 15)),
+                    pct(frac(15, CAP)),
+                ]);
             }
-        };
-        table.row(vec![
-            r.benchmark.name().into(),
-            r.static_hist.iter().sum::<u64>().to_string(),
-            pct(frac(0, 1)),
-            pct(frac(1, 4)),
-            pct(frac(4, 15)),
-            pct(frac(15, CAP)),
-        ]);
+            None => {
+                let marker =
+                    crate::jobs::err_marker(cells.failure(b.name()).unwrap_or("cell missing"));
+                table.row(vec![
+                    b.name().into(),
+                    marker.clone(),
+                    marker.clone(),
+                    marker.clone(),
+                    marker.clone(),
+                    marker,
+                ]);
+            }
+        }
     }
     let mut out = format!(
         "Figures 1-8: distinct dynamic targets per static indirect jump\n\
          (dynamic-execution-weighted buckets; per-k bars below)\n\n{}",
         table.render()
     );
-    for r in rows {
+    for &b in &Benchmark::ALL {
         out.push('\n');
-        out.push_str(&render_figure(r));
+        match row_for(b) {
+            Some(r) => out.push_str(&render_figure(&r)),
+            None => out.push_str(&format!(
+                "Figure: {b} — {}\n",
+                crate::jobs::err_marker(cells.failure(b.name()).unwrap_or("cell missing"))
+            )),
+        }
     }
     out
 }

@@ -8,6 +8,7 @@
 //! of 30.4% and 30.9% for gcc and perl respectively" (vs 66.0% / 76.2% for
 //! the BTB).
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{baseline_and_tc, functional, trace, Scale};
 use branch_predictors::PathFilter;
@@ -42,35 +43,81 @@ pub fn best_tagless_for(bench: Benchmark) -> TargetCacheConfig {
     }
 }
 
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::FOCUS.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell.
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let t = trace(benchmark, scale);
+    let tc = best_tagless_for(benchmark);
+    let base = functional(&t, FrontEndConfig::isca97_baseline());
+    let with_tc = functional(&t, FrontEndConfig::isca97_with(tc));
+    let btb_mispred = base.indirect_jump_misprediction_rate();
+    let tc_mispred = with_tc.indirect_jump_misprediction_rate();
+    let (base_rep, tc_rep) = baseline_and_tc(&t, tc);
+    let mut d = CellData::new();
+    d.set("btb_mispred", btb_mispred);
+    d.set("tc_mispred", tc_mispred);
+    d.set(
+        "mispred_reduction",
+        if btb_mispred > 0.0 {
+            (btb_mispred - tc_mispred) / btb_mispred
+        } else {
+            0.0
+        },
+    );
+    d.set("exec_reduction", tc_rep.exec_time_reduction_vs(&base_rep));
+    d
+}
+
 /// Runs the headline comparison for the paper's two focus benchmarks.
 pub fn run(scale: Scale) -> Vec<Row> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     Benchmark::FOCUS
         .iter()
         .map(|&benchmark| {
-            let t = trace(benchmark, scale);
-            let tc = best_tagless_for(benchmark);
-            let base = functional(&t, FrontEndConfig::isca97_baseline());
-            let with_tc = functional(&t, FrontEndConfig::isca97_with(tc));
-            let btb_mispred = base.indirect_jump_misprediction_rate();
-            let tc_mispred = with_tc.indirect_jump_misprediction_rate();
-            let (base_rep, tc_rep) = baseline_and_tc(&t, tc);
+            let d = cells
+                .data(benchmark.name())
+                .unwrap_or_else(|| panic!("headline cell for {benchmark} missing or failed"));
             Row {
                 benchmark,
-                btb_mispred,
-                tc_mispred,
-                mispred_reduction: if btb_mispred > 0.0 {
-                    (btb_mispred - tc_mispred) / btb_mispred
-                } else {
-                    0.0
-                },
-                exec_reduction: tc_rep.exec_time_reduction_vs(&base_rep),
+                btb_mispred: d.req("btb_mispred"),
+                tc_mispred: d.req("tc_mispred"),
+                mispred_reduction: d.req("mispred_reduction"),
+                exec_reduction: d.req("exec_reduction"),
             }
         })
         .collect()
 }
 
+/// Converts rows back to cells.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for r in rows {
+        let mut d = CellData::new();
+        d.set("btb_mispred", r.btb_mispred);
+        d.set("tc_mispred", r.tc_mispred);
+        d.set("mispred_reduction", r.mispred_reduction);
+        d.set("exec_reduction", r.exec_reduction);
+        set.insert(r.benchmark.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders the headline table.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set as the headline table.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut table = TextTable::new(vec![
         "benchmark".into(),
         "BTB mispred".into(),
@@ -78,13 +125,14 @@ pub fn render(rows: &[Row]) -> String {
         "mispred reduction".into(),
         "exec time reduction".into(),
     ]);
-    for r in rows {
+    for &b in &Benchmark::FOCUS {
+        let n = b.name();
         table.row(vec![
-            r.benchmark.name().into(),
-            pct(r.btb_mispred),
-            pct(r.tc_mispred),
-            pct(r.mispred_reduction),
-            pct(r.exec_reduction),
+            n.into(),
+            cells.fmt(n, "btb_mispred", pct),
+            cells.fmt(n, "tc_mispred", pct),
+            cells.fmt(n, "mispred_reduction", pct),
+            cells.fmt(n, "exec_reduction", pct),
         ]);
     }
     format!(

@@ -1,0 +1,182 @@
+//! The shared campaign driver behind every reproduction binary.
+//!
+//! `repro_all` and each per-table tool funnel through [`run_tool`]: read
+//! the operator environment, enumerate one `(experiment × benchmark)`
+//! cell task per registry entry, execute them on the fault-tolerant pool
+//! ([`super::pool`]), render everything that succeeded — failed cells
+//! appear as `ERR(reason)` markers inside otherwise-complete tables —
+//! and exit with a status that distinguishes data loss from operator
+//! error:
+//!
+//! * `0` — every cell produced data,
+//! * `1` — the campaign finished but some cells failed after retries,
+//! * `2` — the invocation itself was unusable (bad env, unreadable
+//!   journal, journal write failure).
+//!
+//! Environment:
+//!
+//! * `REPRO_RUN_ID` — journal name for a fresh run (default
+//!   `<tool>-<unix-secs>-<pid>`).
+//! * `REPRO_RESUME` — run id of an existing journal; finished-ok cells
+//!   are restored from it and only the rest execute.
+//! * `REPRO_JOURNAL_DIR` — journal directory (default
+//!   [`DEFAULT_JOURNAL_DIR`]).
+//! * `REPRO_JOBS`, `REPRO_RETRIES`, `REPRO_DEADLINE_MS`,
+//!   `REPRO_BACKOFF_MS`, `REPRO_FAULTS` — see
+//!   [`super::pool::RunnerConfig`] and [`super::faults`].
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use sim_telemetry::CellRecord;
+
+use super::journal::Journal;
+use super::pool::{run_campaign, CampaignOutcome, CellTask, RunnerConfig};
+use super::registry::ExperimentDef;
+use super::{cell_id, faults, CellSet};
+use crate::runner::Scale;
+use crate::telemetry;
+
+/// Where campaign journals live unless `REPRO_JOURNAL_DIR` says otherwise.
+pub const DEFAULT_JOURNAL_DIR: &str = "results/journal";
+
+fn env_nonempty(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.is_empty())
+}
+
+fn default_run_id(tool: &str) -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!("{tool}-{secs}-{}", std::process::id())
+}
+
+fn operator_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    exit(2)
+}
+
+/// Runs a full campaign over `defs` and exits the process.
+pub fn run_tool(tool: &str, defs: &[ExperimentDef]) -> ! {
+    exit(drive(tool, defs))
+}
+
+/// Runs the single registry experiment `name` — the body of every
+/// per-table binary.
+pub fn run_single(name: &str) -> ! {
+    match super::registry::find(name) {
+        Some(def) => run_tool(name, &[def]),
+        None => operator_error(&format!("unknown experiment {name:?}")),
+    }
+}
+
+fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
+    let scale = Scale::from_env_or_exit();
+    let config = RunnerConfig::from_env().unwrap_or_else(|e| operator_error(&e));
+    let journal_dir = PathBuf::from(
+        env_nonempty("REPRO_JOURNAL_DIR").unwrap_or_else(|| DEFAULT_JOURNAL_DIR.into()),
+    );
+
+    let tasks: Vec<CellTask> = defs
+        .iter()
+        .flat_map(|def| {
+            let (name, cell) = (def.name, def.cell);
+            (def.labels)()
+                .into_iter()
+                .map(move |label| CellTask::new(cell_id(name, label), move || cell(label, scale)))
+        })
+        .collect();
+
+    let (run_id, mut journal) = match env_nonempty("REPRO_RESUME") {
+        Some(id) => {
+            let journal = Journal::resume(&journal_dir, &id, tool, scale)
+                .unwrap_or_else(|e| operator_error(&e));
+            (id, journal)
+        }
+        None => {
+            let id = env_nonempty("REPRO_RUN_ID").unwrap_or_else(|| default_run_id(tool));
+            let journal = Journal::create(&journal_dir, &id, tool, scale, tasks.len())
+                .unwrap_or_else(|e| {
+                    operator_error(&format!(
+                        "cannot create journal {}: {e}",
+                        super::journal::journal_path(&journal_dir, &id).display()
+                    ))
+                });
+            (id, journal)
+        }
+    };
+
+    // The session must outlive the campaign so cell records land in the
+    // manifest; the fault guard must outlive it so workload truncation
+    // faults stay visible to trace generation on worker threads.
+    let _session = telemetry::session_or_exit(tool, scale);
+    let _faults = faults::install(config.faults.clone());
+
+    println!(
+        "run: {run_id}  scale: {}  cells: {}  workers: {}  journal: {}\n",
+        scale.name(),
+        tasks.len(),
+        config.workers,
+        journal.path().display()
+    );
+
+    let outcome = run_campaign(tasks, &config, &mut journal).unwrap_or_else(|e| operator_error(&e));
+    record_cells(&outcome);
+
+    for def in defs {
+        let mut cells = CellSet::new();
+        for label in (def.labels)() {
+            let report = outcome
+                .report(&cell_id(def.name, label))
+                .expect("every enumerated cell was scheduled");
+            cells.insert(label, report.outcome.clone());
+        }
+        println!("{}", (def.render)(&cells));
+    }
+
+    epilogue(tool, &run_id, &outcome)
+}
+
+/// Mirrors every cell outcome into the telemetry manifest.
+fn record_cells(outcome: &CampaignOutcome) {
+    if let Some(hub) = telemetry::active() {
+        for r in &outcome.reports {
+            hub.record_cell(CellRecord {
+                cell: r.cell.clone(),
+                ok: r.outcome.is_ok(),
+                attempts: r.attempts,
+                deadline_kills: r.deadline_kills,
+                resumed: r.resumed,
+                reason: r.outcome.as_ref().err().cloned(),
+                wall_ms: r.wall_ms,
+            });
+        }
+    }
+}
+
+fn epilogue(tool: &str, run_id: &str, outcome: &CampaignOutcome) -> i32 {
+    let total = outcome.reports.len();
+    let failed = outcome.failures().count();
+    let resumed = outcome.reports.iter().filter(|r| r.resumed).count();
+    let retried = outcome.reports.iter().filter(|r| r.attempts > 1).count();
+    let mut line = format!("campaign: {}/{} cells ok", total - failed, total);
+    if resumed > 0 {
+        line.push_str(&format!(", {resumed} restored from journal"));
+    }
+    if retried > 0 {
+        line.push_str(&format!(", {retried} needed retries"));
+    }
+    println!("{line}");
+    if failed == 0 {
+        return 0;
+    }
+    eprintln!("error: {failed} cell(s) failed after retries:");
+    for r in outcome.failures() {
+        let reason = r.outcome.as_ref().err().map(String::as_str).unwrap_or("?");
+        eprintln!("  {}: {}", r.cell, reason.lines().next().unwrap_or(reason));
+    }
+    eprintln!("re-run only the failed cells with: REPRO_RESUME={run_id} {tool}");
+    1
+}

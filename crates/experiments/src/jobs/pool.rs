@@ -1,0 +1,629 @@
+//! The fault-tolerant worker pool: panic isolation, deadlines, retry.
+//!
+//! [`run_campaign`] executes a list of [`CellTask`]s on `REPRO_JOBS`
+//! worker threads. Every attempt runs inside `catch_unwind` on its own
+//! named thread, so a panicking cell is contained and reported rather
+//! than tearing the campaign down. A watchdog timer per attempt enforces
+//! the per-cell deadline — Rust threads cannot be killed, so a
+//! timed-out attempt is *detached* (its eventual result is discarded by
+//! an attempt-id staleness check) and the cell is retried or failed.
+//! Failed attempts retry with exponential backoff up to `REPRO_RETRIES`
+//! total attempts; a cell that exhausts them becomes an `Err` report,
+//! never an abort. Each cell's final outcome is journaled atomically
+//! the moment it resolves, which is what makes a `kill -9` resumable.
+
+use super::faults::FaultPlan;
+use super::journal::{Journal, JournalRecord};
+use super::CellData;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
+
+/// One schedulable unit of work: a cell id plus the computation that
+/// produces its data. The closure is re-invoked on every retry attempt.
+#[derive(Clone)]
+pub struct CellTask {
+    /// Cell id (`table4/perl`).
+    pub id: String,
+    work: Arc<dyn Fn() -> CellData + Send + Sync>,
+}
+
+impl CellTask {
+    /// Wraps a computation as a cell task.
+    pub fn new(
+        id: impl Into<String>,
+        work: impl Fn() -> CellData + Send + Sync + 'static,
+    ) -> CellTask {
+        CellTask {
+            id: id.into(),
+            work: Arc::new(work),
+        }
+    }
+}
+
+/// Pool configuration, normally read from the environment.
+#[derive(Clone, Debug)]
+pub struct RunnerConfig {
+    /// Concurrent workers (`REPRO_JOBS`, default 1: deterministic order).
+    pub workers: usize,
+    /// Total attempts per cell (`REPRO_RETRIES`, default 3).
+    pub attempts: u32,
+    /// Per-cell deadline (`REPRO_DEADLINE_MS`, default 600000).
+    pub deadline: Duration,
+    /// First retry delay; doubles per retry (`REPRO_BACKOFF_MS`, default 100).
+    pub backoff: Duration,
+    /// Deterministic fault plan (`REPRO_FAULTS`, default none).
+    pub faults: FaultPlan,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> RunnerConfig {
+        RunnerConfig {
+            workers: 1,
+            attempts: 3,
+            deadline: Duration::from_millis(600_000),
+            backoff: Duration::from_millis(100),
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// Reads the configuration from the environment. Every variable is
+    /// parsed strictly; a typo is an error, not a silent default.
+    pub fn from_env() -> Result<RunnerConfig, String> {
+        let mut config = RunnerConfig::default();
+        if let Some(v) = env_nonempty("REPRO_JOBS") {
+            config.workers = v
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or(format!("REPRO_JOBS must be a worker count >= 1, got {v:?}"))?;
+        }
+        if let Some(v) = env_nonempty("REPRO_RETRIES") {
+            config.attempts = v.parse().ok().filter(|&n| n >= 1).ok_or(format!(
+                "REPRO_RETRIES must be an attempt count >= 1, got {v:?}"
+            ))?;
+        }
+        if let Some(v) = env_nonempty("REPRO_DEADLINE_MS") {
+            let ms: u64 = v.parse().ok().filter(|&n| n >= 1).ok_or(format!(
+                "REPRO_DEADLINE_MS must be a duration in ms >= 1, got {v:?}"
+            ))?;
+            config.deadline = Duration::from_millis(ms);
+        }
+        if let Some(v) = env_nonempty("REPRO_BACKOFF_MS") {
+            let ms: u64 = v
+                .parse()
+                .map_err(|_| format!("REPRO_BACKOFF_MS must be a duration in ms, got {v:?}"))?;
+            config.backoff = Duration::from_millis(ms);
+        }
+        config.faults = FaultPlan::from_env()?;
+        Ok(config)
+    }
+}
+
+fn env_nonempty(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.is_empty())
+}
+
+/// The final report for one cell.
+#[derive(Clone, Debug)]
+pub struct CellReport {
+    /// Cell id.
+    pub cell: String,
+    /// The data, or the last failure reason.
+    pub outcome: Result<CellData, String>,
+    /// Attempts executed this run (0 when restored from the journal).
+    pub attempts: u32,
+    /// Attempts killed by the deadline watchdog.
+    pub deadline_kills: u32,
+    /// Whether the outcome was restored from a resumed journal.
+    pub resumed: bool,
+    /// Wall-clock ms spent across this run's attempts.
+    pub wall_ms: u64,
+}
+
+/// Everything a campaign produced, reports in task order.
+pub struct CampaignOutcome {
+    /// Per-cell reports, in the order the tasks were given.
+    pub reports: Vec<CellReport>,
+}
+
+impl CampaignOutcome {
+    /// Whether every cell succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.reports.iter().all(|r| r.outcome.is_ok())
+    }
+
+    /// The failed cells, in task order.
+    pub fn failures(&self) -> impl Iterator<Item = &CellReport> {
+        self.reports.iter().filter(|r| r.outcome.is_err())
+    }
+
+    /// The report for `cell`, if it was part of the campaign.
+    pub fn report(&self, cell: &str) -> Option<&CellReport> {
+        self.reports.iter().find(|r| r.cell == cell)
+    }
+}
+
+/// Messages worker, watchdog, and backoff threads send the scheduler.
+enum Msg {
+    /// An attempt finished (possibly a stale, deadline-detached one).
+    Finished {
+        task: usize,
+        attempt: u32,
+        result: Result<CellData, String>,
+        wall_ms: u64,
+    },
+    /// An attempt's deadline elapsed.
+    Deadline { task: usize, attempt: u32 },
+    /// A backoff delay elapsed; the task may be rescheduled.
+    Ready { task: usize },
+}
+
+/// Scheduler-side state for one task.
+struct TaskState {
+    attempts_used: u32,
+    deadline_kills: u32,
+    wall_ms: u64,
+    /// The attempt id currently in flight, if any — results from any
+    /// other attempt (i.e. from a detached, timed-out thread) are stale
+    /// and dropped.
+    live_attempt: Option<u32>,
+    last_error: String,
+    done: bool,
+}
+
+/// Runs `tasks` to completion under `config`, journaling every final
+/// outcome. Cells with an `ok` record already in `journal` are restored
+/// and skipped (`resumed: true`); journaled failures are re-run.
+///
+/// Returns `Err` only for infrastructure faults (a journal write
+/// failing); cell failures are ordinary `CellReport` outcomes.
+pub fn run_campaign(
+    tasks: Vec<CellTask>,
+    config: &RunnerConfig,
+    journal: &mut Journal,
+) -> Result<CampaignOutcome, String> {
+    install_quiet_panic_hook();
+    let total = tasks.len();
+    let mut reports: Vec<Option<CellReport>> = Vec::new();
+    let mut ready: VecDeque<usize> = VecDeque::new();
+    let mut states: Vec<TaskState> = Vec::new();
+    for (i, task) in tasks.iter().enumerate() {
+        let restored = journal
+            .record(&task.id)
+            .filter(|r| r.ok)
+            .map(|r| CellReport {
+                cell: task.id.clone(),
+                outcome: Ok(r.data.clone().expect("ok journal record has data")),
+                attempts: 0,
+                deadline_kills: 0,
+                resumed: true,
+                wall_ms: 0,
+            });
+        if restored.is_none() {
+            ready.push_back(i);
+        }
+        reports.push(restored);
+        states.push(TaskState {
+            attempts_used: 0,
+            deadline_kills: 0,
+            wall_ms: 0,
+            live_attempt: None,
+            last_error: String::new(),
+            done: false,
+        });
+    }
+
+    let mut completed = reports.iter().filter(|r| r.is_some()).count();
+    let mut running = 0usize;
+    let (tx, rx) = mpsc::channel::<Msg>();
+
+    while completed < total {
+        while running < config.workers.max(1) {
+            let Some(i) = ready.pop_front() else { break };
+            let state = &mut states[i];
+            state.attempts_used += 1;
+            let attempt = state.attempts_used;
+            state.live_attempt = Some(attempt);
+            spawn_attempt(&tasks[i], i, attempt, config, &tx);
+            running += 1;
+        }
+
+        let msg = rx
+            .recv()
+            .map_err(|_| "cell scheduler channel closed unexpectedly".to_string())?;
+        match msg {
+            Msg::Finished {
+                task,
+                attempt,
+                result,
+                wall_ms,
+            } => {
+                let state = &mut states[task];
+                if state.done || state.live_attempt != Some(attempt) {
+                    continue; // stale result from a deadline-detached thread
+                }
+                state.live_attempt = None;
+                state.wall_ms += wall_ms;
+                running -= 1;
+                match result {
+                    Ok(data) => {
+                        state.done = true;
+                        completed += 1;
+                        let report = CellReport {
+                            cell: tasks[task].id.clone(),
+                            outcome: Ok(data),
+                            attempts: state.attempts_used,
+                            deadline_kills: state.deadline_kills,
+                            resumed: false,
+                            wall_ms: state.wall_ms,
+                        };
+                        journal_report(journal, &report)?;
+                        reports[task] = Some(report);
+                    }
+                    Err(reason) => {
+                        state.last_error = reason;
+                        retry_or_fail(
+                            task,
+                            &tasks,
+                            states.as_mut_slice(),
+                            config,
+                            journal,
+                            &tx,
+                            &mut reports,
+                            &mut completed,
+                        )?;
+                    }
+                }
+            }
+            Msg::Deadline { task, attempt } => {
+                let state = &mut states[task];
+                if state.done || state.live_attempt != Some(attempt) {
+                    continue; // the attempt already finished
+                }
+                // Detach the overrunning thread: mark its attempt stale so
+                // whatever it eventually sends is dropped.
+                state.live_attempt = None;
+                state.deadline_kills += 1;
+                state.wall_ms += config.deadline.as_millis() as u64;
+                state.last_error =
+                    format!("deadline exceeded ({} ms)", config.deadline.as_millis());
+                running -= 1;
+                retry_or_fail(
+                    task,
+                    &tasks,
+                    states.as_mut_slice(),
+                    config,
+                    journal,
+                    &tx,
+                    &mut reports,
+                    &mut completed,
+                )?;
+            }
+            Msg::Ready { task } => {
+                if !states[task].done {
+                    ready.push_back(task);
+                }
+            }
+        }
+    }
+
+    Ok(CampaignOutcome {
+        reports: reports.into_iter().map(Option::unwrap).collect(),
+    })
+}
+
+/// Handles a failed attempt: schedules a backoff retry if attempts
+/// remain, otherwise journals and reports the final failure.
+#[allow(clippy::too_many_arguments)]
+fn retry_or_fail(
+    task: usize,
+    tasks: &[CellTask],
+    states: &mut [TaskState],
+    config: &RunnerConfig,
+    journal: &mut Journal,
+    tx: &mpsc::Sender<Msg>,
+    reports: &mut [Option<CellReport>],
+    completed: &mut usize,
+) -> Result<(), String> {
+    let state = &mut states[task];
+    if state.attempts_used < config.attempts {
+        // Exponential backoff: backoff, 2*backoff, 4*backoff, ...
+        let shift = (state.attempts_used - 1).min(10);
+        let delay = config.backoff * (1u32 << shift);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            let _ = tx.send(Msg::Ready { task });
+        });
+        return Ok(());
+    }
+    state.done = true;
+    *completed += 1;
+    let report = CellReport {
+        cell: tasks[task].id.clone(),
+        outcome: Err(state.last_error.clone()),
+        attempts: state.attempts_used,
+        deadline_kills: state.deadline_kills,
+        resumed: false,
+        wall_ms: state.wall_ms,
+    };
+    journal_report(journal, &report)?;
+    reports[task] = Some(report);
+    Ok(())
+}
+
+/// Journals a final cell outcome, translating I/O failure into the
+/// campaign-level error.
+fn journal_report(journal: &mut Journal, report: &CellReport) -> Result<(), String> {
+    let record = JournalRecord {
+        cell: report.cell.clone(),
+        ok: report.outcome.is_ok(),
+        attempts: report.attempts,
+        deadline_kills: report.deadline_kills,
+        wall_ms: report.wall_ms,
+        data: report.outcome.as_ref().ok().cloned(),
+        reason: report.outcome.as_ref().err().cloned(),
+    };
+    journal
+        .append(record)
+        .map_err(|e| format!("cannot write journal {}: {e}", journal.path().display()))
+}
+
+/// Spawns one attempt (plus its watchdog timer). The attempt thread is
+/// named `repro-cell-<id>#<attempt>` so the quiet panic hook can tell
+/// isolated cell panics from real ones.
+fn spawn_attempt(
+    task: &CellTask,
+    index: usize,
+    attempt: u32,
+    config: &RunnerConfig,
+    tx: &mpsc::Sender<Msg>,
+) {
+    let id = task.id.clone();
+    let work = Arc::clone(&task.work);
+    let faults = config.faults.clone();
+    let tx_work = tx.clone();
+    std::thread::Builder::new()
+        .name(format!("repro-cell-{id}#{attempt}"))
+        .spawn(move || {
+            let started = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                faults.apply(&id, attempt);
+                work()
+            }))
+            .map_err(panic_reason);
+            let _ = tx_work.send(Msg::Finished {
+                task: index,
+                attempt,
+                result,
+                wall_ms: started.elapsed().as_millis() as u64,
+            });
+        })
+        .expect("spawn cell worker thread");
+
+    let deadline = config.deadline;
+    let tx_watch = tx.clone();
+    std::thread::spawn(move || {
+        std::thread::sleep(deadline);
+        let _ = tx_watch.send(Msg::Deadline {
+            task: index,
+            attempt,
+        });
+    });
+}
+
+/// Renders a panic payload as a failure reason.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked: (non-string payload)".to_string()
+    }
+}
+
+/// Silences the default "thread panicked" stderr spew for isolated cell
+/// attempts (their panics are *reported*, as ERR table slots) while
+/// leaving every other thread's panics as loud as ever.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let isolated = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("repro-cell-"));
+            if !isolated {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Scale;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("repro-pool-{}-{name}", std::process::id()))
+    }
+
+    fn fast(faults: &str) -> RunnerConfig {
+        RunnerConfig {
+            workers: 1,
+            attempts: 3,
+            deadline: Duration::from_millis(60_000),
+            backoff: Duration::from_millis(1),
+            faults: FaultPlan::parse(faults).unwrap(),
+        }
+    }
+
+    fn value_task(id: &str, v: f64) -> CellTask {
+        CellTask::new(id, move || {
+            let mut d = CellData::new();
+            d.set("v", v);
+            d
+        })
+    }
+
+    #[test]
+    fn panicking_cell_fails_alone_and_campaign_continues() {
+        let dir = scratch("isolate");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = Journal::create(&dir, "r", "t", Scale::Quick, 3).unwrap();
+        let tasks = vec![
+            value_task("t/a", 1.0),
+            value_task("t/boom", 2.0),
+            value_task("t/c", 3.0),
+        ];
+        let outcome = run_campaign(tasks, &fast("panic:t/boom"), &mut journal).unwrap();
+
+        assert_eq!(outcome.reports.len(), 3);
+        assert!(!outcome.all_ok());
+        assert_eq!(outcome.failures().count(), 1);
+        let failed = outcome.report("t/boom").unwrap();
+        assert_eq!(failed.attempts, 3, "panic cell must exhaust retries");
+        assert!(failed.outcome.as_ref().unwrap_err().contains("injected"));
+        assert!(outcome.report("t/a").unwrap().outcome.is_ok());
+        assert!(outcome.report("t/c").unwrap().outcome.is_ok());
+        // The journal captured all three final outcomes.
+        assert_eq!(journal.records().count(), 3);
+        assert!(!journal.record("t/boom").unwrap().ok);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flaky_cell_recovers_via_retry() {
+        let dir = scratch("flaky");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = Journal::create(&dir, "r", "t", Scale::Quick, 1).unwrap();
+        let outcome = run_campaign(
+            vec![value_task("t/x", 7.0)],
+            &fast("flaky:t/x:2"),
+            &mut journal,
+        )
+        .unwrap();
+        let report = outcome.report("t/x").unwrap();
+        assert!(report.outcome.is_ok());
+        assert_eq!(report.attempts, 3, "two injected failures, then success");
+        assert_eq!(journal.record("t/x").unwrap().attempts, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadline_kills_overrunning_cell() {
+        let dir = scratch("deadline");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = Journal::create(&dir, "r", "t", Scale::Quick, 1).unwrap();
+        let config = RunnerConfig {
+            attempts: 2,
+            deadline: Duration::from_millis(25),
+            ..fast("delay:t/slow:60000")
+        };
+        let outcome = run_campaign(vec![value_task("t/slow", 1.0)], &config, &mut journal).unwrap();
+        let report = outcome.report("t/slow").unwrap();
+        let reason = report.outcome.as_ref().unwrap_err();
+        assert!(reason.contains("deadline"), "{reason}");
+        assert_eq!(report.deadline_kills, 2, "both attempts timed out");
+        assert_eq!(journal.record("t/slow").unwrap().deadline_kills, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_restores_ok_cells_and_reruns_failures() {
+        let dir = scratch("resume");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // First run: `t/a` succeeds, `t/b` fails all attempts.
+        let mut journal = Journal::create(&dir, "r", "t", Scale::Quick, 2).unwrap();
+        let first = run_campaign(
+            vec![value_task("t/a", 5.0), value_task("t/b", 6.0)],
+            &fast("panic:t/b"),
+            &mut journal,
+        )
+        .unwrap();
+        assert!(!first.all_ok());
+        drop(journal);
+
+        // Second run resumes: `t/a` must be restored WITHOUT executing
+        // (its closure now counts invocations), `t/b` re-runs cleanly.
+        let a_runs = Arc::new(AtomicU32::new(0));
+        let a_counter = Arc::clone(&a_runs);
+        let task_a = CellTask::new("t/a", move || {
+            a_counter.fetch_add(1, Ordering::SeqCst);
+            CellData::new()
+        });
+        let mut journal = Journal::resume(&dir, "r", "t", Scale::Quick).unwrap();
+        let second = run_campaign(
+            vec![task_a, value_task("t/b", 6.0)],
+            &fast(""),
+            &mut journal,
+        )
+        .unwrap();
+
+        assert_eq!(
+            a_runs.load(Ordering::SeqCst),
+            0,
+            "journaled cell must not re-run"
+        );
+        let a = second.report("t/a").unwrap();
+        assert!(a.resumed && a.outcome.is_ok());
+        assert_eq!(a.outcome.as_ref().unwrap().get("v"), Some(5.0));
+        let b = second.report("t/b").unwrap();
+        assert!(!b.resumed && b.outcome.is_ok());
+        assert!(second.all_ok());
+        assert!(
+            journal.record("t/b").unwrap().ok,
+            "journal updated in place"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_workers_complete_every_cell() {
+        let dir = scratch("parallel");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = Journal::create(&dir, "r", "t", Scale::Quick, 8).unwrap();
+        let config = RunnerConfig {
+            workers: 4,
+            ..fast("")
+        };
+        let tasks: Vec<CellTask> = (0..8)
+            .map(|i| {
+                CellTask::new(format!("t/c{i}"), move || {
+                    std::thread::sleep(Duration::from_millis(5));
+                    let mut d = CellData::new();
+                    d.set("i", i as f64);
+                    d
+                })
+            })
+            .collect();
+        let outcome = run_campaign(tasks, &config, &mut journal).unwrap();
+        assert!(outcome.all_ok());
+        assert_eq!(outcome.reports.len(), 8);
+        // Reports stay in task order regardless of completion order.
+        for (i, r) in outcome.reports.iter().enumerate() {
+            assert_eq!(r.cell, format!("t/c{i}"));
+            assert_eq!(r.outcome.as_ref().unwrap().get("i"), Some(i as f64));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn runner_config_from_env_rejects_bad_values() {
+        // Exercised via parse helpers on a clean env: defaults hold.
+        let config = RunnerConfig::default();
+        assert_eq!(config.workers, 1);
+        assert_eq!(config.attempts, 3);
+        assert_eq!(config.deadline, Duration::from_millis(600_000));
+    }
+}

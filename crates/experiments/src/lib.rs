@@ -8,6 +8,13 @@
 //! binary of the same name (`cargo run --release --bin table1`) that prints
 //! it. `repro_all` runs the lot.
 //!
+//! Under the hood every experiment decomposes into `(experiment ×
+//! benchmark)` **cells** (`cell` / `render_cells` in each module), which
+//! the fault-tolerant [`jobs`] runner executes with panic isolation,
+//! per-cell deadlines, bounded retry, a crash-safe resume journal, and
+//! deterministic fault injection (`REPRO_FAULTS`); `run`/`render` are the
+//! sequential wrappers over the same cell functions.
+//!
 //! | Module | Paper artifact |
 //! |--------|----------------|
 //! | [`table1`] | Table 1 — benchmark characterization + BTB indirect misprediction |
@@ -47,6 +54,7 @@ pub mod extension_scaling;
 pub mod fig_tagless_vs_tagged;
 pub mod fig_targets;
 pub mod headline;
+pub mod jobs;
 pub mod report;
 pub mod runner;
 pub mod table1;

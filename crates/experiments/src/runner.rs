@@ -66,17 +66,26 @@ impl Scale {
     /// defaulting to `Standard` when unset or set to the empty string
     /// (the `REPRO_SCALE= cmd` shell idiom for "unset").
     ///
-    /// # Panics
-    ///
-    /// Panics (listing the accepted values) if `REPRO_SCALE` is set to an
-    /// unrecognized value — a typo like `REPRO_SCALE=ful` must not
-    /// silently run a different experiment than the one asked for.
-    pub fn from_env() -> Scale {
+    /// Returns the parse error (listing the accepted values) if
+    /// `REPRO_SCALE` is set to an unrecognized value — a typo like
+    /// `REPRO_SCALE=ful` must not silently run a different experiment than
+    /// the one asked for.
+    pub fn from_env() -> Result<Scale, String> {
         match std::env::var("REPRO_SCALE") {
-            Ok(v) if v.is_empty() => Scale::Standard,
-            Ok(v) => Scale::parse(&v).unwrap_or_else(|e| panic!("{e}")),
-            Err(_) => Scale::Standard,
+            Ok(v) if v.is_empty() => Ok(Scale::Standard),
+            Ok(v) => Scale::parse(&v),
+            Err(_) => Ok(Scale::Standard),
         }
+    }
+
+    /// [`Scale::from_env`] for binaries: an unrecognized value prints the
+    /// diagnostic to stderr and exits with status 2 instead of returning —
+    /// an operator typo produces one clean line, not a panic backtrace.
+    pub fn from_env_or_exit() -> Scale {
+        Scale::from_env().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 }
 
@@ -97,13 +106,23 @@ fn config_desc(config: &FrontEndConfig) -> String {
 /// subsequent runs are attributed to (the table binaries are sequential:
 /// they generate one trace and run every configuration on it before
 /// moving to the next benchmark).
+///
+/// When an installed fault plan (see [`crate::jobs::faults`]) truncates
+/// this benchmark, the generated trace is proportionally shorter — the
+/// downstream statistics all normalize by actual executed counts, so a
+/// truncated trace degrades resolution, not correctness.
 pub fn trace(bench: Benchmark, scale: Scale) -> VecTrace {
+    let budget = scale.budget(bench);
+    let generate = || match crate::jobs::faults::active_truncation(bench.name()) {
+        Some(fraction) => bench.workload().generate_truncated(budget, fraction),
+        None => bench.workload().generate(budget),
+    };
     if let Some(hub) = hub::active() {
         hub.set_benchmark(bench.name());
         let _g = hub.spans().span("workload-gen");
-        return bench.workload().generate(scale.budget(bench));
+        return generate();
     }
-    bench.workload().generate(scale.budget(bench))
+    generate()
 }
 
 /// Runs the functional (accuracy-only) front end over a trace.

@@ -6,6 +6,7 @@
 //! indirect-jump target misprediction rate of a 1K-entry 4-way
 //! set-associative BTB (66.0% for gcc, 76.2% for perl).
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{count, pct, TextTable};
 use crate::runner::{functional, trace, Scale};
 use sim_workloads::Benchmark;
@@ -28,28 +29,74 @@ pub struct Row {
     pub btb_mispred: f64,
 }
 
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::ALL.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell.
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let t = trace(benchmark, scale);
+    let stats = t.stats();
+    let pred = functional(&t, FrontEndConfig::isca97_baseline());
+    let mut d = CellData::new();
+    d.set("instructions", stats.instructions() as f64);
+    d.set("branches", stats.branches() as f64);
+    d.set("indirect_jumps", stats.indirect_jumps() as f64);
+    d.set("static_sites", stats.static_indirect_jumps() as f64);
+    d.set("btb_mispred", pred.indirect_jump_misprediction_rate());
+    d
+}
+
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Row> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     Benchmark::ALL
         .iter()
         .map(|&benchmark| {
-            let t = trace(benchmark, scale);
-            let stats = t.stats();
-            let pred = functional(&t, FrontEndConfig::isca97_baseline());
+            let d = cells
+                .data(benchmark.name())
+                .unwrap_or_else(|| panic!("table1 cell for {benchmark} missing or failed"));
             Row {
                 benchmark,
-                instructions: stats.instructions(),
-                branches: stats.branches(),
-                indirect_jumps: stats.indirect_jumps(),
-                static_sites: stats.static_indirect_jumps(),
-                btb_mispred: pred.indirect_jump_misprediction_rate(),
+                instructions: d.req("instructions") as u64,
+                branches: d.req("branches") as u64,
+                indirect_jumps: d.req("indirect_jumps") as u64,
+                static_sites: d.req("static_sites") as usize,
+                btb_mispred: d.req("btb_mispred"),
             }
         })
         .collect()
 }
 
+/// Converts rows back to cells (the renderers' common currency).
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for r in rows {
+        let mut d = CellData::new();
+        d.set("instructions", r.instructions as f64);
+        d.set("branches", r.branches as f64);
+        d.set("indirect_jumps", r.indirect_jumps as f64);
+        d.set("static_sites", r.static_sites as f64);
+        d.set("btb_mispred", r.btb_mispred);
+        set.insert(r.benchmark.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders the rows as the paper's Table 1.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set as the paper's Table 1, with
+/// `ERR(reason)` markers in failed slots.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut table = TextTable::new(vec![
         "benchmark".into(),
         "input".into(),
@@ -59,15 +106,16 @@ pub fn render(rows: &[Row]) -> String {
         "static sites".into(),
         "BTB ind mispred".into(),
     ]);
-    for r in rows {
+    for &b in &Benchmark::ALL {
+        let n = b.name();
         table.row(vec![
-            r.benchmark.name().into(),
-            r.benchmark.reference_input().into(),
-            count(r.instructions),
-            count(r.branches),
-            count(r.indirect_jumps),
-            r.static_sites.to_string(),
-            pct(r.btb_mispred),
+            n.into(),
+            b.reference_input().into(),
+            cells.fmt(n, "instructions", |v| count(v as u64)),
+            cells.fmt(n, "branches", |v| count(v as u64)),
+            cells.fmt(n, "indirect_jumps", |v| count(v as u64)),
+            cells.fmt(n, "static_sites", |v| (v as u64).to_string()),
+            cells.fmt(n, "btb_mispred", pct),
         ]);
     }
     format!(

@@ -6,6 +6,7 @@
 //! for the m88ksim, vortex, and xlisp benchmarks." The target cache beats
 //! both by a wide margin.
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{functional, trace, Scale};
 use branch_predictors::{BtbConfig, UpdatePolicy};
@@ -30,42 +31,91 @@ impl Row {
     }
 }
 
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::ALL.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell.
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let t = trace(benchmark, scale);
+    let rate = |policy| {
+        functional(
+            &t,
+            FrontEndConfig::isca97_baseline().with_btb(BtbConfig::new(256, 4, policy)),
+        )
+        .indirect_jump_misprediction_rate()
+    };
+    let mut d = CellData::new();
+    d.set("default", rate(UpdatePolicy::Always));
+    d.set("two_bit", rate(UpdatePolicy::TwoBit));
+    d
+}
+
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Row> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     Benchmark::ALL
         .iter()
         .map(|&benchmark| {
-            let t = trace(benchmark, scale);
-            let rate = |policy| {
-                functional(
-                    &t,
-                    FrontEndConfig::isca97_baseline().with_btb(BtbConfig::new(256, 4, policy)),
-                )
-                .indirect_jump_misprediction_rate()
-            };
+            let d = cells
+                .data(benchmark.name())
+                .unwrap_or_else(|| panic!("table2 cell for {benchmark} missing or failed"));
             Row {
                 benchmark,
-                default_rate: rate(UpdatePolicy::Always),
-                two_bit_rate: rate(UpdatePolicy::TwoBit),
+                default_rate: d.req("default"),
+                two_bit_rate: d.req("two_bit"),
             }
         })
         .collect()
 }
 
+/// Converts rows back to cells.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for r in rows {
+        let mut d = CellData::new();
+        d.set("default", r.default_rate);
+        d.set("two_bit", r.two_bit_rate);
+        set.insert(r.benchmark.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders the rows as the paper's Table 2.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set as the paper's Table 2.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut table = TextTable::new(vec![
         "benchmark".into(),
         "BTB (default)".into(),
         "2-bit BTB".into(),
         "2-bit effect".into(),
     ]);
-    for r in rows {
+    for &b in &Benchmark::ALL {
+        let n = b.name();
+        let effect = match cells.data(n) {
+            Some(d) => if d.req("two_bit") < d.req("default") {
+                "helps"
+            } else {
+                "hurts"
+            }
+            .to_string(),
+            None => crate::jobs::err_marker(cells.failure(n).unwrap_or("cell missing")),
+        };
         table.row(vec![
-            r.benchmark.name().into(),
-            pct(r.default_rate),
-            pct(r.two_bit_rate),
-            if r.two_bit_helps() { "helps" } else { "hurts" }.into(),
+            n.into(),
+            cells.fmt(n, "default", pct),
+            cells.fmt(n, "two_bit", pct),
+            effect,
         ]);
     }
     format!(

@@ -9,6 +9,7 @@
 //! outperforms the GAs scheme because it effectively utilizes more of the
 //! entries in the target cache."
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{functional, trace, Scale};
 use sim_workloads::Benchmark;
@@ -37,45 +38,95 @@ pub struct Row {
     pub mispred: Vec<f64>,
 }
 
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::FOCUS.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell: every scheme's misprediction rate on
+/// that benchmark's trace, keyed by scheme label.
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let t = trace(benchmark, scale);
+    let mut d = CellData::new();
+    for scheme in schemes() {
+        let config = TargetCacheConfig::new(
+            Organization::Tagless {
+                entries: 512,
+                scheme,
+            },
+            HistorySource::Pattern { bits: 9 },
+        );
+        d.set(
+            scheme.label(9),
+            functional(&t, FrontEndConfig::isca97_with(config)).indirect_jump_misprediction_rate(),
+        );
+    }
+    d
+}
+
 /// Runs the experiment: 512-entry tagless caches, 9 bits of pattern
 /// history, one column per focus benchmark.
 pub fn run(scale: Scale) -> Vec<Row> {
-    let traces: Vec<_> = Benchmark::FOCUS.iter().map(|&b| trace(b, scale)).collect();
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     schemes()
         .into_iter()
         .map(|scheme| {
-            let config = TargetCacheConfig::new(
-                Organization::Tagless {
-                    entries: 512,
-                    scheme,
-                },
-                HistorySource::Pattern { bits: 9 },
-            );
-            let mispred = traces
+            let label = scheme.label(9);
+            let mispred = Benchmark::FOCUS
                 .iter()
-                .map(|t| {
-                    functional(t, FrontEndConfig::isca97_with(config))
-                        .indirect_jump_misprediction_rate()
+                .map(|b| {
+                    cells
+                        .data(b.name())
+                        .unwrap_or_else(|| panic!("table4 cell for {b} missing or failed"))
+                        .req(&label)
                 })
                 .collect();
             Row {
                 scheme,
-                label: scheme.label(9),
+                label,
                 mispred,
             }
         })
         .collect()
 }
 
+/// Converts rows back to cells.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for (i, &b) in Benchmark::FOCUS.iter().enumerate() {
+        let mut d = CellData::new();
+        for r in rows {
+            d.set(r.label.clone(), r.mispred[i]);
+        }
+        set.insert(b.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders the rows as the paper's Table 4.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set as the paper's Table 4.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut headers = vec!["scheme".to_string()];
     headers.extend(Benchmark::FOCUS.iter().map(|b| b.name().to_string()));
     let mut table = TextTable::new(headers);
-    for r in rows {
-        let mut cells = vec![r.label.clone()];
-        cells.extend(r.mispred.iter().map(|&m| pct(m)));
-        table.row(cells);
+    for scheme in schemes() {
+        let label = scheme.label(9);
+        let mut row = vec![label.clone()];
+        row.extend(
+            Benchmark::FOCUS
+                .iter()
+                .map(|b| cells.fmt(b.name(), &label, pct)),
+        );
+        table.row(row);
     }
     format!(
         "Table 4: 512-entry tagless target caches, 9 pattern-history bits\n\

@@ -10,6 +10,7 @@
 //! Cells are execution-time reduction against the BTB-only baseline, as in
 //! the paper.
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{exec_reduction_with_base, timing, trace, PathScheme, Scale};
 use sim_workloads::Benchmark;
@@ -31,39 +32,90 @@ pub struct Row {
     pub reductions: Vec<f64>,
 }
 
+/// The cell key for one (bit offset × path scheme) slot.
+fn key(bit_offset: u32, scheme: &PathScheme) -> String {
+    format!("b{bit_offset}.{}", scheme.label())
+}
+
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::FOCUS.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell: execution-time reductions for every
+/// (bit offset × path scheme) combination, keyed `b<offset>.<scheme>`.
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let t = trace(benchmark, scale);
+    let base = timing(&t, FrontEndConfig::isca97_baseline());
+    let mut d = CellData::new();
+    for &bit_offset in &BIT_OFFSETS {
+        for scheme in PathScheme::all() {
+            let config = TargetCacheConfig::new(
+                Organization::Tagless {
+                    entries: 512,
+                    scheme: target_cache::IndexScheme::Gshare,
+                },
+                scheme.source(9, 1, bit_offset),
+            );
+            d.set(
+                key(bit_offset, &scheme),
+                exec_reduction_with_base(&t, &base, config),
+            );
+        }
+    }
+    d
+}
+
 /// Runs the experiment: 512-entry tagless gshare caches indexed with 9-bit
 /// path history recording 1 bit per target, varying which bit.
 pub fn run(scale: Scale) -> Vec<Row> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     let mut rows = Vec::new();
     for &benchmark in &Benchmark::FOCUS {
-        let t = trace(benchmark, scale);
-        let base = timing(&t, FrontEndConfig::isca97_baseline());
+        let d = cells
+            .data(benchmark.name())
+            .unwrap_or_else(|| panic!("table5 cell for {benchmark} missing or failed"));
         for &bit_offset in &BIT_OFFSETS {
-            let reductions = PathScheme::all()
-                .into_iter()
-                .map(|scheme| {
-                    let config = TargetCacheConfig::new(
-                        Organization::Tagless {
-                            entries: 512,
-                            scheme: target_cache::IndexScheme::Gshare,
-                        },
-                        scheme.source(9, 1, bit_offset),
-                    );
-                    exec_reduction_with_base(&t, &base, config)
-                })
-                .collect();
             rows.push(Row {
                 benchmark,
                 bit_offset,
-                reductions,
+                reductions: PathScheme::all()
+                    .iter()
+                    .map(|s| d.req(&key(bit_offset, s)))
+                    .collect(),
             });
         }
     }
     rows
 }
 
+/// Converts rows back to cells.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for &benchmark in &Benchmark::FOCUS {
+        let mut d = CellData::new();
+        for r in rows.iter().filter(|r| r.benchmark == benchmark) {
+            for (scheme, &x) in PathScheme::all().iter().zip(&r.reductions) {
+                d.set(key(r.bit_offset, scheme), x);
+            }
+        }
+        set.insert(benchmark.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders the rows as the paper's Table 5.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set as the paper's Table 5.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut out = String::from(
         "Table 5: path history address-bit selection (execution-time reduction vs BTB baseline)\n\
          512-entry tagless gshare, 9-bit path register, 1 bit per target\n",
@@ -72,10 +124,14 @@ pub fn render(rows: &[Row]) -> String {
         let mut headers = vec!["addr bit".to_string()];
         headers.extend(PathScheme::all().iter().map(|s| s.label().to_string()));
         let mut table = TextTable::new(headers);
-        for r in rows.iter().filter(|r| r.benchmark == benchmark) {
-            let mut cells = vec![r.bit_offset.to_string()];
-            cells.extend(r.reductions.iter().map(|&x| pct(x)));
-            table.row(cells);
+        for &bit_offset in &BIT_OFFSETS {
+            let mut row = vec![bit_offset.to_string()];
+            row.extend(
+                PathScheme::all()
+                    .iter()
+                    .map(|s| cells.fmt(benchmark.name(), &key(bit_offset, s), pct)),
+            );
+            table.row(row);
         }
         out.push_str(&format!("\n[{}]\n{}", benchmark, table.render()));
     }

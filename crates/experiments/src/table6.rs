@@ -8,6 +8,7 @@
 //! pronounced for the Control and Branch filters, whose uncorrelated
 //! branches displace useful history fastest.)
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{exec_reduction_with_base, timing, trace, PathScheme, Scale};
 use sim_workloads::Benchmark;
@@ -28,39 +29,90 @@ pub struct Row {
     pub reductions: Vec<f64>,
 }
 
+/// The cell key for one (bits-per-target × path scheme) slot.
+fn key(bits: u32, scheme: &PathScheme) -> String {
+    format!("t{bits}.{}", scheme.label())
+}
+
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::FOCUS.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell: execution-time reductions for every
+/// (bits-per-target × path scheme) combination, keyed `t<bits>.<scheme>`.
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let t = trace(benchmark, scale);
+    let base = timing(&t, FrontEndConfig::isca97_baseline());
+    let mut d = CellData::new();
+    for &bits in &BITS_PER_TARGET {
+        for scheme in PathScheme::all() {
+            let config = TargetCacheConfig::new(
+                Organization::Tagless {
+                    entries: 512,
+                    scheme: target_cache::IndexScheme::Gshare,
+                },
+                scheme.source(9, bits, 0),
+            );
+            d.set(
+                key(bits, &scheme),
+                exec_reduction_with_base(&t, &base, config),
+            );
+        }
+    }
+    d
+}
+
 /// Runs the experiment: 9-bit path registers recording 1, 2, or 3 low bits
 /// per target.
 pub fn run(scale: Scale) -> Vec<Row> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     let mut rows = Vec::new();
     for &benchmark in &Benchmark::FOCUS {
-        let t = trace(benchmark, scale);
-        let base = timing(&t, FrontEndConfig::isca97_baseline());
+        let d = cells
+            .data(benchmark.name())
+            .unwrap_or_else(|| panic!("table6 cell for {benchmark} missing or failed"));
         for &bits in &BITS_PER_TARGET {
-            let reductions = PathScheme::all()
-                .into_iter()
-                .map(|scheme| {
-                    let config = TargetCacheConfig::new(
-                        Organization::Tagless {
-                            entries: 512,
-                            scheme: target_cache::IndexScheme::Gshare,
-                        },
-                        scheme.source(9, bits, 0),
-                    );
-                    exec_reduction_with_base(&t, &base, config)
-                })
-                .collect();
             rows.push(Row {
                 benchmark,
                 bits_per_target: bits,
-                reductions,
+                reductions: PathScheme::all()
+                    .iter()
+                    .map(|s| d.req(&key(bits, s)))
+                    .collect(),
             });
         }
     }
     rows
 }
 
+/// Converts rows back to cells.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for &benchmark in &Benchmark::FOCUS {
+        let mut d = CellData::new();
+        for r in rows.iter().filter(|r| r.benchmark == benchmark) {
+            for (scheme, &x) in PathScheme::all().iter().zip(&r.reductions) {
+                d.set(key(r.bits_per_target, scheme), x);
+            }
+        }
+        set.insert(benchmark.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders the rows as the paper's Table 6.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set as the paper's Table 6.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut out = String::from(
         "Table 6: path history bits recorded per target (execution-time reduction vs BTB baseline)\n\
          512-entry tagless gshare, 9-bit path register, low target bits\n",
@@ -69,10 +121,14 @@ pub fn render(rows: &[Row]) -> String {
         let mut headers = vec!["bits/target".to_string()];
         headers.extend(PathScheme::all().iter().map(|s| s.label().to_string()));
         let mut table = TextTable::new(headers);
-        for r in rows.iter().filter(|r| r.benchmark == benchmark) {
-            let mut cells = vec![r.bits_per_target.to_string()];
-            cells.extend(r.reductions.iter().map(|&x| pct(x)));
-            table.row(cells);
+        for &bits in &BITS_PER_TARGET {
+            let mut row = vec![bits.to_string()];
+            row.extend(
+                PathScheme::all()
+                    .iter()
+                    .map(|s| cells.fmt(benchmark.name(), &key(bits, s), pct)),
+            );
+            table.row(row);
         }
         out.push_str(&format!("\n[{}]\n{}", benchmark, table.render()));
     }

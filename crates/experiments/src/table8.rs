@@ -9,6 +9,7 @@
 //! 256-entry History-Xor tagged caches; cells are execution-time reduction
 //! vs the BTB baseline.
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{exec_reduction_with_base, timing, trace, PathScheme, Scale};
 use sim_workloads::Benchmark;
@@ -29,39 +30,90 @@ pub struct Row {
     pub reductions: Vec<f64>,
 }
 
+/// The cell key for one (associativity × path scheme) slot.
+fn key(assoc: usize, scheme: &PathScheme) -> String {
+    format!("a{assoc}.{}", scheme.label())
+}
+
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::FOCUS.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell: execution-time reductions for every
+/// (associativity × path scheme) combination, keyed `a<assoc>.<scheme>`.
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let t = trace(benchmark, scale);
+    let base = timing(&t, FrontEndConfig::isca97_baseline());
+    let mut d = CellData::new();
+    for &assoc in &ASSOCS {
+        for scheme in PathScheme::all() {
+            let config = TargetCacheConfig::new(
+                Organization::Tagged {
+                    entries: 256,
+                    assoc,
+                    scheme: TaggedIndexScheme::HistoryXor,
+                },
+                scheme.source(9, 1, 0),
+            );
+            d.set(
+                key(assoc, &scheme),
+                exec_reduction_with_base(&t, &base, config),
+            );
+        }
+    }
+    d
+}
+
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Row> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     let mut rows = Vec::new();
     for &benchmark in &Benchmark::FOCUS {
-        let t = trace(benchmark, scale);
-        let base = timing(&t, FrontEndConfig::isca97_baseline());
+        let d = cells
+            .data(benchmark.name())
+            .unwrap_or_else(|| panic!("table8 cell for {benchmark} missing or failed"));
         for &assoc in &ASSOCS {
-            let reductions = PathScheme::all()
-                .into_iter()
-                .map(|scheme| {
-                    let config = TargetCacheConfig::new(
-                        Organization::Tagged {
-                            entries: 256,
-                            assoc,
-                            scheme: TaggedIndexScheme::HistoryXor,
-                        },
-                        scheme.source(9, 1, 0),
-                    );
-                    exec_reduction_with_base(&t, &base, config)
-                })
-                .collect();
             rows.push(Row {
                 benchmark,
                 assoc,
-                reductions,
+                reductions: PathScheme::all()
+                    .iter()
+                    .map(|s| d.req(&key(assoc, s)))
+                    .collect(),
             });
         }
     }
     rows
 }
 
+/// Converts rows back to cells.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for &benchmark in &Benchmark::FOCUS {
+        let mut d = CellData::new();
+        for r in rows.iter().filter(|r| r.benchmark == benchmark) {
+            for (scheme, &x) in PathScheme::all().iter().zip(&r.reductions) {
+                d.set(key(r.assoc, scheme), x);
+            }
+        }
+        set.insert(benchmark.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders the rows as the paper's Table 8.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set as the paper's Table 8.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut out = String::from(
         "Table 8: 256-entry tagged target caches, 9 path-history bits (1 bit/target)\n\
          (execution-time reduction vs BTB baseline)\n",
@@ -70,10 +122,14 @@ pub fn render(rows: &[Row]) -> String {
         let mut headers = vec!["set-assoc".to_string()];
         headers.extend(PathScheme::all().iter().map(|s| s.label().to_string()));
         let mut table = TextTable::new(headers);
-        for r in rows.iter().filter(|r| r.benchmark == benchmark) {
-            let mut cells = vec![r.assoc.to_string()];
-            cells.extend(r.reductions.iter().map(|&x| pct(x)));
-            table.row(cells);
+        for &assoc in &ASSOCS {
+            let mut row = vec![assoc.to_string()];
+            row.extend(
+                PathScheme::all()
+                    .iter()
+                    .map(|s| cells.fmt(benchmark.name(), &key(assoc, s), pct)),
+            );
+            table.row(row);
         }
         out.push_str(&format!("\n[{}]\n{}", benchmark, table.render()));
     }

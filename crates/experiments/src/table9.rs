@@ -8,6 +8,7 @@
 //! set-associativity, using more history bits degrades performance"
 //! (conflict misses outweigh the better identification).
 
+use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{exec_reduction_with_base, timing, trace, Scale};
 use sim_workloads::Benchmark;
@@ -31,48 +32,101 @@ pub struct Row {
     pub reductions: [f64; 2],
 }
 
+/// The cell key for one (associativity × history length) slot.
+fn key(assoc: usize, bits: u32) -> String {
+    format!("a{assoc}.h{bits}")
+}
+
+/// The benchmark labels this experiment enumerates cells over.
+pub fn cell_labels() -> Vec<&'static str> {
+    Benchmark::FOCUS.iter().map(|b| b.name()).collect()
+}
+
+/// Computes one benchmark's cell: execution-time reductions for every
+/// (associativity × history length) combination, keyed `a<assoc>.h<bits>`.
+pub fn cell(label: &str, scale: Scale) -> CellData {
+    let benchmark = crate::jobs::benchmark(label);
+    let t = trace(benchmark, scale);
+    let base = timing(&t, FrontEndConfig::isca97_baseline());
+    let mut d = CellData::new();
+    for &assoc in &ASSOCS {
+        for &bits in &HISTORY_BITS {
+            let config = TargetCacheConfig::new(
+                Organization::Tagged {
+                    entries: 256,
+                    assoc,
+                    scheme: TaggedIndexScheme::HistoryXor,
+                },
+                HistorySource::Pattern { bits },
+            );
+            d.set(
+                key(assoc, bits),
+                exec_reduction_with_base(&t, &base, config),
+            );
+        }
+    }
+    d
+}
+
 /// Runs the experiment: 256-entry History-Xor tagged caches.
 pub fn run(scale: Scale) -> Vec<Row> {
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+}
+
+/// Reconstructs rows from a fully-successful cell set.
+pub fn rows_from_cells(cells: &CellSet) -> Vec<Row> {
     let mut rows = Vec::new();
     for &benchmark in &Benchmark::FOCUS {
-        let t = trace(benchmark, scale);
-        let base = timing(&t, FrontEndConfig::isca97_baseline());
+        let d = cells
+            .data(benchmark.name())
+            .unwrap_or_else(|| panic!("table9 cell for {benchmark} missing or failed"));
         for &assoc in &ASSOCS {
-            let mut reductions = [0.0; 2];
-            for (i, &bits) in HISTORY_BITS.iter().enumerate() {
-                let config = TargetCacheConfig::new(
-                    Organization::Tagged {
-                        entries: 256,
-                        assoc,
-                        scheme: TaggedIndexScheme::HistoryXor,
-                    },
-                    HistorySource::Pattern { bits },
-                );
-                reductions[i] = exec_reduction_with_base(&t, &base, config);
-            }
             rows.push(Row {
                 benchmark,
                 assoc,
-                reductions,
+                reductions: [
+                    d.req(&key(assoc, HISTORY_BITS[0])),
+                    d.req(&key(assoc, HISTORY_BITS[1])),
+                ],
             });
         }
     }
     rows
 }
 
+/// Converts rows back to cells.
+pub fn cells_from_rows(rows: &[Row]) -> CellSet {
+    let mut set = CellSet::new();
+    for &benchmark in &Benchmark::FOCUS {
+        let mut d = CellData::new();
+        for r in rows.iter().filter(|r| r.benchmark == benchmark) {
+            for (&bits, &x) in HISTORY_BITS.iter().zip(&r.reductions) {
+                d.set(key(r.assoc, bits), x);
+            }
+        }
+        set.insert(benchmark.name(), Ok(d));
+    }
+    set
+}
+
 /// Renders the rows as the paper's Table 9.
 pub fn render(rows: &[Row]) -> String {
+    render_cells(&cells_from_rows(rows))
+}
+
+/// Renders a (possibly partial) cell set as the paper's Table 9.
+pub fn render_cells(cells: &CellSet) -> String {
     let mut out = String::from(
         "Table 9: tagged target cache, 9 vs 16 pattern-history bits\n\
          256 entries, History-Xor (execution-time reduction vs BTB baseline)\n",
     );
     for &benchmark in &Benchmark::FOCUS {
         let mut table = TextTable::new(vec!["set-assoc".into(), "9 bits".into(), "16 bits".into()]);
-        for r in rows.iter().filter(|r| r.benchmark == benchmark) {
+        for &assoc in &ASSOCS {
             table.row(vec![
-                r.assoc.to_string(),
-                pct(r.reductions[0]),
-                pct(r.reductions[1]),
+                assoc.to_string(),
+                cells.fmt(benchmark.name(), &key(assoc, HISTORY_BITS[0]), pct),
+                cells.fmt(benchmark.name(), &key(assoc, HISTORY_BITS[1]), pct),
             ]);
         }
         out.push_str(&format!("\n[{}]\n{}", benchmark, table.render()));

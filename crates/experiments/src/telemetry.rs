@@ -5,8 +5,8 @@
 //! `main`:
 //!
 //! ```no_run
-//! let scale = experiments::Scale::from_env();
-//! let _telemetry = experiments::telemetry::session("table1", scale);
+//! let scale = experiments::Scale::from_env_or_exit();
+//! let _telemetry = experiments::telemetry::session_or_exit("table1", scale);
 //! // ... run and print the table ...
 //! ```
 //!
@@ -31,26 +31,45 @@ use crate::runner::Scale;
 use branch_predictors::BranchClassStats;
 use sim_isa::BranchClass;
 use sim_telemetry::{
-    write_jsonl, Event, EventSink, Json, MetricsRegistry, RunManifest, RunRecord, SpanRegistry,
+    write_jsonl, CellRecord, Event, EventSink, Json, MetricsRegistry, RunManifest, RunRecord,
+    SpanRegistry,
 };
 
 pub use sim_telemetry::TelemetryMode;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
 use std::time::Instant;
 use target_cache::telemetry::HarnessTelemetry;
 use target_cache::TargetCacheStats;
 
-/// Mutable hub state: what the current run is, and everything collected
-/// so far.
+/// Mutable hub state: what each thread is running, and everything
+/// collected so far. Benchmark attribution and event sinks are keyed by
+/// thread id because the [`jobs`](crate::jobs) runner executes cells on
+/// parallel workers — a shared label would cross-attribute their runs.
 #[derive(Default)]
 struct State {
-    /// Label runs and events are attributed to (set by `runner::trace`).
-    benchmark: String,
+    /// Per-thread label runs and events are attributed to (set by
+    /// `runner::trace` on the thread that generates the workload).
+    benchmark: HashMap<ThreadId, String>,
+    /// Per-thread event sinks (events mode only).
+    sinks: HashMap<ThreadId, EventSink>,
     /// Completed run records, in execution order.
     runs: Vec<RunRecord>,
     /// Drained events, labelled with the benchmark they belong to.
     events: Vec<(String, Event)>,
+    /// Cell outcomes reported by the jobs runner.
+    cells: Vec<CellRecord>,
+}
+
+impl State {
+    fn label(&self) -> String {
+        self.benchmark
+            .get(&std::thread::current().id())
+            .cloned()
+            .unwrap_or_default()
+    }
 }
 
 /// The process-global telemetry hub a [`Session`] installs.
@@ -58,7 +77,6 @@ pub struct Hub {
     mode: TelemetryMode,
     registry: MetricsRegistry,
     spans: SpanRegistry,
-    sink: Option<EventSink>,
     state: Mutex<State>,
 }
 
@@ -68,7 +86,6 @@ impl Hub {
             mode,
             registry: MetricsRegistry::new(),
             spans: SpanRegistry::new(),
-            sink: mode.events().then(EventSink::new),
             state: Mutex::new(State::default()),
         }
     }
@@ -88,14 +105,39 @@ impl Hub {
         &self.registry
     }
 
-    /// Fresh harness hooks wired to this hub's registry and event sink.
+    /// Fresh harness hooks wired to this hub's registry and the calling
+    /// thread's event sink.
     pub fn harness_telemetry(&self) -> HarnessTelemetry {
-        HarnessTelemetry::new(&self.registry, self.sink.clone())
+        let sink = self.mode.events().then(|| {
+            self.state
+                .lock()
+                .expect("hub state poisoned")
+                .sinks
+                .entry(std::thread::current().id())
+                .or_default()
+                .clone()
+        });
+        HarnessTelemetry::new(&self.registry, sink)
     }
 
-    /// Declares which benchmark subsequent runs and events belong to.
+    /// Declares which benchmark the calling thread's subsequent runs and
+    /// events belong to.
     pub fn set_benchmark(&self, name: &str) {
-        self.state.lock().expect("hub state poisoned").benchmark = name.to_string();
+        self.state
+            .lock()
+            .expect("hub state poisoned")
+            .benchmark
+            .insert(std::thread::current().id(), name.to_string());
+    }
+
+    /// Records one cell outcome from the jobs runner (attempts, deadline
+    /// kills, resume hits) for the run manifest.
+    pub fn record_cell(&self, record: CellRecord) {
+        self.state
+            .lock()
+            .expect("hub state poisoned")
+            .cells
+            .push(record);
     }
 
     /// Records one completed harness (or timing) run: copies the
@@ -111,7 +153,7 @@ impl Hub {
         wall_ns: u64,
     ) {
         let mut state = self.state.lock().expect("hub state poisoned");
-        let label = state.benchmark.clone();
+        let label = state.label();
         let mut run = RunRecord::new(label.clone(), config);
         run.instructions = instructions;
         run.wall_ns = wall_ns;
@@ -138,10 +180,12 @@ impl Hub {
             run.count("cascade.total", total);
         }
         state.runs.push(run);
-        if let Some(sink) = &self.sink {
-            state
-                .events
-                .extend(sink.drain().into_iter().map(|e| (label.clone(), e)));
+        if self.mode.events() {
+            if let Some(sink) = state.sinks.get(&std::thread::current().id()).cloned() {
+                state
+                    .events
+                    .extend(sink.drain().into_iter().map(|e| (label.clone(), e)));
+            }
         }
     }
 }
@@ -170,15 +214,24 @@ pub struct Session {
 /// `results/telemetry`). With `REPRO_TELEMETRY` unset or `off` the session
 /// is inert and costs nothing.
 ///
-/// # Panics
-///
-/// Panics (listing the accepted values) if `REPRO_TELEMETRY` is set to an
-/// unrecognized value.
-pub fn session(tool: &str, scale: Scale) -> Session {
+/// Returns the parse error (listing the accepted values) if
+/// `REPRO_TELEMETRY` is set to an unrecognized value.
+pub fn session(tool: &str, scale: Scale) -> Result<Session, String> {
     let dir = std::env::var("REPRO_TELEMETRY_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("results/telemetry"));
-    session_with(tool, scale, TelemetryMode::from_env(), dir)
+    Ok(session_with(tool, scale, TelemetryMode::from_env()?, dir))
+}
+
+/// [`session`] for binaries: an unrecognized `REPRO_TELEMETRY` value
+/// prints the diagnostic to stderr and exits with status 2 instead of
+/// returning — an operator typo produces one clean line, not a panic
+/// backtrace.
+pub fn session_or_exit(tool: &str, scale: Scale) -> Session {
+    session(tool, scale).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// [`session`] with everything explicit — primarily for tests, which must
@@ -215,7 +268,6 @@ impl Session {
         let Some(hub) = &self.hub else {
             return Ok(());
         };
-        std::fs::create_dir_all(&self.out_dir)?;
 
         let state = hub.state.lock().expect("hub state poisoned");
         let mut manifest = RunManifest::new(self.tool.clone());
@@ -223,18 +275,23 @@ impl Session {
         manifest.mode = hub.mode.name().to_string();
         manifest.instruction_budget = state.runs.iter().map(|r| r.instructions).max().unwrap_or(0);
         manifest.runs = state.runs.clone();
+        manifest.cells = state.cells.clone();
         manifest.events_recorded = state.events.len() as u64;
-        manifest.events_dropped = hub.sink.as_ref().map_or(0, EventSink::dropped);
+        manifest.events_dropped = state.sinks.values().map(EventSink::dropped).sum();
         manifest.wall_ns = self.started.elapsed().as_nanos() as u64;
 
-        let mut file = std::fs::File::create(self.manifest_path())?;
-        manifest.write_to(&mut file, &hub.spans, &hub.registry.snapshot())?;
+        // Stage-and-rename writes: a crash mid-write must never leave a
+        // truncated manifest or event stream behind.
+        let mut buf = Vec::new();
+        manifest.write_to(&mut buf, &hub.spans, &hub.registry.snapshot())?;
+        sim_telemetry::atomic_write(&self.manifest_path(), &buf)?;
 
         if hub.mode.events() {
-            let mut file = std::io::BufWriter::new(std::fs::File::create(self.events_path())?);
+            let mut buf = Vec::new();
             for (label, event) in state.events.iter() {
-                write_jsonl(&mut file, label, std::slice::from_ref(event))?;
+                write_jsonl(&mut buf, label, std::slice::from_ref(event))?;
             }
+            sim_telemetry::atomic_write(&self.events_path(), &buf)?;
         }
         Ok(())
     }
@@ -381,8 +438,25 @@ pub fn render_report(aggregated: &[(String, Vec<SiteReport>)]) -> String {
 }
 
 /// Reads an events JSONL file and renders the top-`top_n` report.
+///
+/// A line that is not valid JSON fails with a diagnostic naming the file
+/// and line number — a corrupt capture should be reported precisely, not
+/// silently skipped (the lenient path, [`aggregate_events`], still
+/// ignores valid-JSON lines that merely aren't mispredict events).
 pub fn report_from_file(path: &Path, top_n: usize) -> std::io::Result<String> {
     let text = std::fs::read_to_string(path)?;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if !line.is_empty() {
+            if let Err(e) = sim_telemetry::json::parse(line) {
+                return Err(std::io::Error::other(format!(
+                    "{}:{}: corrupt JSONL line: {e}",
+                    path.display(),
+                    i + 1
+                )));
+            }
+        }
+    }
     Ok(render_report(&aggregate_events(text.lines(), top_n)))
 }
 

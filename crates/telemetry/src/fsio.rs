@@ -1,0 +1,102 @@
+//! Crash-safe file writes.
+//!
+//! Every durable artifact the telemetry layer produces — run manifests,
+//! event streams, and the experiment runner's journal — goes through
+//! [`atomic_write`]: the bytes land in a `*.tmp` sibling first, are
+//! fsynced, and only then renamed over the destination. A crash (or an
+//! operator's ctrl-C) at any instant leaves either the old complete file
+//! or the new complete file, never a torn half-document.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// The suffix appended to a destination path while its replacement is
+/// being staged.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// Writes `<path>.tmp` in the same directory (so the rename cannot cross
+/// filesystems), fsyncs the staged file, renames it over `path`, and
+/// best-effort fsyncs the parent directory so the rename itself is
+/// durable. Creates the parent directory if it does not exist.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = tmp_path(path);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    match fs::rename(&tmp, path) {
+        Ok(()) => {}
+        Err(e) => {
+            // Don't leave the stage file behind on failure.
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+    }
+    // Durability of the rename: sync the directory entry. Not all
+    // platforms allow opening a directory for sync; failure here never
+    // loses data already safely renamed, so it is best-effort.
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`atomic_write`] for string content.
+pub fn atomic_write_str(path: &Path, text: &str) -> io::Result<()> {
+    atomic_write(path, text.as_bytes())
+}
+
+/// The staging path [`atomic_write`] uses for `path`.
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(TMP_SUFFIX);
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sim-telemetry-fsio-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_and_replaces_atomically() {
+        let dir = scratch("replace");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("out.json");
+
+        atomic_write_str(&path, "first").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first");
+
+        atomic_write_str(&path, "second, longer than the first").unwrap();
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            "second, longer than the first"
+        );
+
+        // No stage file is left behind.
+        assert!(!tmp_path(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_path_is_a_sibling() {
+        let p = Path::new("/a/b/c.json");
+        assert_eq!(tmp_path(p), Path::new("/a/b/c.json.tmp"));
+    }
+}

@@ -28,14 +28,16 @@
 //! parsed strictly by [`TelemetryMode::from_env`].
 
 pub mod event;
+pub mod fsio;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod span;
 
 pub use event::{write_jsonl, Event, EventRing, EventSink, DEFAULT_RING_CAPACITY};
+pub use fsio::{atomic_write, atomic_write_str};
 pub use json::Json;
-pub use manifest::{RunManifest, RunRecord};
+pub use manifest::{CellRecord, RunManifest, RunRecord};
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Histogram, MetricsRegistry, MetricsSnapshot,
     HISTOGRAM_BUCKETS,
@@ -87,20 +89,16 @@ impl TelemetryMode {
     /// unset or set to the empty string (the `REPRO_TELEMETRY= cmd` shell
     /// idiom for "unset").
     ///
-    /// # Panics
-    ///
-    /// Panics with the list of accepted values if the variable is set to
-    /// something unrecognized.
+    /// Returns the parse error (listing the accepted values) if the
+    /// variable is set to something unrecognized; binaries turn that into
+    /// an `eprintln` + `exit(2)` instead of a panic backtrace.
     ///
     /// [`Off`]: TelemetryMode::Off
-    pub fn from_env() -> Self {
+    pub fn from_env() -> Result<Self, String> {
         match std::env::var("REPRO_TELEMETRY") {
-            Ok(v) if v.is_empty() => TelemetryMode::Off,
-            Ok(v) => match TelemetryMode::parse(&v) {
-                Ok(mode) => mode,
-                Err(msg) => panic!("{msg}"),
-            },
-            Err(_) => TelemetryMode::Off,
+            Ok(v) if v.is_empty() => Ok(TelemetryMode::Off),
+            Ok(v) => TelemetryMode::parse(&v),
+            Err(_) => Ok(TelemetryMode::Off),
         }
     }
 

@@ -68,6 +68,51 @@ impl RunRecord {
     }
 }
 
+/// The outcome of one experiment-runner cell (an `experiment × benchmark`
+/// unit of work), as recorded in the manifest's `cells` array.
+///
+/// Written by the fault-tolerant job runner so a manifest documents not
+/// just *what* numbers were produced but *how reliably*: attempts taken,
+/// deadline kills survived, and whether the result was resumed from a
+/// previous run's journal instead of recomputed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CellRecord {
+    /// Cell identity, `experiment/benchmark` (e.g. `table4/perl`).
+    pub cell: String,
+    /// Whether the cell ultimately produced data.
+    pub ok: bool,
+    /// Attempts executed (1 = first try succeeded; 0 = resumed).
+    pub attempts: u32,
+    /// Attempts killed by the per-cell deadline watchdog.
+    pub deadline_kills: u32,
+    /// Whether the result was restored from a journal instead of run.
+    pub resumed: bool,
+    /// Failure reason when `ok` is false.
+    pub reason: Option<String>,
+    /// Wall-clock milliseconds spent across all attempts.
+    pub wall_ms: u64,
+}
+
+impl CellRecord {
+    fn to_json(&self) -> Json {
+        let mut fields = std::collections::BTreeMap::from([
+            ("cell".to_string(), Json::from(self.cell.as_str())),
+            ("ok".to_string(), Json::Bool(self.ok)),
+            ("attempts".to_string(), Json::from(self.attempts as u64)),
+            (
+                "deadline_kills".to_string(),
+                Json::from(self.deadline_kills as u64),
+            ),
+            ("resumed".to_string(), Json::Bool(self.resumed)),
+            ("wall_ms".to_string(), Json::from(self.wall_ms)),
+        ]);
+        if let Some(reason) = &self.reason {
+            fields.insert("reason".to_string(), Json::from(reason.as_str()));
+        }
+        Json::Obj(fields)
+    }
+}
+
 /// The manifest for one experiment invocation (one table binary run).
 #[derive(Clone, Debug, Default)]
 pub struct RunManifest {
@@ -81,6 +126,9 @@ pub struct RunManifest {
     pub instruction_budget: u64,
     /// One record per benchmark × configuration executed.
     pub runs: Vec<RunRecord>,
+    /// One record per job-runner cell, when the invocation went through
+    /// the fault-tolerant runner (empty otherwise).
+    pub cells: Vec<CellRecord>,
     /// Events captured to the JSONL stream (0 in `summary` mode).
     pub events_recorded: u64,
     /// Events lost to ring overflow.
@@ -119,6 +167,10 @@ impl RunManifest {
             (
                 "runs",
                 Json::Arr(self.runs.iter().map(RunRecord::to_json).collect()),
+            ),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(CellRecord::to_json).collect()),
             ),
             ("events_recorded", Json::from(self.events_recorded)),
             ("events_dropped", Json::from(self.events_dropped)),
@@ -207,6 +259,43 @@ mod tests {
             .unwrap()
             .as_u64()
             .is_some());
+    }
+
+    #[test]
+    fn cell_records_serialize_with_optional_reason() {
+        let mut m = RunManifest::new("repro_all");
+        m.cells.push(CellRecord {
+            cell: "table4/gcc".into(),
+            ok: true,
+            attempts: 1,
+            deadline_kills: 0,
+            resumed: false,
+            reason: None,
+            wall_ms: 12,
+        });
+        m.cells.push(CellRecord {
+            cell: "table4/perl".into(),
+            ok: false,
+            attempts: 3,
+            deadline_kills: 1,
+            resumed: false,
+            reason: Some("panicked: injected".into()),
+            wall_ms: 99,
+        });
+        let registry = MetricsRegistry::new();
+        let spans = SpanRegistry::new();
+        let mut buf = Vec::new();
+        m.write_to(&mut buf, &spans, &registry.snapshot()).unwrap();
+        let v = parse(String::from_utf8(buf).unwrap().trim()).unwrap();
+        let cells = v.get("cells").unwrap().as_arr().unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].get("cell").unwrap().as_str(), Some("table4/gcc"));
+        assert!(cells[0].get("reason").is_none());
+        assert_eq!(cells[1].get("attempts").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            cells[1].get("reason").unwrap().as_str(),
+            Some("panicked: injected")
+        );
     }
 
     #[test]

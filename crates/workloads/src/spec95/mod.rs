@@ -82,6 +82,16 @@ impl Workload {
         self.generate(self.default_budget)
     }
 
+    /// Generates a truncated canonical run: the first `fraction` of
+    /// `budget` instructions (at least one — downstream statistics
+    /// normalize by executed counts and an empty trace would leave them
+    /// undefined). The prefix is bit-identical to the untruncated run's,
+    /// so truncation degrades resolution, never determinism.
+    pub fn generate_truncated(&self, budget: usize, fraction: f64) -> VecTrace {
+        let kept = (budget as f64 * fraction.clamp(0.0, 1.0)) as usize;
+        self.generate(kept.max(1))
+    }
+
     /// Generates a trace with a different seed (for sensitivity studies).
     pub fn generate_seeded(&self, seed: u64, budget: usize) -> VecTrace {
         Executor::new(&self.program, seed).generate(budget)
