@@ -1,57 +1,58 @@
 //! Raw component throughput: how many instructions per second each layer
-//! of the stack processes. Criterion's throughput mode reports elem/s.
+//! of the stack processes.
+//!
+//! The bench bodies are the `repro-bench` scenario matrix
+//! ([`experiments::perf::scenario_matrix`]) — the same closures, run
+//! under the same telemetry session — so `cargo bench` and `repro-bench`
+//! measure identical code paths and their instructions-per-second
+//! numbers are directly comparable. Criterion's `Elements` throughput is
+//! set to each scenario's instruction count, so the printed `elem/s`
+//! *is* instr/s.
 
-use bench::{bench_trace, BENCH_BUDGET};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use hps_uarch::{simulate, MachineConfig};
-use sim_workloads::Benchmark;
-use std::hint::black_box;
-use target_cache::harness::{FrontEndConfig, PredictionHarness};
-use target_cache::TargetCacheConfig;
+use experiments::perf;
+use experiments::telemetry::{self, ProfMode, TelemetryMode};
+use experiments::Scale;
+
+/// The subset of the matrix worth a Criterion timing loop: one scenario
+/// per stack layer, on the indirect-heavy workloads. `repro-bench`
+/// covers the full matrix.
+const KEEP: [&str; 6] = [
+    "trace-gen/perl",
+    "trace-gen/gcc",
+    "functional-btb/perl",
+    "functional-tc/perl",
+    "timing/perl",
+    "timing/gcc",
+];
 
 fn bench_throughput(c: &mut Criterion) {
+    // One summary-mode session across the group, exactly as repro-bench
+    // installs: spans accumulate per-phase timings and the manifest
+    // (with its perf section) lands in results/telemetry/.
+    // Cargo runs benches with the crate directory as cwd; anchor the
+    // output at the workspace root so it lands in the ignored
+    // `results/telemetry/` with everything else.
+    let session = telemetry::session_with_prof(
+        "bench-throughput",
+        Scale::Quick,
+        TelemetryMode::Summary,
+        ProfMode::default(),
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/telemetry"),
+    );
     let mut group = c.benchmark_group("throughput");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(BENCH_BUDGET as u64));
-
-    // Trace generation speed for a representative pair.
-    for bench in [Benchmark::Perl, Benchmark::Gcc] {
-        let workload = bench.workload();
-        group.bench_function(format!("generate_{bench}"), |b| {
-            b.iter(|| black_box(workload.generate(BENCH_BUDGET)).len())
-        });
+    for mut scenario in perf::scenario_matrix(Scale::Quick) {
+        if !KEEP.contains(&scenario.name.as_str()) {
+            continue;
+        }
+        // Untimed warm-up doubling as the per-iteration element count.
+        let instructions = scenario.run_once();
+        group.throughput(Throughput::Elements(instructions));
+        group.bench_function(scenario.name.clone(), |b| b.iter(|| scenario.run_once()));
     }
-
-    // Functional prediction.
-    let perl = bench_trace(Benchmark::Perl);
-    group.bench_function("functional_baseline_perl", |b| {
-        b.iter(|| {
-            let mut h = PredictionHarness::new(FrontEndConfig::isca97_baseline());
-            h.run(&perl);
-            h.stats().total_mispredicted()
-        })
-    });
-    group.bench_function("functional_target_cache_perl", |b| {
-        b.iter(|| {
-            let mut h = PredictionHarness::new(FrontEndConfig::isca97_with(
-                TargetCacheConfig::isca97_tagless_gshare(),
-            ));
-            h.run(&perl);
-            h.stats().total_mispredicted()
-        })
-    });
-
-    // Full timing model.
-    group.bench_function("timing_model_perl", |b| {
-        b.iter(|| {
-            simulate(
-                &perl,
-                &MachineConfig::isca97(FrontEndConfig::isca97_baseline()),
-            )
-            .cycles
-        })
-    });
     group.finish();
+    drop(session);
 }
 
 criterion_group!(benches, bench_throughput);

@@ -10,7 +10,10 @@
 //!   index-hash cost, tagless vs tagged lookup cost, and history-source
 //!   maintenance cost.
 //! * `throughput` — raw component speeds: trace generation, functional
-//!   prediction, and the timing model, in instructions per second.
+//!   prediction, and the timing model, in instructions per second. The
+//!   bench bodies are the shared `repro-bench` scenario matrix
+//!   (`experiments::perf::scenario_matrix`), so `cargo bench` and
+//!   `repro-bench` report comparable rates.
 
 use sim_isa::VecTrace;
 use sim_workloads::Benchmark;

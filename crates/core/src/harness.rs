@@ -276,12 +276,24 @@ impl PredictionHarness {
         let pc = instr.pc();
         let actual = b.next_pc(pc);
 
+        // Whether `REPRO_PROF=full` phase timing is live. When it is not
+        // (the default), every timing site below is one branch on this
+        // bool — no `Instant::now()` calls, no atomics.
+        let timed = self.telemetry.as_ref().is_some_and(|t| t.prof().is_some());
+        let clock = |on: bool| on.then(std::time::Instant::now);
+        let lap = |t0: Option<std::time::Instant>| t0.map(|t| t.elapsed().as_nanos() as u64);
+
         // --- Fetch-time prediction -----------------------------------
+        let t0 = clock(timed);
         let history_value = self.history.as_ref().map(|h| h.value_for(pc));
+        let ns_tc_index = lap(t0);
+        let t0 = clock(timed);
         let btb_hit = self.btb.lookup(pc);
+        let ns_btb_lookup = lap(t0);
 
         // The target cache (or cascade) is probed in parallel with the BTB;
         // its access handle is kept for the retire-time update ("index A").
+        let t0 = clock(timed);
         let tc_access = if b.class.uses_target_cache() {
             self.target_cache.as_mut().map(|tc| {
                 tc.lookup(
@@ -304,6 +316,7 @@ impl PredictionHarness {
         } else {
             None
         };
+        let ns_tc_lookup = lap(t0);
 
         // Alongside the prediction, name the structure that supplied it
         // (the telemetry layer's `source` attribution; see
@@ -351,17 +364,24 @@ impl PredictionHarness {
         // --- Decode-driven return stack maintenance ------------------
         // The machine learns the true class at decode, so the RAS stays
         // consistent regardless of BTB hits.
+        let t0 = clock(timed);
         if b.class.is_call() {
             self.ras.push(pc.next());
         } else if b.class.is_return() {
             let _ = self.ras.pop();
         }
+        let ns_ras = lap(t0);
 
         // --- Resolution-time training --------------------------------
+        let t0 = clock(timed);
         if b.class.is_conditional() {
             self.cond.update(pc, b.taken);
         }
+        let ns_dir_update = lap(t0);
+        let t0 = clock(timed);
         self.btb.update(pc, b.class, b.target, pc.next());
+        let ns_btb_update = lap(t0);
+        let t0 = clock(timed);
         if let Some((access, _)) = tc_access {
             self.target_cache
                 .as_mut()
@@ -375,8 +395,29 @@ impl PredictionHarness {
                 .expect("cascade_result implies a cascade")
                 .update(pc, access, b.target, btb_target);
         }
+        let ns_tc_update = lap(t0);
+        let t0 = clock(timed);
         if let Some(h) = &mut self.history {
             h.on_branch_resolved(pc, b.class, b.taken, actual);
+        }
+        let ns_history_update = lap(t0);
+
+        if let Some(p) = self.telemetry.as_ref().and_then(|t| t.prof()) {
+            // All eight are `Some` exactly when `timed` was true.
+            for (timer, ns) in [
+                (&p.tc_index, ns_tc_index),
+                (&p.btb_lookup, ns_btb_lookup),
+                (&p.tc_lookup, ns_tc_lookup),
+                (&p.ras, ns_ras),
+                (&p.dir_update, ns_dir_update),
+                (&p.btb_update, ns_btb_update),
+                (&p.tc_update, ns_tc_update),
+                (&p.history_update, ns_history_update),
+            ] {
+                if let Some(ns) = ns {
+                    timer.record_ns(ns);
+                }
+            }
         }
 
         let outcome = PredictionOutcome {
@@ -675,6 +716,60 @@ mod tests {
                 panic!("only mispredict events expected, got {e:?}");
             };
             assert_ne!(predicted, actual);
+        }
+    }
+
+    #[test]
+    fn hot_path_profiling_records_phases_without_changing_predictions() {
+        use sim_telemetry::{HotProfiler, MetricsRegistry};
+
+        let config = FrontEndConfig::isca97_with(TargetCacheConfig::isca97_tagless_gshare());
+        let drive = |h: &mut PredictionHarness| {
+            for i in 0..60usize {
+                h.process(&cond(0x100, i % 2 == 0, 0x200));
+                let target = if i % 2 == 0 { 0x900 } else { 0xA00 };
+                h.process(&ijmp(0x300, target));
+                h.process(&call(0x400, 0x800));
+                h.process(&ret(0x800, 0x404));
+            }
+        };
+
+        let mut plain = PredictionHarness::new(config);
+        drive(&mut plain);
+
+        let registry = MetricsRegistry::new();
+        let hot = HotProfiler::new();
+        let mut profiled = PredictionHarness::new(config);
+        profiled.attach_telemetry(
+            HarnessTelemetry::new(&registry, None).with_hot_profiler(hot.clone()),
+        );
+        drive(&mut profiled);
+
+        // Identical functional behaviour under timing.
+        assert_eq!(
+            plain.stats().total_mispredicted(),
+            profiled.stats().total_mispredicted()
+        );
+        // Every phase sampled once per processed branch (RAS and history
+        // timers run for every branch; tc phases too — they time the
+        // class check even when the cache is not consulted).
+        let snap = hot.snapshot();
+        let branches = profiled.stats().total_executed();
+        for s in &snap {
+            assert_eq!(s.count, branches, "phase {} sample count", s.name);
+        }
+        let names: Vec<&str> = snap.iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            "btb-lookup",
+            "btb-update",
+            "dir-update",
+            "history-update",
+            "ras",
+            "tc-index",
+            "tc-lookup",
+            "tc-update",
+        ] {
+            assert!(names.contains(&expected), "missing phase {expected}");
         }
     }
 

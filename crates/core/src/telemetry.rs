@@ -8,7 +8,7 @@
 //! one pays a few relaxed atomic adds per branch.
 
 use sim_isa::{Addr, BranchClass};
-use sim_telemetry::{Counter, Event, EventSink, MetricsRegistry};
+use sim_telemetry::{Counter, Event, EventSink, HotProfiler, MetricsRegistry, PhaseTimer};
 
 /// The vocabulary of `source` labels: which structure supplied the
 /// prediction the front end used.
@@ -37,6 +37,51 @@ pub const PREDICTOR_SOURCES: [&str; 9] = [
     "oracle",
 ];
 
+/// Pre-resolved [`PhaseTimer`] handles for the phases of one trip
+/// through [`PredictionHarness::process`] — the `REPRO_PROF=full`
+/// hot-path profile. Each field is two relaxed atomic adds per sample;
+/// the struct is built once at setup so the hot loop never touches the
+/// [`HotProfiler`] registry lock.
+///
+/// [`PredictionHarness::process`]: crate::harness::PredictionHarness::process
+#[derive(Clone, Debug)]
+pub struct HarnessProf {
+    /// History-register read producing the target-cache index.
+    pub tc_index: PhaseTimer,
+    /// Fetch-time BTB probe.
+    pub btb_lookup: PhaseTimer,
+    /// Target-cache (or cascade stage-two) lookup.
+    pub tc_lookup: PhaseTimer,
+    /// Return-address-stack push/pop maintenance.
+    pub ras: PhaseTimer,
+    /// Two-level direction-predictor training.
+    pub dir_update: PhaseTimer,
+    /// Resolution-time BTB training.
+    pub btb_update: PhaseTimer,
+    /// Target-cache training at the fetch-time index.
+    pub tc_update: PhaseTimer,
+    /// Path/pattern history maintenance at resolution.
+    pub history_update: PhaseTimer,
+}
+
+impl HarnessProf {
+    /// Resolves the harness's phase timers out of `hot` (names
+    /// `btb-lookup`, `tc-index`, `tc-lookup`, `ras`, `dir-update`,
+    /// `btb-update`, `tc-update`, `history-update`).
+    pub fn new(hot: &HotProfiler) -> Self {
+        HarnessProf {
+            tc_index: hot.timer("tc-index"),
+            btb_lookup: hot.timer("btb-lookup"),
+            tc_lookup: hot.timer("tc-lookup"),
+            ras: hot.timer("ras"),
+            dir_update: hot.timer("dir-update"),
+            btb_update: hot.timer("btb-update"),
+            tc_update: hot.timer("tc-update"),
+            history_update: hot.timer("history-update"),
+        }
+    }
+}
+
 /// Instruments fed by [`PredictionHarness::process`] when attached via
 /// [`PredictionHarness::attach_telemetry`].
 ///
@@ -50,6 +95,10 @@ pub struct HarnessTelemetry {
     /// hot path never takes the registry lock.
     by_source: Vec<(&'static str, Counter)>,
     events: Option<EventSink>,
+    /// The shared hot-path profiler (`REPRO_PROF=full` only).
+    hot: Option<HotProfiler>,
+    /// Pre-resolved harness phase timers out of `hot`.
+    prof: Option<HarnessProf>,
 }
 
 impl HarnessTelemetry {
@@ -65,12 +114,34 @@ impl HarnessTelemetry {
                 .map(|&s| (s, registry.counter(&format!("harness.mispredicts.{s}"))))
                 .collect(),
             events,
+            hot: None,
+            prof: None,
         }
+    }
+
+    /// Attaches a hot-path profiler (the `REPRO_PROF=full` path): the
+    /// harness will time each prediction phase into it, and the timing
+    /// model can resolve its own phase timers from the same profiler.
+    #[must_use]
+    pub fn with_hot_profiler(mut self, hot: HotProfiler) -> Self {
+        self.prof = Some(HarnessProf::new(&hot));
+        self.hot = Some(hot);
+        self
     }
 
     /// The event sink, if per-event recording is enabled.
     pub fn events(&self) -> Option<&EventSink> {
         self.events.as_ref()
+    }
+
+    /// The shared hot-path profiler, when one is attached.
+    pub fn hot_profiler(&self) -> Option<&HotProfiler> {
+        self.hot.as_ref()
+    }
+
+    /// The harness's pre-resolved phase timers, when profiling is on.
+    pub fn prof(&self) -> Option<&HarnessProf> {
+        self.prof.as_ref()
     }
 
     /// Records one processed branch.
@@ -150,6 +221,24 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn hot_profiler_attaches_and_resolves_phase_timers() {
+        let registry = MetricsRegistry::new();
+        let hot = HotProfiler::new();
+        let t = HarnessTelemetry::new(&registry, None).with_hot_profiler(hot.clone());
+        let prof = t.prof().expect("prof attached");
+        prof.btb_lookup.record_ns(10);
+        prof.tc_lookup.record_ns(20);
+        // Samples land in the shared profiler under the canonical names.
+        let snap = hot.snapshot();
+        let names: Vec<&str> = snap.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["btb-lookup", "tc-lookup"]);
+        assert!(t.hot_profiler().is_some());
+        // Without attachment there is no prof and no cost.
+        let bare = HarnessTelemetry::new(&registry, None);
+        assert!(bare.prof().is_none());
     }
 
     #[test]

@@ -1,21 +1,34 @@
 //! `traceinfo`-style viewer: the top-N mispredicting indirect branches
-//! per benchmark.
+//! per benchmark, plus manifest-backed perf and cell views.
 //!
-//! Two modes:
+//! Modes:
 //!
 //! * `telemetry-report <run.events.jsonl>...` — aggregate previously
 //!   captured event streams (written by any table binary run with
 //!   `REPRO_TELEMETRY=events`);
 //! * `telemetry-report` with no file arguments — run every benchmark
 //!   through the paper's canonical target-cache front end live, with
-//!   event capture forced on, at the `REPRO_SCALE` scale.
+//!   event capture forced on, at the `REPRO_SCALE` scale;
+//! * `telemetry-report --perf <run.manifest.json>...` — throughput
+//!   accounting: aggregate and per-run instructions/sec and
+//!   predictions/sec, hot-path phase totals, and span self/total times;
+//! * `telemetry-report --cells <run.manifest.json>...` — the job-runner
+//!   cell view: outcome, attempts, wall time, simulated instructions,
+//!   and per-cell throughput.
 //!
 //! `--top N` changes how many sites are shown per benchmark (default 10).
 
 use std::path::PathBuf;
 
+enum View {
+    Events,
+    Perf,
+    Cells,
+}
+
 fn main() {
     let mut top_n = 10usize;
+    let mut view = View::Events;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -30,26 +43,55 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--perf" => view = View::Perf,
+            "--cells" => view = View::Cells,
             "--help" | "-h" => {
-                eprintln!("usage: telemetry-report [--top N] [events.jsonl ...]");
+                eprintln!(
+                    "usage: telemetry-report [--top N] [events.jsonl ...]\n\
+                            telemetry-report --perf <run.manifest.json>...\n\
+                            telemetry-report --cells <run.manifest.json>..."
+                );
                 return;
             }
             _ => files.push(PathBuf::from(a)),
         }
     }
 
-    if files.is_empty() {
-        let scale = experiments::Scale::from_env_or_exit();
-        print!("{}", experiments::telemetry::live_report(scale, top_n));
-        return;
-    }
-    for f in &files {
-        println!("# {}", f.display());
-        match experiments::telemetry::report_from_file(f, top_n) {
-            Ok(report) => print!("{report}"),
-            Err(e) => {
-                eprintln!("error reading {}: {e}", f.display());
-                std::process::exit(1);
+    match view {
+        View::Events => {
+            if files.is_empty() {
+                let scale = experiments::Scale::from_env_or_exit();
+                print!("{}", experiments::telemetry::live_report(scale, top_n));
+                return;
+            }
+            for f in &files {
+                println!("# {}", f.display());
+                match experiments::telemetry::report_from_file(f, top_n) {
+                    Ok(report) => print!("{report}"),
+                    Err(e) => {
+                        eprintln!("error reading {}: {e}", f.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        View::Perf | View::Cells => {
+            if files.is_empty() {
+                eprintln!("error: --perf/--cells need at least one run.manifest.json path");
+                std::process::exit(2);
+            }
+            for f in &files {
+                let rendered = match view {
+                    View::Perf => experiments::telemetry::perf_report_from_manifest(f),
+                    _ => experiments::telemetry::cells_report_from_manifest(f),
+                };
+                match rendered {
+                    Ok(report) => print!("{report}"),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
         }
     }

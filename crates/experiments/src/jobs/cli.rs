@@ -151,6 +151,7 @@ fn record_cells(outcome: &CampaignOutcome) {
                 resumed: r.resumed,
                 reason: r.outcome.as_ref().err().cloned(),
                 wall_ms: r.wall_ms,
+                instructions: r.instructions,
             });
         }
     }

@@ -38,6 +38,9 @@ pub struct JournalRecord {
     pub deadline_kills: u32,
     /// Wall-clock milliseconds across all attempts.
     pub wall_ms: u64,
+    /// Simulated instructions processed across this run's attempts (0 in
+    /// journals written before this field existed).
+    pub instructions: u64,
     /// The cell's data (present iff `ok`).
     pub data: Option<CellData>,
     /// The failure reason (present iff not `ok`).
@@ -58,6 +61,7 @@ impl JournalRecord {
                 Json::from(self.deadline_kills as u64),
             ),
             ("wall_ms".to_string(), Json::from(self.wall_ms)),
+            ("instructions".to_string(), Json::from(self.instructions)),
         ]);
         if let Some(data) = &self.data {
             fields.insert("data".to_string(), data.to_json());
@@ -96,6 +100,7 @@ impl JournalRecord {
             attempts: v.get("attempts").and_then(Json::as_u64).unwrap_or(0) as u32,
             deadline_kills: v.get("deadline_kills").and_then(Json::as_u64).unwrap_or(0) as u32,
             wall_ms: v.get("wall_ms").and_then(Json::as_u64).unwrap_or(0),
+            instructions: v.get("instructions").and_then(Json::as_u64).unwrap_or(0),
             data,
             reason: v.get("reason").and_then(Json::as_str).map(String::from),
         })
@@ -230,6 +235,7 @@ mod tests {
             attempts: 1,
             deadline_kills: 0,
             wall_ms: 5,
+            instructions: 100_000,
             data: Some(data),
             reason: None,
         }
@@ -249,6 +255,7 @@ mod tests {
                 attempts: 3,
                 deadline_kills: 1,
                 wall_ms: 99,
+                instructions: 0,
                 data: None,
                 reason: Some("panicked: injected".into()),
             })
@@ -259,6 +266,7 @@ mod tests {
         let ok = resumed.record("table4/gcc").unwrap();
         assert!(ok.ok);
         assert_eq!(ok.data.as_ref().unwrap().get("v"), Some(0.31));
+        assert_eq!(ok.instructions, 100_000, "instruction count round-trips");
         let err = resumed.record("table4/perl").unwrap();
         assert!(!err.ok);
         assert_eq!(err.reason.as_deref(), Some("panicked: injected"));
@@ -295,6 +303,19 @@ mod tests {
         let err = Journal::resume(&dir, "s", "table1", Scale::Quick).unwrap_err();
         assert!(err.contains("tool"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn records_without_instructions_parse_as_zero() {
+        // Journals written before the per-cell instruction accounting
+        // existed must still resume cleanly.
+        let v = parse(
+            r#"{"cell":"t/old","status":"ok","attempts":1,"deadline_kills":0,"wall_ms":3,"data":{"v":1.0}}"#,
+        )
+        .unwrap();
+        let record = JournalRecord::from_json(&v).unwrap();
+        assert_eq!(record.instructions, 0);
+        assert!(record.ok);
     }
 
     #[test]

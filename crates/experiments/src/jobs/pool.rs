@@ -123,6 +123,9 @@ pub struct CellReport {
     pub resumed: bool,
     /// Wall-clock ms spent across this run's attempts.
     pub wall_ms: u64,
+    /// Simulated instructions processed across this run's attempts (for
+    /// a resumed cell: the count its journal record carried).
+    pub instructions: u64,
 }
 
 /// Everything a campaign produced, reports in task order.
@@ -156,6 +159,7 @@ enum Msg {
         attempt: u32,
         result: Result<CellData, String>,
         wall_ms: u64,
+        instructions: u64,
     },
     /// An attempt's deadline elapsed.
     Deadline { task: usize, attempt: u32 },
@@ -168,6 +172,7 @@ struct TaskState {
     attempts_used: u32,
     deadline_kills: u32,
     wall_ms: u64,
+    instructions: u64,
     /// The attempt id currently in flight, if any — results from any
     /// other attempt (i.e. from a detached, timed-out thread) are stale
     /// and dropped.
@@ -203,6 +208,7 @@ pub fn run_campaign(
                 deadline_kills: 0,
                 resumed: true,
                 wall_ms: 0,
+                instructions: r.instructions,
             });
         if restored.is_none() {
             ready.push_back(i);
@@ -212,6 +218,7 @@ pub fn run_campaign(
             attempts_used: 0,
             deadline_kills: 0,
             wall_ms: 0,
+            instructions: 0,
             live_attempt: None,
             last_error: String::new(),
             done: false,
@@ -242,6 +249,7 @@ pub fn run_campaign(
                 attempt,
                 result,
                 wall_ms,
+                instructions,
             } => {
                 let state = &mut states[task];
                 if state.done || state.live_attempt != Some(attempt) {
@@ -249,6 +257,7 @@ pub fn run_campaign(
                 }
                 state.live_attempt = None;
                 state.wall_ms += wall_ms;
+                state.instructions += instructions;
                 running -= 1;
                 match result {
                     Ok(data) => {
@@ -261,6 +270,7 @@ pub fn run_campaign(
                             deadline_kills: state.deadline_kills,
                             resumed: false,
                             wall_ms: state.wall_ms,
+                            instructions: state.instructions,
                         };
                         journal_report(journal, &report)?;
                         reports[task] = Some(report);
@@ -351,6 +361,7 @@ fn retry_or_fail(
         deadline_kills: state.deadline_kills,
         resumed: false,
         wall_ms: state.wall_ms,
+        instructions: state.instructions,
     };
     journal_report(journal, &report)?;
     reports[task] = Some(report);
@@ -366,6 +377,7 @@ fn journal_report(journal: &mut Journal, report: &CellReport) -> Result<(), Stri
         attempts: report.attempts,
         deadline_kills: report.deadline_kills,
         wall_ms: report.wall_ms,
+        instructions: report.instructions,
         data: report.outcome.as_ref().ok().cloned(),
         reason: report.outcome.as_ref().err().cloned(),
     };
@@ -392,7 +404,17 @@ fn spawn_attempt(
         .name(format!("repro-cell-{id}#{attempt}"))
         .spawn(move || {
             let started = Instant::now();
+            // Fresh instruction account for this attempt (worker threads
+            // are per-attempt, but be explicit rather than rely on that).
+            let _ = crate::telemetry::take_instructions();
             let result = catch_unwind(AssertUnwindSafe(|| {
+                // Group this cell's phase spans (workload-gen, replay,
+                // uarch-sim) under a per-experiment parent, so manifests
+                // show e.g. `cell:table4;workload-gen`. Keyed by the
+                // experiment, not the full cell id, to bound cardinality.
+                let experiment = id.split('/').next().unwrap_or(&id);
+                let _span = crate::telemetry::active()
+                    .map(|hub| hub.spans().span(&format!("cell:{experiment}")));
                 faults.apply(&id, attempt);
                 work()
             }))
@@ -402,6 +424,7 @@ fn spawn_attempt(
                 attempt,
                 result,
                 wall_ms: started.elapsed().as_millis() as u64,
+                instructions: crate::telemetry::take_instructions(),
             });
         })
         .expect("spawn cell worker thread");

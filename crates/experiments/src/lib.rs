@@ -55,6 +55,7 @@ pub mod fig_tagless_vs_tagged;
 pub mod fig_targets;
 pub mod headline;
 pub mod jobs;
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod table1;

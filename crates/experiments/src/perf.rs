@@ -1,0 +1,628 @@
+//! The perf-trajectory harness behind `repro-bench`.
+//!
+//! Runs a standardized scenario matrix — per-benchmark trace generation,
+//! per-predictor functional prediction, the timing model, and an
+//! end-to-end table regeneration — for a configurable number of warmup
+//! and measured iterations, and writes a machine-readable
+//! `BENCH_<n>.json` snapshot: median/min/max wall nanoseconds,
+//! instructions per second, per-phase span breakdowns, the git revision,
+//! and the scale. Consecutive snapshots form a performance trajectory;
+//! [`gate`] diffs two of them and reports scenarios whose median time
+//! regressed beyond a tolerance, which CI uses to fail the build.
+//!
+//! Environment:
+//!
+//! * `REPRO_BENCH_SLOWDOWN` — multiplies every recorded sample by a
+//!   factor (strictly parsed; a typo exits 2). This is a test hook: the
+//!   regression-gate acceptance test injects a synthetic 10× slowdown
+//!   and asserts the gate trips, without needing a genuinely slow build.
+//!
+//! The matrix reuses the same [`crate::runner`] entry points the table
+//! binaries and the `bench` crate's Criterion benches run, so
+//! `cargo bench` and `repro-bench` measure the same code paths.
+
+use crate::jobs::CellSet;
+use crate::runner::{self, Scale};
+use crate::telemetry as hub;
+use sim_telemetry::json::{obj, parse, Json};
+use sim_telemetry::manifest::per_sec;
+use sim_telemetry::SpanStat;
+use sim_workloads::Benchmark;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+use std::time::Instant;
+
+/// The `BENCH_<n>.json` format version, bumped on breaking changes.
+pub const BENCH_FORMAT: u64 = 1;
+
+/// One named, repeatable unit of work in the scenario matrix.
+pub struct Scenario {
+    /// Scenario id (`functional-tc/perl`), stable across runs so
+    /// trajectories and baselines can be matched scenario-by-scenario.
+    pub name: String,
+    run: Box<dyn FnMut() -> u64>,
+}
+
+impl Scenario {
+    /// Wraps a closure that performs the work once and returns the
+    /// number of simulated (or generated) instructions it processed.
+    pub fn new(name: impl Into<String>, run: impl FnMut() -> u64 + 'static) -> Scenario {
+        Scenario {
+            name: name.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// Performs the scenario's work once, untimed, returning the
+    /// instruction count — for callers (like the Criterion benches)
+    /// that bring their own timing loop.
+    pub fn run_once(&mut self) -> u64 {
+        (self.run)()
+    }
+}
+
+/// Builds the standard scenario matrix at a scale.
+///
+/// * `trace-gen/<bench>` — workload trace generation, all 8 benchmarks.
+/// * `functional-btb/<bench>` — functional prediction, BTB-only
+///   baseline front end, all 8 benchmarks.
+/// * `functional-tc/<bench>` — functional prediction with the paper's
+///   tagless gshare target cache, all 8 benchmarks.
+/// * `timing/<bench>` — the cycle-level timing model on the two
+///   heaviest indirect-jump workloads (perl, gcc).
+/// * `e2e/table1` — end-to-end Table 1 regeneration at quick scale.
+///
+/// Traces for the replay scenarios are generated once up front and
+/// shared, so their samples measure prediction, not generation.
+pub fn scenario_matrix(scale: Scale) -> Vec<Scenario> {
+    use target_cache::harness::FrontEndConfig;
+    use target_cache::TargetCacheConfig;
+
+    let mut scenarios = Vec::new();
+    for bench in Benchmark::ALL {
+        scenarios.push(Scenario::new(format!("trace-gen/{bench}"), move || {
+            runner::trace(bench, scale).len() as u64
+        }));
+    }
+    let traces: BTreeMap<&'static str, Rc<sim_isa::VecTrace>> = Benchmark::ALL
+        .iter()
+        .map(|&b| (b.name(), Rc::new(runner::trace(b, scale))))
+        .collect();
+    // The shared traces were generated up front, so each replay scenario
+    // re-declares its benchmark for manifest run attribution.
+    let claim = |bench: Benchmark| {
+        if let Some(hub) = hub::active() {
+            hub.set_benchmark(bench.name());
+        }
+    };
+    for bench in Benchmark::ALL {
+        let trace = Rc::clone(&traces[bench.name()]);
+        scenarios.push(Scenario::new(
+            format!("functional-btb/{bench}"),
+            move || {
+                claim(bench);
+                runner::functional(&trace, FrontEndConfig::isca97_baseline());
+                trace.len() as u64
+            },
+        ));
+    }
+    for bench in Benchmark::ALL {
+        let trace = Rc::clone(&traces[bench.name()]);
+        scenarios.push(Scenario::new(format!("functional-tc/{bench}"), move || {
+            claim(bench);
+            runner::functional(
+                &trace,
+                FrontEndConfig::isca97_with(TargetCacheConfig::isca97_tagless_gshare()),
+            );
+            trace.len() as u64
+        }));
+    }
+    for bench in [Benchmark::Perl, Benchmark::Gcc] {
+        let trace = Rc::clone(&traces[bench.name()]);
+        scenarios.push(Scenario::new(format!("timing/{bench}"), move || {
+            claim(bench);
+            runner::timing(&trace, FrontEndConfig::isca97_baseline()).instructions
+        }));
+    }
+    scenarios.push(Scenario::new("e2e/table1", || {
+        let def = crate::jobs::registry::find("table1").expect("table1 is registered");
+        let _ = hub::take_instructions();
+        let mut cells = CellSet::new();
+        for label in (def.labels)() {
+            cells.insert(label, Ok((def.cell)(label, Scale::Quick)));
+        }
+        let _ = (def.render)(&cells);
+        hub::take_instructions()
+    }));
+    scenarios
+}
+
+/// How a matrix run is sampled.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Scale the scenarios run at.
+    pub scale: Scale,
+    /// Untimed warmup iterations per scenario.
+    pub warmup: u32,
+    /// Timed iterations per scenario (clamped to at least 1).
+    pub iters: u32,
+    /// Synthetic sample multiplier from `REPRO_BENCH_SLOWDOWN`.
+    pub slowdown: f64,
+}
+
+/// Reads the synthetic-slowdown test hook. Unset or empty means 1.0
+/// (no distortion); anything else must parse as a finite positive
+/// number or the caller should exit 2.
+pub fn slowdown_from_env() -> Result<f64, String> {
+    let raw = match std::env::var("REPRO_BENCH_SLOWDOWN") {
+        Ok(v) if !v.is_empty() => v,
+        _ => return Ok(1.0),
+    };
+    match raw.parse::<f64>() {
+        Ok(f) if f.is_finite() && f > 0.0 => Ok(f),
+        _ => Err(format!(
+            "unrecognized REPRO_BENCH_SLOWDOWN value {raw:?}; expected a finite positive number"
+        )),
+    }
+}
+
+/// One scenario's measured result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario id, matching [`Scenario::name`].
+    pub name: String,
+    /// Median wall nanoseconds per iteration.
+    pub median_ns: u64,
+    /// Fastest iteration.
+    pub min_ns: u64,
+    /// Slowest iteration.
+    pub max_ns: u64,
+    /// Instructions processed per iteration.
+    pub instructions: u64,
+    /// Per-phase breakdown: span path → (count, total ns) summed over
+    /// the measured iterations. Empty when telemetry is off.
+    pub phases: BTreeMap<String, (u64, u64)>,
+}
+
+impl ScenarioResult {
+    /// Throughput at the median: instructions per second.
+    pub fn instr_per_sec(&self) -> f64 {
+        per_sec(self.instructions, self.median_ns)
+    }
+
+    fn to_json(&self) -> Json {
+        let phases = self
+            .phases
+            .iter()
+            .map(|(path, &(count, total_ns))| {
+                (
+                    path.clone(),
+                    obj([
+                        ("count", Json::from(count)),
+                        ("total_ns", Json::from(total_ns)),
+                    ]),
+                )
+            })
+            .collect();
+        obj([
+            ("name", Json::from(self.name.as_str())),
+            ("median_ns", Json::from(self.median_ns)),
+            ("min_ns", Json::from(self.min_ns)),
+            ("max_ns", Json::from(self.max_ns)),
+            ("instructions", Json::from(self.instructions)),
+            ("instr_per_sec", Json::from(self.instr_per_sec())),
+            ("phases", Json::Obj(phases)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<ScenarioResult, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("scenario missing numeric {name:?}"))
+        };
+        let mut phases = BTreeMap::new();
+        if let Some(Json::Obj(map)) = v.get("phases") {
+            for (path, entry) in map {
+                let count = entry.get("count").and_then(Json::as_u64).unwrap_or(0);
+                let total = entry.get("total_ns").and_then(Json::as_u64).unwrap_or(0);
+                phases.insert(path.clone(), (count, total));
+            }
+        }
+        Ok(ScenarioResult {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("scenario missing \"name\"")?
+                .to_string(),
+            median_ns: field("median_ns")?,
+            min_ns: field("min_ns")?,
+            max_ns: field("max_ns")?,
+            instructions: field("instructions")?,
+            phases,
+        })
+    }
+}
+
+/// A full `BENCH_<n>.json` document: one matrix run's results plus the
+/// provenance needed to compare it against other runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Git revision the run measured (`"unknown"` outside a checkout).
+    pub git_rev: String,
+    /// Scale name the matrix ran at.
+    pub scale: String,
+    /// Warmup iterations per scenario.
+    pub warmup: u32,
+    /// Measured iterations per scenario.
+    pub iters: u32,
+    /// Synthetic slowdown applied to samples (1.0 = none).
+    pub slowdown: f64,
+    /// Unix seconds when the run finished.
+    pub unix_secs: u64,
+    /// Per-scenario results, in matrix order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl BenchReport {
+    /// Serializes to the `BENCH_<n>.json` document.
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("bench_format", Json::from(BENCH_FORMAT)),
+            ("tool", Json::from("repro-bench")),
+            ("git_rev", Json::from(self.git_rev.as_str())),
+            ("scale", Json::from(self.scale.as_str())),
+            ("warmup", Json::from(u64::from(self.warmup))),
+            ("iters", Json::from(u64::from(self.iters))),
+            ("slowdown", Json::from(self.slowdown)),
+            ("unix_secs", Json::from(self.unix_secs)),
+            (
+                "scenarios",
+                Json::Arr(self.scenarios.iter().map(ScenarioResult::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a `BENCH_<n>.json` document with the strict JSON parser.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let v = parse(text).map_err(|e| e.to_string())?;
+        let format = v
+            .get("bench_format")
+            .and_then(Json::as_u64)
+            .ok_or("missing \"bench_format\"")?;
+        if format != BENCH_FORMAT {
+            return Err(format!(
+                "unsupported bench_format {format} (this build reads {BENCH_FORMAT})"
+            ));
+        }
+        let scenarios = v
+            .get("scenarios")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"scenarios\" array")?
+            .iter()
+            .map(ScenarioResult::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let str_field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(String::from)
+                .ok_or_else(|| format!("missing {name:?}"))
+        };
+        Ok(BenchReport {
+            git_rev: str_field("git_rev")?,
+            scale: str_field("scale")?,
+            warmup: v.get("warmup").and_then(Json::as_u64).unwrap_or(0) as u32,
+            iters: v.get("iters").and_then(Json::as_u64).unwrap_or(1) as u32,
+            slowdown: v.get("slowdown").and_then(Json::as_f64).unwrap_or(1.0),
+            unix_secs: v.get("unix_secs").and_then(Json::as_u64).unwrap_or(0),
+            scenarios,
+        })
+    }
+
+    /// The result for a scenario name, if present.
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioResult> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
+
+/// Measures one scenario: warmup iterations, then `iters` timed samples
+/// (each multiplied by the synthetic slowdown), with per-phase span
+/// deltas captured across the measured window.
+pub fn measure(config: &BenchConfig, scenario: &mut Scenario) -> ScenarioResult {
+    let _ = hub::take_instructions();
+    for _ in 0..config.warmup {
+        (scenario.run)();
+        let _ = hub::take_instructions();
+    }
+    let span_base = span_snapshot();
+    let mut samples = Vec::new();
+    let mut instructions = 0;
+    for _ in 0..config.iters.max(1) {
+        let started = Instant::now();
+        instructions = (scenario.run)();
+        let ns = started.elapsed().as_nanos() as u64;
+        samples.push((ns as f64 * config.slowdown) as u64);
+        let _ = hub::take_instructions();
+    }
+    samples.sort_unstable();
+    ScenarioResult {
+        name: scenario.name.clone(),
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        max_ns: *samples.last().expect("at least one sample"),
+        instructions,
+        phases: span_delta(&span_base, &span_snapshot()),
+    }
+}
+
+/// Runs every scenario through [`measure`], invoking `on_result` after
+/// each so callers can stream progress.
+pub fn run_matrix(
+    config: &BenchConfig,
+    mut scenarios: Vec<Scenario>,
+    mut on_result: impl FnMut(&ScenarioResult),
+) -> Vec<ScenarioResult> {
+    scenarios
+        .iter_mut()
+        .map(|s| {
+            let result = measure(config, s);
+            on_result(&result);
+            result
+        })
+        .collect()
+}
+
+fn span_snapshot() -> BTreeMap<String, (u64, u64)> {
+    match hub::active() {
+        Some(h) => h
+            .spans()
+            .snapshot()
+            .into_iter()
+            .map(
+                |SpanStat {
+                     path,
+                     count,
+                     total_ns,
+                     ..
+                 }| (path, (count, total_ns)),
+            )
+            .collect(),
+        None => BTreeMap::new(),
+    }
+}
+
+/// What the span registry accumulated between two snapshots.
+fn span_delta(
+    before: &BTreeMap<String, (u64, u64)>,
+    after: &BTreeMap<String, (u64, u64)>,
+) -> BTreeMap<String, (u64, u64)> {
+    after
+        .iter()
+        .filter_map(|(path, &(count, ns))| {
+            let (c0, n0) = before.get(path).copied().unwrap_or((0, 0));
+            let delta = (count.saturating_sub(c0), ns.saturating_sub(n0));
+            (delta.0 > 0 || delta.1 > 0).then(|| (path.clone(), delta))
+        })
+        .collect()
+}
+
+/// One scenario whose median time regressed beyond the gate tolerance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Scenario id.
+    pub scenario: String,
+    /// Baseline median nanoseconds.
+    pub baseline_ns: u64,
+    /// Current median nanoseconds.
+    pub current_ns: u64,
+    /// Observed slowdown in percent (120.0 = 2.2× the baseline).
+    pub pct: f64,
+}
+
+/// Diffs `current` against `baseline`: every scenario present in both
+/// whose median time grew by more than `tolerance_pct` percent is a
+/// regression. Scenarios missing from either side are skipped — adding
+/// or retiring a scenario must not trip the gate.
+pub fn gate(current: &BenchReport, baseline: &BenchReport, tolerance_pct: f64) -> Vec<Regression> {
+    current
+        .scenarios
+        .iter()
+        .filter_map(|s| {
+            let base = baseline.scenario(&s.name)?;
+            if base.median_ns == 0 {
+                return None;
+            }
+            let pct = (s.median_ns as f64 / base.median_ns as f64 - 1.0) * 100.0;
+            (pct > tolerance_pct).then(|| Regression {
+                scenario: s.name.clone(),
+                baseline_ns: base.median_ns,
+                current_ns: s.median_ns,
+                pct,
+            })
+        })
+        .collect()
+}
+
+/// The first unused `BENCH_<n>.json` path in `dir` (`BENCH_0.json` for
+/// an empty directory).
+pub fn next_bench_path(dir: &Path) -> PathBuf {
+    let next = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            let n: u64 = name
+                .strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()?;
+            Some(n + 1)
+        })
+        .max()
+        .unwrap_or(0);
+    dir.join(format!("BENCH_{next}.json"))
+}
+
+/// The current git revision, or `"unknown"` outside a checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, median_ns: u64) -> ScenarioResult {
+        ScenarioResult {
+            name: name.to_string(),
+            median_ns,
+            min_ns: median_ns / 2,
+            max_ns: median_ns * 2,
+            instructions: 100_000,
+            phases: BTreeMap::from([("harness-replay".to_string(), (3, median_ns))]),
+        }
+    }
+
+    fn report(medians: &[(&str, u64)]) -> BenchReport {
+        BenchReport {
+            git_rev: "abc123".into(),
+            scale: "quick".into(),
+            warmup: 1,
+            iters: 3,
+            slowdown: 1.0,
+            unix_secs: 1_700_000_000,
+            scenarios: medians.iter().map(|&(n, m)| result(n, m)).collect(),
+        }
+    }
+
+    #[test]
+    fn bench_report_round_trips_through_strict_parser() {
+        let original = report(&[("functional-tc/perl", 4_000_000), ("timing/gcc", 9_000_000)]);
+        let text = original.to_json().to_string();
+        let parsed = BenchReport::parse(&text).unwrap();
+        assert_eq!(parsed, original);
+        let s = parsed.scenario("functional-tc/perl").unwrap();
+        assert_eq!(s.phases["harness-replay"], (3, 4_000_000));
+        assert!((s.instr_per_sec() - 25_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_wrong_format() {
+        assert!(BenchReport::parse("{not json").is_err());
+        assert!(BenchReport::parse("{\"bench_format\": 99}").is_err());
+        assert!(
+            BenchReport::parse("{\"bench_format\": 1}").is_err(),
+            "missing scenarios"
+        );
+    }
+
+    #[test]
+    fn gate_trips_only_beyond_tolerance() {
+        let base = report(&[("a", 1_000), ("b", 1_000), ("gone", 500)]);
+        let current = report(&[("a", 1_200), ("b", 2_000), ("new", 9_999)]);
+        // 20% growth passes a 25% gate; 100% growth fails it; scenarios
+        // present on only one side never trip.
+        let regressions = gate(&current, &base, 25.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].scenario, "b");
+        assert!((regressions[0].pct - 100.0).abs() < 1e-9);
+        // A 10x synthetic slowdown trips even the loose 200% CI gate.
+        let slow = report(&[("a", 10_000), ("b", 10_000)]);
+        assert_eq!(gate(&slow, &base, 200.0).len(), 2);
+    }
+
+    #[test]
+    fn measure_applies_synthetic_slowdown_to_samples() {
+        let spin = || {
+            Scenario::new("spin", || {
+                let mut x = 0u64;
+                for i in 0..50_000 {
+                    x = x.wrapping_add(i);
+                }
+                std::hint::black_box(x);
+                50_000
+            })
+        };
+        let honest = measure(
+            &BenchConfig {
+                scale: Scale::Quick,
+                warmup: 0,
+                iters: 3,
+                slowdown: 1.0,
+            },
+            &mut spin(),
+        );
+        let slowed = measure(
+            &BenchConfig {
+                scale: Scale::Quick,
+                warmup: 0,
+                iters: 3,
+                slowdown: 1000.0,
+            },
+            &mut spin(),
+        );
+        assert_eq!(honest.instructions, 50_000);
+        assert!(honest.median_ns > 0);
+        // Identical work, 1000x multiplier: the margin dwarfs scheduler
+        // noise, so even a very coarse check is deterministic.
+        assert!(
+            slowed.median_ns > honest.median_ns * 10,
+            "slowdown 1000x: {}ns vs honest {}ns",
+            slowed.median_ns,
+            honest.median_ns
+        );
+    }
+
+    #[test]
+    fn slowdown_env_parses_strictly() {
+        // Read-only checks against unset state; value errors are
+        // exercised via parse directly to stay thread-safe.
+        assert_eq!(slowdown_from_env().unwrap(), 1.0);
+        for bad in ["abc", "-2", "0", "inf", "nan"] {
+            let ok = bad
+                .parse::<f64>()
+                .map(|f| f.is_finite() && f > 0.0)
+                .unwrap_or(false);
+            assert!(!ok, "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn bench_paths_number_sequentially() {
+        let dir = std::env::temp_dir().join(format!("repro-bench-paths-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(next_bench_path(&dir).ends_with("BENCH_0.json"));
+        std::fs::write(dir.join("BENCH_0.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_7.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_baseline.json"), "{}").unwrap();
+        assert!(next_bench_path(&dir).ends_with("BENCH_8.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_matrix_covers_every_benchmark_and_layer() {
+        let names: Vec<String> = scenario_matrix(Scale::Quick)
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        for bench in Benchmark::ALL {
+            assert!(names.contains(&format!("trace-gen/{bench}")));
+            assert!(names.contains(&format!("functional-btb/{bench}")));
+            assert!(names.contains(&format!("functional-tc/{bench}")));
+        }
+        assert!(names.contains(&"timing/perl".to_string()));
+        assert!(names.contains(&"e2e/table1".to_string()));
+        assert_eq!(names.len(), 8 * 3 + 2 + 1);
+    }
+}

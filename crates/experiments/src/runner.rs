@@ -127,6 +127,9 @@ pub fn trace(bench: Benchmark, scale: Scale) -> VecTrace {
 
 /// Runs the functional (accuracy-only) front end over a trace.
 pub fn functional(trace: &VecTrace, frontend: FrontEndConfig) -> BranchClassStats {
+    // Credit the replay to this thread's simulated-instruction account
+    // (the jobs runner snapshots it per cell; telemetry or not).
+    hub::add_instructions(trace.len() as u64);
     let mut h = PredictionHarness::new(frontend);
     if let Some(hub) = hub::active() {
         h.attach_telemetry(hub.harness_telemetry());
@@ -152,7 +155,7 @@ pub fn functional(trace: &VecTrace, frontend: FrontEndConfig) -> BranchClassStat
 /// Runs the timing model over a trace.
 pub fn timing(trace: &VecTrace, frontend: FrontEndConfig) -> SimReport {
     let machine = MachineConfig::isca97(frontend);
-    if let Some(hub) = hub::active() {
+    let report = if let Some(hub) = hub::active() {
         let started = Instant::now();
         let report = {
             let _g = hub.spans().span("uarch-sim");
@@ -166,9 +169,12 @@ pub fn timing(trace: &VecTrace, frontend: FrontEndConfig) -> SimReport {
             None,
             started.elapsed().as_nanos() as u64,
         );
-        return report;
-    }
-    simulate(trace, &machine)
+        report
+    } else {
+        simulate(trace, &machine)
+    };
+    hub::add_instructions(report.instructions);
+    report
 }
 
 /// The paper's headline derived metric: execution-time reduction of a

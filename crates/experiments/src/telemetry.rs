@@ -31,11 +31,12 @@ use crate::runner::Scale;
 use branch_predictors::BranchClassStats;
 use sim_isa::BranchClass;
 use sim_telemetry::{
-    write_jsonl, CellRecord, Event, EventSink, Json, MetricsRegistry, RunManifest, RunRecord,
-    SpanRegistry,
+    write_jsonl, CellRecord, Event, EventSink, HotProfiler, Json, MetricsRegistry, RunManifest,
+    RunRecord, SpanRegistry,
 };
 
-pub use sim_telemetry::TelemetryMode;
+pub use sim_telemetry::{ProfMode, TelemetryMode};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -43,6 +44,24 @@ use std::thread::ThreadId;
 use std::time::Instant;
 use target_cache::telemetry::HarnessTelemetry;
 use target_cache::TargetCacheStats;
+
+thread_local! {
+    /// Simulated instructions processed on this thread since the last
+    /// [`take_instructions`] — the per-cell accounting the jobs runner
+    /// snapshots around each attempt.
+    static SIM_INSTRUCTIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Credits `n` simulated instructions to the calling thread (called by
+/// the shared runner entry points after each functional or timing run).
+pub fn add_instructions(n: u64) {
+    SIM_INSTRUCTIONS.with(|c| c.set(c.get().saturating_add(n)));
+}
+
+/// Returns and resets the calling thread's simulated-instruction count.
+pub fn take_instructions() -> u64 {
+    SIM_INSTRUCTIONS.with(|c| c.replace(0))
+}
 
 /// Mutable hub state: what each thread is running, and everything
 /// collected so far. Benchmark attribution and event sinks are keyed by
@@ -75,17 +94,21 @@ impl State {
 /// The process-global telemetry hub a [`Session`] installs.
 pub struct Hub {
     mode: TelemetryMode,
+    prof: ProfMode,
     registry: MetricsRegistry,
     spans: SpanRegistry,
+    hot: HotProfiler,
     state: Mutex<State>,
 }
 
 impl Hub {
-    fn new(mode: TelemetryMode) -> Self {
+    fn new(mode: TelemetryMode, prof: ProfMode) -> Self {
         Hub {
             mode,
+            prof,
             registry: MetricsRegistry::new(),
-            spans: SpanRegistry::new(),
+            spans: prof.span_registry(),
+            hot: HotProfiler::new(),
             state: Mutex::new(State::default()),
         }
     }
@@ -95,9 +118,19 @@ impl Hub {
         self.mode
     }
 
+    /// The profiling depth this hub runs at (`REPRO_PROF`).
+    pub fn prof_mode(&self) -> ProfMode {
+        self.prof
+    }
+
     /// The hub's span registry (for timing scopes).
     pub fn spans(&self) -> &SpanRegistry {
         &self.spans
+    }
+
+    /// The hub's hot-path profiler (populated in `full` prof mode only).
+    pub fn hot(&self) -> &HotProfiler {
+        &self.hot
     }
 
     /// The hub's metrics registry.
@@ -106,7 +139,9 @@ impl Hub {
     }
 
     /// Fresh harness hooks wired to this hub's registry and the calling
-    /// thread's event sink.
+    /// thread's event sink. In `REPRO_PROF=full` the hooks carry the
+    /// hub's hot-path profiler, so harness and engine phase timings all
+    /// land in one place.
     pub fn harness_telemetry(&self) -> HarnessTelemetry {
         let sink = self.mode.events().then(|| {
             self.state
@@ -117,7 +152,12 @@ impl Hub {
                 .or_default()
                 .clone()
         });
-        HarnessTelemetry::new(&self.registry, sink)
+        let t = HarnessTelemetry::new(&self.registry, sink);
+        if self.prof.hot() {
+            t.with_hot_profiler(self.hot.clone())
+        } else {
+            t
+        }
     }
 
     /// Declares which benchmark the calling thread's subsequent runs and
@@ -209,18 +249,25 @@ pub struct Session {
     started: Instant,
 }
 
-/// Starts a capture for `tool` with the mode read from `REPRO_TELEMETRY`
-/// and the output directory from `REPRO_TELEMETRY_DIR` (default
-/// `results/telemetry`). With `REPRO_TELEMETRY` unset or `off` the session
-/// is inert and costs nothing.
+/// Starts a capture for `tool` with the mode read from `REPRO_TELEMETRY`,
+/// the profiling depth from `REPRO_PROF`, and the output directory from
+/// `REPRO_TELEMETRY_DIR` (default `results/telemetry`). With
+/// `REPRO_TELEMETRY` unset or `off` the session is inert and costs
+/// nothing.
 ///
-/// Returns the parse error (listing the accepted values) if
-/// `REPRO_TELEMETRY` is set to an unrecognized value.
+/// Returns the parse error (listing the accepted values) if either
+/// variable is set to an unrecognized value.
 pub fn session(tool: &str, scale: Scale) -> Result<Session, String> {
     let dir = std::env::var("REPRO_TELEMETRY_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("results/telemetry"));
-    Ok(session_with(tool, scale, TelemetryMode::from_env()?, dir))
+    Ok(session_with_prof(
+        tool,
+        scale,
+        TelemetryMode::from_env()?,
+        ProfMode::from_env()?,
+        dir,
+    ))
 }
 
 /// [`session`] for binaries: an unrecognized `REPRO_TELEMETRY` value
@@ -234,15 +281,27 @@ pub fn session_or_exit(tool: &str, scale: Scale) -> Session {
     })
 }
 
-/// [`session`] with everything explicit — primarily for tests, which must
-/// not depend on (or mutate) process environment variables.
+/// [`session_with_prof`] at the default profiling depth
+/// ([`ProfMode::Spans`]).
 pub fn session_with(
     tool: &str,
     scale: Scale,
     mode: TelemetryMode,
     out_dir: impl Into<PathBuf>,
 ) -> Session {
-    let hub = mode.enabled().then(|| Arc::new(Hub::new(mode)));
+    session_with_prof(tool, scale, mode, ProfMode::default(), out_dir)
+}
+
+/// [`session`] with everything explicit — primarily for tests, which must
+/// not depend on (or mutate) process environment variables.
+pub fn session_with_prof(
+    tool: &str,
+    scale: Scale,
+    mode: TelemetryMode,
+    prof: ProfMode,
+    out_dir: impl Into<PathBuf>,
+) -> Session {
+    let hub = mode.enabled().then(|| Arc::new(Hub::new(mode, prof)));
     *HUB.lock().expect("hub registry poisoned") = hub.clone();
     Session {
         hub,
@@ -264,6 +323,12 @@ impl Session {
         self.out_dir.join(format!("{}.events.jsonl", self.tool))
     }
 
+    /// Path of the folded-stack span dump this session writes when
+    /// profiling is on (feed it to flamegraph tooling directly).
+    pub fn folded_path(&self) -> PathBuf {
+        self.out_dir.join(format!("{}.folded.txt", self.tool))
+    }
+
     fn write_outputs(&self) -> std::io::Result<()> {
         let Some(hub) = &self.hub else {
             return Ok(());
@@ -273,18 +338,25 @@ impl Session {
         let mut manifest = RunManifest::new(self.tool.clone());
         manifest.scale = self.scale.name().to_string();
         manifest.mode = hub.mode.name().to_string();
+        manifest.prof_mode = hub.prof.name().to_string();
         manifest.instruction_budget = state.runs.iter().map(|r| r.instructions).max().unwrap_or(0);
         manifest.runs = state.runs.clone();
         manifest.cells = state.cells.clone();
         manifest.events_recorded = state.events.len() as u64;
         manifest.events_dropped = state.sinks.values().map(EventSink::dropped).sum();
         manifest.wall_ns = self.started.elapsed().as_nanos() as u64;
+        manifest.hot_phases = hub.hot.snapshot();
 
         // Stage-and-rename writes: a crash mid-write must never leave a
         // truncated manifest or event stream behind.
         let mut buf = Vec::new();
         manifest.write_to(&mut buf, &hub.spans, &hub.registry.snapshot())?;
         sim_telemetry::atomic_write(&self.manifest_path(), &buf)?;
+
+        let folded = hub.spans.folded();
+        if !folded.is_empty() {
+            sim_telemetry::atomic_write_str(&self.folded_path(), &folded)?;
+        }
 
         if hub.mode.events() {
             let mut buf = Vec::new();
@@ -496,6 +568,168 @@ pub fn live_report(scale: Scale, top_n: usize) -> String {
     render_report(&aggregate_events(text.lines(), top_n))
 }
 
+fn parse_manifest(path: &Path) -> Result<sim_telemetry::Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    sim_telemetry::json::parse(text.trim())
+        .map_err(|e| format!("{}: corrupt manifest: {e}", path.display()))
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    format!("{:.2} M/s", per_sec / 1e6)
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+/// Renders a manifest's throughput-accounting view: the aggregate and
+/// per-run rates of the `perf` section, the hot-path phase totals
+/// (`REPRO_PROF=full` runs), and the span totals with self time.
+pub fn render_perf_report(manifest: &sim_telemetry::Json) -> String {
+    use std::fmt::Write as _;
+    let s = |k: &str| manifest.get(k).and_then(Json::as_str).unwrap_or("?");
+    let mut out = format!(
+        "# {} (scale {}, telemetry {}, prof {})\n",
+        s("tool"),
+        s("scale"),
+        s("telemetry_mode"),
+        s("prof_mode")
+    );
+    if let Some(perf) = manifest.get("perf") {
+        let u = |k: &str| perf.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let f = |k: &str| perf.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "perf: {} instructions in {} -> {} instr; {} predictions -> {} pred",
+            u("instructions"),
+            fmt_ms(u("run_wall_ns")),
+            fmt_rate(f("instr_per_sec")),
+            u("predictions"),
+            fmt_rate(f("predictions_per_sec")),
+        );
+        let runs = manifest.get("runs").and_then(Json::as_arr).unwrap_or(&[]);
+        let rates = perf.get("runs").and_then(Json::as_arr).unwrap_or(&[]);
+        if !rates.is_empty() {
+            let _ = writeln!(out, "\nruns:");
+        }
+        for (i, rate) in rates.iter().enumerate() {
+            let rs = |k: &str| rate.get(k).and_then(Json::as_str).unwrap_or("?");
+            let wall = runs
+                .get(i)
+                .and_then(|r| r.get("wall_ns"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {:<10} {:<44} {:>12} {:>14} instr",
+                rs("label"),
+                rs("config"),
+                fmt_ms(wall),
+                fmt_rate(
+                    rate.get("instr_per_sec")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0)
+                ),
+            );
+        }
+    }
+    if let Some(Json::Obj(hot)) = manifest.get("hot_phases") {
+        if !hot.is_empty() {
+            let _ = writeln!(out, "\nhot phases (REPRO_PROF=full):");
+            for (name, stat) in hot {
+                let count = stat.get("count").and_then(Json::as_u64).unwrap_or(0);
+                let total = stat.get("total_ns").and_then(Json::as_u64).unwrap_or(0);
+                let mean = if count == 0 {
+                    0.0
+                } else {
+                    total as f64 / count as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>12} calls {:>12} total {:>8.1} ns/call",
+                    name,
+                    count,
+                    fmt_ms(total),
+                    mean
+                );
+            }
+        }
+    }
+    if let Some(Json::Obj(spans)) = manifest.get("spans") {
+        if !spans.is_empty() {
+            let _ = writeln!(out, "\nspans:");
+            for (path, stat) in spans {
+                let u = |k: &str| stat.get(k).and_then(Json::as_u64).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {:<40} {:>8}x {:>12} total {:>12} self",
+                    path,
+                    u("count"),
+                    fmt_ms(u("total_ns")),
+                    fmt_ms(u("self_ns")),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders a manifest's per-cell view: outcome, attempts, wall time,
+/// simulated instructions, and throughput for every job-runner cell.
+pub fn render_cells_report(manifest: &sim_telemetry::Json) -> String {
+    use std::fmt::Write as _;
+    let s = |k: &str| manifest.get(k).and_then(Json::as_str).unwrap_or("?");
+    let mut out = format!("# {} (scale {})\n", s("tool"), s("scale"));
+    let cells = manifest.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    if cells.is_empty() {
+        out.push_str("no cells: this run did not go through the job runner\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>4} {:>8} {:>10} {:>14} {:>12}",
+        "cell", "ok", "attempts", "wall", "instructions", "instr/s"
+    );
+    for cell in cells {
+        let u = |k: &str| cell.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let ok = cell.get("ok").and_then(Json::as_bool).unwrap_or(false);
+        let resumed = cell.get("resumed").and_then(Json::as_bool).unwrap_or(false);
+        let mut line = format!(
+            "  {:<28} {:>4} {:>8} {:>10} {:>14} {:>12}",
+            cell.get("cell").and_then(Json::as_str).unwrap_or("?"),
+            if ok { "ok" } else { "ERR" },
+            u("attempts"),
+            format!("{} ms", u("wall_ms")),
+            u("instructions"),
+            fmt_rate(
+                cell.get("instr_per_sec")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0)
+            ),
+        );
+        if resumed {
+            line.push_str("  (resumed)");
+        }
+        if let Some(reason) = cell.get("reason").and_then(Json::as_str) {
+            let _ = write!(line, "  {}", reason.lines().next().unwrap_or(reason));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// [`render_perf_report`] over a manifest file.
+pub fn perf_report_from_manifest(path: &Path) -> Result<String, String> {
+    Ok(render_perf_report(&parse_manifest(path)?))
+}
+
+/// [`render_cells_report`] over a manifest file.
+pub fn cells_report_from_manifest(path: &Path) -> Result<String, String> {
+    Ok(render_cells_report(&parse_manifest(path)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,5 +769,53 @@ mod tests {
         );
         assert!(active().is_none());
         drop(s); // must not attempt to write anything
+    }
+
+    #[test]
+    fn perf_and_cell_views_render_a_manifest() {
+        let manifest = sim_telemetry::json::parse(
+            r#"{
+              "tool": "repro_all", "scale": "quick",
+              "telemetry_mode": "summary", "prof_mode": "full",
+              "runs": [{"label": "perl", "config": "btb-only",
+                        "instructions": 100000, "counters": {}, "wall_ns": 50000000}],
+              "perf": {"instructions": 100000, "run_wall_ns": 50000000,
+                       "instr_per_sec": 2000000.0,
+                       "predictions": 20000, "predictions_per_sec": 400000.0,
+                       "runs": [{"label": "perl", "config": "btb-only",
+                                 "instr_per_sec": 2000000.0,
+                                 "predictions_per_sec": 400000.0}]},
+              "hot_phases": {"btb-lookup": {"count": 20000, "total_ns": 4200000}},
+              "spans": {"harness-replay": {"count": 1, "total_ns": 50000000, "self_ns": 1000000}},
+              "cells": [
+                {"cell": "table1/perl", "ok": true, "attempts": 1, "deadline_kills": 0,
+                 "resumed": false, "wall_ms": 50, "instructions": 100000,
+                 "instr_per_sec": 2000000.0},
+                {"cell": "table1/gcc", "ok": false, "attempts": 3, "deadline_kills": 1,
+                 "resumed": false, "wall_ms": 9, "instructions": 0,
+                 "instr_per_sec": 0.0, "reason": "panicked: injected"}
+              ]
+            }"#,
+        )
+        .unwrap();
+
+        let perf = render_perf_report(&manifest);
+        assert!(perf.contains("prof full"), "{perf}");
+        assert!(perf.contains("2.00 M/s"), "{perf}");
+        assert!(perf.contains("btb-lookup"), "{perf}");
+        assert!(perf.contains("210.0 ns/call"), "{perf}");
+        assert!(perf.contains("harness-replay"), "{perf}");
+        assert!(perf.contains("1.000 ms self"), "{perf}");
+
+        let cells = render_cells_report(&manifest);
+        assert!(cells.contains("table1/perl"), "{cells}");
+        assert!(cells.contains("100000"), "{cells}");
+        assert!(cells.contains("ERR"), "{cells}");
+        assert!(cells.contains("panicked: injected"), "{cells}");
+
+        // A manifest without cells says so instead of printing an
+        // empty table.
+        let bare = sim_telemetry::json::parse(r#"{"tool": "table1", "scale": "quick"}"#).unwrap();
+        assert!(render_cells_report(&bare).contains("no cells"));
     }
 }

@@ -34,6 +34,14 @@ impl VecTrace {
         VecTrace::default()
     }
 
+    /// Reserves room for at least `n` more instructions. Trace
+    /// generators know their budget up front; reserving once avoids the
+    /// doubling reallocations of growing a multi-hundred-thousand-entry
+    /// trace from empty.
+    pub fn reserve(&mut self, n: usize) {
+        self.instrs.reserve(n);
+    }
+
     /// Number of dynamic instructions.
     pub fn len(&self) -> usize {
         self.instrs.len()
@@ -45,6 +53,7 @@ impl VecTrace {
     }
 
     /// Appends an instruction.
+    #[inline]
     pub fn push(&mut self, i: DynInstr) {
         self.instrs.push(i);
     }

@@ -65,6 +65,7 @@ impl DirectionPredictor {
     }
 
     /// Predicts the direction of the conditional branch at `pc`.
+    #[inline]
     pub fn predict(&self, pc: Addr) -> bool {
         self.predictions.set(self.predictions.get() + 1);
         match &self.engine {
@@ -74,6 +75,7 @@ impl DirectionPredictor {
     }
 
     /// Trains the predictor and shifts its history register(s).
+    #[inline]
     pub fn update(&mut self, pc: Addr, taken: bool) {
         self.updates += 1;
         match &mut self.engine {
@@ -83,6 +85,7 @@ impl DirectionPredictor {
     }
 
     /// The global pattern history value (what the target cache borrows).
+    #[inline]
     pub fn global_history(&self) -> u64 {
         match &self.engine {
             Engine::TwoLevel(p) => p.global_history(),

@@ -98,6 +98,7 @@ impl ReturnAddressStack {
 
     /// Pushes a return address (the fall-through of a call). If the stack is
     /// full, the oldest entry is silently overwritten.
+    #[inline]
     pub fn push(&mut self, return_addr: Addr) {
         self.stats.pushes += 1;
         self.stats.overflows += (self.depth == self.slots.len()) as u64;
@@ -108,6 +109,7 @@ impl ReturnAddressStack {
 
     /// Pops the most recent return address, or `None` if the stack is empty
     /// (in which case the fetch engine has no prediction for the return).
+    #[inline]
     pub fn pop(&mut self) -> Option<Addr> {
         self.stats.pops += 1;
         if self.depth == 0 {
@@ -120,6 +122,7 @@ impl ReturnAddressStack {
     }
 
     /// The address a pop *would* return, without popping.
+    #[inline]
     pub fn peek(&self) -> Option<Addr> {
         if self.depth == 0 {
             None

@@ -97,6 +97,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Json {

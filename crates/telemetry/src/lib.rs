@@ -13,9 +13,12 @@
 //! - [`EventSink`] / [`Event`] — a bounded ring of structured events
 //!   (per-branch mispredict records and phase markers), serialized as
 //!   JSONL by [`write_jsonl`].
-//! - [`SpanRegistry`] — wall-clock timing scopes with `Drop` guards, for
-//!   the coarse phases of a run (workload generation, harness replay,
-//!   microarchitectural simulation).
+//! - [`SpanRegistry`] — hierarchical wall-clock timing scopes with
+//!   `Drop` guards: nested spans build `parent;child` paths with
+//!   self-vs-total accounting and a folded-stack (flamegraph) dump.
+//! - [`PhaseTimer`] / [`HotProfiler`] — lock-free per-operation timers
+//!   for the prediction hot loop, enabled by `REPRO_PROF=full` (see
+//!   [`ProfMode`]).
 //! - [`RunManifest`] — the per-invocation JSON document tying it all
 //!   together: configuration snapshot, per-benchmark counters copied from
 //!   the simulator's own statistics, span totals, and the metrics
@@ -25,13 +28,15 @@
 //! strict parser — because the environment has no serde.
 //!
 //! Experiments opt in via the `REPRO_TELEMETRY` environment variable,
-//! parsed strictly by [`TelemetryMode::from_env`].
+//! parsed strictly by [`TelemetryMode::from_env`]; profiling depth is
+//! the separate `REPRO_PROF` knob, parsed by [`ProfMode::from_env`].
 
 pub mod event;
 pub mod fsio;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod prof;
 pub mod span;
 
 pub use event::{write_jsonl, Event, EventRing, EventSink, DEFAULT_RING_CAPACITY};
@@ -42,6 +47,7 @@ pub use metrics::{
     bucket_bounds, bucket_index, Counter, Histogram, MetricsRegistry, MetricsSnapshot,
     HISTOGRAM_BUCKETS,
 };
+pub use prof::{HotProfiler, PhaseStat, PhaseTimer, ProfMode};
 pub use span::{SpanGuard, SpanRegistry, SpanStat};
 
 /// How much telemetry an experiment run captures.

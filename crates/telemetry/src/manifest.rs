@@ -8,9 +8,20 @@
 
 use crate::json::{obj, Json};
 use crate::metrics::MetricsSnapshot;
+use crate::prof::PhaseStat;
 use crate::span::SpanRegistry;
 use std::collections::BTreeMap;
 use std::io::{self, Write};
+
+/// Instructions (or events) per second given a count and elapsed
+/// nanoseconds; 0 when no time elapsed.
+pub fn per_sec(count: u64, wall_ns: u64) -> f64 {
+    if wall_ns == 0 {
+        0.0
+    } else {
+        count as f64 * 1e9 / wall_ns as f64
+    }
+}
 
 /// Counters and identity for one benchmark run inside an experiment.
 #[derive(Clone, Debug, Default)]
@@ -91,6 +102,9 @@ pub struct CellRecord {
     pub reason: Option<String>,
     /// Wall-clock milliseconds spent across all attempts.
     pub wall_ms: u64,
+    /// Simulated instructions the cell processed (0 when unknown, e.g.
+    /// records journaled before this field existed).
+    pub instructions: u64,
 }
 
 impl CellRecord {
@@ -105,6 +119,11 @@ impl CellRecord {
             ),
             ("resumed".to_string(), Json::Bool(self.resumed)),
             ("wall_ms".to_string(), Json::from(self.wall_ms)),
+            ("instructions".to_string(), Json::from(self.instructions)),
+            (
+                "instr_per_sec".to_string(),
+                Json::from(per_sec(self.instructions, self.wall_ms * 1_000_000)),
+            ),
         ]);
         if let Some(reason) = &self.reason {
             fields.insert("reason".to_string(), Json::from(reason.as_str()));
@@ -122,6 +141,8 @@ pub struct RunManifest {
     pub scale: String,
     /// The `REPRO_TELEMETRY` mode (`summary` or `events`).
     pub mode: String,
+    /// The `REPRO_PROF` mode (`off`, `spans`, or `full`).
+    pub prof_mode: String,
     /// Per-benchmark instruction budget at this scale.
     pub instruction_budget: u64,
     /// One record per benchmark × configuration executed.
@@ -135,6 +156,8 @@ pub struct RunManifest {
     pub events_dropped: u64,
     /// Wall-clock nanoseconds for the whole invocation.
     pub wall_ns: u64,
+    /// Hot-path phase totals (`REPRO_PROF=full` only; empty otherwise).
+    pub hot_phases: Vec<PhaseStat>,
 }
 
 impl RunManifest {
@@ -156,6 +179,52 @@ impl RunManifest {
         self.runs.iter().map(|r| r.counter(counter)).sum()
     }
 
+    /// Total simulated instructions across all runs.
+    pub fn total_instructions(&self) -> u64 {
+        self.runs.iter().map(|r| r.instructions).sum()
+    }
+
+    /// The throughput-accounting section: per-run and aggregate
+    /// instructions/sec and predictions/sec derived from the run records
+    /// themselves, so consumers never recompute rates differently.
+    fn perf_json(&self) -> Json {
+        let total_instr = self.total_instructions();
+        let run_wall: u64 = self.runs.iter().map(|r| r.wall_ns).sum();
+        let branches = self.total("branches");
+        obj([
+            ("instructions", Json::from(total_instr)),
+            ("run_wall_ns", Json::from(run_wall)),
+            ("instr_per_sec", Json::from(per_sec(total_instr, run_wall))),
+            ("predictions", Json::from(branches)),
+            (
+                "predictions_per_sec",
+                Json::from(per_sec(branches, run_wall)),
+            ),
+            (
+                "runs",
+                Json::Arr(
+                    self.runs
+                        .iter()
+                        .map(|r| {
+                            obj([
+                                ("label", Json::from(r.label.as_str())),
+                                ("config", Json::from(r.config.as_str())),
+                                (
+                                    "instr_per_sec",
+                                    Json::from(per_sec(r.instructions, r.wall_ns)),
+                                ),
+                                (
+                                    "predictions_per_sec",
+                                    Json::from(per_sec(r.counter("branches"), r.wall_ns)),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// The manifest as a JSON document, embedding span timings and a
     /// metrics snapshot.
     pub fn to_json(&self, spans: &SpanRegistry, metrics: &MetricsSnapshot) -> Json {
@@ -163,6 +232,7 @@ impl RunManifest {
             ("tool", Json::from(self.tool.as_str())),
             ("scale", Json::from(self.scale.as_str())),
             ("telemetry_mode", Json::from(self.mode.as_str())),
+            ("prof_mode", Json::from(self.prof_mode.as_str())),
             ("instruction_budget", Json::from(self.instruction_budget)),
             (
                 "runs",
@@ -175,6 +245,24 @@ impl RunManifest {
             ("events_recorded", Json::from(self.events_recorded)),
             ("events_dropped", Json::from(self.events_dropped)),
             ("spans", spans.to_json()),
+            (
+                "hot_phases",
+                Json::Obj(
+                    self.hot_phases
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.name.clone(),
+                                obj([
+                                    ("count", Json::from(s.count)),
+                                    ("total_ns", Json::from(s.total_ns)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            ("perf", self.perf_json()),
             ("metrics", metrics.to_json()),
             ("wall_ns", Json::from(self.wall_ns)),
         ])
@@ -272,6 +360,7 @@ mod tests {
             resumed: false,
             reason: None,
             wall_ms: 12,
+            instructions: 100_000,
         });
         m.cells.push(CellRecord {
             cell: "table4/perl".into(),
@@ -281,6 +370,7 @@ mod tests {
             resumed: false,
             reason: Some("panicked: injected".into()),
             wall_ms: 99,
+            instructions: 0,
         });
         let registry = MetricsRegistry::new();
         let spans = SpanRegistry::new();
@@ -296,6 +386,53 @@ mod tests {
             cells[1].get("reason").unwrap().as_str(),
             Some("panicked: injected")
         );
+    }
+
+    #[test]
+    fn perf_section_reports_throughput() {
+        let mut m = RunManifest::new("table1");
+        m.prof_mode = "full".to_string();
+        let mut run = RunRecord::new("perl", "btb");
+        run.instructions = 1_000_000;
+        run.wall_ns = 500_000_000; // 0.5 s → 2 M instr/sec
+        run.count("branches", 100_000);
+        m.push_run(run);
+        m.hot_phases.push(PhaseStat {
+            name: "btb-lookup".to_string(),
+            count: 100_000,
+            total_ns: 42_000,
+        });
+
+        let registry = MetricsRegistry::new();
+        let spans = SpanRegistry::new();
+        let v = m.to_json(&spans, &registry.snapshot());
+        assert_eq!(v.get("prof_mode").unwrap().as_str(), Some("full"));
+        let perf = v.get("perf").unwrap();
+        assert_eq!(perf.get("instructions").unwrap().as_u64(), Some(1_000_000));
+        let ips = perf.get("instr_per_sec").unwrap().as_f64().unwrap();
+        assert!((ips - 2_000_000.0).abs() < 1.0, "{ips}");
+        let pps = perf.get("predictions_per_sec").unwrap().as_f64().unwrap();
+        assert!((pps - 200_000.0).abs() < 1.0, "{pps}");
+        let per_run = perf.get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(per_run[0].get("label").unwrap().as_str(), Some("perl"));
+        let hot = v.get("hot_phases").unwrap();
+        assert_eq!(
+            hot.get("btb-lookup")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(100_000)
+        );
+        // And the whole document still parses strictly.
+        assert!(parse(&v.to_string()).is_ok());
+    }
+
+    #[test]
+    fn per_sec_handles_zero_time() {
+        assert_eq!(per_sec(100, 0), 0.0);
+        assert_eq!(per_sec(0, 100), 0.0);
+        assert!((per_sec(1, 1_000_000_000) - 1.0).abs() < f64::EPSILON);
     }
 
     #[test]

@@ -49,6 +49,17 @@ where
     I: IntoIterator<Item = &'a DynInstr>,
 {
     config.check().expect("machine configuration must be valid");
+    // When the hooks carry a hot-path profiler (`REPRO_PROF=full`), the
+    // engine times its own pipeline stages into it alongside the
+    // harness's prediction phases. Timers are resolved once, out here.
+    let stage_timers = telemetry.as_ref().and_then(|t| t.hot_profiler()).map(|h| {
+        (
+            h.timer("uarch-fetch"),
+            h.timer("uarch-execute"),
+            h.timer("uarch-retire"),
+        )
+    });
+    let clock = |on: bool| on.then(std::time::Instant::now);
     let mut harness = PredictionHarness::new(config.frontend);
     if let Some(t) = telemetry {
         harness.attach_telemetry(t);
@@ -76,9 +87,11 @@ where
     let mut final_cycle: u64 = 0;
     let mut mispredict_stall_cycles: u64 = 0;
 
+    let timed = stage_timers.is_some();
     for instr in trace {
         instructions += 1;
 
+        let t0 = clock(timed);
         // --- Fetch ----------------------------------------------------
         // Window constraint: the (i - window_size)-th instruction must
         // have retired before this one can occupy a slot.
@@ -97,7 +110,11 @@ where
         }
         let fetch_cycle = stream_cycle;
         fetched_this_cycle += 1;
+        if let (Some((fetch, _, _)), Some(t0)) = (&stage_timers, t0) {
+            fetch.stop(t0);
+        }
 
+        let t0 = clock(timed);
         // --- Execute ---------------------------------------------------
         let decode_done = fetch_cycle + config.front_depth as u64;
         let operands_ready = instr
@@ -124,8 +141,13 @@ where
         if let Some(dst) = instr.dst() {
             reg_ready[dst.index() as usize] = complete;
         }
+        if let (Some((_, execute, _)), Some(t0)) = (&stage_timers, t0) {
+            execute.stop(t0);
+        }
 
         // --- Branch prediction and fetch redirection --------------------
+        // (The harness times its own prediction phases into the same
+        // profiler; no engine-level timer here to avoid double counting.)
         if let Some(outcome) = harness.process(instr) {
             if !outcome.correct() {
                 // Checkpoint repair: correct-path fetch resumes the cycle
@@ -147,6 +169,7 @@ where
         }
 
         // --- Retire ------------------------------------------------------
+        let t0 = clock(timed);
         let earliest = complete + 1;
         let mut retire_cycle = earliest.max(last_retire_cycle);
         if retire_cycle == last_retire_cycle && retired_in_cycle == config.retire_width {
@@ -159,6 +182,9 @@ where
         retired_in_cycle += 1;
         window.push_back(retire_cycle);
         final_cycle = retire_cycle;
+        if let (Some((_, _, retire)), Some(t0)) = (&stage_timers, t0) {
+            retire.stop(t0);
+        }
     }
 
     SimReport {
@@ -436,6 +462,32 @@ mod tests {
         assert_eq!(sink.len() as u64, r.branch_stats.total_mispredicted());
 
         // Identical timing with and without instrumentation.
+        let plain = simulate(&trace, &machine());
+        assert_eq!(plain.cycles, r.cycles);
+        assert_eq!(plain.branch_stats, r.branch_stats);
+    }
+
+    #[test]
+    fn full_profiling_times_pipeline_stages_without_changing_timing() {
+        use sim_telemetry::{HotProfiler, MetricsRegistry};
+
+        let trace = sim_workloads::Benchmark::Perl.workload().generate(20_000);
+        let registry = MetricsRegistry::new();
+        let hot = HotProfiler::new();
+        let telemetry = HarnessTelemetry::new(&registry, None).with_hot_profiler(hot.clone());
+        let r = simulate_instrumented(&trace, &machine(), Some(telemetry));
+
+        let snap = hot.snapshot();
+        let names: Vec<&str> = snap.iter().map(|s| s.name.as_str()).collect();
+        for stage in ["uarch-fetch", "uarch-execute", "uarch-retire"] {
+            assert!(names.contains(&stage), "missing stage {stage}");
+        }
+        // One sample per instruction per stage.
+        let fetch = snap.iter().find(|s| s.name == "uarch-fetch").unwrap();
+        assert_eq!(fetch.count, r.instructions);
+        // Harness prediction phases land in the same profiler.
+        assert!(names.contains(&"btb-lookup"), "{names:?}");
+        // The simulated schedule is identical to an unprofiled run.
         let plain = simulate(&trace, &machine());
         assert_eq!(plain.cycles, r.cycles);
         assert_eq!(plain.branch_stats, r.branch_stats);

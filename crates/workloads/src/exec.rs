@@ -86,6 +86,7 @@ impl<'p> Executor<'p> {
     /// emitted and returns the trace (exactly `budget` long).
     pub fn generate(mut self, budget: usize) -> VecTrace {
         self.budget = budget;
+        self.trace.reserve(budget);
         let mut routine: RoutineId = 0;
         let mut block: BlockId = 0;
         let mut start_step = 0usize;
