@@ -1,0 +1,174 @@
+//! Static control-flow and call graphs over a [`Program`].
+
+use sim_workloads::{BlockId, Program, RoutineId, Terminator};
+
+/// The intra-routine control-flow graph: block-level successor and
+/// predecessor lists, plus the routine's exit (`Return`) blocks.
+#[derive(Clone, Debug)]
+pub struct RoutineCfg {
+    /// `succs[b]` are block `b`'s distinct successors, ascending.
+    pub succs: Vec<Vec<BlockId>>,
+    /// `preds[b]` are block `b`'s distinct predecessors, ascending.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks terminated by `Return`, ascending.
+    pub return_blocks: Vec<BlockId>,
+}
+
+impl RoutineCfg {
+    /// Builds the CFG of one routine from its terminators.
+    pub fn build(routine: &sim_workloads::Routine) -> Self {
+        let n = routine.blocks.len();
+        let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut return_blocks = Vec::new();
+        for (b, block) in routine.blocks.iter().enumerate() {
+            if matches!(block.terminator, Terminator::Return) {
+                return_blocks.push(b);
+            }
+            let mut ss = block.terminator.successors();
+            ss.sort_unstable();
+            ss.dedup();
+            for &s in &ss {
+                if s < n {
+                    preds[s].push(b);
+                }
+            }
+            succs[b] = ss;
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+        RoutineCfg {
+            succs,
+            preds,
+            return_blocks,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the routine has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+}
+
+/// The whole-program graph: one [`RoutineCfg`] per routine plus the static
+/// call graph and its reachability from `main`.
+#[derive(Clone, Debug)]
+pub struct ProgramCfg {
+    /// Per-routine CFGs, indexed by routine ID.
+    pub routines: Vec<RoutineCfg>,
+    /// `callees[r]` are the distinct routines `r` may call (direct callees
+    /// plus every member of each indirect-call table), ascending.
+    pub callees: Vec<Vec<RoutineId>>,
+    /// `reachable[r]` is true when `r` is reachable from `main` (routine 0)
+    /// in the call graph.
+    pub reachable: Vec<bool>,
+}
+
+impl ProgramCfg {
+    /// Builds CFGs and the call graph for every routine.
+    pub fn build(program: &Program) -> Self {
+        let n = program.routines.len();
+        let routines: Vec<RoutineCfg> = program.routines.iter().map(RoutineCfg::build).collect();
+        let mut callees: Vec<Vec<RoutineId>> = vec![Vec::new(); n];
+        for (r, routine) in program.routines.iter().enumerate() {
+            let mut cs = Vec::new();
+            for block in &routine.blocks {
+                for step in &block.steps {
+                    cs.extend_from_slice(step.callees());
+                }
+            }
+            cs.sort_unstable();
+            cs.dedup();
+            cs.retain(|&c| c < n);
+            callees[r] = cs;
+        }
+        // BFS over the call graph from main.
+        let mut reachable = vec![false; n];
+        if n > 0 {
+            reachable[0] = true;
+            let mut work = vec![0usize];
+            while let Some(r) = work.pop() {
+                for &c in &callees[r] {
+                    if !reachable[c] {
+                        reachable[c] = true;
+                        work.push(c);
+                    }
+                }
+            }
+        }
+        ProgramCfg {
+            routines,
+            callees,
+            reachable,
+        }
+    }
+
+    /// IDs of routines unreachable from `main`, ascending.
+    pub fn unreachable_routines(&self) -> Vec<RoutineId> {
+        self.reachable
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| !r)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_workloads::{InstrMix, ProgramBuilder, Selector};
+
+    fn mix() -> InstrMix {
+        InstrMix::integer_heavy()
+    }
+
+    #[test]
+    fn cfg_edges_follow_terminators() {
+        let mut b = ProgramBuilder::new();
+        let v = b.var();
+        let main = b.routine();
+        // 0 -> switch {1, 2}; 1 -> goto 0; 2 -> goto 0.
+        b.block(main)
+            .body(2, mix())
+            .switch(Selector::var(v), vec![1, 2, 1]);
+        b.block(main).body(1, mix()).goto(0);
+        b.block(main).body(1, mix()).goto(0);
+        let p = b.build().unwrap();
+        let cfg = ProgramCfg::build(&p);
+        let r = &cfg.routines[0];
+        assert_eq!(r.succs[0], vec![1, 2], "switch successors deduped");
+        assert_eq!(r.succs[1], vec![0]);
+        assert_eq!(r.preds[0], vec![1, 2]);
+        assert_eq!(r.preds[1], vec![0]);
+        assert!(r.return_blocks.is_empty());
+    }
+
+    #[test]
+    fn call_graph_reaches_transitively() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        let mid = b.routine();
+        let leaf = b.routine();
+        let orphan = b.routine();
+        b.block(main).body(1, mix()).call(mid).goto(0);
+        b.block(mid).body(1, mix()).call(leaf).ret();
+        b.block(leaf).body(1, mix()).ret();
+        b.block(orphan).body(1, mix()).ret();
+        let p = b.build().unwrap();
+        let cfg = ProgramCfg::build(&p);
+        assert_eq!(cfg.callees[0], vec![mid]);
+        assert_eq!(cfg.callees[1], vec![leaf]);
+        assert!(cfg.reachable[leaf]);
+        assert!(!cfg.reachable[orphan]);
+        assert_eq!(cfg.unreachable_routines(), vec![orphan]);
+        assert_eq!(cfg.routines[1].return_blocks, vec![0]);
+    }
+}

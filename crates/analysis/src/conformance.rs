@@ -1,0 +1,443 @@
+//! Trace conformance: replay a dynamic trace against the static image and
+//! prove every executed edge, target, and instruction class was statically
+//! predicted.
+
+use crate::image::{SlotKind, StaticImage};
+use crate::rules::{Findings, Rule};
+use sim_isa::{Addr, BranchClass, InstrClass, TraceStats, VecTrace};
+
+/// Summary of one conformance replay.
+#[derive(Clone, Debug, Default)]
+pub struct ConformanceReport {
+    /// Dynamic instructions replayed.
+    pub instructions: usize,
+    /// Dynamic per-class counts derived by looking up each executed pc in
+    /// the *static* image (indexed by [`InstrClass::index`]).
+    pub static_class_counts: [u64; 8],
+    /// Dynamic per-branch-class counts derived the same way.
+    pub static_branch_counts: [u64; 6],
+    /// Maximum shadow call-stack depth observed.
+    pub max_call_depth: usize,
+}
+
+/// Replays `trace` against `image`, reporting `SL008`–`SL011` findings.
+///
+/// * `SL008` — an executed control-flow edge has no static counterpart:
+///   unknown pc, a direct branch landing off its static target, a trace
+///   discontinuity, or a return that does not resume its caller.
+/// * `SL009` — a dynamic indirect target (switch or indirect call) outside
+///   the static target set, both per-instruction and against the
+///   [`TraceStats`] census.
+/// * `SL010` — instruction classes that disagree with the static image,
+///   or aggregate class counts that fail to reconcile with `stats`.
+/// * `SL011` — the trace is shorter than `expected_budget`.
+pub fn check_trace(
+    image: &StaticImage,
+    trace: &VecTrace,
+    stats: &TraceStats,
+    expected_budget: Option<usize>,
+    findings: &mut Findings,
+) -> ConformanceReport {
+    let mut report = ConformanceReport {
+        instructions: trace.len(),
+        ..ConformanceReport::default()
+    };
+    // Shadow call stack of resume addresses.
+    let mut shadow: Vec<Addr> = Vec::new();
+    let mut prev_next_pc: Option<Addr> = None;
+
+    for instr in trace.iter() {
+        let pc = instr.pc();
+        if let Some(expected) = prev_next_pc {
+            if pc != expected {
+                findings.report(
+                    Rule::PhantomEdge,
+                    Some(pc),
+                    format!("trace discontinuity: control was headed to {expected}, got {pc}"),
+                );
+            }
+        }
+        prev_next_pc = Some(instr.next_pc());
+
+        let slot = match image.slot(pc) {
+            Some(slot) => slot,
+            None => {
+                findings.report(
+                    Rule::PhantomEdge,
+                    Some(pc),
+                    format!("executed pc {pc} is not a laid-out instruction"),
+                );
+                continue;
+            }
+        };
+        report.static_class_counts[slot.class.index()] += 1;
+        if let Some(bc) = slot.branch_class() {
+            report.static_branch_counts[bc.index()] += 1;
+        }
+        if slot.class != instr.class() {
+            findings.report(
+                Rule::CountMismatch,
+                Some(pc),
+                format!(
+                    "instruction at {pc} is {:?} dynamically but {:?} statically",
+                    instr.class(),
+                    slot.class
+                ),
+            );
+        }
+        let exec = instr.branch_exec();
+        match (&slot.kind, exec) {
+            (SlotKind::Body, None) => {}
+            (SlotKind::Body, Some(b)) => {
+                findings.report(
+                    Rule::PhantomEdge,
+                    Some(pc),
+                    format!("filler slot at {pc} executed as a {} branch", b.class),
+                );
+            }
+            (kind, None) => {
+                findings.report(
+                    Rule::PhantomEdge,
+                    Some(pc),
+                    format!("control slot at {pc} executed as a non-branch ({kind:?})"),
+                );
+            }
+            (SlotKind::Call { targets, indirect }, Some(b)) => {
+                let want = if *indirect {
+                    BranchClass::IndirectCall
+                } else {
+                    BranchClass::Call
+                };
+                if b.class != want {
+                    findings.report(
+                        Rule::PhantomEdge,
+                        Some(pc),
+                        format!("call slot at {pc} executed as {}", b.class),
+                    );
+                } else if !targets.contains(&b.target) {
+                    let rule = if *indirect {
+                        Rule::TargetOutsideStaticSet
+                    } else {
+                        Rule::PhantomEdge
+                    };
+                    findings.report(
+                        rule,
+                        Some(pc),
+                        format!(
+                            "call at {pc} reached {} which is not in its static callee set",
+                            b.target
+                        ),
+                    );
+                }
+                shadow.push(pc.next());
+                report.max_call_depth = report.max_call_depth.max(shadow.len());
+            }
+            (SlotKind::Goto { target }, Some(b)) => {
+                if b.class != BranchClass::UncondDirect || b.target != *target {
+                    findings.report(
+                        Rule::PhantomEdge,
+                        Some(pc),
+                        format!(
+                            "goto at {pc} went to {} but its static target is {target}",
+                            b.target
+                        ),
+                    );
+                }
+            }
+            (SlotKind::CondBranch { taken }, Some(b)) => {
+                if b.class != BranchClass::CondDirect {
+                    findings.report(
+                        Rule::PhantomEdge,
+                        Some(pc),
+                        format!("conditional slot at {pc} executed as {}", b.class),
+                    );
+                } else if b.target != *taken {
+                    // The recorded taken-path target must match statically
+                    // whether or not the branch was taken (it is what a BTB
+                    // would store).
+                    findings.report(
+                        Rule::PhantomEdge,
+                        Some(pc),
+                        format!(
+                            "branch at {pc} records taken-target {} but static says {taken}",
+                            b.target
+                        ),
+                    );
+                }
+            }
+            (SlotKind::Switch { targets, .. }, Some(b)) => {
+                if b.class != BranchClass::IndirectJump {
+                    findings.report(
+                        Rule::PhantomEdge,
+                        Some(pc),
+                        format!("switch slot at {pc} executed as {}", b.class),
+                    );
+                } else if !targets.contains(&b.target) {
+                    findings.report(
+                        Rule::TargetOutsideStaticSet,
+                        Some(pc),
+                        format!(
+                            "indirect jump at {pc} reached {} outside its static target set \
+                             ({} targets)",
+                            b.target,
+                            targets.len()
+                        ),
+                    );
+                }
+            }
+            (SlotKind::Return, Some(b)) => {
+                if b.class != BranchClass::Return {
+                    findings.report(
+                        Rule::PhantomEdge,
+                        Some(pc),
+                        format!("return slot at {pc} executed as {}", b.class),
+                    );
+                } else {
+                    match shadow.pop() {
+                        None => findings.report(
+                            Rule::PhantomEdge,
+                            Some(pc),
+                            format!("return at {pc} with an empty shadow call stack"),
+                        ),
+                        Some(resume) => {
+                            if b.target != resume {
+                                findings.report(
+                                    Rule::PhantomEdge,
+                                    Some(pc),
+                                    format!(
+                                        "return at {pc} resumed {} but the caller expects \
+                                         {resume}",
+                                        b.target
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // The census in `stats` must agree with the static target sets too:
+    // every censused site is a static indirect site, and every censused
+    // target is statically possible.
+    for (&pc, census) in stats.indirect_jump_census() {
+        let static_targets = match image.slot(pc).map(|s| &s.kind) {
+            Some(SlotKind::Switch { targets, .. }) => Some(targets),
+            Some(SlotKind::Call {
+                targets,
+                indirect: true,
+            }) => Some(targets),
+            _ => None,
+        };
+        match static_targets {
+            None => findings.report(
+                Rule::TargetOutsideStaticSet,
+                Some(pc),
+                format!("census site {pc} is not a static indirect-branch site"),
+            ),
+            Some(targets) => {
+                for t in census.targets.keys() {
+                    if !targets.contains(t) {
+                        findings.report(
+                            Rule::TargetOutsideStaticSet,
+                            Some(pc),
+                            format!("census target {t} of site {pc} is not statically possible"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Aggregate reconciliation: dynamic class counts derived from the
+    // static image must equal the dynamic TraceStats exactly.
+    let dyn_classes = stats.class_counts();
+    for class in InstrClass::ALL {
+        let i = class.index();
+        if report.static_class_counts[i] != dyn_classes[i] {
+            findings.report(
+                Rule::CountMismatch,
+                None,
+                format!(
+                    "{class:?}: static-image count {} != dynamic count {}",
+                    report.static_class_counts[i], dyn_classes[i]
+                ),
+            );
+        }
+    }
+    let dyn_branches = stats.branch_class_counts();
+    for class in BranchClass::ALL {
+        let i = class.index();
+        if report.static_branch_counts[i] != dyn_branches[i] {
+            findings.report(
+                Rule::CountMismatch,
+                None,
+                format!(
+                    "{class:?}: static-image branch count {} != dynamic count {}",
+                    report.static_branch_counts[i], dyn_branches[i]
+                ),
+            );
+        }
+    }
+
+    if let Some(budget) = expected_budget {
+        if trace.len() < budget {
+            findings.report(
+                Rule::TruncatedTrace,
+                None,
+                format!(
+                    "trace has {} instructions, budget was {budget}",
+                    trace.len()
+                ),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::analyze_program;
+    use sim_isa::{BranchExec, DynInstr};
+    use sim_workloads::{Cond, Executor, InstrMix, Program, ProgramBuilder, Selector};
+
+    fn mix() -> InstrMix {
+        InstrMix::integer_heavy()
+    }
+
+    fn dispatcher() -> Program {
+        let mut b = ProgramBuilder::new();
+        let v = b.var();
+        let cyc = b.cycle(vec![0, 1, 2, 1]);
+        let main = b.routine();
+        let helper = b.routine();
+        b.block(main)
+            .effect(sim_workloads::Effect::CycleNext { cycle: cyc, var: v })
+            .body(3, mix())
+            .call(helper)
+            .switch(Selector::var(v), vec![1, 2, 1]);
+        b.block(main)
+            .body(2, mix())
+            .branch(Cond::Bit { var: v, bit: 0 }, 0, 2);
+        b.block(main).body(1, mix()).goto(0);
+        b.block(helper).body(2, mix()).ret();
+        b.build().unwrap()
+    }
+
+    fn analyzed(p: &Program) -> crate::verify::Analysis {
+        let mut f = Findings::new();
+        let a = analyze_program(p, &mut f).expect("valid program");
+        assert!(f.is_clean());
+        a
+    }
+
+    #[test]
+    fn genuine_trace_conforms() {
+        let p = dispatcher();
+        let a = analyzed(&p);
+        let trace = Executor::new(&p, 11).generate(4_000);
+        let stats = trace.stats();
+        let mut f = Findings::new();
+        let report = check_trace(&a.image, &trace, &stats, Some(4_000), &mut f);
+        assert!(f.is_clean(), "{:?}", f.iter().collect::<Vec<_>>());
+        assert_eq!(report.instructions, 4_000);
+        assert_eq!(report.static_class_counts, stats.class_counts());
+        assert_eq!(report.static_branch_counts, stats.branch_class_counts());
+        assert!(report.max_call_depth >= 1);
+    }
+
+    #[test]
+    fn sl008_fires_on_phantom_edge() {
+        let p = dispatcher();
+        let a = analyzed(&p);
+        // A goto that lands somewhere other than its static target.
+        let goto_pc = a.layout.terminator_addr(0, 2);
+        let bogus = Addr::new(0xDEA_D00);
+        let trace = VecTrace::from_iter([DynInstr::branch(
+            goto_pc,
+            BranchExec::taken(BranchClass::UncondDirect, bogus),
+        )]);
+        let stats = trace.stats();
+        let mut f = Findings::new();
+        check_trace(&a.image, &trace, &stats, None, &mut f);
+        assert!(f.count(Rule::PhantomEdge) >= 1, "SL008 must fire");
+    }
+
+    #[test]
+    fn sl008_fires_on_unknown_pc() {
+        let p = dispatcher();
+        let a = analyzed(&p);
+        let trace = VecTrace::from_iter([DynInstr::op(Addr::new(0x4), InstrClass::Integer)]);
+        let stats = trace.stats();
+        let mut f = Findings::new();
+        check_trace(&a.image, &trace, &stats, None, &mut f);
+        assert!(f.count(Rule::PhantomEdge) >= 1);
+    }
+
+    #[test]
+    fn sl009_fires_on_target_outside_static_set() {
+        let p = dispatcher();
+        let a = analyzed(&p);
+        let switch_pc = a.layout.terminator_addr(0, 0);
+        // Jump to the helper's entry — a real address, but not in the
+        // switch's static target set.
+        let outside = a.image.routine_entries[1];
+        let trace = VecTrace::from_iter([DynInstr::branch(
+            switch_pc,
+            BranchExec::taken(BranchClass::IndirectJump, outside),
+        )]);
+        let stats = trace.stats();
+        let mut f = Findings::new();
+        check_trace(&a.image, &trace, &stats, None, &mut f);
+        assert!(
+            f.count(Rule::TargetOutsideStaticSet) >= 1,
+            "SL009 must fire"
+        );
+    }
+
+    #[test]
+    fn sl010_fires_on_class_mismatch() {
+        let p = dispatcher();
+        let a = analyzed(&p);
+        // Claim an integer op at the switch's address.
+        let switch_pc = a.layout.terminator_addr(0, 0);
+        let trace = VecTrace::from_iter([DynInstr::op(switch_pc, InstrClass::Integer)]);
+        let stats = trace.stats();
+        let mut f = Findings::new();
+        check_trace(&a.image, &trace, &stats, None, &mut f);
+        assert!(f.count(Rule::CountMismatch) >= 1, "SL010 must fire");
+    }
+
+    #[test]
+    fn sl011_fires_on_truncated_trace() {
+        let p = dispatcher();
+        let a = analyzed(&p);
+        let trace = Executor::new(&p, 11).generate(100);
+        let stats = trace.stats();
+        let mut f = Findings::new();
+        check_trace(&a.image, &trace, &stats, Some(1_000), &mut f);
+        assert_eq!(f.count(Rule::TruncatedTrace), 1, "SL011 must fire");
+        // Truncation alone is a warning, not an error.
+        assert_eq!(f.errors(), 0);
+    }
+
+    #[test]
+    fn sl008_fires_on_unbalanced_return() {
+        let p = dispatcher();
+        let a = analyzed(&p);
+        let ret_pc = a.layout.terminator_addr(1, 0);
+        let trace = VecTrace::from_iter([DynInstr::branch(
+            ret_pc,
+            BranchExec::taken(BranchClass::Return, a.image.routine_entries[0]),
+        )]);
+        let stats = trace.stats();
+        let mut f = Findings::new();
+        check_trace(&a.image, &trace, &stats, None, &mut f);
+        assert!(
+            f.count(Rule::PhantomEdge) >= 1,
+            "return with empty shadow stack"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Reachability and dominator computation on block-level CFGs.
+//!
+//! Dominators use the Cooper–Harvey–Kennedy iterative algorithm over a
+//! reverse-postorder numbering: simple, allocation-light, and fast enough
+//! for the few-hundred-block routines the workload models produce. Back
+//! edges (an edge `a → b` where `b` dominates `a`) identify natural loops
+//! for the static metrics.
+
+use sim_workloads::BlockId;
+
+/// The blocks reachable from `entry`, as a boolean vector (DFS over
+/// `succs`).
+pub fn reachable(succs: &[Vec<BlockId>], entry: BlockId) -> Vec<bool> {
+    let mut seen = vec![false; succs.len()];
+    if entry >= succs.len() {
+        return seen;
+    }
+    seen[entry] = true;
+    let mut work = vec![entry];
+    while let Some(b) = work.pop() {
+        for &s in &succs[b] {
+            if s < seen.len() && !seen[s] {
+                seen[s] = true;
+                work.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// The immediate-dominator tree of the blocks reachable from an entry.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of `b`; `idom[entry] == entry`;
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators for the graph given by `succs`, entered at
+    /// `entry`.
+    pub fn compute(succs: &[Vec<BlockId>], entry: BlockId) -> Self {
+        let n = succs.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if entry >= n {
+            return Dominators { idom, entry };
+        }
+
+        // Reverse postorder over the reachable subgraph (iterative DFS with
+        // an explicit edge-index stack so deep CFGs cannot overflow the
+        // call stack).
+        let mut order = Vec::with_capacity(n); // postorder
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        state[entry] = 1;
+        while let Some((b, next)) = stack.last().copied() {
+            if let Some(&s) = succs[b].get(next) {
+                stack.last_mut().expect("stack nonempty").1 += 1;
+                if s < n && state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b] = 2;
+                order.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = order.iter().rev().copied().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+        // Predecessors restricted to reachable blocks.
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for &b in &rpo {
+            for &s in &succs[b] {
+                if s < n && rpo_index[s] != usize::MAX {
+                    preds[s].push(b);
+                }
+            }
+        }
+
+        idom[entry] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b] {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b] != Some(ni) {
+                        idom[b] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, entry }
+    }
+
+    /// The immediate dominator of `b` (`entry` for the entry itself), or
+    /// `None` when `b` is unreachable.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(b).copied().flatten()
+    }
+
+    /// Whether `a` dominates `b` (reflexive: every block dominates itself).
+    /// Unreachable blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom.get(b).copied().flatten().is_none()
+            || self.idom.get(a).copied().flatten().is_none()
+        {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = self.idom[cur].expect("reachable chain leads to entry");
+        }
+    }
+
+    /// The back edges of the graph: edges `a → b` where `b` dominates `a`.
+    /// Each identifies a natural loop headed at `b`.
+    pub fn back_edges(&self, succs: &[Vec<BlockId>]) -> Vec<(BlockId, BlockId)> {
+        let mut edges = Vec::new();
+        for (a, ss) in succs.iter().enumerate() {
+            if self.idom(a).is_none() {
+                continue;
+            }
+            for &b in ss {
+                if self.dominates(b, a) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a].expect("processed block has an idom");
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b].expect("processed block has an idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_dominators() {
+        // 0 -> {1, 2} -> 3
+        let succs = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let dom = Dominators::compute(&succs, 0);
+        assert_eq!(dom.idom(0), Some(0));
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(0));
+        assert_eq!(dom.idom(3), Some(0), "join point is dominated by the fork");
+        assert!(dom.dominates(0, 3));
+        assert!(!dom.dominates(1, 3));
+        assert!(!dom.dominates(2, 3));
+        assert!(dom.dominates(3, 3));
+        assert!(dom.back_edges(&succs).is_empty());
+    }
+
+    #[test]
+    fn loop_dominators_and_back_edge() {
+        // 0 -> 1 -> 2 -> 1 (loop), 2 -> 3 (exit)
+        let succs = vec![vec![1], vec![2], vec![1, 3], vec![]];
+        let dom = Dominators::compute(&succs, 0);
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(1));
+        assert_eq!(dom.idom(3), Some(2));
+        assert!(dom.dominates(1, 2));
+        assert!(dom.dominates(1, 3));
+        assert_eq!(dom.back_edges(&succs), vec![(2, 1)]);
+    }
+
+    #[test]
+    fn irreducible_graph_joins_at_the_fork() {
+        // 0 -> {1, 2}, 1 <-> 2, both reach 3: a loop with two entries —
+        // neither 1 nor 2 dominates the other, so both are idom'd by 0.
+        let succs = vec![vec![1, 2], vec![2, 3], vec![1, 3], vec![]];
+        let dom = Dominators::compute(&succs, 0);
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(0));
+        assert_eq!(dom.idom(3), Some(0));
+        assert!(!dom.dominates(1, 2));
+        assert!(!dom.dominates(2, 1));
+        // No back edges: 1 -> 2 and 2 -> 1 are cross edges of the
+        // irreducible region, not natural-loop latches.
+        assert!(dom.back_edges(&succs).is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_a_back_edge() {
+        let succs = vec![vec![0]];
+        let dom = Dominators::compute(&succs, 0);
+        assert_eq!(dom.back_edges(&succs), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_dominators() {
+        // Block 2 is disconnected.
+        let succs = vec![vec![1], vec![0], vec![1]];
+        let dom = Dominators::compute(&succs, 0);
+        assert_eq!(dom.idom(2), None);
+        assert!(!dom.dominates(0, 2));
+        assert!(!dom.dominates(2, 1));
+        let r = reachable(&succs, 0);
+        assert_eq!(r, vec![true, true, false]);
+    }
+
+    #[test]
+    fn reachability_handles_out_of_range_entry() {
+        let succs = vec![vec![0]];
+        assert_eq!(reachable(&succs, 5), vec![false]);
+    }
+}

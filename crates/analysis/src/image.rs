@@ -1,0 +1,332 @@
+//! The static memory image: what instruction lives at every laid-out
+//! address, reconstructed without executing the program.
+//!
+//! Filler classes are recoverable statically because the executor derives
+//! them from a pure function of `(routine, block, step, k)` — see
+//! [`sim_workloads::body_seed`] and [`sim_workloads::InstrMix::class_at`].
+//! The image is therefore an exact per-address ground truth the dynamic
+//! trace must agree with instruction by instruction.
+
+use sim_isa::{Addr, BranchClass, InstrClass};
+use sim_workloads::{body_seed, BlockId, Layout, Program, RoutineId, Step, Terminator};
+use std::collections::HashMap;
+
+/// What kind of instruction occupies a static slot, with its statically
+/// known control-flow targets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlotKind {
+    /// A non-branch filler instruction; control falls through.
+    Body,
+    /// A call step. `targets` are the entry addresses of the possible
+    /// callees (one for a direct call, the function-pointer table for an
+    /// indirect call); control resumes at `pc.next()` when the callee
+    /// returns.
+    Call {
+        /// Entry addresses of the possible callees, ascending.
+        targets: Vec<Addr>,
+        /// Whether the call is through a function-pointer table.
+        indirect: bool,
+    },
+    /// An unconditional direct jump to `target`.
+    Goto {
+        /// The jump target.
+        target: Addr,
+    },
+    /// The conditional half of a `Branch` terminator: taken goes to
+    /// `taken`, not-taken falls through to the goto at `pc.next()`.
+    CondBranch {
+        /// The taken-path target.
+        taken: Addr,
+    },
+    /// An indirect jump through a jump table.
+    Switch {
+        /// The distinct static target addresses, ascending.
+        targets: Vec<Addr>,
+        /// Jump-table arity (entries including duplicates).
+        arity: usize,
+    },
+    /// A subroutine return; the dynamic target must be the caller's resume
+    /// address.
+    Return,
+}
+
+/// One laid-out instruction slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Slot {
+    /// The routine the slot belongs to.
+    pub routine: RoutineId,
+    /// The block the slot belongs to.
+    pub block: BlockId,
+    /// The instruction's class.
+    pub class: InstrClass,
+    /// What the instruction is and where it may transfer control.
+    pub kind: SlotKind,
+}
+
+impl Slot {
+    /// The branch class of a control slot (`None` for filler).
+    pub fn branch_class(&self) -> Option<BranchClass> {
+        match &self.kind {
+            SlotKind::Body => None,
+            SlotKind::Call { indirect, .. } => Some(if *indirect {
+                BranchClass::IndirectCall
+            } else {
+                BranchClass::Call
+            }),
+            SlotKind::Goto { .. } => Some(BranchClass::UncondDirect),
+            SlotKind::CondBranch { .. } => Some(BranchClass::CondDirect),
+            SlotKind::Switch { .. } => Some(BranchClass::IndirectJump),
+            SlotKind::Return => Some(BranchClass::Return),
+        }
+    }
+}
+
+/// The full static image: every laid-out address mapped to its [`Slot`].
+#[derive(Clone, Debug)]
+pub struct StaticImage {
+    /// Address → slot.
+    pub slots: HashMap<Addr, Slot>,
+    /// Entry address per routine.
+    pub routine_entries: Vec<Addr>,
+}
+
+impl StaticImage {
+    /// Builds the image of a validated program over its layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout's shape does not match the program (run the
+    /// layout verifier first) or if two slots land on the same address —
+    /// both indicate a corrupted layout.
+    pub fn build(program: &Program, layout: &Layout) -> Self {
+        let mut slots = HashMap::new();
+        let mut insert = |addr: Addr, slot: Slot| {
+            let prev = slots.insert(addr, slot);
+            assert!(prev.is_none(), "overlapping slots at {addr}");
+        };
+        for (r, routine) in program.routines.iter().enumerate() {
+            for (b, block) in routine.blocks.iter().enumerate() {
+                for (s, step) in block.steps.iter().enumerate() {
+                    let base = layout.step_addr(r, b, s);
+                    match step {
+                        Step::Body { count, mix } => {
+                            let seed = body_seed(r, b, s);
+                            for k in 0..*count {
+                                insert(
+                                    base.offset(k as u64),
+                                    Slot {
+                                        routine: r,
+                                        block: b,
+                                        class: mix.class_at(seed, k),
+                                        kind: SlotKind::Body,
+                                    },
+                                );
+                            }
+                        }
+                        Step::Call { routine } => insert(
+                            base,
+                            Slot {
+                                routine: r,
+                                block: b,
+                                class: InstrClass::Branch,
+                                kind: SlotKind::Call {
+                                    targets: vec![layout.routine_entry(*routine)],
+                                    indirect: false,
+                                },
+                            },
+                        ),
+                        Step::CallIndirect { routines, .. } => {
+                            let mut targets: Vec<Addr> =
+                                routines.iter().map(|&t| layout.routine_entry(t)).collect();
+                            targets.sort_unstable();
+                            targets.dedup();
+                            insert(
+                                base,
+                                Slot {
+                                    routine: r,
+                                    block: b,
+                                    class: InstrClass::Branch,
+                                    kind: SlotKind::Call {
+                                        targets,
+                                        indirect: true,
+                                    },
+                                },
+                            );
+                        }
+                    }
+                }
+                let term_addr = layout.terminator_addr(r, b);
+                match &block.terminator {
+                    Terminator::Goto(t) => insert(
+                        term_addr,
+                        Slot {
+                            routine: r,
+                            block: b,
+                            class: InstrClass::Branch,
+                            kind: SlotKind::Goto {
+                                target: layout.block_base[r][*t],
+                            },
+                        },
+                    ),
+                    Terminator::Branch {
+                        taken, not_taken, ..
+                    } => {
+                        insert(
+                            term_addr,
+                            Slot {
+                                routine: r,
+                                block: b,
+                                class: InstrClass::Branch,
+                                kind: SlotKind::CondBranch {
+                                    taken: layout.block_base[r][*taken],
+                                },
+                            },
+                        );
+                        // The `goto not_taken` physically following the
+                        // conditional branch (the paper's Figure 9 shape).
+                        insert(
+                            term_addr.next(),
+                            Slot {
+                                routine: r,
+                                block: b,
+                                class: InstrClass::Branch,
+                                kind: SlotKind::Goto {
+                                    target: layout.block_base[r][*not_taken],
+                                },
+                            },
+                        );
+                    }
+                    Terminator::Switch { targets, .. } => {
+                        let arity = targets.len();
+                        let mut addrs: Vec<Addr> =
+                            targets.iter().map(|&t| layout.block_base[r][t]).collect();
+                        addrs.sort_unstable();
+                        addrs.dedup();
+                        insert(
+                            term_addr,
+                            Slot {
+                                routine: r,
+                                block: b,
+                                class: InstrClass::Branch,
+                                kind: SlotKind::Switch {
+                                    targets: addrs,
+                                    arity,
+                                },
+                            },
+                        );
+                    }
+                    Terminator::Return => insert(
+                        term_addr,
+                        Slot {
+                            routine: r,
+                            block: b,
+                            class: InstrClass::Branch,
+                            kind: SlotKind::Return,
+                        },
+                    ),
+                }
+            }
+        }
+        let routine_entries = (0..program.routines.len())
+            .map(|r| layout.routine_entry(r))
+            .collect();
+        StaticImage {
+            slots,
+            routine_entries,
+        }
+    }
+
+    /// The slot at `addr`, if any instruction is laid out there.
+    pub fn slot(&self, addr: Addr) -> Option<&Slot> {
+        self.slots.get(&addr)
+    }
+
+    /// Number of laid-out static instructions.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_workloads::{Cond, InstrMix, ProgramBuilder, Selector};
+
+    fn mix() -> InstrMix {
+        InstrMix::integer_heavy()
+    }
+
+    #[test]
+    fn image_covers_every_emitted_pc_with_matching_class() {
+        let mut b = ProgramBuilder::new();
+        let v = b.var();
+        let main = b.routine();
+        let callee = b.routine();
+        b.block(main)
+            .effect(sim_workloads::Effect::Uniform { var: v, n: 3 })
+            .body(4, mix())
+            .call(callee)
+            .switch(Selector::var(v), vec![1, 2, 1]);
+        b.block(main)
+            .body(2, mix())
+            .branch(Cond::Bit { var: v, bit: 0 }, 0, 2);
+        b.block(main).body(1, mix()).goto(0);
+        b.block(callee).body(3, mix()).ret();
+        let p = b.build().unwrap();
+        let layout = p.check().unwrap();
+        let image = StaticImage::build(&p, &layout);
+
+        // Total slots = sum of block lens.
+        let total: u32 = p
+            .routines
+            .iter()
+            .flat_map(|r| &r.blocks)
+            .map(|b| b.len())
+            .sum();
+        assert_eq!(image.len(), total as usize);
+
+        // Replaying the program touches only known slots, with agreeing
+        // classes and branch classes.
+        let trace = sim_workloads::Executor::new(&p, 7).generate(500);
+        for i in trace.iter() {
+            let slot = image
+                .slot(i.pc())
+                .unwrap_or_else(|| panic!("no slot at {}", i.pc()));
+            assert_eq!(slot.class, i.class(), "class mismatch at {}", i.pc());
+            assert_eq!(
+                slot.branch_class(),
+                i.branch_exec().map(|b| b.class),
+                "branch class mismatch at {}",
+                i.pc()
+            );
+        }
+    }
+
+    #[test]
+    fn switch_slot_records_arity_and_distinct_targets() {
+        let mut b = ProgramBuilder::new();
+        let v = b.var();
+        let main = b.routine();
+        b.block(main)
+            .body(1, mix())
+            .switch(Selector::var(v), vec![1, 2, 1, 1]);
+        b.block(main).body(1, mix()).goto(0);
+        b.block(main).body(1, mix()).goto(0);
+        let p = b.build().unwrap();
+        let layout = p.check().unwrap();
+        let image = StaticImage::build(&p, &layout);
+        let term = layout.terminator_addr(0, 0);
+        match &image.slot(term).unwrap().kind {
+            SlotKind::Switch { targets, arity } => {
+                assert_eq!(*arity, 4);
+                assert_eq!(targets.len(), 2, "duplicates deduped");
+            }
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Static program metrics: the ahead-of-execution ground truth that the
+//! dynamic Table 1 / Table 3 numbers must be consistent with.
+
+use crate::cfg::ProgramCfg;
+use crate::dom::{reachable, Dominators};
+use crate::image::{SlotKind, StaticImage};
+use sim_isa::{Addr, InstrClass};
+use sim_workloads::{BlockId, Program, RoutineId};
+
+/// Per-site static shape of one indirect branch (switch or indirect call).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteMetrics {
+    /// The branch's laid-out address.
+    pub addr: Addr,
+    /// Owning routine.
+    pub routine: RoutineId,
+    /// Owning block.
+    pub block: BlockId,
+    /// Table entries, including duplicates.
+    pub arity: usize,
+    /// Distinct static targets.
+    pub fanout: usize,
+}
+
+/// Whole-program static metrics.
+#[derive(Clone, Debug, Default)]
+pub struct StaticMetrics {
+    /// Static instruction count per [`InstrClass::index`].
+    pub class_counts: [u64; 8],
+    /// Static branch-site count per [`sim_isa::BranchClass::index`].
+    pub branch_counts: [u64; 6],
+    /// Every static switch (indirect-jump) site, by ascending address.
+    pub switch_sites: Vec<SiteMetrics>,
+    /// Every static indirect-call site, by ascending address.
+    pub icall_sites: Vec<SiteMetrics>,
+    /// Largest switch arity (0 when there are no switches).
+    pub max_switch_arity: usize,
+    /// Natural-loop back edges across all reachable routine CFGs.
+    pub back_edges: usize,
+    /// Routines reachable from `main` in the call graph.
+    pub reachable_routines: usize,
+    /// Blocks reachable from their routine's entry, over reachable routines.
+    pub reachable_blocks: usize,
+    /// Blocks whose terminator is `Return`.
+    pub return_blocks: usize,
+    /// Total laid-out static instructions.
+    pub static_instructions: u64,
+}
+
+impl StaticMetrics {
+    /// Computes metrics from the static image and graphs.
+    pub fn compute(program: &Program, cfg: &ProgramCfg, image: &StaticImage) -> Self {
+        let mut m = StaticMetrics {
+            static_instructions: image.len() as u64,
+            ..StaticMetrics::default()
+        };
+        for (&addr, slot) in &image.slots {
+            m.class_counts[slot.class.index()] += 1;
+            if let Some(bc) = slot.branch_class() {
+                m.branch_counts[bc.index()] += 1;
+            }
+            match &slot.kind {
+                SlotKind::Switch { targets, arity } => {
+                    m.switch_sites.push(SiteMetrics {
+                        addr,
+                        routine: slot.routine,
+                        block: slot.block,
+                        arity: *arity,
+                        fanout: targets.len(),
+                    });
+                }
+                SlotKind::Call {
+                    targets,
+                    indirect: true,
+                } => {
+                    m.icall_sites.push(SiteMetrics {
+                        addr,
+                        routine: slot.routine,
+                        block: slot.block,
+                        arity: targets.len(),
+                        fanout: targets.len(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        m.switch_sites.sort_by_key(|s| s.addr);
+        m.icall_sites.sort_by_key(|s| s.addr);
+        m.max_switch_arity = m.switch_sites.iter().map(|s| s.arity).max().unwrap_or(0);
+
+        for (r, rcfg) in cfg.routines.iter().enumerate() {
+            m.return_blocks += rcfg.return_blocks.len();
+            if !cfg.reachable[r] {
+                continue;
+            }
+            m.reachable_routines += 1;
+            let reach = reachable(&rcfg.succs, 0);
+            m.reachable_blocks += reach.iter().filter(|&&x| x).count();
+            let dom = Dominators::compute(&rcfg.succs, 0);
+            m.back_edges += dom.back_edges(&rcfg.succs).len();
+        }
+        debug_assert_eq!(program.routines.len(), cfg.routines.len());
+        m
+    }
+
+    /// Distinct static indirect-branch sites the target cache would ever
+    /// see (switches plus indirect calls).
+    pub fn indirect_sites(&self) -> usize {
+        self.switch_sites.len() + self.icall_sites.len()
+    }
+
+    /// Static fraction of branch instructions among all laid-out
+    /// instructions.
+    pub fn branch_fraction(&self) -> f64 {
+        if self.static_instructions == 0 {
+            0.0
+        } else {
+            self.class_counts[InstrClass::Branch.index()] as f64 / self.static_instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_workloads::{InstrMix, ProgramBuilder, Selector};
+
+    #[test]
+    fn metrics_count_sites_and_loops() {
+        let mut b = ProgramBuilder::new();
+        let v = b.var();
+        let main = b.routine();
+        let h1 = b.routine();
+        let h2 = b.routine();
+        let mix = InstrMix::integer_heavy();
+        b.block(main)
+            .body(2, mix)
+            .call_indirect(Selector::var(v), vec![h1, h2])
+            .switch(Selector::var(v), vec![1, 1, 0]);
+        b.block(main).body(1, mix).goto(0);
+        b.block(h1).body(1, mix).ret();
+        b.block(h2).body(1, mix).ret();
+        let p = b.build().unwrap();
+        let layout = p.check().unwrap();
+        let cfg = crate::cfg::ProgramCfg::build(&p);
+        let image = StaticImage::build(&p, &layout);
+        let m = StaticMetrics::compute(&p, &cfg, &image);
+
+        assert_eq!(m.switch_sites.len(), 1);
+        assert_eq!(m.icall_sites.len(), 1);
+        assert_eq!(m.indirect_sites(), 2);
+        assert_eq!(m.max_switch_arity, 3);
+        assert_eq!(m.switch_sites[0].fanout, 2);
+        assert_eq!(m.icall_sites[0].fanout, 2);
+        assert_eq!(m.return_blocks, 2);
+        assert_eq!(m.reachable_routines, 3);
+        // The switch targeting block 0 and goto back form loops: at least
+        // one back edge in main.
+        assert!(m.back_edges >= 1);
+        // Class counts add up to the image size.
+        assert_eq!(m.class_counts.iter().sum::<u64>(), m.static_instructions);
+        assert!(m.branch_fraction() > 0.0);
+    }
+}

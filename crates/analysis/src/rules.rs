@@ -1,0 +1,334 @@
+//! The lint rule catalogue: stable IDs, severities, and the finding
+//! collector.
+//!
+//! Rule IDs are stable across releases — tooling (CI gates, SARIF
+//! consumers) keys on them, so a rule may be retired but its ID is never
+//! reused for a different meaning.
+
+use sim_isa::Addr;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not structurally fatal (unreachable code, truncated
+    /// trace). Gated only under `--deny warn`.
+    Warning,
+    /// A broken invariant: the workload model or its trace is wrong.
+    Error,
+}
+
+impl Severity {
+    /// The SARIF `level` string for this severity.
+    pub const fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// The lint rules, in catalogue order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// `SL001`: the program failed [`sim_workloads::Program::check`].
+    StructuralCheck,
+    /// `SL002`: a laid-out address violates word or routine alignment.
+    MisalignedAddress,
+    /// `SL003`: the layout is not contiguous (fall-through ≠ previous
+    /// instruction + 4, gaps or overlaps between blocks/routines, step
+    /// offsets that are not cumulative step lengths).
+    LayoutContiguity,
+    /// `SL004`: a terminator or call references a target the layout cannot
+    /// resolve (shape mismatch between `Program` and `Layout`).
+    UnresolvableTarget,
+    /// `SL005`: a routine is unreachable from `main` in the static call
+    /// graph.
+    UnreachableRoutine,
+    /// `SL006`: a block is unreachable from its routine's entry in the
+    /// static CFG.
+    UnreachableBlock,
+    /// `SL007`: a reachable routine has no reachable `Return` block, so
+    /// calls into it can never be balanced by a return.
+    CallReturnImbalance,
+    /// `SL008`: the trace executed a control-flow edge that does not exist
+    /// in the static CFG (unknown pc, illegal successor, or a return that
+    /// does not resume its caller).
+    PhantomEdge,
+    /// `SL009`: a dynamic indirect-branch target is not a member of the
+    /// branch's static target set.
+    TargetOutsideStaticSet,
+    /// `SL010`: the per-class instruction counts derived from the static
+    /// image disagree with the dynamic [`sim_isa::TraceStats`].
+    CountMismatch,
+    /// `SL011`: the trace is shorter than the requested budget (truncated
+    /// generation).
+    TruncatedTrace,
+}
+
+impl Rule {
+    /// Every rule, in catalogue order.
+    pub const ALL: [Rule; 11] = [
+        Rule::StructuralCheck,
+        Rule::MisalignedAddress,
+        Rule::LayoutContiguity,
+        Rule::UnresolvableTarget,
+        Rule::UnreachableRoutine,
+        Rule::UnreachableBlock,
+        Rule::CallReturnImbalance,
+        Rule::PhantomEdge,
+        Rule::TargetOutsideStaticSet,
+        Rule::CountMismatch,
+        Rule::TruncatedTrace,
+    ];
+
+    /// The stable rule ID (`SL001` …).
+    pub const fn id(self) -> &'static str {
+        match self {
+            Rule::StructuralCheck => "SL001",
+            Rule::MisalignedAddress => "SL002",
+            Rule::LayoutContiguity => "SL003",
+            Rule::UnresolvableTarget => "SL004",
+            Rule::UnreachableRoutine => "SL005",
+            Rule::UnreachableBlock => "SL006",
+            Rule::CallReturnImbalance => "SL007",
+            Rule::PhantomEdge => "SL008",
+            Rule::TargetOutsideStaticSet => "SL009",
+            Rule::CountMismatch => "SL010",
+            Rule::TruncatedTrace => "SL011",
+        }
+    }
+
+    /// The rule's severity.
+    pub const fn severity(self) -> Severity {
+        match self {
+            Rule::StructuralCheck
+            | Rule::MisalignedAddress
+            | Rule::LayoutContiguity
+            | Rule::UnresolvableTarget
+            | Rule::PhantomEdge
+            | Rule::TargetOutsideStaticSet
+            | Rule::CountMismatch => Severity::Error,
+            Rule::UnreachableRoutine
+            | Rule::UnreachableBlock
+            | Rule::CallReturnImbalance
+            | Rule::TruncatedTrace => Severity::Warning,
+        }
+    }
+
+    /// A one-line description of what the rule checks.
+    pub const fn title(self) -> &'static str {
+        match self {
+            Rule::StructuralCheck => "program fails structural validation",
+            Rule::MisalignedAddress => "laid-out address violates alignment",
+            Rule::LayoutContiguity => "layout is not contiguous",
+            Rule::UnresolvableTarget => "target not resolvable in layout",
+            Rule::UnreachableRoutine => "routine unreachable from main",
+            Rule::UnreachableBlock => "block unreachable from routine entry",
+            Rule::CallReturnImbalance => "routine has no reachable return",
+            Rule::PhantomEdge => "executed edge absent from static CFG",
+            Rule::TargetOutsideStaticSet => "dynamic target outside static target set",
+            Rule::CountMismatch => "static/dynamic class counts disagree",
+            Rule::TruncatedTrace => "trace shorter than requested budget",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One reported problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description of this instance.
+    pub message: String,
+    /// The laid-out address the finding anchors to, when it has one.
+    pub addr: Option<Addr>,
+}
+
+impl Finding {
+    /// The finding's severity (inherited from its rule).
+    pub fn severity(&self) -> Severity {
+        self.rule.severity()
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{}]", self.severity(), self.message, self.rule)
+    }
+}
+
+/// Per-rule cap on retained findings. A single broken invariant in a large
+/// trace would otherwise produce millions of identical findings; the
+/// overflow is tallied, not stored.
+pub const FINDINGS_PER_RULE_CAP: usize = 25;
+
+/// Collects findings with a per-rule retention cap.
+#[derive(Clone, Debug, Default)]
+pub struct Findings {
+    findings: Vec<Finding>,
+    counts: [u64; Rule::ALL.len()],
+}
+
+impl Findings {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Findings::default()
+    }
+
+    /// Records a finding; instances past [`FINDINGS_PER_RULE_CAP`] for the
+    /// same rule are counted but not retained.
+    pub fn report(&mut self, rule: Rule, addr: Option<Addr>, message: impl Into<String>) {
+        let slot = Rule::ALL
+            .iter()
+            .position(|&r| r == rule)
+            .expect("known rule");
+        self.counts[slot] += 1;
+        if self.counts[slot] as usize <= FINDINGS_PER_RULE_CAP {
+            self.findings.push(Finding {
+                rule,
+                message: message.into(),
+                addr,
+            });
+        }
+    }
+
+    /// The retained findings, in report order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Finding> {
+        self.findings.iter()
+    }
+
+    /// Total instances of `rule`, including capped-out ones.
+    pub fn count(&self, rule: Rule) -> u64 {
+        let slot = Rule::ALL
+            .iter()
+            .position(|&r| r == rule)
+            .expect("known rule");
+        self.counts[slot]
+    }
+
+    /// Instances of `rule` that were counted but not retained.
+    pub fn suppressed(&self, rule: Rule) -> u64 {
+        self.count(rule)
+            .saturating_sub(FINDINGS_PER_RULE_CAP as u64)
+    }
+
+    /// Total findings at [`Severity::Error`], including capped-out ones.
+    pub fn errors(&self) -> u64 {
+        Rule::ALL
+            .iter()
+            .filter(|r| r.severity() == Severity::Error)
+            .map(|&r| self.count(r))
+            .sum()
+    }
+
+    /// Total findings at [`Severity::Warning`], including capped-out ones.
+    pub fn warnings(&self) -> u64 {
+        Rule::ALL
+            .iter()
+            .filter(|r| r.severity() == Severity::Warning)
+            .map(|&r| self.count(r))
+            .sum()
+    }
+
+    /// Whether nothing was reported.
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0 && self.warnings() == 0
+    }
+
+    /// Merges another collector's findings into this one, preserving the
+    /// per-rule cap on retained instances.
+    pub fn merge(&mut self, other: &Findings) {
+        for f in other.iter() {
+            self.report(f.rule, f.addr, f.message.clone());
+        }
+        // Account for instances `other` counted but did not retain.
+        for (slot, &rule) in Rule::ALL.iter().enumerate() {
+            self.counts[slot] += other.suppressed(rule);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_stable_and_unique() {
+        let ids: Vec<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
+        assert_eq!(ids[0], "SL001");
+        assert_eq!(ids[10], "SL011");
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "duplicate rule ID");
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(*id, format!("SL{:03}", i + 1));
+        }
+    }
+
+    #[test]
+    fn collector_caps_per_rule_but_counts_all() {
+        let mut f = Findings::new();
+        for i in 0..100 {
+            f.report(Rule::PhantomEdge, None, format!("instance {i}"));
+        }
+        f.report(Rule::TruncatedTrace, None, "short");
+        assert_eq!(f.count(Rule::PhantomEdge), 100);
+        assert_eq!(f.suppressed(Rule::PhantomEdge), 75);
+        assert_eq!(f.iter().count(), FINDINGS_PER_RULE_CAP + 1);
+        assert_eq!(f.errors(), 100);
+        assert_eq!(f.warnings(), 1);
+        assert!(!f.is_clean());
+    }
+
+    #[test]
+    fn merge_preserves_totals() {
+        let mut a = Findings::new();
+        for _ in 0..30 {
+            a.report(Rule::CountMismatch, None, "x");
+        }
+        let mut b = Findings::new();
+        for _ in 0..40 {
+            b.report(Rule::CountMismatch, None, "y");
+        }
+        a.merge(&b);
+        assert_eq!(a.count(Rule::CountMismatch), 70);
+        assert_eq!(a.iter().count(), FINDINGS_PER_RULE_CAP);
+    }
+
+    #[test]
+    fn severity_partitions_the_catalogue() {
+        let errors = Rule::ALL
+            .iter()
+            .filter(|r| r.severity() == Severity::Error)
+            .count();
+        assert_eq!(errors, 7);
+        assert_eq!(Rule::ALL.len() - errors, 4);
+        assert_eq!(Severity::Error.sarif_level(), "error");
+    }
+
+    #[test]
+    fn finding_display_includes_rule_and_severity() {
+        let mut f = Findings::new();
+        f.report(Rule::UnreachableBlock, None, "routine 1 block 3");
+        let text = f.iter().next().unwrap().to_string();
+        assert!(text.contains("SL006"), "{text}");
+        assert!(text.contains("warning"), "{text}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Machine-readable output: a compact JSON report and a SARIF 2.1.0 log,
+//! both built with `sim-telemetry`'s hand-rolled JSON writer.
+
+use crate::metrics::StaticMetrics;
+use crate::rules::{Findings, Rule};
+use sim_telemetry::json::{obj, Json};
+
+/// The per-benchmark payload serialized into the report.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Benchmark name ("perl", "gcc", …).
+    pub bench: String,
+    /// Findings collected for this benchmark.
+    pub findings: Findings,
+    /// Static metrics (absent when analysis aborted on an error).
+    pub metrics: Option<StaticMetrics>,
+}
+
+fn metrics_json(m: &StaticMetrics) -> Json {
+    obj([
+        ("static_instructions", Json::from(m.static_instructions)),
+        (
+            "class_counts",
+            Json::Arr(m.class_counts.iter().map(|&c| Json::from(c)).collect()),
+        ),
+        (
+            "branch_counts",
+            Json::Arr(m.branch_counts.iter().map(|&c| Json::from(c)).collect()),
+        ),
+        ("switch_sites", Json::from(m.switch_sites.len())),
+        ("icall_sites", Json::from(m.icall_sites.len())),
+        ("max_switch_arity", Json::from(m.max_switch_arity)),
+        ("back_edges", Json::from(m.back_edges)),
+        ("reachable_routines", Json::from(m.reachable_routines)),
+        ("reachable_blocks", Json::from(m.reachable_blocks)),
+        ("return_blocks", Json::from(m.return_blocks)),
+    ])
+}
+
+fn findings_json(f: &Findings) -> Json {
+    let mut items: Vec<Json> = f
+        .iter()
+        .map(|finding| {
+            let mut fields = vec![
+                ("rule", Json::from(finding.rule.id())),
+                ("severity", Json::from(finding.severity().to_string())),
+                ("message", Json::from(finding.message.clone())),
+            ];
+            if let Some(addr) = finding.addr {
+                fields.push(("addr", Json::from(format!("{addr}"))));
+            }
+            obj(fields)
+        })
+        .collect();
+    for rule in Rule::ALL {
+        let suppressed = f.suppressed(rule);
+        if suppressed > 0 {
+            items.push(obj([
+                ("rule", Json::from(rule.id())),
+                ("severity", Json::from(rule.severity().to_string())),
+                (
+                    "message",
+                    Json::from(format!("… and {suppressed} more {} findings", rule.id())),
+                ),
+            ]));
+        }
+    }
+    Json::Arr(items)
+}
+
+/// Renders the whole run as the `simlint.json` report document.
+pub fn to_json(reports: &[BenchReport]) -> Json {
+    let benches: Vec<Json> = reports
+        .iter()
+        .map(|r| {
+            let mut fields = vec![
+                ("bench", Json::from(r.bench.clone())),
+                ("errors", Json::from(r.findings.errors())),
+                ("warnings", Json::from(r.findings.warnings())),
+                ("findings", findings_json(&r.findings)),
+            ];
+            if let Some(m) = &r.metrics {
+                fields.push(("metrics", metrics_json(m)));
+            }
+            obj(fields)
+        })
+        .collect();
+    obj([
+        ("tool", Json::from("simlint")),
+        (
+            "rules",
+            Json::Arr(
+                Rule::ALL
+                    .iter()
+                    .map(|r| {
+                        obj([
+                            ("id", Json::from(r.id())),
+                            ("severity", Json::from(r.severity().to_string())),
+                            ("title", Json::from(r.title())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("benchmarks", Json::Arr(benches)),
+    ])
+}
+
+/// Renders the whole run as a SARIF 2.1.0 log. Findings become `results`;
+/// the synthetic programs have no source files, so each result carries a
+/// logical location naming the benchmark model.
+pub fn to_sarif(reports: &[BenchReport]) -> Json {
+    let rules: Vec<Json> = Rule::ALL
+        .iter()
+        .map(|r| {
+            obj([
+                ("id", Json::from(r.id())),
+                ("name", Json::from(r.title())),
+                (
+                    "defaultConfiguration",
+                    obj([("level", Json::from(r.severity().sarif_level()))]),
+                ),
+                ("shortDescription", obj([("text", Json::from(r.title()))])),
+            ])
+        })
+        .collect();
+    let mut results: Vec<Json> = Vec::new();
+    for report in reports {
+        for finding in report.findings.iter() {
+            let mut message = finding.message.clone();
+            if let Some(addr) = finding.addr {
+                message.push_str(&format!(" (at {addr})"));
+            }
+            results.push(obj([
+                ("ruleId", Json::from(finding.rule.id())),
+                ("level", Json::from(finding.severity().sarif_level())),
+                ("message", obj([("text", Json::from(message))])),
+                (
+                    "locations",
+                    Json::Arr(vec![obj([(
+                        "logicalLocations",
+                        Json::Arr(vec![obj([
+                            (
+                                "fullyQualifiedName",
+                                Json::from(format!("spec95::{}", report.bench)),
+                            ),
+                            ("kind", Json::from("module")),
+                        ])]),
+                    )])]),
+                ),
+            ]));
+        }
+    }
+    obj([
+        (
+            "$schema",
+            Json::from("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", Json::from("2.1.0")),
+        (
+            "runs",
+            Json::Arr(vec![obj([
+                (
+                    "tool",
+                    obj([(
+                        "driver",
+                        obj([
+                            ("name", Json::from("simlint")),
+                            (
+                                "informationUri",
+                                Json::from("https://example.invalid/indirect-jump-prediction"),
+                            ),
+                            ("rules", Json::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Json::Arr(results)),
+            ])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_telemetry::json::parse;
+
+    fn sample_reports() -> Vec<BenchReport> {
+        let mut findings = Findings::new();
+        findings.report(Rule::UnreachableBlock, None, "routine 1 block 2");
+        findings.report(
+            Rule::PhantomEdge,
+            Some(sim_isa::Addr::new(0x4000)),
+            "bad edge",
+        );
+        vec![BenchReport {
+            bench: "perl".to_string(),
+            findings,
+            metrics: None,
+        }]
+    }
+
+    #[test]
+    fn json_report_parses_and_carries_counts() {
+        let doc = to_json(&sample_reports());
+        let text = doc.to_pretty_string();
+        let back = parse(&text).expect("valid JSON");
+        let benches = back.get("benchmarks").unwrap().as_arr().unwrap();
+        assert_eq!(benches.len(), 1);
+        assert_eq!(benches[0].get("errors").unwrap().as_u64(), Some(1));
+        assert_eq!(benches[0].get("warnings").unwrap().as_u64(), Some(1));
+        let rules = back.get("rules").unwrap().as_arr().unwrap();
+        assert_eq!(rules.len(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn sarif_log_has_schema_rules_and_results() {
+        let doc = to_sarif(&sample_reports());
+        let text = doc.to_string();
+        let back = parse(&text).expect("valid JSON");
+        assert_eq!(back.get("version").unwrap().as_str(), Some("2.1.0"));
+        let runs = back.get("runs").unwrap().as_arr().unwrap();
+        let driver = runs[0].get("tool").unwrap().get("driver").unwrap();
+        assert_eq!(driver.get("name").unwrap().as_str(), Some("simlint"));
+        assert_eq!(
+            driver.get("rules").unwrap().as_arr().unwrap().len(),
+            Rule::ALL.len()
+        );
+        let results = runs[0].get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("ruleId").unwrap().as_str(), Some("SL006"));
+        assert_eq!(results[0].get("level").unwrap().as_str(), Some("warning"));
+    }
+
+    #[test]
+    fn suppressed_overflow_is_summarized() {
+        let mut findings = Findings::new();
+        for i in 0..40 {
+            findings.report(Rule::CountMismatch, None, format!("mismatch {i}"));
+        }
+        let doc = to_json(&[BenchReport {
+            bench: "gcc".into(),
+            findings,
+            metrics: None,
+        }]);
+        let text = doc.to_string();
+        assert!(text.contains("and 15 more SL010"), "{text}");
+    }
+}

@@ -1,0 +1,355 @@
+//! Static verification: structural validation, layout invariants, and
+//! graph-level reachability/balance rules.
+
+use crate::cfg::ProgramCfg;
+use crate::dom::reachable;
+use crate::image::StaticImage;
+use crate::metrics::StaticMetrics;
+use crate::rules::{Findings, Rule};
+use sim_isa::is_instr_aligned;
+use sim_workloads::program::{ROUTINE_ALIGN_WORDS, TEXT_BASE_WORDS};
+use sim_workloads::{Layout, Program};
+
+/// The products of a successful static analysis.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// The verified address layout.
+    pub layout: Layout,
+    /// CFGs and call graph.
+    pub cfg: ProgramCfg,
+    /// The per-address static image.
+    pub image: StaticImage,
+    /// Whole-program static metrics.
+    pub metrics: StaticMetrics,
+}
+
+/// Runs the full static pass over a program: structural check (`SL001`),
+/// layout invariants (`SL002`–`SL004`), and graph rules (`SL005`–`SL007`).
+///
+/// Returns `None` — without building an image — when an error-severity
+/// finding makes the layout untrustworthy; warnings alone do not block
+/// the analysis.
+pub fn analyze_program(program: &Program, findings: &mut Findings) -> Option<Analysis> {
+    let layout = match program.check() {
+        Ok(layout) => layout,
+        Err(e) => {
+            findings.report(
+                Rule::StructuralCheck,
+                None,
+                format!("{e} ({})", e.code.name()),
+            );
+            return None;
+        }
+    };
+    let errors_before = findings.errors();
+    verify_layout(program, &layout, findings);
+    if findings.errors() > errors_before {
+        return None;
+    }
+    let cfg = ProgramCfg::build(program);
+    verify_graphs(program, &cfg, findings);
+    let image = StaticImage::build(program, &layout);
+    let metrics = StaticMetrics::compute(program, &cfg, &image);
+    Some(Analysis {
+        layout,
+        cfg,
+        image,
+        metrics,
+    })
+}
+
+/// Checks layout invariants against the program: shape agreement
+/// (`SL004`), alignment (`SL002`), and contiguity / fall-through
+/// (`SL003`). Public so tests can probe deliberately corrupted layouts.
+pub fn verify_layout(program: &Program, layout: &Layout, findings: &mut Findings) {
+    if layout.block_base.len() != program.routines.len()
+        || layout.step_offset.len() != program.routines.len()
+    {
+        findings.report(
+            Rule::UnresolvableTarget,
+            None,
+            format!(
+                "layout covers {} routines but program has {}",
+                layout.block_base.len(),
+                program.routines.len()
+            ),
+        );
+        return;
+    }
+    let mut prev_routine_end: Option<u64> = None;
+    for (r, routine) in program.routines.iter().enumerate() {
+        if layout.block_base[r].len() != routine.blocks.len()
+            || layout.step_offset[r].len() != routine.blocks.len()
+        {
+            findings.report(
+                Rule::UnresolvableTarget,
+                None,
+                format!(
+                    "routine {r}: layout covers {} blocks but routine has {}",
+                    layout.block_base[r].len(),
+                    routine.blocks.len()
+                ),
+            );
+            continue;
+        }
+        if routine.blocks.is_empty() {
+            continue;
+        }
+        let entry = layout.block_base[r][0];
+        if !is_instr_aligned(entry.raw()) {
+            findings.report(
+                Rule::MisalignedAddress,
+                Some(entry),
+                format!("routine {r} entry {entry} is not word-aligned"),
+            );
+        }
+        if !entry.word_index().is_multiple_of(ROUTINE_ALIGN_WORDS) {
+            findings.report(
+                Rule::MisalignedAddress,
+                Some(entry),
+                format!("routine {r} entry {entry} is not aligned to {ROUTINE_ALIGN_WORDS} words"),
+            );
+        }
+        if entry.word_index() < TEXT_BASE_WORDS {
+            findings.report(
+                Rule::MisalignedAddress,
+                Some(entry),
+                format!("routine {r} entry {entry} is below the text base"),
+            );
+        }
+        if let Some(end) = prev_routine_end {
+            if entry.word_index() < end {
+                findings.report(
+                    Rule::LayoutContiguity,
+                    Some(entry),
+                    format!("routine {r} at {entry} overlaps the previous routine"),
+                );
+            }
+        }
+        for (b, block) in routine.blocks.iter().enumerate() {
+            let base = layout.block_base[r][b];
+            let offs = &layout.step_offset[r][b];
+            if offs.len() != block.steps.len() + 1 {
+                findings.report(
+                    Rule::UnresolvableTarget,
+                    Some(base),
+                    format!(
+                        "routine {r} block {b}: {} step offsets for {} steps",
+                        offs.len(),
+                        block.steps.len()
+                    ),
+                );
+                continue;
+            }
+            // Step offsets must be the running sum of step lengths: the
+            // fall-through invariant (next instruction = previous + 4)
+            // at step granularity.
+            let mut expect = 0u32;
+            for (s, step) in block.steps.iter().enumerate() {
+                if offs[s] != expect {
+                    findings.report(
+                        Rule::LayoutContiguity,
+                        Some(base.offset(offs[s] as u64)),
+                        format!(
+                            "routine {r} block {b} step {s}: offset {} != expected {expect}",
+                            offs[s]
+                        ),
+                    );
+                }
+                expect += step.len();
+            }
+            if offs[block.steps.len()] != expect {
+                findings.report(
+                    Rule::LayoutContiguity,
+                    Some(base.offset(offs[block.steps.len()] as u64)),
+                    format!(
+                        "routine {r} block {b}: terminator offset {} != expected {expect}",
+                        offs[block.steps.len()]
+                    ),
+                );
+            }
+            // Blocks are contiguous within a routine: the next block starts
+            // exactly one instruction past this block's terminator.
+            if b + 1 < routine.blocks.len() {
+                let expected_next = base.offset(block.len() as u64);
+                let actual_next = layout.block_base[r][b + 1];
+                if actual_next != expected_next {
+                    findings.report(
+                        Rule::LayoutContiguity,
+                        Some(actual_next),
+                        format!(
+                            "routine {r} block {}: starts at {actual_next}, expected \
+                             fall-through {expected_next}",
+                            b + 1
+                        ),
+                    );
+                }
+            }
+        }
+        let last = routine.blocks.len() - 1;
+        prev_routine_end =
+            Some(layout.block_base[r][last].word_index() + routine.blocks[last].len() as u64);
+    }
+}
+
+/// Graph-level rules: unreachable routines (`SL005`), unreachable blocks
+/// (`SL006`), and routines that can never return (`SL007`).
+pub fn verify_graphs(program: &Program, cfg: &ProgramCfg, findings: &mut Findings) {
+    for r in cfg.unreachable_routines() {
+        findings.report(
+            Rule::UnreachableRoutine,
+            None,
+            format!("routine {r} is unreachable from main in the call graph"),
+        );
+    }
+    for (r, rcfg) in cfg.routines.iter().enumerate() {
+        if !cfg.reachable[r] {
+            continue;
+        }
+        let reach = reachable(&rcfg.succs, 0);
+        for (b, &ok) in reach.iter().enumerate() {
+            if !ok {
+                findings.report(
+                    Rule::UnreachableBlock,
+                    None,
+                    format!("routine {r} block {b} is unreachable from the routine entry"),
+                );
+            }
+        }
+        // Every reachable non-main routine must be able to return,
+        // otherwise calls into it are never balanced. (main must NOT
+        // return; Program::check already enforces that side.)
+        if r != 0 {
+            let can_return = rcfg.return_blocks.iter().any(|&b| reach[b]);
+            if !can_return {
+                findings.report(
+                    Rule::CallReturnImbalance,
+                    None,
+                    format!("routine {r} has no reachable return block"),
+                );
+            }
+        }
+    }
+    debug_assert_eq!(cfg.routines.len(), program.routines.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::Addr;
+    use sim_workloads::{InstrMix, ProgramBuilder};
+
+    fn mix() -> InstrMix {
+        InstrMix::integer_heavy()
+    }
+
+    fn two_routine_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        let helper = b.routine();
+        b.block(main).body(3, mix()).call(helper).goto(0);
+        b.block(helper).body(2, mix()).ret();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pristine_program_is_clean() {
+        let p = two_routine_program();
+        let mut f = Findings::new();
+        let analysis = analyze_program(&p, &mut f).expect("analysis succeeds");
+        assert!(f.is_clean(), "{:?}", f.iter().collect::<Vec<_>>());
+        assert_eq!(analysis.metrics.reachable_routines, 2);
+    }
+
+    #[test]
+    fn sl002_misaligned_routine_entry() {
+        let p = two_routine_program();
+        let mut layout = p.check().unwrap();
+        // Knock routine 1's entry off the 16-word routine alignment. Addr
+        // itself cannot be word-misaligned (the constructor rounds down),
+        // so routine alignment is the corruption a layout can express.
+        let old = layout.block_base[1][0];
+        layout.block_base[1][0] = Addr::from_word_index(old.word_index() + 1);
+        let mut f = Findings::new();
+        verify_layout(&p, &layout, &mut f);
+        assert!(f.count(Rule::MisalignedAddress) >= 1, "SL002 must fire");
+    }
+
+    #[test]
+    fn sl003_broken_fall_through() {
+        let p = two_routine_program();
+        let mut layout = p.check().unwrap();
+        // Shift the terminator offset of main's block 0: the terminator no
+        // longer sits at (last step + 4).
+        let last = layout.step_offset[0][0].len() - 1;
+        layout.step_offset[0][0][last] += 2;
+        let mut f = Findings::new();
+        verify_layout(&p, &layout, &mut f);
+        assert!(f.count(Rule::LayoutContiguity) >= 1, "SL003 must fire");
+    }
+
+    #[test]
+    fn sl004_layout_shape_mismatch() {
+        let p = two_routine_program();
+        let mut layout = p.check().unwrap();
+        layout.block_base[1].clear();
+        layout.step_offset[1].clear();
+        let mut f = Findings::new();
+        verify_layout(&p, &layout, &mut f);
+        assert!(f.count(Rule::UnresolvableTarget) >= 1, "SL004 must fire");
+    }
+
+    #[test]
+    fn sl005_unreachable_routine() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        let orphan = b.routine();
+        b.block(main).body(2, mix()).goto(0);
+        b.block(orphan).body(1, mix()).ret();
+        let p = b.build().unwrap();
+        let mut f = Findings::new();
+        analyze_program(&p, &mut f).expect("warnings do not block analysis");
+        assert_eq!(f.count(Rule::UnreachableRoutine), 1);
+    }
+
+    #[test]
+    fn sl006_unreachable_block() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        b.block(main).body(2, mix()).goto(0);
+        b.block(main).body(1, mix()).goto(0); // nothing targets block 1
+        let p = b.build().unwrap();
+        let mut f = Findings::new();
+        analyze_program(&p, &mut f).unwrap();
+        assert_eq!(f.count(Rule::UnreachableBlock), 1);
+    }
+
+    #[test]
+    fn sl007_routine_that_never_returns() {
+        let mut b = ProgramBuilder::new();
+        let main = b.routine();
+        let stuck = b.routine();
+        b.block(main).body(1, mix()).call(stuck).goto(0);
+        b.block(stuck).body(1, mix()).goto(0); // loops forever, no ret
+        let p = b.build().unwrap();
+        let mut f = Findings::new();
+        analyze_program(&p, &mut f).unwrap();
+        assert_eq!(f.count(Rule::CallReturnImbalance), 1);
+    }
+
+    #[test]
+    fn sl001_structural_failure_blocks_analysis() {
+        // Raw construction bypasses the builder's validation.
+        let p = Program {
+            routines: vec![],
+            cycles: vec![],
+            chains: vec![],
+            vars: 0,
+        };
+        let mut f = Findings::new();
+        assert!(analyze_program(&p, &mut f).is_none());
+        assert_eq!(f.count(Rule::StructuralCheck), 1);
+        let finding = f.iter().next().unwrap();
+        assert!(finding.message.contains("no routines"), "{finding}");
+    }
+}

@@ -1,0 +1,54 @@
+//! The acceptance gate: every shipped benchmark model must analyze clean
+//! statically, and a genuine trace must replay with zero findings.
+
+use sim_analysis::conformance::check_trace;
+use sim_analysis::rules::Findings;
+use sim_analysis::verify::analyze_program;
+use sim_workloads::spec95::Benchmark;
+
+#[test]
+fn all_benchmarks_analyze_clean() {
+    for bench in Benchmark::ALL {
+        let workload = bench.workload();
+        let mut findings = Findings::new();
+        let analysis = analyze_program(workload.program(), &mut findings).unwrap_or_else(|| {
+            panic!(
+                "{bench}: analysis aborted: {:?}",
+                findings.iter().collect::<Vec<_>>()
+            )
+        });
+        assert!(
+            findings.is_clean(),
+            "{bench}: static findings: {:?}",
+            findings.iter().collect::<Vec<_>>()
+        );
+        assert!(
+            !analysis.metrics.switch_sites.is_empty() || !analysis.metrics.icall_sites.is_empty()
+        );
+    }
+}
+
+#[test]
+fn all_benchmark_traces_conform() {
+    let budget = 30_000;
+    for bench in Benchmark::ALL {
+        let workload = bench.workload();
+        let mut findings = Findings::new();
+        let analysis = analyze_program(workload.program(), &mut findings).expect("valid model");
+        let trace = workload.generate(budget);
+        let stats = trace.stats();
+        let report = check_trace(&analysis.image, &trace, &stats, Some(budget), &mut findings);
+        assert!(
+            findings.is_clean(),
+            "{bench}: conformance findings: {:?}",
+            findings.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(report.instructions, budget, "{bench}");
+        assert_eq!(report.static_class_counts, stats.class_counts(), "{bench}");
+        assert_eq!(
+            report.static_branch_counts,
+            stats.branch_class_counts(),
+            "{bench}"
+        );
+    }
+}

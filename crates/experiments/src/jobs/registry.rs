@@ -156,6 +156,13 @@ pub fn all() -> Vec<ExperimentDef> {
             cell: extension_scaling::cell,
             render: extension_scaling::render_cells,
         },
+        ExperimentDef {
+            name: "lint",
+            title: "Static analysis: simlint over the benchmark models",
+            labels: lint::cell_labels,
+            cell: lint::cell,
+            render: lint::render_cells,
+        },
     ]
 }
 
@@ -171,7 +178,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_consistent() {
         let defs = all();
-        assert_eq!(defs.len(), 17);
+        assert_eq!(defs.len(), 18);
         let mut names: Vec<&str> = defs.iter().map(|d| d.name).collect();
         names.dedup();
         assert_eq!(names.len(), defs.len(), "names must be unique");

@@ -32,6 +32,7 @@
 //! | [`extension_limits`] | Extension: oracle limit study |
 //! | [`extension_cascade`] | Extension: cascaded (staged) prediction |
 //! | [`costs`] | Section 4.2 hardware-budget model |
+//! | [`lint`] | Static analysis: simlint ground truth for the workload models |
 //! | [`extension_hysteresis`] | Extension: 2-bit update policy on the target cache |
 //! | [`extension_scaling`] | Extension: benefit vs machine aggressiveness |
 //!
@@ -55,6 +56,7 @@ pub mod fig_tagless_vs_tagged;
 pub mod fig_targets;
 pub mod headline;
 pub mod jobs;
+pub mod lint;
 pub mod perf;
 pub mod report;
 pub mod runner;

@@ -37,13 +37,14 @@ impl Scale {
     }
 
     /// The values [`Scale::parse`] accepts, for error messages.
-    pub const ACCEPTED: &'static str = "quick, standard, full";
+    pub const ACCEPTED: &'static str = "quick (alias: ci), standard, full";
 
     /// Parses a scale name (`quick` / `standard` / `full`,
-    /// case-insensitive).
+    /// case-insensitive). `ci` is an alias for `quick`: CI pipelines read
+    /// better when they name the intent rather than the size.
     pub fn parse(value: &str) -> Result<Scale, String> {
         match value.to_ascii_lowercase().as_str() {
-            "quick" => Ok(Scale::Quick),
+            "quick" | "ci" => Ok(Scale::Quick),
             "standard" => Ok(Scale::Standard),
             "full" => Ok(Scale::Full),
             _ => Err(format!(

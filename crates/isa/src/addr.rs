@@ -10,6 +10,17 @@ use std::ops::{Add, Sub};
 /// address are ignored because instructions are aligned on word boundaries".
 pub const INSTR_BYTES: u64 = 4;
 
+/// Whether a raw byte address sits on an instruction-word boundary.
+///
+/// [`Addr`]'s constructor rounds down, so every `Addr` passes this by
+/// construction; the free function exists for validating addresses that
+/// arrive as raw integers (layout tables, serialized traces) before they
+/// are laundered through `Addr::new`.
+#[inline]
+pub const fn is_instr_aligned(raw: u64) -> bool {
+    raw.is_multiple_of(INSTR_BYTES)
+}
+
 /// A word-aligned instruction address.
 ///
 /// `Addr` is a newtype over `u64`. Constructing an `Addr` rounds the raw

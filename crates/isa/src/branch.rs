@@ -49,6 +49,13 @@ impl BranchClass {
         )
     }
 
+    /// Whether the branch's target is encoded in the instruction (the
+    /// complement of [`BranchClass::is_indirect`]).
+    #[inline]
+    pub const fn is_direct(self) -> bool {
+        !self.is_indirect()
+    }
+
     /// Whether the branch may fall through (only conditional branches may).
     #[inline]
     pub const fn is_conditional(self) -> bool {

@@ -37,7 +37,7 @@ pub mod instr;
 pub mod reg;
 pub mod trace;
 
-pub use addr::Addr;
+pub use addr::{is_instr_aligned, Addr};
 pub use branch::{BranchClass, BranchExec};
 pub use class::InstrClass;
 pub use instr::{DynInstr, MemAccess};

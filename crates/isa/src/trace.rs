@@ -170,6 +170,17 @@ impl TraceStats {
         self.class_counts[class.index()]
     }
 
+    /// All per-class dynamic counts, indexed by [`InstrClass::index`].
+    pub fn class_counts(&self) -> [u64; 8] {
+        self.class_counts
+    }
+
+    /// All per-branch-class dynamic counts, indexed by
+    /// [`BranchClass::index`].
+    pub fn branch_class_counts(&self) -> [u64; 6] {
+        self.branch_counts
+    }
+
     /// Dynamic count of all control instructions.
     pub fn branches(&self) -> u64 {
         self.class_counts[InstrClass::Branch.index()]

@@ -105,6 +105,66 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Renders the value with two-space indentation, one field or element
+    /// per line — for documents meant to be read by humans (SARIF logs,
+    /// lint reports) rather than streamed line-per-record.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => {
+                out.push_str(&self.to_string());
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
 }
 
 impl fmt::Display for Json {
@@ -477,6 +537,20 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_round_trips() {
+        let v = obj([
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(Default::default())),
+            ("nested", obj([("k", Json::Arr(vec![Json::from(1u64)]))])),
+        ]);
+        let pretty = v.to_pretty_string();
+        assert!(pretty.contains("\"nested\": {\n"));
+        assert!(pretty.contains("\"empty_arr\": []"));
+        assert!(pretty.contains("    \"k\": [\n"));
+        assert_eq!(parse(&pretty).unwrap(), v);
     }
 
     #[test]

@@ -285,8 +285,7 @@ impl<'p> Executor<'p> {
     /// The address of step `s` of a block (`s == steps.len()` addresses the
     /// terminator).
     fn step_addr(&self, routine: RoutineId, block: BlockId, s: usize) -> Addr {
-        let base = self.layout.block_base[routine][block];
-        base.offset(self.layout.step_offset[routine][block][s] as u64)
+        self.layout.step_addr(routine, block, s)
     }
 
     fn push_frame(&mut self, frame: Frame) {
@@ -298,6 +297,28 @@ impl<'p> Executor<'p> {
     }
 
     fn emit(&mut self, instr: DynInstr) -> Result<(), BudgetReached> {
+        // Catch layout corruption at the source (debug builds only): every
+        // emitted pc must be word-aligned, and the trace must be
+        // sequentially consistent — each instruction starts where the
+        // previous one said control goes next (fall-through = addr + 4,
+        // taken branches land on their recorded target).
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                sim_isa::is_instr_aligned(instr.pc().raw()),
+                "emitted pc {} is not word-aligned",
+                instr.pc()
+            );
+            if let Some(prev) = self.trace.as_slice().last() {
+                debug_assert_eq!(
+                    prev.next_pc(),
+                    instr.pc(),
+                    "trace discontinuity: {} does not fall through / jump to {}",
+                    prev.pc(),
+                    instr.pc()
+                );
+            }
+        }
         self.trace.push(instr);
         if self.trace.len() >= self.budget {
             Err(BudgetReached)
@@ -383,7 +404,10 @@ impl<'p> Executor<'p> {
     }
 }
 
-fn body_seed(routine: RoutineId, block: BlockId, step: usize) -> u64 {
+/// The deterministic per-step seed that drives filler-instruction class
+/// selection. Public so static analysis can reconstruct the exact
+/// instruction classes a body step will emit without executing it.
+pub fn body_seed(routine: RoutineId, block: BlockId, step: usize) -> u64 {
     mix64(((routine as u64) << 40) ^ ((block as u64) << 20) ^ step as u64)
 }
 

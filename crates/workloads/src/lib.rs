@@ -36,11 +36,11 @@ pub mod oo;
 pub mod program;
 pub mod spec95;
 
-pub use exec::Executor;
+pub use exec::{body_seed, Executor};
 pub use mix::InstrMix;
 pub use oo::OoBenchmark;
 pub use program::{
-    Block, BlockId, ChainId, Cond, CycleId, Effect, Program, ProgramBuilder, Routine, RoutineId,
-    Selector, Step, Terminator, VarId,
+    Block, BlockId, ChainId, CheckCode, CheckError, Cond, CycleId, Effect, Layout, Program,
+    ProgramBuilder, Routine, RoutineId, Selector, Step, Terminator, VarId,
 };
 pub use spec95::{Benchmark, Workload};

@@ -13,6 +13,7 @@
 
 use crate::mix::InstrMix;
 use sim_isa::Addr;
+use std::fmt;
 
 /// Index of a routine within its program. Routine 0 is `main`.
 pub type RoutineId = usize;
@@ -176,6 +177,18 @@ impl Step {
         }
     }
 
+    /// The routines this step may transfer control to: the single callee of
+    /// a direct call, the whole function-pointer table of an indirect call,
+    /// and nothing for filler bodies. This is the step half of the static
+    /// call graph.
+    pub fn callees(&self) -> &[RoutineId] {
+        match self {
+            Step::Body { .. } => &[],
+            Step::Call { routine } => std::slice::from_ref(routine),
+            Step::CallIndirect { routines, .. } => routines,
+        }
+    }
+
     /// Whether the step emits no instructions.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -215,6 +228,22 @@ impl Terminator {
         match self {
             Terminator::Branch { .. } => 2,
             _ => 1,
+        }
+    }
+
+    /// The static successor blocks of this terminator, in declaration
+    /// order and *including duplicates* (a jump table may list the same
+    /// block several times; the duplicate entries matter to arity metrics).
+    /// Returns are successor-less at the block level — their continuations
+    /// live in the caller and are exposed by the call graph instead.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Goto(t) => vec![*t],
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => vec![*taken, *not_taken],
+            Terminator::Switch { targets, .. } => targets.clone(),
+            Terminator::Return => Vec::new(),
         }
     }
 
@@ -339,6 +368,113 @@ pub(crate) fn routine_stagger_words(r: usize) -> u64 {
     32 + (r as u64 * 61) % 397
 }
 
+/// Machine-readable category of a structural validation failure found by
+/// [`Program::check`]. Static analyzers map these onto stable lint rule
+/// IDs; the human-readable detail lives in [`CheckError`]'s `Display`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CheckCode {
+    /// The program has no routines at all.
+    NoRoutines,
+    /// A routine has no blocks.
+    EmptyRoutine,
+    /// A token cycle is empty.
+    EmptyCycle,
+    /// A Markov chain is malformed (no states, ragged rows, or a row that
+    /// is not a weight vector).
+    BadMarkovChain,
+    /// A call or indirect-call table references a routine that does not
+    /// exist.
+    MissingRoutine,
+    /// A routine calls `main` (routine 0).
+    CallsMain,
+    /// An indirect call has an empty function-pointer table.
+    EmptyCallTable,
+    /// A terminator targets a block that does not exist in its routine.
+    MissingBlock,
+    /// A selector, condition, or effect references a missing variable.
+    MissingVariable,
+    /// An effect references a missing token cycle.
+    MissingCycle,
+    /// An effect references a missing Markov chain.
+    MissingChain,
+    /// A probability parameter is outside `[0, 1]`.
+    BadProbability,
+    /// A uniform or substitution draw has an empty range.
+    EmptyRange,
+    /// An `AddMod` effect has a zero modulus.
+    ZeroModulus,
+    /// A loop condition has a zero trip count.
+    ZeroTripCount,
+    /// A switch has an empty jump table.
+    EmptyJumpTable,
+    /// `main` (routine 0) can return.
+    MainReturns,
+}
+
+impl CheckCode {
+    /// A short stable name for the code (`missing-block`, `calls-main`, …).
+    pub const fn name(self) -> &'static str {
+        match self {
+            CheckCode::NoRoutines => "no-routines",
+            CheckCode::EmptyRoutine => "empty-routine",
+            CheckCode::EmptyCycle => "empty-cycle",
+            CheckCode::BadMarkovChain => "bad-markov-chain",
+            CheckCode::MissingRoutine => "missing-routine",
+            CheckCode::CallsMain => "calls-main",
+            CheckCode::EmptyCallTable => "empty-call-table",
+            CheckCode::MissingBlock => "missing-block",
+            CheckCode::MissingVariable => "missing-variable",
+            CheckCode::MissingCycle => "missing-cycle",
+            CheckCode::MissingChain => "missing-chain",
+            CheckCode::BadProbability => "bad-probability",
+            CheckCode::EmptyRange => "empty-range",
+            CheckCode::ZeroModulus => "zero-modulus",
+            CheckCode::ZeroTripCount => "zero-trip-count",
+            CheckCode::EmptyJumpTable => "empty-jump-table",
+            CheckCode::MainReturns => "main-returns",
+        }
+    }
+}
+
+/// A structural validation failure: a machine-readable [`CheckCode`] plus
+/// the human-readable description [`Program::check`] has always produced
+/// (the `Display` output is byte-identical to the former bare-`String`
+/// error).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckError {
+    /// What category of problem this is.
+    pub code: CheckCode,
+    message: String,
+}
+
+impl CheckError {
+    fn new(code: CheckCode, message: impl Into<String>) -> Self {
+        CheckError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable description (what `Display` prints).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<CheckError> for String {
+    fn from(e: CheckError) -> String {
+        e.message
+    }
+}
+
 /// The address layout of a program: where every routine, block, and step
 /// lives.
 #[derive(Clone, Debug)]
@@ -397,6 +533,24 @@ impl Layout {
             .expect("offsets nonempty");
         base.offset(off as u64)
     }
+
+    /// The address of step `step` of a block; `step == steps.len()`
+    /// addresses the terminator (the one-past-the-end offset entry).
+    pub fn step_addr(&self, routine: RoutineId, block: BlockId, step: usize) -> Addr {
+        let base = self.block_base[routine][block];
+        let off = self.step_offset[routine][block][step];
+        base.offset(off as u64)
+    }
+
+    /// How many routines the layout covers.
+    pub fn num_routines(&self) -> usize {
+        self.block_base.len()
+    }
+
+    /// How many blocks routine `routine` has.
+    pub fn num_blocks(&self, routine: RoutineId) -> usize {
+        self.block_base[routine].len()
+    }
 }
 
 impl Program {
@@ -404,35 +558,55 @@ impl Program {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first structural problem
+    /// Returns a [`CheckError`] describing the first structural problem
     /// found: out-of-range block/routine/variable/cycle/chain references,
     /// empty jump tables, empty cycles, zero loop counts, malformed Markov
-    /// chains, or a `main` that can return.
-    pub fn check(&self) -> Result<Layout, String> {
+    /// chains, or a `main` that can return. The `Display` text is the same
+    /// human-readable description this method has always produced; the
+    /// [`CheckCode`] adds a machine-readable category for lint tooling.
+    pub fn check(&self) -> Result<Layout, CheckError> {
         if self.routines.is_empty() {
-            return Err("program has no routines".into());
+            return Err(CheckError::new(
+                CheckCode::NoRoutines,
+                "program has no routines",
+            ));
         }
         for (c, cycle) in self.cycles.iter().enumerate() {
             if cycle.is_empty() {
-                return Err(format!("cycle {c} is empty"));
+                return Err(CheckError::new(
+                    CheckCode::EmptyCycle,
+                    format!("cycle {c} is empty"),
+                ));
             }
         }
         for (c, chain) in self.chains.iter().enumerate() {
             if chain.states() == 0 {
-                return Err(format!("markov chain {c} has no states"));
+                return Err(CheckError::new(
+                    CheckCode::BadMarkovChain,
+                    format!("markov chain {c} has no states"),
+                ));
             }
             for (s, row) in chain.rows.iter().enumerate() {
                 if row.len() != chain.states() {
-                    return Err(format!("markov chain {c} row {s} has wrong width"));
+                    return Err(CheckError::new(
+                        CheckCode::BadMarkovChain,
+                        format!("markov chain {c} row {s} has wrong width"),
+                    ));
                 }
                 if row.iter().any(|&w| w < 0.0) || row.iter().sum::<f64>() <= 0.0 {
-                    return Err(format!("markov chain {c} row {s} is not a weight vector"));
+                    return Err(CheckError::new(
+                        CheckCode::BadMarkovChain,
+                        format!("markov chain {c} row {s} is not a weight vector"),
+                    ));
                 }
             }
         }
         for (r, routine) in self.routines.iter().enumerate() {
             if routine.blocks.is_empty() {
-                return Err(format!("routine {r} has no blocks"));
+                return Err(CheckError::new(
+                    CheckCode::EmptyRoutine,
+                    format!("routine {r} has no blocks"),
+                ));
             }
             for (b, block) in routine.blocks.iter().enumerate() {
                 let loc = format!("routine {r} block {b}");
@@ -444,25 +618,38 @@ impl Program {
                         Step::Body { .. } => {}
                         Step::Call { routine } => {
                             if *routine >= self.routines.len() {
-                                return Err(format!("{loc}: call to missing routine {routine}"));
+                                return Err(CheckError::new(
+                                    CheckCode::MissingRoutine,
+                                    format!("{loc}: call to missing routine {routine}"),
+                                ));
                             }
                             if *routine == 0 {
-                                return Err(format!("{loc}: routines may not call main"));
+                                return Err(CheckError::new(
+                                    CheckCode::CallsMain,
+                                    format!("{loc}: routines may not call main"),
+                                ));
                             }
                         }
                         Step::CallIndirect { selector, routines } => {
                             self.check_var(selector.var, &loc)?;
                             if routines.is_empty() {
-                                return Err(format!("{loc}: empty indirect-call table"));
+                                return Err(CheckError::new(
+                                    CheckCode::EmptyCallTable,
+                                    format!("{loc}: empty indirect-call table"),
+                                ));
                             }
                             for &t in routines {
                                 if t >= self.routines.len() {
-                                    return Err(format!(
-                                        "{loc}: indirect call to missing routine {t}"
+                                    return Err(CheckError::new(
+                                        CheckCode::MissingRoutine,
+                                        format!("{loc}: indirect call to missing routine {t}"),
                                     ));
                                 }
                                 if t == 0 {
-                                    return Err(format!("{loc}: routines may not call main"));
+                                    return Err(CheckError::new(
+                                        CheckCode::CallsMain,
+                                        format!("{loc}: routines may not call main"),
+                                    ));
                                 }
                             }
                         }
@@ -471,7 +658,10 @@ impl Program {
                 let nblocks = routine.blocks.len();
                 let check_block = |target: BlockId, what: &str| {
                     if target >= nblocks {
-                        Err(format!("{loc}: {what} to missing block {target}"))
+                        Err(CheckError::new(
+                            CheckCode::MissingBlock,
+                            format!("{loc}: {what} to missing block {target}"),
+                        ))
                     } else {
                         Ok(())
                     }
@@ -490,7 +680,10 @@ impl Program {
                     Terminator::Switch { selector, targets } => {
                         self.check_var(selector.var, &loc)?;
                         if targets.is_empty() {
-                            return Err(format!("{loc}: empty jump table"));
+                            return Err(CheckError::new(
+                                CheckCode::EmptyJumpTable,
+                                format!("{loc}: empty jump table"),
+                            ));
                         }
                         for &t in targets {
                             check_block(t, "switch")?;
@@ -498,9 +691,10 @@ impl Program {
                     }
                     Terminator::Return => {
                         if r == 0 {
-                            return Err(
-                                "main (routine 0) may not return; loop with goto instead".into()
-                            );
+                            return Err(CheckError::new(
+                                CheckCode::MainReturns,
+                                "main (routine 0) may not return; loop with goto instead",
+                            ));
                         }
                     }
                 }
@@ -509,19 +703,25 @@ impl Program {
         Ok(Layout::compute(self))
     }
 
-    fn check_var(&self, var: VarId, loc: &str) -> Result<(), String> {
+    fn check_var(&self, var: VarId, loc: &str) -> Result<(), CheckError> {
         if var >= self.vars {
-            Err(format!("{loc}: reference to missing variable {var}"))
+            Err(CheckError::new(
+                CheckCode::MissingVariable,
+                format!("{loc}: reference to missing variable {var}"),
+            ))
         } else {
             Ok(())
         }
     }
 
-    fn check_effect(&self, e: &Effect, loc: &str) -> Result<(), String> {
+    fn check_effect(&self, e: &Effect, loc: &str) -> Result<(), CheckError> {
         match e {
             Effect::CycleNext { cycle, var } => {
                 if *cycle >= self.cycles.len() {
-                    return Err(format!("{loc}: reference to missing cycle {cycle}"));
+                    return Err(CheckError::new(
+                        CheckCode::MissingCycle,
+                        format!("{loc}: reference to missing cycle {cycle}"),
+                    ));
                 }
                 self.check_var(*var, loc)
             }
@@ -532,46 +732,67 @@ impl Program {
                 noise_n,
             } => {
                 if *cycle >= self.cycles.len() {
-                    return Err(format!("{loc}: reference to missing cycle {cycle}"));
+                    return Err(CheckError::new(
+                        CheckCode::MissingCycle,
+                        format!("{loc}: reference to missing cycle {cycle}"),
+                    ));
                 }
                 if !(0.0..=1.0).contains(noise_p) {
-                    return Err(format!("{loc}: noise probability {noise_p} out of range"));
+                    return Err(CheckError::new(
+                        CheckCode::BadProbability,
+                        format!("{loc}: noise probability {noise_p} out of range"),
+                    ));
                 }
                 if *noise_n == 0 {
-                    return Err(format!("{loc}: noisy cycle with empty substitution range"));
+                    return Err(CheckError::new(
+                        CheckCode::EmptyRange,
+                        format!("{loc}: noisy cycle with empty substitution range"),
+                    ));
                 }
                 self.check_var(*var, loc)
             }
             Effect::MarkovStep { chain, var } => {
                 if *chain >= self.chains.len() {
-                    return Err(format!("{loc}: reference to missing chain {chain}"));
+                    return Err(CheckError::new(
+                        CheckCode::MissingChain,
+                        format!("{loc}: reference to missing chain {chain}"),
+                    ));
                 }
                 self.check_var(*var, loc)
             }
             Effect::Uniform { var, n } => {
                 if *n == 0 {
-                    return Err(format!("{loc}: uniform draw over empty range"));
+                    return Err(CheckError::new(
+                        CheckCode::EmptyRange,
+                        format!("{loc}: uniform draw over empty range"),
+                    ));
                 }
                 self.check_var(*var, loc)
             }
             Effect::Set { var, .. } => self.check_var(*var, loc),
             Effect::AddMod { var, modulo, .. } => {
                 if *modulo == 0 {
-                    return Err(format!("{loc}: AddMod with zero modulus"));
+                    return Err(CheckError::new(
+                        CheckCode::ZeroModulus,
+                        format!("{loc}: AddMod with zero modulus"),
+                    ));
                 }
                 self.check_var(*var, loc)
             }
         }
     }
 
-    fn check_cond(&self, cond: &Cond, loc: &str) -> Result<(), String> {
+    fn check_cond(&self, cond: &Cond, loc: &str) -> Result<(), CheckError> {
         match cond {
             Cond::Bit { var, .. } | Cond::Lt { var, .. } | Cond::Eq { var, .. } => {
                 self.check_var(*var, loc)
             }
             Cond::Loop { count } => {
                 if *count == 0 {
-                    Err(format!("{loc}: loop with zero trip count"))
+                    Err(CheckError::new(
+                        CheckCode::ZeroTripCount,
+                        format!("{loc}: loop with zero trip count"),
+                    ))
                 } else {
                     Ok(())
                 }
@@ -580,7 +801,10 @@ impl Program {
                 if (0.0..=1.0).contains(p) {
                     Ok(())
                 } else {
-                    Err(format!("{loc}: Bernoulli probability {p} out of range"))
+                    Err(CheckError::new(
+                        CheckCode::BadProbability,
+                        format!("{loc}: Bernoulli probability {p} out of range"),
+                    ))
                 }
             }
             Cond::Always | Cond::Never => Ok(()),
@@ -671,7 +895,7 @@ impl ProgramBuilder {
     /// # Errors
     ///
     /// Propagates [`Program::check`]'s structural errors.
-    pub fn build(self) -> Result<Program, String> {
+    pub fn build(self) -> Result<Program, CheckError> {
         let program = Program {
             routines: self.routines,
             cycles: self.cycles,
@@ -785,7 +1009,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let main = b.routine();
         b.block(main).ret();
-        assert!(b.build().unwrap_err().contains("main"));
+        assert!(b.build().unwrap_err().to_string().contains("main"));
     }
 
     #[test]
@@ -793,7 +1017,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let main = b.routine();
         b.block(main).goto(7);
-        assert!(b.build().unwrap_err().contains("missing block"));
+        assert!(b.build().unwrap_err().to_string().contains("missing block"));
     }
 
     #[test]
@@ -801,7 +1025,11 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let main = b.routine();
         b.block(main).call(3).goto(0);
-        assert!(b.build().unwrap_err().contains("missing routine"));
+        assert!(b
+            .build()
+            .unwrap_err()
+            .to_string()
+            .contains("missing routine"));
     }
 
     #[test]
@@ -809,7 +1037,11 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let main = b.routine();
         b.block(main).call(0).goto(0);
-        assert!(b.build().unwrap_err().contains("may not call main"));
+        assert!(b
+            .build()
+            .unwrap_err()
+            .to_string()
+            .contains("may not call main"));
     }
 
     #[test]
@@ -818,7 +1050,11 @@ mod tests {
         let token = b.var();
         let main = b.routine();
         b.block(main).switch(Selector::var(token), vec![]);
-        assert!(b.build().unwrap_err().contains("empty jump table"));
+        assert!(b
+            .build()
+            .unwrap_err()
+            .to_string()
+            .contains("empty jump table"));
     }
 
     #[test]
@@ -826,7 +1062,11 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let main = b.routine();
         b.block(main).switch(Selector::var(9), vec![0]);
-        assert!(b.build().unwrap_err().contains("missing variable"));
+        assert!(b
+            .build()
+            .unwrap_err()
+            .to_string()
+            .contains("missing variable"));
     }
 
     #[test]
@@ -834,7 +1074,11 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let main = b.routine();
         b.block(main).branch(Cond::Loop { count: 0 }, 0, 0);
-        assert!(b.build().unwrap_err().contains("zero trip count"));
+        assert!(b
+            .build()
+            .unwrap_err()
+            .to_string()
+            .contains("zero trip count"));
     }
 
     #[test]
@@ -842,14 +1086,14 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let main = b.routine();
         b.block(main).branch(Cond::Bernoulli { p: 1.5 }, 0, 0);
-        assert!(b.build().unwrap_err().contains("out of range"));
+        assert!(b.build().unwrap_err().to_string().contains("out of range"));
     }
 
     #[test]
     fn empty_cycle_rejected() {
         let mut b = looping_main();
         b.cycle(vec![]);
-        assert!(b.build().unwrap_err().contains("cycle"));
+        assert!(b.build().unwrap_err().to_string().contains("cycle"));
     }
 
     #[test]
@@ -866,7 +1110,11 @@ mod tests {
                 noise_n: 4,
             })
             .goto(0);
-        assert!(b.build().unwrap_err().contains("noise probability"));
+        assert!(b
+            .build()
+            .unwrap_err()
+            .to_string()
+            .contains("noise probability"));
 
         let mut b = ProgramBuilder::new();
         let v = b.var();
@@ -880,7 +1128,11 @@ mod tests {
                 noise_n: 0,
             })
             .goto(0);
-        assert!(b.build().unwrap_err().contains("empty substitution"));
+        assert!(b
+            .build()
+            .unwrap_err()
+            .to_string()
+            .contains("empty substitution"));
 
         let mut b = ProgramBuilder::new();
         let v = b.var();
@@ -893,7 +1145,7 @@ mod tests {
                 noise_n: 4,
             })
             .goto(0);
-        assert!(b.build().unwrap_err().contains("missing cycle"));
+        assert!(b.build().unwrap_err().to_string().contains("missing cycle"));
     }
 
     #[test]
@@ -981,12 +1233,12 @@ mod tests {
         b.chain(MarkovChain {
             rows: vec![vec![1.0], vec![1.0]],
         });
-        assert!(b.build().unwrap_err().contains("wrong width"));
+        assert!(b.build().unwrap_err().to_string().contains("wrong width"));
         let mut b = looping_main();
         b.chain(MarkovChain {
             rows: vec![vec![0.0]],
         });
-        assert!(b.build().unwrap_err().contains("weight vector"));
+        assert!(b.build().unwrap_err().to_string().contains("weight vector"));
     }
 
     #[test]
