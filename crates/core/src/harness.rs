@@ -439,11 +439,25 @@ impl PredictionHarness {
         Some(outcome)
     }
 
-    /// Replays an entire trace.
+    /// Replays an entire trace from borrowed instructions (the
+    /// [`VecTrace`](sim_isa::VecTrace) convenience path).
     pub fn run<'a, I: IntoIterator<Item = &'a DynInstr>>(&mut self, trace: I) {
+        self.run_stream(trace.into_iter().copied());
+    }
+
+    /// Replays a stream of owned instructions — the one hot loop both
+    /// in-memory and on-disk replay go through. A streaming decoder
+    /// (e.g. `sim-trace`'s reader) plugs in here without materializing
+    /// the trace.
+    pub fn run_stream<I: IntoIterator<Item = DynInstr>>(&mut self, trace: I) {
         for instr in trace {
-            self.process(instr);
+            self.process(&instr);
         }
+    }
+
+    /// Replays anything implementing [`sim_isa::Trace`].
+    pub fn run_trace<T: sim_isa::Trace>(&mut self, trace: &T) {
+        self.run_stream(trace.replay());
     }
 }
 
@@ -779,5 +793,26 @@ mod tests {
         let mut h = PredictionHarness::new(FrontEndConfig::isca97_baseline());
         h.run(&trace);
         assert_eq!(h.stats().indirect_jump_counters().executed, 10);
+    }
+
+    #[test]
+    fn streamed_replay_matches_borrowed_replay() {
+        let trace: Vec<DynInstr> = (0..64)
+            .map(|i| ijmp(0x100 + (i % 7) * 4, 0x900 + (i % 3) * 0x10))
+            .collect();
+        let mut borrowed = PredictionHarness::new(FrontEndConfig::isca97_with(
+            TargetCacheConfig::isca97_tagless_gshare(),
+        ));
+        borrowed.run(&trace);
+        let mut streamed = PredictionHarness::new(FrontEndConfig::isca97_with(
+            TargetCacheConfig::isca97_tagless_gshare(),
+        ));
+        streamed.run_stream(trace.iter().copied());
+        let mut via_trait = PredictionHarness::new(FrontEndConfig::isca97_with(
+            TargetCacheConfig::isca97_tagless_gshare(),
+        ));
+        via_trait.run_trace(&trace.iter().copied().collect::<sim_isa::VecTrace>());
+        assert_eq!(borrowed.stats(), streamed.stats());
+        assert_eq!(borrowed.stats(), via_trait.stats());
     }
 }

@@ -19,7 +19,7 @@ use experiments::runner::Scale;
 use sim_analysis::{to_json, to_sarif, BenchReport, Rule, Severity};
 use sim_telemetry::atomic_write_str;
 use sim_workloads::Benchmark;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
 const USAGE: &str = "\
@@ -31,6 +31,9 @@ static image (SL008-SL011).
 
 options:
   --conformance        also replay a REPRO_SCALE-sized trace per benchmark
+  --trace <file.strc>  replay a recorded trace file instead of generating;
+                       the benchmark is read from the file header and the
+                       conformance pass is implied
   --metrics            print the per-site static metrics for each benchmark
   --deny <sev>         findings that fail the run: error (default), warn, none
   --out <dir>          report directory (default results/lint)
@@ -57,6 +60,7 @@ enum Deny {
 struct Options {
     benches: Vec<Benchmark>,
     conformance: bool,
+    trace: Option<PathBuf>,
     metrics: bool,
     deny: Deny,
     out: PathBuf,
@@ -73,6 +77,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         benches: Vec::new(),
         conformance: false,
+        trace: None,
         metrics: false,
         deny: Deny::Error,
         out: PathBuf::from("results/lint"),
@@ -92,6 +97,13 @@ fn parse_args() -> Options {
                 exit(0);
             }
             "--conformance" => opts.conformance = true,
+            "--trace" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--trace wants a .strc file path"));
+                opts.trace = Some(PathBuf::from(value));
+                opts.conformance = true;
+            }
             "--metrics" => opts.metrics = true,
             "--no-output" => opts.write_output = false,
             "--deny" => {
@@ -127,10 +139,41 @@ fn parse_args() -> Options {
             },
         }
     }
+    if opts.trace.is_some() && !opts.benches.is_empty() {
+        usage_error("--trace reads its benchmark from the file header; drop the BENCH arguments");
+    }
     if opts.benches.is_empty() {
         opts.benches = Benchmark::ALL.to_vec();
     }
     opts
+}
+
+/// Decodes `path` and lints the benchmark it declares against the
+/// recorded instruction stream.
+fn analyze_trace_file(path: &Path) -> lint::LintOutcome {
+    let (header, trace) = sim_trace::read_trace_file(path).unwrap_or_else(|e| {
+        eprintln!("error: {}: {e}", path.display());
+        exit(2)
+    });
+    let bench = Benchmark::from_name(&header.meta.benchmark).unwrap_or_else(|| {
+        eprintln!(
+            "error: {}: unknown benchmark {:?} in trace header",
+            path.display(),
+            header.meta.benchmark
+        );
+        exit(2)
+    });
+    if let Some(hub) = experiments::telemetry::active() {
+        hub.set_benchmark(bench.name());
+    }
+    println!(
+        "replaying {}: {} at {} scale, {} recorded instructions\n",
+        path.display(),
+        bench.name(),
+        header.meta.scale,
+        header.instructions
+    );
+    lint::analyze_replay(bench, &trace, Some(header.instructions as usize))
 }
 
 fn print_bench(outcome: &lint::LintOutcome, metrics: bool) {
@@ -211,17 +254,31 @@ fn main() {
     let _faults = faults::install(plan);
     let _telemetry = experiments::telemetry::session_or_exit("simlint", scale);
 
-    let mode = if opts.conformance {
+    let mode = if opts.trace.is_some() {
+        "trace-file replay + conformance".to_string()
+    } else if opts.conformance {
         format!("static + conformance at {} scale", scale.name())
     } else {
         "static only".to_string()
     };
-    println!("simlint: {} benchmark(s), {mode}\n", opts.benches.len());
+    let count = if opts.trace.is_some() {
+        1
+    } else {
+        opts.benches.len()
+    };
+    println!("simlint: {count} benchmark(s), {mode}\n");
 
+    let outcomes: Vec<lint::LintOutcome> = match &opts.trace {
+        Some(path) => vec![analyze_trace_file(path)],
+        None => opts
+            .benches
+            .iter()
+            .map(|&bench| lint::analyze(bench, scale, opts.conformance))
+            .collect(),
+    };
     let mut reports = Vec::new();
     let mut gated = 0u64;
-    for &bench in &opts.benches {
-        let outcome = lint::analyze(bench, scale, opts.conformance);
+    for outcome in outcomes {
         print_bench(&outcome, opts.metrics);
         gated += match opts.deny {
             Deny::Error => outcome.report.findings.errors(),

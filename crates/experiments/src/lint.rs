@@ -25,29 +25,19 @@ pub struct LintOutcome {
     pub conformance: Option<ConformanceReport>,
 }
 
-/// Runs the lint pass over one benchmark: the static analysis always,
-/// plus — when `conformance` is set — a trace replay at `scale` through
-/// the shared [`trace`] entry point (so telemetry attribution and
-/// `REPRO_FAULTS` truncation apply, and a truncated trace surfaces as an
-/// `SL011` finding).
-pub fn analyze(bench: Benchmark, scale: Scale, conformance: bool) -> LintOutcome {
+/// The static pass plus an optional conformance replay of a supplied
+/// trace (with its expected instruction budget, if any).
+fn analyze_common(
+    bench: Benchmark,
+    replay: Option<(&sim_isa::VecTrace, Option<usize>)>,
+) -> LintOutcome {
     let workload = bench.workload();
     let mut findings = Findings::new();
     let analysis = analyze_program(workload.program(), &mut findings);
     let mut conf = None;
-    if conformance {
-        if let Some(a) = &analysis {
-            let budget = scale.budget(bench);
-            let t = trace(bench, scale);
-            let stats = t.stats();
-            conf = Some(check_trace(
-                &a.image,
-                &t,
-                &stats,
-                Some(budget),
-                &mut findings,
-            ));
-        }
+    if let (Some(a), Some((t, expected))) = (&analysis, replay) {
+        let stats = t.stats();
+        conf = Some(check_trace(&a.image, t, &stats, expected, &mut findings));
     }
     LintOutcome {
         report: BenchReport {
@@ -57,6 +47,34 @@ pub fn analyze(bench: Benchmark, scale: Scale, conformance: bool) -> LintOutcome
         },
         conformance: conf,
     }
+}
+
+/// Runs the lint pass over one benchmark: the static analysis always,
+/// plus — when `conformance` is set — a trace replay at `scale` through
+/// the shared [`trace`] entry point (so telemetry attribution, the
+/// trace store, and `REPRO_FAULTS` truncation apply, and a truncated
+/// trace surfaces as an `SL011` finding).
+pub fn analyze(bench: Benchmark, scale: Scale, conformance: bool) -> LintOutcome {
+    if conformance {
+        let budget = scale.budget(bench);
+        let t = trace(bench, scale);
+        analyze_common(bench, Some((&t, Some(budget))))
+    } else {
+        analyze_common(bench, None)
+    }
+}
+
+/// Runs the lint pass over one benchmark with an externally supplied
+/// replay trace — typically one decoded from a `.strc` file — instead
+/// of generating (or store-replaying) one. `expected_budget` is the
+/// instruction count the trace is supposed to contain; a shortfall
+/// surfaces as an `SL011` truncation finding.
+pub fn analyze_replay(
+    bench: Benchmark,
+    t: &sim_isa::VecTrace,
+    expected_budget: Option<usize>,
+) -> LintOutcome {
+    analyze_common(bench, Some((t, expected_budget)))
 }
 
 /// The benchmark labels this experiment enumerates cells over.

@@ -65,6 +65,13 @@ impl Scenario {
 /// Builds the standard scenario matrix at a scale.
 ///
 /// * `trace-gen/<bench>` — workload trace generation, all 8 benchmarks.
+///   Calls the generator directly (bypassing the trace store) so the
+///   scenario keeps measuring generation even when `results/traces/` is
+///   warm.
+/// * `trace-encode/<bench>` — `.strc` encoding of a pre-generated
+///   trace, all 8 benchmarks. Reports `bytes` (and so bytes/instr).
+/// * `trace-decode/<bench>` — streaming `.strc` decode back to a
+///   [`sim_isa::VecTrace`], all 8 benchmarks.
 /// * `functional-btb/<bench>` — functional prediction, BTB-only
 ///   baseline front end, all 8 benchmarks.
 /// * `functional-tc/<bench>` — functional prediction with the paper's
@@ -79,23 +86,57 @@ pub fn scenario_matrix(scale: Scale) -> Vec<Scenario> {
     use target_cache::harness::FrontEndConfig;
     use target_cache::TargetCacheConfig;
 
+    // Each scenario re-declares its benchmark for manifest run
+    // attribution (shared traces mean generation happens up front).
+    let claim = |bench: Benchmark| {
+        if let Some(hub) = hub::active() {
+            hub.set_benchmark(bench.name());
+        }
+    };
     let mut scenarios = Vec::new();
     for bench in Benchmark::ALL {
+        let budget = scale.budget(bench);
         scenarios.push(Scenario::new(format!("trace-gen/{bench}"), move || {
-            runner::trace(bench, scale).len() as u64
+            claim(bench);
+            let hub = hub::active();
+            let _g = hub.as_ref().map(|h| h.spans().span("workload-gen"));
+            bench.workload().generate(budget).len() as u64
         }));
     }
     let traces: BTreeMap<&'static str, Rc<sim_isa::VecTrace>> = Benchmark::ALL
         .iter()
         .map(|&b| (b.name(), Rc::new(runner::trace(b, scale))))
         .collect();
-    // The shared traces were generated up front, so each replay scenario
-    // re-declares its benchmark for manifest run attribution.
-    let claim = |bench: Benchmark| {
-        if let Some(hub) = hub::active() {
-            hub.set_benchmark(bench.name());
-        }
+    let meta_for = move |bench: Benchmark| sim_trace::TraceMeta {
+        benchmark: bench.name().to_string(),
+        scale: scale.name().to_string(),
+        seed: bench.workload().seed(),
+        generator_version: sim_workloads::GENERATOR_VERSION,
     };
+    for bench in Benchmark::ALL {
+        let trace = Rc::clone(&traces[bench.name()]);
+        scenarios.push(Scenario::new(format!("trace-encode/{bench}"), move || {
+            claim(bench);
+            let bytes =
+                sim_trace::encode_to_vec(meta_for(bench), &trace).expect("in-memory encode");
+            set_scenario_bytes(bytes.len() as u64);
+            std::hint::black_box(&bytes);
+            trace.len() as u64
+        }));
+    }
+    for bench in Benchmark::ALL {
+        let trace = Rc::clone(&traces[bench.name()]);
+        let encoded: Rc<Vec<u8>> =
+            Rc::new(sim_trace::encode_to_vec(meta_for(bench), &trace).expect("in-memory encode"));
+        scenarios.push(Scenario::new(format!("trace-decode/{bench}"), move || {
+            claim(bench);
+            set_scenario_bytes(encoded.len() as u64);
+            let decoded = sim_trace::TraceReader::new(encoded.as_slice())
+                .and_then(sim_trace::TraceReader::read_to_end)
+                .expect("decode of a fresh encode");
+            decoded.len() as u64
+        }));
+    }
     for bench in Benchmark::ALL {
         let trace = Rc::clone(&traces[bench.name()]);
         scenarios.push(Scenario::new(
@@ -137,6 +178,20 @@ pub fn scenario_matrix(scale: Scale) -> Vec<Scenario> {
     }));
     scenarios
 }
+
+/// Scenario closures that produce a byte artifact (an encoded `.strc`
+/// image) report its size here; [`measure`] collects it into
+/// [`ScenarioResult::bytes`] so snapshots can derive bytes/instruction.
+/// Scenarios that don't call this report 0 bytes.
+pub fn set_scenario_bytes(n: u64) {
+    SCENARIO_BYTES.store(n, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn take_scenario_bytes() -> u64 {
+    SCENARIO_BYTES.swap(0, std::sync::atomic::Ordering::Relaxed)
+}
+
+static SCENARIO_BYTES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// How a matrix run is sampled.
 #[derive(Clone, Copy, Debug)]
@@ -180,6 +235,10 @@ pub struct ScenarioResult {
     pub max_ns: u64,
     /// Instructions processed per iteration.
     pub instructions: u64,
+    /// Bytes of output artifact per iteration (0 for scenarios that
+    /// don't produce one; the `trace-encode`/`trace-decode` scenarios
+    /// report the `.strc` image size).
+    pub bytes: u64,
     /// Per-phase breakdown: span path → (count, total ns) summed over
     /// the measured iterations. Empty when telemetry is off.
     pub phases: BTreeMap<String, (u64, u64)>,
@@ -189,6 +248,16 @@ impl ScenarioResult {
     /// Throughput at the median: instructions per second.
     pub fn instr_per_sec(&self) -> f64 {
         per_sec(self.instructions, self.median_ns)
+    }
+
+    /// Encoded-artifact density: bytes per instruction (0.0 when the
+    /// scenario reports no bytes).
+    pub fn bytes_per_instr(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.instructions as f64
+        }
     }
 
     fn to_json(&self) -> Json {
@@ -205,7 +274,7 @@ impl ScenarioResult {
                 )
             })
             .collect();
-        obj([
+        let json = obj([
             ("name", Json::from(self.name.as_str())),
             ("median_ns", Json::from(self.median_ns)),
             ("min_ns", Json::from(self.min_ns)),
@@ -213,7 +282,19 @@ impl ScenarioResult {
             ("instructions", Json::from(self.instructions)),
             ("instr_per_sec", Json::from(self.instr_per_sec())),
             ("phases", Json::Obj(phases)),
-        ])
+        ]);
+        if self.bytes == 0 {
+            return json;
+        }
+        let Json::Obj(mut fields) = json else {
+            unreachable!("obj() builds an object");
+        };
+        fields.insert("bytes".to_string(), Json::from(self.bytes));
+        fields.insert(
+            "bytes_per_instr".to_string(),
+            Json::from(self.bytes_per_instr()),
+        );
+        Json::Obj(fields)
     }
 
     fn from_json(v: &Json) -> Result<ScenarioResult, String> {
@@ -240,6 +321,9 @@ impl ScenarioResult {
             min_ns: field("min_ns")?,
             max_ns: field("max_ns")?,
             instructions: field("instructions")?,
+            // Tolerant: snapshots written before the trace-format
+            // scenarios existed have no "bytes" field.
+            bytes: v.get("bytes").and_then(Json::as_u64).unwrap_or(0),
             phases,
         })
     }
@@ -335,6 +419,7 @@ pub fn measure(config: &BenchConfig, scenario: &mut Scenario) -> ScenarioResult 
         (scenario.run)();
         let _ = hub::take_instructions();
     }
+    let _ = take_scenario_bytes();
     let span_base = span_snapshot();
     let mut samples = Vec::new();
     let mut instructions = 0;
@@ -352,6 +437,7 @@ pub fn measure(config: &BenchConfig, scenario: &mut Scenario) -> ScenarioResult 
         min_ns: samples[0],
         max_ns: *samples.last().expect("at least one sample"),
         instructions,
+        bytes: take_scenario_bytes(),
         phases: span_delta(&span_base, &span_snapshot()),
     }
 }
@@ -489,6 +575,7 @@ mod tests {
             min_ns: median_ns / 2,
             max_ns: median_ns * 2,
             instructions: 100_000,
+            bytes: 0,
             phases: BTreeMap::from([("harness-replay".to_string(), (3, median_ns))]),
         }
     }
@@ -507,13 +594,23 @@ mod tests {
 
     #[test]
     fn bench_report_round_trips_through_strict_parser() {
-        let original = report(&[("functional-tc/perl", 4_000_000), ("timing/gcc", 9_000_000)]);
+        let mut original = report(&[("functional-tc/perl", 4_000_000), ("timing/gcc", 9_000_000)]);
+        let mut encode = result("trace-encode/perl", 1_000_000);
+        encode.bytes = 250_000; // 2.5 bytes/instr over 100k instructions
+        original.scenarios.push(encode);
         let text = original.to_json().to_string();
         let parsed = BenchReport::parse(&text).unwrap();
         assert_eq!(parsed, original);
         let s = parsed.scenario("functional-tc/perl").unwrap();
         assert_eq!(s.phases["harness-replay"], (3, 4_000_000));
         assert!((s.instr_per_sec() - 25_000_000.0).abs() < 1.0);
+        // Byte-free scenarios omit the field entirely; byte-producing
+        // ones round-trip it and derive density.
+        assert_eq!(s.bytes, 0);
+        let e = parsed.scenario("trace-encode/perl").unwrap();
+        assert_eq!(e.bytes, 250_000);
+        assert!((e.bytes_per_instr() - 2.5).abs() < 1e-12);
+        assert!(text.contains("\"bytes_per_instr\""));
     }
 
     #[test]
@@ -618,11 +715,38 @@ mod tests {
             .collect();
         for bench in Benchmark::ALL {
             assert!(names.contains(&format!("trace-gen/{bench}")));
+            assert!(names.contains(&format!("trace-encode/{bench}")));
+            assert!(names.contains(&format!("trace-decode/{bench}")));
             assert!(names.contains(&format!("functional-btb/{bench}")));
             assert!(names.contains(&format!("functional-tc/{bench}")));
         }
         assert!(names.contains(&"timing/perl".to_string()));
         assert!(names.contains(&"e2e/table1".to_string()));
-        assert_eq!(names.len(), 8 * 3 + 2 + 1);
+        assert_eq!(names.len(), 8 * 5 + 2 + 1);
+    }
+
+    #[test]
+    fn trace_format_scenarios_report_bytes_and_roundtrip_identity() {
+        let config = BenchConfig {
+            scale: Scale::Quick,
+            warmup: 0,
+            iters: 1,
+            slowdown: 1.0,
+        };
+        let mut matrix = scenario_matrix(Scale::Quick);
+        let encode = matrix
+            .iter_mut()
+            .find(|s| s.name == "trace-encode/perl")
+            .unwrap();
+        let encoded = measure(&config, encode);
+        assert!(encoded.bytes > 0, "encode reports the .strc image size");
+        assert!(encoded.bytes_per_instr() > 0.0);
+        let decode = matrix
+            .iter_mut()
+            .find(|s| s.name == "trace-decode/perl")
+            .unwrap();
+        let decoded = measure(&config, decode);
+        assert_eq!(decoded.instructions, encoded.instructions);
+        assert_eq!(decoded.bytes, encoded.bytes);
     }
 }

@@ -8,6 +8,7 @@ use crate::telemetry as hub;
 use branch_predictors::BranchClassStats;
 use hps_uarch::{simulate, simulate_instrumented, MachineConfig, SimReport};
 use sim_isa::VecTrace;
+use sim_trace::{TraceKey, TraceStore};
 use sim_workloads::Benchmark;
 use std::time::Instant;
 use target_cache::harness::{FrontEndConfig, IndirectPredictor, PredictionHarness};
@@ -101,29 +102,98 @@ fn config_desc(config: &FrontEndConfig) -> String {
     }
 }
 
-/// Generates the canonical trace of a benchmark at the given scale.
+/// Builds the trace store from `REPRO_TRACE_STORE` /
+/// `REPRO_TRACE_STORE_DIR`, exiting with status 2 on a typo — the same
+/// strict-knob contract as [`Scale::from_env_or_exit`].
+pub fn trace_store_or_exit() -> TraceStore {
+    TraceStore::from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// The store key for a benchmark's canonical trace at a scale.
+fn store_key(bench: Benchmark, scale: Scale) -> TraceKey {
+    TraceKey {
+        benchmark: bench.name().to_string(),
+        scale: scale.name().to_string(),
+        budget: scale.budget(bench) as u64,
+        seed: bench.workload().seed(),
+        generator_version: sim_workloads::GENERATOR_VERSION,
+    }
+}
+
+/// Produces the canonical trace of a benchmark at the given scale:
+/// replayed from the content-addressed trace store on a hit, generated
+/// (and recorded) on a miss. `REPRO_TRACE_STORE=off|rw|ro` controls the
+/// store; the default is `rw` under `results/traces/`.
 ///
 /// With telemetry active this also declares `bench` as the benchmark
 /// subsequent runs are attributed to (the table binaries are sequential:
 /// they generate one trace and run every configuration on it before
-/// moving to the next benchmark).
+/// moving to the next benchmark), and accounts store hits, misses, and
+/// decode throughput under `trace_store.*` counters.
 ///
 /// When an installed fault plan (see [`crate::jobs::faults`]) truncates
 /// this benchmark, the generated trace is proportionally shorter — the
 /// downstream statistics all normalize by actual executed counts, so a
-/// truncated trace degrades resolution, not correctness.
+/// truncated trace degrades resolution, not correctness. Truncated
+/// generation bypasses the store entirely: a degraded trace must never
+/// be recorded under (or replayed from) the canonical cache key. A
+/// corrupt store file (or an injected `truncate-store` fault) panics
+/// with the store's diagnosis — under the campaign runner that is a
+/// retryable cell failure, and the store has already deleted the bad
+/// file so the retry regenerates it.
 pub fn trace(bench: Benchmark, scale: Scale) -> VecTrace {
     let budget = scale.budget(bench);
-    let generate = || match crate::jobs::faults::active_truncation(bench.name()) {
-        Some(fraction) => bench.workload().generate_truncated(budget, fraction),
-        None => bench.workload().generate(budget),
-    };
-    if let Some(hub) = hub::active() {
+    let hub = hub::active();
+    if let Some(hub) = &hub {
         hub.set_benchmark(bench.name());
-        let _g = hub.spans().span("workload-gen");
-        return generate();
     }
-    generate()
+    if let Some(fraction) = crate::jobs::faults::active_truncation(bench.name()) {
+        let _g = hub.as_ref().map(|h| h.spans().span("workload-gen"));
+        return bench.workload().generate_truncated(budget, fraction);
+    }
+    let store = trace_store_or_exit();
+    let key = store_key(bench, scale);
+    let corrupt = crate::jobs::faults::take_store_truncation(bench.name());
+    let generate = || {
+        let _g = hub.as_ref().map(|h| h.spans().span("workload-gen"));
+        bench.workload().generate(budget)
+    };
+    let outcome = {
+        let _g = hub.as_ref().map(|h| h.spans().span("trace-store"));
+        store.load_or_record_with(&key, generate, corrupt)
+    };
+    match outcome {
+        Ok(out) => {
+            if let Some(hub) = hub::active() {
+                let metrics = hub.registry();
+                metrics
+                    .counter(if out.hit {
+                        "trace_store.hits"
+                    } else {
+                        "trace_store.misses"
+                    })
+                    .add(1);
+                if out.recorded {
+                    metrics.counter("trace_store.records").add(1);
+                    metrics.counter("trace_store.bytes_written").add(out.bytes);
+                }
+                if out.hit {
+                    metrics.counter("trace_store.bytes_read").add(out.bytes);
+                }
+                if out.decode_ns > 0 {
+                    metrics.counter("trace_store.decode_ns").add(out.decode_ns);
+                    metrics
+                        .counter("trace_store.decoded_instructions")
+                        .add(out.trace.len() as u64);
+                }
+            }
+            out.trace
+        }
+        Err(e) => panic!("trace store: {e}"),
+    }
 }
 
 /// Runs the functional (accuracy-only) front end over a trace.

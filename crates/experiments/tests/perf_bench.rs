@@ -46,7 +46,7 @@ fn bench_snapshot_round_trips_and_gates_regressions() {
     let report = BenchReport::parse(&text).expect("strict parse");
     assert_eq!(report.scale, "quick");
     assert_eq!(report.iters, 1);
-    assert_eq!(report.scenarios.len(), 8 * 3 + 2 + 1);
+    assert_eq!(report.scenarios.len(), 8 * 5 + 2 + 1);
     for bench in [
         "compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex", "xlisp",
     ] {
@@ -60,6 +60,19 @@ fn bench_snapshot_round_trips_and_gates_regressions() {
             assert!(
                 !s.phases.is_empty(),
                 "{layer}/{bench} has no per-phase breakdown"
+            );
+        }
+        // The codec layers additionally report the encoded size.
+        for layer in ["trace-encode", "trace-decode"] {
+            let s = report
+                .scenario(&format!("{layer}/{bench}"))
+                .unwrap_or_else(|| panic!("missing {layer}/{bench}"));
+            assert!(s.median_ns > 0, "{layer}/{bench} has no timing");
+            assert!(s.instructions > 0, "{layer}/{bench} has no instructions");
+            assert!(s.bytes > 0, "{layer}/{bench} has no encoded size");
+            assert!(
+                s.bytes_per_instr() > 1.0,
+                "{layer}/{bench} bytes/instr implausible"
             );
         }
     }

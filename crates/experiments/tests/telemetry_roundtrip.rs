@@ -13,6 +13,11 @@ use target_cache::TargetCacheConfig;
 fn events_run_writes_reconcilable_manifest_and_jsonl() {
     let dir = std::env::temp_dir().join(format!("repro-telemetry-itest-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
+    // Cold scratch trace store so the instrumented run deterministically
+    // generates (records a miss) and the reference run replays (a hit).
+    // This binary holds a single test, so setting env vars is safe.
+    std::env::set_var("REPRO_TRACE_STORE", "rw");
+    std::env::set_var("REPRO_TRACE_STORE_DIR", dir.join("traces"));
 
     let bench = Benchmark::Perl;
     let frontend = FrontEndConfig::isca97_with(TargetCacheConfig::isca97_tagless_gshare());
@@ -79,15 +84,23 @@ fn events_run_writes_reconcilable_manifest_and_jsonl() {
         Some(ref_stats.total_mispredicted())
     );
 
-    // Spans were recorded for both phases the run exercised.
+    // Spans were recorded for every phase the run exercised: the trace
+    // came through the (cold) trace store, which wraps generation.
     let spans = manifest.get("spans").unwrap();
-    for phase in ["workload-gen", "harness-replay"] {
+    for phase in ["trace-store", "trace-store;workload-gen", "harness-replay"] {
         assert_eq!(
             spans.get(phase).unwrap().get("count").unwrap().as_u64(),
             Some(1),
             "span {phase}"
         );
     }
+
+    // The trace-store section records the cold miss and its recording.
+    let store = manifest.get("trace_store").expect("trace_store section");
+    assert_eq!(store.get("hits").unwrap().as_u64(), Some(0));
+    assert_eq!(store.get("misses").unwrap().as_u64(), Some(1));
+    assert_eq!(store.get("records").unwrap().as_u64(), Some(1));
+    assert!(store.get("bytes_written").unwrap().as_u64().unwrap() > 0);
 
     // --- Event stream parses line-by-line and reconciles -------------
     let events_text = std::fs::read_to_string(&events_path).expect("events written");

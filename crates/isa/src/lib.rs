@@ -42,4 +42,4 @@ pub use branch::{BranchClass, BranchExec};
 pub use class::InstrClass;
 pub use instr::{DynInstr, MemAccess};
 pub use reg::Reg;
-pub use trace::{TraceStats, VecTrace};
+pub use trace::{Trace, TraceStats, VecTrace};

@@ -106,6 +106,46 @@ impl IntoIterator for VecTrace {
     }
 }
 
+/// A replayable source of instructions: anything that can produce a
+/// fresh pass over the same dynamic instruction sequence any number of
+/// times.
+///
+/// [`VecTrace`] is the in-memory implementation; the `sim-trace` crate
+/// adds on-disk ones. Simulators that accept `&impl Trace` work with
+/// either without materializing anything themselves.
+pub trait Trace {
+    /// The iterator a replay yields.
+    type Replay<'a>: Iterator<Item = DynInstr>
+    where
+        Self: 'a;
+
+    /// Starts a fresh pass over the instructions.
+    fn replay(&self) -> Self::Replay<'_>;
+
+    /// The number of instructions a replay will yield, when known up
+    /// front (lets consumers pre-size buffers and accounting).
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Computes whole-trace statistics with one replay pass.
+    fn compute_stats(&self) -> TraceStats {
+        TraceStats::from_trace(self.replay())
+    }
+}
+
+impl Trace for VecTrace {
+    type Replay<'a> = std::iter::Copied<std::slice::Iter<'a, DynInstr>>;
+
+    fn replay(&self) -> Self::Replay<'_> {
+        self.iter().copied()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.len() as u64)
+    }
+}
+
 /// Per-static-branch dynamic target census for one indirect jump.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TargetCensus {
@@ -124,7 +164,7 @@ impl TargetCensus {
 
 /// Whole-trace statistics: the characterization data of Table 1 and the
 /// targets-per-indirect-jump histograms of Figures 1–8.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TraceStats {
     instructions: u64,
     class_counts: [u64; 8],
@@ -399,6 +439,15 @@ mod tests {
             m.indirect_jump_census()[&Addr::new(0x0)].distinct_targets(),
             2
         );
+    }
+
+    #[test]
+    fn trace_trait_replays_vec_traces() {
+        let t = VecTrace::from_iter([ijmp(0x100, 0x200), cond(0x104, true, 0x40)]);
+        let replayed: VecTrace = t.replay().collect();
+        assert_eq!(replayed, t);
+        assert_eq!(t.len_hint(), Some(2));
+        assert_eq!(t.compute_stats(), t.stats());
     }
 
     #[test]

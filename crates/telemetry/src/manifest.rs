@@ -225,10 +225,46 @@ impl RunManifest {
         ])
     }
 
+    /// The trace-store section: cache effectiveness of the on-disk trace
+    /// store, derived from the `trace_store.*` counters the experiment
+    /// runner records. `None` when the invocation never touched the
+    /// store (so older manifests and store-free tools stay byte-stable).
+    fn trace_store_json(metrics: &MetricsSnapshot) -> Option<Json> {
+        let hits = metrics.counter("trace_store.hits");
+        let misses = metrics.counter("trace_store.misses");
+        if hits + misses == 0 {
+            return None;
+        }
+        let decoded = metrics.counter("trace_store.decoded_instructions");
+        let decode_ns = metrics.counter("trace_store.decode_ns");
+        Some(obj([
+            ("hits", Json::from(hits)),
+            ("misses", Json::from(misses)),
+            (
+                "records",
+                Json::from(metrics.counter("trace_store.records")),
+            ),
+            (
+                "bytes_written",
+                Json::from(metrics.counter("trace_store.bytes_written")),
+            ),
+            (
+                "bytes_read",
+                Json::from(metrics.counter("trace_store.bytes_read")),
+            ),
+            ("decoded_instructions", Json::from(decoded)),
+            ("decode_ns", Json::from(decode_ns)),
+            (
+                "decode_instr_per_sec",
+                Json::from(per_sec(decoded, decode_ns)),
+            ),
+        ]))
+    }
+
     /// The manifest as a JSON document, embedding span timings and a
     /// metrics snapshot.
     pub fn to_json(&self, spans: &SpanRegistry, metrics: &MetricsSnapshot) -> Json {
-        obj([
+        let json = obj([
             ("tool", Json::from(self.tool.as_str())),
             ("scale", Json::from(self.scale.as_str())),
             ("telemetry_mode", Json::from(self.mode.as_str())),
@@ -265,7 +301,14 @@ impl RunManifest {
             ("perf", self.perf_json()),
             ("metrics", metrics.to_json()),
             ("wall_ns", Json::from(self.wall_ns)),
-        ])
+        ]);
+        let Json::Obj(mut fields) = json else {
+            unreachable!("obj() builds an object");
+        };
+        if let Some(store) = Self::trace_store_json(metrics) {
+            fields.insert("trace_store".to_string(), store);
+        }
+        Json::Obj(fields)
     }
 
     /// Writes the manifest as pretty-stable single-line JSON plus a
@@ -425,6 +468,39 @@ mod tests {
             Some(100_000)
         );
         // And the whole document still parses strictly.
+        assert!(parse(&v.to_string()).is_ok());
+    }
+
+    #[test]
+    fn trace_store_section_appears_only_when_the_store_was_touched() {
+        let m = RunManifest::new("table4");
+        let spans = SpanRegistry::new();
+
+        // No trace_store.* counters → no section at all.
+        let registry = MetricsRegistry::new();
+        let v = m.to_json(&spans, &registry.snapshot());
+        assert!(v.get("trace_store").is_none());
+
+        // Hits and misses recorded → section with derived decode rate.
+        let registry = MetricsRegistry::new();
+        registry.counter("trace_store.hits").add(7);
+        registry.counter("trace_store.misses").add(1);
+        registry.counter("trace_store.records").add(1);
+        registry.counter("trace_store.bytes_written").add(1024);
+        registry.counter("trace_store.bytes_read").add(7 * 1024);
+        registry
+            .counter("trace_store.decoded_instructions")
+            .add(700_000);
+        registry.counter("trace_store.decode_ns").add(350_000_000);
+        let v = m.to_json(&spans, &registry.snapshot());
+        let store = v.get("trace_store").expect("section present");
+        assert_eq!(store.get("hits").unwrap().as_u64(), Some(7));
+        assert_eq!(store.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(store.get("records").unwrap().as_u64(), Some(1));
+        assert_eq!(store.get("bytes_read").unwrap().as_u64(), Some(7168));
+        let rate = store.get("decode_instr_per_sec").unwrap().as_f64().unwrap();
+        assert!((rate - 2_000_000.0).abs() < 1.0, "{rate}");
+        // And the embedded document still parses strictly.
         assert!(parse(&v.to_string()).is_ok());
     }
 

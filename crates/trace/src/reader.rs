@@ -1,0 +1,267 @@
+//! Streaming `.strc` reader.
+
+use crate::format::{
+    fnv64, CodecState, TraceError, TraceHeader, CHUNK_RECORDS, MAGIC, MAX_CHUNK_PAYLOAD,
+};
+use sim_isa::{DynInstr, VecTrace};
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::path::Path;
+
+/// Streaming decoder: validates the magic and header on open, then
+/// yields instructions one at a time, verifying each chunk's checksum
+/// before decoding any of its records.
+///
+/// Iteration yields `Result<DynInstr, TraceError>`; after the first
+/// error the iterator fuses (further `next` calls return `None`). A
+/// clean end-of-stream with fewer records than the header declares is
+/// itself an error ([`TraceError::Truncated`]), so a file cut at a
+/// chunk boundary cannot pass for complete.
+pub struct TraceReader<R: Read> {
+    src: R,
+    header: TraceHeader,
+    codec: CodecState,
+    payload: Vec<u8>,
+    pos: usize,
+    chunk_remaining: u32,
+    chunk_index: u64,
+    decoded: u64,
+    state: State,
+}
+
+#[derive(PartialEq, Eq)]
+enum State {
+    Reading,
+    Done,
+    Failed,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a stream: reads and validates the magic and header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, wrong magic, an unsupported format version,
+    /// or a header that is malformed or fails its checksum.
+    pub fn new(mut src: R) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 8];
+        src.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(TraceError::BadMagic(magic));
+        }
+        // The header has no stored length; re-encoding after a field-wise
+        // parse would couple reader to writer. Instead read the fixed
+        // prefix, then the variable strings, then the fixed tail — and
+        // let `TraceHeader::decode` do the real validation on the exact
+        // byte range.
+        let mut head = vec![0u8; 5];
+        src.read_exact(&mut head)
+            .map_err(|e| header_eof(e, "fixed prefix"))?;
+        let bench_len = head[4] as usize;
+        let mut rest = vec![0u8; bench_len + 1];
+        src.read_exact(&mut rest)
+            .map_err(|e| header_eof(e, "benchmark name"))?;
+        let scale_len = *rest.last().expect("read at least one byte") as usize;
+        head.extend_from_slice(&rest);
+        // scale bytes + seed + instructions + 8 class + 6 branch counts
+        // + taken-conditional + static-sites + checksum.
+        let mut tail = vec![0u8; scale_len + 8 + 8 + 8 * 8 + 6 * 8 + 8 + 8 + 8];
+        src.read_exact(&mut tail)
+            .map_err(|e| header_eof(e, "counters"))?;
+        head.extend_from_slice(&tail);
+        let header = TraceHeader::decode(&head)?;
+        Ok(TraceReader {
+            src,
+            header,
+            codec: CodecState::default(),
+            payload: Vec::new(),
+            pos: 0,
+            chunk_remaining: 0,
+            chunk_index: 0,
+            decoded: 0,
+            state: State::Reading,
+        })
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Instructions decoded so far.
+    pub fn decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Loads the next chunk. `Ok(false)` means clean end of stream.
+    fn next_chunk(&mut self) -> Result<bool, TraceError> {
+        let chunk = self.chunk_index;
+        let corrupt = |reason: String| TraceError::CorruptChunk { chunk, reason };
+        let mut frame = [0u8; 8];
+        match read_exact_or_eof(&mut self.src, &mut frame)? {
+            ReadOutcome::Eof => {
+                if self.decoded != self.header.instructions {
+                    return Err(TraceError::Truncated {
+                        expected: self.header.instructions,
+                        actual: self.decoded,
+                    });
+                }
+                return Ok(false);
+            }
+            ReadOutcome::Partial => {
+                return Err(corrupt("file ends inside a chunk frame".to_string()))
+            }
+            ReadOutcome::Full => {}
+        }
+        let records = u32::from_le_bytes(frame[..4].try_into().expect("4-byte field"));
+        let length = u32::from_le_bytes(frame[4..].try_into().expect("4-byte field"));
+        if records == 0 || records > CHUNK_RECORDS {
+            return Err(corrupt(format!("record count {records} out of range")));
+        }
+        if length > MAX_CHUNK_PAYLOAD {
+            return Err(corrupt(format!("payload length {length} out of range")));
+        }
+        if self.decoded + u64::from(records) > self.header.instructions {
+            return Err(corrupt(format!(
+                "chunk overruns the header's {} instructions",
+                self.header.instructions
+            )));
+        }
+        self.payload.resize(length as usize, 0);
+        self.src.read_exact(&mut self.payload).map_err(|e| {
+            eof_as(e, || {
+                corrupt("file ends inside a chunk payload".to_string())
+            })
+        })?;
+        let mut sum = [0u8; 8];
+        self.src.read_exact(&mut sum).map_err(|e| {
+            eof_as(e, || {
+                corrupt("file ends inside a chunk checksum".to_string())
+            })
+        })?;
+        let expected = u64::from_le_bytes(sum);
+        let actual = fnv64(&self.payload);
+        if expected != actual {
+            return Err(TraceError::Checksum {
+                chunk,
+                expected,
+                actual,
+            });
+        }
+        self.pos = 0;
+        self.chunk_remaining = records;
+        self.chunk_index += 1;
+        Ok(true)
+    }
+
+    fn next_instr(&mut self) -> Result<Option<DynInstr>, TraceError> {
+        if self.chunk_remaining == 0 && !self.next_chunk()? {
+            return Ok(None);
+        }
+        let chunk = self.chunk_index - 1;
+        let instr = self
+            .codec
+            .decode(&self.payload, &mut self.pos)
+            .map_err(|reason| TraceError::BadRecord { chunk, reason })?;
+        self.chunk_remaining -= 1;
+        self.decoded += 1;
+        if self.chunk_remaining == 0 && self.pos != self.payload.len() {
+            return Err(TraceError::BadRecord {
+                chunk,
+                reason: format!("{} trailing payload bytes", self.payload.len() - self.pos),
+            });
+        }
+        Ok(Some(instr))
+    }
+
+    /// Decodes the remainder of the stream into a [`VecTrace`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] the streaming iterator would yield.
+    pub fn read_to_end(mut self) -> Result<VecTrace, TraceError> {
+        let mut trace = VecTrace::new();
+        trace.reserve((self.header.instructions - self.decoded) as usize);
+        for record in &mut self {
+            trace.push(record?);
+        }
+        Ok(trace)
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<DynInstr, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.state != State::Reading {
+            return None;
+        }
+        match self.next_instr() {
+            Ok(Some(i)) => Some(Ok(i)),
+            Ok(None) => {
+                self.state = State::Done;
+                None
+            }
+            Err(e) => {
+                self.state = State::Failed;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+/// `read_exact`, but distinguishing "no bytes at all" (clean EOF) from
+/// "some but not all" (truncation).
+fn read_exact_or_eof<R: Read>(src: &mut R, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match src.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+fn eof_as(e: io::Error, mk: impl FnOnce() -> TraceError) -> TraceError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        mk()
+    } else {
+        TraceError::Io(e)
+    }
+}
+
+fn header_eof(e: io::Error, what: &str) -> TraceError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        TraceError::CorruptHeader(format!("file ends inside the header ({what})"))
+    } else {
+        TraceError::Io(e)
+    }
+}
+
+/// Opens, fully decodes, and closes a `.strc` file.
+///
+/// # Errors
+///
+/// Any [`TraceError`]; plain I/O failures (missing file, permissions)
+/// surface as [`TraceError::Io`].
+pub fn read_trace_file(path: &Path) -> Result<(TraceHeader, VecTrace), TraceError> {
+    let reader = TraceReader::new(BufReader::new(File::open(path)?))?;
+    let header = reader.header().clone();
+    let trace = reader.read_to_end()?;
+    Ok((header, trace))
+}

@@ -1,0 +1,121 @@
+//! LEB128 variable-length integers with zigzag signed mapping.
+//!
+//! The `.strc` record codec stores almost everything as deltas from the
+//! previous record, and deltas cluster tightly around zero: sequential
+//! fetch makes most PC deltas `+1` word, and data accesses walk small
+//! strides. Zigzag folds the sign into the low bit so small negative
+//! deltas stay one byte, and LEB128 spends bytes proportional to
+//! magnitude.
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (1–10 bytes).
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, mut value: u64) {
+    while value >= 0x80 {
+        out.push((value as u8) | 0x80);
+        value >>= 7;
+    }
+    out.push(value as u8);
+}
+
+/// Appends `value` to `out` zigzag-mapped then LEB128-encoded.
+#[inline]
+pub fn put_i64(out: &mut Vec<u8>, value: i64) {
+    put_u64(out, ((value << 1) ^ (value >> 63)) as u64);
+}
+
+/// Reads an unsigned LEB128 varint from `buf` starting at `*pos`,
+/// advancing `*pos` past it.
+///
+/// Returns `None` when the buffer ends mid-varint or the encoding runs
+/// past 10 bytes / overflows 64 bits (no valid encoder produces either).
+#[inline]
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow u64
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Reads a zigzag-mapped signed varint (inverse of [`put_i64`]).
+#[inline]
+pub fn get_i64(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    let raw = get_u64(buf, pos)?;
+    Some(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u(v: u64) {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(get_u64(&buf, &mut pos), Some(v), "{v}");
+        assert_eq!(pos, buf.len());
+    }
+
+    fn roundtrip_i(v: i64) {
+        let mut buf = Vec::new();
+        put_i64(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(get_i64(&buf, &mut pos), Some(v), "{v}");
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn unsigned_roundtrips_across_widths() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            roundtrip_u(v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrips_and_small_values_stay_small() {
+        for v in [0, 1, -1, 63, -64, 64, -65, i64::MAX, i64::MIN] {
+            roundtrip_i(v);
+        }
+        let mut buf = Vec::new();
+        put_i64(&mut buf, -1);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_i64(&mut buf, 1);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_and_overlong_inputs_are_rejected() {
+        let mut pos = 0;
+        assert_eq!(get_u64(&[0x80], &mut pos), None);
+        let mut pos = 0;
+        assert_eq!(get_u64(&[0x80; 11], &mut pos), None);
+        // 10th byte may only contribute one bit.
+        let mut encoded = vec![0xff; 9];
+        encoded.push(0x02);
+        let mut pos = 0;
+        assert_eq!(get_u64(&encoded, &mut pos), None);
+    }
+}

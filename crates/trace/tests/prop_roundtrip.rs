@@ -1,0 +1,131 @@
+//! Property tests for the `.strc` codec: arbitrary `DynInstr` sequences
+//! survive the encode → decode round trip bit-for-bit, the header
+//! always describes the payload, and the stats summary of the decoded
+//! trace matches what the writer recorded.
+
+use proptest::prelude::*;
+use sim_isa::{Addr, BranchClass, BranchExec, DynInstr, InstrClass, Reg, VecTrace};
+use sim_trace::{encode_to_vec, StatsSummary, TraceMeta, TraceReader, CHUNK_RECORDS};
+
+/// One arbitrary instruction: any record kind, any operand mix, any
+/// word-aligned addresses. The kind selector maps 0–4 to the plain op
+/// classes, 5/6 to load/store, and 7 to a branch whose class comes from
+/// the dedicated selector (non-conditional classes are forced taken, as
+/// the `BranchExec` constructor requires).
+fn arb_instr() -> impl Strategy<Value = DynInstr> {
+    let reg_count = u64::from(sim_isa::reg::REG_COUNT);
+    (
+        0u64..(u64::MAX / 4),           // pc word index
+        0u8..8,                         // record-kind selector
+        any::<u64>(),                   // load/store data address
+        0u64..(u64::MAX / 4),           // branch target word index
+        (0u8..6, any::<bool>()),        // branch class + taken-ness
+        prop::option::of(0..reg_count), // src0
+        prop::option::of(0..reg_count), // src1
+        prop::option::of(0..reg_count), // dst
+    )
+        .prop_map(|(word, kind, mem, target, (class, taken), s0, s1, dst)| {
+            const OPS: [InstrClass; 5] = [
+                InstrClass::Integer,
+                InstrClass::FpAdd,
+                InstrClass::Mul,
+                InstrClass::Div,
+                InstrClass::BitField,
+            ];
+            let pc = Addr::from_word_index(word);
+            let reg = |i: Option<u64>| i.map(|i| Reg::new(i as u16));
+            let instr = match kind {
+                0..=4 => DynInstr::op(pc, OPS[kind as usize]),
+                5 => DynInstr::load(pc, mem),
+                6 => DynInstr::store(pc, mem),
+                _ => {
+                    let class = BranchClass::ALL[class as usize];
+                    let taken = taken || !class.is_conditional();
+                    let target = Addr::from_word_index(target);
+                    DynInstr::branch(pc, BranchExec::new(class, taken, target))
+                }
+            };
+            let instr = instr.with_srcs(reg(s0), reg(s1));
+            match reg(dst) {
+                Some(d) => instr.with_dst(d),
+                None => instr,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_preserves_every_instruction_and_the_summary(
+        instrs in prop::collection::vec(arb_instr(), 0..600),
+        seed in any::<u64>(),
+    ) {
+        let trace: VecTrace = instrs.into_iter().collect();
+        let meta = TraceMeta {
+            benchmark: "prop".into(),
+            scale: "quick".into(),
+            seed,
+            generator_version: 7,
+        };
+        let bytes = encode_to_vec(meta.clone(), &trace).unwrap();
+        let reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let header = reader.header().clone();
+        prop_assert_eq!(header.instructions, trace.len() as u64);
+        prop_assert_eq!(&header.meta, &meta);
+        let decoded = reader.read_to_end().unwrap();
+        prop_assert_eq!(decoded.as_slice(), trace.as_slice());
+        prop_assert_eq!(StatsSummary::of(&decoded.stats()), header.summary);
+    }
+
+    #[test]
+    fn truncation_at_any_point_never_yields_a_silently_short_trace(
+        instrs in prop::collection::vec(arb_instr(), 1..200),
+        cut_frac in 0u32..1000,
+    ) {
+        // Cutting the image anywhere — mid-header, mid-chunk, between
+        // chunks — must either fail to open or fail during iteration;
+        // it must never decode to a shorter trace without an error.
+        let trace: VecTrace = instrs.into_iter().collect();
+        let meta = TraceMeta {
+            benchmark: "prop".into(),
+            scale: "quick".into(),
+            seed: 1,
+            generator_version: 7,
+        };
+        let bytes = encode_to_vec(meta, &trace).unwrap();
+        let cut = (bytes.len() - 1) * cut_frac as usize / 1000;
+        match TraceReader::new(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(reader) => prop_assert!(reader.read_to_end().is_err()),
+        }
+    }
+
+    #[test]
+    fn multi_chunk_traces_roundtrip_across_chunk_boundaries(
+        extra in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        // Delta state (pc, mem address) continues across chunk framing;
+        // sizes straddling the CHUNK_RECORDS boundary exercise that.
+        let n = CHUNK_RECORDS as usize - 8 + extra;
+        let mut word = seed % 1000;
+        let trace: VecTrace = (0..n)
+            .map(|i| {
+                word = word.wrapping_add(1 + (i as u64 % 7));
+                if i % 5 == 0 {
+                    DynInstr::load(Addr::from_word_index(word), seed ^ (i as u64) << 12)
+                } else {
+                    DynInstr::op(Addr::from_word_index(word), InstrClass::Integer)
+                }
+            })
+            .collect();
+        let meta = TraceMeta {
+            benchmark: "prop".into(),
+            scale: "quick".into(),
+            seed,
+            generator_version: 7,
+        };
+        let bytes = encode_to_vec(meta, &trace).unwrap();
+        let decoded = TraceReader::new(bytes.as_slice()).unwrap().read_to_end().unwrap();
+        prop_assert_eq!(decoded, trace);
+    }
+}

@@ -43,4 +43,4 @@ pub use program::{
     Block, BlockId, ChainId, CheckCode, CheckError, Cond, CycleId, Effect, Layout, Program,
     ProgramBuilder, Routine, RoutineId, Selector, Step, Terminator, VarId,
 };
-pub use spec95::{Benchmark, Workload};
+pub use spec95::{Benchmark, Workload, GENERATOR_VERSION};

@@ -32,6 +32,13 @@ use crate::program::Program;
 use sim_isa::VecTrace;
 use std::fmt;
 
+/// Version of the workload generators, part of the trace store's cache
+/// key. Bump this whenever any change — to a benchmark model, the
+/// executor, or the vendored RNG — alters the instructions a
+/// `(benchmark, seed, budget)` triple generates, so stale cached traces
+/// become unreachable instead of silently wrong.
+pub const GENERATOR_VERSION: u16 = 1;
+
 /// A benchmark model: a program plus the seed and default trace length that
 /// define its canonical run.
 #[derive(Clone, Debug)]
@@ -70,6 +77,14 @@ impl Workload {
     /// The canonical trace length used by the experiment harness.
     pub fn default_budget(&self) -> usize {
         self.default_budget
+    }
+
+    /// The canonical generator seed. Together with the program (named by
+    /// the benchmark), the budget, and [`GENERATOR_VERSION`] this fully
+    /// determines a generated trace — which is exactly the content
+    /// address the `sim-trace` store caches under.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Generates the first `budget` instructions of the canonical run.
