@@ -40,9 +40,10 @@ fn bench_throughput(c: &mut Criterion) {
         ProfMode::default(),
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/telemetry"),
     );
+    let ctx = session.ctx();
     let mut group = c.benchmark_group("throughput");
     group.sample_size(10);
-    for mut scenario in perf::scenario_matrix(Scale::Quick) {
+    for mut scenario in perf::scenario_matrix(&ctx, Scale::Quick) {
         if !KEEP.contains(&scenario.name.as_str()) {
             continue;
         }

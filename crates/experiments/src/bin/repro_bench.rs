@@ -110,17 +110,13 @@ fn main() {
     // table binaries, telemetry defaults to `summary` here — the BENCH
     // snapshot's per-phase breakdowns come from the span registry — but an
     // explicit `REPRO_TELEMETRY=off` still wins.
-    let mode = match std::env::var("REPRO_TELEMETRY") {
-        Ok(v) if !v.is_empty() => {
-            telemetry::TelemetryMode::parse(&v).unwrap_or_else(|e| operator_error(&e))
-        }
-        _ => telemetry::TelemetryMode::Summary,
-    };
-    let prof = telemetry::ProfMode::from_env().unwrap_or_else(|e| operator_error(&e));
-    let telemetry_dir = std::env::var("REPRO_TELEMETRY_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results/telemetry"));
-    let _session = telemetry::session_with_prof("repro-bench", scale, mode, prof, telemetry_dir);
+    let mut tconfig =
+        sim_telemetry::TelemetryConfig::from_env().unwrap_or_else(|e| operator_error(&e));
+    if std::env::var_os("REPRO_TELEMETRY").is_none_or(|v| v.is_empty()) {
+        tconfig.mode = telemetry::TelemetryMode::Summary;
+    }
+    let session = telemetry::session_with_config("repro-bench", scale, tconfig);
+    let ctx = session.ctx();
 
     let config = BenchConfig {
         scale,
@@ -139,7 +135,7 @@ fn main() {
             String::new()
         }
     );
-    let scenarios = perf::run_matrix(&config, perf::scenario_matrix(scale), |r| {
+    let scenarios = perf::run_matrix(&ctx, &config, perf::scenario_matrix(&ctx, scale), |r| {
         println!(
             "  {:<24} median {:>10.3} ms   {:>8.2} M instr/s",
             r.name,

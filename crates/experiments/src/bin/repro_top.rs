@@ -1,0 +1,160 @@
+//! `repro-top` — live campaign status from a progress stream.
+//!
+//! ```text
+//! repro-top [OPTIONS] [progress.jsonl]
+//! ```
+//!
+//! With no file argument the newest `*.progress.jsonl` under the
+//! progress directory is used — i.e. "show me the campaign that is
+//! running right now". One-shot by default; `--follow` redraws until
+//! the campaign finishes (plain ANSI, no terminal library).
+//!
+//! ```text
+//! options:
+//!   --dir DIR       progress directory to search (default: the
+//!                   configured REPRO_PROGRESS_DIR)
+//!   --follow        redraw until campaign-finished appears
+//!   --interval MS   refresh period for --follow (default 500)
+//!   --json          print machine-readable status and exit
+//!   -h, --help      this message
+//! ```
+//!
+//! Exit status: `0` — status shown; `2` — operator error (bad flag, no
+//! stream found, corrupt stream).
+
+use experiments::watch::{newest_progress_file, CampaignStatus};
+use sim_telemetry::{read_events, TelemetryConfig};
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+const USAGE: &str =
+    "usage: repro-top [--dir DIR] [--follow] [--interval MS] [--json] [progress.jsonl]";
+
+fn operator_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    exit(2)
+}
+
+struct Args {
+    file: Option<PathBuf>,
+    dir: Option<PathBuf>,
+    follow: bool,
+    interval_ms: u64,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        file: None,
+        dir: None,
+        follow: false,
+        interval_ms: 500,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--dir" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| operator_error("--dir requires a directory"));
+                args.dir = Some(PathBuf::from(v));
+            }
+            "--follow" => args.follow = true,
+            "--interval" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| operator_error("--interval requires milliseconds"));
+                args.interval_ms =
+                    v.parse().ok().filter(|&ms| ms > 0).unwrap_or_else(|| {
+                        operator_error("--interval expects positive milliseconds")
+                    });
+            }
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other if other.starts_with('-') => {
+                operator_error(&format!("unrecognized flag {other:?}"))
+            }
+            path => {
+                if args.file.is_some() {
+                    operator_error("at most one progress file");
+                }
+                args.file = Some(PathBuf::from(path));
+            }
+        }
+    }
+    args
+}
+
+fn status_of(path: &Path) -> CampaignStatus {
+    let stream = read_events(path).unwrap_or_else(|e| operator_error(&e));
+    CampaignStatus::from_stream(&stream)
+}
+
+/// Writes to stdout, treating a closed pipe (`repro-top --json | head`)
+/// as a normal exit rather than a panic.
+fn emit(text: &str) {
+    use std::io::Write;
+    let mut stdout = std::io::stdout();
+    if stdout.write_all(text.as_bytes()).is_err() || stdout.flush().is_err() {
+        exit(0);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let path = match args.file {
+        Some(path) => path,
+        None => {
+            let dir = match args.dir {
+                Some(dir) => dir,
+                // The single env parse site supplies the configured
+                // progress directory (REPRO_PROGRESS_DIR or default).
+                None => {
+                    TelemetryConfig::from_env()
+                        .unwrap_or_else(|e| operator_error(&e))
+                        .progress_dir
+                }
+            };
+            newest_progress_file(&dir).unwrap_or_else(|| {
+                operator_error(&format!(
+                    "no *.progress.jsonl under {} — run a campaign with REPRO_PROGRESS=on",
+                    dir.display()
+                ))
+            })
+        }
+    };
+
+    if args.json {
+        emit(&format!(
+            "{}\n",
+            status_of(&path).to_json().to_pretty_string()
+        ));
+        return;
+    }
+    if !args.follow {
+        emit(&format!(
+            "# {}\n{}",
+            path.display(),
+            status_of(&path).render_table()
+        ));
+        return;
+    }
+    loop {
+        let status = status_of(&path);
+        // Clear screen + home: plain ANSI is all the live view needs.
+        emit(&format!(
+            "\x1b[2J\x1b[H# {}\n{}",
+            path.display(),
+            status.render_table()
+        ));
+        if status.finished {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+    }
+}

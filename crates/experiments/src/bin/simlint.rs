@@ -150,7 +150,10 @@ fn parse_args() -> Options {
 
 /// Decodes `path` and lints the benchmark it declares against the
 /// recorded instruction stream.
-fn analyze_trace_file(path: &Path) -> lint::LintOutcome {
+fn analyze_trace_file(
+    ctx: &experiments::telemetry::TelemetryCtx,
+    path: &Path,
+) -> lint::LintOutcome {
     let (header, trace) = sim_trace::read_trace_file(path).unwrap_or_else(|e| {
         eprintln!("error: {}: {e}", path.display());
         exit(2)
@@ -163,7 +166,7 @@ fn analyze_trace_file(path: &Path) -> lint::LintOutcome {
         );
         exit(2)
     });
-    if let Some(hub) = experiments::telemetry::active() {
+    if let Some(hub) = ctx.hub() {
         hub.set_benchmark(bench.name());
     }
     println!(
@@ -253,6 +256,7 @@ fn main() {
     let plan = FaultPlan::from_env().unwrap_or_else(|e| usage_error(&e));
     let _faults = faults::install(plan);
     let _telemetry = experiments::telemetry::session_or_exit("simlint", scale);
+    let ctx = _telemetry.ctx();
 
     let mode = if opts.trace.is_some() {
         "trace-file replay + conformance".to_string()
@@ -269,11 +273,11 @@ fn main() {
     println!("simlint: {count} benchmark(s), {mode}\n");
 
     let outcomes: Vec<lint::LintOutcome> = match &opts.trace {
-        Some(path) => vec![analyze_trace_file(path)],
+        Some(path) => vec![analyze_trace_file(&ctx, path)],
         None => opts
             .benches
             .iter()
-            .map(|&bench| lint::analyze(bench, scale, opts.conformance))
+            .map(|&bench| lint::analyze(&ctx, bench, scale, opts.conformance))
             .collect(),
     };
     let mut reports = Vec::new();

@@ -14,9 +14,14 @@
 //!   predictions/sec, hot-path phase totals, and span self/total times;
 //! * `telemetry-report --cells <run.manifest.json>...` — the job-runner
 //!   cell view: outcome, attempts, wall time, simulated instructions,
-//!   and per-cell throughput.
+//!   and per-cell throughput;
+//! * `telemetry-report --progress <run.progress.jsonl>...` — post-mortem
+//!   of a campaign's live progress stream: per-cell timeline, slowest
+//!   cells, and the retry histogram (`repro-top` is the live view over
+//!   the same stream).
 //!
-//! `--top N` changes how many sites are shown per benchmark (default 10).
+//! `--top N` changes how many sites are shown per benchmark (default
+//! 10); under `--progress` it bounds the slowest-cells list.
 
 use std::path::PathBuf;
 
@@ -24,6 +29,7 @@ enum View {
     Events,
     Perf,
     Cells,
+    Progress,
 }
 
 fn main() {
@@ -45,11 +51,13 @@ fn main() {
             }
             "--perf" => view = View::Perf,
             "--cells" => view = View::Cells,
+            "--progress" => view = View::Progress,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: telemetry-report [--top N] [events.jsonl ...]\n\
                             telemetry-report --perf <run.manifest.json>...\n\
-                            telemetry-report --cells <run.manifest.json>..."
+                            telemetry-report --cells <run.manifest.json>...\n\
+                            telemetry-report --progress <run.progress.jsonl>..."
                 );
                 return;
             }
@@ -61,7 +69,14 @@ fn main() {
         View::Events => {
             if files.is_empty() {
                 let scale = experiments::Scale::from_env_or_exit();
-                print!("{}", experiments::telemetry::live_report(scale, top_n));
+                let config = sim_telemetry::TelemetryConfig::from_env().unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                });
+                print!(
+                    "{}",
+                    experiments::telemetry::live_report(scale, top_n, config.dir)
+                );
                 return;
             }
             for f in &files {
@@ -70,6 +85,26 @@ fn main() {
                     Ok(report) => print!("{report}"),
                     Err(e) => {
                         eprintln!("error reading {}: {e}", f.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        View::Progress => {
+            if files.is_empty() {
+                eprintln!("error: --progress needs at least one run.progress.jsonl path");
+                std::process::exit(2);
+            }
+            for f in &files {
+                println!("# {}", f.display());
+                match sim_telemetry::read_events(f) {
+                    Ok(stream) => print!(
+                        "{}",
+                        experiments::watch::CampaignStatus::from_stream(&stream)
+                            .render_timeline(top_n)
+                    ),
+                    Err(e) => {
+                        eprintln!("error: {e}");
                         std::process::exit(1);
                     }
                 }

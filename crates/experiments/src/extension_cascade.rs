@@ -14,6 +14,7 @@
 use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{functional, trace, Scale};
+use crate::telemetry::TelemetryCtx;
 use sim_workloads::Benchmark;
 use target_cache::harness::{FrontEndConfig, PredictionHarness};
 use target_cache::{HistorySource, IndexScheme, Organization, TargetCacheConfig};
@@ -51,10 +52,10 @@ pub fn cell_labels() -> Vec<&'static str> {
 }
 
 /// Computes one benchmark's cell.
-pub fn cell(label: &str, scale: Scale) -> CellData {
+pub fn cell(ctx: &TelemetryCtx, label: &str, scale: Scale) -> CellData {
     let benchmark = crate::jobs::benchmark(label);
-    let t = trace(benchmark, scale);
-    let rate = |fe: FrontEndConfig| functional(&t, fe).indirect_jump_misprediction_rate();
+    let t = trace(ctx, benchmark, scale);
+    let rate = |fe: FrontEndConfig| functional(ctx, &t, fe).indirect_jump_misprediction_rate();
     let mut cascade = PredictionHarness::new(FrontEndConfig::isca97_cascade(tagless(512)));
     cascade.run(&t);
     let mut d = CellData::new();
@@ -77,7 +78,9 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
 
 /// Runs the cascade study over the full suite.
 pub fn run(scale: Scale) -> Vec<Row> {
-    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| {
+        cell(&TelemetryCtx::off(), l, scale)
+    }))
 }
 
 /// Reconstructs rows from a fully-successful cell set.

@@ -18,6 +18,7 @@
 use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{functional, trace, Scale};
+use crate::telemetry::TelemetryCtx;
 use branch_predictors::UpdatePolicy;
 use sim_workloads::Benchmark;
 use target_cache::harness::FrontEndConfig;
@@ -40,11 +41,11 @@ pub fn cell_labels() -> Vec<&'static str> {
 }
 
 /// Computes one benchmark's cell.
-pub fn cell(label: &str, scale: Scale) -> CellData {
+pub fn cell(ctx: &TelemetryCtx, label: &str, scale: Scale) -> CellData {
     let benchmark = crate::jobs::benchmark(label);
-    let t = trace(benchmark, scale);
+    let t = trace(ctx, benchmark, scale);
     let rate = |config: TargetCacheConfig| {
-        functional(&t, FrontEndConfig::isca97_with(config)).indirect_jump_misprediction_rate()
+        functional(ctx, &t, FrontEndConfig::isca97_with(config)).indirect_jump_misprediction_rate()
     };
     let tagless = TargetCacheConfig::isca97_tagless_gshare();
     let tagged = TargetCacheConfig::isca97_tagged(4);
@@ -64,7 +65,9 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
 
 /// Runs the study over the full suite.
 pub fn run(scale: Scale) -> Vec<Row> {
-    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| {
+        cell(&TelemetryCtx::off(), l, scale)
+    }))
 }
 
 /// Reconstructs rows from a fully-successful cell set.

@@ -11,6 +11,7 @@ use crate::headline::best_tagless_for;
 use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{timing, trace, Scale};
+use crate::telemetry::TelemetryCtx;
 use sim_workloads::Benchmark;
 use target_cache::harness::FrontEndConfig;
 
@@ -42,12 +43,16 @@ pub fn cell_labels() -> Vec<&'static str> {
 }
 
 /// Computes one benchmark's cell.
-pub fn cell(label: &str, scale: Scale) -> CellData {
+pub fn cell(ctx: &TelemetryCtx, label: &str, scale: Scale) -> CellData {
     let benchmark = crate::jobs::benchmark(label);
-    let t = trace(benchmark, scale);
-    let base = timing(&t, FrontEndConfig::isca97_baseline());
-    let tc = timing(&t, FrontEndConfig::isca97_with(best_tagless_for(benchmark)));
-    let oracle = timing(&t, FrontEndConfig::isca97_oracle());
+    let t = trace(ctx, benchmark, scale);
+    let base = timing(ctx, &t, FrontEndConfig::isca97_baseline());
+    let tc = timing(
+        ctx,
+        &t,
+        FrontEndConfig::isca97_with(best_tagless_for(benchmark)),
+    );
+    let oracle = timing(ctx, &t, FrontEndConfig::isca97_oracle());
     let mut d = CellData::new();
     d.set("target_cache", tc.exec_time_reduction_vs(&base));
     d.set("oracle", oracle.exec_time_reduction_vs(&base));
@@ -56,7 +61,9 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
 
 /// Runs the limit study over the full suite.
 pub fn run(scale: Scale) -> Vec<Row> {
-    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| {
+        cell(&TelemetryCtx::off(), l, scale)
+    }))
 }
 
 /// Reconstructs rows from a fully-successful cell set.

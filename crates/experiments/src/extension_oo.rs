@@ -14,6 +14,7 @@
 use crate::jobs::{CellData, CellSet};
 use crate::report::{count, pct, TextTable};
 use crate::runner::{functional, timing, Scale};
+use crate::telemetry::TelemetryCtx;
 use sim_isa::VecTrace;
 use sim_workloads::OoBenchmark;
 use target_cache::harness::FrontEndConfig;
@@ -79,11 +80,11 @@ pub fn cell_labels() -> Vec<&'static str> {
 
 /// Computes one benchmark's cell: trace characterization plus
 /// `mispred.<config>` / `exec.<config>` per configuration.
-pub fn cell(label: &str, scale: Scale) -> CellData {
+pub fn cell(ctx: &TelemetryCtx, label: &str, scale: Scale) -> CellData {
     let benchmark = oo_benchmark(label);
     let t = oo_trace(benchmark, scale);
     let stats = t.stats();
-    let base_report = timing(&t, FrontEndConfig::isca97_baseline());
+    let base_report = timing(ctx, &t, FrontEndConfig::isca97_baseline());
     let mut d = CellData::new();
     d.set("indirect_jumps", stats.indirect_jumps() as f64);
     d.set("indirect_fraction", stats.indirect_jump_fraction());
@@ -94,11 +95,11 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
         };
         d.set(
             format!("mispred.{name}"),
-            functional(&t, fe).indirect_jump_misprediction_rate(),
+            functional(ctx, &t, fe).indirect_jump_misprediction_rate(),
         );
         d.set(
             format!("exec.{name}"),
-            timing(&t, fe).exec_time_reduction_vs(&base_report),
+            timing(ctx, &t, fe).exec_time_reduction_vs(&base_report),
         );
     }
     d
@@ -106,7 +107,9 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Row> {
-    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| {
+        cell(&TelemetryCtx::off(), l, scale)
+    }))
 }
 
 /// Reconstructs rows from a fully-successful cell set.
@@ -195,7 +198,7 @@ mod tests {
     #[test]
     fn oo_programs_execute_more_indirect_branches() {
         let rows = run(Scale::Quick);
-        let gcc_frac = crate::runner::trace(Benchmark::Gcc, Scale::Quick)
+        let gcc_frac = crate::runner::trace(&TelemetryCtx::off(), Benchmark::Gcc, Scale::Quick)
             .stats()
             .indirect_jump_fraction();
         for r in &rows {

@@ -17,6 +17,7 @@ use crate::headline::best_tagless_for;
 use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{trace, Scale};
+use crate::telemetry::TelemetryCtx;
 use hps_uarch::{simulate, MachineConfig};
 use sim_workloads::Benchmark;
 use target_cache::harness::FrontEndConfig;
@@ -71,9 +72,9 @@ pub fn cell_labels() -> Vec<&'static str> {
 
 /// Computes one benchmark's cell: `red.<machine>` and `ipc.<machine>` per
 /// design point.
-pub fn cell(label: &str, scale: Scale) -> CellData {
+pub fn cell(ctx: &TelemetryCtx, label: &str, scale: Scale) -> CellData {
     let benchmark = crate::jobs::benchmark(label);
-    let t = trace(benchmark, scale);
+    let t = trace(ctx, benchmark, scale);
     let tc = best_tagless_for(benchmark);
     let mut d = CellData::new();
     for (name, machine) in machines() {
@@ -89,7 +90,9 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
 
 /// Runs the sweep for the focus benchmarks.
 pub fn run(scale: Scale) -> Vec<Row> {
-    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| {
+        cell(&TelemetryCtx::off(), l, scale)
+    }))
 }
 
 /// Reconstructs rows from a fully-successful cell set.

@@ -14,6 +14,7 @@
 use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{exec_reduction_with_base, timing, trace, Scale};
+use crate::telemetry::TelemetryCtx;
 use sim_workloads::Benchmark;
 use target_cache::harness::FrontEndConfig;
 use target_cache::TargetCacheConfig;
@@ -52,19 +53,19 @@ pub fn cell_labels() -> Vec<&'static str> {
 
 /// Computes one benchmark's cell: the tagless reduction (`tagless`) plus
 /// the tagged reduction per associativity (`tagged.<assoc>`).
-pub fn cell(label: &str, scale: Scale) -> CellData {
+pub fn cell(ctx: &TelemetryCtx, label: &str, scale: Scale) -> CellData {
     let benchmark = crate::jobs::benchmark(label);
-    let t = trace(benchmark, scale);
-    let base = timing(&t, FrontEndConfig::isca97_baseline());
+    let t = trace(ctx, benchmark, scale);
+    let base = timing(ctx, &t, FrontEndConfig::isca97_baseline());
     let mut d = CellData::new();
     d.set(
         "tagless",
-        exec_reduction_with_base(&t, &base, TargetCacheConfig::isca97_tagless_gshare()),
+        exec_reduction_with_base(ctx, &t, &base, TargetCacheConfig::isca97_tagless_gshare()),
     );
     for &assoc in &ASSOCS {
         d.set(
             format!("tagged.{assoc}"),
-            exec_reduction_with_base(&t, &base, TargetCacheConfig::isca97_tagged(assoc)),
+            exec_reduction_with_base(ctx, &t, &base, TargetCacheConfig::isca97_tagged(assoc)),
         );
     }
     d
@@ -72,7 +73,9 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
 
 /// Runs the comparison for the focus benchmarks.
 pub fn run(scale: Scale) -> Vec<Series> {
-    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| {
+        cell(&TelemetryCtx::off(), l, scale)
+    }))
 }
 
 /// Reconstructs the series from a fully-successful cell set.

@@ -9,6 +9,7 @@
 use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{trace, Scale};
+use crate::telemetry::TelemetryCtx;
 use sim_workloads::Benchmark;
 
 /// The paper's histogram cap: the last bucket is "≥ 30".
@@ -46,9 +47,9 @@ pub fn cell_labels() -> Vec<&'static str> {
 
 /// Computes one benchmark's cell. Histogram slots are stored sparsely
 /// (`s<k>` static, `d<k>` dynamic, k 1-based; absent slot = zero).
-pub fn cell(label: &str, scale: Scale) -> CellData {
+pub fn cell(ctx: &TelemetryCtx, label: &str, scale: Scale) -> CellData {
     let benchmark = crate::jobs::benchmark(label);
-    let stats = trace(benchmark, scale).stats();
+    let stats = trace(ctx, benchmark, scale).stats();
     let mut d = CellData::new();
     for (prefix, hist) in [
         ("s", stats.targets_per_jump_histogram(CAP)),
@@ -65,7 +66,9 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
 
 /// Runs the characterization for every benchmark.
 pub fn run(scale: Scale) -> Vec<Row> {
-    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| {
+        cell(&TelemetryCtx::off(), l, scale)
+    }))
 }
 
 fn hist_from_cell(d: &CellData, prefix: &str) -> Vec<u64> {

@@ -11,6 +11,7 @@
 use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{baseline_and_tc, functional, trace, Scale};
+use crate::telemetry::TelemetryCtx;
 use branch_predictors::PathFilter;
 use sim_workloads::Benchmark;
 use target_cache::harness::FrontEndConfig;
@@ -49,15 +50,15 @@ pub fn cell_labels() -> Vec<&'static str> {
 }
 
 /// Computes one benchmark's cell.
-pub fn cell(label: &str, scale: Scale) -> CellData {
+pub fn cell(ctx: &TelemetryCtx, label: &str, scale: Scale) -> CellData {
     let benchmark = crate::jobs::benchmark(label);
-    let t = trace(benchmark, scale);
+    let t = trace(ctx, benchmark, scale);
     let tc = best_tagless_for(benchmark);
-    let base = functional(&t, FrontEndConfig::isca97_baseline());
-    let with_tc = functional(&t, FrontEndConfig::isca97_with(tc));
+    let base = functional(ctx, &t, FrontEndConfig::isca97_baseline());
+    let with_tc = functional(ctx, &t, FrontEndConfig::isca97_with(tc));
     let btb_mispred = base.indirect_jump_misprediction_rate();
     let tc_mispred = with_tc.indirect_jump_misprediction_rate();
-    let (base_rep, tc_rep) = baseline_and_tc(&t, tc);
+    let (base_rep, tc_rep) = baseline_and_tc(ctx, &t, tc);
     let mut d = CellData::new();
     d.set("btb_mispred", btb_mispred);
     d.set("tc_mispred", tc_mispred);
@@ -75,7 +76,9 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
 
 /// Runs the headline comparison for the paper's two focus benchmarks.
 pub fn run(scale: Scale) -> Vec<Row> {
-    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| {
+        cell(&TelemetryCtx::off(), l, scale)
+    }))
 }
 
 /// Reconstructs rows from a fully-successful cell set.

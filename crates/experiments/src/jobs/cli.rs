@@ -25,18 +25,18 @@
 //!   `REPRO_BACKOFF_MS`, `REPRO_FAULTS` — see
 //!   [`super::pool::RunnerConfig`] and [`super::faults`].
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use sim_telemetry::CellRecord;
+use sim_telemetry::{CellRecord, ProgressEvent, ProgressWriter};
 
 use super::journal::Journal;
-use super::pool::{run_campaign, CampaignOutcome, CellTask, RunnerConfig};
+use super::pool::{run_campaign, CampaignOutcome, CellTask, ProgressSink, RunnerConfig};
 use super::registry::ExperimentDef;
 use super::{cell_id, faults, CellSet};
 use crate::runner::Scale;
-use crate::telemetry;
+use crate::telemetry::{self, TelemetryCtx};
 
 /// Where campaign journals live unless `REPRO_JOURNAL_DIR` says otherwise.
 pub const DEFAULT_JOURNAL_DIR: &str = "results/journal";
@@ -79,13 +79,21 @@ fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
         env_nonempty("REPRO_JOURNAL_DIR").unwrap_or_else(|| DEFAULT_JOURNAL_DIR.into()),
     );
 
+    // The session parses the telemetry/progress knob surface (the one
+    // env read) and must outlive the campaign so cell records land in
+    // the manifest. Every cell task carries a clone of its context.
+    let session = telemetry::session_or_exit(tool, scale);
+    let ctx = session.ctx();
+
     let tasks: Vec<CellTask> = defs
         .iter()
         .flat_map(|def| {
             let (name, cell) = (def.name, def.cell);
-            (def.labels)()
-                .into_iter()
-                .map(move |label| CellTask::new(cell_id(name, label), move || cell(label, scale)))
+            let ctx = ctx.clone();
+            (def.labels)().into_iter().map(move |label| {
+                let ctx = ctx.clone();
+                CellTask::new(cell_id(name, label), move || cell(&ctx, label, scale))
+            })
         })
         .collect();
 
@@ -108,11 +116,32 @@ fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
         }
     };
 
-    // The session must outlive the campaign so cell records land in the
-    // manifest; the fault guard must outlive it so workload truncation
+    // The fault guard must outlive the campaign so workload truncation
     // faults stay visible to trace generation on worker threads.
-    let _session = telemetry::session_or_exit(tool, scale);
     let _faults = faults::install(config.faults.clone());
+
+    let progress = session.config().progress.then(|| {
+        let dir = &session.config().progress_dir;
+        let writer = ProgressWriter::create(dir, &run_id).unwrap_or_else(|e| {
+            operator_error(&format!(
+                "cannot create progress stream {}: {e}",
+                sim_telemetry::progress_path(dir, &run_id).display()
+            ))
+        });
+        let sink = ProgressSink::new(writer, session.config().progress_tick);
+        sink.emit(&ProgressEvent::CampaignStarted {
+            run: run_id.clone(),
+            tool: tool.to_string(),
+            scale: scale.name().to_string(),
+            total: tasks.len() as u64,
+            workers: config.workers as u64,
+            unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+        });
+        sink
+    });
 
     println!(
         "run: {run_id}  scale: {}  cells: {}  workers: {}  journal: {}\n",
@@ -122,8 +151,22 @@ fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
         journal.path().display()
     );
 
-    let outcome = run_campaign(tasks, &config, &mut journal).unwrap_or_else(|e| operator_error(&e));
-    record_cells(&outcome);
+    let outcome = run_campaign(tasks, &config, &mut journal, &ctx, progress.as_ref())
+        .unwrap_or_else(|e| operator_error(&e));
+    record_cells(&ctx, &outcome);
+
+    if let Some(sink) = &progress {
+        let failed = outcome.failures().count() as u64;
+        let total = outcome.reports.len() as u64;
+        let t_ms = sink.t_ms();
+        sink.emit(&ProgressEvent::CampaignFinished {
+            done: total - failed,
+            failed,
+            total,
+            wall_ms: t_ms,
+            t_ms,
+        });
+    }
 
     for def in defs {
         let mut cells = CellSet::new();
@@ -136,12 +179,12 @@ fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
         println!("{}", (def.render)(&cells));
     }
 
-    epilogue(tool, &run_id, &outcome)
+    epilogue(tool, &run_id, scale, &journal_dir, &outcome)
 }
 
 /// Mirrors every cell outcome into the telemetry manifest.
-fn record_cells(outcome: &CampaignOutcome) {
-    if let Some(hub) = telemetry::active() {
+fn record_cells(ctx: &TelemetryCtx, outcome: &CampaignOutcome) {
+    if let Some(hub) = ctx.hub() {
         for r in &outcome.reports {
             hub.record_cell(CellRecord {
                 cell: r.cell.clone(),
@@ -157,7 +200,26 @@ fn record_cells(outcome: &CampaignOutcome) {
     }
 }
 
-fn epilogue(tool: &str, run_id: &str, outcome: &CampaignOutcome) -> i32 {
+/// The full, copy-pasteable resume command for a failed campaign: the
+/// scale is pinned (a resume from a different shell must not silently
+/// run at another scale, which the journal would reject anyway) and a
+/// non-default journal directory rides along.
+fn resume_command(tool: &str, run_id: &str, scale: Scale, journal_dir: &Path) -> String {
+    let mut cmd = format!("REPRO_SCALE={}", scale.name());
+    if journal_dir != Path::new(DEFAULT_JOURNAL_DIR) {
+        cmd.push_str(&format!(" REPRO_JOURNAL_DIR={}", journal_dir.display()));
+    }
+    cmd.push_str(&format!(" REPRO_RESUME={run_id} {tool}"));
+    cmd
+}
+
+fn epilogue(
+    tool: &str,
+    run_id: &str,
+    scale: Scale,
+    journal_dir: &Path,
+    outcome: &CampaignOutcome,
+) -> i32 {
     let total = outcome.reports.len();
     let failed = outcome.failures().count();
     let resumed = outcome.reports.iter().filter(|r| r.resumed).count();
@@ -178,6 +240,33 @@ fn epilogue(tool: &str, run_id: &str, outcome: &CampaignOutcome) -> i32 {
         let reason = r.outcome.as_ref().err().map(String::as_str).unwrap_or("?");
         eprintln!("  {}: {}", r.cell, reason.lines().next().unwrap_or(reason));
     }
-    eprintln!("re-run only the failed cells with: REPRO_RESUME={run_id} {tool}");
+    eprintln!(
+        "re-run only the failed cells with: {}",
+        resume_command(tool, run_id, scale, journal_dir)
+    );
     1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resume_command_is_complete_and_copy_pasteable() {
+        // Default journal dir: scale + resume id only.
+        let cmd = resume_command(
+            "table4",
+            "run-7",
+            Scale::Standard,
+            Path::new(DEFAULT_JOURNAL_DIR),
+        );
+        assert_eq!(cmd, "REPRO_SCALE=standard REPRO_RESUME=run-7 table4");
+        // A custom journal dir must ride along or the resume cannot find
+        // the journal.
+        let cmd = resume_command("repro_all", "r1", Scale::Quick, Path::new("/tmp/j"));
+        assert_eq!(
+            cmd,
+            "REPRO_SCALE=quick REPRO_JOURNAL_DIR=/tmp/j REPRO_RESUME=r1 repro_all"
+        );
+    }
 }

@@ -15,8 +15,12 @@
 use super::faults::FaultPlan;
 use super::journal::{Journal, JournalRecord};
 use super::CellData;
+use crate::telemetry::TelemetryCtx;
+use sim_telemetry::manifest::per_sec;
+use sim_telemetry::{eta_ms, ProgressEvent, ProgressWriter, SampleRow, Sampler};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
@@ -108,6 +112,48 @@ fn env_nonempty(name: &str) -> Option<String> {
     std::env::var(name).ok().filter(|v| !v.is_empty())
 }
 
+/// Where a campaign's live progress events go: the stream writer plus
+/// the campaign clock every event's `t_ms` is measured against. Built by
+/// the driver ([`super::cli`]) when the session's `REPRO_PROGRESS` knob
+/// is on; the writer is shared with the heartbeat sampler thread.
+pub struct ProgressSink {
+    writer: Arc<ProgressWriter>,
+    started: Instant,
+    tick: Duration,
+}
+
+impl ProgressSink {
+    /// Wraps an open stream and starts the campaign clock; `tick` is the
+    /// heartbeat/sampler period.
+    pub fn new(writer: ProgressWriter, tick: Duration) -> ProgressSink {
+        ProgressSink {
+            writer: Arc::new(writer),
+            started: Instant::now(),
+            tick,
+        }
+    }
+
+    /// Milliseconds since the campaign clock started.
+    pub fn t_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Appends one event. A write failure (full disk, yanked volume)
+    /// degrades observability, never the campaign: it is reported once
+    /// on stderr and otherwise dropped.
+    pub fn emit(&self, event: &ProgressEvent) {
+        static WARNED: Once = Once::new();
+        if let Err(e) = self.writer.emit(event) {
+            WARNED.call_once(|| {
+                eprintln!(
+                    "progress: cannot append to {}: {e}",
+                    self.writer.path().display()
+                );
+            });
+        }
+    }
+}
+
 /// The final report for one cell.
 #[derive(Clone, Debug)]
 pub struct CellReport {
@@ -185,12 +231,20 @@ struct TaskState {
 /// outcome. Cells with an `ok` record already in `journal` are restored
 /// and skipped (`resumed: true`); journaled failures are re-run.
 ///
+/// Telemetry flows through `ctx` (pass [`TelemetryCtx::off`] for an
+/// uninstrumented run). When `progress` is given, the scheduler streams
+/// `cell-started` / `cell-retry` / `cell-finished` events into it and a
+/// background [`Sampler`] adds `heartbeat` events on the sink's tick —
+/// plus, when `ctx` carries a hub, one manifest time-series row per tick.
+///
 /// Returns `Err` only for infrastructure faults (a journal write
 /// failing); cell failures are ordinary `CellReport` outcomes.
 pub fn run_campaign(
     tasks: Vec<CellTask>,
     config: &RunnerConfig,
     journal: &mut Journal,
+    ctx: &TelemetryCtx,
+    progress: Option<&ProgressSink>,
 ) -> Result<CampaignOutcome, String> {
     install_quiet_panic_hook();
     let total = tasks.len();
@@ -229,6 +283,52 @@ pub fn run_campaign(
     let mut running = 0usize;
     let (tx, rx) = mpsc::channel::<Msg>();
 
+    // Resumed cells are final outcomes too: announce them up front so a
+    // tail of the stream reconciles with the journal from the first line.
+    if let Some(sink) = progress {
+        for report in reports.iter().flatten() {
+            sink.emit(&finished_event(report, sink.t_ms()));
+        }
+    }
+
+    // Shared with the heartbeat sampler thread; the single-threaded
+    // scheduler refreshes them after handling each message.
+    let done_count = Arc::new(AtomicU64::new(completed as u64));
+    let active_count = Arc::new(AtomicU64::new(0));
+    let mut sampler = progress.map(|sink| {
+        let writer = Arc::clone(&sink.writer);
+        let done = Arc::clone(&done_count);
+        let active = Arc::clone(&active_count);
+        let hub = ctx.hub().cloned();
+        let started = sink.started;
+        let total = total as u64;
+        Sampler::every(sink.tick, move |_| {
+            let done = done.load(Ordering::Relaxed);
+            let active = active.load(Ordering::Relaxed);
+            let t_ms = started.elapsed().as_millis() as u64;
+            let _ = writer.emit(&ProgressEvent::Heartbeat {
+                active_cells: active,
+                done,
+                total,
+                eta_ms: eta_ms(done, total, t_ms),
+                t_ms,
+            });
+            if let Some(hub) = &hub {
+                hub.push_sample(SampleRow {
+                    t_ms,
+                    done,
+                    active,
+                    counters: hub
+                        .registry()
+                        .snapshot()
+                        .counters()
+                        .map(|(k, v)| (k.to_string(), v))
+                        .collect(),
+                });
+            }
+        })
+    });
+
     while completed < total {
         while running < config.workers.max(1) {
             let Some(i) = ready.pop_front() else { break };
@@ -236,9 +336,26 @@ pub fn run_campaign(
             state.attempts_used += 1;
             let attempt = state.attempts_used;
             state.live_attempt = Some(attempt);
-            spawn_attempt(&tasks[i], i, attempt, config, &tx);
+            if let Some(sink) = progress {
+                sink.emit(&if attempt == 1 {
+                    ProgressEvent::CellStarted {
+                        cell: tasks[i].id.clone(),
+                        t_ms: sink.t_ms(),
+                    }
+                } else {
+                    ProgressEvent::CellRetry {
+                        cell: tasks[i].id.clone(),
+                        attempt: u64::from(attempt),
+                        reason: first_line(&state.last_error),
+                        t_ms: sink.t_ms(),
+                    }
+                });
+            }
+            spawn_attempt(&tasks[i], i, attempt, config, ctx, &tx);
             running += 1;
         }
+        done_count.store(completed as u64, Ordering::Relaxed);
+        active_count.store(running as u64, Ordering::Relaxed);
 
         let msg = rx
             .recv()
@@ -273,6 +390,9 @@ pub fn run_campaign(
                             instructions: state.instructions,
                         };
                         journal_report(journal, &report)?;
+                        if let Some(sink) = progress {
+                            sink.emit(&finished_event(&report, sink.t_ms()));
+                        }
                         reports[task] = Some(report);
                     }
                     Err(reason) => {
@@ -286,6 +406,7 @@ pub fn run_campaign(
                             &tx,
                             &mut reports,
                             &mut completed,
+                            progress,
                         )?;
                     }
                 }
@@ -312,6 +433,7 @@ pub fn run_campaign(
                     &tx,
                     &mut reports,
                     &mut completed,
+                    progress,
                 )?;
             }
             Msg::Ready { task } => {
@@ -322,9 +444,54 @@ pub fn run_campaign(
         }
     }
 
+    // Stop the sampler *before* the closing heartbeat so the final
+    // `done == total` beat is the stream's last one.
+    if let Some(s) = sampler.as_mut() {
+        s.stop();
+    }
+    if let Some(sink) = progress {
+        let t_ms = sink.t_ms();
+        sink.emit(&ProgressEvent::Heartbeat {
+            active_cells: 0,
+            done: total as u64,
+            total: total as u64,
+            eta_ms: eta_ms(total as u64, total as u64, t_ms),
+            t_ms,
+        });
+    }
+
     Ok(CampaignOutcome {
         reports: reports.into_iter().map(Option::unwrap).collect(),
     })
+}
+
+/// The `cell-finished` event for a final report (fresh or resumed).
+fn finished_event(report: &CellReport, t_ms: u64) -> ProgressEvent {
+    let outcome = if report.resumed {
+        "resumed"
+    } else if report.outcome.is_ok() {
+        "ok"
+    } else {
+        "err"
+    };
+    ProgressEvent::CellFinished {
+        cell: report.cell.clone(),
+        outcome: outcome.to_string(),
+        attempts: u64::from(report.attempts),
+        wall_ms: report.wall_ms,
+        instructions: report.instructions,
+        instr_per_sec: per_sec(
+            report.instructions,
+            report.wall_ms.saturating_mul(1_000_000),
+        ),
+        reason: report.outcome.as_ref().err().map(|r| first_line(r)),
+        t_ms,
+    }
+}
+
+/// The first line of a (possibly multi-line) failure reason.
+fn first_line(reason: &str) -> String {
+    reason.lines().next().unwrap_or(reason).to_string()
 }
 
 /// Handles a failed attempt: schedules a backoff retry if attempts
@@ -339,6 +506,7 @@ fn retry_or_fail(
     tx: &mpsc::Sender<Msg>,
     reports: &mut [Option<CellReport>],
     completed: &mut usize,
+    progress: Option<&ProgressSink>,
 ) -> Result<(), String> {
     let state = &mut states[task];
     if state.attempts_used < config.attempts {
@@ -364,6 +532,9 @@ fn retry_or_fail(
         instructions: state.instructions,
     };
     journal_report(journal, &report)?;
+    if let Some(sink) = progress {
+        sink.emit(&finished_event(&report, sink.t_ms()));
+    }
     reports[task] = Some(report);
     Ok(())
 }
@@ -394,11 +565,13 @@ fn spawn_attempt(
     index: usize,
     attempt: u32,
     config: &RunnerConfig,
+    ctx: &TelemetryCtx,
     tx: &mpsc::Sender<Msg>,
 ) {
     let id = task.id.clone();
     let work = Arc::clone(&task.work);
     let faults = config.faults.clone();
+    let hub = ctx.hub().cloned();
     let tx_work = tx.clone();
     std::thread::Builder::new()
         .name(format!("repro-cell-{id}#{attempt}"))
@@ -413,7 +586,8 @@ fn spawn_attempt(
                 // show e.g. `cell:table4;workload-gen`. Keyed by the
                 // experiment, not the full cell id, to bound cardinality.
                 let experiment = id.split('/').next().unwrap_or(&id);
-                let _span = crate::telemetry::active()
+                let _span = hub
+                    .as_ref()
                     .map(|hub| hub.spans().span(&format!("cell:{experiment}")));
                 faults.apply(&id, attempt);
                 work()
@@ -508,7 +682,14 @@ mod tests {
             value_task("t/boom", 2.0),
             value_task("t/c", 3.0),
         ];
-        let outcome = run_campaign(tasks, &fast("panic:t/boom"), &mut journal).unwrap();
+        let outcome = run_campaign(
+            tasks,
+            &fast("panic:t/boom"),
+            &mut journal,
+            &TelemetryCtx::off(),
+            None,
+        )
+        .unwrap();
 
         assert_eq!(outcome.reports.len(), 3);
         assert!(!outcome.all_ok());
@@ -533,6 +714,8 @@ mod tests {
             vec![value_task("t/x", 7.0)],
             &fast("flaky:t/x:2"),
             &mut journal,
+            &TelemetryCtx::off(),
+            None,
         )
         .unwrap();
         let report = outcome.report("t/x").unwrap();
@@ -552,7 +735,14 @@ mod tests {
             deadline: Duration::from_millis(25),
             ..fast("delay:t/slow:60000")
         };
-        let outcome = run_campaign(vec![value_task("t/slow", 1.0)], &config, &mut journal).unwrap();
+        let outcome = run_campaign(
+            vec![value_task("t/slow", 1.0)],
+            &config,
+            &mut journal,
+            &TelemetryCtx::off(),
+            None,
+        )
+        .unwrap();
         let report = outcome.report("t/slow").unwrap();
         let reason = report.outcome.as_ref().unwrap_err();
         assert!(reason.contains("deadline"), "{reason}");
@@ -572,6 +762,8 @@ mod tests {
             vec![value_task("t/a", 5.0), value_task("t/b", 6.0)],
             &fast("panic:t/b"),
             &mut journal,
+            &TelemetryCtx::off(),
+            None,
         )
         .unwrap();
         assert!(!first.all_ok());
@@ -590,6 +782,8 @@ mod tests {
             vec![task_a, value_task("t/b", 6.0)],
             &fast(""),
             &mut journal,
+            &TelemetryCtx::off(),
+            None,
         )
         .unwrap();
 
@@ -630,7 +824,8 @@ mod tests {
                 })
             })
             .collect();
-        let outcome = run_campaign(tasks, &config, &mut journal).unwrap();
+        let outcome =
+            run_campaign(tasks, &config, &mut journal, &TelemetryCtx::off(), None).unwrap();
         assert!(outcome.all_ok());
         assert_eq!(outcome.reports.len(), 8);
         // Reports stay in task order regardless of completion order.
@@ -638,6 +833,120 @@ mod tests {
             assert_eq!(r.cell, format!("t/c{i}"));
             assert_eq!(r.outcome.as_ref().unwrap().get("i"), Some(i as f64));
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_stream_reconciles_with_outcomes() {
+        use std::collections::BTreeSet;
+
+        let dir = scratch("progress");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = Journal::create(&dir, "r", "t", Scale::Quick, 3).unwrap();
+        let writer = ProgressWriter::create(&dir, "r").unwrap();
+        let sink = ProgressSink::new(writer, Duration::from_millis(5));
+        let tasks = vec![
+            value_task("t/a", 1.0),
+            value_task("t/boom", 2.0),
+            value_task("t/c", 3.0),
+        ];
+        let config = RunnerConfig {
+            workers: 2,
+            ..fast("flaky:t/boom:1")
+        };
+        let outcome = run_campaign(
+            tasks,
+            &config,
+            &mut journal,
+            &TelemetryCtx::off(),
+            Some(&sink),
+        )
+        .unwrap();
+        assert!(outcome.all_ok());
+
+        let path = sim_telemetry::progress_path(&dir, "r");
+        let stream = sim_telemetry::read_events(&path).unwrap();
+        assert!(!stream.torn_tail);
+        let mut started = BTreeSet::new();
+        let mut finished = BTreeSet::new();
+        let mut retried = BTreeSet::new();
+        let mut beats: Vec<(u64, u64)> = Vec::new();
+        for e in &stream.events {
+            match e {
+                ProgressEvent::CellStarted { cell, .. } => {
+                    assert!(started.insert(cell.clone()), "{cell} started twice");
+                }
+                ProgressEvent::CellFinished { cell, outcome, .. } => {
+                    assert_eq!(outcome, "ok");
+                    assert!(finished.insert(cell.clone()), "{cell} finished twice");
+                }
+                ProgressEvent::CellRetry { cell, attempt, .. } => {
+                    assert!(*attempt >= 2);
+                    retried.insert(cell.clone());
+                }
+                ProgressEvent::Heartbeat { done, t_ms, .. } => beats.push((*t_ms, *done)),
+                other => panic!("pool never emits {:?}", other.name()),
+            }
+        }
+        // Every scheduled cell appears exactly once on each side and the
+        // stream reconciles with the journal.
+        let ids: BTreeSet<String> = ["t/a", "t/boom", "t/c"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(started, ids);
+        assert_eq!(finished, ids);
+        assert!(
+            retried.contains("t/boom"),
+            "injected flake must surface as a retry"
+        );
+        assert_eq!(journal.records().count(), 3);
+        // Heartbeats come from one thread (sampler, then the scheduler's
+        // closing beat): time and completion are monotone, and the final
+        // beat reports a finished campaign.
+        assert!(!beats.is_empty(), "closing heartbeat is unconditional");
+        assert!(beats
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(beats.last().unwrap().1, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_cells_are_announced_in_the_stream() {
+        let dir = scratch("progress-resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = Journal::create(&dir, "r", "t", Scale::Quick, 1).unwrap();
+        let first = run_campaign(
+            vec![value_task("t/a", 5.0)],
+            &fast(""),
+            &mut journal,
+            &TelemetryCtx::off(),
+            None,
+        )
+        .unwrap();
+        assert!(first.all_ok());
+        drop(journal);
+
+        let mut journal = Journal::resume(&dir, "r", "t", Scale::Quick).unwrap();
+        let writer = ProgressWriter::create(&dir, "r2").unwrap();
+        let sink = ProgressSink::new(writer, Duration::from_millis(1000));
+        let second = run_campaign(
+            vec![value_task("t/a", 5.0)],
+            &fast(""),
+            &mut journal,
+            &TelemetryCtx::off(),
+            Some(&sink),
+        )
+        .unwrap();
+        assert!(second.report("t/a").unwrap().resumed);
+
+        let stream = sim_telemetry::read_events(&sim_telemetry::progress_path(&dir, "r2")).unwrap();
+        let resumed = stream.events.iter().any(|e| {
+            matches!(e, ProgressEvent::CellFinished { cell, outcome, attempts, .. }
+                if cell == "t/a" && outcome == "resumed" && *attempts == 0)
+        });
+        assert!(resumed, "restored cell must appear as outcome=resumed");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

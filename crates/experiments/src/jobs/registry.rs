@@ -11,6 +11,7 @@
 
 use super::{CellData, CellSet};
 use crate::runner::Scale;
+use crate::telemetry::TelemetryCtx;
 
 /// One experiment, as the campaign driver sees it.
 #[derive(Clone, Copy)]
@@ -22,14 +23,16 @@ pub struct ExperimentDef {
     pub title: &'static str,
     /// Enumerates the benchmark labels this experiment's cells run over.
     pub labels: fn() -> Vec<&'static str>,
-    /// Computes one benchmark's cell at a scale.
-    pub cell: fn(&str, Scale) -> CellData,
+    /// Computes one benchmark's cell at a scale, recording telemetry
+    /// through the session context the campaign driver threads in.
+    pub cell: fn(&TelemetryCtx, &str, Scale) -> CellData,
     /// Renders a (possibly partial) cell set as the experiment's output.
     pub render: fn(&CellSet) -> String,
 }
 
-/// Adapts the scale-less cost model to the uniform cell signature.
-fn costs_cell(label: &str, _scale: Scale) -> CellData {
+/// Adapts the scale-less, simulation-free cost model to the uniform
+/// cell signature.
+fn costs_cell(_ctx: &TelemetryCtx, label: &str, _scale: Scale) -> CellData {
     crate::costs::cell(label)
 }
 
@@ -214,7 +217,10 @@ mod tests {
         let def = find("costs").unwrap();
         let mut cells = CellSet::new();
         for label in (def.labels)() {
-            cells.insert(label, Ok((def.cell)(label, Scale::Quick)));
+            cells.insert(
+                label,
+                Ok((def.cell)(&TelemetryCtx::off(), label, Scale::Quick)),
+            );
         }
         let out = (def.render)(&cells);
         assert!(out.contains("tagless 512"), "{out}");

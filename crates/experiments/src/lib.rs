@@ -46,6 +46,7 @@
 //! the simulators' own statistics, and the `telemetry-report` binary shows
 //! the top mispredicting indirect branches per benchmark.
 
+pub mod bench_report;
 pub mod costs;
 pub mod extension_cascade;
 pub mod extension_hysteresis;
@@ -69,6 +70,7 @@ pub mod table7;
 pub mod table8;
 pub mod table9;
 pub mod telemetry;
+pub mod watch;
 
 pub use report::TextTable;
 pub use runner::Scale;

@@ -12,6 +12,7 @@
 use crate::jobs::{CellData, CellSet};
 use crate::report::TextTable;
 use crate::runner::{trace, Scale};
+use crate::telemetry::TelemetryCtx;
 use sim_analysis::{analyze_program, check_trace, BenchReport, ConformanceReport, Findings};
 use sim_workloads::Benchmark;
 
@@ -54,10 +55,15 @@ fn analyze_common(
 /// the shared [`trace`] entry point (so telemetry attribution, the
 /// trace store, and `REPRO_FAULTS` truncation apply, and a truncated
 /// trace surfaces as an `SL011` finding).
-pub fn analyze(bench: Benchmark, scale: Scale, conformance: bool) -> LintOutcome {
+pub fn analyze(
+    ctx: &TelemetryCtx,
+    bench: Benchmark,
+    scale: Scale,
+    conformance: bool,
+) -> LintOutcome {
     if conformance {
         let budget = scale.budget(bench);
-        let t = trace(bench, scale);
+        let t = trace(ctx, bench, scale);
         analyze_common(bench, Some((&t, Some(budget))))
     } else {
         analyze_common(bench, None)
@@ -83,9 +89,9 @@ pub fn cell_labels() -> Vec<&'static str> {
 }
 
 /// Computes one benchmark's cell: static pass plus conformance replay.
-pub fn cell(label: &str, scale: Scale) -> CellData {
+pub fn cell(ctx: &TelemetryCtx, label: &str, scale: Scale) -> CellData {
     let bench = crate::jobs::benchmark(label);
-    let outcome = analyze(bench, scale, true);
+    let outcome = analyze(ctx, bench, scale, true);
     let mut d = CellData::new();
     d.set("errors", outcome.report.findings.errors() as f64);
     d.set("warnings", outcome.report.findings.warnings() as f64);
@@ -107,7 +113,7 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
 
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> CellSet {
-    CellSet::compute(&cell_labels(), |l| cell(l, scale))
+    CellSet::compute(&cell_labels(), |l| cell(&TelemetryCtx::off(), l, scale))
 }
 
 /// Renders a (possibly partial) cell set as the static ground-truth

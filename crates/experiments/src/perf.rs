@@ -23,7 +23,7 @@
 
 use crate::jobs::CellSet;
 use crate::runner::{self, Scale};
-use crate::telemetry as hub;
+use crate::telemetry::{self as hub, TelemetryCtx};
 use sim_telemetry::json::{obj, parse, Json};
 use sim_telemetry::manifest::per_sec;
 use sim_telemetry::SpanStat;
@@ -82,30 +82,36 @@ impl Scenario {
 ///
 /// Traces for the replay scenarios are generated once up front and
 /// shared, so their samples measure prediction, not generation.
-pub fn scenario_matrix(scale: Scale) -> Vec<Scenario> {
+pub fn scenario_matrix(ctx: &TelemetryCtx, scale: Scale) -> Vec<Scenario> {
     use target_cache::harness::FrontEndConfig;
     use target_cache::TargetCacheConfig;
 
     // Each scenario re-declares its benchmark for manifest run
     // attribution (shared traces mean generation happens up front).
-    let claim = |bench: Benchmark| {
-        if let Some(hub) = hub::active() {
-            hub.set_benchmark(bench.name());
+    // Scenario closures are 'static, so each captures its own clone of
+    // the (cheap, Arc-backed) context.
+    let claim = {
+        let ctx = ctx.clone();
+        move |bench: Benchmark| {
+            if let Some(hub) = ctx.hub() {
+                hub.set_benchmark(bench.name());
+            }
         }
     };
     let mut scenarios = Vec::new();
     for bench in Benchmark::ALL {
         let budget = scale.budget(bench);
+        let ctx = ctx.clone();
+        let claim = claim.clone();
         scenarios.push(Scenario::new(format!("trace-gen/{bench}"), move || {
             claim(bench);
-            let hub = hub::active();
-            let _g = hub.as_ref().map(|h| h.spans().span("workload-gen"));
+            let _g = ctx.hub().map(|h| h.spans().span("workload-gen"));
             bench.workload().generate(budget).len() as u64
         }));
     }
     let traces: BTreeMap<&'static str, Rc<sim_isa::VecTrace>> = Benchmark::ALL
         .iter()
-        .map(|&b| (b.name(), Rc::new(runner::trace(b, scale))))
+        .map(|&b| (b.name(), Rc::new(runner::trace(ctx, b, scale))))
         .collect();
     let meta_for = move |bench: Benchmark| sim_trace::TraceMeta {
         benchmark: bench.name().to_string(),
@@ -115,6 +121,7 @@ pub fn scenario_matrix(scale: Scale) -> Vec<Scenario> {
     };
     for bench in Benchmark::ALL {
         let trace = Rc::clone(&traces[bench.name()]);
+        let claim = claim.clone();
         scenarios.push(Scenario::new(format!("trace-encode/{bench}"), move || {
             claim(bench);
             let bytes =
@@ -128,6 +135,7 @@ pub fn scenario_matrix(scale: Scale) -> Vec<Scenario> {
         let trace = Rc::clone(&traces[bench.name()]);
         let encoded: Rc<Vec<u8>> =
             Rc::new(sim_trace::encode_to_vec(meta_for(bench), &trace).expect("in-memory encode"));
+        let claim = claim.clone();
         scenarios.push(Scenario::new(format!("trace-decode/{bench}"), move || {
             claim(bench);
             set_scenario_bytes(encoded.len() as u64);
@@ -139,20 +147,25 @@ pub fn scenario_matrix(scale: Scale) -> Vec<Scenario> {
     }
     for bench in Benchmark::ALL {
         let trace = Rc::clone(&traces[bench.name()]);
+        let ctx = ctx.clone();
+        let claim = claim.clone();
         scenarios.push(Scenario::new(
             format!("functional-btb/{bench}"),
             move || {
                 claim(bench);
-                runner::functional(&trace, FrontEndConfig::isca97_baseline());
+                runner::functional(&ctx, &trace, FrontEndConfig::isca97_baseline());
                 trace.len() as u64
             },
         ));
     }
     for bench in Benchmark::ALL {
         let trace = Rc::clone(&traces[bench.name()]);
+        let ctx = ctx.clone();
+        let claim = claim.clone();
         scenarios.push(Scenario::new(format!("functional-tc/{bench}"), move || {
             claim(bench);
             runner::functional(
+                &ctx,
                 &trace,
                 FrontEndConfig::isca97_with(TargetCacheConfig::isca97_tagless_gshare()),
             );
@@ -161,17 +174,20 @@ pub fn scenario_matrix(scale: Scale) -> Vec<Scenario> {
     }
     for bench in [Benchmark::Perl, Benchmark::Gcc] {
         let trace = Rc::clone(&traces[bench.name()]);
+        let ctx = ctx.clone();
+        let claim = claim.clone();
         scenarios.push(Scenario::new(format!("timing/{bench}"), move || {
             claim(bench);
-            runner::timing(&trace, FrontEndConfig::isca97_baseline()).instructions
+            runner::timing(&ctx, &trace, FrontEndConfig::isca97_baseline()).instructions
         }));
     }
-    scenarios.push(Scenario::new("e2e/table1", || {
+    let e2e_ctx = ctx.clone();
+    scenarios.push(Scenario::new("e2e/table1", move || {
         let def = crate::jobs::registry::find("table1").expect("table1 is registered");
         let _ = hub::take_instructions();
         let mut cells = CellSet::new();
         for label in (def.labels)() {
-            cells.insert(label, Ok((def.cell)(label, Scale::Quick)));
+            cells.insert(label, Ok((def.cell)(&e2e_ctx, label, Scale::Quick)));
         }
         let _ = (def.render)(&cells);
         hub::take_instructions()
@@ -413,14 +429,18 @@ impl BenchReport {
 /// Measures one scenario: warmup iterations, then `iters` timed samples
 /// (each multiplied by the synthetic slowdown), with per-phase span
 /// deltas captured across the measured window.
-pub fn measure(config: &BenchConfig, scenario: &mut Scenario) -> ScenarioResult {
+pub fn measure(
+    ctx: &TelemetryCtx,
+    config: &BenchConfig,
+    scenario: &mut Scenario,
+) -> ScenarioResult {
     let _ = hub::take_instructions();
     for _ in 0..config.warmup {
         (scenario.run)();
         let _ = hub::take_instructions();
     }
     let _ = take_scenario_bytes();
-    let span_base = span_snapshot();
+    let span_base = span_snapshot(ctx);
     let mut samples = Vec::new();
     let mut instructions = 0;
     for _ in 0..config.iters.max(1) {
@@ -438,13 +458,14 @@ pub fn measure(config: &BenchConfig, scenario: &mut Scenario) -> ScenarioResult 
         max_ns: *samples.last().expect("at least one sample"),
         instructions,
         bytes: take_scenario_bytes(),
-        phases: span_delta(&span_base, &span_snapshot()),
+        phases: span_delta(&span_base, &span_snapshot(ctx)),
     }
 }
 
 /// Runs every scenario through [`measure`], invoking `on_result` after
 /// each so callers can stream progress.
 pub fn run_matrix(
+    ctx: &TelemetryCtx,
     config: &BenchConfig,
     mut scenarios: Vec<Scenario>,
     mut on_result: impl FnMut(&ScenarioResult),
@@ -452,15 +473,15 @@ pub fn run_matrix(
     scenarios
         .iter_mut()
         .map(|s| {
-            let result = measure(config, s);
+            let result = measure(ctx, config, s);
             on_result(&result);
             result
         })
         .collect()
 }
 
-fn span_snapshot() -> BTreeMap<String, (u64, u64)> {
-    match hub::active() {
+fn span_snapshot(ctx: &TelemetryCtx) -> BTreeMap<String, (u64, u64)> {
+    match ctx.hub() {
         Some(h) => h
             .spans()
             .snapshot()
@@ -650,7 +671,9 @@ mod tests {
                 50_000
             })
         };
+        let ctx = TelemetryCtx::off();
         let honest = measure(
+            &ctx,
             &BenchConfig {
                 scale: Scale::Quick,
                 warmup: 0,
@@ -660,6 +683,7 @@ mod tests {
             &mut spin(),
         );
         let slowed = measure(
+            &ctx,
             &BenchConfig {
                 scale: Scale::Quick,
                 warmup: 0,
@@ -709,7 +733,7 @@ mod tests {
 
     #[test]
     fn scenario_matrix_covers_every_benchmark_and_layer() {
-        let names: Vec<String> = scenario_matrix(Scale::Quick)
+        let names: Vec<String> = scenario_matrix(&TelemetryCtx::off(), Scale::Quick)
             .into_iter()
             .map(|s| s.name)
             .collect();
@@ -733,19 +757,20 @@ mod tests {
             iters: 1,
             slowdown: 1.0,
         };
-        let mut matrix = scenario_matrix(Scale::Quick);
+        let ctx = TelemetryCtx::off();
+        let mut matrix = scenario_matrix(&ctx, Scale::Quick);
         let encode = matrix
             .iter_mut()
             .find(|s| s.name == "trace-encode/perl")
             .unwrap();
-        let encoded = measure(&config, encode);
+        let encoded = measure(&ctx, &config, encode);
         assert!(encoded.bytes > 0, "encode reports the .strc image size");
         assert!(encoded.bytes_per_instr() > 0.0);
         let decode = matrix
             .iter_mut()
             .find(|s| s.name == "trace-decode/perl")
             .unwrap();
-        let decoded = measure(&config, decode);
+        let decoded = measure(&ctx, &config, decode);
         assert_eq!(decoded.instructions, encoded.instructions);
         assert_eq!(decoded.bytes, encoded.bytes);
     }

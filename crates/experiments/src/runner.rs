@@ -1,10 +1,11 @@
 //! Shared machinery: trace budgets, functional and timing runs.
 //!
-//! Every entry point here checks for an active [telemetry
-//! hub](crate::telemetry) and, when one is installed, records spans,
-//! per-run counters, and mispredict events without changing its results.
+//! Every entry point takes an explicit [`TelemetryCtx`] and, when it
+//! carries a hub, records spans, per-run counters, and mispredict
+//! events without changing its results. A [`TelemetryCtx::off`] context
+//! runs everything uninstrumented.
 
-use crate::telemetry as hub;
+use crate::telemetry::{self as hub, TelemetryCtx};
 use branch_predictors::BranchClassStats;
 use hps_uarch::{simulate, simulate_instrumented, MachineConfig, SimReport};
 use sim_isa::VecTrace;
@@ -144,30 +145,30 @@ fn store_key(bench: Benchmark, scale: Scale) -> TraceKey {
 /// with the store's diagnosis — under the campaign runner that is a
 /// retryable cell failure, and the store has already deleted the bad
 /// file so the retry regenerates it.
-pub fn trace(bench: Benchmark, scale: Scale) -> VecTrace {
+pub fn trace(ctx: &TelemetryCtx, bench: Benchmark, scale: Scale) -> VecTrace {
     let budget = scale.budget(bench);
-    let hub = hub::active();
-    if let Some(hub) = &hub {
+    let hub = ctx.hub();
+    if let Some(hub) = hub {
         hub.set_benchmark(bench.name());
     }
     if let Some(fraction) = crate::jobs::faults::active_truncation(bench.name()) {
-        let _g = hub.as_ref().map(|h| h.spans().span("workload-gen"));
+        let _g = hub.map(|h| h.spans().span("workload-gen"));
         return bench.workload().generate_truncated(budget, fraction);
     }
     let store = trace_store_or_exit();
     let key = store_key(bench, scale);
     let corrupt = crate::jobs::faults::take_store_truncation(bench.name());
     let generate = || {
-        let _g = hub.as_ref().map(|h| h.spans().span("workload-gen"));
+        let _g = hub.map(|h| h.spans().span("workload-gen"));
         bench.workload().generate(budget)
     };
     let outcome = {
-        let _g = hub.as_ref().map(|h| h.spans().span("trace-store"));
+        let _g = hub.map(|h| h.spans().span("trace-store"));
         store.load_or_record_with(&key, generate, corrupt)
     };
     match outcome {
         Ok(out) => {
-            if let Some(hub) = hub::active() {
+            if let Some(hub) = hub {
                 let metrics = hub.registry();
                 metrics
                     .counter(if out.hit {
@@ -197,12 +198,16 @@ pub fn trace(bench: Benchmark, scale: Scale) -> VecTrace {
 }
 
 /// Runs the functional (accuracy-only) front end over a trace.
-pub fn functional(trace: &VecTrace, frontend: FrontEndConfig) -> BranchClassStats {
+pub fn functional(
+    ctx: &TelemetryCtx,
+    trace: &VecTrace,
+    frontend: FrontEndConfig,
+) -> BranchClassStats {
     // Credit the replay to this thread's simulated-instruction account
     // (the jobs runner snapshots it per cell; telemetry or not).
     hub::add_instructions(trace.len() as u64);
     let mut h = PredictionHarness::new(frontend);
-    if let Some(hub) = hub::active() {
+    if let Some(hub) = ctx.hub() {
         h.attach_telemetry(hub.harness_telemetry());
         let started = Instant::now();
         {
@@ -224,9 +229,9 @@ pub fn functional(trace: &VecTrace, frontend: FrontEndConfig) -> BranchClassStat
 }
 
 /// Runs the timing model over a trace.
-pub fn timing(trace: &VecTrace, frontend: FrontEndConfig) -> SimReport {
+pub fn timing(ctx: &TelemetryCtx, trace: &VecTrace, frontend: FrontEndConfig) -> SimReport {
     let machine = MachineConfig::isca97(frontend);
-    let report = if let Some(hub) = hub::active() {
+    let report = if let Some(hub) = ctx.hub() {
         let started = Instant::now();
         let report = {
             let _g = hub.spans().span("uarch-sim");
@@ -250,17 +255,21 @@ pub fn timing(trace: &VecTrace, frontend: FrontEndConfig) -> SimReport {
 
 /// The paper's headline derived metric: execution-time reduction of a
 /// target-cache configuration over the BTB-only baseline, on one trace.
-pub fn exec_time_reduction(trace: &VecTrace, tc: TargetCacheConfig) -> f64 {
-    let base = timing(trace, FrontEndConfig::isca97_baseline());
-    let with_tc = timing(trace, FrontEndConfig::isca97_with(tc));
+pub fn exec_time_reduction(ctx: &TelemetryCtx, trace: &VecTrace, tc: TargetCacheConfig) -> f64 {
+    let base = timing(ctx, trace, FrontEndConfig::isca97_baseline());
+    let with_tc = timing(ctx, trace, FrontEndConfig::isca97_with(tc));
     with_tc.exec_time_reduction_vs(&base)
 }
 
 /// Both runs at once, when the caller wants the reports too.
-pub fn baseline_and_tc(trace: &VecTrace, tc: TargetCacheConfig) -> (SimReport, SimReport) {
+pub fn baseline_and_tc(
+    ctx: &TelemetryCtx,
+    trace: &VecTrace,
+    tc: TargetCacheConfig,
+) -> (SimReport, SimReport) {
     (
-        timing(trace, FrontEndConfig::isca97_baseline()),
-        timing(trace, FrontEndConfig::isca97_with(tc)),
+        timing(ctx, trace, FrontEndConfig::isca97_baseline()),
+        timing(ctx, trace, FrontEndConfig::isca97_with(tc)),
     )
 }
 
@@ -280,16 +289,18 @@ mod tests {
     fn functional_and_timing_agree_on_mispredictions() {
         // The timing model embeds the same harness, so per-class stats must
         // be identical.
-        let t = trace(Benchmark::M88ksim, Scale::Quick);
-        let f = functional(&t, FrontEndConfig::isca97_baseline());
-        let r = timing(&t, FrontEndConfig::isca97_baseline());
+        let ctx = TelemetryCtx::off();
+        let t = trace(&ctx, Benchmark::M88ksim, Scale::Quick);
+        let f = functional(&ctx, &t, FrontEndConfig::isca97_baseline());
+        let r = timing(&ctx, &t, FrontEndConfig::isca97_baseline());
         assert_eq!(&f, &r.branch_stats);
     }
 
     #[test]
     fn target_cache_reduces_execution_time_on_perl() {
-        let t = trace(Benchmark::Perl, Scale::Quick);
-        let red = exec_time_reduction(&t, TargetCacheConfig::isca97_tagless_gshare());
+        let ctx = TelemetryCtx::off();
+        let t = trace(&ctx, Benchmark::Perl, Scale::Quick);
+        let red = exec_time_reduction(&ctx, &t, TargetCacheConfig::isca97_tagless_gshare());
         assert!(red > 0.0, "target cache must speed up perl, got {red}");
     }
 }
@@ -351,6 +362,11 @@ impl PathScheme {
 }
 
 /// Execution-time reduction against a precomputed baseline report.
-pub fn exec_reduction_with_base(trace: &VecTrace, base: &SimReport, tc: TargetCacheConfig) -> f64 {
-    timing(trace, FrontEndConfig::isca97_with(tc)).exec_time_reduction_vs(base)
+pub fn exec_reduction_with_base(
+    ctx: &TelemetryCtx,
+    trace: &VecTrace,
+    base: &SimReport,
+    tc: TargetCacheConfig,
+) -> f64 {
+    timing(ctx, trace, FrontEndConfig::isca97_with(tc)).exec_time_reduction_vs(base)
 }

@@ -9,6 +9,7 @@
 use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{functional, trace, Scale};
+use crate::telemetry::TelemetryCtx;
 use branch_predictors::{BtbConfig, UpdatePolicy};
 use sim_workloads::Benchmark;
 use target_cache::harness::FrontEndConfig;
@@ -37,11 +38,12 @@ pub fn cell_labels() -> Vec<&'static str> {
 }
 
 /// Computes one benchmark's cell.
-pub fn cell(label: &str, scale: Scale) -> CellData {
+pub fn cell(ctx: &TelemetryCtx, label: &str, scale: Scale) -> CellData {
     let benchmark = crate::jobs::benchmark(label);
-    let t = trace(benchmark, scale);
+    let t = trace(ctx, benchmark, scale);
     let rate = |policy| {
         functional(
+            ctx,
             &t,
             FrontEndConfig::isca97_baseline().with_btb(BtbConfig::new(256, 4, policy)),
         )
@@ -55,7 +57,9 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
 
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Row> {
-    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| {
+        cell(&TelemetryCtx::off(), l, scale)
+    }))
 }
 
 /// Reconstructs rows from a fully-successful cell set.

@@ -12,6 +12,7 @@
 use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{functional, trace, Scale};
+use crate::telemetry::TelemetryCtx;
 use sim_workloads::Benchmark;
 use target_cache::harness::FrontEndConfig;
 use target_cache::{HistorySource, IndexScheme, Organization, TargetCacheConfig};
@@ -45,9 +46,9 @@ pub fn cell_labels() -> Vec<&'static str> {
 
 /// Computes one benchmark's cell: every scheme's misprediction rate on
 /// that benchmark's trace, keyed by scheme label.
-pub fn cell(label: &str, scale: Scale) -> CellData {
+pub fn cell(ctx: &TelemetryCtx, label: &str, scale: Scale) -> CellData {
     let benchmark = crate::jobs::benchmark(label);
-    let t = trace(benchmark, scale);
+    let t = trace(ctx, benchmark, scale);
     let mut d = CellData::new();
     for scheme in schemes() {
         let config = TargetCacheConfig::new(
@@ -59,7 +60,8 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
         );
         d.set(
             scheme.label(9),
-            functional(&t, FrontEndConfig::isca97_with(config)).indirect_jump_misprediction_rate(),
+            functional(ctx, &t, FrontEndConfig::isca97_with(config))
+                .indirect_jump_misprediction_rate(),
         );
     }
     d
@@ -68,7 +70,9 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
 /// Runs the experiment: 512-entry tagless caches, 9 bits of pattern
 /// history, one column per focus benchmark.
 pub fn run(scale: Scale) -> Vec<Row> {
-    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| {
+        cell(&TelemetryCtx::off(), l, scale)
+    }))
 }
 
 /// Reconstructs rows from a fully-successful cell set.

@@ -12,6 +12,7 @@
 use crate::jobs::{CellData, CellSet};
 use crate::report::{pct, TextTable};
 use crate::runner::{exec_reduction_with_base, timing, trace, PathScheme, Scale};
+use crate::telemetry::TelemetryCtx;
 use sim_workloads::Benchmark;
 use target_cache::harness::FrontEndConfig;
 use target_cache::{Organization, TaggedIndexScheme, TargetCacheConfig};
@@ -42,10 +43,10 @@ pub fn cell_labels() -> Vec<&'static str> {
 
 /// Computes one benchmark's cell: execution-time reductions for every
 /// (associativity × path scheme) combination, keyed `a<assoc>.<scheme>`.
-pub fn cell(label: &str, scale: Scale) -> CellData {
+pub fn cell(ctx: &TelemetryCtx, label: &str, scale: Scale) -> CellData {
     let benchmark = crate::jobs::benchmark(label);
-    let t = trace(benchmark, scale);
-    let base = timing(&t, FrontEndConfig::isca97_baseline());
+    let t = trace(ctx, benchmark, scale);
+    let base = timing(ctx, &t, FrontEndConfig::isca97_baseline());
     let mut d = CellData::new();
     for &assoc in &ASSOCS {
         for scheme in PathScheme::all() {
@@ -59,7 +60,7 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
             );
             d.set(
                 key(assoc, &scheme),
-                exec_reduction_with_base(&t, &base, config),
+                exec_reduction_with_base(ctx, &t, &base, config),
             );
         }
     }
@@ -68,7 +69,9 @@ pub fn cell(label: &str, scale: Scale) -> CellData {
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Row> {
-    rows_from_cells(&CellSet::compute(&cell_labels(), |l| cell(l, scale)))
+    rows_from_cells(&CellSet::compute(&cell_labels(), |l| {
+        cell(&TelemetryCtx::off(), l, scale)
+    }))
 }
 
 /// Reconstructs rows from a fully-successful cell set.

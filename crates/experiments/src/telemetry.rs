@@ -1,41 +1,52 @@
-//! The experiments-side telemetry hub: opt-in observability for every
-//! table binary.
+//! The experiments-side telemetry context: opt-in observability for
+//! every table binary.
 //!
 //! A table binary opts in by holding a [`Session`] for the duration of
-//! `main`:
+//! `main` and threading its [`TelemetryCtx`] into everything it runs:
 //!
 //! ```no_run
 //! let scale = experiments::Scale::from_env_or_exit();
-//! let _telemetry = experiments::telemetry::session_or_exit("table1", scale);
-//! // ... run and print the table ...
+//! let telemetry = experiments::telemetry::session_or_exit("table1", scale);
+//! let ctx = telemetry.ctx();
+//! // ... pass &ctx to the runner / registry cells, print the table ...
 //! ```
 //!
-//! The session reads `REPRO_TELEMETRY` (`off` / `summary` / `events`,
-//! strictly parsed by [`TelemetryMode::from_env`]) and, unless `off`,
-//! installs a process-global hub that the shared [`runner`](crate::runner)
-//! entry points feed: every trace generation, harness replay, and timing
-//! simulation records spans, counters, and (in `events` mode) per-mispredict
-//! structured events attributed to the benchmark being run. When the
-//! session drops it writes
+//! The session parses the whole knob surface once through
+//! [`TelemetryConfig::from_env`] (`REPRO_TELEMETRY`, `REPRO_PROF`,
+//! `REPRO_TELEMETRY_DIR`, `REPRO_PROGRESS*`) — that is the *only* place
+//! environment variables are read; everything downstream works against
+//! the explicit context. Unless the mode is `off`, the session owns a
+//! [`Hub`] that the shared [`runner`](crate::runner) entry points feed
+//! through the ctx they are handed: every trace generation, harness
+//! replay, and timing simulation records spans, counters, and (in
+//! `events` mode) per-mispredict structured events attributed to the
+//! benchmark being run. When the session drops it writes
 //!
 //! * `<dir>/<tool>.manifest.json` — the [`RunManifest`]: configuration and
 //!   per-run counters copied from the simulator's own statistics, span
-//!   timings, and the metrics snapshot;
+//!   timings, the metrics snapshot, and (for sampled campaigns) the
+//!   progress time series;
 //! * `<dir>/<tool>.events.jsonl` (events mode) — one JSON object per
 //!   mispredicted branch.
 //!
 //! `<dir>` defaults to `results/telemetry` under the working directory and
 //! can be overridden with `REPRO_TELEMETRY_DIR`.
+//!
+//! There is deliberately no process-global "active hub" anymore: two
+//! sessions can coexist in one process with different configurations
+//! (the refactor the planned `repro-serve` daemon requires), and a
+//! library caller that wants no telemetry passes [`TelemetryCtx::off`]
+//! instead of mutating the environment.
 
 use crate::runner::Scale;
 use branch_predictors::BranchClassStats;
 use sim_isa::BranchClass;
 use sim_telemetry::{
     write_jsonl, CellRecord, Event, EventSink, HotProfiler, Json, MetricsRegistry, RunManifest,
-    RunRecord, SpanRegistry,
+    RunRecord, SampleRow, SpanRegistry,
 };
 
-pub use sim_telemetry::{ProfMode, TelemetryMode};
+pub use sim_telemetry::{ProfMode, TelemetryConfig, TelemetryMode};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -80,6 +91,8 @@ struct State {
     events: Vec<(String, Event)>,
     /// Cell outcomes reported by the jobs runner.
     cells: Vec<CellRecord>,
+    /// Fixed-tick campaign snapshots pushed by the progress sampler.
+    timeseries: Vec<SampleRow>,
 }
 
 impl State {
@@ -91,7 +104,8 @@ impl State {
     }
 }
 
-/// The process-global telemetry hub a [`Session`] installs.
+/// The telemetry hub a [`Session`] owns and hands out via
+/// [`TelemetryCtx`].
 pub struct Hub {
     mode: TelemetryMode,
     prof: ProfMode,
@@ -180,6 +194,15 @@ impl Hub {
             .push(record);
     }
 
+    /// Appends one sampler tick to the manifest's time series.
+    pub fn push_sample(&self, row: SampleRow) {
+        self.state
+            .lock()
+            .expect("hub state poisoned")
+            .timeseries
+            .push(row);
+    }
+
     /// Records one completed harness (or timing) run: copies the
     /// simulator's statistics into a manifest [`RunRecord`] and drains the
     /// event sink, attributing events to the current benchmark.
@@ -230,13 +253,34 @@ impl Hub {
     }
 }
 
-static HUB: Mutex<Option<Arc<Hub>>> = Mutex::new(None);
+/// A cheap, clonable handle to a session's telemetry — the explicit
+/// argument every instrumented code path takes instead of consulting a
+/// process global.
+///
+/// An *off* context (no hub) is the zero value: `runner` entry points
+/// handed one run uninstrumented, exactly as they used to with no hub
+/// installed. Cloning shares the underlying hub.
+#[derive(Clone, Default)]
+pub struct TelemetryCtx {
+    hub: Option<Arc<Hub>>,
+}
 
-/// The installed hub, if a session is active. The shared runner entry
-/// points call this; without a session it returns `None` and they run
-/// uninstrumented.
-pub fn active() -> Option<Arc<Hub>> {
-    HUB.lock().expect("hub registry poisoned").clone()
+impl TelemetryCtx {
+    /// A context that captures nothing — for library callers and tests
+    /// with no session.
+    pub fn off() -> TelemetryCtx {
+        TelemetryCtx { hub: None }
+    }
+
+    /// The hub behind this context, if telemetry is on.
+    pub fn hub(&self) -> Option<&Arc<Hub>> {
+        self.hub.as_ref()
+    }
+
+    /// Whether any telemetry is captured at all.
+    pub fn enabled(&self) -> bool {
+        self.hub.is_some()
+    }
 }
 
 /// An active telemetry capture, held for the duration of a table binary's
@@ -245,28 +289,24 @@ pub struct Session {
     hub: Option<Arc<Hub>>,
     tool: String,
     scale: Scale,
-    out_dir: PathBuf,
+    config: TelemetryConfig,
     started: Instant,
 }
 
-/// Starts a capture for `tool` with the mode read from `REPRO_TELEMETRY`,
-/// the profiling depth from `REPRO_PROF`, and the output directory from
-/// `REPRO_TELEMETRY_DIR` (default `results/telemetry`). With
-/// `REPRO_TELEMETRY` unset or `off` the session is inert and costs
+/// Starts a capture for `tool` with the whole knob surface parsed once
+/// from the environment via [`TelemetryConfig::from_env`]
+/// (`REPRO_TELEMETRY`, `REPRO_PROF`, `REPRO_TELEMETRY_DIR`,
+/// `REPRO_PROGRESS`, `REPRO_PROGRESS_DIR`, `REPRO_PROGRESS_TICK_MS`).
+/// With `REPRO_TELEMETRY` unset or `off` the session is inert and costs
 /// nothing.
 ///
-/// Returns the parse error (listing the accepted values) if either
+/// Returns the parse error (listing the accepted values) if any
 /// variable is set to an unrecognized value.
 pub fn session(tool: &str, scale: Scale) -> Result<Session, String> {
-    let dir = std::env::var("REPRO_TELEMETRY_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results/telemetry"));
-    Ok(session_with_prof(
+    Ok(session_with_config(
         tool,
         scale,
-        TelemetryMode::from_env()?,
-        ProfMode::from_env()?,
-        dir,
+        TelemetryConfig::from_env()?,
     ))
 }
 
@@ -292,8 +332,8 @@ pub fn session_with(
     session_with_prof(tool, scale, mode, ProfMode::default(), out_dir)
 }
 
-/// [`session`] with everything explicit — primarily for tests, which must
-/// not depend on (or mutate) process environment variables.
+/// [`session_with_config`] from the mode/prof/dir triple — for callers
+/// that predate the full [`TelemetryConfig`].
 pub fn session_with_prof(
     tool: &str,
     scale: Scale,
@@ -301,32 +341,65 @@ pub fn session_with_prof(
     prof: ProfMode,
     out_dir: impl Into<PathBuf>,
 ) -> Session {
-    let hub = mode.enabled().then(|| Arc::new(Hub::new(mode, prof)));
-    *HUB.lock().expect("hub registry poisoned") = hub.clone();
+    session_with_config(
+        tool,
+        scale,
+        TelemetryConfig {
+            mode,
+            prof,
+            dir: out_dir.into(),
+            ..TelemetryConfig::off()
+        },
+    )
+}
+
+/// [`session`] with everything explicit — the constructor behind all the
+/// others, and the one tests use so they never depend on (or mutate)
+/// process environment variables.
+pub fn session_with_config(tool: &str, scale: Scale, config: TelemetryConfig) -> Session {
+    let hub = config
+        .mode
+        .enabled()
+        .then(|| Arc::new(Hub::new(config.mode, config.prof)));
     Session {
         hub,
         tool: tool.to_string(),
         scale,
-        out_dir: out_dir.into(),
+        config,
         started: Instant::now(),
     }
 }
 
 impl Session {
+    /// The context instrumented code paths take. Off sessions hand out
+    /// an off context; cloning is one `Option<Arc>` copy.
+    pub fn ctx(&self) -> TelemetryCtx {
+        TelemetryCtx {
+            hub: self.hub.clone(),
+        }
+    }
+
+    /// The configuration this session was built from (the progress
+    /// knobs live here too — the campaign driver reads them off the
+    /// session rather than the environment).
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
     /// Path of the manifest this session will write (unless inert).
     pub fn manifest_path(&self) -> PathBuf {
-        self.out_dir.join(format!("{}.manifest.json", self.tool))
+        self.config.dir.join(format!("{}.manifest.json", self.tool))
     }
 
     /// Path of the event stream this session will write in events mode.
     pub fn events_path(&self) -> PathBuf {
-        self.out_dir.join(format!("{}.events.jsonl", self.tool))
+        self.config.dir.join(format!("{}.events.jsonl", self.tool))
     }
 
     /// Path of the folded-stack span dump this session writes when
     /// profiling is on (feed it to flamegraph tooling directly).
     pub fn folded_path(&self) -> PathBuf {
-        self.out_dir.join(format!("{}.folded.txt", self.tool))
+        self.config.dir.join(format!("{}.folded.txt", self.tool))
     }
 
     fn write_outputs(&self) -> std::io::Result<()> {
@@ -346,6 +419,7 @@ impl Session {
         manifest.events_dropped = state.sinks.values().map(EventSink::dropped).sum();
         manifest.wall_ns = self.started.elapsed().as_nanos() as u64;
         manifest.hot_phases = hub.hot.snapshot();
+        manifest.timeseries = state.timeseries.clone();
 
         // Stage-and-rename writes: a crash mid-write must never leave a
         // truncated manifest or event stream behind.
@@ -378,8 +452,6 @@ impl Drop for Session {
             Ok(()) => eprintln!("telemetry: wrote {}", self.manifest_path().display()),
             Err(e) => eprintln!("telemetry: failed to write outputs: {e}"),
         }
-        // Uninstall the hub so a later session starts clean.
-        *HUB.lock().expect("hub registry poisoned") = None;
     }
 }
 
@@ -535,20 +607,21 @@ pub fn report_from_file(path: &Path, top_n: usize) -> std::io::Result<String> {
 /// Runs every benchmark through the paper's canonical target-cache front
 /// end with event capture forced on, and renders the top-`top_n`
 /// mispredicting sites per benchmark. Also leaves the usual
-/// `telemetry-report.manifest.json` / `.events.jsonl` pair behind.
-pub fn live_report(scale: Scale, top_n: usize) -> String {
+/// `telemetry-report.manifest.json` / `.events.jsonl` pair behind in
+/// `dir` (callers pass the configured telemetry directory — this
+/// function reads no environment).
+pub fn live_report(scale: Scale, top_n: usize, dir: impl Into<PathBuf>) -> String {
     use sim_workloads::Benchmark;
     use target_cache::harness::FrontEndConfig;
     use target_cache::TargetCacheConfig;
 
-    let dir = std::env::var("REPRO_TELEMETRY_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results/telemetry"));
     let session = session_with("telemetry-report", scale, TelemetryMode::Events, dir);
-    let hub = active().expect("events session installs a hub");
+    let ctx = session.ctx();
+    let hub = ctx.hub().expect("events session owns a hub").clone();
     for bench in Benchmark::ALL {
-        let trace = crate::runner::trace(bench, scale);
+        let trace = crate::runner::trace(&ctx, bench, scale);
         crate::runner::functional(
+            &ctx,
             &trace,
             FrontEndConfig::isca97_with(TargetCacheConfig::isca97_tagless_gshare()),
         );
@@ -767,8 +840,34 @@ mod tests {
             TelemetryMode::Off,
             "/nonexistent",
         );
-        assert!(active().is_none());
+        assert!(!s.ctx().enabled());
+        assert!(s.ctx().hub().is_none());
         drop(s); // must not attempt to write anything
+    }
+
+    #[test]
+    fn sessions_are_independent_not_global() {
+        // Two live sessions in one process, different modes — the exact
+        // situation the old process-global hub could not represent.
+        let dir = std::env::temp_dir().join(format!("ctx-indep-{}", std::process::id()));
+        let a = session_with("ctx-a", Scale::Quick, TelemetryMode::Summary, &dir);
+        let b = session_with("ctx-b", Scale::Quick, TelemetryMode::Summary, &dir);
+        assert!(a.ctx().enabled() && b.ctx().enabled());
+        assert!(!Arc::ptr_eq(a.ctx().hub().unwrap(), b.ctx().hub().unwrap()));
+        // Cloned contexts share their session's hub.
+        let c1 = a.ctx();
+        let c2 = c1.clone();
+        assert!(Arc::ptr_eq(c1.hub().unwrap(), c2.hub().unwrap()));
+        // Data recorded through one ctx never leaks into the other.
+        c1.hub().unwrap().record_cell(CellRecord {
+            cell: "x/y".into(),
+            ok: true,
+            ..CellRecord::default()
+        });
+        assert_eq!(b.ctx().hub().unwrap().state.lock().unwrap().cells.len(), 0);
+        drop(a);
+        drop(b);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

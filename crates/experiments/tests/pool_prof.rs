@@ -38,7 +38,8 @@ fn parallel_pool_records_nested_spans_and_instruction_counts() {
         ProfMode::Spans,
         &out_dir,
     );
-    let hub = telemetry::active().expect("summary session installs a hub");
+    let ctx = session.ctx();
+    let hub = ctx.hub().cloned().expect("summary session installs a hub");
 
     let benches = [
         Benchmark::Perl,
@@ -49,9 +50,10 @@ fn parallel_pool_records_nested_spans_and_instruction_counts() {
     let tasks: Vec<CellTask> = benches
         .iter()
         .map(|&bench| {
+            let ctx = ctx.clone();
             CellTask::new(format!("prof/{bench}"), move || {
-                let trace = runner::trace(bench, Scale::Quick);
-                runner::functional(&trace, FrontEndConfig::isca97_baseline());
+                let trace = runner::trace(&ctx, bench, Scale::Quick);
+                runner::functional(&ctx, &trace, FrontEndConfig::isca97_baseline());
                 let mut data = CellData::new();
                 data.set("instructions", trace.len() as f64);
                 data
@@ -71,7 +73,7 @@ fn parallel_pool_records_nested_spans_and_instruction_counts() {
         tasks.len(),
     )
     .unwrap();
-    let outcome = run_campaign(tasks, &config, &mut journal).unwrap();
+    let outcome = run_campaign(tasks, &config, &mut journal, &ctx, None).unwrap();
 
     // Every cell succeeded and carries its replayed instruction count.
     assert_eq!(outcome.reports.len(), benches.len());

@@ -1,0 +1,283 @@
+//! Binary-level contract of the live progress stream: a chaos campaign
+//! (injected panics, retries, parallel workers) must emit a well-formed
+//! stream that reconciles with the resume journal, `repro-top --json`
+//! must agree, and the quiet panic hook must keep injected cell panics
+//! off stderr while still reporting them as retries.
+
+use experiments::jobs::Journal;
+use experiments::runner::Scale;
+use sim_telemetry::{parse_events, read_events, ProgressEvent};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-progress-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs a table binary with a hermetic REPRO_* environment.
+fn run_tool(exe: &str, envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(exe);
+    for var in [
+        "REPRO_SCALE",
+        "REPRO_TELEMETRY",
+        "REPRO_TELEMETRY_DIR",
+        "REPRO_PROF",
+        "REPRO_PROGRESS",
+        "REPRO_PROGRESS_DIR",
+        "REPRO_PROGRESS_TICK_MS",
+        "REPRO_FAULTS",
+        "REPRO_RUN_ID",
+        "REPRO_RESUME",
+        "REPRO_JOURNAL_DIR",
+        "REPRO_JOBS",
+        "REPRO_RETRIES",
+        "REPRO_DEADLINE_MS",
+        "REPRO_BACKOFF_MS",
+    ] {
+        cmd.env_remove(var);
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn tool")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn chaos_campaign_emits_a_reconcilable_stream_and_repro_top_agrees() {
+    let dir = scratch("chaos");
+    let progress_dir = dir.join("progress");
+    let journal_dir = dir.join("journal");
+    let out = run_tool(
+        env!("CARGO_BIN_EXE_table2"),
+        &[
+            ("REPRO_SCALE", "quick"),
+            ("REPRO_TELEMETRY", "off"),
+            ("REPRO_PROGRESS", "on"),
+            ("REPRO_PROGRESS_DIR", progress_dir.to_str().unwrap()),
+            ("REPRO_PROGRESS_TICK_MS", "25"),
+            ("REPRO_JOURNAL_DIR", journal_dir.to_str().unwrap()),
+            ("REPRO_RUN_ID", "chaos1"),
+            ("REPRO_JOBS", "2"),
+            // table2/gcc panics on its first attempt, then recovers.
+            ("REPRO_FAULTS", "flaky:table2/gcc:1"),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr:\n{}", stderr(&out));
+
+    // The quiet panic hook: the injected panic retried silently — no
+    // default "thread ... panicked" spew reached stderr.
+    assert!(
+        !stderr(&out).contains("panicked"),
+        "cell panics must be silenced by the pool's hook:\n{}",
+        stderr(&out)
+    );
+
+    let stream_path = progress_dir.join("chaos1.progress.jsonl");
+    let stream = read_events(&stream_path).expect("stream parses");
+    assert!(!stream.torn_tail, "a finished campaign has no torn tail");
+
+    // Bookends: campaign-started first, campaign-finished last.
+    match stream.events.first() {
+        Some(ProgressEvent::CampaignStarted {
+            run,
+            tool,
+            scale,
+            total,
+            workers,
+            ..
+        }) => {
+            assert_eq!(run, "chaos1");
+            assert_eq!(tool, "table2");
+            assert_eq!(scale, "quick");
+            assert_eq!(*total, 8);
+            assert_eq!(*workers, 2);
+        }
+        other => panic!("first event must be campaign-started, got {other:?}"),
+    }
+    match stream.events.last() {
+        Some(ProgressEvent::CampaignFinished {
+            done,
+            failed,
+            total,
+            ..
+        }) => {
+            assert_eq!((*done, *failed, *total), (8, 0, 8));
+        }
+        other => panic!("last event must be campaign-finished, got {other:?}"),
+    }
+
+    // Every started cell finished exactly once; the flaky cell retried.
+    let mut started: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut finished: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut retried: Vec<(&str, u64)> = Vec::new();
+    let mut beats: Vec<(u64, u64)> = Vec::new();
+    for event in &stream.events {
+        match event {
+            ProgressEvent::CellStarted { cell, .. } => {
+                *started.entry(cell).or_insert(0) += 1;
+            }
+            ProgressEvent::CellFinished {
+                cell,
+                outcome,
+                attempts,
+                ..
+            } => {
+                *finished.entry(cell).or_insert(0) += 1;
+                let expected_attempts = if cell == "table2/gcc" { 2 } else { 1 };
+                assert_eq!(outcome, "ok", "{cell}");
+                assert_eq!(*attempts, expected_attempts, "{cell}");
+            }
+            ProgressEvent::CellRetry { cell, attempt, .. } => retried.push((cell, *attempt)),
+            ProgressEvent::Heartbeat { done, t_ms, .. } => beats.push((*t_ms, *done)),
+            _ => {}
+        }
+    }
+    assert_eq!(started.len(), 8, "{started:?}");
+    assert_eq!(finished, started, "every started cell finished once");
+    assert!(started.values().all(|&n| n == 1), "{started:?}");
+    assert_eq!(retried, vec![("table2/gcc", 2)], "{retried:?}");
+
+    // Heartbeats are monotone in both time and completed work, and the
+    // closing beat reports everything done.
+    assert!(!beats.is_empty(), "sampler at 25ms must have ticked");
+    for pair in beats.windows(2) {
+        assert!(pair[0].0 <= pair[1].0, "t_ms monotone: {beats:?}");
+        assert!(pair[0].1 <= pair[1].1, "done monotone: {beats:?}");
+    }
+    assert_eq!(beats.last().unwrap().1, 8, "{beats:?}");
+
+    // The stream reconciles with the resume journal: same cells, all ok.
+    let journal = Journal::resume(&journal_dir, "chaos1", "table2", Scale::Quick).unwrap();
+    let records: Vec<_> = journal.records().collect();
+    assert_eq!(records.len(), 8);
+    for record in &records {
+        assert!(record.ok, "{}", record.cell);
+        assert_eq!(
+            finished.get(record.cell.as_str()),
+            Some(&1),
+            "{}",
+            record.cell
+        );
+    }
+
+    // repro-top --json reports the same campaign: done == total.
+    let top = Command::new(env!("CARGO_BIN_EXE_repro-top"))
+        .args(["--json", stream_path.to_str().unwrap()])
+        .output()
+        .expect("spawn repro-top");
+    assert_eq!(top.status.code(), Some(0), "{}", stderr(&top));
+    let status = sim_telemetry::json::parse(String::from_utf8_lossy(&top.stdout).trim())
+        .expect("repro-top --json parses");
+    assert_eq!(status.get("done").unwrap().as_u64(), Some(8));
+    assert_eq!(status.get("total").unwrap().as_u64(), Some(8));
+    assert_eq!(status.get("failed").unwrap().as_u64(), Some(0));
+    assert_eq!(status.get("finished").unwrap().as_bool(), Some(true));
+
+    // The post-mortem viewer renders the same stream.
+    let report = Command::new(env!("CARGO_BIN_EXE_telemetry-report"))
+        .args(["--progress", stream_path.to_str().unwrap()])
+        .output()
+        .expect("spawn telemetry-report");
+    assert_eq!(report.status.code(), Some(0), "{}", stderr(&report));
+    let text = String::from_utf8_lossy(&report.stdout).into_owned();
+    for needle in [
+        "timeline",
+        "attempts histogram",
+        "table2/gcc",
+        "2 attempt(s): 1 cell(s)",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?}:\n{text}");
+    }
+
+    // Torn-tail tolerance end to end: a crash mid-append leaves a
+    // partial final line, and the viewers still read everything before
+    // it.
+    let torn_path = dir.join("torn.progress.jsonl");
+    let mut torn = std::fs::read_to_string(&stream_path).unwrap();
+    torn.push_str("{\"event\":\"heartbeat\",\"done\":9");
+    std::fs::write(&torn_path, &torn).unwrap();
+    let reread = parse_events(&torn).unwrap();
+    assert!(reread.torn_tail);
+    assert_eq!(reread.events.len(), stream.events.len());
+    let top = Command::new(env!("CARGO_BIN_EXE_repro-top"))
+        .args(["--json", torn_path.to_str().unwrap()])
+        .output()
+        .expect("spawn repro-top");
+    assert_eq!(top.status.code(), Some(0), "{}", stderr(&top));
+    let status = sim_telemetry::json::parse(String::from_utf8_lossy(&top.stdout).trim()).unwrap();
+    assert_eq!(status.get("torn_tail").unwrap().as_bool(), Some(true));
+    assert_eq!(status.get("done").unwrap().as_u64(), Some(8));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn progress_off_writes_no_stream() {
+    let dir = scratch("off");
+    let progress_dir = dir.join("progress");
+    let journal_dir = dir.join("journal");
+    let out = run_tool(
+        env!("CARGO_BIN_EXE_table2"),
+        &[
+            ("REPRO_SCALE", "quick"),
+            ("REPRO_TELEMETRY", "off"),
+            ("REPRO_PROGRESS", "off"),
+            ("REPRO_PROGRESS_DIR", progress_dir.to_str().unwrap()),
+            ("REPRO_JOURNAL_DIR", journal_dir.to_str().unwrap()),
+            ("REPRO_RUN_ID", "silent1"),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr:\n{}", stderr(&out));
+    assert!(
+        !progress_dir.exists(),
+        "REPRO_PROGRESS=off must not even create the directory"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_typoed_progress_knob_is_an_operator_error() {
+    let dir = scratch("typo");
+    let out = run_tool(
+        env!("CARGO_BIN_EXE_table2"),
+        &[
+            ("REPRO_SCALE", "quick"),
+            ("REPRO_PROGRESS", "yes-please"),
+            ("REPRO_JOURNAL_DIR", dir.to_str().unwrap()),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(2), "stderr:\n{}", stderr(&out));
+    assert!(stderr(&out).contains("REPRO_PROGRESS"), "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Keeps `bench-report` honest against the committed snapshots — the
+/// same invocation CI runs for the trajectory artifact.
+#[test]
+fn bench_report_renders_the_committed_trajectory() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    assert!(root.join("BENCH_baseline.json").is_file());
+    assert!(root.join("BENCH_0.json").is_file());
+    let out = Command::new(env!("CARGO_BIN_EXE_bench-report"))
+        .args(["--dir", root.to_str().unwrap(), "--json"])
+        .output()
+        .expect("spawn bench-report");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let doc = sim_telemetry::json::parse(String::from_utf8_lossy(&out.stdout).trim())
+        .expect("bench-report --json parses");
+    let snaps = doc.get("snapshots").unwrap().as_arr().unwrap();
+    assert!(snaps.len() >= 2, "baseline + at least one BENCH_<n>");
+    assert_eq!(snaps[0].get("label").unwrap().as_str(), Some("baseline"));
+    let scenarios = doc.get("scenarios").unwrap().as_arr().unwrap();
+    assert!(!scenarios.is_empty());
+    for s in scenarios {
+        assert!(!s.get("points").unwrap().as_arr().unwrap().is_empty());
+    }
+}

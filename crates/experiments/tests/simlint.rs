@@ -179,10 +179,11 @@ fn list_rules_prints_the_whole_catalogue() {
 fn full_scale_perl_and_gcc_counts_reconcile() {
     use experiments::lint::analyze;
     use experiments::runner::Scale;
+    use experiments::telemetry::TelemetryCtx;
     use sim_workloads::Benchmark;
 
     for bench in [Benchmark::Perl, Benchmark::Gcc] {
-        let outcome = analyze(bench, Scale::Full, true);
+        let outcome = analyze(&TelemetryCtx::off(), bench, Scale::Full, true);
         assert!(
             outcome.report.findings.is_clean(),
             "{bench}: {:?}",

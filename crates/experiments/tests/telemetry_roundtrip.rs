@@ -3,7 +3,7 @@
 //! exactly with the simulator's own statistics.
 
 use experiments::runner::{functional, trace, Scale};
-use experiments::telemetry::{session_with, TelemetryMode};
+use experiments::telemetry::{session_with, TelemetryCtx, TelemetryMode};
 use sim_telemetry::json::{parse, Json};
 use sim_workloads::Benchmark;
 use target_cache::harness::{FrontEndConfig, PredictionHarness};
@@ -27,12 +27,13 @@ fn events_run_writes_reconcilable_manifest_and_jsonl() {
         let session = session_with("itest", Scale::Quick, TelemetryMode::Events, &dir);
         manifest_path = session.manifest_path();
         events_path = session.events_path();
-        let t = trace(bench, Scale::Quick);
-        functional(&t, frontend);
+        let ctx = session.ctx();
+        let t = trace(&ctx, bench, Scale::Quick);
+        functional(&ctx, &t, frontend);
     } // drop writes the files
 
     // Independent reference run: same trace, same config, no telemetry.
-    let t = trace(bench, Scale::Quick);
+    let t = trace(&TelemetryCtx::off(), bench, Scale::Quick);
     let mut reference = PredictionHarness::new(frontend);
     reference.run(&t);
     let ref_stats = reference.stats();

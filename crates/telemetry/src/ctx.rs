@@ -1,0 +1,175 @@
+//! The one place environment variables become telemetry configuration.
+//!
+//! Everything downstream of a binary's `main` works against an explicit
+//! [`TelemetryConfig`] (and the session context the experiments crate
+//! builds from it) — never against `std::env` directly. That keeps the
+//! knob surface auditable in one struct, makes sessions independent
+//! (two campaigns in one process can run different configs, which the
+//! planned `repro-serve` daemon requires), and keeps the strict-parse
+//! policy uniform: a typo in any knob is a loud error listing the
+//! accepted values, not silently discarded telemetry.
+//!
+//! | variable | field | default |
+//! |----------|-------|---------|
+//! | `REPRO_TELEMETRY` | `mode` | `off` |
+//! | `REPRO_PROF` | `prof` | `spans` |
+//! | `REPRO_TELEMETRY_DIR` | `dir` | `results/telemetry` |
+//! | `REPRO_PROGRESS` | `progress` | `off` |
+//! | `REPRO_PROGRESS_DIR` | `progress_dir` | `results/progress` |
+//! | `REPRO_PROGRESS_TICK_MS` | `progress_tick` | `1000` |
+
+use crate::prof::ProfMode;
+use crate::TelemetryMode;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Default output directory for session manifests and event streams.
+pub const DEFAULT_TELEMETRY_DIR: &str = "results/telemetry";
+/// Default output directory for campaign progress streams.
+pub const DEFAULT_PROGRESS_DIR: &str = "results/progress";
+/// Default heartbeat/sampler period in milliseconds.
+pub const DEFAULT_PROGRESS_TICK_MS: u64 = 1000;
+
+/// A session's full telemetry configuration, parsed once from the
+/// environment (or built directly in tests and embedders).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Capture depth (`REPRO_TELEMETRY`).
+    pub mode: TelemetryMode,
+    /// Profiling depth (`REPRO_PROF`).
+    pub prof: ProfMode,
+    /// Where manifests/events/folded stacks go (`REPRO_TELEMETRY_DIR`).
+    pub dir: PathBuf,
+    /// Whether campaigns write a live progress stream (`REPRO_PROGRESS`).
+    pub progress: bool,
+    /// Where progress streams go (`REPRO_PROGRESS_DIR`).
+    pub progress_dir: PathBuf,
+    /// Heartbeat/sampler period (`REPRO_PROGRESS_TICK_MS`).
+    pub progress_tick: Duration,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            mode: TelemetryMode::Off,
+            prof: ProfMode::Spans,
+            dir: PathBuf::from(DEFAULT_TELEMETRY_DIR),
+            progress: false,
+            progress_dir: PathBuf::from(DEFAULT_PROGRESS_DIR),
+            progress_tick: Duration::from_millis(DEFAULT_PROGRESS_TICK_MS),
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Everything disabled — for tests and library callers that want a
+    /// context with no environment coupling at all.
+    pub fn off() -> TelemetryConfig {
+        TelemetryConfig {
+            prof: ProfMode::Off,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// Parses the full knob surface from the environment. This is the
+    /// single parse site: binaries call it once in `main` (via the
+    /// session constructors) and thread the result everywhere else.
+    ///
+    /// Any unrecognized value is an `Err` naming the variable and the
+    /// accepted values; binaries turn that into `eprintln` + exit 2.
+    pub fn from_env() -> Result<TelemetryConfig, String> {
+        let mut cfg = TelemetryConfig {
+            mode: TelemetryMode::from_env()?,
+            prof: ProfMode::from_env()?,
+            ..TelemetryConfig::default()
+        };
+        if let Ok(v) = std::env::var("REPRO_TELEMETRY_DIR") {
+            if !v.is_empty() {
+                cfg.dir = PathBuf::from(v);
+            }
+        }
+        cfg.progress = match std::env::var("REPRO_PROGRESS") {
+            Ok(v) if v.is_empty() => false,
+            Ok(v) => parse_progress(&v)?,
+            Err(_) => false,
+        };
+        if let Ok(v) = std::env::var("REPRO_PROGRESS_DIR") {
+            if !v.is_empty() {
+                cfg.progress_dir = PathBuf::from(v);
+            }
+        }
+        if let Ok(v) = std::env::var("REPRO_PROGRESS_TICK_MS") {
+            if !v.is_empty() {
+                cfg.progress_tick = Duration::from_millis(parse_tick_ms(&v)?);
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Accepted `REPRO_PROGRESS` values, for error messages.
+pub const PROGRESS_ACCEPTED: &str = "off, on";
+
+fn parse_progress(value: &str) -> Result<bool, String> {
+    match value.to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => Ok(false),
+        "on" | "1" => Ok(true),
+        other => Err(format!(
+            "unrecognized REPRO_PROGRESS value {other:?}; accepted values: {PROGRESS_ACCEPTED}"
+        )),
+    }
+}
+
+fn parse_tick_ms(value: &str) -> Result<u64, String> {
+    match value.parse::<u64>() {
+        Ok(0) => Err("REPRO_PROGRESS_TICK_MS must be a positive integer (milliseconds)".into()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "unrecognized REPRO_PROGRESS_TICK_MS value {value:?}; expected a positive integer \
+             (milliseconds)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_documented_table() {
+        let cfg = TelemetryConfig::default();
+        assert_eq!(cfg.mode, TelemetryMode::Off);
+        assert_eq!(cfg.prof, ProfMode::Spans);
+        assert_eq!(cfg.dir, PathBuf::from(DEFAULT_TELEMETRY_DIR));
+        assert!(!cfg.progress);
+        assert_eq!(cfg.progress_dir, PathBuf::from(DEFAULT_PROGRESS_DIR));
+        assert_eq!(cfg.progress_tick, Duration::from_millis(1000));
+    }
+
+    #[test]
+    fn off_config_disables_profiling_too() {
+        let cfg = TelemetryConfig::off();
+        assert_eq!(cfg.prof, ProfMode::Off);
+        assert!(!cfg.mode.enabled());
+    }
+
+    #[test]
+    fn progress_values_parse_strictly() {
+        assert_eq!(parse_progress("on"), Ok(true));
+        assert_eq!(parse_progress("ON"), Ok(true));
+        assert_eq!(parse_progress("1"), Ok(true));
+        assert_eq!(parse_progress("off"), Ok(false));
+        assert_eq!(parse_progress("0"), Ok(false));
+        let err = parse_progress("yes").unwrap_err();
+        assert!(err.contains("REPRO_PROGRESS"), "{err}");
+        assert!(err.contains("off, on"), "{err}");
+    }
+
+    #[test]
+    fn tick_values_parse_strictly() {
+        assert_eq!(parse_tick_ms("250"), Ok(250));
+        assert!(parse_tick_ms("0").is_err());
+        assert!(parse_tick_ms("fast").is_err());
+        assert!(parse_tick_ms("-5").is_err());
+    }
+}

@@ -31,23 +31,32 @@
 //! parsed strictly by [`TelemetryMode::from_env`]; profiling depth is
 //! the separate `REPRO_PROF` knob, parsed by [`ProfMode::from_env`].
 
+pub mod ctx;
 pub mod event;
 pub mod fsio;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod prof;
+pub mod progress;
+pub mod sampler;
 pub mod span;
 
+pub use ctx::{TelemetryConfig, DEFAULT_PROGRESS_DIR, DEFAULT_TELEMETRY_DIR};
 pub use event::{write_jsonl, Event, EventRing, EventSink, DEFAULT_RING_CAPACITY};
 pub use fsio::{atomic_write, atomic_write_str};
 pub use json::Json;
-pub use manifest::{CellRecord, RunManifest, RunRecord};
+pub use manifest::{CellRecord, RunManifest, RunRecord, SampleRow};
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Histogram, MetricsRegistry, MetricsSnapshot,
     HISTOGRAM_BUCKETS,
 };
 pub use prof::{HotProfiler, PhaseStat, PhaseTimer, ProfMode};
+pub use progress::{
+    eta_ms, parse_events, progress_path, read_events, ProgressEvent, ProgressStreamContents,
+    ProgressWriter,
+};
+pub use sampler::Sampler;
 pub use span::{SpanGuard, SpanRegistry, SpanStat};
 
 /// How much telemetry an experiment run captures.

@@ -1,0 +1,165 @@
+//! A fixed-tick background sampler.
+//!
+//! [`Sampler::every`] runs a callback on its own thread at a fixed
+//! period until [`Sampler::stop`] (or drop) joins it. The campaign
+//! runner uses one to emit heartbeat events and snapshot counters into
+//! the manifest's time-series section while cells are in flight.
+//!
+//! The tick loop sleeps in short slices so stopping never waits for a
+//! full period: a campaign that finishes 5 ms into a 1000 ms tick joins
+//! the sampler in ~10 ms, not ~995 ms.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Granularity of the stop check while waiting out a tick.
+const STOP_POLL: Duration = Duration::from_millis(10);
+
+/// A background thread invoking a callback on a fixed tick.
+#[derive(Debug)]
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Spawns a sampler calling `tick(elapsed)` every `period`, starting
+    /// one period after spawn. `elapsed` is the time since the sampler
+    /// started, so callbacks can stamp samples without their own clock.
+    ///
+    /// A `period` of zero is clamped to 1 ms rather than busy-spinning.
+    pub fn every<F>(period: Duration, mut tick: F) -> Sampler
+    where
+        F: FnMut(Duration) + Send + 'static,
+    {
+        let period = period.max(Duration::from_millis(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("repro-sampler".to_string())
+            .spawn(move || {
+                let start = Instant::now();
+                let mut next = start + period;
+                loop {
+                    // Sleep toward the next tick in slices, so a stop
+                    // request lands promptly.
+                    while Instant::now() < next {
+                        if stop_flag.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let remaining = next.saturating_duration_since(Instant::now());
+                        std::thread::sleep(remaining.min(STOP_POLL));
+                    }
+                    if stop_flag.load(Ordering::Acquire) {
+                        return;
+                    }
+                    tick(start.elapsed());
+                    // Schedule from the intended time, not from now, so
+                    // a slow callback doesn't drift the cadence; but if
+                    // we are more than a period behind, skip the missed
+                    // ticks instead of bursting to catch up.
+                    next += period;
+                    let now = Instant::now();
+                    if next < now {
+                        next = now + period;
+                    }
+                }
+            })
+            .expect("spawn sampler thread");
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread to stop and joins it. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sampler_ticks_repeatedly_then_stops() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let mut s = Sampler::every(Duration::from_millis(5), move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        // Generous window: even a loaded CI box gets several 5 ms ticks
+        // in 300 ms.
+        std::thread::sleep(Duration::from_millis(300));
+        s.stop();
+        let at_stop = count.load(Ordering::Relaxed);
+        assert!(at_stop >= 2, "expected >= 2 ticks, got {at_stop}");
+        // No ticks arrive after stop() returns.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(count.load(Ordering::Relaxed), at_stop);
+    }
+
+    #[test]
+    fn elapsed_is_monotone_across_ticks() {
+        let last = Arc::new(AtomicU64::new(0));
+        let l = Arc::clone(&last);
+        let ok = Arc::new(AtomicBool::new(true));
+        let o = Arc::clone(&ok);
+        let mut s = Sampler::every(Duration::from_millis(5), move |elapsed| {
+            let now = elapsed.as_micros() as u64;
+            if now < l.swap(now, Ordering::Relaxed) {
+                o.store(false, Ordering::Relaxed);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        s.stop();
+        assert!(ok.load(Ordering::Relaxed), "elapsed went backwards");
+    }
+
+    #[test]
+    fn stop_is_prompt_even_with_a_long_period() {
+        let mut s = Sampler::every(Duration::from_secs(3600), |_| {});
+        let t = Instant::now();
+        s.stop();
+        assert!(
+            t.elapsed() < Duration::from_millis(500),
+            "stop took {:?}",
+            t.elapsed()
+        );
+    }
+
+    #[test]
+    fn drop_stops_without_hanging() {
+        let s = Sampler::every(Duration::from_secs(3600), |_| {});
+        let t = Instant::now();
+        drop(s);
+        assert!(t.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn zero_period_is_clamped_not_a_spin() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let mut s = Sampler::every(Duration::ZERO, move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        s.stop();
+        let n = count.load(Ordering::Relaxed);
+        // 1 ms clamp: at most ~50 ticks in 50 ms, not millions.
+        assert!(n > 0 && n < 1000, "tick count {n}");
+    }
+}
