@@ -14,21 +14,32 @@
 //!   --dir DIR       progress directory to search (default: the
 //!                   configured REPRO_PROGRESS_DIR)
 //!   --follow        redraw until campaign-finished appears
+//!   --strict        with --follow: exit 3 once the campaign stalls
+//!                   (no stream growth for 3 heartbeat intervals)
 //!   --interval MS   refresh period for --follow (default 500)
 //!   --json          print machine-readable status and exit
 //!   -h, --help      this message
 //! ```
 //!
+//! A campaign whose producer dies (hung daemon, `kill -9` mid-run)
+//! leaves an unfinished stream that never grows: `--follow` marks it
+//! `STALLED` after [`experiments::watch::STALL_MISSED_BEATS`] missed
+//! heartbeat intervals (measured from the stream itself) and keeps
+//! watching in case it recovers — unless `--strict`, which exits with
+//! status 3 so CI soak jobs fail fast instead of hanging.
+//!
 //! Exit status: `0` — status shown; `2` — operator error (bad flag, no
-//! stream found, corrupt stream).
+//! stream found, corrupt stream); `3` — stalled under
+//! `--follow --strict`.
 
 use experiments::watch::{newest_progress_file, CampaignStatus};
 use sim_telemetry::{read_events, TelemetryConfig};
 use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::time::Instant;
 
 const USAGE: &str =
-    "usage: repro-top [--dir DIR] [--follow] [--interval MS] [--json] [progress.jsonl]";
+    "usage: repro-top [--dir DIR] [--follow] [--strict] [--interval MS] [--json] [progress.jsonl]";
 
 fn operator_error(message: &str) -> ! {
     eprintln!("error: {message}");
@@ -40,6 +51,7 @@ struct Args {
     file: Option<PathBuf>,
     dir: Option<PathBuf>,
     follow: bool,
+    strict: bool,
     interval_ms: u64,
     json: bool,
 }
@@ -49,6 +61,7 @@ fn parse_args() -> Args {
         file: None,
         dir: None,
         follow: false,
+        strict: false,
         interval_ms: 500,
         json: false,
     };
@@ -62,6 +75,7 @@ fn parse_args() -> Args {
                 args.dir = Some(PathBuf::from(v));
             }
             "--follow" => args.follow = true,
+            "--strict" => args.strict = true,
             "--interval" => {
                 let v = it
                     .next()
@@ -144,16 +158,47 @@ fn main() {
         ));
         return;
     }
+    // Stall tracking: the stream is "fresh" whenever its byte length
+    // grows. A dead producer stops growing it; once the idle time
+    // exceeds 3 expected heartbeat intervals the campaign is STALLED.
+    let mut last_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let mut last_growth = Instant::now();
     loop {
         let status = status_of(&path);
+        let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        if len != last_len {
+            last_len = len;
+            last_growth = Instant::now();
+        }
+        let idle_ms = last_growth.elapsed().as_millis() as u64;
+        let stalled = status.stalled(idle_ms);
         // Clear screen + home: plain ANSI is all the live view needs.
+        let banner = if stalled {
+            format!(
+                "\nSTALLED: no stream growth for {} (expected a heartbeat every {})\n",
+                experiments::watch::fmt_ms(idle_ms),
+                experiments::watch::fmt_ms(status.expected_beat_ms()),
+            )
+        } else {
+            String::new()
+        };
         emit(&format!(
-            "\x1b[2J\x1b[H# {}\n{}",
+            "\x1b[2J\x1b[H# {}\n{}{banner}",
             path.display(),
             status.render_table()
         ));
         if status.finished {
             return;
+        }
+        if stalled && args.strict {
+            eprintln!(
+                "error: campaign stalled: {} has not grown for {} ms \
+                 (heartbeat expected every {} ms)",
+                path.display(),
+                idle_ms,
+                status.expected_beat_ms()
+            );
+            exit(3);
         }
         std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
     }

@@ -105,13 +105,24 @@ fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
         }
         None => {
             let id = env_nonempty("REPRO_RUN_ID").unwrap_or_else(|| default_run_id(tool));
-            let journal = Journal::create(&journal_dir, &id, tool, scale, tasks.len())
-                .unwrap_or_else(|e| {
-                    operator_error(&format!(
-                        "cannot create journal {}: {e}",
-                        super::journal::journal_path(&journal_dir, &id).display()
-                    ))
-                });
+            // Bake the resume command into the header at create time:
+            // whoever finds this journal after a crash (the epilogue,
+            // `repro-serve`'s status endpoint) can surface it verbatim.
+            let resume = resume_command(tool, &id, scale, &journal_dir);
+            let journal = Journal::create_with_resume(
+                &journal_dir,
+                &id,
+                tool,
+                scale,
+                tasks.len(),
+                Some(&resume),
+            )
+            .unwrap_or_else(|e| {
+                operator_error(&format!(
+                    "cannot create journal {}: {e}",
+                    super::journal::journal_path(&journal_dir, &id).display()
+                ))
+            });
             (id, journal)
         }
     };
@@ -182,8 +193,9 @@ fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
     epilogue(tool, &run_id, scale, &journal_dir, &outcome)
 }
 
-/// Mirrors every cell outcome into the telemetry manifest.
-fn record_cells(ctx: &TelemetryCtx, outcome: &CampaignOutcome) {
+/// Mirrors every cell outcome into the telemetry manifest. Shared with
+/// the `repro-serve` per-request execution path.
+pub(crate) fn record_cells(ctx: &TelemetryCtx, outcome: &CampaignOutcome) {
     if let Some(hub) = ctx.hub() {
         for r in &outcome.reports {
             hub.record_cell(CellRecord {
@@ -203,8 +215,9 @@ fn record_cells(ctx: &TelemetryCtx, outcome: &CampaignOutcome) {
 /// The full, copy-pasteable resume command for a failed campaign: the
 /// scale is pinned (a resume from a different shell must not silently
 /// run at another scale, which the journal would reject anyway) and a
-/// non-default journal directory rides along.
-fn resume_command(tool: &str, run_id: &str, scale: Scale, journal_dir: &Path) -> String {
+/// non-default journal directory rides along. Written into every fresh
+/// journal header and printed by the failure epilogue.
+pub(crate) fn resume_command(tool: &str, run_id: &str, scale: Scale, journal_dir: &Path) -> String {
     let mut cmd = format!("REPRO_SCALE={}", scale.name());
     if journal_dir != Path::new(DEFAULT_JOURNAL_DIR) {
         cmd.push_str(&format!(" REPRO_JOURNAL_DIR={}", journal_dir.display()));

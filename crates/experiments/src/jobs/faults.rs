@@ -199,8 +199,10 @@ impl FaultPlan {
 }
 
 /// A deterministic hash of `(seed, cell, attempt)` mapped to `[0, 1)` —
-/// SplitMix64 finalization over an FNV-mixed key.
-fn split_mix_unit(seed: u64, cell: &str, attempt: u32) -> f64 {
+/// SplitMix64 finalization over an FNV-mixed key. Shared with the
+/// pool's backoff jitter so every "random" decision in a chaos run is a
+/// pure function of its inputs.
+pub(crate) fn split_mix_unit(seed: u64, cell: &str, attempt: u32) -> f64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
     for b in cell.bytes() {
         h ^= b as u64;

@@ -131,9 +131,25 @@ impl Journal {
         scale: Scale,
         cells: usize,
     ) -> std::io::Result<Journal> {
+        Journal::create_with_resume(dir, run_id, tool, scale, cells, None)
+    }
+
+    /// [`Journal::create`] with the copy-pasteable resume command baked
+    /// into the header, so anything that can read the journal — the
+    /// failure epilogue, `repro-serve`'s `GET /status` — can tell an
+    /// operator how to re-run the unfinished cells without recomputing
+    /// the command from the run's environment.
+    pub fn create_with_resume(
+        dir: &Path,
+        run_id: &str,
+        tool: &str,
+        scale: Scale,
+        cells: usize,
+        resume_command: Option<&str>,
+    ) -> std::io::Result<Journal> {
         let journal = Journal {
             path: journal_path(dir, run_id),
-            header: json_header(run_id, tool, scale, cells),
+            header: json_header(run_id, tool, scale, cells, resume_command),
             records: BTreeMap::new(),
         };
         journal.flush()?;
@@ -189,6 +205,13 @@ impl Journal {
     /// The journal file path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The copy-pasteable resume command recorded in the header, if the
+    /// journal was created with one (journals from older runs have
+    /// none).
+    pub fn resume_command(&self) -> Option<&str> {
+        self.header.get("resume_command").and_then(Json::as_str)
     }
 
     /// The journaled record for `cell`, if any.
@@ -316,6 +339,24 @@ mod tests {
         let record = JournalRecord::from_json(&v).unwrap();
         assert_eq!(record.instructions, 0);
         assert!(record.ok);
+    }
+
+    #[test]
+    fn resume_command_round_trips_through_the_header() {
+        let dir = scratch("resume-cmd");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = "REPRO_SCALE=quick REPRO_RESUME=r9 table4";
+        let journal =
+            Journal::create_with_resume(&dir, "r9", "table4", Scale::Quick, 8, Some(cmd)).unwrap();
+        assert_eq!(journal.resume_command(), Some(cmd));
+        drop(journal);
+        let resumed = Journal::resume(&dir, "r9", "table4", Scale::Quick).unwrap();
+        assert_eq!(resumed.resume_command(), Some(cmd));
+
+        // Journals created without one (older runs) report none.
+        let plain = Journal::create(&dir, "r10", "table4", Scale::Quick, 8).unwrap();
+        assert_eq!(plain.resume_command(), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub mod registry;
 
 pub use faults::FaultPlan;
 pub use journal::{Journal, JournalRecord};
-pub use pool::{run_campaign, CampaignOutcome, CellReport, RunnerConfig};
+pub use pool::{
+    run_campaign, run_campaign_with, CampaignOutcome, CancelToken, CellReport, RunControls,
+    RunnerConfig, WorkerSlots,
+};
 pub use registry::ExperimentDef;
 
 use crate::runner::Scale;
@@ -218,15 +221,28 @@ pub fn err_marker(reason: &str) -> String {
     format!("ERR({short})")
 }
 
-/// Builds the JSON header object shared by journal files.
-pub(crate) fn json_header(run_id: &str, tool: &str, scale: Scale, cells: usize) -> Json {
-    obj([
+/// Builds the JSON header object shared by journal files. When a
+/// resume command is given it rides along so journal readers (the
+/// failure epilogue, `repro-serve`'s status endpoint) can surface it
+/// after a crash.
+pub(crate) fn json_header(
+    run_id: &str,
+    tool: &str,
+    scale: Scale,
+    cells: usize,
+    resume_command: Option<&str>,
+) -> Json {
+    let mut header = vec![
         ("journal", Json::from(1u64)),
         ("run", Json::from(run_id)),
         ("tool", Json::from(tool)),
         ("scale", Json::from(scale.name())),
         ("cells", Json::from(cells as u64)),
-    ])
+    ];
+    if let Some(cmd) = resume_command {
+        header.push(("resume_command", Json::from(cmd)));
+    }
+    obj(header)
 }
 
 #[cfg(test)]

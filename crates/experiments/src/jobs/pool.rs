@@ -1,16 +1,26 @@
-//! The fault-tolerant worker pool: panic isolation, deadlines, retry.
+//! The fault-tolerant worker pool: panic isolation, deadlines, retry,
+//! cancellation, and multi-campaign scheduling.
 //!
 //! [`run_campaign`] executes a list of [`CellTask`]s on `REPRO_JOBS`
 //! worker threads. Every attempt runs inside `catch_unwind` on its own
 //! named thread, so a panicking cell is contained and reported rather
-//! than tearing the campaign down. A watchdog timer per attempt enforces
-//! the per-cell deadline — Rust threads cannot be killed, so a
-//! timed-out attempt is *detached* (its eventual result is discarded by
-//! an attempt-id staleness check) and the cell is retried or failed.
-//! Failed attempts retry with exponential backoff up to `REPRO_RETRIES`
-//! total attempts; a cell that exhausts them becomes an `Err` report,
-//! never an abort. Each cell's final outcome is journaled atomically
-//! the moment it resolves, which is what makes a `kill -9` resumable.
+//! than tearing the campaign down. The single-threaded scheduler tracks
+//! a per-attempt deadline inline (waking on `recv_timeout`) — Rust
+//! threads cannot be killed, so a timed-out attempt is *detached* (its
+//! eventual result is discarded by an attempt-id staleness check) and
+//! the cell is retried or failed. Failed attempts retry with jittered
+//! exponential backoff up to `REPRO_RETRIES` total attempts; a cell
+//! that exhausts them becomes an `Err` report, never an abort. Each
+//! cell's final outcome is journaled atomically the moment it resolves,
+//! which is what makes a `kill -9` resumable.
+//!
+//! Two optional [`RunControls`] make the pool embeddable in a resident
+//! daemon ([`crate::serve`]): a [`CancelToken`] stops the campaign at
+//! the next cell boundary (in-flight cells finish and are journaled;
+//! pending cells are reported `cancelled` *without* journaling, so a
+//! resumed run re-executes exactly those), and shared [`WorkerSlots`]
+//! bound the total attempts in flight across many concurrent campaigns
+//! in one process.
 
 use super::faults::FaultPlan;
 use super::journal::{Journal, JournalRecord};
@@ -20,10 +30,15 @@ use sim_telemetry::manifest::per_sec;
 use sim_telemetry::{eta_ms, ProgressEvent, ProgressWriter, SampleRow, Sampler};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Once};
+use std::sync::{Arc, Mutex, Once};
 use std::time::{Duration, Instant};
+
+/// How often the scheduler wakes up even without messages, to poll the
+/// cancellation token, re-try shared-slot acquisition, and sweep
+/// expired deadlines. Bounds cancellation latency for idle campaigns.
+const SCHED_POLL: Duration = Duration::from_millis(25);
 
 /// One schedulable unit of work: a cell id plus the computation that
 /// produces its data. The closure is re-invoked on every retry attempt.
@@ -154,6 +169,120 @@ impl ProgressSink {
     }
 }
 
+/// A cooperative cancellation flag shared between a campaign and
+/// whoever may want to stop it (a `DELETE /run` handler, a drain path,
+/// a deadline enforcer). Cancellation is observed at cell boundaries:
+/// the scheduler stops launching attempts, lets in-flight cells finish
+/// (journaling their outcomes as usual), and reports every cell that
+/// never resolved as `cancelled: <reason>` without journaling it — so
+/// a resumed run re-executes exactly the unfinished cells.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    reason: Mutex<String>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. The first caller's reason wins; later
+    /// calls are idempotent no-ops.
+    pub fn cancel(&self, reason: &str) {
+        {
+            let mut slot = self.inner.reason.lock().expect("cancel reason lock");
+            if slot.is_empty() {
+                *slot = reason.to_string();
+            }
+        }
+        self.inner.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::SeqCst)
+    }
+
+    /// The reason given by the first `cancel` call (empty if none yet).
+    pub fn reason(&self) -> String {
+        self.inner
+            .reason
+            .lock()
+            .expect("cancel reason lock")
+            .clone()
+    }
+}
+
+/// A shared budget of worker slots, bounding the number of cell
+/// attempts in flight across *all* campaigns that hold a clone — the
+/// daemon's global concurrency cap. Each campaign still respects its
+/// own `RunnerConfig::workers`; the shared budget is the outer bound.
+///
+/// Acquisition is non-blocking: a scheduler that cannot get a slot
+/// simply retries on its next poll tick, which is what yields
+/// round-robin-ish interleaving between concurrent campaigns instead
+/// of one campaign camping on the pool.
+#[derive(Clone)]
+pub struct WorkerSlots {
+    inner: Arc<SlotsInner>,
+}
+
+struct SlotsInner {
+    free: Mutex<usize>,
+    capacity: usize,
+}
+
+impl WorkerSlots {
+    /// A budget of `capacity` concurrent attempts (minimum 1).
+    pub fn new(capacity: usize) -> WorkerSlots {
+        let capacity = capacity.max(1);
+        WorkerSlots {
+            inner: Arc::new(SlotsInner {
+                free: Mutex::new(capacity),
+                capacity,
+            }),
+        }
+    }
+
+    /// The configured budget.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    fn try_acquire(&self) -> bool {
+        let mut free = self.inner.free.lock().expect("worker slots lock");
+        if *free > 0 {
+            *free -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release(&self) {
+        let mut free = self.inner.free.lock().expect("worker slots lock");
+        *free += 1;
+    }
+}
+
+/// Optional embedding hooks for [`run_campaign_with`]: a cancellation
+/// token and a shared cross-campaign worker budget. `Default` (both
+/// `None`) reproduces plain batch behaviour exactly.
+#[derive(Clone, Default)]
+pub struct RunControls {
+    /// Cooperative cancellation, observed at cell boundaries.
+    pub cancel: Option<CancelToken>,
+    /// Shared attempt budget across concurrent campaigns.
+    pub slots: Option<WorkerSlots>,
+}
+
 /// The final report for one cell.
 #[derive(Clone, Debug)]
 pub struct CellReport {
@@ -178,6 +307,10 @@ pub struct CellReport {
 pub struct CampaignOutcome {
     /// Per-cell reports, in the order the tasks were given.
     pub reports: Vec<CellReport>,
+    /// Whether the campaign was stopped by a [`CancelToken`] before
+    /// every cell resolved. Cancelled cells carry `Err` outcomes whose
+    /// reason starts with `cancelled:` and are *not* journaled.
+    pub cancelled: bool,
 }
 
 impl CampaignOutcome {
@@ -197,7 +330,7 @@ impl CampaignOutcome {
     }
 }
 
-/// Messages worker, watchdog, and backoff threads send the scheduler.
+/// Messages worker and backoff threads send the scheduler.
 enum Msg {
     /// An attempt finished (possibly a stale, deadline-detached one).
     Finished {
@@ -207,8 +340,6 @@ enum Msg {
         wall_ms: u64,
         instructions: u64,
     },
-    /// An attempt's deadline elapsed.
-    Deadline { task: usize, attempt: u32 },
     /// A backoff delay elapsed; the task may be rescheduled.
     Ready { task: usize },
 }
@@ -223,6 +354,11 @@ struct TaskState {
     /// other attempt (i.e. from a detached, timed-out thread) are stale
     /// and dropped.
     live_attempt: Option<u32>,
+    /// When the in-flight attempt's deadline expires. Tracked by the
+    /// scheduler itself (no watchdog thread: a daemon spawning one
+    /// sleeping thread per attempt would leak them for the full
+    /// deadline, 10 minutes by default).
+    deadline_at: Option<Instant>,
     last_error: String,
     done: bool,
 }
@@ -245,6 +381,28 @@ pub fn run_campaign(
     journal: &mut Journal,
     ctx: &TelemetryCtx,
     progress: Option<&ProgressSink>,
+) -> Result<CampaignOutcome, String> {
+    run_campaign_with(
+        tasks,
+        config,
+        journal,
+        ctx,
+        progress,
+        &RunControls::default(),
+    )
+}
+
+/// [`run_campaign`] with embedding hooks: a [`CancelToken`] observed at
+/// cell boundaries and an optional shared [`WorkerSlots`] budget so
+/// several concurrent campaigns (the daemon's multiplexing case) share
+/// one bounded pool of attempt slots. See [`RunControls`].
+pub fn run_campaign_with(
+    tasks: Vec<CellTask>,
+    config: &RunnerConfig,
+    journal: &mut Journal,
+    ctx: &TelemetryCtx,
+    progress: Option<&ProgressSink>,
+    controls: &RunControls,
 ) -> Result<CampaignOutcome, String> {
     install_quiet_panic_hook();
     let total = tasks.len();
@@ -274,6 +432,7 @@ pub fn run_campaign(
             wall_ms: 0,
             instructions: 0,
             live_attempt: None,
+            deadline_at: None,
             last_error: String::new(),
             done: false,
         });
@@ -329,53 +488,90 @@ pub fn run_campaign(
         })
     });
 
-    while completed < total {
-        while running < config.workers.max(1) {
-            let Some(i) = ready.pop_front() else { break };
-            let state = &mut states[i];
-            state.attempts_used += 1;
-            let attempt = state.attempts_used;
-            state.live_attempt = Some(attempt);
-            if let Some(sink) = progress {
-                sink.emit(&if attempt == 1 {
-                    ProgressEvent::CellStarted {
-                        cell: tasks[i].id.clone(),
-                        t_ms: sink.t_ms(),
+    let mut cancelled = false;
+    loop {
+        if completed >= total {
+            break;
+        }
+        cancelled = cancelled
+            || controls
+                .cancel
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled);
+        if cancelled && running == 0 {
+            // Every in-flight cell reached its boundary; stop here.
+            break;
+        }
+        if !cancelled {
+            while running < config.workers.max(1) {
+                let Some(&i) = ready.front() else { break };
+                // Under a shared budget, an unavailable slot is not an
+                // error: leave the task queued and retry next poll tick.
+                if let Some(slots) = &controls.slots {
+                    if !slots.try_acquire() {
+                        break;
                     }
-                } else {
-                    ProgressEvent::CellRetry {
-                        cell: tasks[i].id.clone(),
-                        attempt: u64::from(attempt),
-                        reason: first_line(&state.last_error),
-                        t_ms: sink.t_ms(),
-                    }
-                });
+                }
+                ready.pop_front();
+                let state = &mut states[i];
+                state.attempts_used += 1;
+                let attempt = state.attempts_used;
+                state.live_attempt = Some(attempt);
+                state.deadline_at = Some(Instant::now() + config.deadline);
+                if let Some(sink) = progress {
+                    sink.emit(&if attempt == 1 {
+                        ProgressEvent::CellStarted {
+                            cell: tasks[i].id.clone(),
+                            t_ms: sink.t_ms(),
+                        }
+                    } else {
+                        ProgressEvent::CellRetry {
+                            cell: tasks[i].id.clone(),
+                            attempt: u64::from(attempt),
+                            reason: first_line(&state.last_error),
+                            t_ms: sink.t_ms(),
+                        }
+                    });
+                }
+                spawn_attempt(&tasks[i], i, attempt, config, ctx, &tx);
+                running += 1;
             }
-            spawn_attempt(&tasks[i], i, attempt, config, ctx, &tx);
-            running += 1;
         }
         done_count.store(completed as u64, Ordering::Relaxed);
         active_count.store(running as u64, Ordering::Relaxed);
 
-        let msg = rx
-            .recv()
-            .map_err(|_| "cell scheduler channel closed unexpectedly".to_string())?;
-        match msg {
-            Msg::Finished {
+        // Sleep until the next message, but no longer than the nearest
+        // in-flight deadline (and never past the poll tick, which bounds
+        // cancellation/slot-retry latency).
+        let now = Instant::now();
+        let mut wait = SCHED_POLL;
+        for state in &states {
+            if state.live_attempt.is_some() {
+                if let Some(at) = state.deadline_at {
+                    wait = wait.min(at.saturating_duration_since(now));
+                }
+            }
+        }
+        match rx.recv_timeout(wait) {
+            Ok(Msg::Finished {
                 task,
                 attempt,
                 result,
                 wall_ms,
                 instructions,
-            } => {
+            }) => {
                 let state = &mut states[task];
                 if state.done || state.live_attempt != Some(attempt) {
                     continue; // stale result from a deadline-detached thread
                 }
                 state.live_attempt = None;
+                state.deadline_at = None;
                 state.wall_ms += wall_ms;
                 state.instructions += instructions;
                 running -= 1;
+                if let Some(slots) = &controls.slots {
+                    slots.release();
+                }
                 match result {
                     Ok(data) => {
                         state.done = true;
@@ -411,41 +607,88 @@ pub fn run_campaign(
                     }
                 }
             }
-            Msg::Deadline { task, attempt } => {
-                let state = &mut states[task];
-                if state.done || state.live_attempt != Some(attempt) {
-                    continue; // the attempt already finished
-                }
-                // Detach the overrunning thread: mark its attempt stale so
-                // whatever it eventually sends is dropped.
-                state.live_attempt = None;
-                state.deadline_kills += 1;
-                state.wall_ms += config.deadline.as_millis() as u64;
-                state.last_error =
-                    format!("deadline exceeded ({} ms)", config.deadline.as_millis());
-                running -= 1;
-                retry_or_fail(
-                    task,
-                    &tasks,
-                    states.as_mut_slice(),
-                    config,
-                    journal,
-                    &tx,
-                    &mut reports,
-                    &mut completed,
-                    progress,
-                )?;
-            }
-            Msg::Ready { task } => {
+            Ok(Msg::Ready { task }) => {
                 if !states[task].done {
                     ready.push_back(task);
                 }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err("cell scheduler channel closed unexpectedly".to_string());
+            }
+        }
+
+        // Sweep expired deadlines. Detach each overrunning thread: mark
+        // its attempt stale so whatever it eventually sends is dropped.
+        let now = Instant::now();
+        let expired: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live_attempt.is_some() && s.deadline_at.is_some_and(|at| at <= now))
+            .map(|(i, _)| i)
+            .collect();
+        for task in expired {
+            let state = &mut states[task];
+            state.live_attempt = None;
+            state.deadline_at = None;
+            state.deadline_kills += 1;
+            state.wall_ms += config.deadline.as_millis() as u64;
+            state.last_error = format!("deadline exceeded ({} ms)", config.deadline.as_millis());
+            running -= 1;
+            if let Some(slots) = &controls.slots {
+                slots.release();
+            }
+            retry_or_fail(
+                task,
+                &tasks,
+                states.as_mut_slice(),
+                config,
+                journal,
+                &tx,
+                &mut reports,
+                &mut completed,
+                progress,
+            )?;
+        }
+    }
+
+    // A cancelled campaign still reports every cell: the ones that never
+    // resolved become `cancelled` errors. They are NOT journaled — a
+    // resumed run must re-execute exactly these. Cells whose start was
+    // announced in the stream get a closing `cell-finished` so the
+    // stream's started/finished sets stay reconciled.
+    if cancelled {
+        let reason = controls
+            .cancel
+            .as_ref()
+            .map(CancelToken::reason)
+            .filter(|r| !r.is_empty())
+            .unwrap_or_else(|| "no reason given".to_string());
+        for (i, slot) in reports.iter_mut().enumerate() {
+            if slot.is_none() {
+                let state = &states[i];
+                let report = CellReport {
+                    cell: tasks[i].id.clone(),
+                    outcome: Err(format!("cancelled: {reason}")),
+                    attempts: state.attempts_used,
+                    deadline_kills: state.deadline_kills,
+                    resumed: false,
+                    wall_ms: state.wall_ms,
+                    instructions: state.instructions,
+                };
+                if state.attempts_used > 0 {
+                    if let Some(sink) = progress {
+                        sink.emit(&finished_event(&report, sink.t_ms()));
+                    }
+                }
+                *slot = Some(report);
             }
         }
     }
 
     // Stop the sampler *before* the closing heartbeat so the final
-    // `done == total` beat is the stream's last one.
+    // beat (`done == total` for a completed campaign) is the stream's
+    // last one.
     if let Some(s) = sampler.as_mut() {
         s.stop();
     }
@@ -453,15 +696,16 @@ pub fn run_campaign(
         let t_ms = sink.t_ms();
         sink.emit(&ProgressEvent::Heartbeat {
             active_cells: 0,
-            done: total as u64,
+            done: completed as u64,
             total: total as u64,
-            eta_ms: eta_ms(total as u64, total as u64, t_ms),
+            eta_ms: eta_ms(completed as u64, total as u64, t_ms),
             t_ms,
         });
     }
 
     Ok(CampaignOutcome {
         reports: reports.into_iter().map(Option::unwrap).collect(),
+        cancelled,
     })
 }
 
@@ -510,9 +754,14 @@ fn retry_or_fail(
 ) -> Result<(), String> {
     let state = &mut states[task];
     if state.attempts_used < config.attempts {
-        // Exponential backoff: backoff, 2*backoff, 4*backoff, ...
+        // Exponential backoff (backoff, 2*backoff, 4*backoff, ...) with
+        // ±50% decorrelation jitter: exact powers of two make every cell
+        // failed by one shared fault re-collide on each retry wave. The
+        // jitter is a pure function of (cell id, attempt), so chaos runs
+        // stay bit-for-bit reproducible.
         let shift = (state.attempts_used - 1).min(10);
-        let delay = config.backoff * (1u32 << shift);
+        let base = config.backoff * (1u32 << shift);
+        let delay = base.mul_f64(backoff_jitter(&tasks[task].id, state.attempts_used));
         let tx = tx.clone();
         std::thread::spawn(move || {
             std::thread::sleep(delay);
@@ -539,6 +788,13 @@ fn retry_or_fail(
     Ok(())
 }
 
+/// Deterministic backoff jitter factor in `[0.5, 1.5)` for a retry of
+/// `cell` on attempt `attempt` — the fault planner's SplitMix64 recipe
+/// under a fixed salt, so the schedule is reproducible across runs.
+fn backoff_jitter(cell: &str, attempt: u32) -> f64 {
+    0.5 + super::faults::split_mix_unit(0x6a17_7e2d_b0ff_0ff5, cell, attempt)
+}
+
 /// Journals a final cell outcome, translating I/O failure into the
 /// campaign-level error.
 fn journal_report(journal: &mut Journal, report: &CellReport) -> Result<(), String> {
@@ -557,9 +813,10 @@ fn journal_report(journal: &mut Journal, report: &CellReport) -> Result<(), Stri
         .map_err(|e| format!("cannot write journal {}: {e}", journal.path().display()))
 }
 
-/// Spawns one attempt (plus its watchdog timer). The attempt thread is
-/// named `repro-cell-<id>#<attempt>` so the quiet panic hook can tell
-/// isolated cell panics from real ones.
+/// Spawns one attempt. The attempt thread is named
+/// `repro-cell-<id>#<attempt>` so the quiet panic hook can tell
+/// isolated cell panics from real ones. Its deadline is tracked by the
+/// scheduler (no per-attempt watchdog thread).
 fn spawn_attempt(
     task: &CellTask,
     index: usize,
@@ -602,16 +859,6 @@ fn spawn_attempt(
             });
         })
         .expect("spawn cell worker thread");
-
-    let deadline = config.deadline;
-    let tx_watch = tx.clone();
-    std::thread::spawn(move || {
-        std::thread::sleep(deadline);
-        let _ = tx_watch.send(Msg::Deadline {
-            task: index,
-            attempt,
-        });
-    });
 }
 
 /// Renders a panic payload as a failure reason.
@@ -947,6 +1194,119 @@ mod tests {
                 if cell == "t/a" && outcome == "resumed" && *attempts == 0)
         });
         assert!(resumed, "restored cell must appear as outcome=resumed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let mut distinct = std::collections::BTreeSet::new();
+        for cell in ["t/a", "t/b", "table4/perl", "table4/gcc"] {
+            for attempt in 1..=5u32 {
+                let j = backoff_jitter(cell, attempt);
+                assert!((0.5..1.5).contains(&j), "{cell}#{attempt}: {j}");
+                assert_eq!(j, backoff_jitter(cell, attempt), "must be deterministic");
+                distinct.insert((j * 1e12) as u64);
+            }
+        }
+        assert!(
+            distinct.len() > 10,
+            "jitter must decorrelate cells/attempts, got {} distinct values",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn cancel_stops_at_cell_boundary_and_skips_journaling_pending_cells() {
+        let dir = scratch("cancel");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = Journal::create(&dir, "r", "t", Scale::Quick, 3).unwrap();
+        let token = CancelToken::new();
+        // The first cell cancels the campaign from *inside* its work
+        // closure, then completes normally: it must be journaled, while
+        // the two cells behind it never start.
+        let inner = token.clone();
+        let tasks = vec![
+            CellTask::new("t/a", move || {
+                inner.cancel("test cancel");
+                let mut d = CellData::new();
+                d.set("v", 1.0);
+                d
+            }),
+            value_task("t/b", 2.0),
+            value_task("t/c", 3.0),
+        ];
+        let controls = RunControls {
+            cancel: Some(token.clone()),
+            slots: None,
+        };
+        let outcome = run_campaign_with(
+            tasks,
+            &fast(""),
+            &mut journal,
+            &TelemetryCtx::off(),
+            None,
+            &controls,
+        )
+        .unwrap();
+        assert!(outcome.cancelled);
+        assert!(outcome.report("t/a").unwrap().outcome.is_ok());
+        for cell in ["t/b", "t/c"] {
+            let r = outcome.report(cell).unwrap();
+            let reason = r.outcome.as_ref().unwrap_err();
+            assert!(reason.starts_with("cancelled: test cancel"), "{reason}");
+            assert_eq!(r.attempts, 0, "{cell} must never have started");
+        }
+        // Only the completed cell reached the journal; a resume re-runs
+        // exactly the cancelled ones.
+        assert_eq!(journal.records().count(), 1);
+        assert!(journal.record("t/a").unwrap().ok);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_slots_bound_attempts_across_the_process() {
+        use std::sync::atomic::AtomicUsize;
+
+        let dir = scratch("slots");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = Journal::create(&dir, "r", "t", Scale::Quick, 6).unwrap();
+        let slots = WorkerSlots::new(1);
+        assert_eq!(slots.capacity(), 1);
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<CellTask> = (0..6)
+            .map(|i| {
+                let live = Arc::clone(&live);
+                let peak = Arc::clone(&peak);
+                CellTask::new(format!("t/c{i}"), move || {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(5));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    CellData::new()
+                })
+            })
+            .collect();
+        // The campaign asks for 4 workers, but the shared budget allows 1.
+        let config = RunnerConfig {
+            workers: 4,
+            ..fast("")
+        };
+        let controls = RunControls {
+            cancel: None,
+            slots: Some(slots),
+        };
+        let outcome = run_campaign_with(
+            tasks,
+            &config,
+            &mut journal,
+            &TelemetryCtx::off(),
+            None,
+            &controls,
+        )
+        .unwrap();
+        assert!(outcome.all_ok());
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "budget of 1 must serialize");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

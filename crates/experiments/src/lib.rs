@@ -61,6 +61,7 @@ pub mod lint;
 pub mod perf;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 pub mod table4;

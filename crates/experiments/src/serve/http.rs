@@ -1,0 +1,366 @@
+//! A deliberately small HTTP/1.1 layer over `std::net::TcpStream` — in
+//! the spirit of the hand-rolled JSON parser: no dependency buys us
+//! exactly the semantics the daemon needs and nothing else.
+//!
+//! Robustness posture: everything a misbehaving client can do to the
+//! read path maps to a typed [`HttpError`] the connection loop can act
+//! on. A slow-loris client (bytes trickling in forever) hits the socket
+//! read timeout and is classified [`HttpError::Timeout`] with a flag
+//! saying whether a request was actually in flight; a client that
+//! announces a `Content-Length` and disconnects mid-body is
+//! [`HttpError::Disconnected`]; oversized heads and bodies are refused
+//! at fixed caps before they can balloon memory.
+
+use sim_telemetry::json::Json;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Maximum request body bytes (experiment requests are small JSON).
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, `DELETE`).
+    pub method: String,
+    /// Path without the query string (`/status/req-3`).
+    pub path: String,
+    /// Raw query string after `?`, if any.
+    pub query: Option<String>,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for the connection to close.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF before any request bytes: the keep-alive peer left.
+    Closed,
+    /// The socket read timeout elapsed. `mid_request` distinguishes a
+    /// slow-loris (bytes arrived, then the trickle stalled) from an
+    /// idle keep-alive connection that simply sent nothing.
+    Timeout {
+        /// Whether part of a request had already arrived.
+        mid_request: bool,
+    },
+    /// EOF in the middle of a request (head or announced body).
+    Disconnected,
+    /// The bytes are not HTTP the daemon understands.
+    Malformed(String),
+    /// Head or body exceeded its cap.
+    TooLarge(&'static str),
+    /// Any other socket error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Timeout { mid_request } => write!(
+                f,
+                "read timeout ({})",
+                if *mid_request {
+                    "mid-request"
+                } else {
+                    "idle keep-alive"
+                }
+            ),
+            HttpError::Disconnected => write!(f, "client disconnected mid-request"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::TooLarge(what) => write!(f, "request {what} too large"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request from the stream (which should carry a read
+/// timeout — see the daemon's slow-loris defense).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    // Accumulate until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("head"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if buf.is_empty() {
+                    HttpError::Closed
+                } else {
+                    HttpError::Disconnected
+                });
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                return Err(HttpError::Timeout {
+                    mid_request: !buf.is_empty(),
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!("bad version {version:?}")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+
+    let content_length = match request.header("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("body"));
+    }
+
+    // Body bytes may already be in the buffer past the head.
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Disconnected),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout { mid_request: true }),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    body.truncate(content_length);
+    request.body = body;
+    Ok(request)
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response about to be written.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (content-type and length are added automatically).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response (the daemon's lingua franca).
+    pub fn json(status: u16, body: &Json) -> Response {
+        let mut text = body.to_pretty_string();
+        text.push('\n');
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: text.into_bytes(),
+        }
+    }
+
+    /// A JSON error response `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            &sim_telemetry::json::obj([("error", Json::from(message))]),
+        )
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serializes status line, headers, and body onto the stream.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, reason_for(self.status));
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", self.body.len()));
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// The canonical reason phrase for the status codes the daemon uses.
+pub fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Status",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    /// Runs `read_request` against raw bytes written from a peer socket.
+    fn roundtrip(bytes: &[u8], shutdown_after: bool) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload = bytes.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&payload).unwrap();
+            if shutdown_after {
+                let _ = s.shutdown(std::net::Shutdown::Write);
+            } else {
+                // Hold the socket open past the reader's timeout.
+                std::thread::sleep(Duration::from_millis(400));
+            }
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(150)))
+            .unwrap();
+        let result = read_request(&mut conn);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let req = roundtrip(
+            b"POST /run?cancel=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world",
+            true,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.query.as_deref(), Some("cancel=1"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn mid_body_disconnect_is_classified() {
+        let err = roundtrip(
+            b"POST /run HTTP/1.1\r\nContent-Length: 50\r\n\r\nonly-part",
+            true,
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::Disconnected), "{err}");
+    }
+
+    #[test]
+    fn slow_loris_hits_the_read_timeout_mid_request() {
+        let err = roundtrip(b"GET /hea", false).unwrap_err();
+        assert!(
+            matches!(err, HttpError::Timeout { mid_request: true }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn idle_keep_alive_timeout_is_not_mid_request() {
+        let err = roundtrip(b"", false).unwrap_err();
+        assert!(
+            matches!(err, HttpError::Timeout { mid_request: false }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let err = roundtrip(b"", true).unwrap_err();
+        assert!(matches!(err, HttpError::Closed), "{err}");
+    }
+
+    #[test]
+    fn oversized_head_is_refused() {
+        let mut bytes = b"GET /".to_vec();
+        bytes.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        let err = roundtrip(&bytes, true).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge("head")), "{err}");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_refused() {
+        for bad in ["FOO\r\n\r\n", "GET /x HTTP/9.9\r\n\r\n", "\r\n\r\n"] {
+            let err = roundtrip(bad.as_bytes(), true).unwrap_err();
+            assert!(matches!(err, HttpError::Malformed(_)), "{bad:?}: {err}");
+        }
+    }
+}

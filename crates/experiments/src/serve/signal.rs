@@ -1,0 +1,47 @@
+//! Std-only shutdown signal handling for the daemon.
+//!
+//! There is no signal crate in the environment, so the daemon registers
+//! handlers through the one libc entry point `std` already links:
+//! `signal(2)`. The handler body does the only async-signal-safe thing
+//! worth doing — it flips a static [`AtomicBool`] — and the serve
+//! scheduler polls that flag to begin its graceful drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set once a shutdown signal (SIGINT or SIGTERM) has been received.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn handle(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Installs SIGINT/SIGTERM handlers that set the shutdown flag, and
+/// returns the flag for the caller to poll. Idempotent; on non-unix
+/// platforms the flag simply never trips from a signal.
+pub fn install_shutdown_handler() -> &'static AtomicBool {
+    #[cfg(unix)]
+    unsafe {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        signal(SIGINT, handle);
+        signal(SIGTERM, handle);
+    }
+    &SHUTDOWN
+}
+
+/// Whether a shutdown signal has been received.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Trips the shutdown flag programmatically — lets tests exercise the
+/// drain path without delivering a real signal.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}

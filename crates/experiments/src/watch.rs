@@ -138,7 +138,15 @@ pub struct CampaignStatus {
     pub failed: u64,
     /// Whether the stream ended in a torn (skipped) trailing line.
     pub torn_tail: bool,
+    /// The interval between the stream's last two heartbeats, if it has
+    /// at least two — the measured tick a stall detector should expect
+    /// the next beat within.
+    pub heartbeat_interval_ms: Option<u64>,
 }
+
+/// How many heartbeat intervals may pass without the stream growing
+/// before an unfinished campaign is declared stalled.
+pub const STALL_MISSED_BEATS: u64 = 3;
 
 impl CampaignStatus {
     /// Folds a parsed stream into campaign status.
@@ -148,6 +156,7 @@ impl CampaignStatus {
             ..CampaignStatus::default()
         };
         let mut cells: BTreeMap<String, CellView> = BTreeMap::new();
+        let mut prev_beat_ms: Option<u64> = None;
         for event in &stream.events {
             match event {
                 ProgressEvent::CampaignStarted {
@@ -219,6 +228,13 @@ impl CampaignStatus {
                     if eta_ms.is_some() {
                         status.eta_ms = *eta_ms;
                     }
+                    if let Some(prev) = prev_beat_ms {
+                        let delta = t_ms.saturating_sub(prev);
+                        if delta > 0 {
+                            status.heartbeat_interval_ms = Some(delta);
+                        }
+                    }
+                    prev_beat_ms = Some(*t_ms);
                     status.last_t_ms = status.last_t_ms.max(*t_ms);
                 }
                 ProgressEvent::CampaignFinished {
@@ -254,6 +270,24 @@ impl CampaignStatus {
 
     fn count(&self, state: CellState) -> u64 {
         self.cells.iter().filter(|c| c.state == state).count() as u64
+    }
+
+    /// The heartbeat period a stall detector should expect: measured
+    /// from the stream's last two beats, else the configured default
+    /// tick.
+    pub fn expected_beat_ms(&self) -> u64 {
+        self.heartbeat_interval_ms
+            .unwrap_or(sim_telemetry::DEFAULT_PROGRESS_TICK_MS)
+            .max(1)
+    }
+
+    /// Whether an unfinished campaign whose stream has not grown for
+    /// `idle_ms` wall milliseconds should be declared `STALLED`: more
+    /// than [`STALL_MISSED_BEATS`] expected heartbeats have been
+    /// missed. A finished campaign never stalls, however stale its
+    /// file — there is no producer left to expect beats from.
+    pub fn stalled(&self, idle_ms: u64) -> bool {
+        !self.finished && idle_ms > STALL_MISSED_BEATS * self.expected_beat_ms()
     }
 
     /// Cells with a final outcome (including failed and resumed).
@@ -576,6 +610,52 @@ mod tests {
         assert!(table.contains("boom"), "{table}");
         let timeline = status.render_timeline(5);
         assert!(timeline.contains("attempts histogram"), "{timeline}");
+    }
+
+    #[test]
+    fn stall_detection_uses_measured_heartbeat_interval() {
+        let beat = |t_ms| ProgressEvent::Heartbeat {
+            active_cells: 1,
+            done: 0,
+            total: 2,
+            eta_ms: None,
+            t_ms,
+        };
+        // Two beats 250ms apart: the measured interval wins over the
+        // 1000ms default, so 3 missed beats is 750ms, not 3s.
+        let live = CampaignStatus::from_stream(&stream(&[started(2), beat(100), beat(350)]));
+        assert_eq!(live.heartbeat_interval_ms, Some(250));
+        assert_eq!(live.expected_beat_ms(), 250);
+        assert!(!live.stalled(700));
+        assert!(live.stalled(751));
+
+        // No measurable interval yet: fall back to the default tick.
+        let fresh = CampaignStatus::from_stream(&stream(&[started(2), beat(100)]));
+        assert_eq!(fresh.heartbeat_interval_ms, None);
+        assert_eq!(
+            fresh.expected_beat_ms(),
+            sim_telemetry::DEFAULT_PROGRESS_TICK_MS
+        );
+        assert!(!fresh.stalled(3_000));
+        assert!(fresh.stalled(3_001));
+
+        // A finished campaign never stalls: no producer is expected.
+        let done = CampaignStatus::from_stream(&stream(&[
+            started(1),
+            ProgressEvent::CellStarted {
+                cell: "t/a".into(),
+                t_ms: 1,
+            },
+            finished("t/a", "ok", 10, 11),
+            ProgressEvent::CampaignFinished {
+                done: 1,
+                failed: 0,
+                total: 1,
+                wall_ms: 12,
+                t_ms: 12,
+            },
+        ]));
+        assert!(!done.stalled(u64::MAX / (STALL_MISSED_BEATS * 2)));
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub mod progress;
 pub mod sampler;
 pub mod span;
 
-pub use ctx::{TelemetryConfig, DEFAULT_PROGRESS_DIR, DEFAULT_TELEMETRY_DIR};
+pub use ctx::{
+    TelemetryConfig, DEFAULT_PROGRESS_DIR, DEFAULT_PROGRESS_TICK_MS, DEFAULT_TELEMETRY_DIR,
+};
 pub use event::{write_jsonl, Event, EventRing, EventSink, DEFAULT_RING_CAPACITY};
 pub use fsio::{atomic_write, atomic_write_str};
 pub use json::Json;

@@ -16,15 +16,26 @@
 //! compared to the generated trace, so a bad write (or an injected
 //! `truncate-store` fault) fails the recording attempt instead of
 //! poisoning the cache.
+//!
+//! Within one process the record-on-miss path is additionally
+//! *single-writer per key*: concurrent lookups of the same missing key
+//! serialize on an in-flight table, so exactly one thread pays the
+//! generation cost and every waiter replays the freshly published file
+//! as a hit. (Cross-process races remain safe via the atomic-rename
+//! discipline above — they just both generate.) This is what lets a
+//! resident daemon share one read-mostly store across many concurrent
+//! request campaigns.
 
 use crate::format::{TraceError, TraceHeader, TraceMeta};
 use crate::reader::read_trace_file;
 use crate::writer::encode_to_vec;
 use sim_isa::VecTrace;
+use std::collections::HashSet;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Environment variable selecting the store mode.
@@ -219,6 +230,46 @@ pub struct TraceStore {
 
 static STAGE_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide table of store files currently being recorded, keyed by
+/// the destination path. A thread missing on a key that is already
+/// in flight waits here instead of generating a duplicate trace.
+fn inflight() -> &'static (Mutex<HashSet<PathBuf>>, Condvar) {
+    static INFLIGHT: OnceLock<(Mutex<HashSet<PathBuf>>, Condvar)> = OnceLock::new();
+    INFLIGHT.get_or_init(|| (Mutex::new(HashSet::new()), Condvar::new()))
+}
+
+/// RAII claim on a key's record-on-miss slot: inserted on acquire,
+/// removed (with waiters notified) on drop — panic-safe, so a
+/// generator that panics under `catch_unwind` releases the key.
+struct InflightClaim {
+    path: PathBuf,
+}
+
+impl InflightClaim {
+    /// Blocks until `path` has no in-flight recorder, then claims it.
+    fn acquire(path: &Path) -> InflightClaim {
+        let (table, cv) = inflight();
+        let mut held = table.lock().expect("trace store in-flight table");
+        while held.contains(path) {
+            held = cv.wait(held).expect("trace store in-flight table");
+        }
+        held.insert(path.to_path_buf());
+        InflightClaim {
+            path: path.to_path_buf(),
+        }
+    }
+}
+
+impl Drop for InflightClaim {
+    fn drop(&mut self) {
+        let (table, cv) = inflight();
+        if let Ok(mut held) = table.lock() {
+            held.remove(&self.path);
+        }
+        cv.notify_all();
+    }
+}
+
 impl TraceStore {
     /// A store over `dir` with the given mode. Nothing touches the
     /// filesystem until a lookup does.
@@ -305,16 +356,30 @@ impl TraceStore {
                 decode_ns,
             });
         }
-        let trace = generate();
         if self.mode == StoreMode::ReadOnly {
             return Ok(StoreOutcome {
-                trace,
+                trace: generate(),
                 hit: false,
                 recorded: false,
                 bytes: 0,
                 decode_ns: 0,
             });
         }
+        // Read-write miss: claim the single-writer slot for this key so
+        // concurrent misses serialize — one thread generates, the rest
+        // wait and then replay what it published.
+        let _claim = InflightClaim::acquire(&path);
+        if path.exists() {
+            let (trace, bytes, decode_ns) = self.replay(key, &path)?;
+            return Ok(StoreOutcome {
+                trace,
+                hit: true,
+                recorded: false,
+                bytes,
+                decode_ns,
+            });
+        }
+        let trace = generate();
         let mut encoded = encode_to_vec(key.meta(), &trace).map_err(|source| StoreError::Io {
             path: path.clone(),
             source,
@@ -554,6 +619,48 @@ mod tests {
         fs::rename(store.path_for(&key()), store.path_for(&other)).unwrap();
         let err = store.load_or_record(&other, || make_trace(64)).unwrap_err();
         assert!(err.to_string().contains("provenance"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_misses_generate_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::{Arc, Barrier};
+
+        let dir = scratch("single-writer");
+        let store = TraceStore::new(&dir, StoreMode::ReadWrite);
+        let generations = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let store = store.clone();
+                let generations = Arc::clone(&generations);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    store
+                        .load_or_record(&key(), || {
+                            generations.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window: without the
+                            // in-flight claim, several threads would be
+                            // in here at once.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            make_trace(64)
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        let outcomes: Vec<StoreOutcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            generations.load(Ordering::SeqCst),
+            1,
+            "exactly one thread must pay the generation cost"
+        );
+        assert_eq!(outcomes.iter().filter(|o| o.recorded).count(), 1);
+        assert_eq!(outcomes.iter().filter(|o| o.hit).count(), 7);
+        let first = &outcomes[0].trace;
+        assert!(outcomes.iter().all(|o| o.trace == *first));
         let _ = fs::remove_dir_all(&dir);
     }
 
