@@ -125,7 +125,7 @@ pub fn render(snapshots: &[Snapshot], tolerance_pct: f64) -> String {
     out.push('\n');
 
     let mut columns: Vec<String> = vec!["scenario".into()];
-    columns.extend(snapshots.iter().map(|s| s.label.clone()));
+    columns.extend(snapshots.iter().map(column_label));
     columns.push("delta".into());
     columns.push("flag".into());
     let mut table = TextTable::new(columns);
@@ -151,6 +151,18 @@ pub fn render(snapshots: &[Snapshot], tolerance_pct: f64) -> String {
     }
     out.push_str(&table.render());
     out
+}
+
+/// The scenario-table column label for a snapshot: `#3@abc123def456`.
+/// The source snapshot's git rev rides in the header line so a `REG`
+/// flag is attributable to a commit without opening the snapshot file.
+fn column_label(s: &Snapshot) -> String {
+    let rev = s.report.git_rev.as_str();
+    if rev.is_empty() || rev == "unknown" {
+        s.label.clone()
+    } else {
+        format!("{}@{rev}", s.label)
+    }
 }
 
 /// The trajectory as a machine-readable document (the CI artifact).
@@ -264,6 +276,18 @@ mod tests {
         assert!(text.contains("2 snapshot(s)"), "{text}");
         for needle in ["baseline", "#0", "rev-baseline", "REG", "+100.0%", "-20.0%"] {
             assert!(text.contains(needle), "missing {needle:?}:\n{text}");
+        }
+        // The scenario table's column headers carry the source git revs,
+        // so a REG column is attributable without opening the snapshot.
+        let scenario_header = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("scenario"))
+            .unwrap();
+        for needle in ["baseline@rev-baseline", "#0@rev-#0"] {
+            assert!(
+                scenario_header.contains(needle),
+                "missing {needle:?} in {scenario_header:?}"
+            );
         }
         // The new scenario has no first/last pair to diff.
         let c_line = text

@@ -163,6 +163,11 @@ fn main() {
     // exceeds 3 expected heartbeat intervals the campaign is STALLED.
     let mut last_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     let mut last_growth = Instant::now();
+    // Where a dead producer's flight recorder would have dumped: the
+    // STALLED banner points the operator straight at it.
+    let flight_dir = TelemetryConfig::from_env()
+        .map(|c| c.flight_dir)
+        .unwrap_or_else(|_| PathBuf::from(sim_telemetry::DEFAULT_FLIGHT_DIR));
     loop {
         let status = status_of(&path);
         let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
@@ -174,11 +179,18 @@ fn main() {
         let stalled = status.stalled(idle_ms);
         // Clear screen + home: plain ANSI is all the live view needs.
         let banner = if stalled {
-            format!(
+            let mut b = format!(
                 "\nSTALLED: no stream growth for {} (expected a heartbeat every {})\n",
                 experiments::watch::fmt_ms(idle_ms),
                 experiments::watch::fmt_ms(status.expected_beat_ms()),
-            )
+            );
+            if !status.run.is_empty() {
+                b.push_str(&format!(
+                    "flight dump (if the producer dumped before dying): {}\n",
+                    sim_telemetry::flight_path(&flight_dir, &status.run).display()
+                ));
+            }
+            b
         } else {
             String::new()
         };

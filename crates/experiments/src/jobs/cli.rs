@@ -29,10 +29,15 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use sim_telemetry::{CellRecord, ProgressEvent, ProgressWriter};
+use sim_telemetry::{
+    flight, CellRecord, FlightRecorder, Json, ProgressEvent, ProgressWriter, TraceCollector,
+    TraceId,
+};
 
 use super::journal::Journal;
-use super::pool::{run_campaign, CampaignOutcome, CellTask, ProgressSink, RunnerConfig};
+use super::pool::{
+    run_campaign_with, CampaignOutcome, CellTask, ProgressSink, RunControls, RunnerConfig,
+};
 use super::registry::ExperimentDef;
 use super::{cell_id, faults, CellSet};
 use crate::runner::Scale;
@@ -97,25 +102,35 @@ fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
         })
         .collect();
 
-    let (run_id, mut journal) = match env_nonempty("REPRO_RESUME") {
+    let (run_id, mut journal, trace_id) = match env_nonempty("REPRO_RESUME") {
         Some(id) => {
             let journal = Journal::resume(&journal_dir, &id, tool, scale)
                 .unwrap_or_else(|e| operator_error(&e));
-            (id, journal)
+            // A resumed run keeps the original campaign's trace id so all
+            // artifacts of one logical campaign — across resumes —
+            // correlate; journals from before the id existed get a fresh
+            // one.
+            let trace_id = journal
+                .trace_id()
+                .map(str::to_string)
+                .unwrap_or_else(|| TraceId::mint().to_string());
+            (id, journal, trace_id)
         }
         None => {
             let id = env_nonempty("REPRO_RUN_ID").unwrap_or_else(|| default_run_id(tool));
+            let trace_id = TraceId::mint().to_string();
             // Bake the resume command into the header at create time:
             // whoever finds this journal after a crash (the epilogue,
             // `repro-serve`'s status endpoint) can surface it verbatim.
             let resume = resume_command(tool, &id, scale, &journal_dir);
-            let journal = Journal::create_with_resume(
+            let journal = Journal::create_with_meta(
                 &journal_dir,
                 &id,
                 tool,
                 scale,
                 tasks.len(),
                 Some(&resume),
+                Some(&trace_id),
             )
             .unwrap_or_else(|e| {
                 operator_error(&format!(
@@ -123,9 +138,12 @@ fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
                     super::journal::journal_path(&journal_dir, &id).display()
                 ))
             });
-            (id, journal)
+            (id, journal, trace_id)
         }
     };
+    if let Some(hub) = ctx.hub() {
+        hub.set_trace_id(&trace_id);
+    }
 
     // The fault guard must outlive the campaign so workload truncation
     // faults stay visible to trace generation on worker threads.
@@ -146,6 +164,7 @@ fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
             scale: scale.name().to_string(),
             total: tasks.len() as u64,
             workers: config.workers as u64,
+            trace_id: trace_id.clone(),
             unix_ms: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
                 .map(|d| d.as_millis() as u64)
@@ -154,17 +173,64 @@ fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
         sink
     });
 
+    // The always-on flight recorder: armed into the panic-hook registry
+    // for the campaign's lifetime, disarmed (guard drop) on normal exit.
+    let recorder = FlightRecorder::new(
+        &session.config().flight_dir,
+        &run_id,
+        &trace_id,
+        session.config().flight_capacity,
+    );
+    let _armed = flight::arm(&recorder);
+    recorder.record(
+        "campaign-started",
+        [
+            ("run", Json::from(run_id.as_str())),
+            ("tool", Json::from(tool)),
+            ("scale", Json::from(scale.name())),
+            ("cells", Json::from(tasks.len() as u64)),
+        ],
+    );
+    let trace = session
+        .config()
+        .trace_export
+        .enabled()
+        .then(|| TraceCollector::new(&run_id, &trace_id));
+
     println!(
-        "run: {run_id}  scale: {}  cells: {}  workers: {}  journal: {}\n",
+        "run: {run_id}  trace: {trace_id}  scale: {}  cells: {}  workers: {}  journal: {}\n",
         scale.name(),
         tasks.len(),
         config.workers,
         journal.path().display()
     );
 
-    let outcome = run_campaign(tasks, &config, &mut journal, &ctx, progress.as_ref())
-        .unwrap_or_else(|e| operator_error(&e));
+    let controls = RunControls {
+        flight: Some(recorder.clone()),
+        trace: trace.clone(),
+        ..RunControls::default()
+    };
+    let outcome = run_campaign_with(
+        tasks,
+        &config,
+        &mut journal,
+        &ctx,
+        progress.as_ref(),
+        &controls,
+    )
+    .unwrap_or_else(|e| operator_error(&e));
     record_cells(&ctx, &outcome);
+
+    if let Some(trace) = &trace {
+        trace.close_open("killed");
+        if let Some(hub) = ctx.hub() {
+            trace.add_spans(hub.spans());
+        }
+        match trace.write(&session.config().traceviz_dir) {
+            Ok(path) => println!("trace export: {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write trace export: {e}"),
+        }
+    }
 
     if let Some(sink) = &progress {
         let failed = outcome.failures().count() as u64;

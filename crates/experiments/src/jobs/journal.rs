@@ -147,9 +147,26 @@ impl Journal {
         cells: usize,
         resume_command: Option<&str>,
     ) -> std::io::Result<Journal> {
+        Journal::create_with_meta(dir, run_id, tool, scale, cells, resume_command, None)
+    }
+
+    /// [`Journal::create_with_resume`] with the campaign's correlation
+    /// trace id baked into the header too, so the journal joins the
+    /// progress stream, manifest, flight dump, and trace export on one
+    /// grep-able key.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_with_meta(
+        dir: &Path,
+        run_id: &str,
+        tool: &str,
+        scale: Scale,
+        cells: usize,
+        resume_command: Option<&str>,
+        trace_id: Option<&str>,
+    ) -> std::io::Result<Journal> {
         let journal = Journal {
             path: journal_path(dir, run_id),
-            header: json_header(run_id, tool, scale, cells, resume_command),
+            header: json_header(run_id, tool, scale, cells, resume_command, trace_id),
             records: BTreeMap::new(),
         };
         journal.flush()?;
@@ -212,6 +229,14 @@ impl Journal {
     /// none).
     pub fn resume_command(&self) -> Option<&str> {
         self.header.get("resume_command").and_then(Json::as_str)
+    }
+
+    /// The campaign correlation trace id recorded in the header, if the
+    /// journal was created with one (journals from older runs have
+    /// none). Resumed runs reuse this id so all artifacts of a logical
+    /// campaign — across resumes — correlate.
+    pub fn trace_id(&self) -> Option<&str> {
+        self.header.get("trace_id").and_then(Json::as_str)
     }
 
     /// The journaled record for `cell`, if any.
@@ -356,6 +381,32 @@ mod tests {
         // Journals created without one (older runs) report none.
         let plain = Journal::create(&dir, "r10", "table4", Scale::Quick, 8).unwrap();
         assert_eq!(plain.resume_command(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_id_round_trips_through_the_header() {
+        let dir = scratch("trace-id");
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = Journal::create_with_meta(
+            &dir,
+            "r11",
+            "table4",
+            Scale::Quick,
+            8,
+            Some("table4"),
+            Some("tr-9f2ab04c71d3e586"),
+        )
+        .unwrap();
+        assert_eq!(journal.trace_id(), Some("tr-9f2ab04c71d3e586"));
+        drop(journal);
+        let resumed = Journal::resume(&dir, "r11", "table4", Scale::Quick).unwrap();
+        assert_eq!(resumed.trace_id(), Some("tr-9f2ab04c71d3e586"));
+        assert_eq!(resumed.resume_command(), Some("table4"));
+
+        // Journals created without one (older runs) report none.
+        let plain = Journal::create(&dir, "r12", "table4", Scale::Quick, 8).unwrap();
+        assert_eq!(plain.trace_id(), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -231,6 +231,7 @@ pub(crate) fn json_header(
     scale: Scale,
     cells: usize,
     resume_command: Option<&str>,
+    trace_id: Option<&str>,
 ) -> Json {
     let mut header = vec![
         ("journal", Json::from(1u64)),
@@ -241,6 +242,9 @@ pub(crate) fn json_header(
     ];
     if let Some(cmd) = resume_command {
         header.push(("resume_command", Json::from(cmd)));
+    }
+    if let Some(id) = trace_id {
+        header.push(("trace_id", Json::from(id)));
     }
     obj(header)
 }

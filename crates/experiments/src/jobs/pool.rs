@@ -27,7 +27,10 @@ use super::journal::{Journal, JournalRecord};
 use super::CellData;
 use crate::telemetry::TelemetryCtx;
 use sim_telemetry::manifest::per_sec;
-use sim_telemetry::{eta_ms, ProgressEvent, ProgressWriter, SampleRow, Sampler};
+use sim_telemetry::{
+    eta_ms, flight, FlightRecorder, Json, ProgressEvent, ProgressWriter, SampleRow, Sampler,
+    TraceCollector,
+};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -273,14 +276,23 @@ impl WorkerSlots {
 }
 
 /// Optional embedding hooks for [`run_campaign_with`]: a cancellation
-/// token and a shared cross-campaign worker budget. `Default` (both
-/// `None`) reproduces plain batch behaviour exactly.
+/// token, a shared cross-campaign worker budget, and the observability
+/// taps. `Default` (all `None`) reproduces plain batch behaviour
+/// exactly.
 #[derive(Clone, Default)]
 pub struct RunControls {
     /// Cooperative cancellation, observed at cell boundaries.
     pub cancel: Option<CancelToken>,
     /// Shared attempt budget across concurrent campaigns.
     pub slots: Option<WorkerSlots>,
+    /// Always-on flight recorder: the scheduler records every cell
+    /// transition into it and dumps the ring on cell failure after
+    /// retries and on deadline sweeps.
+    pub flight: Option<FlightRecorder>,
+    /// Chrome trace collector: per-attempt slices on worker lanes plus
+    /// retry/kill instants, driven from the single-threaded scheduler so
+    /// timestamps are monotone per lane by construction.
+    pub trace: Option<TraceCollector>,
 }
 
 /// The final report for one cell.
@@ -449,6 +461,11 @@ pub fn run_campaign_with(
             sink.emit(&finished_event(report, sink.t_ms()));
         }
     }
+    if let Some(rec) = &controls.flight {
+        for report in reports.iter().flatten() {
+            rec.record("cell-resumed", [("cell", Json::from(report.cell.as_str()))]);
+        }
+    }
 
     // Shared with the heartbeat sampler thread; the single-threaded
     // scheduler refreshes them after handling each message.
@@ -533,6 +550,25 @@ pub fn run_campaign_with(
                         }
                     });
                 }
+                if let Some(rec) = &controls.flight {
+                    rec.record(
+                        if attempt == 1 {
+                            "cell-started"
+                        } else {
+                            "cell-retry"
+                        },
+                        [
+                            ("cell", Json::from(tasks[i].id.as_str())),
+                            ("attempt", Json::from(u64::from(attempt))),
+                        ],
+                    );
+                }
+                if let Some(trace) = &controls.trace {
+                    if attempt > 1 {
+                        trace.instant("cell-retry", &tasks[i].id);
+                    }
+                    trace.begin(&tasks[i].id, attempt);
+                }
                 spawn_attempt(&tasks[i], i, attempt, config, ctx, &tx);
                 running += 1;
             }
@@ -585,6 +621,19 @@ pub fn run_campaign_with(
                             wall_ms: state.wall_ms,
                             instructions: state.instructions,
                         };
+                        if let Some(trace) = &controls.trace {
+                            trace.end(&report.cell, "ok");
+                        }
+                        if let Some(rec) = &controls.flight {
+                            rec.record(
+                                "cell-finished",
+                                [
+                                    ("cell", Json::from(report.cell.as_str())),
+                                    ("attempts", Json::from(u64::from(report.attempts))),
+                                    ("wall_ms", Json::from(report.wall_ms)),
+                                ],
+                            );
+                        }
                         journal_report(journal, &report)?;
                         if let Some(sink) = progress {
                             sink.emit(&finished_event(&report, sink.t_ms()));
@@ -593,6 +642,22 @@ pub fn run_campaign_with(
                     }
                     Err(reason) => {
                         state.last_error = reason;
+                        if let Some(trace) = &controls.trace {
+                            trace.end(&tasks[task].id, "err");
+                        }
+                        if let Some(rec) = &controls.flight {
+                            rec.record(
+                                "attempt-failed",
+                                [
+                                    ("cell", Json::from(tasks[task].id.as_str())),
+                                    ("attempt", Json::from(u64::from(attempt))),
+                                    (
+                                        "reason",
+                                        Json::from(first_line(&states[task].last_error).as_str()),
+                                    ),
+                                ],
+                            );
+                        }
                         retry_or_fail(
                             task,
                             &tasks,
@@ -603,6 +668,7 @@ pub fn run_campaign_with(
                             &mut reports,
                             &mut completed,
                             progress,
+                            controls,
                         )?;
                     }
                 }
@@ -638,6 +704,23 @@ pub fn run_campaign_with(
             if let Some(slots) = &controls.slots {
                 slots.release();
             }
+            if let Some(trace) = &controls.trace {
+                trace.end(&tasks[task].id, "killed");
+                trace.instant("deadline-kill", &tasks[task].id);
+            }
+            if let Some(rec) = &controls.flight {
+                rec.record(
+                    "deadline-kill",
+                    [
+                        ("cell", Json::from(tasks[task].id.as_str())),
+                        (
+                            "deadline_ms",
+                            Json::from(config.deadline.as_millis() as u64),
+                        ),
+                    ],
+                );
+                rec.dump("deadline-sweep");
+            }
             retry_or_fail(
                 task,
                 &tasks,
@@ -648,6 +731,7 @@ pub fn run_campaign_with(
                 &mut reports,
                 &mut completed,
                 progress,
+                controls,
             )?;
         }
     }
@@ -664,6 +748,16 @@ pub fn run_campaign_with(
             .map(CancelToken::reason)
             .filter(|r| !r.is_empty())
             .unwrap_or_else(|| "no reason given".to_string());
+        if let Some(trace) = &controls.trace {
+            trace.close_open("cancelled");
+            trace.instant("campaign-cancelled", &reason);
+        }
+        if let Some(rec) = &controls.flight {
+            rec.record(
+                "campaign-cancelled",
+                [("reason", Json::from(reason.as_str()))],
+            );
+        }
         for (i, slot) in reports.iter_mut().enumerate() {
             if slot.is_none() {
                 let state = &states[i];
@@ -751,6 +845,7 @@ fn retry_or_fail(
     reports: &mut [Option<CellReport>],
     completed: &mut usize,
     progress: Option<&ProgressSink>,
+    controls: &RunControls,
 ) -> Result<(), String> {
     let state = &mut states[task];
     if state.attempts_used < config.attempts {
@@ -780,9 +875,27 @@ fn retry_or_fail(
         wall_ms: state.wall_ms,
         instructions: state.instructions,
     };
+    if let Some(rec) = &controls.flight {
+        rec.record(
+            "cell-failed",
+            [
+                ("cell", Json::from(report.cell.as_str())),
+                ("attempts", Json::from(u64::from(report.attempts))),
+                (
+                    "reason",
+                    Json::from(first_line(report.outcome.as_ref().unwrap_err()).as_str()),
+                ),
+            ],
+        );
+    }
     journal_report(journal, &report)?;
     if let Some(sink) = progress {
         sink.emit(&finished_event(&report, sink.t_ms()));
+    }
+    // The journal line is written before the dump, so the dump's trailing
+    // `cell-failed` event reconciles with a journal record that exists.
+    if let Some(rec) = &controls.flight {
+        rec.dump("cell-failed");
     }
     reports[task] = Some(report);
     Ok(())
@@ -874,7 +987,10 @@ fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Silences the default "thread panicked" stderr spew for isolated cell
 /// attempts (their panics are *reported*, as ERR table slots) while
-/// leaving every other thread's panics as loud as ever.
+/// leaving every other thread's panics as loud as ever. A panic outside
+/// the cell fence is about to take the process down, so every armed
+/// flight recorder dumps first — the post-mortem must not depend on the
+/// dying process reaching its normal shutdown path.
 fn install_quiet_panic_hook() {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
@@ -884,6 +1000,7 @@ fn install_quiet_panic_hook() {
                 .name()
                 .is_some_and(|n| n.starts_with("repro-cell-"));
             if !isolated {
+                flight::dump_armed("panic");
                 previous(info);
             }
         }));
@@ -1237,7 +1354,7 @@ mod tests {
         ];
         let controls = RunControls {
             cancel: Some(token.clone()),
-            slots: None,
+            ..RunControls::default()
         };
         let outcome = run_campaign_with(
             tasks,
@@ -1293,8 +1410,8 @@ mod tests {
             ..fast("")
         };
         let controls = RunControls {
-            cancel: None,
             slots: Some(slots),
+            ..RunControls::default()
         };
         let outcome = run_campaign_with(
             tasks,
@@ -1307,6 +1424,48 @@ mod tests {
         .unwrap();
         assert!(outcome.all_ok());
         assert_eq!(peak.load(Ordering::SeqCst), 1, "budget of 1 must serialize");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_and_trace_taps_observe_a_faulted_campaign() {
+        let dir = scratch("flight-trace");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = Journal::create(&dir, "r", "t", Scale::Quick, 2).unwrap();
+        let flight = FlightRecorder::new(&dir, "r", "tr-00000000000000f1", 64);
+        let trace = TraceCollector::new("r", "tr-00000000000000f1");
+        let controls = RunControls {
+            flight: Some(flight.clone()),
+            trace: Some(trace.clone()),
+            ..RunControls::default()
+        };
+        let outcome = run_campaign_with(
+            vec![value_task("t/ok", 1.0), value_task("t/boom", 2.0)],
+            &fast("panic:t/boom"),
+            &mut journal,
+            &TelemetryCtx::off(),
+            None,
+            &controls,
+        )
+        .unwrap();
+        assert_eq!(outcome.failures().count(), 1);
+
+        // Exactly one flight dump exists (every trigger rewrote the same
+        // path), and its trailing cell-failed event matches the journal.
+        let dump = sim_telemetry::flight_path(&dir, "r");
+        assert!(dump.exists(), "failure-after-retries must dump");
+        assert!(flight.dumps() >= 1);
+        let text = std::fs::read_to_string(&dump).unwrap();
+        let last = sim_telemetry::json::parse(text.lines().last().unwrap()).unwrap();
+        assert_eq!(last.get("kind").and_then(Json::as_str), Some("cell-failed"));
+        assert_eq!(last.get("cell").and_then(Json::as_str), Some("t/boom"));
+        assert!(!journal.record("t/boom").unwrap().ok);
+
+        // The trace validates: 4 attempt slices (1 ok + 3 failed), 2
+        // retry instants, monotone ts per lane.
+        let summary = sim_telemetry::traceviz::validate(&trace.to_json()).unwrap();
+        assert_eq!(summary.complete, 4);
+        assert_eq!(summary.instants, 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

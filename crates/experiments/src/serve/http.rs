@@ -227,6 +227,16 @@ impl Response {
         }
     }
 
+    /// A Prometheus text-exposition response. The version parameter in
+    /// the content type is part of the format contract scrapers check.
+    pub fn prometheus(body: &str) -> Response {
+        Response {
+            status: 200,
+            headers: vec![("Content-Type".into(), "text/plain; version=0.0.4".into())],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
     /// A JSON error response `{"error": "..."}`.
     pub fn error(status: u16, message: &str) -> Response {
         Response::json(

@@ -35,8 +35,9 @@ use crate::runner::Scale;
 use crate::telemetry;
 use sim_telemetry::json::{obj, Json};
 use sim_telemetry::{
-    progress_path, read_events, MetricsRegistry, ProfMode, ProgressEvent, ProgressWriter,
-    TelemetryConfig, TelemetryMode,
+    flight, progress_path, read_events, FlightRecorder, MetricsRegistry, ProfMode, ProgressEvent,
+    ProgressWriter, TelemetryConfig, TelemetryMode, TraceCollector, TraceExportMode, TraceId,
+    DEFAULT_FLIGHT_CAPACITY,
 };
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
@@ -66,6 +67,9 @@ pub struct ServeConfig {
     /// (`REPRO_JOBS`/`REPRO_RETRIES`/`REPRO_DEADLINE_MS`/
     /// `REPRO_BACKOFF_MS`/`REPRO_FAULTS`).
     pub runner: RunnerConfig,
+    /// Trace-export format every campaign writes into its request
+    /// namespace (`REPRO_TRACE_EXPORT`, default `off`).
+    pub trace_export: TraceExportMode,
 }
 
 fn env_nonempty(name: &str) -> Option<String> {
@@ -98,6 +102,10 @@ impl ServeConfig {
                 env_usize("REPRO_SERVE_READ_TIMEOUT_MS", 2000)? as u64
             ),
             runner: RunnerConfig::from_env()?,
+            trace_export: match env_nonempty("REPRO_TRACE_EXPORT") {
+                None => TraceExportMode::Off,
+                Some(v) => TraceExportMode::parse(&v)?,
+            },
         })
     }
 }
@@ -210,6 +218,10 @@ fn scheduler_loop(server: &Arc<Server>) {
     loop {
         if signal::shutdown_requested() && !server.registry.draining() {
             server.registry.begin_drain("server draining");
+            // Snapshot every in-flight campaign's last events before the
+            // drain unwinds them: each armed recorder dumps to its own
+            // request namespace.
+            flight::dump_armed("sigterm-drain");
         }
         for id in server.registry.deadline_overruns(unix_ms()) {
             server.registry.cancel(&id, "deadline exceeded");
@@ -262,6 +274,10 @@ fn run_request(server: &Arc<Server>, entry: RequestEntry) {
             progress: true,
             progress_dir: ns.join("progress"),
             progress_tick: Duration::from_millis(500),
+            trace_export: server.config.trace_export,
+            traceviz_dir: ns.join("traceviz"),
+            flight_dir: ns.join("flightrec"),
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         },
     );
     let ctx = session.ctx();
@@ -291,6 +307,10 @@ fn run_request(server: &Arc<Server>, entry: RequestEntry) {
         },
         None => (ns.join("journal"), entry.id.clone()),
     };
+    // One trace id correlates everything the request leaves behind:
+    // resumed requests reuse the prior journal's id so the logical
+    // campaign stays one trace across resumes; fresh requests mint.
+    let minted = TraceId::mint().to_string();
     let mut journal = if entry.spec.resume.is_some() {
         match Journal::resume(&journal_dir, &journal_run, def.name, scale) {
             Ok(j) => j,
@@ -298,21 +318,51 @@ fn run_request(server: &Arc<Server>, entry: RequestEntry) {
         }
     } else {
         let resume = cli::resume_command(def.name, &journal_run, scale, &journal_dir);
-        match Journal::create_with_resume(
+        match Journal::create_with_meta(
             &journal_dir,
             &journal_run,
             def.name,
             scale,
             total,
             Some(&resume),
+            Some(&minted),
         ) {
             Ok(j) => j,
             Err(e) => return fail(format!("cannot create journal: {e}")),
         }
     };
+    let trace_id = journal.trace_id().map(str::to_string).unwrap_or(minted);
+    server.registry.set_trace_id(&entry.id, &trace_id);
+    if let Some(hub) = ctx.hub() {
+        hub.set_trace_id(&trace_id);
+    }
     if let Some(cmd) = journal.resume_command() {
         server.registry.set_resume_command(&entry.id, cmd);
     }
+
+    // The flight recorder rides armed for the whole campaign so a
+    // daemon-level panic or SIGTERM drain dumps this request's last
+    // events even though the request thread never reaches a dump call.
+    let recorder = FlightRecorder::new(
+        &ns.join("flightrec"),
+        &entry.id,
+        &trace_id,
+        DEFAULT_FLIGHT_CAPACITY,
+    );
+    let _armed = flight::arm(&recorder);
+    recorder.record(
+        "request-started",
+        [
+            ("experiment", Json::from(def.name)),
+            ("client", Json::from(entry.spec.client.as_str())),
+            ("cells", Json::from(total as u64)),
+        ],
+    );
+    let trace = server
+        .config
+        .trace_export
+        .enabled()
+        .then(|| TraceCollector::new(&entry.id, &trace_id));
 
     let writer = match ProgressWriter::create(&ns.join("progress"), &entry.id) {
         Ok(w) => w,
@@ -325,12 +375,15 @@ fn run_request(server: &Arc<Server>, entry: RequestEntry) {
         scale: scale.name().to_string(),
         total: total as u64,
         workers: server.config.runner.workers as u64,
+        trace_id: trace_id.clone(),
         unix_ms: unix_ms(),
     });
 
     let controls = RunControls {
         cancel: Some(entry.cancel.clone()),
         slots: Some(server.slots.clone()),
+        flight: Some(recorder.clone()),
+        trace: trace.clone(),
     };
     let outcome = match run_campaign_with(
         tasks,
@@ -344,10 +397,30 @@ fn run_request(server: &Arc<Server>, entry: RequestEntry) {
         Err(e) => return fail(e),
     };
     cli::record_cells(&ctx, &outcome);
+    if let Some(trace) = &trace {
+        trace.close_open("killed");
+        if let Some(hub) = ctx.hub() {
+            trace.add_spans(hub.spans());
+        }
+        match trace.write(&ns.join("traceviz")) {
+            Ok(path) => println!("repro-serve: {} trace export: {}", entry.id, path.display()),
+            Err(e) => eprintln!("repro-serve: {} cannot write trace export: {e}", entry.id),
+        }
+    }
 
     let failed = outcome.failures().count();
     let done = outcome.reports.len() - failed;
     let t_ms = sink.t_ms();
+    server
+        .metrics
+        .histogram("serve.request_wall_ms")
+        .record(t_ms);
+    for report in &outcome.reports {
+        server
+            .metrics
+            .histogram("serve.cell_wall_ms")
+            .record(report.wall_ms);
+    }
     sink.emit(&ProgressEvent::CampaignFinished {
         done: done as u64,
         failed: failed as u64,
@@ -471,30 +544,35 @@ fn healthz(server: &Arc<Server>) -> Response {
     )
 }
 
+/// `GET /metrics`: Prometheus text exposition format 0.0.4. Gauges are
+/// refreshed from the registry at scrape time so the snapshot is
+/// consistent with what `/healthz` would report at the same instant.
 fn metrics(server: &Arc<Server>) -> Response {
     let (queued, active) = server.registry.counts();
-    let states = Json::Obj(
+    server.metrics.gauge("serve.queue_depth").set(queued as u64);
+    server
+        .metrics
+        .gauge("serve.active_requests")
+        .set(active as u64);
+    server
+        .metrics
+        .gauge("serve.worker_slots")
+        .set(server.slots.capacity() as u64);
+    server
+        .metrics
+        .gauge("serve.draining")
+        .set(u64::from(server.registry.draining()));
+    server
+        .metrics
+        .gauge("serve.uptime_ms")
+        .set(server.started.elapsed().as_millis() as u64);
+    for (state, n) in server.registry.state_counts() {
         server
-            .registry
-            .state_counts()
-            .into_iter()
-            .map(|(name, n)| (name.to_string(), Json::from(n)))
-            .collect(),
-    );
-    Response::json(
-        200,
-        &obj([
-            (
-                "uptime_ms",
-                Json::from(server.started.elapsed().as_millis() as u64),
-            ),
-            ("draining", Json::from(server.registry.draining())),
-            ("queued", Json::from(queued)),
-            ("active", Json::from(active)),
-            ("requests", states),
-            ("http", server.metrics.snapshot().to_json()),
-        ]),
-    )
+            .metrics
+            .gauge(&format!("serve.requests_{state}"))
+            .set(n as u64);
+    }
+    Response::prometheus(&server.metrics.snapshot().to_prometheus_text())
 }
 
 /// Parses and validates a `POST /run` body. Strict on principle: an

@@ -110,6 +110,9 @@ pub struct RequestEntry {
     pub namespace: PathBuf,
     /// Copy-pasteable resume command from the journal header.
     pub resume_command: Option<String>,
+    /// Correlation id joining journal, progress, manifest, trace export,
+    /// and flight dump (set once the campaign thread mints/reuses it).
+    pub trace_id: Option<String>,
 }
 
 impl RequestEntry {
@@ -155,6 +158,9 @@ impl RequestEntry {
         }
         if let Some(cmd) = &self.resume_command {
             fields.insert("resume_command".to_string(), Json::from(cmd.as_str()));
+        }
+        if let Some(id) = &self.trace_id {
+            fields.insert("trace_id".to_string(), Json::from(id.as_str()));
         }
         if let Some(ms) = self.spec.deadline_ms {
             fields.insert("deadline_ms".to_string(), Json::from(ms));
@@ -251,6 +257,7 @@ impl Registry {
             cells_ok: 0,
             cells_failed: 0,
             resume_command: None,
+            trace_id: None,
         };
         inner.entries.insert(id.clone(), entry);
         if !inner.clients.contains(&client) {
@@ -310,6 +317,13 @@ impl Registry {
     pub fn set_resume_command(&self, id: &str, cmd: &str) {
         if let Some(e) = self.lock().entries.get_mut(id) {
             e.resume_command = Some(cmd.to_string());
+        }
+    }
+
+    /// Records the correlation id surfaced by `GET /status`.
+    pub fn set_trace_id(&self, id: &str, trace_id: &str) {
+        if let Some(e) = self.lock().entries.get_mut(id) {
+            e.trace_id = Some(trace_id.to_string());
         }
     }
 

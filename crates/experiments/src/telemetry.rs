@@ -93,6 +93,8 @@ struct State {
     cells: Vec<CellRecord>,
     /// Fixed-tick campaign snapshots pushed by the progress sampler.
     timeseries: Vec<SampleRow>,
+    /// Campaign correlation id, stamped into the manifest when set.
+    trace_id: String,
 }
 
 impl State {
@@ -182,6 +184,13 @@ impl Hub {
             .expect("hub state poisoned")
             .benchmark
             .insert(std::thread::current().id(), name.to_string());
+    }
+
+    /// Stamps the campaign's correlation trace id so the manifest this
+    /// hub's session writes joins the journal, progress stream, flight
+    /// dump, and trace export on one grep-able key.
+    pub fn set_trace_id(&self, id: &str) {
+        self.state.lock().expect("hub state poisoned").trace_id = id.to_string();
     }
 
     /// Records one cell outcome from the jobs runner (attempts, deadline
@@ -420,6 +429,7 @@ impl Session {
         manifest.wall_ns = self.started.elapsed().as_nanos() as u64;
         manifest.hot_phases = hub.hot.snapshot();
         manifest.timeseries = state.timeseries.clone();
+        manifest.trace_id = state.trace_id.clone();
 
         // Stage-and-rename writes: a crash mid-write must never leave a
         // truncated manifest or event stream behind.

@@ -120,6 +120,9 @@ pub struct CampaignStatus {
     pub tool: String,
     /// Scale name.
     pub scale: String,
+    /// Correlation id from `campaign-started` (empty for streams
+    /// written before correlation ids existed).
+    pub trace_id: String,
     /// Worker threads.
     pub workers: u64,
     /// Cells scheduled.
@@ -165,6 +168,7 @@ impl CampaignStatus {
                     scale,
                     total,
                     workers,
+                    trace_id,
                     ..
                 } => {
                     status.run = run.clone();
@@ -172,6 +176,7 @@ impl CampaignStatus {
                     status.scale = scale.clone();
                     status.total = *total;
                     status.workers = *workers;
+                    status.trace_id = trace_id.clone();
                 }
                 ProgressEvent::CellStarted { cell, t_ms } => {
                     let view = cells
@@ -304,8 +309,13 @@ impl CampaignStatus {
     pub fn headline(&self) -> String {
         let identity = if self.run.is_empty() {
             "campaign".to_string()
-        } else {
+        } else if self.trace_id.is_empty() {
             format!("run {} ({}, {} scale)", self.run, self.tool, self.scale)
+        } else {
+            format!(
+                "run {} [{}] ({}, {} scale)",
+                self.run, self.trace_id, self.tool, self.scale
+            )
         };
         let tail = if self.finished {
             format!("finished in {}", fmt_ms(self.last_t_ms))
@@ -377,6 +387,9 @@ impl CampaignStatus {
         };
         if let Some(eta) = self.eta_ms {
             fields.insert("eta_ms".to_string(), Json::from(eta));
+        }
+        if !self.trace_id.is_empty() {
+            fields.insert("trace_id".to_string(), Json::from(self.trace_id.as_str()));
         }
         Json::Obj(fields)
     }
@@ -502,6 +515,7 @@ mod tests {
             total,
             workers: 2,
             unix_ms: 1_700_000_000_000,
+            trace_id: "tr-00000000deadbeef".into(),
         }
     }
 

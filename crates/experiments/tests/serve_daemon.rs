@@ -213,6 +213,11 @@ fn lifecycle_surfaces_resume_command_warm_store_and_drains_on_sigterm() {
         doc.get("trace_store").is_some(),
         "done status carries trace_store stats: {doc:?}"
     );
+    let trace_id = doc
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .expect("status surfaces the correlation id");
+    assert!(trace_id.starts_with("tr-"), "{trace_id}");
 
     // Warm request: the daemon's resident store replays every trace —
     // zero misses.
@@ -231,15 +236,39 @@ fn lifecycle_surfaces_resume_command_warm_store_and_drains_on_sigterm() {
         .and_then(Json::as_u64);
     assert_eq!(misses, Some(0), "warm request must not regenerate: {doc:?}");
 
-    // Telemetry reflects both requests.
-    let metrics = json_body(&http(&daemon.addr, "GET", "/metrics", None));
-    assert_eq!(
+    // Telemetry reflects both requests, in Prometheus text exposition.
+    let metrics = http(&daemon.addr, "GET", "/metrics", None);
+    assert_eq!(metrics.status, 200);
+    assert!(
         metrics
-            .get("requests")
-            .and_then(|r| r.get("done"))
-            .and_then(Json::as_u64),
-        Some(2),
-        "{metrics:?}"
+            .headers
+            .to_ascii_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "metrics must declare the exposition format version: {}",
+        metrics.headers
+    );
+    let samples = sim_telemetry::check_prometheus_text(&metrics.body)
+        .unwrap_or_else(|e| panic!("metrics fail the strict checker ({e}):\n{}", metrics.body));
+    assert!(samples > 0, "metrics exposition is empty");
+    assert!(
+        metrics.body.lines().any(|l| l == "serve_requests_done 2"),
+        "both requests must show as done:\n{}",
+        metrics.body
+    );
+    for gauge in ["serve_queue_depth ", "serve_active_requests "] {
+        assert!(
+            metrics.body.lines().any(|l| l.starts_with(gauge)),
+            "metrics must expose the {gauge}gauge:\n{}",
+            metrics.body
+        );
+    }
+    assert!(
+        metrics
+            .body
+            .lines()
+            .any(|l| l.starts_with("serve_request_wall_ms_bucket{le=\"")),
+        "metrics must expose request-latency histogram buckets:\n{}",
+        metrics.body
     );
     let health = json_body(&http(&daemon.addr, "GET", "/healthz", None));
     assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));

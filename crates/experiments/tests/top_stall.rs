@@ -28,6 +28,7 @@ fn write_dead_stream(dir: &std::path::Path) -> PathBuf {
             total: 4,
             workers: 1,
             unix_ms: 0,
+            trace_id: "tr-00000000feedface".into(),
         })
         .unwrap();
     writer
@@ -101,9 +102,18 @@ fn non_strict_follow_reports_the_stall_but_keeps_watching() {
         still_running,
         "without --strict the follower must keep watching a stalled stream"
     );
+    let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        String::from_utf8_lossy(&out.stdout).contains("STALLED"),
+        stdout.contains("STALLED"),
         "the live view must carry the STALLED banner"
+    );
+    assert!(
+        stdout.contains("[tr-00000000feedface]"),
+        "the header must carry the campaign's trace id:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("flight dump") && stdout.contains("dead-run.flight.jsonl"),
+        "the STALLED banner must point at the flight dump path:\n{stdout}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

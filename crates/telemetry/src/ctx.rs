@@ -17,7 +17,12 @@
 //! | `REPRO_PROGRESS` | `progress` | `off` |
 //! | `REPRO_PROGRESS_DIR` | `progress_dir` | `results/progress` |
 //! | `REPRO_PROGRESS_TICK_MS` | `progress_tick` | `1000` |
+//! | `REPRO_TRACE_EXPORT` | `trace_export` | `off` |
+//! | `REPRO_TRACEVIZ_DIR` | `traceviz_dir` | `results/traceviz` |
+//! | `REPRO_FLIGHT_DIR` | `flight_dir` | `results/flightrec` |
+//! | `REPRO_FLIGHT_CAP` | `flight_capacity` | `256` |
 
+use crate::flight::DEFAULT_FLIGHT_CAPACITY;
 use crate::prof::ProfMode;
 use crate::TelemetryMode;
 use std::path::PathBuf;
@@ -29,6 +34,43 @@ pub const DEFAULT_TELEMETRY_DIR: &str = "results/telemetry";
 pub const DEFAULT_PROGRESS_DIR: &str = "results/progress";
 /// Default heartbeat/sampler period in milliseconds.
 pub const DEFAULT_PROGRESS_TICK_MS: u64 = 1000;
+/// Default output directory for Chrome trace exports.
+pub const DEFAULT_TRACEVIZ_DIR: &str = "results/traceviz";
+/// Default output directory for flight-recorder dumps.
+pub const DEFAULT_FLIGHT_DIR: &str = "results/flightrec";
+
+/// Which trace-export format a campaign writes (`REPRO_TRACE_EXPORT`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceExportMode {
+    /// No export (the default).
+    #[default]
+    Off,
+    /// Chrome trace-event JSON, loadable in Perfetto/chrome://tracing.
+    Chrome,
+}
+
+impl TraceExportMode {
+    /// The accepted `REPRO_TRACE_EXPORT` values, for error messages.
+    pub const ACCEPTED: &'static str = "off, chrome";
+
+    /// Parses a `REPRO_TRACE_EXPORT` value (case-insensitive), rejecting
+    /// typos loudly like every other knob.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value.to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Ok(TraceExportMode::Off),
+            "chrome" => Ok(TraceExportMode::Chrome),
+            other => Err(format!(
+                "unrecognized REPRO_TRACE_EXPORT value {other:?}; accepted values: {}",
+                TraceExportMode::ACCEPTED
+            )),
+        }
+    }
+
+    /// Whether any export is written.
+    pub fn enabled(self) -> bool {
+        self != TraceExportMode::Off
+    }
+}
 
 /// A session's full telemetry configuration, parsed once from the
 /// environment (or built directly in tests and embedders).
@@ -46,6 +88,14 @@ pub struct TelemetryConfig {
     pub progress_dir: PathBuf,
     /// Heartbeat/sampler period (`REPRO_PROGRESS_TICK_MS`).
     pub progress_tick: Duration,
+    /// Trace-export format (`REPRO_TRACE_EXPORT`).
+    pub trace_export: TraceExportMode,
+    /// Where Chrome trace exports go (`REPRO_TRACEVIZ_DIR`).
+    pub traceviz_dir: PathBuf,
+    /// Where flight-recorder dumps go (`REPRO_FLIGHT_DIR`).
+    pub flight_dir: PathBuf,
+    /// Flight-recorder ring capacity (`REPRO_FLIGHT_CAP`).
+    pub flight_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -57,6 +107,10 @@ impl Default for TelemetryConfig {
             progress: false,
             progress_dir: PathBuf::from(DEFAULT_PROGRESS_DIR),
             progress_tick: Duration::from_millis(DEFAULT_PROGRESS_TICK_MS),
+            trace_export: TraceExportMode::Off,
+            traceviz_dir: PathBuf::from(DEFAULT_TRACEVIZ_DIR),
+            flight_dir: PathBuf::from(DEFAULT_FLIGHT_DIR),
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -103,6 +157,26 @@ impl TelemetryConfig {
                 cfg.progress_tick = Duration::from_millis(parse_tick_ms(&v)?);
             }
         }
+        if let Ok(v) = std::env::var("REPRO_TRACE_EXPORT") {
+            if !v.is_empty() {
+                cfg.trace_export = TraceExportMode::parse(&v)?;
+            }
+        }
+        if let Ok(v) = std::env::var("REPRO_TRACEVIZ_DIR") {
+            if !v.is_empty() {
+                cfg.traceviz_dir = PathBuf::from(v);
+            }
+        }
+        if let Ok(v) = std::env::var("REPRO_FLIGHT_DIR") {
+            if !v.is_empty() {
+                cfg.flight_dir = PathBuf::from(v);
+            }
+        }
+        if let Ok(v) = std::env::var("REPRO_FLIGHT_CAP") {
+            if !v.is_empty() {
+                cfg.flight_capacity = parse_flight_cap(&v)?;
+            }
+        }
         Ok(cfg)
     }
 }
@@ -131,6 +205,16 @@ fn parse_tick_ms(value: &str) -> Result<u64, String> {
     }
 }
 
+fn parse_flight_cap(value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(0) => Err("REPRO_FLIGHT_CAP must be a positive integer (events)".into()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "unrecognized REPRO_FLIGHT_CAP value {value:?}; expected a positive integer (events)"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +228,31 @@ mod tests {
         assert!(!cfg.progress);
         assert_eq!(cfg.progress_dir, PathBuf::from(DEFAULT_PROGRESS_DIR));
         assert_eq!(cfg.progress_tick, Duration::from_millis(1000));
+        assert_eq!(cfg.trace_export, TraceExportMode::Off);
+        assert_eq!(cfg.traceviz_dir, PathBuf::from(DEFAULT_TRACEVIZ_DIR));
+        assert_eq!(cfg.flight_dir, PathBuf::from(DEFAULT_FLIGHT_DIR));
+        assert_eq!(cfg.flight_capacity, DEFAULT_FLIGHT_CAPACITY);
+    }
+
+    #[test]
+    fn trace_export_parses_strictly() {
+        assert_eq!(TraceExportMode::parse("off"), Ok(TraceExportMode::Off));
+        assert_eq!(
+            TraceExportMode::parse("Chrome"),
+            Ok(TraceExportMode::Chrome)
+        );
+        assert!(TraceExportMode::Chrome.enabled());
+        assert!(!TraceExportMode::Off.enabled());
+        let err = TraceExportMode::parse("perfetto").unwrap_err();
+        assert!(err.contains("REPRO_TRACE_EXPORT"), "{err}");
+        assert!(err.contains("off, chrome"), "{err}");
+    }
+
+    #[test]
+    fn flight_cap_parses_strictly() {
+        assert_eq!(parse_flight_cap("512"), Ok(512));
+        assert!(parse_flight_cap("0").is_err());
+        assert!(parse_flight_cap("lots").is_err());
     }
 
     #[test]

@@ -23,6 +23,14 @@
 //!   together: configuration snapshot, per-benchmark counters copied from
 //!   the simulator's own statistics, span totals, and the metrics
 //!   snapshot.
+//! - [`TraceId`] / [`SpanId`] — correlation ids minted once per
+//!   campaign and stamped into every artifact, so one grep joins the
+//!   progress stream, journal, manifest, flight dump, and trace export.
+//! - [`FlightRecorder`] — the always-on bounded ring of recent
+//!   structured events, dumped atomically on panic, cell failure,
+//!   deadline sweep, or drain ([`flight`]).
+//! - [`TraceCollector`] — Chrome trace-event export of cell lifecycles
+//!   and span phases, loadable in Perfetto ([`traceviz`]).
 //!
 //! All JSON is hand-rolled ([`json`]) — escaping, a value tree, and a
 //! strict parser — because the environment has no serde.
@@ -33,7 +41,9 @@
 
 pub mod ctx;
 pub mod event;
+pub mod flight;
 pub mod fsio;
+pub mod id;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
@@ -41,17 +51,21 @@ pub mod prof;
 pub mod progress;
 pub mod sampler;
 pub mod span;
+pub mod traceviz;
 
 pub use ctx::{
-    TelemetryConfig, DEFAULT_PROGRESS_DIR, DEFAULT_PROGRESS_TICK_MS, DEFAULT_TELEMETRY_DIR,
+    TelemetryConfig, TraceExportMode, DEFAULT_FLIGHT_DIR, DEFAULT_PROGRESS_DIR,
+    DEFAULT_PROGRESS_TICK_MS, DEFAULT_TELEMETRY_DIR, DEFAULT_TRACEVIZ_DIR,
 };
 pub use event::{write_jsonl, Event, EventRing, EventSink, DEFAULT_RING_CAPACITY};
+pub use flight::{flight_path, FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use fsio::{atomic_write, atomic_write_str};
+pub use id::{SpanId, TraceId};
 pub use json::Json;
 pub use manifest::{CellRecord, RunManifest, RunRecord, SampleRow};
 pub use metrics::{
-    bucket_bounds, bucket_index, Counter, Histogram, MetricsRegistry, MetricsSnapshot,
-    HISTOGRAM_BUCKETS,
+    bucket_bounds, bucket_index, check_prometheus_text, prometheus_name, Counter, Gauge, Histogram,
+    MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS,
 };
 pub use prof::{HotProfiler, PhaseStat, PhaseTimer, ProfMode};
 pub use progress::{
@@ -60,6 +74,7 @@ pub use progress::{
 };
 pub use sampler::Sampler;
 pub use span::{SpanGuard, SpanRegistry, SpanStat};
+pub use traceviz::{trace_path, TraceCollector, TraceSummary};
 
 /// How much telemetry an experiment run captures.
 ///

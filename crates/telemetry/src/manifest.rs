@@ -175,6 +175,9 @@ impl SampleRow {
 pub struct RunManifest {
     /// Which experiment produced this (`table1`, `repro_all`, …).
     pub tool: String,
+    /// The campaign's correlation id (`tr-…`; empty when the invocation
+    /// predates correlation ids or never minted one).
+    pub trace_id: String,
     /// The `REPRO_SCALE` the run used (`quick`, `standard`, `full`).
     pub scale: String,
     /// The `REPRO_TELEMETRY` mode (`summary` or `events`).
@@ -346,6 +349,11 @@ impl RunManifest {
         let Json::Obj(mut fields) = json else {
             unreachable!("obj() builds an object");
         };
+        // Only stamped manifests carry the id, so tools that never mint
+        // one keep their historical shape.
+        if !self.trace_id.is_empty() {
+            fields.insert("trace_id".to_string(), Json::from(self.trace_id.as_str()));
+        }
         if let Some(store) = Self::trace_store_json(metrics) {
             fields.insert("trace_store".to_string(), store);
         }
@@ -589,6 +597,23 @@ mod tests {
             Some(900_000)
         );
         assert!(parse(&v.to_string()).is_ok());
+    }
+
+    #[test]
+    fn trace_id_appears_only_when_stamped() {
+        let spans = SpanRegistry::new();
+        let registry = MetricsRegistry::new();
+        let mut m = RunManifest::new("table4");
+        assert!(m
+            .to_json(&spans, &registry.snapshot())
+            .get("trace_id")
+            .is_none());
+        m.trace_id = "tr-9f2ab04c71d3e586".to_string();
+        let v = m.to_json(&spans, &registry.snapshot());
+        assert_eq!(
+            v.get("trace_id").unwrap().as_str(),
+            Some("tr-9f2ab04c71d3e586")
+        );
     }
 
     #[test]

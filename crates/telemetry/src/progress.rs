@@ -11,7 +11,7 @@
 //!
 //! | event | fields |
 //! |-------|--------|
-//! | `campaign-started` | `run`, `tool`, `scale`, `total`, `workers`, `unix_ms` |
+//! | `campaign-started` | `run`, `tool`, `scale`, `total`, `workers`, `unix_ms`, `trace_id` |
 //! | `cell-started` | `cell`, `t_ms` |
 //! | `cell-retry` | `cell`, `attempt`, `reason`, `t_ms` |
 //! | `cell-finished` | `cell`, `outcome` (`ok`/`err`/`resumed`), `attempts`, `wall_ms`, `instructions`, `instr_per_sec`, `reason?`, `t_ms` |
@@ -45,6 +45,9 @@ pub enum ProgressEvent {
         workers: u64,
         /// Wall-clock milliseconds since the unix epoch at start.
         unix_ms: u64,
+        /// The campaign's correlation id (`tr-…`; empty in streams
+        /// written before correlation ids existed).
+        trace_id: String,
     },
     /// A cell's first attempt was spawned.
     CellStarted {
@@ -136,6 +139,7 @@ impl ProgressEvent {
                 total,
                 workers,
                 unix_ms,
+                trace_id,
             } => obj([
                 tag,
                 ("run", Json::from(run.as_str())),
@@ -144,6 +148,7 @@ impl ProgressEvent {
                 ("total", Json::from(*total)),
                 ("workers", Json::from(*workers)),
                 ("unix_ms", Json::from(*unix_ms)),
+                ("trace_id", Json::from(trace_id.as_str())),
             ]),
             ProgressEvent::CellStarted { cell, t_ms } => obj([
                 tag,
@@ -254,6 +259,13 @@ impl ProgressEvent {
                 total: u("total")?,
                 workers: u("workers")?,
                 unix_ms: u("unix_ms")?,
+                // Lenient: streams written before correlation ids
+                // existed parse with an empty trace id.
+                trace_id: v
+                    .get("trace_id")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
             }),
             "cell-started" => Ok(ProgressEvent::CellStarted {
                 cell: s("cell")?,
@@ -427,6 +439,7 @@ mod tests {
                 total: 2,
                 workers: 4,
                 unix_ms: 1_700_000_000_000,
+                trace_id: "tr-9f2ab04c71d3e586".into(),
             },
             ProgressEvent::CellStarted {
                 cell: "table4/gcc".into(),
@@ -512,6 +525,19 @@ mod tests {
         let text = format!("{good}\n{{broken\n{good}\n");
         let err = parse_events(&text).unwrap_err();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn pre_trace_id_streams_still_parse() {
+        // Streams written before correlation ids existed have no
+        // trace_id field; they must parse with an empty one.
+        let text = "{\"event\":\"campaign-started\",\"run\":\"old\",\"tool\":\"table4\",\
+                    \"scale\":\"quick\",\"total\":2,\"workers\":1,\"unix_ms\":5}\n";
+        let parsed = parse_events(text).unwrap();
+        match &parsed.events[0] {
+            ProgressEvent::CampaignStarted { trace_id, .. } => assert!(trace_id.is_empty()),
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]
