@@ -17,6 +17,9 @@
 //! * [`verify`] — structural and layout invariant checking (`SL001`–`SL007`),
 //! * [`conformance`] — trace replay against the static image
 //!   (`SL008`–`SL011`),
+//! * [`predictability`] — per-site polymorphism classes, k-bounded path
+//!   contexts, static accuracy envelopes, and the dynamic-vs-static
+//!   reconciliation rules (`SL012`–`SL016`),
 //! * [`rules`] — the stable rule catalogue and finding collector,
 //! * [`sarif`] — JSON and SARIF 2.1.0 report rendering.
 //!
@@ -42,6 +45,7 @@ pub mod conformance;
 pub mod dom;
 pub mod image;
 pub mod metrics;
+pub mod predictability;
 pub mod rules;
 pub mod sarif;
 pub mod verify;
@@ -50,6 +54,10 @@ pub use cfg::{ProgramCfg, RoutineCfg};
 pub use conformance::{check_trace, ConformanceReport};
 pub use image::{Slot, SlotKind, StaticImage};
 pub use metrics::{SiteMetrics, StaticMetrics};
+pub use predictability::{
+    check_predictability, MeasuredConfig, PolyClass, PredictabilityReport, SiteOutcome,
+    SitePredictability, StaticPredictability,
+};
 pub use rules::{Finding, Findings, Rule, Severity};
 pub use sarif::{to_json, to_sarif, BenchReport};
 pub use verify::{analyze_program, verify_graphs, verify_layout, Analysis};

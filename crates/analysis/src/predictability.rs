@@ -1,0 +1,915 @@
+//! Static predictability: per-site polymorphism classes, k-bounded path
+//! contexts, accuracy envelopes, and the dynamic-vs-static reconciliation
+//! rules `SL012`–`SL016`.
+//!
+//! The paper's central claim is that indirect-jump mispredictions are
+//! governed by per-site target polymorphism, which history-indexed target
+//! caches disambiguate. This module computes, ahead of execution, what a
+//! predictor *could* achieve at each static indirect site — so dynamic
+//! results become falsifiable against static structure:
+//!
+//! * **Reachable target sets** — each site's static target set restricted
+//!   to blocks (or callee routines) reachable in the static graphs. Every
+//!   dynamic target must be a member (`SL012`).
+//! * **Polymorphism census** — sites classed mono/duo/poly/megamorphic by
+//!   reachable fan-out, the static analog of the paper's
+//!   targets-per-jump histograms.
+//! * **k-bounded path contexts** — the number of distinct length-`k`
+//!   backward CFG paths into the site. When that walk is *closed* (never
+//!   leaves the routine or blows the enumeration cap) and counts fewer
+//!   contexts than the site has reachable targets, no k-deep
+//!   history-indexed predictor can separate them (`SL016`).
+//! * **Accuracy envelopes** — a sound per-site ceiling on *any*
+//!   cold-started predictor's correct count, from the compulsory first
+//!   miss (see [`SitePredictability::ceiling_correct`]); and the
+//!   zero-history floor — the best a degenerate one-target-per-site
+//!   predictor could do — from the dynamic census. Measured accuracy
+//!   above the ceiling is a simulator bug (`SL013`); attribution books
+//!   that do not balance are one too (`SL014`).
+//!
+//! The oracle protocol gives `SL013` a second, exactly-checkable clause:
+//! the harness's oracle predicts the *actual* target whenever the BTB
+//! recognizes the branch and falls through to `pc + 4` otherwise, so an
+//! oracle mispredict whose predicted address is **not** the fall-through
+//! is impossible in a correct simulator — and is precisely what an
+//! injected wrong-target fault produces.
+
+use crate::cfg::ProgramCfg;
+use crate::dom::reachable;
+use crate::image::{SlotKind, StaticImage};
+use crate::rules::{Findings, Rule};
+use sim_isa::trace::TargetCensus;
+use sim_isa::Addr;
+use sim_workloads::{BlockId, Program, RoutineId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Default backward path-history depth (blocks). Chosen to span a full
+/// dispatch-loop iteration in every benchmark model: the walk must reach
+/// back past the *previous* indirect jump (whose target enters the
+/// predictor's history register) before a closed context count says
+/// anything about history-based separability. A depth that stops short
+/// of the loop back-edge sees one linear chain and would misreport
+/// well-predicted dispatchers as history-starved.
+pub const DEFAULT_PATH_DEPTH: usize = 24;
+
+/// Cap on enumerated backward contexts per site. Hitting the cap marks
+/// the walk open (not closed), never a finding: `cap` distinct contexts
+/// already exceed any benchmark site's fan-out.
+pub const CONTEXT_CAP: u64 = 4096;
+
+/// Executions-per-target multiple above which a site that still has not
+/// shown all its reachable targets is considered under-exercised
+/// (`SL015`). Generous on purpose: selector recurrences visit targets at
+/// very uneven rates, and a warning here must mean the workload model —
+/// not the workload's luck — is leaving static structure dead.
+pub const UNDER_EXERCISE_FACTOR: u64 = 512;
+
+/// Polymorphism class of a site, by reachable fan-out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PolyClass {
+    /// Exactly one reachable target.
+    Mono,
+    /// Two reachable targets.
+    Duo,
+    /// Three to seven reachable targets.
+    Poly,
+    /// Eight or more reachable targets.
+    Mega,
+}
+
+impl PolyClass {
+    /// Classes in census order.
+    pub const ALL: [PolyClass; 4] = [
+        PolyClass::Mono,
+        PolyClass::Duo,
+        PolyClass::Poly,
+        PolyClass::Mega,
+    ];
+
+    /// The class of a reachable fan-out.
+    pub fn of(fanout: usize) -> PolyClass {
+        match fanout {
+            0 | 1 => PolyClass::Mono,
+            2 => PolyClass::Duo,
+            3..=7 => PolyClass::Poly,
+            _ => PolyClass::Mega,
+        }
+    }
+
+    /// The class's census label.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolyClass::Mono => "mono",
+            PolyClass::Duo => "duo",
+            PolyClass::Poly => "poly",
+            PolyClass::Mega => "mega",
+        }
+    }
+
+    /// Index into census arrays.
+    pub fn index(self) -> usize {
+        match self {
+            PolyClass::Mono => 0,
+            PolyClass::Duo => 1,
+            PolyClass::Poly => 2,
+            PolyClass::Mega => 3,
+        }
+    }
+}
+
+/// What kind of indirect site this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteKind {
+    /// A jump-table switch terminator.
+    Switch,
+    /// An indirect call through a function-pointer table.
+    IndirectCall,
+}
+
+impl SiteKind {
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteKind::Switch => "switch",
+            SiteKind::IndirectCall => "icall",
+        }
+    }
+}
+
+/// The k-bounded backward path-context profile of one site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ContextProfile {
+    /// The depth `k` the walk ran at (blocks of backward history).
+    pub depth: usize,
+    /// Distinct backward contexts found (saturating at [`CONTEXT_CAP`]).
+    pub contexts: u64,
+    /// Whether the walk was *closed*: no path touched the routine entry
+    /// (where history would continue interprocedurally) and the
+    /// enumeration cap was never hit. Only a closed count is a sound
+    /// upper bound on the contexts a k-deep history can distinguish.
+    pub closed: bool,
+}
+
+/// The static predictability profile of one indirect site.
+#[derive(Clone, Debug)]
+pub struct SitePredictability {
+    /// The site's laid-out address.
+    pub addr: Addr,
+    /// Owning routine.
+    pub routine: RoutineId,
+    /// Owning block.
+    pub block: BlockId,
+    /// Switch or indirect call.
+    pub kind: SiteKind,
+    /// Jump-table arity (entries including duplicates).
+    pub arity: usize,
+    /// The full static target set, ascending.
+    pub targets: Vec<Addr>,
+    /// Targets whose destination is statically reachable, ascending.
+    pub reachable_targets: Vec<Addr>,
+    /// Whether the site itself is reachable (routine from `main`, block
+    /// from the routine entry).
+    pub reachable: bool,
+    /// Whether `addr + 4` — the prediction a front end makes when it does
+    /// not yet know the branch — is itself a member of the static target
+    /// set. When it is, even the compulsory first encounter can be
+    /// (luckily) predicted correctly, and the cold-miss ceiling must not
+    /// be tightened.
+    pub fallthrough_in_targets: bool,
+    /// The k-bounded backward path-context profile.
+    pub contexts: ContextProfile,
+    /// Polymorphism class of the reachable fan-out.
+    pub class: PolyClass,
+}
+
+impl SitePredictability {
+    /// The compulsory-miss ceiling: the most correct predictions *any*
+    /// cold-started predictor (the oracle included) can score over
+    /// `executed` executions of this site.
+    ///
+    /// On the first execution the front end has never seen the branch —
+    /// the BTB misses and the predicted next fetch is the fall-through
+    /// `addr + 4` — so that prediction can only be correct if the
+    /// fall-through address is itself one of the site's static targets.
+    /// BTB evictions can only add misses, so the bound stays sound.
+    pub fn ceiling_correct(&self, executed: u64) -> u64 {
+        if self.fallthrough_in_targets {
+            executed
+        } else {
+            executed.saturating_sub(1)
+        }
+    }
+
+    /// [`Self::ceiling_correct`] as an accuracy fraction (1.0 for an
+    /// unexecuted site).
+    pub fn ceiling_accuracy(&self, executed: u64) -> f64 {
+        if executed == 0 {
+            1.0
+        } else {
+            self.ceiling_correct(executed) as f64 / executed as f64
+        }
+    }
+}
+
+/// The whole-program static predictability profile.
+#[derive(Clone, Debug)]
+pub struct StaticPredictability {
+    /// The path depth `k` the context walks ran at.
+    pub depth: usize,
+    /// Every indirect site, by ascending address.
+    pub sites: Vec<SitePredictability>,
+}
+
+impl StaticPredictability {
+    /// Computes the profile over the static graphs and image. `depth` is
+    /// the backward path-history bound `k` (clamped to at least 1); use
+    /// [`DEFAULT_PATH_DEPTH`] to approximate the harness history depth.
+    pub fn compute(
+        program: &Program,
+        cfg: &ProgramCfg,
+        image: &StaticImage,
+        depth: usize,
+    ) -> StaticPredictability {
+        let depth = depth.max(1);
+        // Per-routine block reachability, computed once.
+        let block_reach: Vec<Vec<bool>> = cfg
+            .routines
+            .iter()
+            .map(|r| reachable(&r.succs, 0))
+            .collect();
+        // Address → (routine, block) for switch-target resolution.
+        let locate = |addr: Addr| image.slot(addr).map(|s| (s.routine, s.block));
+
+        let mut sites = Vec::new();
+        for (&addr, slot) in &image.slots {
+            let (kind, targets, arity) = match &slot.kind {
+                SlotKind::Switch { targets, arity } => (SiteKind::Switch, targets, *arity),
+                SlotKind::Call {
+                    targets,
+                    indirect: true,
+                } => (SiteKind::IndirectCall, targets, targets.len()),
+                _ => continue,
+            };
+            let site_reachable = cfg.reachable[slot.routine]
+                && block_reach[slot.routine]
+                    .get(slot.block)
+                    .copied()
+                    .unwrap_or(false);
+            let reachable_targets: Vec<Addr> = targets
+                .iter()
+                .copied()
+                .filter(|&t| match kind {
+                    // A switch target is a block of the owning routine.
+                    SiteKind::Switch => locate(t).is_some_and(|(r, b)| {
+                        cfg.reachable[r] && block_reach[r].get(b).copied().unwrap_or(false)
+                    }),
+                    // An indirect-call target is a routine entry.
+                    SiteKind::IndirectCall => locate(t).is_some_and(|(r, _)| cfg.reachable[r]),
+                })
+                .collect();
+            let contexts = path_contexts(
+                &cfg.routines[slot.routine].preds,
+                slot.block,
+                depth,
+                CONTEXT_CAP,
+            );
+            let class = PolyClass::of(reachable_targets.len());
+            sites.push(SitePredictability {
+                addr,
+                routine: slot.routine,
+                block: slot.block,
+                kind,
+                arity,
+                targets: targets.clone(),
+                reachable_targets,
+                reachable: site_reachable,
+                fallthrough_in_targets: targets.contains(&addr.next()),
+                contexts,
+                class,
+            });
+        }
+        sites.sort_by_key(|s| s.addr);
+        debug_assert_eq!(cfg.routines.len(), program.routines.len());
+        StaticPredictability { depth, sites }
+    }
+
+    /// The site at `addr`, if one exists.
+    pub fn site(&self, addr: Addr) -> Option<&SitePredictability> {
+        self.sites
+            .binary_search_by_key(&addr, |s| s.addr)
+            .ok()
+            .map(|i| &self.sites[i])
+    }
+
+    /// Static polymorphism census over reachable sites, indexed by
+    /// [`PolyClass::index`].
+    pub fn census(&self) -> [u64; 4] {
+        let mut c = [0u64; 4];
+        for s in self.sites.iter().filter(|s| s.reachable) {
+            c[s.class.index()] += 1;
+        }
+        c
+    }
+}
+
+/// Counts distinct backward paths of up to `depth` block-edges ending at
+/// `block`, over the routine's predecessor lists. A path that reaches a
+/// block with no predecessors terminates (and still counts as one
+/// context). Touching the routine entry (block 0) marks the walk *open*:
+/// at run time the history continues into the caller, so the
+/// intraprocedural count is no longer an upper bound. Exceeding `cap`
+/// also marks it open and stops the enumeration.
+fn path_contexts(preds: &[Vec<BlockId>], block: BlockId, depth: usize, cap: u64) -> ContextProfile {
+    let mut open = block == 0;
+    let mut contexts: u64 = 0;
+    // Explicit DFS over (current block, edges remaining).
+    let mut stack: Vec<(BlockId, usize)> = vec![(block, depth)];
+    while let Some((b, rem)) = stack.pop() {
+        if contexts >= cap {
+            open = true;
+            break;
+        }
+        if rem == 0 || preds.get(b).is_none_or(|p| p.is_empty()) {
+            contexts += 1;
+            continue;
+        }
+        for &p in &preds[b] {
+            if p == 0 {
+                open = true;
+            }
+            stack.push((p, rem - 1));
+        }
+    }
+    ContextProfile {
+        depth,
+        contexts: contexts.min(cap),
+        closed: !open && contexts < cap,
+    }
+}
+
+/// Per-site outcome of one measured front-end configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SiteOutcome {
+    /// Executions of the site the configuration scored.
+    pub executed: u64,
+    /// Correct predictions.
+    pub correct: u64,
+    /// Mispredictions.
+    pub mispredicted: u64,
+    /// Mispredictions whose predicted address was **not** the site's
+    /// fall-through (`pc + 4`). Always zero for a correct oracle run: the
+    /// oracle only mispredicts when the BTB does not yet know the branch,
+    /// and then the front end predicted the fall-through.
+    pub non_fallthrough_mispredicts: u64,
+}
+
+impl SiteOutcome {
+    /// Folds another outcome in.
+    pub fn absorb(&mut self, o: &SiteOutcome) {
+        self.executed += o.executed;
+        self.correct += o.correct;
+        self.mispredicted += o.mispredicted;
+        self.non_fallthrough_mispredicts += o.non_fallthrough_mispredicts;
+    }
+
+    /// Accuracy fraction (0.0 when never executed).
+    pub fn accuracy(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.executed as f64
+        }
+    }
+}
+
+/// One measured configuration's per-site prediction books.
+#[derive(Clone, Debug)]
+pub struct MeasuredConfig {
+    /// Display name (`oracle`, `tagless`, `tagged`, …).
+    pub name: String,
+    /// Whether this configuration ran the perfect-target oracle, enabling
+    /// the exact `SL013` fall-through clause.
+    pub oracle: bool,
+    /// Per-site outcomes, keyed by site address.
+    pub sites: BTreeMap<Addr, SiteOutcome>,
+}
+
+impl MeasuredConfig {
+    /// The configuration's aggregate books.
+    pub fn totals(&self) -> SiteOutcome {
+        let mut t = SiteOutcome::default();
+        for o in self.sites.values() {
+            t.absorb(o);
+        }
+        t
+    }
+}
+
+/// One configuration's reconciled aggregate, for tables and JSON.
+#[derive(Clone, Debug)]
+pub struct ConfigSummary {
+    /// Configuration name.
+    pub name: String,
+    /// Indirect executions scored.
+    pub executed: u64,
+    /// Correct predictions.
+    pub correct: u64,
+    /// Measured accuracy.
+    pub accuracy: f64,
+}
+
+/// The reconciled predictability report for one benchmark.
+#[derive(Clone, Debug)]
+pub struct PredictabilityReport {
+    /// The static path depth `k`.
+    pub depth: usize,
+    /// Static indirect sites.
+    pub sites: usize,
+    /// Static polymorphism census over reachable sites
+    /// ([`PolyClass::index`] order: mono, duo, poly, mega).
+    pub census: [u64; 4],
+    /// Sites the dynamic run actually executed.
+    pub executed_sites: usize,
+    /// Aggregate compulsory-miss ceiling on accuracy, weighted by the
+    /// dynamic census.
+    pub ceiling: f64,
+    /// Aggregate zero-history floor: the accuracy of an ideal
+    /// always-predict-the-commonest-target predictor, from the census.
+    pub floor: f64,
+    /// Per-configuration measured aggregates, in input order.
+    pub configs: Vec<ConfigSummary>,
+}
+
+/// Reconciles dynamic behavior against the static profile, reporting
+/// `SL012`–`SL016` findings, and summarizes the envelope.
+///
+/// `census` is the trace's dynamic per-site target census
+/// ([`sim_isa::TraceStats::indirect_jump_census`]); `measured` carries
+/// per-site books for each front-end configuration the caller scored.
+pub fn check_predictability(
+    stat: &StaticPredictability,
+    census: &HashMap<Addr, TargetCensus>,
+    measured: &[MeasuredConfig],
+    findings: &mut Findings,
+) -> PredictabilityReport {
+    // --- SL012: dynamic behavior must live inside static structure ----
+    let mut total_execs: u64 = 0;
+    let mut floor_correct: u64 = 0;
+    let mut ceiling_correct: u64 = 0;
+    for (&addr, c) in census {
+        total_execs += c.executions;
+        floor_correct += c.targets.values().copied().max().unwrap_or(0);
+        let Some(site) = stat.site(addr) else {
+            findings.report(
+                Rule::PredictabilityEscape,
+                Some(addr),
+                format!(
+                    "indirect branch at {addr} executed {} time(s) but is not a static site",
+                    c.executions
+                ),
+            );
+            continue;
+        };
+        ceiling_correct += site.ceiling_correct(c.executions);
+        if !site.reachable {
+            findings.report(
+                Rule::PredictabilityEscape,
+                Some(addr),
+                format!(
+                    "{} at {addr} is statically unreachable yet executed {} time(s)",
+                    site.kind.name(),
+                    c.executions
+                ),
+            );
+        }
+        for (&target, &count) in &c.targets {
+            if !site.reachable_targets.contains(&target) {
+                findings.report(
+                    Rule::PredictabilityEscape,
+                    Some(addr),
+                    format!(
+                        "{} at {addr} reached {target} ({count} time(s)), outside its \
+                         reachable static target set of {}",
+                        site.kind.name(),
+                        site.reachable_targets.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- SL013/SL014: measured books against the envelope -------------
+    let mut configs = Vec::new();
+    for m in measured {
+        for (&addr, o) in &m.sites {
+            if o.correct + o.mispredicted != o.executed {
+                findings.report(
+                    Rule::AttributionMismatch,
+                    Some(addr),
+                    format!(
+                        "{}: site {addr} books don't balance: {} correct + {} mispredicted \
+                         != {} executed",
+                        m.name, o.correct, o.mispredicted, o.executed
+                    ),
+                );
+            }
+            let dyn_execs = census.get(&addr).map(|c| c.executions);
+            if dyn_execs != Some(o.executed) {
+                findings.report(
+                    Rule::AttributionMismatch,
+                    Some(addr),
+                    format!(
+                        "{}: site {addr} scored {} execution(s) but the trace census has {}",
+                        m.name,
+                        o.executed,
+                        dyn_execs.unwrap_or(0)
+                    ),
+                );
+            }
+            let Some(site) = stat.site(addr) else {
+                continue; // already an SL012 via the census pass
+            };
+            let ceiling = site.ceiling_correct(o.executed);
+            if o.correct > ceiling {
+                findings.report(
+                    Rule::EnvelopeViolation,
+                    Some(addr),
+                    format!(
+                        "{}: site {addr} scored {} correct of {} executed, above the \
+                         compulsory-miss ceiling {}",
+                        m.name, o.correct, o.executed, ceiling
+                    ),
+                );
+            }
+            if m.oracle && o.non_fallthrough_mispredicts > 0 {
+                findings.report(
+                    Rule::EnvelopeViolation,
+                    Some(addr),
+                    format!(
+                        "{}: site {addr} had {} oracle mispredict(s) whose prediction was \
+                         not the fall-through — impossible under the oracle protocol",
+                        m.name, o.non_fallthrough_mispredicts
+                    ),
+                );
+            }
+        }
+        let t = m.totals();
+        if t.executed != total_execs {
+            findings.report(
+                Rule::AttributionMismatch,
+                None,
+                format!(
+                    "{}: scored {} indirect execution(s) in total but the trace census \
+                     has {total_execs}",
+                    m.name, t.executed
+                ),
+            );
+        }
+        configs.push(ConfigSummary {
+            name: m.name.clone(),
+            executed: t.executed,
+            correct: t.correct,
+            accuracy: t.accuracy(),
+        });
+    }
+
+    // --- SL015/SL016: structural warnings ------------------------------
+    let mut executed_sites = 0;
+    for site in &stat.sites {
+        let Some(c) = census.get(&site.addr) else {
+            continue;
+        };
+        executed_sites += 1;
+        let fan = site.reachable_targets.len() as u64;
+        if fan >= 2
+            && c.executions >= UNDER_EXERCISE_FACTOR * fan
+            && (c.distinct_targets() as u64) * 2 < fan
+        {
+            findings.report(
+                Rule::UnderExercisedSite,
+                Some(site.addr),
+                format!(
+                    "{} at {} executed {} time(s) but reached only {} of {} reachable \
+                     targets",
+                    site.kind.name(),
+                    site.addr,
+                    c.executions,
+                    c.distinct_targets(),
+                    fan
+                ),
+            );
+        }
+        if site.contexts.closed && site.contexts.contexts < fan {
+            findings.report(
+                Rule::InsufficientHistory,
+                Some(site.addr),
+                format!(
+                    "{} at {}: only {} closed path context(s) at depth {} for {} reachable \
+                     targets — k-bounded history cannot separate them",
+                    site.kind.name(),
+                    site.addr,
+                    site.contexts.contexts,
+                    site.contexts.depth,
+                    fan
+                ),
+            );
+        }
+    }
+
+    PredictabilityReport {
+        depth: stat.depth,
+        sites: stat.sites.len(),
+        census: stat.census(),
+        executed_sites,
+        ceiling: if total_execs == 0 {
+            1.0
+        } else {
+            ceiling_correct as f64 / total_execs as f64
+        },
+        floor: if total_execs == 0 {
+            0.0
+        } else {
+            floor_correct as f64 / total_execs as f64
+        },
+        configs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::StaticImage;
+    use sim_workloads::{InstrMix, ProgramBuilder, Selector};
+
+    fn mix() -> InstrMix {
+        InstrMix::integer_heavy()
+    }
+
+    /// A dispatcher: block 1 switches over blocks 2..=5, each looping back.
+    fn dispatcher() -> (Program, StaticPredictability, StaticImage) {
+        let mut b = ProgramBuilder::new();
+        let v = b.var();
+        let main = b.routine();
+        b.block(main)
+            .effect(sim_workloads::Effect::Uniform { var: v, n: 4 })
+            .body(2, mix())
+            .goto(1);
+        b.block(main)
+            .body(1, mix())
+            .switch(Selector::var(v), vec![2, 3, 4, 5]);
+        b.block(main).body(1, mix()).goto(1);
+        b.block(main).body(1, mix()).goto(1);
+        b.block(main).body(1, mix()).goto(1);
+        b.block(main).body(1, mix()).goto(1);
+        let p = b.build().unwrap();
+        let layout = p.check().unwrap();
+        let cfg = ProgramCfg::build(&p);
+        let image = StaticImage::build(&p, &layout);
+        let stat = StaticPredictability::compute(&p, &cfg, &image, DEFAULT_PATH_DEPTH);
+        (p, stat, image)
+    }
+
+    fn switch_site(stat: &StaticPredictability) -> &SitePredictability {
+        stat.sites
+            .iter()
+            .find(|s| s.kind == SiteKind::Switch)
+            .expect("switch site exists")
+    }
+
+    #[test]
+    fn dispatcher_site_is_polymorphic_and_reachable() {
+        let (_, stat, _) = dispatcher();
+        let site = switch_site(&stat);
+        assert!(site.reachable);
+        assert_eq!(site.reachable_targets.len(), 4);
+        assert_eq!(site.class, PolyClass::Poly);
+        assert_eq!(stat.census(), [0, 0, 1, 0]);
+        // Block 2 physically follows the switch terminator, so the
+        // fall-through is a member of the target set and the ceiling is
+        // the full executed count.
+        assert!(site.fallthrough_in_targets);
+        assert_eq!(site.ceiling_correct(100), 100);
+    }
+
+    #[test]
+    fn poly_classes_partition_fanouts() {
+        assert_eq!(PolyClass::of(0), PolyClass::Mono);
+        assert_eq!(PolyClass::of(1), PolyClass::Mono);
+        assert_eq!(PolyClass::of(2), PolyClass::Duo);
+        assert_eq!(PolyClass::of(3), PolyClass::Poly);
+        assert_eq!(PolyClass::of(7), PolyClass::Poly);
+        assert_eq!(PolyClass::of(8), PolyClass::Mega);
+        assert_eq!(PolyClass::of(100), PolyClass::Mega);
+    }
+
+    #[test]
+    fn path_contexts_count_distinct_paths() {
+        // Diamond into block 3: 0 -> {1, 2} -> 3.
+        let preds: Vec<Vec<BlockId>> = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        let p = path_contexts(&preds, 3, 4, CONTEXT_CAP);
+        // Both backward paths touch the entry: open.
+        assert_eq!(p.contexts, 2);
+        assert!(!p.closed);
+
+        // Self-loop 1 <-> 2 feeding 3 (never touches entry at depth 2):
+        // preds[1] = [2], preds[2] = [1], preds[3] = [1].
+        let preds: Vec<Vec<BlockId>> = vec![vec![], vec![2], vec![1], vec![1]];
+        let p = path_contexts(&preds, 3, 2, CONTEXT_CAP);
+        // 3 <- 1 <- 2: exactly one closed context.
+        assert_eq!(p.contexts, 1);
+        assert!(p.closed);
+    }
+
+    #[test]
+    fn ceiling_drops_when_fallthrough_cannot_hit() {
+        let (_, stat, _) = dispatcher();
+        let mut site = switch_site(&stat).clone();
+        site.fallthrough_in_targets = false;
+        assert_eq!(site.ceiling_correct(100), 99);
+        assert_eq!(site.ceiling_correct(0), 0);
+        assert!((site.ceiling_accuracy(100) - 0.99).abs() < 1e-12);
+    }
+
+    fn census_for(site: &SitePredictability, per_target: u64) -> HashMap<Addr, TargetCensus> {
+        let mut c = TargetCensus::default();
+        for &t in &site.reachable_targets {
+            c.executions += per_target;
+            c.targets.insert(t, per_target);
+        }
+        HashMap::from([(site.addr, c)])
+    }
+
+    fn books(
+        site: &SitePredictability,
+        executed: u64,
+        correct: u64,
+    ) -> BTreeMap<Addr, SiteOutcome> {
+        BTreeMap::from([(
+            site.addr,
+            SiteOutcome {
+                executed,
+                correct,
+                mispredicted: executed - correct,
+                non_fallthrough_mispredicts: 0,
+            },
+        )])
+    }
+
+    #[test]
+    fn clean_measurement_reconciles_without_findings() {
+        let (_, stat, _) = dispatcher();
+        let site = switch_site(&stat).clone();
+        let census = census_for(&site, 25);
+        let measured = vec![MeasuredConfig {
+            name: "oracle".into(),
+            oracle: true,
+            sites: books(&site, 100, 100),
+        }];
+        let mut f = Findings::new();
+        let report = check_predictability(&stat, &census, &measured, &mut f);
+        assert!(f.is_clean(), "{:?}", f.iter().collect::<Vec<_>>());
+        assert_eq!(report.sites, 1);
+        assert_eq!(report.executed_sites, 1);
+        assert_eq!(report.census, [0, 0, 1, 0]);
+        assert_eq!(report.configs.len(), 1);
+        assert!((report.configs[0].accuracy - 1.0).abs() < 1e-12);
+        assert!((report.floor - 0.25).abs() < 1e-12);
+        assert!((report.ceiling - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sl012_fires_on_unknown_site_and_foreign_target() {
+        let (_, stat, _) = dispatcher();
+        let site = switch_site(&stat).clone();
+
+        // Unknown site address.
+        let ghost = Addr::new(0xdead_0000);
+        let census = HashMap::from([(
+            ghost,
+            TargetCensus {
+                executions: 3,
+                targets: HashMap::from([(Addr::new(0x1000), 3)]),
+            },
+        )]);
+        let mut f = Findings::new();
+        check_predictability(&stat, &census, &[], &mut f);
+        assert_eq!(f.count(Rule::PredictabilityEscape), 1);
+
+        // A dynamic target outside the reachable set.
+        let mut census = census_for(&site, 10);
+        census
+            .get_mut(&site.addr)
+            .unwrap()
+            .targets
+            .insert(Addr::new(0xbeef_0000), 1);
+        let mut f = Findings::new();
+        check_predictability(&stat, &census, &[], &mut f);
+        assert_eq!(f.count(Rule::PredictabilityEscape), 1);
+    }
+
+    #[test]
+    fn sl013_fires_on_impossible_accuracy_and_bad_oracle_miss() {
+        let (_, stat, _) = dispatcher();
+        let mut site = switch_site(&stat).clone();
+        site.fallthrough_in_targets = false;
+        // Rebuild a profile whose only site has the tightened ceiling, so
+        // a perfect score is impossible.
+        let tight = StaticPredictability {
+            depth: stat.depth,
+            sites: vec![site.clone()],
+        };
+        let census = census_for(&site, 25);
+        let measured = vec![MeasuredConfig {
+            name: "oracle".into(),
+            oracle: true,
+            sites: books(&site, 100, 100), // 100 > ceiling 99
+        }];
+        let mut f = Findings::new();
+        check_predictability(&tight, &census, &measured, &mut f);
+        assert_eq!(f.count(Rule::EnvelopeViolation), 1);
+
+        // An oracle mispredict that predicted something other than the
+        // fall-through: the wrong-target fault signature.
+        let mut sites = books(&site, 100, 98);
+        sites
+            .get_mut(&site.addr)
+            .unwrap()
+            .non_fallthrough_mispredicts = 2;
+        let measured = vec![MeasuredConfig {
+            name: "oracle".into(),
+            oracle: true,
+            sites,
+        }];
+        let mut f = Findings::new();
+        check_predictability(&tight, &census, &measured, &mut f);
+        assert_eq!(f.count(Rule::EnvelopeViolation), 1);
+    }
+
+    #[test]
+    fn sl014_fires_when_books_do_not_balance() {
+        let (_, stat, _) = dispatcher();
+        let site = switch_site(&stat).clone();
+        let census = census_for(&site, 25);
+
+        // correct + mispredicted != executed.
+        let mut sites = books(&site, 100, 90);
+        sites.get_mut(&site.addr).unwrap().mispredicted = 5;
+        let measured = vec![MeasuredConfig {
+            name: "tagless".into(),
+            oracle: false,
+            sites,
+        }];
+        let mut f = Findings::new();
+        check_predictability(&stat, &census, &measured, &mut f);
+        assert!(f.count(Rule::AttributionMismatch) >= 1);
+
+        // Config executed count disagrees with the census.
+        let measured = vec![MeasuredConfig {
+            name: "tagless".into(),
+            oracle: false,
+            sites: books(&site, 60, 60),
+        }];
+        let mut f = Findings::new();
+        check_predictability(&stat, &census, &measured, &mut f);
+        assert!(f.count(Rule::AttributionMismatch) >= 1);
+    }
+
+    #[test]
+    fn sl015_fires_on_a_permanently_dead_target() {
+        let (_, stat, _) = dispatcher();
+        let site = switch_site(&stat).clone();
+        // Hammer one target only: 4 reachable targets, 1 ever seen.
+        let execs = UNDER_EXERCISE_FACTOR * 4;
+        let census = HashMap::from([(
+            site.addr,
+            TargetCensus {
+                executions: execs,
+                targets: HashMap::from([(site.reachable_targets[0], execs)]),
+            },
+        )]);
+        let mut f = Findings::new();
+        check_predictability(&stat, &census, &[], &mut f);
+        assert_eq!(f.count(Rule::UnderExercisedSite), 1);
+        assert_eq!(f.errors(), 0);
+    }
+
+    #[test]
+    fn sl016_fires_when_closed_contexts_undercut_fanout() {
+        let (_, stat, _) = dispatcher();
+        let mut site = switch_site(&stat).clone();
+        site.contexts = ContextProfile {
+            depth: 2,
+            contexts: 1,
+            closed: true,
+        };
+        let profile = StaticPredictability {
+            depth: 2,
+            sites: vec![site.clone()],
+        };
+        let census = census_for(&site, 10);
+        let mut f = Findings::new();
+        check_predictability(&profile, &census, &[], &mut f);
+        assert_eq!(f.count(Rule::InsufficientHistory), 1);
+        assert_eq!(f.errors(), 0);
+    }
+}

@@ -73,11 +73,35 @@ pub enum Rule {
     /// `SL011`: the trace is shorter than the requested budget (truncated
     /// generation).
     TruncatedTrace,
+    /// `SL012`: dynamic indirect-jump behavior escapes the static
+    /// predictability structure (a measured site the image does not know,
+    /// a dynamic target outside the site's *reachable* target set, or
+    /// executions at a statically unreachable site).
+    PredictabilityEscape,
+    /// `SL013`: a measured accuracy lands outside the static envelope — a
+    /// predictor scored more correct predictions than the compulsory-miss
+    /// ceiling allows, or an oracle mispredict whose prediction is not the
+    /// fall-through address (the only prediction the oracle protocol can
+    /// get wrong).
+    EnvelopeViolation,
+    /// `SL014`: per-site prediction attribution fails to reconcile
+    /// (correct + mispredicted ≠ executed, per-site sums disagree with the
+    /// dynamic census, or per-config books don't balance).
+    AttributionMismatch,
+    /// `SL015`: a polymorphic site was executed far more often than its
+    /// reachable fan-out yet exercised only a fraction of its reachable
+    /// targets — the workload under-exercises the site's static structure.
+    UnderExercisedSite,
+    /// `SL016`: k-bounded path history is statically insufficient: the
+    /// site's closed backward context count is below its reachable
+    /// fan-out, so even a perfect k-deep history predictor cannot separate
+    /// all targets.
+    InsufficientHistory,
 }
 
 impl Rule {
     /// Every rule, in catalogue order.
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 16] = [
         Rule::StructuralCheck,
         Rule::MisalignedAddress,
         Rule::LayoutContiguity,
@@ -89,6 +113,11 @@ impl Rule {
         Rule::TargetOutsideStaticSet,
         Rule::CountMismatch,
         Rule::TruncatedTrace,
+        Rule::PredictabilityEscape,
+        Rule::EnvelopeViolation,
+        Rule::AttributionMismatch,
+        Rule::UnderExercisedSite,
+        Rule::InsufficientHistory,
     ];
 
     /// The stable rule ID (`SL001` …).
@@ -105,6 +134,11 @@ impl Rule {
             Rule::TargetOutsideStaticSet => "SL009",
             Rule::CountMismatch => "SL010",
             Rule::TruncatedTrace => "SL011",
+            Rule::PredictabilityEscape => "SL012",
+            Rule::EnvelopeViolation => "SL013",
+            Rule::AttributionMismatch => "SL014",
+            Rule::UnderExercisedSite => "SL015",
+            Rule::InsufficientHistory => "SL016",
         }
     }
 
@@ -117,11 +151,16 @@ impl Rule {
             | Rule::UnresolvableTarget
             | Rule::PhantomEdge
             | Rule::TargetOutsideStaticSet
-            | Rule::CountMismatch => Severity::Error,
+            | Rule::CountMismatch
+            | Rule::PredictabilityEscape
+            | Rule::EnvelopeViolation
+            | Rule::AttributionMismatch => Severity::Error,
             Rule::UnreachableRoutine
             | Rule::UnreachableBlock
             | Rule::CallReturnImbalance
-            | Rule::TruncatedTrace => Severity::Warning,
+            | Rule::TruncatedTrace
+            | Rule::UnderExercisedSite
+            | Rule::InsufficientHistory => Severity::Warning,
         }
     }
 
@@ -139,6 +178,13 @@ impl Rule {
             Rule::TargetOutsideStaticSet => "dynamic target outside static target set",
             Rule::CountMismatch => "static/dynamic class counts disagree",
             Rule::TruncatedTrace => "trace shorter than requested budget",
+            Rule::PredictabilityEscape => {
+                "dynamic behavior escapes static predictability structure"
+            }
+            Rule::EnvelopeViolation => "measured accuracy outside static envelope",
+            Rule::AttributionMismatch => "prediction attribution fails to reconcile",
+            Rule::UnderExercisedSite => "polymorphic site under-exercised by workload",
+            Rule::InsufficientHistory => "k-bounded history cannot separate reachable targets",
         }
     }
 }
@@ -173,33 +219,56 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Per-rule cap on retained findings. A single broken invariant in a large
-/// trace would otherwise produce millions of identical findings; the
-/// overflow is tallied, not stored.
+/// Default per-rule cap on retained findings. A single broken invariant
+/// in a large trace would otherwise produce millions of identical
+/// findings; the overflow is tallied, not stored. Override with
+/// [`Findings::with_cap`] (surfaced as `simlint --max-per-rule`).
 pub const FINDINGS_PER_RULE_CAP: usize = 25;
 
 /// Collects findings with a per-rule retention cap.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Findings {
     findings: Vec<Finding>,
     counts: [u64; Rule::ALL.len()],
+    cap: usize,
+}
+
+impl Default for Findings {
+    fn default() -> Self {
+        Findings::with_cap(FINDINGS_PER_RULE_CAP)
+    }
 }
 
 impl Findings {
-    /// An empty collector.
+    /// An empty collector with the default per-rule cap.
     pub fn new() -> Self {
         Findings::default()
     }
 
-    /// Records a finding; instances past [`FINDINGS_PER_RULE_CAP`] for the
-    /// same rule are counted but not retained.
+    /// An empty collector retaining at most `cap` findings per rule
+    /// (`0` = unlimited). Every instance is still counted either way.
+    pub fn with_cap(cap: usize) -> Self {
+        Findings {
+            findings: Vec::new(),
+            counts: [0; Rule::ALL.len()],
+            cap: if cap == 0 { usize::MAX } else { cap },
+        }
+    }
+
+    /// The per-rule retention cap in effect.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Records a finding; instances past the per-rule cap are counted but
+    /// not retained.
     pub fn report(&mut self, rule: Rule, addr: Option<Addr>, message: impl Into<String>) {
         let slot = Rule::ALL
             .iter()
             .position(|&r| r == rule)
             .expect("known rule");
         self.counts[slot] += 1;
-        if self.counts[slot] as usize <= FINDINGS_PER_RULE_CAP {
+        if self.counts[slot] as u128 <= self.cap as u128 {
             self.findings.push(Finding {
                 rule,
                 message: message.into(),
@@ -224,8 +293,8 @@ impl Findings {
 
     /// Instances of `rule` that were counted but not retained.
     pub fn suppressed(&self, rule: Rule) -> u64 {
-        self.count(rule)
-            .saturating_sub(FINDINGS_PER_RULE_CAP as u64)
+        let retained = self.findings.iter().filter(|f| f.rule == rule).count() as u64;
+        self.count(rule).saturating_sub(retained)
     }
 
     /// Total findings at [`Severity::Error`], including capped-out ones.
@@ -273,6 +342,7 @@ mod tests {
         let ids: Vec<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
         assert_eq!(ids[0], "SL001");
         assert_eq!(ids[10], "SL011");
+        assert_eq!(ids[15], "SL016");
         let mut dedup = ids.clone();
         dedup.sort();
         dedup.dedup();
@@ -313,13 +383,42 @@ mod tests {
     }
 
     #[test]
+    fn custom_caps_change_retention_but_not_counts() {
+        // 0 = unlimited: everything is retained, nothing suppressed.
+        let mut unlimited = Findings::with_cap(0);
+        for i in 0..100 {
+            unlimited.report(Rule::PhantomEdge, None, format!("instance {i}"));
+        }
+        assert_eq!(unlimited.iter().count(), 100);
+        assert_eq!(unlimited.count(Rule::PhantomEdge), 100);
+        assert_eq!(unlimited.suppressed(Rule::PhantomEdge), 0);
+
+        // A tiny cap retains that many, counts all.
+        let mut tight = Findings::with_cap(2);
+        for i in 0..10 {
+            tight.report(Rule::PhantomEdge, None, format!("instance {i}"));
+        }
+        assert_eq!(tight.iter().count(), 2);
+        assert_eq!(tight.count(Rule::PhantomEdge), 10);
+        assert_eq!(tight.suppressed(Rule::PhantomEdge), 8);
+
+        // Merging across caps preserves totals; retention follows the
+        // destination's cap.
+        let mut dest = Findings::with_cap(5);
+        dest.merge(&unlimited);
+        dest.merge(&tight);
+        assert_eq!(dest.count(Rule::PhantomEdge), 110);
+        assert_eq!(dest.iter().count(), 5);
+    }
+
+    #[test]
     fn severity_partitions_the_catalogue() {
         let errors = Rule::ALL
             .iter()
             .filter(|r| r.severity() == Severity::Error)
             .count();
-        assert_eq!(errors, 7);
-        assert_eq!(Rule::ALL.len() - errors, 4);
+        assert_eq!(errors, 10);
+        assert_eq!(Rule::ALL.len() - errors, 6);
         assert_eq!(Severity::Error.sarif_level(), "error");
     }
 

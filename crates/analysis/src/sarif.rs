@@ -2,6 +2,7 @@
 //! both built with `sim-telemetry`'s hand-rolled JSON writer.
 
 use crate::metrics::StaticMetrics;
+use crate::predictability::{PolyClass, PredictabilityReport};
 use crate::rules::{Findings, Rule};
 use sim_telemetry::json::{obj, Json};
 
@@ -14,6 +15,9 @@ pub struct BenchReport {
     pub findings: Findings,
     /// Static metrics (absent when analysis aborted on an error).
     pub metrics: Option<StaticMetrics>,
+    /// Predictability reconciliation (present when the `--predictability`
+    /// pass ran).
+    pub predictability: Option<PredictabilityReport>,
 }
 
 fn metrics_json(m: &StaticMetrics) -> Json {
@@ -34,6 +38,34 @@ fn metrics_json(m: &StaticMetrics) -> Json {
         ("reachable_routines", Json::from(m.reachable_routines)),
         ("reachable_blocks", Json::from(m.reachable_blocks)),
         ("return_blocks", Json::from(m.return_blocks)),
+    ])
+}
+
+fn predictability_json(p: &PredictabilityReport) -> Json {
+    let census = PolyClass::ALL
+        .iter()
+        .map(|c| (c.name(), Json::from(p.census[c.index()])))
+        .collect::<Vec<_>>();
+    let configs: Vec<Json> = p
+        .configs
+        .iter()
+        .map(|c| {
+            obj([
+                ("name", Json::from(c.name.clone())),
+                ("executed", Json::from(c.executed)),
+                ("correct", Json::from(c.correct)),
+                ("accuracy", Json::from(c.accuracy)),
+            ])
+        })
+        .collect();
+    obj([
+        ("depth", Json::from(p.depth)),
+        ("sites", Json::from(p.sites)),
+        ("executed_sites", Json::from(p.executed_sites)),
+        ("census", obj(census)),
+        ("ceiling", Json::from(p.ceiling)),
+        ("floor", Json::from(p.floor)),
+        ("configs", Json::Arr(configs)),
     ])
 }
 
@@ -81,6 +113,9 @@ pub fn to_json(reports: &[BenchReport]) -> Json {
             ];
             if let Some(m) = &r.metrics {
                 fields.push(("metrics", metrics_json(m)));
+            }
+            if let Some(p) = &r.predictability {
+                fields.push(("predictability", predictability_json(p)));
             }
             obj(fields)
         })
@@ -197,6 +232,7 @@ mod tests {
             bench: "perl".to_string(),
             findings,
             metrics: None,
+            predictability: None,
         }]
     }
 
@@ -242,6 +278,7 @@ mod tests {
             bench: "gcc".into(),
             findings,
             metrics: None,
+            predictability: None,
         }]);
         let text = doc.to_string();
         assert!(text.contains("and 15 more SL010"), "{text}");

@@ -1,0 +1,3 @@
+fn main() {
+    experiments::jobs::cli::run_single("predictability");
+}

@@ -8,15 +8,17 @@
 //! With no `BENCH` arguments every benchmark is linted. Each benchmark
 //! gets the full static pass (`SL001`–`SL007`); `--conformance` adds a
 //! trace replay against the static image (`SL008`–`SL011`) at the
-//! `REPRO_SCALE` scale (`quick`/`ci`, `standard`, `full`).
+//! `REPRO_SCALE` scale (`quick`/`ci`, `standard`, `full`);
+//! `--predictability` adds the measured-vs-static reconciliation pass
+//! (`SL012`–`SL016`) with its census and envelope table.
 //!
 //! Exit status: `0` when no finding reaches the `--deny` gate, `1` when
 //! one does, `2` on a usage or environment error.
 
 use experiments::jobs::{faults, FaultPlan};
-use experiments::lint;
 use experiments::runner::Scale;
-use sim_analysis::{to_json, to_sarif, BenchReport, Rule, Severity};
+use experiments::{lint, predictability};
+use sim_analysis::{to_json, to_sarif, BenchReport, PolyClass, Rule, Severity};
 use sim_telemetry::atomic_write_str;
 use sim_workloads::Benchmark;
 use std::path::{Path, PathBuf};
@@ -31,11 +33,16 @@ static image (SL008-SL011).
 
 options:
   --conformance        also replay a REPRO_SCALE-sized trace per benchmark
+  --predictability     also measure oracle/tagless/tagged accuracy per site
+                       and reconcile it against the static predictability
+                       envelope (SL012-SL016)
   --trace <file.strc>  replay a recorded trace file instead of generating;
                        the benchmark is read from the file header and the
                        conformance pass is implied
   --metrics            print the per-site static metrics for each benchmark
   --deny <sev>         findings that fail the run: error (default), warn, none
+  --max-per-rule <n>   findings retained per rule (default 25, 0 = unlimited);
+                       counts and the deny gate are exact regardless
   --out <dir>          report directory (default results/lint)
   --no-output          do not write simlint.json / simlint.sarif
   --list-rules         print the rule catalogue and exit
@@ -60,9 +67,11 @@ enum Deny {
 struct Options {
     benches: Vec<Benchmark>,
     conformance: bool,
+    predictability: bool,
     trace: Option<PathBuf>,
     metrics: bool,
     deny: Deny,
+    max_per_rule: usize,
     out: PathBuf,
     write_output: bool,
 }
@@ -77,9 +86,11 @@ fn parse_args() -> Options {
     let mut opts = Options {
         benches: Vec::new(),
         conformance: false,
+        predictability: false,
         trace: None,
         metrics: false,
         deny: Deny::Error,
+        max_per_rule: sim_analysis::rules::FINDINGS_PER_RULE_CAP,
         out: PathBuf::from("results/lint"),
         write_output: true,
     };
@@ -97,6 +108,17 @@ fn parse_args() -> Options {
                 exit(0);
             }
             "--conformance" => opts.conformance = true,
+            "--predictability" => opts.predictability = true,
+            "--max-per-rule" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--max-per-rule wants a count (0 = unlimited)"));
+                opts.max_per_rule = value.parse().unwrap_or_else(|_| {
+                    usage_error(&format!(
+                        "invalid --max-per-rule value {value:?}; wants a count (0 = unlimited)"
+                    ))
+                });
+            }
             "--trace" => {
                 let value = args
                     .next()
@@ -142,6 +164,12 @@ fn parse_args() -> Options {
     if opts.trace.is_some() && !opts.benches.is_empty() {
         usage_error("--trace reads its benchmark from the file header; drop the BENCH arguments");
     }
+    if opts.trace.is_some() && opts.predictability {
+        usage_error(
+            "--predictability measures the canonical REPRO_SCALE trace and cannot \
+             reconcile an external --trace file",
+        );
+    }
     if opts.benches.is_empty() {
         opts.benches = Benchmark::ALL.to_vec();
     }
@@ -153,6 +181,7 @@ fn parse_args() -> Options {
 fn analyze_trace_file(
     ctx: &experiments::telemetry::TelemetryCtx,
     path: &Path,
+    max_per_rule: usize,
 ) -> lint::LintOutcome {
     let (header, trace) = sim_trace::read_trace_file(path).unwrap_or_else(|e| {
         eprintln!("error: {}: {e}", path.display());
@@ -176,7 +205,12 @@ fn analyze_trace_file(
         header.meta.scale,
         header.instructions
     );
-    lint::analyze_replay(bench, &trace, Some(header.instructions as usize))
+    lint::analyze_replay_with(
+        bench,
+        &trace,
+        Some(header.instructions as usize),
+        max_per_rule,
+    )
 }
 
 fn print_bench(outcome: &lint::LintOutcome, metrics: bool) {
@@ -214,6 +248,28 @@ fn print_bench(outcome: &lint::LintOutcome, metrics: bool) {
         println!(
             "  conformance: {} instructions replayed, max call depth {}",
             c.instructions, c.max_call_depth
+        );
+    }
+    if let Some(p) = &report.predictability {
+        let census = PolyClass::ALL
+            .iter()
+            .map(|c| format!("{} {}", p.census[c.index()], c.name()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "  predictability: {} site(s), {} executed; census: {census} (depth {})",
+            p.sites, p.executed_sites, p.depth
+        );
+        let configs = p
+            .configs
+            .iter()
+            .map(|c| format!("{} {:.2}%", c.name, c.accuracy * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "  envelope: floor {:.2}%, ceiling {:.2}%; measured: {configs}",
+            p.floor * 100.0,
+            p.ceiling * 100.0
         );
     }
     if metrics {
@@ -260,10 +316,19 @@ fn main() {
 
     let mode = if opts.trace.is_some() {
         "trace-file replay + conformance".to_string()
-    } else if opts.conformance {
-        format!("static + conformance at {} scale", scale.name())
     } else {
-        "static only".to_string()
+        let mut passes = vec!["static"];
+        if opts.conformance {
+            passes.push("conformance");
+        }
+        if opts.predictability {
+            passes.push("predictability");
+        }
+        if passes.len() == 1 {
+            "static only".to_string()
+        } else {
+            format!("{} at {} scale", passes.join(" + "), scale.name())
+        }
     };
     let count = if opts.trace.is_some() {
         1
@@ -273,11 +338,18 @@ fn main() {
     println!("simlint: {count} benchmark(s), {mode}\n");
 
     let outcomes: Vec<lint::LintOutcome> = match &opts.trace {
-        Some(path) => vec![analyze_trace_file(&ctx, path)],
+        Some(path) => vec![analyze_trace_file(&ctx, path, opts.max_per_rule)],
         None => opts
             .benches
             .iter()
-            .map(|&bench| lint::analyze(&ctx, bench, scale, opts.conformance))
+            .map(|&bench| {
+                let mut outcome =
+                    lint::analyze_with(&ctx, bench, scale, opts.conformance, opts.max_per_rule);
+                if opts.predictability {
+                    predictability::extend(&ctx, bench, scale, &mut outcome.report);
+                }
+                outcome
+            })
             .collect(),
     };
     let mut reports = Vec::new();

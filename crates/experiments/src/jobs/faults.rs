@@ -12,6 +12,7 @@
 //! | `flaky:<cell>:<n>` | the first `<n>` attempts of `<cell>` panic, later ones succeed (exercises retry) |
 //! | `truncate:<bench>:<frac>` | `<bench>`'s trace generates only `<frac>` of its budget |
 //! | `truncate-store:<bench>:<frac>` | the first store recording of `<bench>`'s trace writes only `<frac>` of the file (torn write; read-back detection makes the attempt fail retryably) |
+//! | `wrong-target:<bench>[:<period>]` | every `<period>`-th scored indirect prediction of `<bench>` is perturbed to a wrong, non-fall-through target (default period 97) — a seeded predictor bug the `SL013` envelope rule must catch |
 //! | `random:<seed>:<rate>` | each (cell, attempt) panics with probability `<rate>`, seeded |
 //!
 //! `<cell>` is a cell id (`table4/perl`), the wildcard form `table4/*`
@@ -45,9 +46,16 @@ pub struct FaultPlan {
     /// `(benchmark, fraction)` store-recording truncations (torn
     /// writes), each fired once per installed plan.
     truncate_store: Vec<(String, f64)>,
+    /// `(benchmark, period)` wrong-target predictor bugs: every
+    /// `period`-th scored indirect prediction is perturbed.
+    wrong_target: Vec<(String, u64)>,
     /// Seeded random panic mode: `(seed, rate)`.
     random: Option<(u64, f64)>,
 }
+
+/// Default perturbation period for `wrong-target` faults without an
+/// explicit one: prime, so the corrupted executions spread across sites.
+pub const WRONG_TARGET_DEFAULT_PERIOD: u64 = 97;
 
 impl FaultPlan {
     /// The no-faults plan.
@@ -60,6 +68,7 @@ impl FaultPlan {
         self.cell_faults.is_empty()
             && self.truncate.is_empty()
             && self.truncate_store.is_empty()
+            && self.wrong_target.is_empty()
             && self.random.is_none()
     }
 
@@ -109,6 +118,21 @@ impl FaultPlan {
                     }
                     plan.truncate_store.push((bench.to_string(), frac));
                 }
+                ["wrong-target", bench] => {
+                    plan.wrong_target
+                        .push((bench.to_string(), WRONG_TARGET_DEFAULT_PERIOD));
+                }
+                ["wrong-target", bench, period] => {
+                    let period: u64 = period.parse().map_err(|_| {
+                        format!("fault {part:?}: wrong-target wants a period, got {period:?}")
+                    })?;
+                    if period == 0 {
+                        return Err(format!(
+                            "fault {part:?}: wrong-target period must be at least 1"
+                        ));
+                    }
+                    plan.wrong_target.push((bench.to_string(), period));
+                }
                 ["random", seed, rate] => {
                     let seed: u64 = seed.parse().map_err(|_| {
                         format!("fault {part:?}: random wants an integer seed, got {seed:?}")
@@ -128,7 +152,7 @@ impl FaultPlan {
                         "unrecognized REPRO_FAULTS entry {part:?}; accepted forms: \
                          panic:<cell>, delay:<cell>:<ms>, flaky:<cell>:<n>, \
                          truncate:<bench>:<frac>, truncate-store:<bench>:<frac>, \
-                         random:<seed>:<rate>"
+                         wrong-target:<bench>[:<period>], random:<seed>:<rate>"
                     ))
                 }
             }
@@ -196,6 +220,14 @@ impl FaultPlan {
             .find(|(b, _)| b == bench)
             .map(|&(_, f)| f)
     }
+
+    /// The wrong-target perturbation period for `bench`, if any.
+    pub fn wrong_target(&self, bench: &str) -> Option<u64> {
+        self.wrong_target
+            .iter()
+            .find(|(b, _)| b == bench)
+            .map(|&(_, p)| p)
+    }
 }
 
 /// A deterministic hash of `(seed, cell, attempt)` mapped to `[0, 1)` —
@@ -247,6 +279,16 @@ pub fn active_truncation(bench: &str) -> Option<f64> {
         .and_then(|p| p.truncation(bench))
 }
 
+/// The active wrong-target perturbation period for `bench`, if a plan
+/// with a `wrong-target` fault is installed.
+pub fn active_wrong_target(bench: &str) -> Option<u64> {
+    ACTIVE
+        .lock()
+        .expect("fault plan lock poisoned")
+        .as_ref()
+        .and_then(|p| p.wrong_target(bench))
+}
+
 /// Takes (consumes) the store-recording truncation for `bench`: returns
 /// the fraction the first time it is called per benchmark under the
 /// active plan, `None` afterwards and when no plan targets `bench`.
@@ -287,11 +329,14 @@ mod tests {
     fn parses_every_spec_form() {
         let plan = FaultPlan::parse(
             "panic:table4/perl, delay:table1/gcc:250,flaky:headline/perl:2,\
-             truncate:compress:0.5,random:42:0.25",
+             truncate:compress:0.5,wrong-target:perl,wrong-target:gcc:13,random:42:0.25",
         )
         .unwrap();
         assert_eq!(plan.cell_faults.len(), 3);
         assert_eq!(plan.truncate, vec![("compress".to_string(), 0.5)]);
+        assert_eq!(plan.wrong_target("perl"), Some(WRONG_TARGET_DEFAULT_PERIOD));
+        assert_eq!(plan.wrong_target("gcc"), Some(13));
+        assert_eq!(plan.wrong_target("compress"), None);
         assert_eq!(plan.random, Some((42, 0.25)));
         assert!(!plan.is_empty());
         assert!(FaultPlan::parse("").unwrap().is_empty());
@@ -307,6 +352,8 @@ mod tests {
             "truncate:perl:1.5",
             "truncate-store:perl:1.5",
             "truncate-store:perl:x",
+            "wrong-target:perl:0",
+            "wrong-target:perl:abc",
             "random:a:0.5",
             "random:1:2.0",
             "explode:x",
@@ -362,7 +409,10 @@ mod tests {
         // Synthetic benchmark names: `install` is process-global, so
         // using real benchmark names here would race with other unit
         // tests that build traces in parallel.
-        let plan = FaultPlan::parse("truncate:synth-a:0.25,truncate-store:synth-b:0.5").unwrap();
+        let plan = FaultPlan::parse(
+            "truncate:synth-a:0.25,truncate-store:synth-b:0.5,wrong-target:synth-c:7",
+        )
+        .unwrap();
         assert_eq!(plan.truncation("synth-a"), Some(0.25));
         assert_eq!(plan.truncation("synth-b"), None);
         assert_eq!(plan.store_truncation("synth-b"), Some(0.5));
@@ -370,9 +420,12 @@ mod tests {
 
         assert_eq!(active_truncation("synth-a"), None);
         assert_eq!(take_store_truncation("synth-b"), None);
+        assert_eq!(active_wrong_target("synth-c"), None);
         {
             let _guard = install(plan.clone());
             assert_eq!(active_truncation("synth-a"), Some(0.25));
+            assert_eq!(active_wrong_target("synth-c"), Some(7));
+            assert_eq!(active_wrong_target("synth-a"), None);
             // A store fault is a single torn write: it fires once per
             // benchmark per installed plan, so the retry it provokes
             // records cleanly.

@@ -166,6 +166,13 @@ pub fn all() -> Vec<ExperimentDef> {
             cell: lint::cell,
             render: lint::render_cells,
         },
+        ExperimentDef {
+            name: "predictability",
+            title: "Static predictability: census, envelopes, reconciliation",
+            labels: predictability::cell_labels,
+            cell: predictability::cell,
+            render: predictability::render_cells,
+        },
     ]
 }
 
@@ -181,7 +188,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_consistent() {
         let defs = all();
-        assert_eq!(defs.len(), 18);
+        assert_eq!(defs.len(), 19);
         let mut names: Vec<&str> = defs.iter().map(|d| d.name).collect();
         names.dedup();
         assert_eq!(names.len(), defs.len(), "names must be unique");

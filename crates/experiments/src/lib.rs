@@ -59,6 +59,7 @@ pub mod headline;
 pub mod jobs;
 pub mod lint;
 pub mod perf;
+pub mod predictability;
 pub mod report;
 pub mod runner;
 pub mod serve;

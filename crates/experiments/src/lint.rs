@@ -13,6 +13,7 @@ use crate::jobs::{CellData, CellSet};
 use crate::report::TextTable;
 use crate::runner::{trace, Scale};
 use crate::telemetry::TelemetryCtx;
+use sim_analysis::rules::FINDINGS_PER_RULE_CAP;
 use sim_analysis::{analyze_program, check_trace, BenchReport, ConformanceReport, Findings};
 use sim_workloads::Benchmark;
 
@@ -27,13 +28,16 @@ pub struct LintOutcome {
 }
 
 /// The static pass plus an optional conformance replay of a supplied
-/// trace (with its expected instruction budget, if any).
+/// trace (with its expected instruction budget, if any). `cap` bounds
+/// the findings retained per rule (0 = unlimited); counts are exact
+/// either way.
 fn analyze_common(
     bench: Benchmark,
     replay: Option<(&sim_isa::VecTrace, Option<usize>)>,
+    cap: usize,
 ) -> LintOutcome {
     let workload = bench.workload();
-    let mut findings = Findings::new();
+    let mut findings = Findings::with_cap(cap);
     let analysis = analyze_program(workload.program(), &mut findings);
     let mut conf = None;
     if let (Some(a), Some((t, expected))) = (&analysis, replay) {
@@ -45,6 +49,7 @@ fn analyze_common(
             bench: bench.name().to_string(),
             findings,
             metrics: analysis.map(|a| a.metrics),
+            predictability: None,
         },
         conformance: conf,
     }
@@ -61,12 +66,24 @@ pub fn analyze(
     scale: Scale,
     conformance: bool,
 ) -> LintOutcome {
+    analyze_with(ctx, bench, scale, conformance, FINDINGS_PER_RULE_CAP)
+}
+
+/// [`analyze`] with an explicit per-rule finding retention cap
+/// (0 = unlimited) — the `simlint --max-per-rule` plumbing.
+pub fn analyze_with(
+    ctx: &TelemetryCtx,
+    bench: Benchmark,
+    scale: Scale,
+    conformance: bool,
+    cap: usize,
+) -> LintOutcome {
     if conformance {
         let budget = scale.budget(bench);
         let t = trace(ctx, bench, scale);
-        analyze_common(bench, Some((&t, Some(budget))))
+        analyze_common(bench, Some((&t, Some(budget))), cap)
     } else {
-        analyze_common(bench, None)
+        analyze_common(bench, None, cap)
     }
 }
 
@@ -80,7 +97,18 @@ pub fn analyze_replay(
     t: &sim_isa::VecTrace,
     expected_budget: Option<usize>,
 ) -> LintOutcome {
-    analyze_common(bench, Some((t, expected_budget)))
+    analyze_replay_with(bench, t, expected_budget, FINDINGS_PER_RULE_CAP)
+}
+
+/// [`analyze_replay`] with an explicit per-rule finding retention cap
+/// (0 = unlimited).
+pub fn analyze_replay_with(
+    bench: Benchmark,
+    t: &sim_isa::VecTrace,
+    expected_budget: Option<usize>,
+    cap: usize,
+) -> LintOutcome {
+    analyze_common(bench, Some((t, expected_budget)), cap)
 }
 
 /// The benchmark labels this experiment enumerates cells over.

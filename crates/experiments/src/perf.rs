@@ -78,6 +78,10 @@ impl Scenario {
 ///   tagless gshare target cache, all 8 benchmarks.
 /// * `timing/<bench>` — the cycle-level timing model on the two
 ///   heaviest indirect-jump workloads (perl, gcc).
+/// * `analysis-static` — the full static-analysis stack (verification
+///   plus the predictability profile) over all 8 benchmark models.
+/// * `analysis-conformance` — trace-conformance replay of the shared
+///   gcc trace against its static image.
 /// * `e2e/table1` — end-to-end Table 1 regeneration at quick scale.
 ///
 /// Traces for the replay scenarios are generated once up front and
@@ -179,6 +183,49 @@ pub fn scenario_matrix(ctx: &TelemetryCtx, scale: Scale) -> Vec<Scenario> {
         scenarios.push(Scenario::new(format!("timing/{bench}"), move || {
             claim(bench);
             runner::timing(&ctx, &trace, FrontEndConfig::isca97_baseline()).instructions
+        }));
+    }
+    scenarios.push(Scenario::new("analysis-static", move || {
+        // The whole static-analysis stack over every benchmark model:
+        // CFG/layout verification plus the predictability profile.
+        let mut sites = 0u64;
+        let mut instrs = 0u64;
+        for bench in Benchmark::ALL {
+            let workload = bench.workload();
+            let mut findings = sim_analysis::Findings::new();
+            let a = sim_analysis::analyze_program(workload.program(), &mut findings)
+                .expect("benchmark models analyze clean");
+            let stat = sim_analysis::StaticPredictability::compute(
+                workload.program(),
+                &a.cfg,
+                &a.image,
+                sim_analysis::predictability::DEFAULT_PATH_DEPTH,
+            );
+            sites += stat.sites.len() as u64;
+            instrs += a.metrics.static_instructions as u64;
+        }
+        std::hint::black_box(sites);
+        instrs
+    }));
+    {
+        let bench = Benchmark::Gcc;
+        let trace = Rc::clone(&traces[bench.name()]);
+        let claim = claim.clone();
+        scenarios.push(Scenario::new("analysis-conformance", move || {
+            claim(bench);
+            let workload = bench.workload();
+            let mut findings = sim_analysis::Findings::new();
+            let a = sim_analysis::analyze_program(workload.program(), &mut findings)
+                .expect("benchmark models analyze clean");
+            let stats = trace.stats();
+            let report = sim_analysis::check_trace(
+                &a.image,
+                trace.as_ref(),
+                &stats,
+                Some(trace.len()),
+                &mut findings,
+            );
+            report.instructions as u64
         }));
     }
     let e2e_ctx = ctx.clone();
@@ -745,8 +792,10 @@ mod tests {
             assert!(names.contains(&format!("functional-tc/{bench}")));
         }
         assert!(names.contains(&"timing/perl".to_string()));
+        assert!(names.contains(&"analysis-static".to_string()));
+        assert!(names.contains(&"analysis-conformance".to_string()));
         assert!(names.contains(&"e2e/table1".to_string()));
-        assert_eq!(names.len(), 8 * 5 + 2 + 1);
+        assert_eq!(names.len(), 8 * 5 + 2 + 2 + 1);
     }
 
     #[test]

@@ -171,6 +171,173 @@ fn list_rules_prints_the_whole_catalogue() {
     }
 }
 
+#[test]
+fn predictability_pass_reports_census_and_envelope() {
+    let dir = scratch("pred");
+    let out_flag = dir.to_str().unwrap();
+    let out = run_simlint(
+        &[
+            "--predictability",
+            "--deny",
+            "warn",
+            "--out",
+            out_flag,
+            "perl",
+            "gcc",
+        ],
+        &[],
+    );
+    let text = stdout(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout:\n{text}\nstderr:\n{}",
+        stderr(&out)
+    );
+    assert!(text.contains("0 error(s), 0 warning(s)"), "{text}");
+    assert!(text.contains("predictability:"), "{text}");
+    assert!(text.contains("envelope: floor"), "{text}");
+    for config in ["oracle", "tagless", "tagged"] {
+        assert!(text.contains(config), "missing {config}:\n{text}");
+    }
+
+    // The JSON report carries the census and per-config accuracies.
+    let json = fs::read_to_string(dir.join("simlint.json")).expect("json written");
+    let parsed = sim_telemetry::json::parse(&json).expect("simlint.json parses");
+    let benches = parsed.get("benchmarks").unwrap().as_arr().unwrap();
+    assert_eq!(benches.len(), 2);
+    for bench in benches {
+        let p = bench.get("predictability").expect("predictability block");
+        let census = p.get("census").expect("census");
+        for class in ["mono", "duo", "poly", "mega"] {
+            assert!(census.get(class).is_some(), "census class {class}");
+        }
+        let configs = p.get("configs").unwrap().as_arr().unwrap();
+        assert_eq!(configs.len(), 3);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_target_fault_fails_the_predictability_gate() {
+    let fault = [("REPRO_FAULTS", "wrong-target:gcc")];
+
+    // The injected wrong-target fault must surface as SL013 and fail
+    // the run at the default error gate.
+    let denied = run_simlint(&["--predictability", "--no-output", "gcc"], &fault);
+    let text = stdout(&denied);
+    assert_eq!(denied.status.code(), Some(1), "{text}\n{}", stderr(&denied));
+    assert!(text.contains("SL013"), "{text}");
+    assert!(
+        text.contains("not the fall-through"),
+        "SL013 must name the oracle clause:\n{text}"
+    );
+
+    // The same run without the fault is clean.
+    let clean = run_simlint(&["--predictability", "--no-output", "gcc"], &[]);
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "{}\n{}",
+        stdout(&clean),
+        stderr(&clean)
+    );
+    assert!(!stdout(&clean).contains("SL013"), "{}", stdout(&clean));
+
+    // Without --predictability the measurement never runs, so the fault
+    // cannot surface.
+    let static_only = run_simlint(&["--no-output", "gcc"], &fault);
+    assert_eq!(static_only.status.code(), Some(0));
+    assert!(!stdout(&static_only).contains("SL013"));
+}
+
+#[test]
+fn max_per_rule_bounds_retention_but_not_counts() {
+    // A half-truncated perl trace produces one SL011 warning; the flag
+    // must parse, accept 0 as unlimited, and reject garbage.
+    let fault = [("REPRO_FAULTS", "truncate:perl:0.5")];
+    let capped = run_simlint(
+        &[
+            "--conformance",
+            "--max-per-rule",
+            "1",
+            "--no-output",
+            "perl",
+        ],
+        &fault,
+    );
+    assert_eq!(capped.status.code(), Some(0), "{}", stderr(&capped));
+    assert!(stdout(&capped).contains("SL011"), "{}", stdout(&capped));
+
+    let unlimited = run_simlint(
+        &[
+            "--conformance",
+            "--max-per-rule",
+            "0",
+            "--no-output",
+            "perl",
+        ],
+        &fault,
+    );
+    assert_eq!(unlimited.status.code(), Some(0), "{}", stderr(&unlimited));
+    assert!(stdout(&unlimited).contains("SL011"));
+
+    let bad = run_simlint(&["--max-per-rule", "lots", "--no-output"], &[]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(stderr(&bad).contains("--max-per-rule"), "{}", stderr(&bad));
+}
+
+/// The acceptance criterion behind SL012–SL016: at the workloads' full
+/// canonical budgets, the measured oracle accuracy for the paper's two
+/// hard benchmarks must sit inside the static envelope, with zero
+/// reconciliation findings.
+#[test]
+fn full_scale_perl_and_gcc_stay_inside_the_static_envelope() {
+    use experiments::predictability::analyze;
+    use experiments::runner::Scale;
+    use experiments::telemetry::TelemetryCtx;
+    use sim_workloads::Benchmark;
+
+    for bench in [Benchmark::Perl, Benchmark::Gcc] {
+        let report = analyze(&TelemetryCtx::off(), bench, Scale::Full);
+        assert!(
+            report.findings.is_clean(),
+            "{bench}: {:?}",
+            report.findings.iter().collect::<Vec<_>>()
+        );
+        let p = report.predictability.expect("predictability pass ran");
+        assert!(p.sites > 0, "{bench}");
+        assert!(p.executed_sites > 0, "{bench}");
+        let oracle = p
+            .configs
+            .iter()
+            .find(|c| c.name == "oracle")
+            .expect("oracle config measured");
+        assert!(
+            oracle.accuracy <= p.ceiling + 1e-12,
+            "{bench}: oracle {} above static ceiling {}",
+            oracle.accuracy,
+            p.ceiling
+        );
+        assert!(
+            oracle.accuracy >= p.floor - 1e-12,
+            "{bench}: the oracle cannot do worse than the zero-history floor \
+             (oracle {}, floor {})",
+            oracle.accuracy,
+            p.floor
+        );
+        for c in &p.configs {
+            assert!(
+                c.accuracy <= oracle.accuracy + 1e-12,
+                "{bench}: {} ({}) cannot beat the oracle ({})",
+                c.name,
+                c.accuracy,
+                oracle.accuracy
+            );
+        }
+    }
+}
+
 /// The acceptance criterion behind SL010: at the workloads' full
 /// canonical budgets, the per-class instruction counts reconstructed
 /// from the *static* image must reconcile exactly with the dynamic

@@ -130,6 +130,18 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Maps generated values into a *strategy* produced by `f` and draws
+    /// from it — dependent generation (e.g. pick a size, then generate a
+    /// structure of that size).
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Type-erases the strategy (used by [`prop_oneof!`]).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -184,6 +196,20 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 
