@@ -1,0 +1,5 @@
+//! Prints the sampled-vs-exact phase-sampling table.
+
+fn main() {
+    experiments::jobs::cli::run_single("simpoint")
+}

@@ -58,7 +58,7 @@ fn default_run_id(tool: &str) -> String {
     format!("{tool}-{secs}-{}", std::process::id())
 }
 
-fn operator_error(message: &str) -> ! {
+pub(crate) fn operator_error(message: &str) -> ! {
     eprintln!("error: {message}");
     exit(2)
 }
@@ -79,10 +79,9 @@ pub fn run_single(name: &str) -> ! {
 
 fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
     let scale = Scale::from_env_or_exit();
-    let config = RunnerConfig::from_env().unwrap_or_else(|e| operator_error(&e));
-    let journal_dir = PathBuf::from(
-        env_nonempty("REPRO_JOURNAL_DIR").unwrap_or_else(|| DEFAULT_JOURNAL_DIR.into()),
-    );
+    if crate::runner::SampleMode::from_env_or_exit() == crate::runner::SampleMode::Simpoint {
+        return crate::sample::drive_sampled(tool, defs, scale);
+    }
 
     // The session parses the telemetry/progress knob surface (the one
     // env read) and must outlive the campaign so cell records land in
@@ -101,6 +100,57 @@ fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
             })
         })
         .collect();
+
+    let driven = drive_campaign(tool, scale, &session, tasks);
+
+    for def in defs {
+        let mut cells = CellSet::new();
+        for label in (def.labels)() {
+            let report = driven
+                .outcome
+                .report(&cell_id(def.name, label))
+                .expect("every enumerated cell was scheduled");
+            cells.insert(label, report.outcome.clone());
+        }
+        println!("{}", (def.render)(&cells));
+    }
+
+    epilogue(
+        tool,
+        &driven.run_id,
+        scale,
+        &driven.journal_dir,
+        &driven.outcome,
+    )
+}
+
+/// What [`drive_campaign`] hands back to its caller for rendering and
+/// the exit epilogue.
+pub(crate) struct DrivenCampaign {
+    /// The run id (journal name) this campaign executed under.
+    pub run_id: String,
+    /// Journal directory, for the resume command.
+    pub journal_dir: PathBuf,
+    /// Every cell's report.
+    pub outcome: CampaignOutcome,
+}
+
+/// The campaign execution core shared by the exact driver ([`drive`])
+/// and the sampled driver ([`crate::sample::drive_sampled`]): journal
+/// create/resume, fault installation, progress stream, flight recorder,
+/// trace export, pool execution, and manifest cell records. The caller
+/// owns task enumeration, rendering, and the exit epilogue.
+pub(crate) fn drive_campaign(
+    tool: &str,
+    scale: Scale,
+    session: &telemetry::Session,
+    tasks: Vec<CellTask>,
+) -> DrivenCampaign {
+    let config = RunnerConfig::from_env().unwrap_or_else(|e| operator_error(&e));
+    let journal_dir = PathBuf::from(
+        env_nonempty("REPRO_JOURNAL_DIR").unwrap_or_else(|| DEFAULT_JOURNAL_DIR.into()),
+    );
+    let ctx = session.ctx();
 
     let (run_id, mut journal, trace_id) = match env_nonempty("REPRO_RESUME") {
         Some(id) => {
@@ -245,18 +295,11 @@ fn drive(tool: &str, defs: &[ExperimentDef]) -> i32 {
         });
     }
 
-    for def in defs {
-        let mut cells = CellSet::new();
-        for label in (def.labels)() {
-            let report = outcome
-                .report(&cell_id(def.name, label))
-                .expect("every enumerated cell was scheduled");
-            cells.insert(label, report.outcome.clone());
-        }
-        println!("{}", (def.render)(&cells));
+    DrivenCampaign {
+        run_id,
+        journal_dir,
+        outcome,
     }
-
-    epilogue(tool, &run_id, scale, &journal_dir, &outcome)
 }
 
 /// Mirrors every cell outcome into the telemetry manifest. Shared with
@@ -292,7 +335,7 @@ pub(crate) fn resume_command(tool: &str, run_id: &str, scale: Scale, journal_dir
     cmd
 }
 
-fn epilogue(
+pub(crate) fn epilogue(
     tool: &str,
     run_id: &str,
     scale: Scale,

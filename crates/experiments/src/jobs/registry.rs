@@ -173,6 +173,13 @@ pub fn all() -> Vec<ExperimentDef> {
             cell: predictability::cell,
             render: predictability::render_cells,
         },
+        ExperimentDef {
+            name: "simpoint",
+            title: "SimPoint phase sampling: sampled vs exact misprediction",
+            labels: sample::cell_labels,
+            cell: sample::cell,
+            render: sample::render_cells,
+        },
     ]
 }
 
@@ -188,7 +195,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_consistent() {
         let defs = all();
-        assert_eq!(defs.len(), 19);
+        assert_eq!(defs.len(), 20);
         let mut names: Vec<&str> = defs.iter().map(|d| d.name).collect();
         names.dedup();
         assert_eq!(names.len(), defs.len(), "names must be unique");

@@ -62,6 +62,7 @@ pub mod perf;
 pub mod predictability;
 pub mod report;
 pub mod runner;
+pub mod sample;
 pub mod serve;
 pub mod table1;
 pub mod table2;

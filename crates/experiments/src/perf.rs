@@ -82,6 +82,12 @@ impl Scenario {
 ///   plus the predictability profile) over all 8 benchmark models.
 /// * `analysis-conformance` — trace-conformance replay of the shared
 ///   gcc trace against its static image.
+/// * `simpoint-fingerprint` — BBV fingerprinting plus phase clustering
+///   over the two heaviest indirect-jump workloads (perl, gcc).
+/// * `simpoint-sampled-table1` — the per-run sampled measurement path
+///   (cached phase map, warmed representative slices, weighted
+///   recombination) on perl and gcc; compare against
+///   `functional-btb/{perl,gcc}` for the sampling speedup.
 /// * `e2e/table1` — end-to-end Table 1 regeneration at quick scale.
 ///
 /// Traces for the replay scenarios are generated once up front and
@@ -226,6 +232,51 @@ pub fn scenario_matrix(ctx: &TelemetryCtx, scale: Scale) -> Vec<Scenario> {
                 &mut findings,
             );
             report.instructions as u64
+        }));
+    }
+    {
+        // Phase-sampling layer, on the two heaviest indirect-jump
+        // workloads. `simpoint-fingerprint` isolates BBV fingerprinting
+        // plus clustering — the cost paid once at trace-record time.
+        // `simpoint-sampled-table1` is the sampled measurement path a
+        // campaign actually pays per run: the cached phase map beside
+        // the store file plus warmed representative simulation. Its
+        // wall clock against exact `functional-btb/{perl,gcc}` is the
+        // sampling speedup the BENCH trajectory documents.
+        let perl = Rc::clone(&traces[Benchmark::Perl.name()]);
+        let gcc = Rc::clone(&traces[Benchmark::Gcc.name()]);
+        scenarios.push(Scenario::new("simpoint-fingerprint", {
+            let (perl, gcc) = (Rc::clone(&perl), Rc::clone(&gcc));
+            move || {
+                let mut instructions = 0u64;
+                for trace in [&perl, &gcc] {
+                    let bbv = sim_trace::fingerprint_trace(trace);
+                    let map = simpoint::cluster(&bbv.chunks, &simpoint::ClusterConfig::default());
+                    std::hint::black_box(map.k);
+                    instructions += trace.len() as u64;
+                }
+                instructions
+            }
+        }));
+        let ctx = ctx.clone();
+        scenarios.push(Scenario::new("simpoint-sampled-table1", move || {
+            let _ = hub::take_instructions();
+            for (bench, trace) in [(Benchmark::Perl, &perl), (Benchmark::Gcc, &gcc)] {
+                // The real campaign prologue: cached phase map beside
+                // the store file (clustered from record-time
+                // fingerprints on the first-ever run), then warmed
+                // representative simulation.
+                let map = crate::sample::stored_phase_map(&ctx, bench, scale, trace, None);
+                let rate = crate::sample::sampled_indirect_mispred(
+                    &ctx,
+                    trace,
+                    &map,
+                    crate::sample::WARMUP_RECORDS,
+                    FrontEndConfig::isca97_baseline(),
+                );
+                std::hint::black_box(rate);
+            }
+            hub::take_instructions()
         }));
     }
     let e2e_ctx = ctx.clone();
@@ -794,8 +845,10 @@ mod tests {
         assert!(names.contains(&"timing/perl".to_string()));
         assert!(names.contains(&"analysis-static".to_string()));
         assert!(names.contains(&"analysis-conformance".to_string()));
+        assert!(names.contains(&"simpoint-fingerprint".to_string()));
+        assert!(names.contains(&"simpoint-sampled-table1".to_string()));
         assert!(names.contains(&"e2e/table1".to_string()));
-        assert_eq!(names.len(), 8 * 5 + 2 + 2 + 1);
+        assert_eq!(names.len(), 8 * 5 + 2 + 2 + 2 + 1);
     }
 
     #[test]

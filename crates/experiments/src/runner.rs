@@ -11,6 +11,7 @@ use hps_uarch::{simulate, simulate_instrumented, MachineConfig, SimReport};
 use sim_isa::VecTrace;
 use sim_trace::{TraceKey, TraceStore};
 use sim_workloads::Benchmark;
+use std::path::PathBuf;
 use std::time::Instant;
 use target_cache::harness::{FrontEndConfig, IndirectPredictor, PredictionHarness};
 use target_cache::TargetCacheConfig;
@@ -92,6 +93,65 @@ impl Scale {
     }
 }
 
+/// Whether the table binaries simulate every instruction or only the
+/// SimPoint-style representative slices chosen by phase clustering.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SampleMode {
+    /// Exact simulation: every chunk of every trace.
+    #[default]
+    Off,
+    /// Phase sampling: cluster chunk BBV fingerprints, simulate only the
+    /// weighted representative slices, recombine by cluster weight, and
+    /// report sampled-vs-exact error (see [`crate::sample`]).
+    Simpoint,
+}
+
+impl SampleMode {
+    /// The values [`SampleMode::parse`] accepts, for error messages.
+    pub const ACCEPTED: &'static str = "off, simpoint";
+
+    /// Parses a sampling-mode name (`off` / `simpoint`, case-insensitive).
+    pub fn parse(value: &str) -> Result<SampleMode, String> {
+        match value.to_ascii_lowercase().as_str() {
+            "off" => Ok(SampleMode::Off),
+            "simpoint" => Ok(SampleMode::Simpoint),
+            _ => Err(format!(
+                "unrecognized REPRO_SAMPLE value {value:?}; accepted values: {}",
+                SampleMode::ACCEPTED
+            )),
+        }
+    }
+
+    /// The mode's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SampleMode::Off => "off",
+            SampleMode::Simpoint => "simpoint",
+        }
+    }
+
+    /// Reads the mode from the `REPRO_SAMPLE` environment variable,
+    /// defaulting to `Off` when unset or set to the empty string. An
+    /// unrecognized value is an error, not a fallback — the same strict-knob
+    /// contract as [`Scale::from_env`].
+    pub fn from_env() -> Result<SampleMode, String> {
+        match std::env::var("REPRO_SAMPLE") {
+            Ok(v) if v.is_empty() => Ok(SampleMode::Off),
+            Ok(v) => SampleMode::parse(&v),
+            Err(_) => Ok(SampleMode::Off),
+        }
+    }
+
+    /// [`SampleMode::from_env`] for binaries: an unrecognized value prints
+    /// the diagnostic to stderr and exits with status 2.
+    pub fn from_env_or_exit() -> SampleMode {
+        SampleMode::from_env().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    }
+}
+
 /// A short description of the front end's indirect predictor for run
 /// manifests.
 fn config_desc(config: &FrontEndConfig) -> String {
@@ -111,6 +171,15 @@ pub fn trace_store_or_exit() -> TraceStore {
         eprintln!("error: {e}");
         std::process::exit(2);
     })
+}
+
+/// The path of the canonical store file for a benchmark's trace at a
+/// scale, whether or not it exists yet. Sampling keys its phase-map
+/// cache off this path (`<stem>.phases.json` rides next to the
+/// `.strc`).
+pub fn trace_store_path(bench: Benchmark, scale: Scale) -> PathBuf {
+    let store = trace_store_or_exit();
+    store.path_for(&store_key(bench, scale))
 }
 
 /// The store key for a benchmark's canonical trace at a scale.
@@ -146,6 +215,20 @@ fn store_key(bench: Benchmark, scale: Scale) -> TraceKey {
 /// retryable cell failure, and the store has already deleted the bad
 /// file so the retry regenerates it.
 pub fn trace(ctx: &TelemetryCtx, bench: Benchmark, scale: Scale) -> VecTrace {
+    trace_with_fingerprints(ctx, bench, scale).0
+}
+
+/// [`trace`], also returning the trace's BBV side-section when the
+/// store replay carried one. Fingerprints are computed at record time
+/// and validated against the header on replay, so phase sampling
+/// clusters them directly instead of re-walking the trace — `None`
+/// (store off, read-only miss, fault-truncated generation) means the
+/// caller must fingerprint in memory.
+pub fn trace_with_fingerprints(
+    ctx: &TelemetryCtx,
+    bench: Benchmark,
+    scale: Scale,
+) -> (VecTrace, Option<sim_trace::BbvSection>) {
     let budget = scale.budget(bench);
     let hub = ctx.hub();
     if let Some(hub) = hub {
@@ -153,7 +236,7 @@ pub fn trace(ctx: &TelemetryCtx, bench: Benchmark, scale: Scale) -> VecTrace {
     }
     if let Some(fraction) = crate::jobs::faults::active_truncation(bench.name()) {
         let _g = hub.map(|h| h.spans().span("workload-gen"));
-        return bench.workload().generate_truncated(budget, fraction);
+        return (bench.workload().generate_truncated(budget, fraction), None);
     }
     let store = trace_store_or_exit();
     let key = store_key(bench, scale);
@@ -191,7 +274,7 @@ pub fn trace(ctx: &TelemetryCtx, bench: Benchmark, scale: Scale) -> VecTrace {
                         .add(out.trace.len() as u64);
                 }
             }
-            out.trace
+            (out.trace, out.bbv)
         }
         Err(e) => panic!("trace store: {e}"),
     }

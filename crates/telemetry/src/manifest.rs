@@ -305,6 +305,36 @@ impl RunManifest {
         ]))
     }
 
+    /// The phase-sampling section: how much of the campaign was
+    /// simulated under SimPoint sampling, derived from the `sampling.*`
+    /// counters. `None` when sampling never ran (so exact-campaign
+    /// manifests keep their historical shape). `simulated_fraction` is
+    /// the cost ratio — sampled instructions (warm-up included) over
+    /// the instructions exact simulation would have replayed.
+    fn sampling_json(metrics: &MetricsSnapshot) -> Option<Json> {
+        let sampled = metrics.counter("sampling.sampled_instructions");
+        let chunks = metrics.counter("sampling.chunks");
+        if sampled + chunks == 0 {
+            return None;
+        }
+        let total = metrics.counter("sampling.total_instructions");
+        Some(obj([
+            ("chunks", Json::from(chunks)),
+            ("phases", Json::from(metrics.counter("sampling.phases"))),
+            ("shards", Json::from(metrics.counter("sampling.shards"))),
+            ("sampled_instructions", Json::from(sampled)),
+            ("total_instructions", Json::from(total)),
+            (
+                "simulated_fraction",
+                Json::from(if total == 0 {
+                    0.0
+                } else {
+                    sampled as f64 / total as f64
+                }),
+            ),
+        ]))
+    }
+
     /// The manifest as a JSON document, embedding span timings and a
     /// metrics snapshot.
     pub fn to_json(&self, spans: &SpanRegistry, metrics: &MetricsSnapshot) -> Json {
@@ -356,6 +386,9 @@ impl RunManifest {
         }
         if let Some(store) = Self::trace_store_json(metrics) {
             fields.insert("trace_store".to_string(), store);
+        }
+        if let Some(sampling) = Self::sampling_json(metrics) {
+            fields.insert("sampling".to_string(), sampling);
         }
         // Only campaigns with the sampler running carry a time series;
         // omitting the empty section keeps older manifests byte-stable.
@@ -558,6 +591,42 @@ mod tests {
         let rate = store.get("decode_instr_per_sec").unwrap().as_f64().unwrap();
         assert!((rate - 2_000_000.0).abs() < 1.0, "{rate}");
         // And the embedded document still parses strictly.
+        assert!(parse(&v.to_string()).is_ok());
+    }
+
+    #[test]
+    fn sampling_section_appears_only_when_sampling_ran() {
+        let m = RunManifest::new("table1");
+        let spans = SpanRegistry::new();
+
+        // No sampling.* counters → no section at all.
+        let registry = MetricsRegistry::new();
+        let v = m.to_json(&spans, &registry.snapshot());
+        assert!(v.get("sampling").is_none());
+
+        // A sampled campaign's counters → section with the cost ratio.
+        let registry = MetricsRegistry::new();
+        registry.counter("sampling.chunks").add(98);
+        registry.counter("sampling.phases").add(5);
+        registry.counter("sampling.shards").add(5);
+        registry
+            .counter("sampling.sampled_instructions")
+            .add(61_440);
+        registry.counter("sampling.total_instructions").add(401_408);
+        let v = m.to_json(&spans, &registry.snapshot());
+        let sampling = v.get("sampling").expect("section present");
+        assert_eq!(sampling.get("chunks").unwrap().as_u64(), Some(98));
+        assert_eq!(sampling.get("phases").unwrap().as_u64(), Some(5));
+        assert_eq!(sampling.get("shards").unwrap().as_u64(), Some(5));
+        let fraction = sampling
+            .get("simulated_fraction")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(
+            (fraction - 61_440.0 / 401_408.0).abs() < 1e-12,
+            "{fraction}"
+        );
         assert!(parse(&v.to_string()).is_ok());
     }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! trace-pack record --bench <name> [--budget N] [--seed N] [--scale LABEL] --out <path>
-//! trace-pack info   <file>...
+//! trace-pack info   <file>... [--chunks]
 //! trace-pack verify <file|dir>...
 //! trace-pack cat    <file> [--limit N]
 //! trace-pack bench  <file> [--iters N]
@@ -12,7 +12,11 @@
 //! `2` on a usage error.
 
 use sim_isa::TraceStats;
-use sim_trace::{encode_to_vec, StatsSummary, TraceError, TraceReader};
+use sim_trace::bbv::BbvSection;
+use sim_trace::{
+    encode_to_vec, FingerprintBuilder, StatsSummary, TraceError, TraceReader, BBV_MAGIC,
+    CHUNK_RECORDS,
+};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read};
 use std::path::{Path, PathBuf};
@@ -26,12 +30,16 @@ commands:
   record --bench <name> [--budget N] [--seed N] [--scale LABEL] --out <path>
         generate a workload trace and write it as .strc
         (--out may be a directory: the store file name is used)
-  info <file>...
-        print each file's header, size, and bytes/instruction
+  info <file>... [--chunks]
+        print each file's header, size, and bytes/instruction;
+        --chunks adds a per-chunk table (record count, payload bytes,
+        checksum, BBV fingerprint presence)
   verify <file|dir>...
         fully decode each .strc file (directories are scanned for
-        *.strc), checking chunk checksums, record validity, and the
-        header's statistics summary; exit 1 if any file fails
+        *.strc), checking chunk checksums, record validity, the
+        header's statistics summary, and — when a BBV side-section is
+        present — that its fingerprints match the decoded records;
+        exit 1 if any file fails
   cat <file> [--limit N]
         print decoded records (default limit 20; 0 = all)
   bench <file> [--iters N]
@@ -200,19 +208,122 @@ fn print_header(path: &Path, reader: &TraceReader<BufReader<File>>) {
 }
 
 fn info(args: &[String]) {
-    let files = positional(args);
+    // `--chunks` is a bare flag: strip it before positional parsing,
+    // which would otherwise swallow the following file name.
+    let chunks = args.iter().any(|a| a == "--chunks");
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--chunks")
+        .cloned()
+        .collect();
+    let files = positional(&args);
     if files.is_empty() {
         usage_error("info wants at least one file");
     }
     for f in &files {
         let path = Path::new(f);
         match open_reader(path) {
-            Ok(reader) => print_header(path, &reader),
+            Ok(reader) => {
+                print_header(path, &reader);
+                if chunks {
+                    print_chunk_table(path);
+                }
+            }
             Err(e) => {
                 eprintln!("error: {}: {e}", path.display());
                 exit(2);
             }
         }
+    }
+}
+
+/// One scanned chunk frame, as `info --chunks` reports it.
+struct ChunkRow {
+    records: u32,
+    payload: u32,
+    checksum: u64,
+    ok: bool,
+}
+
+/// Prints the per-chunk view: record counts, payload sizes, stored
+/// checksums (re-verified against the payload), and whether the file's
+/// BBV side-section carries a fingerprint for the chunk.
+fn print_chunk_table(path: &Path) {
+    let mut bytes = Vec::new();
+    if let Err(e) = File::open(path).and_then(|mut f| f.read_to_end(&mut bytes)) {
+        eprintln!("error: cannot read {}: {e}", path.display());
+        exit(2);
+    }
+    let header = match TraceReader::new(bytes.as_slice()) {
+        Ok(r) => r.header().clone(),
+        Err(e) => {
+            eprintln!("error: {}: {e}", path.display());
+            exit(2);
+        }
+    };
+    // The header has no stored length; re-encoding the parsed header
+    // recovers exactly how many bytes it occupied.
+    let mut pos = 8 + header.encode().expect("re-encoding a decoded header").len();
+    let mut rows: Vec<ChunkRow> = Vec::new();
+    let mut section: Option<Result<BbvSection, String>> = None;
+    while pos < bytes.len() {
+        if bytes.len() - pos >= 8 && &bytes[pos..pos + 8] == BBV_MAGIC {
+            let mut src = &bytes[pos + 8..];
+            section = Some(BbvSection::read_body(&mut src).unwrap_or_else(|e| Err(e.to_string())));
+            pos = bytes.len() - src.len();
+            continue;
+        }
+        if bytes.len() - pos < 8 {
+            println!(
+                "  … {} trailing bytes (not a chunk frame)",
+                bytes.len() - pos
+            );
+            break;
+        }
+        let records = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4-byte field"));
+        let payload = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4-byte field"));
+        pos += 8;
+        if bytes.len() - pos < payload as usize + 8 {
+            println!("  … file ends inside chunk {} payload", rows.len());
+            break;
+        }
+        let body = &bytes[pos..pos + payload as usize];
+        pos += payload as usize;
+        let checksum = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8-byte field"));
+        pos += 8;
+        rows.push(ChunkRow {
+            records,
+            payload,
+            checksum,
+            ok: sim_trace::format::fnv64(body) == checksum,
+        });
+    }
+    println!("  chunk  records  payload   checksum          fingerprint");
+    for (i, row) in rows.iter().enumerate() {
+        let fingerprint = match &section {
+            Some(Ok(s)) => match s.chunks.get(i) {
+                Some(fp) => format!("{} blocks", fp.block_count()),
+                None => "missing".to_string(),
+            },
+            Some(Err(_)) => "section corrupt".to_string(),
+            None => "-".to_string(),
+        };
+        println!(
+            "  {i:>5}  {:>7}  {:>7}   {:016x}{}  {fingerprint}",
+            row.records,
+            row.payload,
+            row.checksum,
+            if row.ok { " " } else { "!" },
+        );
+    }
+    match &section {
+        Some(Ok(s)) => println!(
+            "  bbv side-section: v{}, {} chunk fingerprints",
+            s.version,
+            s.chunks.len()
+        ),
+        Some(Err(e)) => println!("  bbv side-section: CORRUPT ({e})"),
+        None => println!("  bbv side-section: absent"),
     }
 }
 
@@ -242,19 +353,51 @@ fn expand(paths: &[String]) -> Vec<PathBuf> {
 }
 
 /// Streams the whole file, recomputing statistics and checking them
-/// against the header summary.
-fn verify_file(path: &Path) -> Result<(u64, u64), TraceError> {
+/// against the header summary. Fingerprints are recomputed alongside;
+/// when the file carries a BBV side-section it must match them exactly.
+/// Returns `(instructions, bytes, bbv chunk count if present)`.
+fn verify_file(path: &Path) -> Result<(u64, u64, Option<usize>), TraceError> {
     let mut reader = open_reader(path)?;
     let summary = reader.header().summary;
     let declared = reader.header().instructions;
     let mut stats = TraceStats::default();
+    let mut fingerprints = FingerprintBuilder::new();
+    let mut seen = 0u64;
     for record in &mut reader {
-        stats.record(&record?);
+        let record = record?;
+        stats.record(&record);
+        fingerprints.observe(&record);
+        seen += 1;
+        if seen.is_multiple_of(u64::from(CHUNK_RECORDS)) {
+            fingerprints.end_chunk();
+        }
+    }
+    if !seen.is_multiple_of(u64::from(CHUNK_RECORDS)) {
+        fingerprints.end_chunk();
     }
     summary.check(&stats).map_err(TraceError::SummaryMismatch)?;
+    let bbv_chunks = match reader.take_bbv() {
+        Some(section) => {
+            let recomputed = fingerprints.finish();
+            if section != recomputed {
+                let chunk = section
+                    .chunks
+                    .iter()
+                    .zip(&recomputed.chunks)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0) as u64;
+                return Err(TraceError::CorruptChunk {
+                    chunk,
+                    reason: "bbv fingerprint does not match the decoded records".to_string(),
+                });
+            }
+            Some(section.chunks.len())
+        }
+        None => None,
+    };
     let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     debug_assert_eq!(stats.instructions(), declared);
-    Ok((declared, size))
+    Ok((declared, size, bbv_chunks))
 }
 
 fn verify(args: &[String]) {
@@ -265,9 +408,13 @@ fn verify(args: &[String]) {
     let mut failures = 0u32;
     for path in &files {
         match verify_file(path) {
-            Ok((instructions, bytes)) => {
+            Ok((instructions, bytes, bbv)) => {
+                let bbv = match bbv {
+                    Some(chunks) => format!("bbv {chunks} chunks ok"),
+                    None => "no bbv section".to_string(),
+                };
                 println!(
-                    "{}: ok ({instructions} instructions, {bytes} bytes)",
+                    "{}: ok ({instructions} instructions, {bytes} bytes, {bbv})",
                     path.display()
                 )
             }

@@ -43,15 +43,17 @@
 
 #![warn(missing_docs)]
 
+pub mod bbv;
 pub mod format;
 pub mod reader;
 pub mod store;
 pub mod varint;
 pub mod writer;
 
+pub use bbv::{fingerprint_trace, BbvSection, ChunkFingerprint, FingerprintBuilder, BBV_MAGIC};
 pub use format::{
     StatsSummary, TraceError, TraceHeader, TraceMeta, CHUNK_RECORDS, FORMAT_VERSION, MAGIC,
 };
-pub use reader::{read_trace_file, TraceReader};
+pub use reader::{read_trace_file, read_trace_file_with_bbv, TraceReader};
 pub use store::{StoreError, StoreMode, StoreOutcome, TraceKey, TraceStore};
 pub use writer::{encode_to_vec, write_trace, TraceWriter, WriteSummary};

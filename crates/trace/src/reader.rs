@@ -1,5 +1,6 @@
 //! Streaming `.strc` reader.
 
+use crate::bbv::{BbvSection, BBV_MAGIC};
 use crate::format::{
     fnv64, CodecState, TraceError, TraceHeader, CHUNK_RECORDS, MAGIC, MAX_CHUNK_PAYLOAD,
 };
@@ -26,6 +27,7 @@ pub struct TraceReader<R: Read> {
     chunk_remaining: u32,
     chunk_index: u64,
     decoded: u64,
+    bbv: Option<BbvSection>,
     state: State,
 }
 
@@ -79,6 +81,7 @@ impl<R: Read> TraceReader<R> {
             chunk_remaining: 0,
             chunk_index: 0,
             decoded: 0,
+            bbv: None,
             state: State::Reading,
         })
     }
@@ -91,6 +94,18 @@ impl<R: Read> TraceReader<R> {
     /// Instructions decoded so far.
     pub fn decoded(&self) -> u64 {
         self.decoded
+    }
+
+    /// The BBV side-section, if the stream carried one. Populated only
+    /// once the stream has been consumed to its clean end (the section
+    /// sits after the last chunk).
+    pub fn bbv(&self) -> Option<&BbvSection> {
+        self.bbv.as_ref()
+    }
+
+    /// Takes ownership of the decoded BBV side-section, if any.
+    pub fn take_bbv(&mut self) -> Option<BbvSection> {
+        self.bbv.take()
     }
 
     /// Loads the next chunk. `Ok(false)` means clean end of stream.
@@ -112,6 +127,27 @@ impl<R: Read> TraceReader<R> {
                 return Err(corrupt("file ends inside a chunk frame".to_string()))
             }
             ReadOutcome::Full => {}
+        }
+        // After the final record chunk the stream may carry the optional
+        // BBV side-section; its magic is frame-width by design so the
+        // "next chunk or end of stream?" read also recognizes it. A
+        // pre-section trace hits clean EOF above instead.
+        if &frame == BBV_MAGIC && self.decoded == self.header.instructions {
+            let bbv = |reason: String| TraceError::CorruptChunk {
+                chunk,
+                reason: format!("bbv section: {reason}"),
+            };
+            let section = BbvSection::read_body(&mut self.src)
+                .map_err(TraceError::Io)?
+                .map_err(&bbv)?;
+            section.validate(self.header.instructions).map_err(&bbv)?;
+            let mut trailing = [0u8; 1];
+            match read_exact_or_eof(&mut self.src, &mut trailing)? {
+                ReadOutcome::Eof => {}
+                _ => return Err(bbv("trailing bytes after the section".to_string())),
+            }
+            self.bbv = Some(section);
+            return Ok(false);
         }
         let records = u32::from_le_bytes(frame[..4].try_into().expect("4-byte field"));
         let length = u32::from_le_bytes(frame[4..].try_into().expect("4-byte field"));
@@ -186,6 +222,23 @@ impl<R: Read> TraceReader<R> {
             trace.push(record?);
         }
         Ok(trace)
+    }
+
+    /// [`read_to_end`], also returning the BBV side-section when the
+    /// stream carries one (`None` for pre-section traces).
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] the streaming iterator would yield.
+    ///
+    /// [`read_to_end`]: TraceReader::read_to_end
+    pub fn read_to_end_with_bbv(mut self) -> Result<(VecTrace, Option<BbvSection>), TraceError> {
+        let mut trace = VecTrace::new();
+        trace.reserve((self.header.instructions - self.decoded) as usize);
+        for record in &mut self {
+            trace.push(record?);
+        }
+        Ok((trace, self.bbv))
     }
 }
 
@@ -264,4 +317,19 @@ pub fn read_trace_file(path: &Path) -> Result<(TraceHeader, VecTrace), TraceErro
     let header = reader.header().clone();
     let trace = reader.read_to_end()?;
     Ok((header, trace))
+}
+
+/// [`read_trace_file`], also returning the BBV side-section when the
+/// file carries one.
+///
+/// # Errors
+///
+/// Any [`TraceError`]; plain I/O failures surface as [`TraceError::Io`].
+pub fn read_trace_file_with_bbv(
+    path: &Path,
+) -> Result<(TraceHeader, VecTrace, Option<BbvSection>), TraceError> {
+    let reader = TraceReader::new(BufReader::new(File::open(path)?))?;
+    let header = reader.header().clone();
+    let (trace, bbv) = reader.read_to_end_with_bbv()?;
+    Ok((header, trace, bbv))
 }

@@ -26,8 +26,9 @@
 //! resident daemon share one read-mostly store across many concurrent
 //! request campaigns.
 
+use crate::bbv::BbvSection;
 use crate::format::{TraceError, TraceHeader, TraceMeta};
-use crate::reader::read_trace_file;
+use crate::reader::read_trace_file_with_bbv;
 use crate::writer::encode_to_vec;
 use sim_isa::VecTrace;
 use std::collections::HashSet;
@@ -170,6 +171,12 @@ pub struct StoreOutcome {
     /// Wall time of the decode (the hit replay, or the record path's
     /// read-back verification), in nanoseconds. 0 when nothing decoded.
     pub decode_ns: u64,
+    /// The trace's BBV side-section, when the store file carries one
+    /// (every store-recorded trace does; `None` when the store is off
+    /// or a read-only miss generated without recording). Already
+    /// validated against the header by the reader, so phase sampling
+    /// can cluster these fingerprints without recomputing them.
+    pub bbv: Option<BbvSection>,
 }
 
 /// A failed store interaction.
@@ -343,17 +350,19 @@ impl TraceStore {
                 recorded: false,
                 bytes: 0,
                 decode_ns: 0,
+                bbv: None,
             });
         }
         let path = self.path_for(key);
         if path.exists() {
-            let (trace, bytes, decode_ns) = self.replay(key, &path)?;
+            let (trace, bbv, bytes, decode_ns) = self.replay(key, &path)?;
             return Ok(StoreOutcome {
                 trace,
                 hit: true,
                 recorded: false,
                 bytes,
                 decode_ns,
+                bbv,
             });
         }
         if self.mode == StoreMode::ReadOnly {
@@ -363,6 +372,7 @@ impl TraceStore {
                 recorded: false,
                 bytes: 0,
                 decode_ns: 0,
+                bbv: None,
             });
         }
         // Read-write miss: claim the single-writer slot for this key so
@@ -370,13 +380,14 @@ impl TraceStore {
         // wait and then replay what it published.
         let _claim = InflightClaim::acquire(&path);
         if path.exists() {
-            let (trace, bytes, decode_ns) = self.replay(key, &path)?;
+            let (trace, bbv, bytes, decode_ns) = self.replay(key, &path)?;
             return Ok(StoreOutcome {
                 trace,
                 hit: true,
                 recorded: false,
                 bytes,
                 decode_ns,
+                bbv,
             });
         }
         let trace = generate();
@@ -393,7 +404,7 @@ impl TraceStore {
         // Read back what the filesystem now holds: verifies the write
         // end to end and keeps hit and miss on the same decode path.
         let started = Instant::now();
-        let (replayed, _, _) = self.replay(key, &path)?;
+        let (replayed, bbv, _, _) = self.replay(key, &path)?;
         let decode_ns = started.elapsed().as_nanos() as u64;
         if replayed != trace {
             return Err(self.reject(&path, "read-back decoded a different trace".to_string()));
@@ -404,12 +415,18 @@ impl TraceStore {
             recorded: true,
             bytes,
             decode_ns,
+            bbv,
         })
     }
 
-    fn replay(&self, key: &TraceKey, path: &Path) -> Result<(VecTrace, u64, u64), StoreError> {
+    #[allow(clippy::type_complexity)]
+    fn replay(
+        &self,
+        key: &TraceKey,
+        path: &Path,
+    ) -> Result<(VecTrace, Option<BbvSection>, u64, u64), StoreError> {
         let started = Instant::now();
-        let (header, trace) = match read_trace_file(path) {
+        let (header, trace, bbv) = match read_trace_file_with_bbv(path) {
             Ok(ok) => ok,
             Err(TraceError::Io(source)) if source.kind() != io::ErrorKind::UnexpectedEof => {
                 return Err(StoreError::Io {
@@ -424,7 +441,7 @@ impl TraceStore {
         }
         let decode_ns = started.elapsed().as_nanos() as u64;
         let bytes = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-        Ok((trace, bytes, decode_ns))
+        Ok((trace, bbv, bytes, decode_ns))
     }
 
     /// Marks `path` bad: deletes it in read-write mode so the next
@@ -521,6 +538,29 @@ mod tests {
         assert!(second.hit);
         assert!(!generated.load(Ordering::Relaxed), "hit must not generate");
         assert_eq!(second.trace, first.trace);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_and_hit_both_carry_the_bbv_side_section() {
+        // Phase sampling clusters the store-borne fingerprints instead
+        // of re-walking the trace, so both the record path and the hit
+        // path must hand back exactly what record-time fingerprinting
+        // produced.
+        let dir = scratch("bbv");
+        let store = TraceStore::new(&dir, StoreMode::ReadWrite);
+        let expected = crate::fingerprint_trace(&make_trace(64));
+        let first = store.load_or_record(&key(), || make_trace(64)).unwrap();
+        assert_eq!(first.bbv.as_ref(), Some(&expected));
+        let second = store.load_or_record(&key(), || make_trace(64)).unwrap();
+        assert!(second.hit);
+        assert_eq!(second.bbv.as_ref(), Some(&expected));
+        let off = TraceStore::new(dir.join("off"), StoreMode::Off);
+        assert!(off
+            .load_or_record(&key(), || make_trace(64))
+            .unwrap()
+            .bbv
+            .is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 

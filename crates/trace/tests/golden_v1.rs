@@ -60,8 +60,21 @@ fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
 
-/// The pinned v1 encoding of [`golden_trace`] under [`golden_meta`].
-const GOLDEN_HEX: &str = "53545243303030310100010006676f6c64656e05717569636befcdab89674523010c00000000000000010000000000000001000000000000000100000000000000010000000000000001000000000000000100000000000000010000000000000005000000000000000200000000000000000000000000000001000000000000000000000000000000010000000000000001000000000000000100000000000000010000000000000089100c7fd1c7b2d40c0000003900000038801001020321021e02021302070e020024020980808080100d02090f0700028d084700028f0847028f08801847058018801047048010fd27c58abe0070d1a591";
+/// The pinned v1 encoding of [`golden_trace`] under [`golden_meta`],
+/// including the BBV side-section appended after the last chunk.
+const GOLDEN_HEX: &str = "53545243303030310100010006676f6c64656e05717569636befcdab89674523010c00000000000000010000000000000001000000000000000100000000000000010000000000000001000000000000000100000000000000010000000000000005000000000000000200000000000000000000000000000001000000000000000000000000000000010000000000000001000000000000000100000000000000010000000000000089100c7fd1c7b2d40c0000003900000038801001020321021e02021302070e020024020980808080100d02090f0700028d084700028f0847028f08801847058018801047048010fd27c58abe0070d1a59153544256303030311600000001000100000005800401800808880801801001801801c292f5be1aba4527";
+
+/// The same trace as encoded before the BBV side-section existed:
+/// identical up to the last chunk, then clean EOF. Pinned so the
+/// reader's backward compatibility with pre-section files can never
+/// silently break.
+const GOLDEN_HEX_PRE_BBV: &str = "53545243303030310100010006676f6c64656e05717569636befcdab89674523010c00000000000000010000000000000001000000000000000100000000000000010000000000000001000000000000000100000000000000010000000000000005000000000000000200000000000000000000000000000001000000000000000000000000000000010000000000000001000000000000000100000000000000010000000000000089100c7fd1c7b2d40c0000003900000038801001020321021e02021302070e020024020980808080100d02090f0700028d084700028f0847028f08801847058018801047048010fd27c58abe0070d1a591";
+
+fn unhex(s: &str) -> Vec<u8> {
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+        .collect()
+}
 
 #[test]
 fn v1_byte_layout_is_pinned() {
@@ -71,6 +84,10 @@ fn v1_byte_layout_is_pinned() {
         GOLDEN_HEX,
         "the .strc v1 byte layout changed; see the module docs"
     );
+    // The record stream itself (everything before the side-section) is
+    // byte-identical to the pre-section encoding: the section is a pure
+    // suffix extension.
+    assert!(GOLDEN_HEX.starts_with(GOLDEN_HEX_PRE_BBV));
 }
 
 #[test]
@@ -78,13 +95,26 @@ fn pinned_bytes_decode_to_the_golden_trace() {
     // The inverse direction: the pinned hex itself (not a fresh
     // encode) must decode to the fixed trace, so a lockstep change to
     // encoder and decoder cannot slip through.
-    let bytes: Vec<u8> = (0..GOLDEN_HEX.len() / 2)
-        .map(|i| u8::from_str_radix(&GOLDEN_HEX[2 * i..2 * i + 2], 16).unwrap())
-        .collect();
+    let bytes = unhex(GOLDEN_HEX);
     let reader = TraceReader::new(bytes.as_slice()).unwrap();
     let header = reader.header().clone();
     assert_eq!(header.meta, golden_meta());
     assert_eq!(header.instructions, golden_trace().len() as u64);
-    let decoded = reader.read_to_end().unwrap();
+    let (decoded, bbv) = reader.read_to_end_with_bbv().unwrap();
     assert_eq!(decoded, golden_trace());
+    let section = bbv.expect("pinned bytes carry a bbv section");
+    assert_eq!(section.chunks.len(), 1);
+    assert_eq!(
+        section.chunks[0].instructions(),
+        golden_trace().len() as u64
+    );
+}
+
+#[test]
+fn pre_bbv_files_still_decode() {
+    let bytes = unhex(GOLDEN_HEX_PRE_BBV);
+    let reader = TraceReader::new(bytes.as_slice()).unwrap();
+    let (decoded, bbv) = reader.read_to_end_with_bbv().unwrap();
+    assert_eq!(decoded, golden_trace());
+    assert!(bbv.is_none(), "a pre-section file has no fingerprints");
 }
